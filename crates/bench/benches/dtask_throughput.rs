@@ -1,0 +1,87 @@
+//! dtask runtime benches: scatter throughput (classic vs external), graph
+//! submission + scheduling latency, and the scheduler's control-message
+//! handling rate — the real-mode counterpart of the DES's
+//! `sched_update_ns`/`sched_meta_ns` constants.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deisa_bench::cluster_with_ops;
+use dtask::{Datum, Key, TaskSpec};
+use linalg::NDArray;
+
+fn bench_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter");
+    for &external in &[false, true] {
+        let label = if external { "external" } else { "classic" };
+        group.bench_function(BenchmarkId::new("mode", label), |bench| {
+            let cluster = cluster_with_ops(2);
+            let client = cluster.client();
+            let mut i = 0u64;
+            bench.iter(|| {
+                let key = Key::new(format!("blk-{label}-{i}"));
+                i += 1;
+                let items = vec![(key, Datum::from(NDArray::zeros(&[64, 64])))];
+                if external {
+                    black_box(client.scatter_external(items, Some(0)));
+                } else {
+                    black_box(client.scatter(items, Some(0)));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_round_trip(c: &mut Criterion) {
+    c.bench_function("submit_chain_depth16", |bench| {
+        let cluster = cluster_with_ops(2);
+        let client = cluster.client();
+        let mut run = 0u64;
+        bench.iter(|| {
+            let mut specs = Vec::new();
+            let root = Key::new(format!("r{run}"));
+            specs.push(TaskSpec::new(root.clone(), "const", Datum::F64(1.0), vec![]));
+            let mut prev = root;
+            for d in 0..16 {
+                let key = Key::new(format!("c{run}-{d}"));
+                specs.push(TaskSpec::new(key.clone(), "identity", Datum::Null, vec![prev]));
+                prev = key;
+            }
+            run += 1;
+            client.submit(specs);
+            black_box(client.future(prev).result().unwrap());
+        });
+    });
+}
+
+fn bench_fan_out(c: &mut Criterion) {
+    c.bench_function("submit_fanout64_gather", |bench| {
+        let cluster = cluster_with_ops(4);
+        let client = cluster.client();
+        let mut run = 0u64;
+        bench.iter(|| {
+            let mut specs: Vec<TaskSpec> = (0..64)
+                .map(|i| {
+                    TaskSpec::new(
+                        format!("f{run}-{i}"),
+                        "const",
+                        Datum::F64(i as f64),
+                        vec![],
+                    )
+                })
+                .collect();
+            let total = Key::new(format!("t{run}"));
+            specs.push(TaskSpec::new(
+                total.clone(),
+                "sum_scalars",
+                Datum::Null,
+                (0..64).map(|i| Key::new(format!("f{run}-{i}"))).collect(),
+            ));
+            run += 1;
+            client.submit(specs);
+            black_box(client.future(total).result().unwrap());
+        });
+    });
+}
+
+criterion_group!(benches, bench_scatter, bench_graph_round_trip, bench_fan_out);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! DES figure-generation benches: how long each paper figure takes to
+//! regenerate, and a per-scenario breakdown. (Also guards against the DES
+//! accidentally becoming super-linear in ranks × steps.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use insitu_sim::{run_sim_side, CostModel, Mode, Scenario};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("des_sim_side");
+    for &ranks in &[16usize, 64, 128] {
+        for mode in [Mode::Deisa1, Mode::Deisa3, Mode::PostHoc] {
+            let scen = Scenario {
+                mode,
+                n_ranks: ranks,
+                n_workers: (ranks / 2).max(1),
+                block_bytes: 128 << 20,
+                steps: 10,
+                seed: 1,
+            send_permille: 1000,
+            };
+            group.bench_function(
+                BenchmarkId::new(mode.label(), ranks),
+                |bench| bench.iter(|| black_box(run_sim_side(&scen, &cost))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_whole_figures(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("des_figures");
+    group.sample_size(10);
+    group.bench_function("fig2a", |b| {
+        b.iter(|| black_box(insitu_sim::figures::fig2a(&cost)))
+    });
+    group.bench_function("fig5", |b| {
+        b.iter(|| black_box(insitu_sim::figures::fig5(&cost)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_whole_figures);
+criterion_main!(benches);

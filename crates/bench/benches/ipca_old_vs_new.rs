@@ -1,0 +1,56 @@
+//! Old vs new IPCA on the real runtime (the §3.2/§3.3.1 ablation at laptop
+//! scale): per-step graph submission vs one whole graph over the same data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use darray::{DArray, Graph, LabeledArray};
+use deisa_bench::cluster_with_ops;
+use dml::{InSituIncrementalPCA, SvdSolver};
+
+const T: usize = 6;
+const X: usize = 12;
+const Y: usize = 16;
+
+fn make_data(client: &dtask::Client) -> LabeledArray {
+    let mut g = Graph::new(format!("data-{}", std::process::id()));
+    let a = DArray::linear(&mut g, &[T, X, Y], &[1, X / 2, Y / 2]).unwrap();
+    g.submit(client);
+    LabeledArray::new(a, &["t", "X", "Y"]).unwrap()
+}
+
+fn bench_ipca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipca");
+    group.sample_size(20);
+
+    group.bench_function("new_whole_graph", |bench| {
+        let cluster = cluster_with_ops(4);
+        let client = cluster.client();
+        let gt = make_data(&client);
+        let mut run = 0u64;
+        bench.iter(|| {
+            let ipca = InSituIncrementalPCA::new(2, SvdSolver::Full);
+            let mut g = Graph::new(format!("new-{run}"));
+            run += 1;
+            let fitted = ipca.fit(&mut g, &gt, "t", &["Y"], &["X"]).unwrap();
+            g.submit(&client);
+            black_box(fitted.fetch(&client).unwrap().singular_values)
+        });
+    });
+
+    group.bench_function("old_stepwise", |bench| {
+        let cluster = cluster_with_ops(4);
+        let client = cluster.client();
+        let gt = make_data(&client);
+        bench.iter(|| {
+            let ipca = InSituIncrementalPCA::new(2, SvdSolver::Full);
+            let (model, _submissions) = ipca
+                .fit_stepwise(&client, &gt, "t", &["Y"], &["X"])
+                .unwrap();
+            black_box(model.singular_values)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipca);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Linear-algebra kernel benches: matmul, QR, TSQR, Jacobi SVD, randomized
+//! SVD. These are the per-task costs behind the analytics side; the
+//! `ipca_bw`/`svd_base_ns` constants of the DES cost model are sanity-checked
+//! against them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use linalg::{householder_qr, jacobi_svd, randomized_svd, tsqr, Matrix};
+
+fn test_matrix(m: usize, n: usize) -> Matrix {
+    Matrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) % 23) as f64 * 0.3 - 3.0)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = test_matrix(128, 128);
+    let b = test_matrix(128, 128);
+    c.bench_function("matmul_128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let tall = test_matrix(512, 16);
+    c.bench_function("householder_qr_512x16", |bench| {
+        bench.iter(|| black_box(householder_qr(&tall).unwrap()))
+    });
+    let blocks: Vec<Matrix> = (0..8).map(|_| test_matrix(64, 16)).collect();
+    c.bench_function("tsqr_8x64x16", |bench| {
+        bench.iter(|| black_box(tsqr(&blocks).unwrap()))
+    });
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let a = test_matrix(96, 24);
+    c.bench_function("jacobi_svd_96x24", |bench| {
+        bench.iter(|| black_box(jacobi_svd(&a).unwrap()))
+    });
+    let big = test_matrix(256, 64);
+    c.bench_function("randomized_svd_256x64_k8", |bench| {
+        bench.iter(|| black_box(randomized_svd(&big, 8, 10, 2, 42).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_qr, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Scaled-down real-mode weak scaling of the full in-transit workflow
+//! (Heat2D ranks + DEISA3 bridges + whole-graph IPCA), 2→8 bridge ranks.
+//! The laptop-scale counterpart of Fig. 2; the DES regenerates the full
+//! scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deisa_bench::run_small_insitu;
+
+fn bench_insitu_weak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insitu_weak_scaling");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(ranks), |bench| {
+            bench.iter(|| black_box(run_small_insitu(ranks, 4, 8)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insitu_weak);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! The per-rank bridge (producer side) — external-task protocol (DEISA2/3).
+//!
+//! Startup ("Sign contracts", step 1 in Figure 1):
+//! * the rank-0 bridge publishes the deisa virtual array descriptors in the
+//!   `deisa:arrays` Variable (1 message),
+//! * **every** bridge blocks on the `deisa:contract` Variable until the
+//!   adaptor has validated the analytics' selections (`nbr_ranks` messages).
+//!
+//! That is the `1 + nbr_ranks` control-message total of §2.1 — afterwards no
+//! metadata ever flows to the scheduler again; per timestep each bridge
+//! checks its contract *locally* and pushes intersecting blocks directly to
+//! their preselected workers via the extended external-task scatter.
+
+use crate::contract::Contract;
+use crate::naming::preselect_worker;
+use crate::varray::VirtualArray;
+use dtask::{Client, Datum};
+use linalg::NDArray;
+
+/// Variable carrying the virtual-array descriptors (rank 0 → adaptor).
+pub const ARRAYS_VAR: &str = "deisa:arrays";
+/// Variable carrying the signed contract (adaptor → all bridges).
+pub const CONTRACT_VAR: &str = "deisa:contract";
+
+/// The DEISA2/3 bridge of one MPI rank.
+pub struct Bridge {
+    client: Client,
+    rank: usize,
+    varrays: Vec<VirtualArray>,
+    contract: Contract,
+    /// Blocks actually shipped (for tests/benches).
+    pub sent_blocks: u64,
+    /// Blocks skipped thanks to the contract filter.
+    pub filtered_blocks: u64,
+}
+
+impl Bridge {
+    /// Connect and sign the contract. Blocks until the adaptor publishes the
+    /// contract — the double synchronization of §2.4.3. `client` should be
+    /// created with the heartbeat interval of the [`crate::DeisaVersion`]
+    /// under test.
+    pub fn init(client: Client, rank: usize, varrays: Vec<VirtualArray>) -> Result<Bridge, String> {
+        if rank == 0 {
+            let descriptors = Datum::List(varrays.iter().map(|v| v.to_datum()).collect());
+            client.var_set(ARRAYS_VAR, descriptors);
+        }
+        // All bridges (including rank 0) block until the contract is signed.
+        let contract_datum = client
+            .var_get(CONTRACT_VAR)
+            .map_err(|e| format!("bridge {rank}: waiting for contract: {e}"))?;
+        let contract = Contract::from_datum(&contract_datum)?;
+        Ok(Bridge {
+            client,
+            rank,
+            varrays,
+            contract,
+            sent_blocks: 0,
+            filtered_blocks: 0,
+        })
+    }
+
+    /// This bridge's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The signed contract.
+    pub fn contract(&self) -> &Contract {
+        &self.contract
+    }
+
+    /// Publish one block for `(array name, timestep, spatial block index)`.
+    ///
+    /// Returns `Ok(true)` if the block was under contract and shipped,
+    /// `Ok(false)` if the contract filtered it out (no communication at all).
+    pub fn publish(
+        &mut self,
+        name: &str,
+        t: usize,
+        spatial_linear: usize,
+        block: NDArray,
+    ) -> Result<bool, String> {
+        let varray = self
+            .varrays
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| format!("bridge {}: unknown deisa array '{name}'", self.rank))?;
+        if t >= varray.timesteps() {
+            return Err(format!(
+                "bridge {}: timestep {t} out of range (array has {})",
+                self.rank,
+                varray.timesteps()
+            ));
+        }
+        if block.shape() != varray.subsize.as_slice() {
+            return Err(format!(
+                "bridge {}: block shape {:?} != subsize {:?}",
+                self.rank,
+                block.shape(),
+                varray.subsize
+            ));
+        }
+        let position = varray.block_position(t, spatial_linear);
+        let selected = self
+            .contract
+            .get(name)
+            .is_some_and(|sel| sel.intersects_block(varray, &position));
+        if !selected {
+            self.filtered_blocks += 1;
+            return Ok(false);
+        }
+        let worker = preselect_worker(spatial_linear, self.client.n_workers());
+        let key = varray.key(t, spatial_linear);
+        self.client
+            .scatter_external(vec![(key, Datum::from(block))], Some(worker));
+        self.sent_blocks += 1;
+        Ok(true)
+    }
+}

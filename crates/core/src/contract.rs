@@ -1,0 +1,276 @@
+//! Contracts (paper §2.4.3): automatic data filtering for in-transit
+//! analysis.
+//!
+//! The adaptor slices the deisa virtual arrays with the selections the
+//! analytics actually needs and sends those selections back to the bridges.
+//! Each bridge then checks *locally*, per timestep, whether its block
+//! intersects a selection — only intersecting blocks are ever shipped.
+
+use crate::varray::VirtualArray;
+use dtask::Datum;
+
+/// A hyper-rectangular selection on a virtual array (time included):
+/// `starts[d] .. starts[d] + sizes[d]` per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Per-dimension start.
+    pub starts: Vec<usize>,
+    /// Per-dimension extent.
+    pub sizes: Vec<usize>,
+}
+
+impl Selection {
+    /// Select everything of a virtual array (`[...]` in Listing 2).
+    pub fn all(varray: &VirtualArray) -> Selection {
+        Selection {
+            starts: vec![0; varray.shape.len()],
+            sizes: varray.shape.clone(),
+        }
+    }
+
+    /// Validate against a virtual array's bounds. This is the contract-time
+    /// check that "the data needed for analytics is made available by the
+    /// simulation and the selections are valid".
+    pub fn validate(&self, varray: &VirtualArray) -> Result<(), String> {
+        if self.starts.len() != varray.shape.len() || self.sizes.len() != varray.shape.len() {
+            return Err(format!(
+                "selection rank {} vs array '{}' rank {}",
+                self.starts.len(),
+                varray.name,
+                varray.shape.len()
+            ));
+        }
+        for d in 0..self.starts.len() {
+            if self.sizes[d] == 0 {
+                return Err(format!("selection dim {d} is empty"));
+            }
+            if self.starts[d] + self.sizes[d] > varray.shape[d] {
+                return Err(format!(
+                    "selection dim {d}: {}..{} exceeds extent {}",
+                    self.starts[d],
+                    self.starts[d] + self.sizes[d],
+                    varray.shape[d]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the block at `position` (block-grid coordinates) intersect this
+    /// selection? The bridge runs this per timestep (§2.4.3: "checks whether
+    /// its current data block is included or includes a part of the needed
+    /// data").
+    pub fn intersects_block(&self, varray: &VirtualArray, position: &[usize]) -> bool {
+        let bstart = varray.block_start(position);
+        for d in 0..self.starts.len() {
+            let b0 = bstart[d];
+            let b1 = b0 + varray.subsize[d];
+            let s0 = self.starts[d];
+            let s1 = s0 + self.sizes[d];
+            if b1 <= s0 || b0 >= s1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Block-grid coordinate ranges covered by the selection, per dimension.
+    pub fn block_ranges(&self, varray: &VirtualArray) -> Vec<std::ops::Range<usize>> {
+        (0..self.starts.len())
+            .map(|d| {
+                let lo = self.starts[d] / varray.subsize[d];
+                let hi = (self.starts[d] + self.sizes[d]).div_ceil(varray.subsize[d]);
+                lo..hi
+            })
+            .collect()
+    }
+
+    /// The block-aligned hull of the selection (element coordinates): the
+    /// region actually shipped, since whole blocks are the transfer unit.
+    pub fn block_aligned(&self, varray: &VirtualArray) -> Selection {
+        let ranges = self.block_ranges(varray);
+        let starts: Vec<usize> = ranges
+            .iter()
+            .zip(&varray.subsize)
+            .map(|(r, &s)| r.start * s)
+            .collect();
+        let sizes: Vec<usize> = ranges
+            .iter()
+            .zip(&varray.subsize)
+            .map(|(r, &s)| (r.end - r.start) * s)
+            .collect();
+        Selection { starts, sizes }
+    }
+}
+
+/// A signed contract: per array name, the selection the analytics wants
+/// (or absence: nothing from that array).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Contract {
+    entries: Vec<(String, Selection)>,
+}
+
+impl Contract {
+    /// Empty contract (nothing flows).
+    pub fn new() -> Self {
+        Contract::default()
+    }
+
+    /// Add/replace the selection of an array.
+    pub fn insert(&mut self, name: &str, selection: Selection) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 = selection;
+        } else {
+            self.entries.push((name.to_string(), selection));
+        }
+    }
+
+    /// Selection for an array, if any.
+    pub fn get(&self, name: &str) -> Option<&Selection> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Number of arrays under contract.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no array is selected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize for the contract Variable.
+    pub fn to_datum(&self) -> Datum {
+        Datum::List(
+            self.entries
+                .iter()
+                .map(|(name, sel)| {
+                    Datum::List(vec![
+                        Datum::Str(name.clone()),
+                        darray::ops::ilist(&sel.starts),
+                        darray::ops::ilist(&sel.sizes),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Deserialize from the contract Variable.
+    pub fn from_datum(d: &Datum) -> Result<Self, String> {
+        let l = d.as_list().ok_or("contract datum must be a list")?;
+        let mut c = Contract::new();
+        for item in l {
+            let e = item.as_list().ok_or("contract entry must be a list")?;
+            let name = e.first().and_then(|v| v.as_str()).ok_or("missing name")?;
+            let starts = darray::ops::usizes(e.get(1).ok_or("missing starts")?)?;
+            let sizes = darray::ops::usizes(e.get(2).ok_or("missing sizes")?)?;
+            c.insert(name, Selection { starts, sizes });
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varr() -> VirtualArray {
+        VirtualArray::new("G_temp", &[4, 6, 8], &[1, 3, 4], 0).unwrap()
+    }
+
+    #[test]
+    fn all_selection_covers_everything() {
+        let v = varr();
+        let s = Selection::all(&v);
+        s.validate(&v).unwrap();
+        for t in 0..4 {
+            for b in 0..4 {
+                assert!(s.intersects_block(&v, &v.block_position(t, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_out_of_bounds() {
+        let v = varr();
+        let bad = Selection {
+            starts: vec![0, 0, 5],
+            sizes: vec![4, 6, 4],
+        };
+        assert!(bad.validate(&v).is_err());
+        let empty = Selection {
+            starts: vec![0, 0, 0],
+            sizes: vec![4, 0, 8],
+        };
+        assert!(empty.validate(&v).is_err());
+        let wrong_rank = Selection {
+            starts: vec![0, 0],
+            sizes: vec![4, 6],
+        };
+        assert!(wrong_rank.validate(&v).is_err());
+    }
+
+    #[test]
+    fn partial_selection_filters_blocks() {
+        let v = varr();
+        // Only the left spatial half (columns 0..4) of timesteps 1..3.
+        let s = Selection {
+            starts: vec![1, 0, 0],
+            sizes: vec![2, 6, 4],
+        };
+        s.validate(&v).unwrap();
+        // Block (1, 0, 0): start (1,0,0), spans cols 0..4 -> intersects.
+        assert!(s.intersects_block(&v, &[1, 0, 0]));
+        assert!(s.intersects_block(&v, &[2, 1, 0]));
+        // Right half blocks (col block 1: cols 4..8) do not.
+        assert!(!s.intersects_block(&v, &[1, 0, 1]));
+        // Timestep 0 and 3 do not.
+        assert!(!s.intersects_block(&v, &[0, 0, 0]));
+        assert!(!s.intersects_block(&v, &[3, 1, 0]));
+    }
+
+    #[test]
+    fn block_alignment_rounds_outward() {
+        let v = varr();
+        // Selection cutting into blocks: rows 2..5, cols 3..6.
+        let s = Selection {
+            starts: vec![0, 2, 3],
+            sizes: vec![1, 3, 3],
+        };
+        let ranges = s.block_ranges(&v);
+        assert_eq!(ranges, vec![0..1, 0..2, 0..2]);
+        let hull = s.block_aligned(&v);
+        assert_eq!(hull.starts, vec![0, 0, 0]);
+        assert_eq!(hull.sizes, vec![1, 6, 8]);
+    }
+
+    #[test]
+    fn contract_roundtrip_and_lookup() {
+        let v = varr();
+        let mut c = Contract::new();
+        c.insert("G_temp", Selection::all(&v));
+        c.insert(
+            "other",
+            Selection {
+                starts: vec![0],
+                sizes: vec![3],
+            },
+        );
+        assert_eq!(c.len(), 2);
+        let back = Contract::from_datum(&c.to_datum()).unwrap();
+        assert_eq!(back, c);
+        assert!(back.get("G_temp").is_some());
+        assert!(back.get("missing").is_none());
+        // Replacement keeps one entry.
+        c.insert(
+            "other",
+            Selection {
+                starts: vec![1],
+                sizes: vec![1],
+            },
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("other").unwrap().starts, vec![1]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The HiPC'21 DEISA protocol — the paper's **DEISA1** baseline.
+//!
+//! No external tasks: the analytics can only submit graphs over data that
+//! already sits on workers, so every timestep costs
+//!
+//! * one classic `scatter` per bridge (data + `update_data` metadata to the
+//!   scheduler),
+//! * one metadata message per bridge through its **per-rank distributed
+//!   Queue** (`nbr_ranks` queues instead of the 2 variables of the new
+//!   protocol),
+//! * one per-step graph submission by the adaptor,
+//!
+//! for the `2 · timesteps · nbr_ranks` scheduler-message scaling of §2.1 —
+//! plus 5-second bridge heartbeats.
+
+use crate::naming::{block_key, preselect_worker};
+use crate::varray::VirtualArray;
+use darray::{ChunkGrid, DArray};
+use dtask::{Client, Datum, Key};
+use linalg::NDArray;
+
+/// Name of the metadata queue of one rank.
+pub fn meta_queue(rank: usize) -> String {
+    format!("deisa1:meta:{rank}")
+}
+
+/// DEISA1 bridge: classic scatter + queue metadata, per timestep.
+pub struct Bridge1 {
+    client: Client,
+    rank: usize,
+    varrays: Vec<VirtualArray>,
+    /// Blocks shipped (no contract filtering exists in DEISA1).
+    pub sent_blocks: u64,
+}
+
+impl Bridge1 {
+    /// Connect. DEISA1 has no contract phase, so this never blocks.
+    pub fn init(client: Client, rank: usize, varrays: Vec<VirtualArray>) -> Bridge1 {
+        Bridge1 {
+            client,
+            rank,
+            varrays,
+            sent_blocks: 0,
+        }
+    }
+
+    /// Publish one block: scatter it (classic, `external=false`) and push the
+    /// key metadata into this rank's queue so the adaptor can build this
+    /// step's graph.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        t: usize,
+        spatial_linear: usize,
+        block: NDArray,
+    ) -> Result<(), String> {
+        let varray = self
+            .varrays
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| format!("bridge1 {}: unknown deisa array '{name}'", self.rank))?;
+        if block.shape() != varray.subsize.as_slice() {
+            return Err(format!(
+                "bridge1 {}: block shape {:?} != subsize {:?}",
+                self.rank,
+                block.shape(),
+                varray.subsize
+            ));
+        }
+        let position = varray.block_position(t, spatial_linear);
+        let key = block_key(name, &position);
+        let worker = preselect_worker(spatial_linear, self.client.n_workers());
+        // Classic scatter: data to worker + update_data to scheduler.
+        self.client
+            .scatter(vec![(key.clone(), Datum::from(block))], Some(worker));
+        // Metadata to the adaptor through this rank's queue.
+        self.client.q_push(
+            &meta_queue(self.rank),
+            Datum::List(vec![
+                Datum::Str(key.as_str().to_string()),
+                Datum::Str(name.to_string()),
+                Datum::I64(t as i64),
+                Datum::I64(spatial_linear as i64),
+            ]),
+        );
+        self.sent_blocks += 1;
+        Ok(())
+    }
+}
+
+/// Metadata popped from a rank queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// The scattered key.
+    pub key: Key,
+    /// Array name.
+    pub name: String,
+    /// Timestep.
+    pub t: usize,
+    /// Spatial block index (== producing rank for 1 array/rank).
+    pub spatial_linear: usize,
+}
+
+/// DEISA1 adaptor: drains the per-rank queues each step and assembles the
+/// step's array so a per-step graph can be submitted.
+pub struct Adaptor1 {
+    client: Client,
+    n_ranks: usize,
+}
+
+impl Adaptor1 {
+    /// Wrap the analytics client.
+    pub fn new(client: Client, n_ranks: usize) -> Adaptor1 {
+        Adaptor1 { client, n_ranks }
+    }
+
+    /// Underlying client.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Block until every rank has announced its block for the next step.
+    /// Returns the metadata sorted by spatial index.
+    pub fn collect_step(&self) -> Result<Vec<BlockMeta>, String> {
+        let mut metas = Vec::with_capacity(self.n_ranks);
+        for rank in 0..self.n_ranks {
+            let d = self
+                .client
+                .q_pop(&meta_queue(rank))
+                .map_err(|e| format!("adaptor1: queue pop rank {rank}: {e}"))?;
+            let l = d.as_list().ok_or("adaptor1: bad metadata")?;
+            let key = Key::new(l.first().and_then(|v| v.as_str()).ok_or("meta: key")?);
+            let name = l.get(1).and_then(|v| v.as_str()).ok_or("meta: name")?.to_string();
+            let t = l.get(2).and_then(|v| v.as_i64()).ok_or("meta: t")? as usize;
+            let spatial_linear =
+                l.get(3).and_then(|v| v.as_i64()).ok_or("meta: idx")? as usize;
+            metas.push(BlockMeta {
+                key,
+                name,
+                t,
+                spatial_linear,
+            });
+        }
+        metas.sort_by_key(|m| m.spatial_linear);
+        Ok(metas)
+    }
+
+    /// Assemble the single-timestep array `(1, spatial…)` from one step's
+    /// metadata, chunked like the simulation decomposition.
+    pub fn step_array(&self, varray: &VirtualArray, metas: &[BlockMeta]) -> Result<DArray, String> {
+        if metas.len() != varray.blocks_per_step() {
+            return Err(format!(
+                "adaptor1: {} blocks for {} expected",
+                metas.len(),
+                varray.blocks_per_step()
+            ));
+        }
+        if varray.timedim != 0 {
+            return Err("adaptor1: timedim must be 0".into());
+        }
+        let mut shape = varray.shape.clone();
+        shape[0] = 1;
+        let chunk_sizes: Vec<Vec<usize>> = shape
+            .iter()
+            .zip(&varray.subsize)
+            .map(|(&s, &b)| vec![b; s / b])
+            .collect();
+        let grid = ChunkGrid::new(&shape, chunk_sizes).map_err(|e| e.to_string())?;
+        let keys: Vec<Key> = metas.iter().map(|m| m.key.clone()).collect();
+        DArray::from_keys(grid, keys).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtask::{Cluster, MsgClass};
+
+    fn varr(t: usize) -> VirtualArray {
+        VirtualArray::new("G_temp", &[t, 4, 4], &[1, 2, 2], 0).unwrap()
+    }
+
+    #[test]
+    fn per_step_flow_and_message_accounting() {
+        let cluster = Cluster::new(2);
+        darray::register_array_ops(cluster.registry());
+        let n_ranks = 4usize;
+        let t_max = 3usize;
+
+        let analytics = {
+            let client = cluster.client();
+            std::thread::spawn(move || {
+                let adaptor = Adaptor1::new(client, n_ranks);
+                let v = varr(t_max);
+                let mut totals = Vec::new();
+                for t in 0..t_max {
+                    let metas = adaptor.collect_step().unwrap();
+                    assert!(metas.iter().all(|m| m.t == t));
+                    let step = adaptor.step_array(&v, &metas).unwrap();
+                    // Per-step graph submission (the DEISA1 pattern).
+                    let mut g = darray::Graph::new(format!("step{t}"));
+                    let total = step.sum_all(&mut g);
+                    g.submit(adaptor.client());
+                    totals.push(
+                        adaptor
+                            .client()
+                            .future(total)
+                            .result()
+                            .unwrap()
+                            .as_f64()
+                            .unwrap(),
+                    );
+                }
+                totals
+            })
+        };
+
+        let mut handles = Vec::new();
+        for rank in 0..n_ranks {
+            let client = cluster.client();
+            handles.push(std::thread::spawn(move || {
+                let mut bridge = Bridge1::init(client, rank, vec![varr(t_max)]);
+                for t in 0..t_max {
+                    let block = NDArray::full(&[1, 2, 2], (t + 1) as f64);
+                    bridge.publish("G_temp", t, rank, block).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let totals = analytics.join().unwrap();
+        // Each step: 4 blocks × 4 elements × (t+1).
+        assert_eq!(totals, vec![16.0, 32.0, 48.0]);
+
+        // The paper's metadata accounting: per step per rank one scatter
+        // update_data and one queue push => 2·T·R bridge metadata messages
+        // (queue pops are the adaptor's, counted separately).
+        let stats = cluster.stats();
+        assert_eq!(stats.count(MsgClass::UpdateData) as usize, t_max * n_ranks);
+        // queue ops = pushes (T·R) + pops (T·R) = 2·T·R
+        assert_eq!(stats.count(MsgClass::Queue) as usize, 2 * t_max * n_ranks);
+        // One graph submission per step.
+        assert_eq!(stats.count(MsgClass::GraphSubmit) as usize, t_max);
+    }
+
+    #[test]
+    fn step_array_validates() {
+        let cluster = Cluster::new(1);
+        let adaptor = Adaptor1::new(cluster.client(), 2);
+        let v = varr(1);
+        assert!(adaptor.step_array(&v, &[]).is_err());
+    }
+
+    #[test]
+    fn publish_validates_shape_and_name() {
+        let cluster = Cluster::new(1);
+        let mut b = Bridge1::init(cluster.client(), 0, vec![varr(1)]);
+        assert!(b.publish("x", 0, 0, NDArray::zeros(&[1, 2, 2])).is_err());
+        assert!(b.publish("G_temp", 0, 0, NDArray::zeros(&[2, 2])).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! The DEISA naming scheme (paper §2.4.1).
+//!
+//! Each data block gets a unique Dask key with three sections: the `deisa`
+//! prefix, the data's name, and the block's position in the spatiotemporal
+//! decomposition (time first): `deisa-temp@(1,3,5)`.
+
+use dtask::Key;
+
+/// Build the key of a block: `deisa-<name>@(p0,p1,…)` with `position[0]` the
+/// timestep.
+pub fn block_key(name: &str, position: &[usize]) -> Key {
+    let coords: Vec<String> = position.iter().map(|p| p.to_string()).collect();
+    Key::new(format!("deisa-{name}@({})", coords.join(",")))
+}
+
+/// Parse a DEISA block key back into `(name, position)`.
+pub fn parse_block_key(key: &Key) -> Option<(String, Vec<usize>)> {
+    let s = key.as_str().strip_prefix("deisa-")?;
+    let at = s.rfind("@(")?;
+    let name = &s[..at];
+    let coords = s[at + 2..].strip_suffix(')')?;
+    let position = coords
+        .split(',')
+        .map(|c| c.parse::<usize>().ok())
+        .collect::<Option<Vec<usize>>>()?;
+    Some((name.to_string(), position))
+}
+
+/// Deterministic worker preselection for a block: both the adaptor and every
+/// bridge compute the same placement without talking to each other, using
+/// the block's *spatial* position (so a given spatial block always lands on
+/// the same worker across timesteps — which keeps the per-timestep batch
+/// assembly local).
+pub fn preselect_worker(spatial_linear_index: usize, n_workers: usize) -> usize {
+    spatial_linear_index % n_workers.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_format_matches_paper_example() {
+        // Paper: (deisa-temp, (1,3,5)).
+        let k = block_key("temp", &[1, 3, 5]);
+        assert_eq!(k.as_str(), "deisa-temp@(1,3,5)");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let k = block_key("G_temp", &[0, 2]);
+        let (name, pos) = parse_block_key(&k).unwrap();
+        assert_eq!(name, "G_temp");
+        assert_eq!(pos, vec![0, 2]);
+    }
+
+    #[test]
+    fn name_with_at_sign_roundtrips() {
+        let k = block_key("weird@name", &[7]);
+        let (name, pos) = parse_block_key(&k).unwrap();
+        assert_eq!(name, "weird@name");
+        assert_eq!(pos, vec![7]);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_keys() {
+        assert!(parse_block_key(&Key::new("not-deisa")).is_none());
+        assert!(parse_block_key(&Key::new("deisa-x@(a,b)")).is_none());
+        assert!(parse_block_key(&Key::new("deisa-x(1,2)")).is_none());
+    }
+
+    #[test]
+    fn preselection_is_stable_and_in_range() {
+        for idx in 0..100 {
+            let w = preselect_worker(idx, 7);
+            assert!(w < 7);
+            assert_eq!(w, preselect_worker(idx, 7));
+        }
+        assert_eq!(preselect_worker(5, 0), 0); // degenerate guard
+    }
+}

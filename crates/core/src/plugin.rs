@@ -1,0 +1,430 @@
+//! The PDI deisa plugin (paper §2.3, Listing 1).
+//!
+//! The simulation stays decoupled from data handling: it exposes buffers and
+//! metadata through PDI and raises events; this plugin — configured in YAML —
+//! handles "the data facility operation, including connection to Dask, data
+//! identification, and communication":
+//!
+//! * on the `init_on` event it evaluates the `deisa_arrays` descriptors
+//!   (sizes/subsizes/starts are `$`-expressions over exposed metadata) and
+//!   connects the bridge (signing the contract for DEISA2/3),
+//! * on every share of a `map_in`-mapped buffer it derives the timestep from
+//!   the `time_step` expression and the block position from the `start`
+//!   expressions, then publishes the block through the bridge.
+
+use crate::bridge::Bridge;
+use crate::deisa1::Bridge1;
+use crate::varray::VirtualArray;
+use crate::DeisaVersion;
+use dtask::Client;
+use pdi::{eval_expr, Pdi, PdiError, Plugin, Store, Yaml};
+
+fn perr(message: impl Into<String>) -> PdiError {
+    PdiError {
+        plugin: "PdiPluginDeisa".into(),
+        message: message.into(),
+    }
+}
+
+/// One array descriptor as written in the config (expressions unevaluated).
+#[derive(Debug, Clone)]
+struct ArrayConfig {
+    name: String,
+    size: Vec<String>,
+    subsize: Vec<String>,
+    start: Vec<String>,
+    timedim: usize,
+}
+
+/// Parsed `PdiPluginDeisa` config section.
+#[derive(Debug, Clone)]
+pub struct DeisaPluginConfig {
+    /// Path of the scheduler-info file (informational in-process).
+    pub scheduler_info: Option<String>,
+    /// Event that triggers coupling initialization.
+    pub init_on: String,
+    /// Expression giving the current timestep.
+    pub time_step: String,
+    arrays: Vec<ArrayConfig>,
+    /// local data name → deisa array name.
+    map_in: Vec<(String, String)>,
+}
+
+fn expr_list(y: &Yaml, what: &str) -> Result<Vec<String>, String> {
+    y.as_list()
+        .ok_or_else(|| format!("{what} must be a list"))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{what} entries must be scalars"))
+        })
+        .collect()
+}
+
+impl DeisaPluginConfig {
+    /// Parse from the root config document (looks up
+    /// `plugins.PdiPluginDeisa`).
+    pub fn from_root(config: &Yaml) -> Result<Self, String> {
+        let section = config
+            .get("plugins")
+            .and_then(|p| p.get("PdiPluginDeisa"))
+            .ok_or("config has no plugins.PdiPluginDeisa section")?;
+        Self::from_section(section)
+    }
+
+    /// Parse from the `PdiPluginDeisa` mapping itself.
+    pub fn from_section(section: &Yaml) -> Result<Self, String> {
+        let scheduler_info = section
+            .get("scheduler_info")
+            .and_then(|v| v.as_str())
+            .map(|s| s.to_string());
+        let init_on = section
+            .get("init_on")
+            .and_then(|v| v.as_str())
+            .ok_or("missing init_on")?
+            .to_string();
+        let time_step = section
+            .get("time_step")
+            .and_then(|v| v.as_str())
+            .ok_or("missing time_step")?
+            .to_string();
+        let arrays_y = section
+            .get("deisa_arrays")
+            .and_then(|v| v.as_map())
+            .ok_or("missing deisa_arrays mapping")?;
+        let mut arrays = Vec::new();
+        for (name, body) in arrays_y {
+            let size = expr_list(body.get("size").ok_or("array missing size")?, "size")?;
+            let subsize = expr_list(body.get("subsize").ok_or("array missing subsize")?, "subsize")?;
+            let start = expr_list(body.get("start").ok_or("array missing start")?, "start")?;
+            let timedim = body
+                .get("timedim")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0) as usize;
+            if size.len() != subsize.len() || size.len() != start.len() {
+                return Err(format!("array '{name}': size/subsize/start rank mismatch"));
+            }
+            arrays.push(ArrayConfig {
+                name: name.clone(),
+                size,
+                subsize,
+                start,
+                timedim,
+            });
+        }
+        let map_in = section
+            .get("map_in")
+            .and_then(|v| v.as_map())
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        if map_in.is_empty() {
+            return Err("missing or empty map_in mapping".into());
+        }
+        Ok(DeisaPluginConfig {
+            scheduler_info,
+            init_on,
+            time_step,
+            arrays,
+            map_in,
+        })
+    }
+}
+
+enum BridgeKind {
+    V1(Bridge1),
+    V23(Bridge),
+}
+
+/// The plugin instance of one rank.
+pub struct DeisaPlugin {
+    config: DeisaPluginConfig,
+    version: DeisaVersion,
+    client: Option<Client>,
+    bridge: Option<BridgeKind>,
+    /// Evaluated descriptors (after init).
+    varrays: Vec<VirtualArray>,
+    /// Blocks published through the bridge.
+    pub published: u64,
+    /// Blocks filtered by the contract.
+    pub filtered: u64,
+}
+
+impl DeisaPlugin {
+    /// Build the plugin; `client` must carry the version's heartbeat setting.
+    pub fn new(config: DeisaPluginConfig, version: DeisaVersion, client: Client) -> Self {
+        DeisaPlugin {
+            config,
+            version,
+            client: Some(client),
+            bridge: None,
+            varrays: Vec::new(),
+            published: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Convenience: parse the config section and build in one step.
+    pub fn from_yaml(root: &Yaml, version: DeisaVersion, client: Client) -> Result<Self, PdiError> {
+        let config = DeisaPluginConfig::from_root(root).map_err(perr)?;
+        Ok(DeisaPlugin::new(config, version, client))
+    }
+
+    /// Register this plugin on a PDI instance.
+    pub fn install(self, pdi: &mut Pdi) {
+        pdi.register(Box::new(self));
+    }
+
+    fn eval_usize(expr: &str, store: &Store) -> Result<usize, PdiError> {
+        let v = eval_expr(expr, store).map_err(|e| perr(e.to_string()))?;
+        usize::try_from(v).map_err(|_| perr(format!("expression '{expr}' is negative: {v}")))
+    }
+
+    fn initialize(&mut self, store: &Store) -> Result<(), PdiError> {
+        let rank = store
+            .get("rank")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| perr("'rank' must be exposed before init"))? as usize;
+        let mut varrays = Vec::new();
+        for a in &self.config.arrays {
+            let size: Vec<usize> = a
+                .size
+                .iter()
+                .map(|e| Self::eval_usize(e, store))
+                .collect::<Result<_, _>>()?;
+            let subsize: Vec<usize> = a
+                .subsize
+                .iter()
+                .map(|e| Self::eval_usize(e, store))
+                .collect::<Result<_, _>>()?;
+            varrays.push(VirtualArray::new(&a.name, &size, &subsize, a.timedim).map_err(perr)?);
+        }
+        let client = self
+            .client
+            .take()
+            .ok_or_else(|| perr("plugin initialized twice"))?;
+        self.varrays = varrays.clone();
+        self.bridge = Some(if self.version.uses_external_tasks() {
+            BridgeKind::V23(Bridge::init(client, rank, varrays).map_err(perr)?)
+        } else {
+            BridgeKind::V1(Bridge1::init(client, rank, varrays))
+        });
+        Ok(())
+    }
+
+    /// The block's spatial linear index, from the `start` expressions.
+    fn spatial_index(&self, a: &ArrayConfig, varray: &VirtualArray, store: &Store) -> Result<usize, PdiError> {
+        let sdims = varray.spatial_grid_dims();
+        let mut linear = 0usize;
+        let mut si = 0usize;
+        for d in 0..a.start.len() {
+            if d == a.timedim {
+                continue;
+            }
+            let start = Self::eval_usize(&a.start[d], store)?;
+            let coord = start / varray.subsize[d];
+            linear = linear * sdims[si] + coord;
+            si += 1;
+        }
+        Ok(linear)
+    }
+}
+
+impl Plugin for DeisaPlugin {
+    fn name(&self) -> &str {
+        "PdiPluginDeisa"
+    }
+
+    fn event(&mut self, event: &str, store: &Store) -> Result<(), PdiError> {
+        if event == self.config.init_on && self.bridge.is_none() {
+            self.initialize(store)?;
+        }
+        Ok(())
+    }
+
+    fn data_available(&mut self, name: &str, store: &Store) -> Result<(), PdiError> {
+        let Some((_, target)) = self.config.map_in.iter().find(|(local, _)| local == name) else {
+            return Ok(());
+        };
+        if self.bridge.is_none() {
+            // Data shared before init: PDI semantics allow it; we skip.
+            return Ok(());
+        }
+        let a = self
+            .config
+            .arrays
+            .iter()
+            .find(|a| &a.name == target)
+            .ok_or_else(|| perr(format!("map_in targets unknown array '{target}'")))?
+            .clone();
+        let varray = self
+            .varrays
+            .iter()
+            .find(|v| v.name == *target)
+            .expect("varrays built at init")
+            .clone();
+        let t = Self::eval_usize(&self.config.time_step, store)?;
+        let spatial = self.spatial_index(&a, &varray, store)?;
+        let value = store
+            .get(name)
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| perr(format!("'{name}' is not an array")))?;
+        // The simulation exposes its local 2-D (or n-D) buffer; the virtual
+        // array block has an extra leading time dimension of extent 1.
+        let mut block_shape = varray.subsize.clone();
+        block_shape.remove(varray.timedim);
+        if value.shape() != block_shape.as_slice() {
+            return Err(perr(format!(
+                "'{name}' has shape {:?}, expected {:?}",
+                value.shape(),
+                block_shape
+            )));
+        }
+        let block = (**value)
+            .clone()
+            .reshape(&varray.subsize)
+            .map_err(|e| perr(e.to_string()))?;
+        let bridge = self.bridge.as_mut().expect("checked above");
+        match bridge {
+            BridgeKind::V23(b) => {
+                if b.publish(target, t, spatial, block).map_err(perr)? {
+                    self.published += 1;
+                } else {
+                    self.filtered += 1;
+                }
+            }
+            BridgeKind::V1(b) => {
+                b.publish(target, t, spatial, block).map_err(perr)?;
+                self.published += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdi::parse_yaml;
+
+    const CONFIG: &str = r#"
+data:
+  temp:
+    type: array
+    subtype: double
+plugins:
+  PdiPluginDeisa:
+    scheduler_info: scheduler.json
+    init_on: init
+    time_step: $step
+    deisa_arrays:
+      G_temp:
+        size:
+          -'$max_step'
+          -'$loc[0] * $proc[0]'
+          -'$loc[1] * $proc[1]'
+        subsize:
+          -1
+          -'$loc[0]'
+          -'$loc[1]'
+        start:
+          -$step
+          -'$loc[0] * ($rank / $proc[1])'
+          -'$loc[1] * ($rank % $proc[1])'
+        timedim: 0
+    map_in:
+      temp: G_temp
+"#;
+
+    #[test]
+    fn config_parses() {
+        let y = parse_yaml(CONFIG).unwrap();
+        let c = DeisaPluginConfig::from_root(&y).unwrap();
+        assert_eq!(c.init_on, "init");
+        assert_eq!(c.time_step, "$step");
+        assert_eq!(c.scheduler_info.as_deref(), Some("scheduler.json"));
+        assert_eq!(c.arrays.len(), 1);
+        assert_eq!(c.arrays[0].name, "G_temp");
+        assert_eq!(c.arrays[0].timedim, 0);
+        assert_eq!(c.map_in, vec![("temp".to_string(), "G_temp".to_string())]);
+    }
+
+    #[test]
+    fn config_errors() {
+        let y = parse_yaml("plugins:\n  other: 1").unwrap();
+        assert!(DeisaPluginConfig::from_root(&y).is_err());
+        let incomplete = parse_yaml(
+            "plugins:\n  PdiPluginDeisa:\n    init_on: init\n    time_step: $t\n    deisa_arrays:\n      A:\n        size:\n          - 1\n        subsize:\n          - 1\n          - 2\n        start:\n          - 0\n    map_in:\n      x: A",
+        )
+        .unwrap();
+        assert!(DeisaPluginConfig::from_root(&incomplete).is_err());
+    }
+
+    /// End-to-end: miniature simulation ranks run PDI + deisa plugin; the
+    /// adaptor consumes. 2x2 ranks, 2 timesteps, DEISA3.
+    #[test]
+    fn plugin_end_to_end_deisa3() {
+        use crate::adaptor::Adaptor;
+        use crate::contract::Selection;
+        use dtask::Cluster;
+        use linalg::NDArray;
+
+        let cluster = Cluster::new(2);
+        darray::register_array_ops(cluster.registry());
+        let (p0, p1) = (2usize, 2usize); // rank grid
+        let (l0, l1) = (2usize, 3usize); // local block
+        let t_max = 2usize;
+
+        let analytics = {
+            let client = cluster.client();
+            std::thread::spawn(move || {
+                let adaptor = Adaptor::new(client);
+                let mut arrays = adaptor.get_deisa_arrays().unwrap();
+                let v = arrays.descriptor("G_temp").unwrap().clone();
+                let gt = arrays.select("G_temp", Selection::all(&v)).unwrap();
+                arrays.validate_contract().unwrap();
+                let mut g = darray::Graph::new("an");
+                let total = gt.sum_all(&mut g);
+                g.submit(adaptor.client());
+                adaptor.client().future(total).result().unwrap().as_f64().unwrap()
+            })
+        };
+
+        let mut rank_threads = Vec::new();
+        for rank in 0..p0 * p1 {
+            let client = cluster.client_with_heartbeat(DeisaVersion::Deisa3.heartbeat());
+            rank_threads.push(std::thread::spawn(move || {
+                let y = parse_yaml(CONFIG).unwrap();
+                let mut pdi = Pdi::new(y.clone());
+                let plugin = DeisaPlugin::from_yaml(&y, DeisaVersion::Deisa3, client).unwrap();
+                plugin.install(&mut pdi);
+                // Expose metadata, then trigger init.
+                pdi.share("rank", rank as i64).unwrap();
+                pdi.share("max_step", t_max as i64).unwrap();
+                pdi.share("loc", vec![l0 as i64, l1 as i64]).unwrap();
+                pdi.share("proc", vec![p0 as i64, p1 as i64]).unwrap();
+                pdi.share("step", 0i64).unwrap();
+                pdi.event("init").unwrap();
+                for step in 0..t_max {
+                    pdi.share("step", step as i64).unwrap();
+                    let field = NDArray::full(&[l0, l1], (rank + step) as f64);
+                    pdi.share("temp", field).unwrap();
+                }
+            }));
+        }
+        for t in rank_threads {
+            t.join().unwrap();
+        }
+        let total = analytics.join().unwrap();
+        let block_elems = (l0 * l1) as f64;
+        let expect: f64 = (0..t_max)
+            .flat_map(|s| (0..p0 * p1).map(move |r| block_elems * (r + s) as f64))
+            .sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,92 @@
+//! The `scheduler.json`-style discovery file.
+//!
+//! Dask's scheduler writes a `scheduler.json` at startup; the deisa plugin
+//! config points at it via the `scheduler_info` keyword (Listing 1, line 10).
+//! Our in-process cluster needs no network address, but the file keeps the
+//! workflow shape (and examples demonstrate the full config path). The format
+//! is a minimal flat JSON object written/parsed without a JSON library.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Contents of the scheduler-info file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerInfo {
+    /// Scheduler "address" (informational for the in-process cluster).
+    pub address: String,
+    /// Number of workers in the cluster.
+    pub n_workers: usize,
+}
+
+impl SchedulerInfo {
+    /// Write as a small JSON object.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        write!(
+            f,
+            "{{\"type\": \"dtask-scheduler\", \"address\": \"{}\", \"workers\": {}}}",
+            self.address.replace('"', ""),
+            self.n_workers
+        )
+    }
+
+    /// Parse a file written by [`SchedulerInfo::write`].
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let address = extract_str(&text, "address").ok_or("scheduler info: missing address")?;
+        let n_workers = extract_num(&text, "workers").ok_or("scheduler info: missing workers")?;
+        Ok(SchedulerInfo { address, n_workers })
+    }
+}
+
+fn extract_str(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_num(text: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join(format!("schedinfo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scheduler.json");
+        let info = SchedulerInfo {
+            address: "inproc://cluster-1".into(),
+            n_workers: 8,
+        };
+        info.write(&path).unwrap();
+        let back = SchedulerInfo::read(&path).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("schedinfo-g-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(SchedulerInfo::read(&path).is_err());
+        assert!(SchedulerInfo::read(dir.join("missing.json")).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! DEISA virtual arrays (paper §2.4.2).
+//!
+//! A virtual array describes the decomposition of the spatiotemporal domain
+//! of a simulation field: global sizes in each dimension **including time**,
+//! the size of each block (the data one MPI process produces per timestep),
+//! and the block starts. It is used only for configuration — "protecting the
+//! semantics of exchanged data" — and gives the consumer a global view from
+//! which one **external task per MPI block per timestep** is derived.
+
+use crate::naming::block_key;
+use darray::ChunkGrid;
+use dtask::{Datum, Key};
+
+/// Descriptor of a distributed spatiotemporal array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualArray {
+    /// Global field name (e.g. `G_temp` in Listing 1).
+    pub name: String,
+    /// Global sizes, time dimension included.
+    pub shape: Vec<usize>,
+    /// Block sizes per dimension (`subsize` in Listing 1); the time entry is
+    /// 1 — one block per timestep per process.
+    pub subsize: Vec<usize>,
+    /// Which dimension is time (`timedim` in Listing 1).
+    pub timedim: usize,
+}
+
+impl VirtualArray {
+    /// Validate and build a descriptor.
+    pub fn new(
+        name: &str,
+        shape: &[usize],
+        subsize: &[usize],
+        timedim: usize,
+    ) -> Result<Self, String> {
+        if shape.len() != subsize.len() {
+            return Err(format!(
+                "virtual array '{name}': shape rank {} != subsize rank {}",
+                shape.len(),
+                subsize.len()
+            ));
+        }
+        if timedim >= shape.len() {
+            return Err(format!("virtual array '{name}': timedim {timedim} out of range"));
+        }
+        if subsize[timedim] != 1 {
+            return Err(format!(
+                "virtual array '{name}': subsize along time must be 1 (one block per timestep)"
+            ));
+        }
+        for d in 0..shape.len() {
+            if subsize[d] == 0 || shape[d] == 0 {
+                return Err(format!("virtual array '{name}': zero extent in dim {d}"));
+            }
+            if !shape[d].is_multiple_of(subsize[d]) {
+                return Err(format!(
+                    "virtual array '{name}': dim {d}: block size {} does not tile extent {}",
+                    subsize[d], shape[d]
+                ));
+            }
+        }
+        Ok(VirtualArray {
+            name: name.to_string(),
+            shape: shape.to_vec(),
+            subsize: subsize.to_vec(),
+            timedim,
+        })
+    }
+
+    /// Number of timesteps.
+    pub fn timesteps(&self) -> usize {
+        self.shape[self.timedim]
+    }
+
+    /// Block-grid extents per dimension (time included).
+    pub fn grid_dims(&self) -> Vec<usize> {
+        self.shape
+            .iter()
+            .zip(&self.subsize)
+            .map(|(&s, &b)| s / b)
+            .collect()
+    }
+
+    /// Number of blocks per timestep (i.e. MPI ranks producing this array).
+    pub fn blocks_per_step(&self) -> usize {
+        let dims = self.grid_dims();
+        dims.iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.timedim)
+            .map(|(_, &n)| n)
+            .product()
+    }
+
+    /// Spatial grid dims (time dimension removed, order preserved).
+    pub fn spatial_grid_dims(&self) -> Vec<usize> {
+        let dims = self.grid_dims();
+        dims.iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.timedim)
+            .map(|(_, &n)| n)
+            .collect()
+    }
+
+    /// Block position (full rank, time included) for `(t, spatial_linear)`.
+    /// Spatial blocks are numbered row-major over the spatial grid — the
+    /// same numbering as MPI ranks in a row-major Cartesian communicator.
+    pub fn block_position(&self, t: usize, spatial_linear: usize) -> Vec<usize> {
+        let sdims = self.spatial_grid_dims();
+        let mut rest = spatial_linear;
+        let mut scoords = vec![0usize; sdims.len()];
+        for d in (0..sdims.len()).rev() {
+            scoords[d] = rest % sdims[d];
+            rest /= sdims[d];
+        }
+        let mut pos = Vec::with_capacity(self.shape.len());
+        let mut si = 0;
+        for d in 0..self.shape.len() {
+            if d == self.timedim {
+                pos.push(t);
+            } else {
+                pos.push(scoords[si]);
+                si += 1;
+            }
+        }
+        pos
+    }
+
+    /// Global element start of a block position.
+    pub fn block_start(&self, position: &[usize]) -> Vec<usize> {
+        position
+            .iter()
+            .zip(&self.subsize)
+            .map(|(&p, &s)| p * s)
+            .collect()
+    }
+
+    /// The key of the block at `(t, spatial_linear)` under the naming scheme.
+    pub fn key(&self, t: usize, spatial_linear: usize) -> Key {
+        block_key(&self.name, &self.block_position(t, spatial_linear))
+    }
+
+    /// All keys, timestep-major then spatial row-major — the full set of
+    /// external tasks this array contributes.
+    pub fn all_keys(&self) -> Vec<Key> {
+        let mut keys = Vec::with_capacity(self.timesteps() * self.blocks_per_step());
+        for t in 0..self.timesteps() {
+            for b in 0..self.blocks_per_step() {
+                keys.push(self.key(t, b));
+            }
+        }
+        keys
+    }
+
+    /// The chunk grid of the *full* array (time included), matching the
+    /// simulation decomposition — this is the chunking of the Dask-side
+    /// array (§2.4.2: "the chunking of this last array corresponds to the
+    /// spatiotemporal domain decomposition").
+    pub fn chunk_grid(&self) -> ChunkGrid {
+        let chunk_sizes: Vec<Vec<usize>> = self
+            .shape
+            .iter()
+            .zip(&self.subsize)
+            .map(|(&s, &b)| vec![b; s / b])
+            .collect();
+        ChunkGrid::new(&self.shape, chunk_sizes).expect("validated in new()")
+    }
+
+    /// Keys in the row-major order [`darray::DArray::from_keys`] expects for
+    /// [`VirtualArray::chunk_grid`]. Only correct when `timedim == 0` (the
+    /// paper's configs always put time first).
+    pub fn keys_row_major(&self) -> Result<Vec<Key>, String> {
+        if self.timedim != 0 {
+            return Err(format!(
+                "virtual array '{}': row-major key layout requires timedim 0, got {}",
+                self.name, self.timedim
+            ));
+        }
+        Ok(self.all_keys())
+    }
+
+    /// Serialize for shipping through a distributed Variable.
+    pub fn to_datum(&self) -> Datum {
+        Datum::List(vec![
+            Datum::Str(self.name.clone()),
+            darray::ops::ilist(&self.shape),
+            darray::ops::ilist(&self.subsize),
+            Datum::I64(self.timedim as i64),
+        ])
+    }
+
+    /// Deserialize from a Variable payload.
+    pub fn from_datum(d: &Datum) -> Result<Self, String> {
+        let l = d.as_list().ok_or("virtual array datum must be a list")?;
+        let name = l
+            .first()
+            .and_then(|v| v.as_str())
+            .ok_or("missing name")?;
+        let shape = darray::ops::usizes(l.get(1).ok_or("missing shape")?)?;
+        let subsize = darray::ops::usizes(l.get(2).ok_or("missing subsize")?)?;
+        let timedim = l
+            .get(3)
+            .and_then(|v| v.as_i64())
+            .ok_or("missing timedim")? as usize;
+        VirtualArray::new(name, &shape, &subsize, timedim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varr() -> VirtualArray {
+        // T=4 steps, 6x8 global field in 3x4 blocks -> 2x2 spatial grid.
+        VirtualArray::new("G_temp", &[4, 6, 8], &[1, 3, 4], 0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VirtualArray::new("a", &[4, 6], &[1], 0).is_err());
+        assert!(VirtualArray::new("a", &[4, 6], &[1, 4], 0).is_err()); // 4 !| 6
+        assert!(VirtualArray::new("a", &[4, 6], &[2, 3], 0).is_err()); // time subsize != 1
+        assert!(VirtualArray::new("a", &[4, 6], &[1, 3], 2).is_err()); // bad timedim
+        assert!(VirtualArray::new("a", &[4, 0], &[1, 1], 0).is_err());
+        assert!(VirtualArray::new("a", &[4, 6], &[1, 3], 0).is_ok());
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let v = varr();
+        assert_eq!(v.timesteps(), 4);
+        assert_eq!(v.grid_dims(), vec![4, 2, 2]);
+        assert_eq!(v.blocks_per_step(), 4);
+        assert_eq!(v.spatial_grid_dims(), vec![2, 2]);
+    }
+
+    #[test]
+    fn block_positions_row_major() {
+        let v = varr();
+        assert_eq!(v.block_position(2, 0), vec![2, 0, 0]);
+        assert_eq!(v.block_position(2, 1), vec![2, 0, 1]);
+        assert_eq!(v.block_position(2, 2), vec![2, 1, 0]);
+        assert_eq!(v.block_position(2, 3), vec![2, 1, 1]);
+        assert_eq!(v.block_start(&[2, 1, 1]), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn keys_match_naming_scheme() {
+        let v = varr();
+        assert_eq!(v.key(1, 3).as_str(), "deisa-G_temp@(1,1,1)");
+        let keys = v.all_keys();
+        assert_eq!(keys.len(), 16);
+        // Timestep-major ordering.
+        assert_eq!(keys[0].as_str(), "deisa-G_temp@(0,0,0)");
+        assert_eq!(keys[4].as_str(), "deisa-G_temp@(1,0,0)");
+    }
+
+    #[test]
+    fn chunk_grid_matches_decomposition() {
+        let v = varr();
+        let g = v.chunk_grid();
+        assert_eq!(g.grid_dims(), vec![4, 2, 2]);
+        assert_eq!(g.block_extent(&[0, 0, 0]), vec![1, 3, 4]);
+        // keys_row_major aligns with the grid's row-major order.
+        let keys = v.keys_row_major().unwrap();
+        assert_eq!(keys.len(), g.n_chunks());
+    }
+
+    #[test]
+    fn datum_roundtrip() {
+        let v = varr();
+        let back = VirtualArray::from_datum(&v.to_datum()).unwrap();
+        assert_eq!(back, v);
+        assert!(VirtualArray::from_datum(&Datum::Null).is_err());
+    }
+}

@@ -1,0 +1,720 @@
+//! The distributed array type and its chunk geometry.
+
+use crate::graph::Graph;
+use crate::ops::ilist;
+use dtask::{Client, Datum, Key, TaskSpec};
+use linalg::NDArray;
+
+/// Errors from distributed-array geometry or gathering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DArrayError {
+    /// Inconsistent shapes/chunks/keys.
+    Geometry(String),
+    /// A gather failed (task error underneath).
+    Gather(String),
+}
+
+impl std::fmt::Display for DArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DArrayError::Geometry(m) => write!(f, "darray geometry: {m}"),
+            DArrayError::Gather(m) => write!(f, "darray gather: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DArrayError {}
+
+/// Chunk geometry: global shape plus the list of chunk sizes per dimension
+/// (dask-style, so uneven edge chunks are representable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkGrid {
+    shape: Vec<usize>,
+    chunk_sizes: Vec<Vec<usize>>,
+}
+
+/// Iterate all coordinates of a grid (row-major odometer).
+pub fn iter_coords(dims: &[usize]) -> Vec<Vec<usize>> {
+    let total: usize = dims.iter().product();
+    let mut out = Vec::with_capacity(total);
+    if dims.contains(&0) {
+        return out;
+    }
+    let mut coord = vec![0usize; dims.len()];
+    for _ in 0..total {
+        out.push(coord.clone());
+        for d in (0..dims.len()).rev() {
+            coord[d] += 1;
+            if coord[d] < dims[d] {
+                break;
+            }
+            coord[d] = 0;
+        }
+    }
+    out
+}
+
+impl ChunkGrid {
+    /// Build from explicit per-dimension chunk size lists.
+    pub fn new(shape: &[usize], chunk_sizes: Vec<Vec<usize>>) -> Result<Self, DArrayError> {
+        if shape.len() != chunk_sizes.len() {
+            return Err(DArrayError::Geometry(format!(
+                "rank mismatch: shape {:?} vs {} chunk dims",
+                shape,
+                chunk_sizes.len()
+            )));
+        }
+        for (d, sizes) in chunk_sizes.iter().enumerate() {
+            let total: usize = sizes.iter().sum();
+            if total != shape[d] || sizes.contains(&0) {
+                return Err(DArrayError::Geometry(format!(
+                    "dim {d}: chunks {:?} do not tile extent {}",
+                    sizes, shape[d]
+                )));
+            }
+        }
+        Ok(ChunkGrid {
+            shape: shape.to_vec(),
+            chunk_sizes,
+        })
+    }
+
+    /// Build a regular grid from a chunk shape (edge chunks truncated).
+    pub fn regular(shape: &[usize], chunk_shape: &[usize]) -> Result<Self, DArrayError> {
+        if shape.len() != chunk_shape.len() {
+            return Err(DArrayError::Geometry("rank mismatch".into()));
+        }
+        let mut chunk_sizes = Vec::with_capacity(shape.len());
+        for d in 0..shape.len() {
+            if chunk_shape[d] == 0 || shape[d] == 0 {
+                return Err(DArrayError::Geometry(format!("zero extent in dim {d}")));
+            }
+            let mut sizes = Vec::new();
+            let mut left = shape[d];
+            while left > 0 {
+                let s = chunk_shape[d].min(left);
+                sizes.push(s);
+                left -= s;
+            }
+            chunk_sizes.push(sizes);
+        }
+        Ok(ChunkGrid {
+            shape: shape.to_vec(),
+            chunk_sizes,
+        })
+    }
+
+    /// Global shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of chunks along each dimension.
+    pub fn grid_dims(&self) -> Vec<usize> {
+        self.chunk_sizes.iter().map(|s| s.len()).collect()
+    }
+
+    /// Total number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.grid_dims().iter().product()
+    }
+
+    /// Chunk sizes along dimension `d`.
+    pub fn chunk_sizes(&self, d: usize) -> &[usize] {
+        &self.chunk_sizes[d]
+    }
+
+    /// Element offset where chunk index `i` of dimension `d` starts.
+    pub fn chunk_offset(&self, d: usize, i: usize) -> usize {
+        self.chunk_sizes[d][..i].iter().sum()
+    }
+
+    /// Extent of the block at grid coordinate `coord`.
+    pub fn block_extent(&self, coord: &[usize]) -> Vec<usize> {
+        coord
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.chunk_sizes[d][c])
+            .collect()
+    }
+
+    /// Global element start of the block at `coord`.
+    pub fn block_start(&self, coord: &[usize]) -> Vec<usize> {
+        coord
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.chunk_offset(d, c))
+            .collect()
+    }
+
+    /// Linear (row-major) index of a grid coordinate.
+    pub fn linear(&self, coord: &[usize]) -> usize {
+        let dims = self.grid_dims();
+        let mut idx = 0usize;
+        for d in 0..dims.len() {
+            idx = idx * dims[d] + coord[d];
+        }
+        idx
+    }
+
+    /// Chunk indices of dimension `d` overlapping `[start, start+size)`.
+    fn overlapping(&self, d: usize, start: usize, size: usize) -> std::ops::Range<usize> {
+        let sizes = &self.chunk_sizes[d];
+        let end = start + size;
+        let mut lo = 0;
+        let mut acc = 0usize;
+        while lo < sizes.len() && acc + sizes[lo] <= start {
+            acc += sizes[lo];
+            lo += 1;
+        }
+        let mut hi = lo;
+        while hi < sizes.len() && acc < end {
+            acc += sizes[hi];
+            hi += 1;
+        }
+        lo..hi
+    }
+}
+
+/// A distributed chunked array: geometry + one task key per block.
+#[derive(Debug, Clone)]
+pub struct DArray {
+    grid: ChunkGrid,
+    keys: Vec<Key>,
+}
+
+impl DArray {
+    /// Wrap existing keys (row-major over the chunk grid). This is the DEISA
+    /// virtual-array path: keys are external tasks that may not have data yet.
+    pub fn from_keys(grid: ChunkGrid, keys: Vec<Key>) -> Result<Self, DArrayError> {
+        if keys.len() != grid.n_chunks() {
+            return Err(DArrayError::Geometry(format!(
+                "{} keys for {} chunks",
+                keys.len(),
+                grid.n_chunks()
+            )));
+        }
+        Ok(DArray { grid, keys })
+    }
+
+    /// Generate an array by adding one producer task per block.
+    /// `params_for(starts, sizes)` builds each block task's parameters.
+    pub fn generate(
+        graph: &mut Graph,
+        shape: &[usize],
+        chunk_shape: &[usize],
+        op: &str,
+        mut params_for: impl FnMut(&[usize], &[usize]) -> Datum,
+    ) -> Result<Self, DArrayError> {
+        let grid = ChunkGrid::regular(shape, chunk_shape)?;
+        let mut keys = Vec::with_capacity(grid.n_chunks());
+        for coord in iter_coords(&grid.grid_dims()) {
+            let starts = grid.block_start(&coord);
+            let sizes = grid.block_extent(&coord);
+            let key = graph.fresh_key("blk");
+            graph.add(TaskSpec::new(
+                key.clone(),
+                op,
+                params_for(&starts, &sizes),
+                vec![],
+            ));
+            keys.push(key);
+        }
+        Ok(DArray { grid, keys })
+    }
+
+    /// Constant-filled distributed array.
+    pub fn fill(
+        graph: &mut Graph,
+        shape: &[usize],
+        chunk_shape: &[usize],
+        value: f64,
+    ) -> Result<Self, DArrayError> {
+        Self::generate(graph, shape, chunk_shape, "da.fill", |_starts, sizes| {
+            Datum::List(vec![ilist(sizes), Datum::F64(value)])
+        })
+    }
+
+    /// Array whose value at each element is its global row-major index
+    /// (deterministic test pattern).
+    pub fn linear(graph: &mut Graph, shape: &[usize], chunk_shape: &[usize]) -> Result<Self, DArrayError> {
+        let global = shape.to_vec();
+        Self::generate(graph, shape, chunk_shape, "da.gen_linear", move |starts, sizes| {
+            Datum::List(vec![ilist(starts), ilist(sizes), ilist(&global)])
+        })
+    }
+
+    /// Geometry accessor.
+    pub fn grid(&self) -> &ChunkGrid {
+        &self.grid
+    }
+
+    /// Global shape.
+    pub fn shape(&self) -> &[usize] {
+        self.grid.shape()
+    }
+
+    /// Block keys (row-major over the chunk grid).
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Key of the block at a grid coordinate.
+    pub fn key_at(&self, coord: &[usize]) -> &Key {
+        &self.keys[self.grid.linear(coord)]
+    }
+
+    /// Apply a unary op block-wise (same chunking out).
+    pub fn map_blocks(&self, graph: &mut Graph, op: &str, params: Datum) -> DArray {
+        let mut keys = Vec::with_capacity(self.keys.len());
+        for src in &self.keys {
+            let key = graph.fresh_key("map");
+            graph.add(TaskSpec::new(key.clone(), op, params.clone(), vec![src.clone()]));
+            keys.push(key);
+        }
+        DArray {
+            grid: self.grid.clone(),
+            keys,
+        }
+    }
+
+    /// Apply a binary op block-wise; chunking must match exactly.
+    pub fn zip_blocks(&self, graph: &mut Graph, other: &DArray, op: &str) -> Result<DArray, DArrayError> {
+        if self.grid != other.grid {
+            return Err(DArrayError::Geometry("zip_blocks: chunking differs".into()));
+        }
+        let mut keys = Vec::with_capacity(self.keys.len());
+        for (a, b) in self.keys.iter().zip(&other.keys) {
+            let key = graph.fresh_key("zip");
+            graph.add(TaskSpec::new(
+                key.clone(),
+                op,
+                Datum::Null,
+                vec![a.clone(), b.clone()],
+            ));
+            keys.push(key);
+        }
+        Ok(DArray {
+            grid: self.grid.clone(),
+            keys,
+        })
+    }
+
+    /// Build a new array covering the global region `starts..starts+sizes`
+    /// of `self`, with the given output chunk shape. Each output block is an
+    /// `da.assemble` over the covering source blocks. `slice` and `rechunk`
+    /// are both this operation.
+    pub fn slice_chunked(
+        &self,
+        graph: &mut Graph,
+        starts: &[usize],
+        sizes: &[usize],
+        out_chunk_shape: &[usize],
+    ) -> Result<DArray, DArrayError> {
+        self.restructure(graph, starts, sizes, out_chunk_shape)
+    }
+
+    fn restructure(
+        &self,
+        graph: &mut Graph,
+        starts: &[usize],
+        sizes: &[usize],
+        out_chunk_shape: &[usize],
+    ) -> Result<DArray, DArrayError> {
+        let rank = self.grid.ndim();
+        if starts.len() != rank || sizes.len() != rank || out_chunk_shape.len() != rank {
+            return Err(DArrayError::Geometry("restructure rank mismatch".into()));
+        }
+        for d in 0..rank {
+            if starts[d] + sizes[d] > self.grid.shape()[d] {
+                return Err(DArrayError::Geometry(format!("dim {d} out of bounds")));
+            }
+        }
+        let out_grid = ChunkGrid::regular(sizes, out_chunk_shape)?;
+        let mut keys = Vec::with_capacity(out_grid.n_chunks());
+        for out_coord in iter_coords(&out_grid.grid_dims()) {
+            let out_start = out_grid.block_start(&out_coord); // relative to slice
+            let out_extent = out_grid.block_extent(&out_coord);
+            // Global region of this output block.
+            let g_start: Vec<usize> = (0..rank).map(|d| starts[d] + out_start[d]).collect();
+            // Source chunks overlapping per dim.
+            let ranges: Vec<std::ops::Range<usize>> = (0..rank)
+                .map(|d| self.grid.overlapping(d, g_start[d], out_extent[d]))
+                .collect();
+            let range_dims: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let mut deps = Vec::new();
+            let mut pieces = Vec::new();
+            for rel in iter_coords(&range_dims) {
+                let src_coord: Vec<usize> =
+                    (0..rank).map(|d| ranges[d].start + rel[d]).collect();
+                let src_start = self.grid.block_start(&src_coord);
+                let src_extent = self.grid.block_extent(&src_coord);
+                // Intersection in global coordinates.
+                let mut dst_off = Vec::with_capacity(rank);
+                let mut src_off = Vec::with_capacity(rank);
+                let mut copy = Vec::with_capacity(rank);
+                for d in 0..rank {
+                    let lo = g_start[d].max(src_start[d]);
+                    let hi = (g_start[d] + out_extent[d]).min(src_start[d] + src_extent[d]);
+                    dst_off.push(lo - g_start[d]);
+                    src_off.push(lo - src_start[d]);
+                    copy.push(hi - lo);
+                }
+                deps.push(self.key_at(&src_coord).clone());
+                pieces.push(Datum::List(vec![ilist(&dst_off), ilist(&src_off), ilist(&copy)]));
+            }
+            let key = graph.fresh_key("restr");
+            graph.add(TaskSpec::new(
+                key.clone(),
+                "da.assemble",
+                Datum::List(vec![ilist(&out_extent), Datum::List(pieces)]),
+                deps,
+            ));
+            keys.push(key);
+        }
+        DArray::from_keys(out_grid, keys)
+    }
+
+    /// Re-chunk the whole array to a new chunk shape.
+    pub fn rechunk(&self, graph: &mut Graph, chunk_shape: &[usize]) -> Result<DArray, DArrayError> {
+        let starts = vec![0usize; self.grid.ndim()];
+        let sizes = self.grid.shape().to_vec();
+        self.restructure(graph, &starts, &sizes, chunk_shape)
+    }
+
+    /// Slice a global region into a new array (output chunk shape = region
+    /// clipped to the source chunk shape of dimension 0's first chunk — i.e.
+    /// we keep the source chunking pattern where possible).
+    pub fn slice(
+        &self,
+        graph: &mut Graph,
+        starts: &[usize],
+        sizes: &[usize],
+    ) -> Result<DArray, DArrayError> {
+        // Default output chunking: source chunk shape (first chunk per dim),
+        // clipped to the slice extent.
+        let out_chunks: Vec<usize> = (0..self.grid.ndim())
+            .map(|d| self.grid.chunk_sizes(d)[0].min(sizes[d]).max(1))
+            .collect();
+        self.restructure(graph, starts, sizes, &out_chunks)
+    }
+
+    /// Distributed transpose of a 2-D array: the chunk grid transposes and
+    /// each output block is the transpose of the mirrored input block.
+    pub fn transpose2d(&self, graph: &mut Graph) -> Result<DArray, DArrayError> {
+        if self.grid.ndim() != 2 {
+            return Err(DArrayError::Geometry("transpose2d needs a 2-D array".into()));
+        }
+        let out_grid = ChunkGrid::new(
+            &[self.grid.shape()[1], self.grid.shape()[0]],
+            vec![
+                self.grid.chunk_sizes(1).to_vec(),
+                self.grid.chunk_sizes(0).to_vec(),
+            ],
+        )?;
+        let dims = out_grid.grid_dims();
+        let mut keys = Vec::with_capacity(out_grid.n_chunks());
+        for coord in iter_coords(&dims) {
+            let src = self.key_at(&[coord[1], coord[0]]);
+            let key = graph.fresh_key("tr");
+            graph.add(TaskSpec::new(
+                key.clone(),
+                "da.transpose2d",
+                Datum::Null,
+                vec![src.clone()],
+            ));
+            keys.push(key);
+        }
+        DArray::from_keys(out_grid, keys)
+    }
+
+    /// Total sum of all elements, as a tree reduction. Returns the key of the
+    /// final scalar task.
+    pub fn sum_all(&self, graph: &mut Graph) -> Key {
+        let mut partials: Vec<Key> = self
+            .keys
+            .iter()
+            .map(|src| {
+                let key = graph.fresh_key("psum");
+                graph.add(TaskSpec::new(key.clone(), "da.sum", Datum::Null, vec![src.clone()]));
+                key
+            })
+            .collect();
+        // Fan-in tree with arity 8.
+        while partials.len() > 1 {
+            let mut next = Vec::with_capacity(partials.len().div_ceil(8));
+            for group in partials.chunks(8) {
+                let key = graph.fresh_key("tsum");
+                graph.add(TaskSpec::new(
+                    key.clone(),
+                    "sum_scalars",
+                    Datum::Null,
+                    group.to_vec(),
+                ));
+                next.push(key);
+            }
+            partials = next;
+        }
+        partials.pop().expect("at least one partial")
+    }
+
+    /// Gather all blocks to the caller and assemble the full array.
+    /// (Submit the graph first.)
+    pub fn fetch(&self, client: &Client) -> Result<NDArray, DArrayError> {
+        let mut out = NDArray::zeros(self.grid.shape());
+        for coord in iter_coords(&self.grid.grid_dims()) {
+            let key = self.key_at(&coord);
+            let datum = client
+                .future(key.clone())
+                .result()
+                .map_err(|e| DArrayError::Gather(e.to_string()))?;
+            let block = datum
+                .as_array()
+                .ok_or_else(|| DArrayError::Gather(format!("block {key} is not an array")))?;
+            let starts = self.grid.block_start(&coord);
+            let extent = self.grid.block_extent(&coord);
+            if block.shape() != extent.as_slice() {
+                return Err(DArrayError::Gather(format!(
+                    "block {key} shape {:?} != extent {:?}",
+                    block.shape(),
+                    extent
+                )));
+            }
+            out.assign_slice(&starts, block)
+                .map_err(|e| DArrayError::Gather(e.to_string()))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::register_array_ops;
+    use dtask::Cluster;
+
+    fn cluster() -> Cluster {
+        let c = Cluster::new(3);
+        register_array_ops(c.registry());
+        c
+    }
+
+    #[test]
+    fn chunk_grid_geometry() {
+        let g = ChunkGrid::regular(&[7, 9], &[3, 4]).unwrap();
+        assert_eq!(g.grid_dims(), vec![3, 3]);
+        assert_eq!(g.chunk_sizes(0), &[3, 3, 1]);
+        assert_eq!(g.chunk_sizes(1), &[4, 4, 1]);
+        assert_eq!(g.block_extent(&[2, 2]), vec![1, 1]);
+        assert_eq!(g.block_start(&[1, 2]), vec![3, 8]);
+        assert_eq!(g.n_chunks(), 9);
+        assert_eq!(g.linear(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn chunk_grid_validation() {
+        assert!(ChunkGrid::new(&[4], vec![vec![2, 3]]).is_err());
+        assert!(ChunkGrid::new(&[4], vec![vec![2, 0, 2]]).is_err());
+        assert!(ChunkGrid::new(&[4, 4], vec![vec![4]]).is_err());
+        assert!(ChunkGrid::regular(&[4], &[0]).is_err());
+        assert!(ChunkGrid::new(&[5], vec![vec![2, 3]]).is_ok());
+    }
+
+    #[test]
+    fn overlapping_ranges() {
+        let g = ChunkGrid::regular(&[10], &[3]).unwrap();
+        assert_eq!(g.overlapping(0, 0, 3), 0..1);
+        assert_eq!(g.overlapping(0, 2, 2), 0..2);
+        assert_eq!(g.overlapping(0, 3, 3), 1..2);
+        assert_eq!(g.overlapping(0, 0, 10), 0..4);
+        assert_eq!(g.overlapping(0, 9, 1), 3..4);
+    }
+
+    #[test]
+    fn iter_coords_row_major() {
+        assert_eq!(
+            iter_coords(&[2, 2]),
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+        assert_eq!(iter_coords(&[0, 2]), Vec::<Vec<usize>>::new());
+        assert_eq!(iter_coords(&[]).len(), 1); // scalar: one empty coord
+    }
+
+    #[test]
+    fn fill_fetch_roundtrip() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("t1");
+        let a = DArray::fill(&mut g, &[4, 6], &[2, 3], 2.5).unwrap();
+        g.submit(&client);
+        let full = a.fetch(&client).unwrap();
+        assert_eq!(full.shape(), &[4, 6]);
+        assert!(full.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn linear_pattern_is_global() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("t2");
+        let a = DArray::linear(&mut g, &[3, 4], &[2, 2]).unwrap();
+        g.submit(&client);
+        let full = a.fetch(&client).unwrap();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(full.get(&[i, j]), (i * 4 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_zip_blocks() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("t3");
+        let a = DArray::fill(&mut g, &[4, 4], &[2, 2], 3.0).unwrap();
+        let b = a.map_blocks(
+            &mut g,
+            "da.affine",
+            Datum::List(vec![Datum::F64(2.0), Datum::F64(1.0)]),
+        );
+        let c = a.zip_blocks(&mut g, &b, "da.add").unwrap();
+        g.submit(&client);
+        let full = c.fetch(&client).unwrap();
+        assert!(full.data().iter().all(|&v| v == 10.0)); // 3 + (3*2+1)
+    }
+
+    #[test]
+    fn zip_blocks_rejects_different_chunking() {
+        let cluster = cluster();
+        let _client = cluster.client();
+        let mut g = Graph::new("t4");
+        let a = DArray::fill(&mut g, &[4, 4], &[2, 2], 0.0).unwrap();
+        let b = DArray::fill(&mut g, &[4, 4], &[4, 4], 0.0).unwrap();
+        assert!(a.zip_blocks(&mut g, &b, "da.add").is_err());
+    }
+
+    #[test]
+    fn rechunk_preserves_values() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("t5");
+        let a = DArray::linear(&mut g, &[6, 6], &[2, 3]).unwrap();
+        let b = a.rechunk(&mut g, &[3, 2]).unwrap();
+        assert_eq!(b.grid().grid_dims(), vec![2, 3]);
+        g.submit(&client);
+        let fa = a.fetch(&client).unwrap();
+        let fb = b.fetch(&client).unwrap();
+        assert_eq!(fa.max_abs_diff(&fb).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn slice_matches_local_slice() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("t6");
+        let a = DArray::linear(&mut g, &[8, 8], &[3, 3]).unwrap();
+        let s = a.slice(&mut g, &[2, 3], &[4, 4]).unwrap();
+        g.submit(&client);
+        let fa = a.fetch(&client).unwrap();
+        let fs = s.fetch(&client).unwrap();
+        let expect = fa.slice(&[2, 3], &[4, 4]).unwrap();
+        assert_eq!(fs.max_abs_diff(&expect).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn slice_out_of_bounds() {
+        let cluster = cluster();
+        let _client = cluster.client();
+        let mut g = Graph::new("t7");
+        let a = DArray::fill(&mut g, &[4, 4], &[2, 2], 0.0).unwrap();
+        assert!(a.slice(&mut g, &[3, 3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn sum_all_tree_reduction() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("t8");
+        // 20x20 of ones in 3x3 chunks -> 49 blocks -> multi-level tree.
+        let a = DArray::fill(&mut g, &[20, 20], &[3, 3], 1.0).unwrap();
+        let total_key = a.sum_all(&mut g);
+        g.submit(&client);
+        let total = client.future(total_key).result().unwrap();
+        assert_eq!(total.as_f64(), Some(400.0));
+    }
+
+    #[test]
+    fn from_keys_validates_count() {
+        let grid = ChunkGrid::regular(&[4, 4], &[2, 2]).unwrap();
+        assert!(DArray::from_keys(grid.clone(), vec![Key::new("a")]).is_err());
+        let keys: Vec<Key> = (0..4).map(|i| Key::new(format!("k{i}"))).collect();
+        assert!(DArray::from_keys(grid, keys).is_ok());
+    }
+
+    #[test]
+    fn fetch_over_external_keys() {
+        // The DEISA path: array over external keys, data pushed later.
+        let cluster = cluster();
+        let client = cluster.client();
+        let grid = ChunkGrid::regular(&[2, 4], &[2, 2]).unwrap();
+        let keys: Vec<Key> = (0..2).map(|i| Key::new(format!("ext-{i}"))).collect();
+        client.register_external(keys.clone());
+        let a = DArray::from_keys(grid, keys.clone()).unwrap();
+        // Sum graph submitted before data exists.
+        let mut g = Graph::new("t9");
+        let total_key = a.sum_all(&mut g);
+        g.submit(&client);
+        // Now the external environment pushes blocks.
+        let bridge = cluster.client();
+        bridge.scatter_external(
+            vec![(keys[0].clone(), Datum::from(NDArray::full(&[2, 2], 1.0)))],
+            Some(0),
+        );
+        bridge.scatter_external(
+            vec![(keys[1].clone(), Datum::from(NDArray::full(&[2, 2], 2.0)))],
+            Some(1),
+        );
+        let total = client.future(total_key).result().unwrap();
+        assert_eq!(total.as_f64(), Some(12.0));
+        let full = a.fetch(&client).unwrap();
+        assert_eq!(full.get(&[0, 0]), 1.0);
+        assert_eq!(full.get(&[0, 3]), 2.0);
+    }
+
+    #[test]
+    fn transpose2d_matches_local() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("tt");
+        let a = DArray::linear(&mut g, &[5, 7], &[2, 3]).unwrap();
+        let t = a.transpose2d(&mut g).unwrap();
+        assert_eq!(t.shape(), &[7, 5]);
+        g.submit(&client);
+        let fa = a.fetch(&client).unwrap();
+        let ft = t.fetch(&client).unwrap();
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(fa.get(&[i, j]), ft.get(&[j, i]));
+            }
+        }
+        // Double transpose is identity.
+        let mut g2 = Graph::new("tt2");
+        let tt = t.transpose2d(&mut g2).unwrap();
+        g2.submit(&client);
+        let ftt = tt.fetch(&client).unwrap();
+        assert_eq!(ftt.max_abs_diff(&fa).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn transpose2d_rejects_other_ranks() {
+        let mut g = Graph::new("tt3");
+        let a = DArray::fill(&mut g, &[2, 2, 2], &[1, 2, 2], 0.0).unwrap();
+        assert!(a.transpose2d(&mut g).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Labeled dimensions (xarray-lite).
+//!
+//! The paper's multidimensional IPCA interface (Listing 2) names dimensions:
+//! `ipca.fit(gt, ["t", "X", "Y"], ["X"], ["Y"])` — the array's labels, the
+//! feature labels, and the sample labels. The time label provides the
+//! incremental axis. This module implements that labeling and the stacking
+//! that turns each timestep into a 2-D `(samples × features)` batch.
+
+use crate::array::{DArray, DArrayError};
+use crate::graph::Graph;
+use crate::ops::ilist;
+use dtask::{Datum, Key, TaskSpec};
+
+/// A distributed array with named dimensions.
+#[derive(Debug, Clone)]
+pub struct LabeledArray {
+    array: DArray,
+    labels: Vec<String>,
+}
+
+impl LabeledArray {
+    /// Attach labels to an array (one per dimension).
+    pub fn new(array: DArray, labels: &[&str]) -> Result<Self, DArrayError> {
+        if labels.len() != array.grid().ndim() {
+            return Err(DArrayError::Geometry(format!(
+                "{} labels for a rank-{} array",
+                labels.len(),
+                array.grid().ndim()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in labels {
+            if !seen.insert(*l) {
+                return Err(DArrayError::Geometry(format!("duplicate label '{l}'")));
+            }
+        }
+        Ok(LabeledArray {
+            array,
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &DArray {
+        &self.array
+    }
+
+    /// The dimension labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Index of a label.
+    pub fn dim_index(&self, label: &str) -> Result<usize, DArrayError> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .ok_or_else(|| DArrayError::Geometry(format!("no dimension labeled '{label}'")))
+    }
+
+    /// Build, per index of the `time_label` axis, one task producing the 2-D
+    /// `(samples × features)` batch matrix for that timestep:
+    ///
+    /// 1. assemble the full cross-section at `t` (one `da.assemble`),
+    /// 2. reorder axes into samples/features (one `da.stack2d`).
+    ///
+    /// `sample_labels` and `feature_labels` must cover every non-time axis.
+    /// Returns the batch keys in time order. This is the graph-side core of
+    /// the paper's multidimensional IPCA.
+    pub fn batches_along(
+        &self,
+        graph: &mut Graph,
+        time_label: &str,
+        sample_labels: &[&str],
+        feature_labels: &[&str],
+    ) -> Result<Vec<Key>, DArrayError> {
+        let tdim = self.dim_index(time_label)?;
+        let rank = self.array.grid().ndim();
+        // Map labels to axis indices in the cross-section block, where the
+        // time axis is kept (size 1) and must belong to samples implicitly.
+        let mut sample_axes: Vec<usize> = vec![tdim];
+        for l in sample_labels {
+            let d = self.dim_index(l)?;
+            if d == tdim {
+                return Err(DArrayError::Geometry("time label listed as sample".into()));
+            }
+            sample_axes.push(d);
+        }
+        let mut feature_axes = Vec::new();
+        for l in feature_labels {
+            let d = self.dim_index(l)?;
+            if d == tdim {
+                return Err(DArrayError::Geometry("time label listed as feature".into()));
+            }
+            feature_axes.push(d);
+        }
+        if sample_axes.len() + feature_axes.len() != rank {
+            return Err(DArrayError::Geometry(
+                "sample+feature labels must cover every non-time dimension".into(),
+            ));
+        }
+        let shape = self.array.shape().to_vec();
+        let t_extent = shape[tdim];
+        let mut keys = Vec::with_capacity(t_extent);
+        for t in 0..t_extent {
+            // Cross-section at time t as ONE block.
+            let mut starts = vec![0usize; rank];
+            starts[tdim] = t;
+            let mut sizes = shape.clone();
+            sizes[tdim] = 1;
+            let xsec = self.array.slice_chunked(graph, &starts, &sizes, &sizes)?;
+            debug_assert_eq!(xsec.keys().len(), 1);
+            let batch_key = graph.fresh_key(&format!("batch-t{t}"));
+            graph.add(TaskSpec::new(
+                batch_key.clone(),
+                "da.stack2d",
+                Datum::List(vec![ilist(&sample_axes), ilist(&feature_axes)]),
+                vec![xsec.keys()[0].clone()],
+            ));
+            keys.push(batch_key);
+        }
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::DArray;
+    use crate::ops::register_array_ops;
+    use dtask::Cluster;
+
+    fn cluster() -> Cluster {
+        let c = Cluster::new(2);
+        register_array_ops(c.registry());
+        c
+    }
+
+    #[test]
+    fn label_validation() {
+        let mut g = Graph::new("l0");
+        let a = DArray::fill(&mut g, &[2, 3, 4], &[1, 3, 2], 0.0).unwrap();
+        assert!(LabeledArray::new(a.clone(), &["t", "X"]).is_err());
+        assert!(LabeledArray::new(a.clone(), &["t", "X", "X"]).is_err());
+        let la = LabeledArray::new(a, &["t", "X", "Y"]).unwrap();
+        assert_eq!(la.dim_index("Y").unwrap(), 2);
+        assert!(la.dim_index("Z").is_err());
+    }
+
+    #[test]
+    fn batches_shapes_and_values() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let mut g = Graph::new("l1");
+        // (T=2, X=3, Y=4), value = global linear index.
+        let a = DArray::linear(&mut g, &[2, 3, 4], &[1, 2, 2]).unwrap();
+        let la = LabeledArray::new(a, &["t", "X", "Y"]).unwrap();
+        // features = X, samples = Y (plus implicit t of extent 1 per batch).
+        let batches = la.batches_along(&mut g, "t", &["Y"], &["X"]).unwrap();
+        assert_eq!(batches.len(), 2);
+        g.submit(&client);
+        let b0 = client.future(batches[0].clone()).result().unwrap();
+        let m = b0.as_array().unwrap();
+        // samples = 1*4 = 4 (t,Y), features = 3 (X).
+        assert_eq!(m.shape(), &[4, 3]);
+        // batch0[y, x] = value at (0, x, y) = x*4 + y.
+        for y in 0..4 {
+            for x in 0..3 {
+                assert_eq!(m.get(&[y, x]), (x * 4 + y) as f64);
+            }
+        }
+        let b1 = client.future(batches[1].clone()).result().unwrap();
+        // batch1[y, x] = (1, x, y) = 12 + x*4 + y.
+        assert_eq!(b1.as_array().unwrap().get(&[0, 0]), 12.0);
+    }
+
+    #[test]
+    fn bad_label_sets_rejected() {
+        let mut g = Graph::new("l2");
+        let a = DArray::fill(&mut g, &[2, 3, 4], &[1, 3, 2], 0.0).unwrap();
+        let la = LabeledArray::new(a, &["t", "X", "Y"]).unwrap();
+        // time as sample label.
+        assert!(la.batches_along(&mut g, "t", &["t"], &["X"]).is_err());
+        // not covering all dims.
+        assert!(la.batches_along(&mut g, "t", &["Y"], &[]).is_err());
+        // unknown time label.
+        assert!(la.batches_along(&mut g, "z", &["Y"], &["X"]).is_err());
+    }
+}

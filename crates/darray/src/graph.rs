@@ -1,0 +1,89 @@
+//! Lazy task-graph builder.
+
+use dtask::{Client, Key, TaskSpec};
+
+/// Accumulates task specs for a single submission.
+///
+/// Dask clients build a whole graph and submit it at once; `Graph` gives the
+/// same shape: `darray`/`dml` operations append specs here, and the caller
+/// decides when to [`Graph::submit`]. Key generation is namespaced by a
+/// caller-chosen prefix so two graphs never collide.
+pub struct Graph {
+    prefix: String,
+    counter: usize,
+    specs: Vec<TaskSpec>,
+}
+
+impl Graph {
+    /// New builder; `prefix` namespaces all generated keys.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Graph {
+            prefix: prefix.into(),
+            counter: 0,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Generate a fresh key `"<prefix>/<stem>-<n>"`.
+    pub fn fresh_key(&mut self, stem: &str) -> Key {
+        let key = Key::new(format!("{}/{}-{}", self.prefix, stem, self.counter));
+        self.counter += 1;
+        key
+    }
+
+    /// Append a task spec.
+    pub fn add(&mut self, spec: TaskSpec) {
+        self.specs.push(spec);
+    }
+
+    /// Number of tasks accumulated.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Submit everything to the cluster as one graph (one scheduler message,
+    /// like one `client.compute(...)` call).
+    pub fn submit(self, client: &Client) -> usize {
+        let n = self.specs.len();
+        if n > 0 {
+            client.submit(self.specs);
+        }
+        n
+    }
+
+    /// Drain the accumulated specs without submitting (for inspection or
+    /// merging into another graph).
+    pub fn into_specs(self) -> Vec<TaskSpec> {
+        self.specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtask::Datum;
+
+    #[test]
+    fn fresh_keys_are_unique_and_prefixed() {
+        let mut g = Graph::new("job1");
+        let a = g.fresh_key("x");
+        let b = g.fresh_key("x");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("job1/x-"));
+    }
+
+    #[test]
+    fn add_and_len() {
+        let mut g = Graph::new("p");
+        assert!(g.is_empty());
+        let k = g.fresh_key("t");
+        g.add(TaskSpec::new(k, "const", Datum::Null, vec![]));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.into_specs().len(), 1);
+    }
+}

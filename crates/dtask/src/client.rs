@@ -1,0 +1,450 @@
+//! Client handle: graph submission, futures, scatter, variables, queues.
+
+use crate::datum::Datum;
+use crate::key::Key;
+use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
+use crate::spec::TaskSpec;
+use crate::stats::{MsgClass, SchedulerStats};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Heartbeat controller handle (stops the pinger thread on drop).
+pub(crate) struct HeartbeatHandle {
+    pub stop: Arc<AtomicBool>,
+    pub thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for HeartbeatHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A connected client. Owns its notification inbox, so use one `Client` per
+/// thread (clone-by-reconnect via [`crate::Cluster::client`]).
+pub struct Client {
+    pub(crate) id: ClientId,
+    pub(crate) sched_tx: Sender<SchedMsg>,
+    pub(crate) worker_data: Vec<Sender<DataMsg>>,
+    pub(crate) rx: Receiver<ClientMsg>,
+    pub(crate) pending: RefCell<VecDeque<ClientMsg>>,
+    pub(crate) stats: Arc<SchedulerStats>,
+    pub(crate) scatter_cursor: AtomicUsize,
+    pub(crate) _heartbeat: Option<HeartbeatHandle>,
+}
+
+/// A handle to one (eventual) task result.
+pub struct DFuture<'a> {
+    client: &'a Client,
+    key: Key,
+}
+
+impl std::fmt::Debug for DFuture<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DFuture({})", self.key)
+    }
+}
+
+impl Client {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of workers in the cluster.
+    pub fn n_workers(&self) -> usize {
+        self.worker_data.len()
+    }
+
+    /// Shared statistics counters.
+    pub fn stats(&self) -> &Arc<SchedulerStats> {
+        &self.stats
+    }
+
+    /// Submit a task graph. Returns immediately; use [`Client::future`] to
+    /// wait on results.
+    pub fn submit(&self, specs: Vec<TaskSpec>) {
+        let _ = self.sched_tx.send(SchedMsg::SubmitGraph {
+            client: self.id,
+            specs,
+        });
+    }
+
+    /// Future for any key (submitted, scattered, or external).
+    pub fn future(&self, key: impl Into<Key>) -> DFuture<'_> {
+        DFuture {
+            client: self,
+            key: key.into(),
+        }
+    }
+
+    /// Register external tasks (paper §2.2): keys whose results an external
+    /// environment will push later. Graphs depending on these keys may be
+    /// submitted immediately afterwards — before any data exists.
+    pub fn register_external(&self, keys: Vec<Key>) {
+        let _ = self.sched_tx.send(SchedMsg::RegisterExternal {
+            client: self.id,
+            keys,
+        });
+    }
+
+    /// Classic Dask scatter: place data on workers, then tell the scheduler.
+    /// Returns the chosen worker per item.
+    pub fn scatter(&self, items: Vec<(Key, Datum)>, worker: Option<WorkerId>) -> Vec<WorkerId> {
+        self.scatter_impl(items, worker, false)
+    }
+
+    /// The extended scatter of §2.2 (`keys=`, `external=true`): push blocks
+    /// produced by the external environment; the scheduler handles each key
+    /// like a finished task, cascading into pre-submitted graphs.
+    pub fn scatter_external(&self, items: Vec<(Key, Datum)>, worker: Option<WorkerId>) -> Vec<WorkerId> {
+        self.scatter_impl(items, worker, true)
+    }
+
+    fn scatter_impl(
+        &self,
+        items: Vec<(Key, Datum)>,
+        worker: Option<WorkerId>,
+        external: bool,
+    ) -> Vec<WorkerId> {
+        let mut placements = Vec::with_capacity(items.len());
+        let mut entries = Vec::with_capacity(items.len());
+        for (key, value) in items {
+            let w = worker.unwrap_or_else(|| {
+                self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.worker_data.len()
+            });
+            let nbytes = value.nbytes();
+            self.stats.record(MsgClass::ScatterData, nbytes);
+            let (ack_tx, ack_rx) = bounded(1);
+            let _ = self.worker_data[w].send(DataMsg::Put {
+                key: key.clone(),
+                value,
+                ack: ack_tx,
+            });
+            // Wait for the worker to own the data before informing the
+            // scheduler (otherwise a dependent task could be scheduled and
+            // fetch-miss).
+            let _ = ack_rx.recv();
+            entries.push((key, w, nbytes));
+            placements.push(w);
+        }
+        let _ = self.sched_tx.send(SchedMsg::UpdateData {
+            client: self.id,
+            entries,
+            external,
+        });
+        placements
+    }
+
+    /// Wait for many keys and gather their values in order. More efficient
+    /// than sequential `future(..).result()` calls: all `WantResult`
+    /// registrations go out before any wait begins.
+    pub fn gather_many(&self, keys: &[Key]) -> Result<Vec<Datum>, TaskError> {
+        for key in keys {
+            let _ = self.sched_tx.send(SchedMsg::WantResult {
+                client: self.id,
+                key: key.clone(),
+            });
+        }
+        let mut locations = Vec::with_capacity(keys.len());
+        for key in keys {
+            let k = key.clone();
+            let loc = self
+                .wait_msg(None, move |m| match m {
+                    ClientMsg::KeyReady { key, location } if *key == k => Some(location.clone()),
+                    _ => None,
+                })
+                .map_err(|we| TaskError {
+                    key: key.clone(),
+                    message: we.to_string(),
+                })??;
+            locations.push(loc);
+        }
+        keys.iter()
+            .zip(locations)
+            .map(|(key, worker)| self.gather_from(worker, key))
+            .collect()
+    }
+
+    /// Release keys cluster-wide (scheduler state + worker memory).
+    pub fn release(&self, keys: Vec<Key>) {
+        let _ = self.sched_tx.send(SchedMsg::ReleaseKeys { keys });
+    }
+
+    /// Send one heartbeat now (the automatic pinger uses the same path).
+    pub fn heartbeat(&self) {
+        let _ = self.sched_tx.send(SchedMsg::Heartbeat { client: self.id });
+    }
+
+    // ---- notification plumbing -------------------------------------------
+
+    /// Wait for a notification matching `pred`, buffering everything else.
+    fn wait_msg<T>(
+        &self,
+        timeout: Option<Duration>,
+        mut pred: impl FnMut(&ClientMsg) -> Option<T>,
+    ) -> Result<T, WaitError> {
+        // Scan buffered messages first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|m| pred(m).is_some()) {
+                let msg = pending.remove(pos).expect("position valid");
+                return Ok(pred(&msg).expect("pred matched"));
+            }
+        }
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            let msg = match deadline {
+                None => self.rx.recv().map_err(|_| WaitError::Disconnected)?,
+                Some(d) => {
+                    let remaining = d
+                        .checked_duration_since(std::time::Instant::now())
+                        .ok_or(WaitError::Timeout)?;
+                    self.rx.recv_timeout(remaining).map_err(|e| match e {
+                        crossbeam::channel::RecvTimeoutError::Timeout => WaitError::Timeout,
+                        crossbeam::channel::RecvTimeoutError::Disconnected => WaitError::Disconnected,
+                    })?
+                }
+            };
+            if let Some(v) = pred(&msg) {
+                return Ok(v);
+            }
+            self.pending.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Fetch a key's value from a worker (data plane).
+    fn gather_from(&self, worker: WorkerId, key: &Key) -> Result<Datum, TaskError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let _ = self.worker_data[worker].send(DataMsg::Get {
+            key: key.clone(),
+            reply: reply_tx,
+        });
+        match reply_rx.recv() {
+            Ok(Ok(value)) => {
+                self.stats.record(MsgClass::GatherData, value.nbytes());
+                Ok(value)
+            }
+            Ok(Err(m)) => Err(TaskError {
+                key: key.clone(),
+                message: m,
+            }),
+            Err(_) => Err(TaskError {
+                key: key.clone(),
+                message: "worker hung up".into(),
+            }),
+        }
+    }
+
+    // ---- variables ---------------------------------------------------------
+
+    /// Set a distributed variable.
+    pub fn var_set(&self, name: &str, value: Datum) {
+        let _ = self.sched_tx.send(SchedMsg::VariableSet {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Blocking read of a variable (waits for it to be set).
+    pub fn var_get(&self, name: &str) -> Result<Datum, WaitError> {
+        let _ = self.sched_tx.send(SchedMsg::VariableGet {
+            client: self.id,
+            name: name.to_string(),
+            wait: true,
+        });
+        self.wait_msg(None, |m| match m {
+            ClientMsg::VariableValue { name: n, value, found: true } if n == name => {
+                Some(value.clone())
+            }
+            _ => None,
+        })
+    }
+
+    /// Non-blocking read of a variable.
+    pub fn var_try_get(&self, name: &str) -> Result<Option<Datum>, WaitError> {
+        let _ = self.sched_tx.send(SchedMsg::VariableGet {
+            client: self.id,
+            name: name.to_string(),
+            wait: false,
+        });
+        self.wait_msg(None, |m| match m {
+            ClientMsg::VariableValue { name: n, value, found } if n == name => {
+                Some(found.then(|| value.clone()))
+            }
+            _ => None,
+        })
+    }
+
+    /// Delete a variable.
+    pub fn var_del(&self, name: &str) {
+        let _ = self.sched_tx.send(SchedMsg::VariableDel {
+            name: name.to_string(),
+        });
+    }
+
+    /// Handle for a named distributed variable.
+    pub fn variable<'a>(&'a self, name: &str) -> Variable<'a> {
+        Variable {
+            client: self,
+            name: name.to_string(),
+        }
+    }
+
+    // ---- queues -------------------------------------------------------------
+
+    /// Push onto a named distributed queue.
+    pub fn q_push(&self, name: &str, value: Datum) {
+        let _ = self.sched_tx.send(SchedMsg::QueuePush {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Blocking pop from a named queue.
+    pub fn q_pop(&self, name: &str) -> Result<Datum, WaitError> {
+        let _ = self.sched_tx.send(SchedMsg::QueuePop {
+            client: self.id,
+            name: name.to_string(),
+        });
+        self.wait_msg(None, |m| match m {
+            ClientMsg::QueueItem { name: n, value } if n == name => Some(value.clone()),
+            _ => None,
+        })
+    }
+
+    /// Handle for a named distributed queue.
+    pub fn queue<'a>(&'a self, name: &str) -> DQueue<'a> {
+        DQueue {
+            client: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.sched_tx.send(SchedMsg::ClientDisconnect { client: self.id });
+    }
+}
+
+/// Errors while waiting on cluster notifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The scheduler hung up (cluster shut down).
+    Disconnected,
+    /// The caller-provided timeout elapsed.
+    Timeout,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Disconnected => write!(f, "cluster disconnected"),
+            WaitError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+impl DFuture<'_> {
+    /// The key this future resolves.
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// Block until the task completes and fetch its value.
+    pub fn result(&self) -> Result<Datum, TaskError> {
+        self.result_impl(None)
+    }
+
+    /// Like [`DFuture::result`] with a timeout.
+    pub fn result_timeout(&self, timeout: Duration) -> Result<Datum, TaskError> {
+        self.result_impl(Some(timeout))
+    }
+
+    /// Wait for completion without fetching the payload; returns the worker
+    /// holding the result.
+    pub fn wait(&self) -> Result<WorkerId, TaskError> {
+        self.wait_impl(None)
+    }
+
+    fn wait_impl(&self, timeout: Option<Duration>) -> Result<WorkerId, TaskError> {
+        let _ = self.client.sched_tx.send(SchedMsg::WantResult {
+            client: self.client.id,
+            key: self.key.clone(),
+        });
+        let key = self.key.clone();
+        match self.client.wait_msg(timeout, move |m| match m {
+            ClientMsg::KeyReady { key: k, location } if *k == key => Some(location.clone()),
+            _ => None,
+        }) {
+            Ok(Ok(worker)) => Ok(worker),
+            Ok(Err(e)) => Err(e),
+            Err(we) => Err(TaskError {
+                key: self.key.clone(),
+                message: we.to_string(),
+            }),
+        }
+    }
+
+    fn result_impl(&self, timeout: Option<Duration>) -> Result<Datum, TaskError> {
+        let worker = self.wait_impl(timeout)?;
+        self.client.gather_from(worker, &self.key)
+    }
+}
+
+/// Named distributed variable (paper §2.1: the new protocol uses **two
+/// variables** for contract setup instead of `nbr_ranks` queues).
+pub struct Variable<'a> {
+    client: &'a Client,
+    name: String,
+}
+
+impl Variable<'_> {
+    /// Set the value.
+    pub fn set(&self, value: Datum) {
+        self.client.var_set(&self.name, value);
+    }
+
+    /// Blocking get.
+    pub fn get(&self) -> Result<Datum, WaitError> {
+        self.client.var_get(&self.name)
+    }
+
+    /// Non-blocking get.
+    pub fn try_get(&self) -> Result<Option<Datum>, WaitError> {
+        self.client.var_try_get(&self.name)
+    }
+
+    /// Delete the variable.
+    pub fn delete(&self) {
+        self.client.var_del(&self.name);
+    }
+}
+
+/// Named distributed queue (used by the DEISA1 per-rank metadata protocol).
+pub struct DQueue<'a> {
+    client: &'a Client,
+    name: String,
+}
+
+impl DQueue<'_> {
+    /// Push an item.
+    pub fn push(&self, value: Datum) {
+        self.client.q_push(&self.name, value);
+    }
+
+    /// Blocking pop.
+    pub fn pop(&self) -> Result<Datum, WaitError> {
+        self.client.q_pop(&self.name)
+    }
+}

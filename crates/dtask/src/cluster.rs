@@ -1,0 +1,556 @@
+//! Cluster bootstrap: spawn scheduler + workers, hand out clients.
+
+use crate::client::{Client, HeartbeatHandle};
+use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg};
+use crate::scheduler::Scheduler;
+use crate::spec::OpRegistry;
+use crate::stats::SchedulerStats;
+use crate::worker::{run_data_server, Executor, WorkerStore};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often a client pings the scheduler.
+///
+/// The paper's three systems differ exactly here: DEISA1 keeps Dask's default
+/// (5 s), DEISA2 uses 60 s, DEISA3 uses ∞ ("no need to keep informing the
+/// scheduler about the bridges thanks to external tasks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatInterval {
+    /// Ping every given duration.
+    Every(Duration),
+    /// Never ping (DEISA3).
+    Infinite,
+}
+
+impl HeartbeatInterval {
+    /// Dask's default 5-second interval (DEISA1).
+    pub const DASK_DEFAULT: HeartbeatInterval = HeartbeatInterval::Every(Duration::from_secs(5));
+}
+
+/// Cluster construction options.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker threads.
+    pub n_workers: usize,
+    /// Heartbeat interval applied to clients created with
+    /// [`Cluster::client`] (override per client with
+    /// [`Cluster::client_with_heartbeat`]).
+    pub default_heartbeat: HeartbeatInterval,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_workers: 2,
+            default_heartbeat: HeartbeatInterval::Infinite,
+        }
+    }
+}
+
+/// A running in-process cluster: one scheduler thread, `n` workers (two
+/// threads each: executor + data server).
+pub struct Cluster {
+    sched_tx: Sender<SchedMsg>,
+    worker_data: Vec<Sender<DataMsg>>,
+    worker_exec: Vec<Sender<ExecMsg>>,
+    registry: OpRegistry,
+    stats: Arc<SchedulerStats>,
+    next_client: AtomicUsize,
+    default_heartbeat: HeartbeatInterval,
+    threads: Vec<JoinHandle<()>>,
+    down: bool,
+}
+
+impl Cluster {
+    /// Start a cluster with `n_workers` workers and default config.
+    pub fn new(n_workers: usize) -> Self {
+        Cluster::with_config(ClusterConfig {
+            n_workers,
+            ..ClusterConfig::default()
+        })
+    }
+
+    /// Start a cluster from a config.
+    pub fn with_config(config: ClusterConfig) -> Self {
+        assert!(config.n_workers > 0, "cluster needs at least one worker");
+        let registry = OpRegistry::with_std_ops();
+        let stats = Arc::new(SchedulerStats::new());
+        let (sched_tx, sched_rx) = unbounded();
+
+        let mut worker_data = Vec::with_capacity(config.n_workers);
+        let mut worker_exec = Vec::with_capacity(config.n_workers);
+        let mut stores: Vec<WorkerStore> = Vec::with_capacity(config.n_workers);
+        let mut data_rxs = Vec::with_capacity(config.n_workers);
+        let mut exec_rxs = Vec::with_capacity(config.n_workers);
+        for _ in 0..config.n_workers {
+            let (dtx, drx) = unbounded();
+            let (etx, erx) = unbounded();
+            worker_data.push(dtx);
+            worker_exec.push(etx);
+            data_rxs.push(drx);
+            exec_rxs.push(erx);
+            stores.push(Arc::new(parking_lot::Mutex::new(Default::default())));
+        }
+
+        let mut threads = Vec::new();
+        // Scheduler thread.
+        {
+            let pairs: Vec<_> = worker_data
+                .iter()
+                .cloned()
+                .zip(worker_exec.iter().cloned())
+                .collect();
+            let sched = Scheduler::new(sched_rx, pairs, Arc::clone(&stats));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dtask-scheduler".into())
+                    .spawn(move || sched.run())
+                    .expect("spawn scheduler"),
+            );
+        }
+        // Worker threads.
+        for (id, (data_rx, exec_rx)) in data_rxs.into_iter().zip(exec_rxs).enumerate() {
+            let store = Arc::clone(&stores[id]);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dtask-worker-{id}-data"))
+                    .spawn(move || run_data_server(store, data_rx))
+                    .expect("spawn data server"),
+            );
+            let exec = Executor {
+                id,
+                store: Arc::clone(&stores[id]),
+                rx: exec_rx,
+                sched_tx: sched_tx.clone(),
+                peer_data: worker_data.clone(),
+                registry: registry.clone(),
+                stats: Arc::clone(&stats),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dtask-worker-{id}-exec"))
+                    .spawn(move || exec.run())
+                    .expect("spawn executor"),
+            );
+        }
+
+        Cluster {
+            sched_tx,
+            worker_data,
+            worker_exec,
+            registry,
+            stats,
+            next_client: AtomicUsize::new(0),
+            default_heartbeat: config.default_heartbeat,
+            threads,
+            down: false,
+        }
+    }
+
+    /// The shared op registry; register application ops here before
+    /// submitting graphs that use them.
+    pub fn registry(&self) -> &OpRegistry {
+        &self.registry
+    }
+
+    /// Shared message counters.
+    pub fn stats(&self) -> &Arc<SchedulerStats> {
+        &self.stats
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.worker_data.len()
+    }
+
+    /// Per-worker `(stored keys, stored bytes)` snapshot — how Dask's
+    /// dashboard reports worker memory; used by the load-balance tests.
+    pub fn worker_memory(&self) -> Vec<(usize, u64)> {
+        self.worker_data
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+                if tx.send(DataMsg::Stats { reply: reply_tx }).is_err() {
+                    return (0, 0);
+                }
+                reply_rx.recv().unwrap_or((0, 0))
+            })
+            .collect()
+    }
+
+    /// Connect a new client with the cluster-default heartbeat.
+    pub fn client(&self) -> Client {
+        self.client_with_heartbeat(self.default_heartbeat)
+    }
+
+    /// Connect a new client with an explicit heartbeat interval.
+    pub fn client_with_heartbeat(&self, heartbeat: HeartbeatInterval) -> Client {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded::<ClientMsg>();
+        let _ = self.sched_tx.send(SchedMsg::ClientConnect { client: id, sender: tx });
+        let hb = match heartbeat {
+            HeartbeatInterval::Infinite => None,
+            HeartbeatInterval::Every(period) => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop2 = Arc::clone(&stop);
+                let sched_tx = self.sched_tx.clone();
+                let thread = std::thread::Builder::new()
+                    .name(format!("dtask-heartbeat-{id}"))
+                    .spawn(move || {
+                        // Sleep in small slices so drop is prompt, but only
+                        // ping at the configured period.
+                        while !stop2.load(Ordering::SeqCst) {
+                            std::thread::sleep(period.min(Duration::from_millis(20)));
+                            if stop2.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let _ = sched_tx.send(SchedMsg::Heartbeat { client: id });
+                            // For periods longer than the slice, sleep out the rest.
+                            let mut remaining = period.saturating_sub(Duration::from_millis(20));
+                            while remaining > Duration::ZERO && !stop2.load(Ordering::SeqCst) {
+                                let nap = remaining.min(Duration::from_millis(20));
+                                std::thread::sleep(nap);
+                                remaining = remaining.saturating_sub(nap);
+                            }
+                        }
+                    })
+                    .expect("spawn heartbeat");
+                Some(HeartbeatHandle {
+                    stop,
+                    thread: Some(thread),
+                })
+            }
+        };
+        Client {
+            id,
+            sched_tx: self.sched_tx.clone(),
+            worker_data: self.worker_data.clone(),
+            rx,
+            pending: Default::default(),
+            stats: Arc::clone(&self.stats),
+            scatter_cursor: AtomicUsize::new(id), // stagger placement across clients
+            _heartbeat: hb,
+        }
+    }
+
+    /// Stop every thread and join them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        let _ = self.sched_tx.send(SchedMsg::Shutdown);
+        for tx in &self.worker_exec {
+            let _ = tx.send(ExecMsg::Shutdown);
+        }
+        for tx in &self.worker_data {
+            let _ = tx.send(DataMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::Datum;
+    use crate::key::Key;
+    use crate::spec::TaskSpec;
+
+    #[test]
+    fn submit_and_gather_simple_chain() {
+        let cluster = Cluster::new(2);
+        let client = cluster.client();
+        client.submit(vec![
+            TaskSpec::new("a", "const", Datum::F64(2.0), vec![]),
+            TaskSpec::new("b", "const", Datum::F64(3.0), vec![]),
+            TaskSpec::new("c", "sum_scalars", Datum::Null, vec!["a".into(), "b".into()]),
+        ]);
+        let r = client.future("c").result().unwrap();
+        assert_eq!(r.as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn diamond_graph() {
+        let cluster = Cluster::new(3);
+        let client = cluster.client();
+        client.submit(vec![
+            TaskSpec::new("root", "const", Datum::F64(1.0), vec![]),
+            TaskSpec::new("l", "sum_scalars", Datum::Null, vec!["root".into(), "root".into()]),
+            TaskSpec::new("r", "identity", Datum::Null, vec!["root".into()]),
+            TaskSpec::new("top", "sum_scalars", Datum::Null, vec!["l".into(), "r".into()]),
+        ]);
+        assert_eq!(client.future("top").result().unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn scatter_then_depend() {
+        let cluster = Cluster::new(2);
+        let client = cluster.client();
+        client.scatter(vec![(Key::new("x"), Datum::F64(10.0))], None);
+        client.submit(vec![TaskSpec::new(
+            "y",
+            "sum_scalars",
+            Datum::Null,
+            vec!["x".into()],
+        )]);
+        assert_eq!(client.future("y").result().unwrap().as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn external_task_graph_submitted_before_data() {
+        let cluster = Cluster::new(2);
+        let client = cluster.client();
+        // 1. Register external tasks and submit the graph FIRST.
+        client.register_external(vec![Key::new("ext-0"), Key::new("ext-1")]);
+        client.submit(vec![TaskSpec::new(
+            "sum",
+            "sum_scalars",
+            Datum::Null,
+            vec!["ext-0".into(), "ext-1".into()],
+        )]);
+        // Give the scheduler a beat: the graph must sit in Waiting.
+        std::thread::sleep(Duration::from_millis(20));
+        // 2. The "external environment" pushes the data.
+        let bridge = cluster.client();
+        bridge.scatter_external(vec![(Key::new("ext-0"), Datum::F64(4.0))], Some(0));
+        bridge.scatter_external(vec![(Key::new("ext-1"), Datum::F64(5.0))], Some(1));
+        // 3. The pre-submitted graph completes.
+        assert_eq!(client.future("sum").result().unwrap().as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn erred_task_propagates_to_dependents() {
+        let cluster = Cluster::new(2);
+        cluster.registry().register("boom", |_, _| Err("kaboom".into()));
+        let client = cluster.client();
+        client.submit(vec![
+            TaskSpec::new("bad", "boom", Datum::Null, vec![]),
+            TaskSpec::new("child", "identity", Datum::Null, vec!["bad".into()]),
+        ]);
+        let err = client.future("child").result().unwrap_err();
+        assert_eq!(err.key.as_str(), "bad");
+        assert!(err.message.contains("kaboom"));
+    }
+
+    #[test]
+    fn panicking_op_is_caught() {
+        let cluster = Cluster::new(1);
+        cluster.registry().register("panic", |_, _| panic!("op blew up"));
+        let client = cluster.client();
+        client.submit(vec![TaskSpec::new("p", "panic", Datum::Null, vec![])]);
+        let err = client.future("p").result().unwrap_err();
+        assert!(err.message.contains("blew up"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_op_and_unknown_key() {
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        client.submit(vec![TaskSpec::new("u", "no-such-op", Datum::Null, vec![])]);
+        assert!(client.future("u").result().is_err());
+        assert!(client.future("never-submitted").result().is_err());
+    }
+
+    #[test]
+    fn cross_worker_dependency_fetch() {
+        let cluster = Cluster::new(2);
+        let client = cluster.client();
+        // Pin the two inputs on different workers; the consumer must fetch one.
+        client.scatter(vec![(Key::new("a"), Datum::F64(1.0))], Some(0));
+        client.scatter(vec![(Key::new("b"), Datum::F64(2.0))], Some(1));
+        client.submit(vec![TaskSpec::new(
+            "c",
+            "sum_scalars",
+            Datum::Null,
+            vec!["a".into(), "b".into()],
+        )]);
+        assert_eq!(client.future("c").result().unwrap().as_f64(), Some(3.0));
+        assert!(cluster.stats().count(crate::stats::MsgClass::PeerFetch) >= 1);
+    }
+
+    #[test]
+    fn variables_set_get_wait() {
+        let cluster = Cluster::new(1);
+        let setter = cluster.client();
+        let getter = cluster.client();
+        assert!(getter.var_try_get("v").unwrap().is_none());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            setter.var_set("v", Datum::I64(99));
+        });
+        // Blocking get resolves once set.
+        assert_eq!(getter.var_get("v").unwrap().as_i64(), Some(99));
+        t.join().unwrap();
+        assert!(getter.var_try_get("v").unwrap().is_some());
+        getter.var_del("v");
+        assert!(getter.var_try_get("v").unwrap().is_none());
+    }
+
+    #[test]
+    fn queues_block_until_pushed() {
+        let cluster = Cluster::new(1);
+        let producer = cluster.client();
+        let consumer = cluster.client();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            producer.q_push("q", Datum::I64(1));
+            producer.q_push("q", Datum::I64(2));
+        });
+        assert_eq!(consumer.q_pop("q").unwrap().as_i64(), Some(1));
+        assert_eq!(consumer.q_pop("q").unwrap().as_i64(), Some(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn release_frees_worker_memory() {
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        client.scatter(vec![(Key::new("x"), Datum::F64(1.0))], Some(0));
+        assert!(client.future("x").result().is_ok());
+        client.release(vec![Key::new("x")]);
+        std::thread::sleep(Duration::from_millis(30));
+        // Key is forgotten by the scheduler now.
+        assert!(client.future("x").result().is_err());
+    }
+
+    #[test]
+    fn heartbeats_are_counted() {
+        let cluster = Cluster::new(1);
+        let _client = cluster.client_with_heartbeat(HeartbeatInterval::Every(Duration::from_millis(25)));
+        std::thread::sleep(Duration::from_millis(130));
+        assert!(cluster.stats().count(crate::stats::MsgClass::Heartbeat) >= 2);
+    }
+
+    #[test]
+    fn no_heartbeats_when_infinite() {
+        let cluster = Cluster::new(1);
+        let _client = cluster.client_with_heartbeat(HeartbeatInterval::Infinite);
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(cluster.stats().count(crate::stats::MsgClass::Heartbeat), 0);
+    }
+
+    #[test]
+    fn result_timeout_fires() {
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        client.register_external(vec![Key::new("never")]);
+        let err = client
+            .future("never")
+            .result_timeout(Duration::from_millis(40))
+            .unwrap_err();
+        assert!(err.message.contains("timed out"));
+    }
+
+    #[test]
+    fn many_tasks_fan_in() {
+        let cluster = Cluster::new(4);
+        let client = cluster.client();
+        let n = 50;
+        let mut specs: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec::new(format!("t{i}"), "const", Datum::F64(i as f64), vec![]))
+            .collect();
+        specs.push(TaskSpec::new(
+            "total",
+            "sum_scalars",
+            Datum::Null,
+            (0..n).map(|i| Key::new(format!("t{i}"))).collect(),
+        ));
+        client.submit(specs);
+        let expect = (0..n).sum::<usize>() as f64;
+        assert_eq!(client.future("total").result().unwrap().as_f64(), Some(expect));
+    }
+
+    #[test]
+    fn gather_many_returns_in_order() {
+        let cluster = Cluster::new(3);
+        let client = cluster.client();
+        let specs: Vec<TaskSpec> = (0..12)
+            .map(|i| TaskSpec::new(format!("g{i}"), "const", Datum::F64(i as f64), vec![]))
+            .collect();
+        client.submit(specs);
+        let keys: Vec<Key> = (0..12).map(|i| Key::new(format!("g{i}"))).collect();
+        let values = client.gather_many(&keys).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(v.as_f64(), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn gather_many_propagates_errors() {
+        let cluster = Cluster::new(1);
+        cluster.registry().register("bad", |_, _| Err("nope".into()));
+        let client = cluster.client();
+        client.submit(vec![
+            TaskSpec::new("ok", "const", Datum::F64(1.0), vec![]),
+            TaskSpec::new("oops", "bad", Datum::Null, vec![]),
+        ]);
+        let err = client
+            .gather_many(&[Key::new("ok"), Key::new("oops")])
+            .unwrap_err();
+        assert_eq!(err.key.as_str(), "oops");
+    }
+
+    #[test]
+    fn resubmitted_graph_reuses_memory_results() {
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        let graph = vec![
+            TaskSpec::new("base", "const", Datum::F64(3.0), vec![]),
+            TaskSpec::new("dbl", "sum_scalars", Datum::Null, vec!["base".into(), "base".into()]),
+        ];
+        client.submit(graph.clone());
+        assert_eq!(client.future("dbl").result().unwrap().as_f64(), Some(6.0));
+        let reports_before = cluster.stats().count(crate::stats::MsgClass::TaskReport);
+        // Resubmitting the same graph must not recompute anything.
+        client.submit(graph);
+        assert_eq!(client.future("dbl").result().unwrap().as_f64(), Some(6.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let reports_after = cluster.stats().count(crate::stats::MsgClass::TaskReport);
+        assert_eq!(reports_before, reports_after, "no new task executions");
+    }
+
+    #[test]
+    fn duplicate_external_registration_is_idempotent() {
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        client.register_external(vec![Key::new("dup")]);
+        client.register_external(vec![Key::new("dup")]);
+        client.submit(vec![TaskSpec::new(
+            "use",
+            "identity",
+            Datum::Null,
+            vec!["dup".into()],
+        )]);
+        let feeder = cluster.client();
+        feeder.scatter_external(vec![(Key::new("dup"), Datum::F64(5.0))], Some(0));
+        assert_eq!(client.future("use").result().unwrap().as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn worker_memory_reports_stored_data() {
+        let cluster = Cluster::new(2);
+        let client = cluster.client();
+        client.scatter(vec![(Key::new("m0"), Datum::from(linalg::NDArray::zeros(&[4])))], Some(0));
+        client.scatter(vec![(Key::new("m1"), Datum::from(linalg::NDArray::zeros(&[8])))], Some(1));
+        let mem = cluster.worker_memory();
+        assert_eq!(mem.len(), 2);
+        assert_eq!(mem[0], (1, 32));
+        assert_eq!(mem[1], (1, 64));
+    }
+}

@@ -1,0 +1,154 @@
+//! `Datum` — the value type flowing through tasks.
+//!
+//! Task inputs/outputs and `scatter` payloads are all `Datum`s. Arrays are
+//! `Arc`-shared so moving a block from a worker store into a task execution
+//! never copies the buffer within the process.
+
+use linalg::NDArray;
+use std::sync::Arc;
+
+/// A value produced or consumed by tasks.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// Floating-point scalar.
+    F64(f64),
+    /// Integer scalar.
+    I64(i64),
+    /// Boolean scalar.
+    Bool(bool),
+    /// Text.
+    Str(String),
+    /// Dense array block (the common case).
+    Array(Arc<NDArray>),
+    /// Heterogeneous list.
+    List(Vec<Datum>),
+    /// Raw bytes (opaque payloads).
+    Bytes(bytes::Bytes),
+    /// Absent/unit value.
+    Null,
+}
+
+impl Datum {
+    /// Approximate in-memory payload size in bytes, used for bandwidth and
+    /// data-locality accounting (Dask's `nbytes`).
+    pub fn nbytes(&self) -> u64 {
+        match self {
+            Datum::F64(_) | Datum::I64(_) => 8,
+            Datum::Bool(_) => 1,
+            Datum::Str(s) => s.len() as u64,
+            Datum::Array(a) => (a.len() * 8) as u64,
+            Datum::List(items) => items.iter().map(Datum::nbytes).sum(),
+            Datum::Bytes(b) => b.len() as u64,
+            Datum::Null => 0,
+        }
+    }
+
+    /// Array view, if this datum is an array.
+    pub fn as_array(&self) -> Option<&Arc<NDArray>> {
+        match self {
+            Datum::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Float view (also converts integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::F64(v) => Some(*v),
+            Datum::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Datum]> {
+        match self {
+            Datum::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::F64(v)
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::I64(v)
+    }
+}
+
+impl From<NDArray> for Datum {
+    fn from(v: NDArray) -> Self {
+        Datum::Array(Arc::new(v))
+    }
+}
+
+impl From<Arc<NDArray>> for Datum {
+    fn from(v: Arc<NDArray>) -> Self {
+        Datum::Array(v)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Str(v.to_string())
+    }
+}
+
+impl From<Vec<Datum>> for Datum {
+    fn from(v: Vec<Datum>) -> Self {
+        Datum::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nbytes_accounting() {
+        assert_eq!(Datum::F64(1.0).nbytes(), 8);
+        assert_eq!(Datum::from(NDArray::zeros(&[4, 4])).nbytes(), 128);
+        assert_eq!(
+            Datum::List(vec![Datum::I64(1), Datum::Str("abc".into())]).nbytes(),
+            11
+        );
+        assert_eq!(Datum::Null.nbytes(), 0);
+    }
+
+    #[test]
+    fn array_sharing() {
+        let a = Arc::new(NDArray::zeros(&[2]));
+        let d = Datum::from(Arc::clone(&a));
+        let cloned = d.clone();
+        assert!(Arc::ptr_eq(cloned.as_array().unwrap(), &a));
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Datum::I64(3).as_f64(), Some(3.0));
+        assert_eq!(Datum::F64(2.5).as_i64(), None);
+        assert_eq!(Datum::from("hi").as_str(), Some("hi"));
+        assert!(Datum::Null.as_list().is_none());
+    }
+}

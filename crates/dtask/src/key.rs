@@ -1,0 +1,79 @@
+//! Task keys.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A task key: globally unique name of a task/data item, cheap to clone.
+///
+/// DEISA's naming scheme (paper §2.4.1) builds keys like
+/// `deisa-temp@(1,3,5)` — prefix, field name, and spatiotemporal block
+/// position; see `deisa-core::naming`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(Arc<str>);
+
+impl Key {
+    /// Create a key from any string-like value.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Key(Arc::from(s.as_ref()))
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.0)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hash() {
+        let a = Key::new("x-1");
+        let b = Key::from("x-1".to_string());
+        let c: Key = "x-2".into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_shares() {
+        let a = Key::new("shared");
+        let b = a.clone();
+        assert_eq!(a.as_str().as_ptr(), b.as_str().as_ptr());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Key::new("deisa-temp@(1,3,5)").to_string(), "deisa-temp@(1,3,5)");
+    }
+}

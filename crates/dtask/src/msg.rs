@@ -1,0 +1,220 @@
+//! Message types exchanged between clients, the scheduler, and workers.
+
+use crate::datum::Datum;
+use crate::key::Key;
+use crate::spec::TaskSpec;
+use crossbeam::channel::Sender;
+
+/// Worker identifier (index into the cluster's worker table).
+pub type WorkerId = usize;
+
+/// Client identifier assigned at connect time.
+pub type ClientId = usize;
+
+/// A task failure, delivered to futures and propagated to dependents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// The task that (originally) failed.
+    pub key: Key,
+    /// Failure description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} failed: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Messages into the scheduler.
+pub enum SchedMsg {
+    /// A new client connected; the scheduler records its notification channel.
+    ClientConnect {
+        /// Client id (assigned by the cluster).
+        client: ClientId,
+        /// Channel for notifications back to this client.
+        sender: Sender<ClientMsg>,
+    },
+    /// A client disconnected; pending waiters are dropped.
+    ClientDisconnect {
+        /// The disconnecting client.
+        client: ClientId,
+    },
+    /// Submit a task graph (any number of interdependent specs).
+    SubmitGraph {
+        /// Submitting client.
+        client: ClientId,
+        /// The tasks.
+        specs: Vec<TaskSpec>,
+    },
+    /// Register keys as **external tasks** (paper §2.2): tasks not
+    /// schedulable nor runnable by this scheduler; their results will be
+    /// pushed later by an external environment via `UpdateData`.
+    RegisterExternal {
+        /// Registering client.
+        client: ClientId,
+        /// External task keys.
+        keys: Vec<Key>,
+    },
+    /// Out-of-band data landed on a worker (the second half of `scatter`).
+    /// With `external: true` the scheduler handles each key like a finished
+    /// task: `External → Memory` plus the full transition cascade.
+    UpdateData {
+        /// Reporting client.
+        client: ClientId,
+        /// `(key, worker that now holds it, payload bytes)`.
+        entries: Vec<(Key, WorkerId, u64)>,
+        /// DEISA mode flag (the `external=` argument of the extended scatter).
+        external: bool,
+    },
+    /// Worker reports a task completed.
+    TaskFinished {
+        /// Executing worker.
+        worker: WorkerId,
+        /// Completed task.
+        key: Key,
+        /// Result size.
+        nbytes: u64,
+    },
+    /// Worker reports a task failed.
+    TaskErred {
+        /// Executing worker.
+        worker: WorkerId,
+        /// Failing task.
+        key: Key,
+        /// Failure description.
+        error: String,
+    },
+    /// Client wants a notification when `key` completes (or errs).
+    WantResult {
+        /// Asking client.
+        client: ClientId,
+        /// Key of interest.
+        key: Key,
+    },
+    /// Release keys: forget scheduler state and delete worker copies.
+    ReleaseKeys {
+        /// Keys to forget.
+        keys: Vec<Key>,
+    },
+    /// Set a named distributed variable.
+    VariableSet {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Datum,
+    },
+    /// Read a variable; with `wait` the reply is deferred until set.
+    VariableGet {
+        /// Asking client.
+        client: ClientId,
+        /// Variable name.
+        name: String,
+        /// Block until the variable exists?
+        wait: bool,
+    },
+    /// Delete a variable.
+    VariableDel {
+        /// Variable name.
+        name: String,
+    },
+    /// Push onto a named distributed queue.
+    QueuePush {
+        /// Queue name.
+        name: String,
+        /// Item.
+        value: Datum,
+    },
+    /// Pop from a named queue (reply deferred until an item exists).
+    QueuePop {
+        /// Asking client.
+        client: ClientId,
+        /// Queue name.
+        name: String,
+    },
+    /// Periodic liveness ping from a client (bridges in DEISA1/2).
+    Heartbeat {
+        /// Pinging client.
+        client: ClientId,
+    },
+    /// Stop the scheduler loop.
+    Shutdown,
+}
+
+/// Messages a worker's *executor* handles.
+pub enum ExecMsg {
+    /// Run a task; `dep_locations` says which workers hold each dependency.
+    Execute {
+        /// The task.
+        spec: TaskSpec,
+        /// Placement of each dependency (parallel to `spec.deps`).
+        dep_locations: Vec<(Key, Vec<WorkerId>)>,
+    },
+    /// Stop the executor thread.
+    Shutdown,
+}
+
+/// Messages a worker's *data server* handles (always responsive; this is the
+/// comm half of the worker, so dependency fetches can never deadlock).
+pub enum DataMsg {
+    /// Store a value (scatter landing). `ack` fires after the store, so the
+    /// sender can safely tell the scheduler the data exists.
+    Put {
+        /// Key to store under.
+        key: Key,
+        /// The value.
+        value: Datum,
+        /// Ack channel.
+        ack: Sender<()>,
+    },
+    /// Fetch a value (peer dependency fetch or client gather).
+    Get {
+        /// Requested key.
+        key: Key,
+        /// Reply channel; `Err` if the key is not here.
+        reply: Sender<Result<Datum, String>>,
+    },
+    /// Drop stored values.
+    Delete {
+        /// Keys to drop.
+        keys: Vec<Key>,
+    },
+    /// Report store statistics (introspection / load-balance checks).
+    Stats {
+        /// Reply channel: `(stored keys, stored bytes)`.
+        reply: Sender<(usize, u64)>,
+    },
+    /// Stop the data-server thread.
+    Shutdown,
+}
+
+/// Notifications back to a client.
+#[derive(Debug, Clone)]
+pub enum ClientMsg {
+    /// A watched key reached a terminal state.
+    KeyReady {
+        /// The key.
+        key: Key,
+        /// Where the data lives, or the task error.
+        location: Result<WorkerId, TaskError>,
+    },
+    /// Variable read result.
+    VariableValue {
+        /// Variable name.
+        name: String,
+        /// The value (`Datum::Null` plus `found: false` when non-waiting get
+        /// missed).
+        value: Datum,
+        /// Whether the variable existed.
+        found: bool,
+    },
+    /// Queue pop result.
+    QueueItem {
+        /// Queue name.
+        name: String,
+        /// Popped value.
+        value: Datum,
+    },
+}

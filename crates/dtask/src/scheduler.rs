@@ -1,0 +1,583 @@
+//! The centralized scheduler: task-state machine and placement.
+//!
+//! State machine (superset of Dask's, with the paper's addition):
+//!
+//! ```text
+//!            register_external
+//!    ┌──────────────────────────► External ──┐ update_data(external=true)
+//!    │                                        ▼ (handled like task-finished)
+//!  (new) ── submit ──► Waiting ──► Ready ──► Processing ──► Memory
+//!    │                                        │
+//!    └── scatter/update_data ─────────────────┴──► Erred
+//! ```
+//!
+//! The crucial behaviour from §2.2 of the paper: when an `UpdateData` with
+//! `external = true` arrives, the scheduler does **not** merely record the
+//! data (classic `scatter`); it transitions the task `External → Memory` and
+//! then runs the same dependent-unblocking cascade as `handle_task_finished`,
+//! so graphs submitted *before the data existed* start flowing.
+
+use crate::datum::Datum;
+use crate::key::Key;
+use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
+use crate::spec::TaskSpec;
+use crate::stats::{MsgClass, SchedulerStats};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Scheduler-side task states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Paper §2.2: known to the scheduler, produced by an external
+    /// environment; not schedulable nor runnable here.
+    External,
+    /// Waiting on dependencies.
+    Waiting,
+    /// All dependencies in memory; queued for placement.
+    Ready,
+    /// Sent to a worker.
+    Processing,
+    /// Result available on ≥1 worker.
+    Memory,
+    /// Failed (or a dependency failed).
+    Erred,
+}
+
+struct TaskEntry {
+    spec: Option<TaskSpec>,
+    state: TaskState,
+    deps: Vec<Key>,
+    dependents: Vec<Key>,
+    /// Number of dependencies not yet in memory.
+    n_waiting: usize,
+    who_has: Vec<WorkerId>,
+    nbytes: u64,
+    error: Option<TaskError>,
+    /// Clients to notify on completion.
+    waiters: Vec<ClientId>,
+}
+
+impl TaskEntry {
+    fn bare(state: TaskState) -> Self {
+        TaskEntry {
+            spec: None,
+            state,
+            deps: Vec::new(),
+            dependents: Vec::new(),
+            n_waiting: 0,
+            who_has: Vec::new(),
+            nbytes: 0,
+            error: None,
+            waiters: Vec::new(),
+        }
+    }
+}
+
+struct WorkerEntry {
+    data_tx: Sender<DataMsg>,
+    exec_tx: Sender<crate::msg::ExecMsg>,
+    /// Tasks currently assigned and not yet reported done.
+    processing: usize,
+}
+
+#[derive(Default)]
+struct QueueEntry {
+    items: VecDeque<Datum>,
+    poppers: VecDeque<ClientId>,
+}
+
+/// The scheduler loop state.
+pub struct Scheduler {
+    rx: Receiver<SchedMsg>,
+    tasks: HashMap<Key, TaskEntry>,
+    ready: VecDeque<Key>,
+    workers: Vec<WorkerEntry>,
+    clients: HashMap<ClientId, Sender<ClientMsg>>,
+    variables: HashMap<String, Datum>,
+    /// Clients blocked in `VariableGet { wait: true }` per variable.
+    var_waiters: HashMap<String, Vec<ClientId>>,
+    queues: HashMap<String, QueueEntry>,
+    stats: Arc<SchedulerStats>,
+    /// Round-robin cursor for dependency-free task placement.
+    rr_cursor: usize,
+}
+
+impl Scheduler {
+    /// Build a scheduler over its inbox and the worker channel table.
+    pub fn new(
+        rx: Receiver<SchedMsg>,
+        workers: Vec<(Sender<DataMsg>, Sender<crate::msg::ExecMsg>)>,
+        stats: Arc<SchedulerStats>,
+    ) -> Self {
+        Scheduler {
+            rx,
+            tasks: HashMap::new(),
+            ready: VecDeque::new(),
+            workers: workers
+                .into_iter()
+                .map(|(data_tx, exec_tx)| WorkerEntry {
+                    data_tx,
+                    exec_tx,
+                    processing: 0,
+                })
+                .collect(),
+            clients: HashMap::new(),
+            variables: HashMap::new(),
+            var_waiters: HashMap::new(),
+            queues: HashMap::new(),
+            stats,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Run until `Shutdown`.
+    pub fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            if !self.handle(msg) {
+                break;
+            }
+        }
+    }
+
+    fn notify(&self, client: ClientId, msg: ClientMsg) {
+        if let Some(tx) = self.clients.get(&client) {
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn handle(&mut self, msg: SchedMsg) -> bool {
+        match msg {
+            SchedMsg::ClientConnect { client, sender } => {
+                self.clients.insert(client, sender);
+            }
+            SchedMsg::ClientDisconnect { client } => {
+                self.clients.remove(&client);
+            }
+            SchedMsg::SubmitGraph { client: _, specs } => {
+                self.stats.record(MsgClass::GraphSubmit, 0);
+                self.stats
+                    .record_n(MsgClass::TaskSubmitted, specs.len() as u64, 0);
+                self.submit_graph(specs);
+            }
+            SchedMsg::RegisterExternal { client: _, keys } => {
+                self.stats.record(MsgClass::RegisterExternal, 0);
+                for key in keys {
+                    self.tasks
+                        .entry(key)
+                        .or_insert_with(|| TaskEntry::bare(TaskState::External));
+                }
+            }
+            SchedMsg::UpdateData {
+                client: _,
+                entries,
+                external,
+            } => {
+                let nbytes: u64 = entries.iter().map(|(_, _, b)| *b).sum();
+                let class = if external {
+                    MsgClass::UpdateDataExternal
+                } else {
+                    MsgClass::UpdateData
+                };
+                self.stats.record(class, nbytes);
+                for (key, worker, nbytes) in entries {
+                    self.handle_update_data(key, worker, nbytes, external);
+                }
+                self.schedule();
+            }
+            SchedMsg::TaskFinished { worker, key, nbytes } => {
+                self.stats.record(MsgClass::TaskReport, 0);
+                self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
+                self.handle_task_finished(key, worker, nbytes);
+                self.schedule();
+            }
+            SchedMsg::TaskErred { worker, key, error } => {
+                self.stats.record(MsgClass::TaskReport, 0);
+                self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
+                let err = TaskError {
+                    key: key.clone(),
+                    message: error,
+                };
+                self.mark_erred(key, err);
+                self.schedule();
+            }
+            SchedMsg::WantResult { client, key } => {
+                self.stats.record(MsgClass::WantResult, 0);
+                match self.tasks.get_mut(&key) {
+                    Some(entry) => match entry.state {
+                        TaskState::Memory => {
+                            let loc = entry.who_has[0];
+                            self.notify(client, ClientMsg::KeyReady { key, location: Ok(loc) });
+                        }
+                        TaskState::Erred => {
+                            let e = entry.error.clone().expect("erred tasks carry an error");
+                            self.notify(client, ClientMsg::KeyReady { key, location: Err(e) });
+                        }
+                        _ => entry.waiters.push(client),
+                    },
+                    None => {
+                        // Unknown key: treat as a future that may appear later
+                        // (external graphs can be registered after a watch in
+                        // principle), but simplest correct behaviour for this
+                        // runtime: report an error.
+                        self.notify(
+                            client,
+                            ClientMsg::KeyReady {
+                                key: key.clone(),
+                                location: Err(TaskError {
+                                    key,
+                                    message: "unknown key".into(),
+                                }),
+                            },
+                        );
+                    }
+                }
+            }
+            SchedMsg::ReleaseKeys { keys } => {
+                let mut per_worker: HashMap<WorkerId, Vec<Key>> = HashMap::new();
+                for key in keys {
+                    if let Some(entry) = self.tasks.remove(&key) {
+                        for w in entry.who_has {
+                            per_worker.entry(w).or_default().push(key.clone());
+                        }
+                    }
+                }
+                for (w, keys) in per_worker {
+                    let _ = self.workers[w].data_tx.send(DataMsg::Delete { keys });
+                }
+            }
+            SchedMsg::VariableSet { name, value } => {
+                self.stats.record(MsgClass::Variable, value.nbytes());
+                // Wake waiters.
+                if let Some(waiters) = self.var_waiters.remove(&name) {
+                    for client in waiters {
+                        self.notify(
+                            client,
+                            ClientMsg::VariableValue {
+                                name: name.clone(),
+                                value: value.clone(),
+                                found: true,
+                            },
+                        );
+                    }
+                }
+                self.variables.insert(name, value);
+            }
+            SchedMsg::VariableGet { client, name, wait } => {
+                self.stats.record(MsgClass::Variable, 0);
+                match self.variables.get(&name) {
+                    Some(v) => self.notify(
+                        client,
+                        ClientMsg::VariableValue {
+                            name,
+                            value: v.clone(),
+                            found: true,
+                        },
+                    ),
+                    None if wait => {
+                        self.var_waiters.entry(name).or_default().push(client);
+                    }
+                    None => self.notify(
+                        client,
+                        ClientMsg::VariableValue {
+                            name,
+                            value: Datum::Null,
+                            found: false,
+                        },
+                    ),
+                }
+            }
+            SchedMsg::VariableDel { name } => {
+                self.stats.record(MsgClass::Variable, 0);
+                self.variables.remove(&name);
+            }
+            SchedMsg::QueuePush { name, value } => {
+                self.stats.record(MsgClass::Queue, value.nbytes());
+                let q = self.queues.entry(name.clone()).or_default();
+                if let Some(client) = q.poppers.pop_front() {
+                    self.notify(client, ClientMsg::QueueItem { name, value });
+                } else {
+                    q.items.push_back(value);
+                }
+            }
+            SchedMsg::QueuePop { client, name } => {
+                self.stats.record(MsgClass::Queue, 0);
+                let q = self.queues.entry(name.clone()).or_default();
+                if let Some(value) = q.items.pop_front() {
+                    self.notify(client, ClientMsg::QueueItem { name, value });
+                } else {
+                    q.poppers.push_back(client);
+                }
+            }
+            SchedMsg::Heartbeat { client: _ } => {
+                self.stats.record(MsgClass::Heartbeat, 0);
+            }
+            SchedMsg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Insert a graph: wire dependencies, count unfinished deps, queue roots.
+    fn submit_graph(&mut self, specs: Vec<TaskSpec>) {
+        // First pass: create entries for every spec key (so intra-graph deps
+        // resolve regardless of order).
+        for spec in &specs {
+            match self.tasks.get_mut(&spec.key) {
+                Some(entry) => {
+                    // Resubmission of a known key: keep the existing state
+                    // (Memory results are reused, like Dask).
+                    if entry.spec.is_none()
+                        && entry.state != TaskState::External
+                        && entry.state != TaskState::Memory
+                    {
+                        entry.spec = Some(spec.clone());
+                    }
+                }
+                None => {
+                    let mut e = TaskEntry::bare(TaskState::Waiting);
+                    e.spec = Some(spec.clone());
+                    e.deps = spec.deps.clone();
+                    self.tasks.insert(spec.key.clone(), e);
+                }
+            }
+        }
+        // Second pass: wire dependency edges and counts.
+        let mut newly_ready = Vec::new();
+        for spec in &specs {
+            let state = self.tasks[&spec.key].state;
+            if state != TaskState::Waiting {
+                continue; // already memory/external/etc.
+            }
+            let mut n_waiting = 0usize;
+            let mut missing = None;
+            for dep in &spec.deps {
+                match self.tasks.get_mut(dep) {
+                    Some(dep_entry) => {
+                        dep_entry.dependents.push(spec.key.clone());
+                        match dep_entry.state {
+                            TaskState::Memory => {}
+                            TaskState::Erred => {
+                                missing = Some(TaskError {
+                                    key: dep.clone(),
+                                    message: dep_entry
+                                        .error
+                                        .clone()
+                                        .map(|e| e.message)
+                                        .unwrap_or_else(|| "upstream error".into()),
+                                });
+                            }
+                            _ => n_waiting += 1,
+                        }
+                    }
+                    None => {
+                        missing = Some(TaskError {
+                            key: spec.key.clone(),
+                            message: format!("unknown dependency {dep}"),
+                        });
+                    }
+                }
+            }
+            if let Some(err) = missing {
+                self.mark_erred(spec.key.clone(), err);
+                continue;
+            }
+            let entry = self.tasks.get_mut(&spec.key).expect("created above");
+            entry.n_waiting = n_waiting;
+            if n_waiting == 0 {
+                entry.state = TaskState::Ready;
+                newly_ready.push(spec.key.clone());
+            }
+        }
+        self.ready.extend(newly_ready);
+        self.schedule();
+    }
+
+    /// Classic-scatter or external-task data arrival.
+    fn handle_update_data(&mut self, key: Key, worker: WorkerId, nbytes: u64, external: bool) {
+        let state = self.tasks.get(&key).map(|e| e.state);
+        match state {
+            Some(TaskState::Memory) => {
+                // Replica announcement.
+                let entry = self.tasks.get_mut(&key).expect("checked above");
+                if !entry.who_has.contains(&worker) {
+                    entry.who_has.push(worker);
+                }
+            }
+            Some(TaskState::External) | None => {
+                // The paper's path: treat exactly like a finished task. With
+                // external=false this is a plain Dask scatter of a fresh key
+                // (no dependents can exist yet); with external=true the
+                // transition cascade unblocks pre-submitted graphs.
+                let _ = external;
+                self.handle_task_finished(key, worker, nbytes);
+            }
+            Some(_) => {
+                // Data arrived for a key the scheduler planned to compute:
+                // accept it and cancel the computation (last write wins).
+                self.handle_task_finished(key, worker, nbytes);
+            }
+        }
+    }
+
+    /// Shared completion path for worker-computed AND external tasks. This is
+    /// `handle_task_finished` from §2.2: update structures, then transition
+    /// dependents.
+    fn handle_task_finished(&mut self, key: Key, worker: WorkerId, nbytes: u64) {
+        let entry = self
+            .tasks
+            .entry(key.clone())
+            .or_insert_with(|| TaskEntry::bare(TaskState::External));
+        if entry.state == TaskState::Memory {
+            // Duplicate completion report (replica): record and stop — the
+            // dependent cascade must run exactly once.
+            if !entry.who_has.contains(&worker) {
+                entry.who_has.push(worker);
+            }
+            return;
+        }
+        entry.state = TaskState::Memory;
+        if !entry.who_has.contains(&worker) {
+            entry.who_has.push(worker);
+        }
+        entry.nbytes = nbytes;
+        let waiters = std::mem::take(&mut entry.waiters);
+        let dependents = entry.dependents.clone();
+        for client in waiters {
+            self.notify(
+                client,
+                ClientMsg::KeyReady {
+                    key: key.clone(),
+                    location: Ok(worker),
+                },
+            );
+        }
+        // Transition cascade: unblock dependents.
+        for dep_key in dependents {
+            if let Some(dep_entry) = self.tasks.get_mut(&dep_key) {
+                if dep_entry.state == TaskState::Waiting {
+                    dep_entry.n_waiting = dep_entry.n_waiting.saturating_sub(1);
+                    if dep_entry.n_waiting == 0 {
+                        dep_entry.state = TaskState::Ready;
+                        self.ready.push_back(dep_key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark a task and (transitively) its dependents as erred.
+    fn mark_erred(&mut self, key: Key, error: TaskError) {
+        let mut stack = vec![(key, error)];
+        while let Some((key, error)) = stack.pop() {
+            let Some(entry) = self.tasks.get_mut(&key) else {
+                continue;
+            };
+            if entry.state == TaskState::Erred {
+                continue;
+            }
+            entry.state = TaskState::Erred;
+            entry.error = Some(error.clone());
+            let waiters = std::mem::take(&mut entry.waiters);
+            let dependents = entry.dependents.clone();
+            for client in waiters {
+                self.notify(
+                    client,
+                    ClientMsg::KeyReady {
+                        key: key.clone(),
+                        location: Err(error.clone()),
+                    },
+                );
+            }
+            for dep in dependents {
+                stack.push((
+                    dep.clone(),
+                    TaskError {
+                        key: error.key.clone(),
+                        message: error.message.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Placement: data-gravity first (most dependency bytes), then least
+    /// loaded, then round-robin.
+    fn decide_worker(&mut self, spec: &TaskSpec) -> WorkerId {
+        if self.workers.len() == 1 {
+            return 0;
+        }
+        let mut byte_share = vec![0u64; self.workers.len()];
+        let mut any_deps = false;
+        for dep in &spec.deps {
+            if let Some(e) = self.tasks.get(dep) {
+                for &w in &e.who_has {
+                    byte_share[w] += e.nbytes.max(1);
+                    any_deps = true;
+                }
+            }
+        }
+        if any_deps {
+            let best = byte_share
+                .iter()
+                .enumerate()
+                .max_by_key(|(w, &b)| (b, std::cmp::Reverse(self.workers[*w].processing)))
+                .map(|(w, _)| w)
+                .expect("non-empty worker table");
+            if byte_share[best] > 0 {
+                return best;
+            }
+        }
+        // No placed deps: least busy, breaking ties round-robin.
+        let min = self
+            .workers
+            .iter()
+            .map(|w| w.processing)
+            .min()
+            .expect("non-empty worker table");
+        let n = self.workers.len();
+        for off in 0..n {
+            let w = (self.rr_cursor + off) % n;
+            if self.workers[w].processing == min {
+                self.rr_cursor = (w + 1) % n;
+                return w;
+            }
+        }
+        0
+    }
+
+    /// Drain the ready queue, assigning tasks to workers.
+    fn schedule(&mut self) {
+        while let Some(key) = self.ready.pop_front() {
+            let Some(entry) = self.tasks.get(&key) else {
+                continue;
+            };
+            if entry.state != TaskState::Ready {
+                continue;
+            }
+            let spec = entry
+                .spec
+                .clone()
+                .expect("ready tasks have specs (external tasks are never ready)");
+            let worker = self.decide_worker(&spec);
+            let dep_locations: Vec<(Key, Vec<WorkerId>)> = spec
+                .deps
+                .iter()
+                .map(|d| {
+                    let who = self
+                        .tasks
+                        .get(d)
+                        .map(|e| e.who_has.clone())
+                        .unwrap_or_default();
+                    (d.clone(), who)
+                })
+                .collect();
+            let entry = self.tasks.get_mut(&key).expect("checked above");
+            entry.state = TaskState::Processing;
+            self.workers[worker].processing += 1;
+            let _ = self.workers[worker].exec_tx.send(crate::msg::ExecMsg::Execute {
+                spec,
+                dep_locations,
+            });
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Task specifications and the operation registry.
+//!
+//! A [`TaskSpec`] is the serializable description of a task: a target key, an
+//! op name resolved against the [`OpRegistry`], parameters, and dependency
+//! keys. This is the moral equivalent of a Dask graph entry
+//! `key: (func, *args)`; keeping functions behind a registry (rather than
+//! shipping closures) mirrors the constraint that every worker must be able
+//! to deserialize the function.
+
+use crate::datum::Datum;
+use crate::key::Key;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The function type behind an op: `(params, dep values in dependency order)
+/// -> result or error text`.
+pub type OpFn = dyn Fn(&Datum, &[Datum]) -> Result<Datum, String> + Send + Sync;
+
+/// Description of one task in a graph.
+#[derive(Clone)]
+pub struct TaskSpec {
+    /// Key under which the result is stored.
+    pub key: Key,
+    /// Registered op name.
+    pub op: String,
+    /// Op parameters (available to the function besides dep values).
+    pub params: Datum,
+    /// Keys of tasks whose outputs this task consumes, in argument order.
+    pub deps: Vec<Key>,
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskSpec({} = {}({} deps))", self.key, self.op, self.deps.len())
+    }
+}
+
+impl TaskSpec {
+    /// Convenience constructor.
+    pub fn new(key: impl Into<Key>, op: impl Into<String>, params: Datum, deps: Vec<Key>) -> Self {
+        TaskSpec {
+            key: key.into(),
+            op: op.into(),
+            params,
+            deps,
+        }
+    }
+}
+
+/// Registry of named operations shared by all workers in a cluster.
+///
+/// Ships with a small standard library of ops that `darray`/`dml` build on;
+/// applications register their own with [`OpRegistry::register`].
+#[derive(Clone, Default)]
+pub struct OpRegistry {
+    ops: Arc<RwLock<HashMap<String, Arc<OpFn>>>>,
+}
+
+impl OpRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        OpRegistry::default()
+    }
+
+    /// Registry preloaded with the standard ops (`identity`, `const`,
+    /// `list`, `sum_scalars`).
+    pub fn with_std_ops() -> Self {
+        let reg = OpRegistry::new();
+        reg.register("identity", |_p, deps| {
+            deps.first()
+                .cloned()
+                .ok_or_else(|| "identity needs one dependency".to_string())
+        });
+        reg.register("const", |p, _deps| Ok(p.clone()));
+        reg.register("list", |_p, deps| Ok(Datum::List(deps.to_vec())));
+        reg.register("sum_scalars", |_p, deps| {
+            let mut acc = 0.0;
+            for d in deps {
+                acc += d
+                    .as_f64()
+                    .ok_or_else(|| "sum_scalars: non-numeric dependency".to_string())?;
+            }
+            Ok(Datum::F64(acc))
+        });
+        reg
+    }
+
+    /// Register (or replace) an op.
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&Datum, &[Datum]) -> Result<Datum, String> + Send + Sync + 'static,
+    {
+        self.ops.write().insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Look up an op.
+    pub fn get(&self, name: &str) -> Option<Arc<OpFn>> {
+        self.ops.read().get(name).cloned()
+    }
+
+    /// Registered op names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.ops.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_ops_behave() {
+        let reg = OpRegistry::with_std_ops();
+        let id = reg.get("identity").unwrap();
+        assert!(matches!(id(&Datum::Null, &[Datum::I64(7)]), Ok(Datum::I64(7))));
+        assert!(id(&Datum::Null, &[]).is_err());
+
+        let c = reg.get("const").unwrap();
+        assert!(matches!(c(&Datum::F64(1.5), &[]), Ok(Datum::F64(v)) if v == 1.5));
+
+        let sum = reg.get("sum_scalars").unwrap();
+        let r = sum(&Datum::Null, &[Datum::F64(1.0), Datum::I64(2)]).unwrap();
+        assert_eq!(r.as_f64(), Some(3.0));
+        assert!(sum(&Datum::Null, &[Datum::Str("x".into())]).is_err());
+    }
+
+    #[test]
+    fn register_and_replace() {
+        let reg = OpRegistry::new();
+        assert!(reg.get("f").is_none());
+        reg.register("f", |_, _| Ok(Datum::I64(1)));
+        assert_eq!(reg.get("f").unwrap()(&Datum::Null, &[]).unwrap().as_i64(), Some(1));
+        reg.register("f", |_, _| Ok(Datum::I64(2)));
+        assert_eq!(reg.get("f").unwrap()(&Datum::Null, &[]).unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn registry_is_shared_between_clones() {
+        let reg = OpRegistry::new();
+        let clone = reg.clone();
+        reg.register("late", |_, _| Ok(Datum::Null));
+        assert!(clone.get("late").is_some());
+        assert_eq!(clone.names(), vec!["late".to_string()]);
+    }
+}

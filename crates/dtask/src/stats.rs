@@ -1,0 +1,159 @@
+//! Message and byte accounting.
+//!
+//! The paper's scalability argument is a *message-count* argument: DEISA1
+//! sends `2 · timesteps · ranks + heartbeats` metadata messages to the
+//! centralized scheduler, the external-task version only `1 + ranks` at
+//! startup. These counters make those formulas measurable in the real
+//! runtime (integration tests assert them) and calibrate the DES models.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Classes of messages arriving at the scheduler, plus data-plane traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// `SubmitGraph` messages.
+    GraphSubmit,
+    /// Individual task specs received across all submissions.
+    TaskSubmitted,
+    /// `RegisterExternal` messages.
+    RegisterExternal,
+    /// `UpdateData` messages from classic scatter (metadata-bearing).
+    UpdateData,
+    /// `UpdateData` messages in external mode (§2.2): completion
+    /// notifications of external tasks — the paper does not count these as
+    /// metadata.
+    UpdateDataExternal,
+    /// `TaskFinished`/`TaskErred` worker reports.
+    TaskReport,
+    /// `WantResult` requests.
+    WantResult,
+    /// Variable operations (set/get/del).
+    Variable,
+    /// Queue operations (push/pop).
+    Queue,
+    /// Heartbeats.
+    Heartbeat,
+    /// Scatter payload messages client→worker (data plane).
+    ScatterData,
+    /// Gather payload messages worker→client (data plane).
+    GatherData,
+    /// Peer dependency fetches worker→worker (data plane).
+    PeerFetch,
+}
+
+const N_CLASSES: usize = 13;
+
+fn idx(class: MsgClass) -> usize {
+    match class {
+        MsgClass::GraphSubmit => 0,
+        MsgClass::TaskSubmitted => 1,
+        MsgClass::RegisterExternal => 2,
+        MsgClass::UpdateData => 3,
+        MsgClass::UpdateDataExternal => 12,
+        MsgClass::TaskReport => 4,
+        MsgClass::WantResult => 5,
+        MsgClass::Variable => 6,
+        MsgClass::Queue => 7,
+        MsgClass::Heartbeat => 8,
+        MsgClass::ScatterData => 9,
+        MsgClass::GatherData => 10,
+        MsgClass::PeerFetch => 11,
+    }
+}
+
+/// Cluster-wide counters, shared via `Arc` by every actor.
+#[derive(Debug, Default)]
+pub struct SchedulerStats {
+    counts: [AtomicU64; N_CLASSES],
+    bytes: [AtomicU64; N_CLASSES],
+}
+
+impl SchedulerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        SchedulerStats::default()
+    }
+
+    /// Record one message of `class` carrying `nbytes` payload.
+    pub fn record(&self, class: MsgClass, nbytes: u64) {
+        self.counts[idx(class)].fetch_add(1, Ordering::Relaxed);
+        self.bytes[idx(class)].fetch_add(nbytes, Ordering::Relaxed);
+    }
+
+    /// Record `n` messages at once.
+    pub fn record_n(&self, class: MsgClass, n: u64, nbytes: u64) {
+        self.counts[idx(class)].fetch_add(n, Ordering::Relaxed);
+        self.bytes[idx(class)].fetch_add(nbytes, Ordering::Relaxed);
+    }
+
+    /// Message count of one class.
+    pub fn count(&self, class: MsgClass) -> u64 {
+        self.counts[idx(class)].load(Ordering::Relaxed)
+    }
+
+    /// Byte volume of one class.
+    pub fn bytes(&self, class: MsgClass) -> u64 {
+        self.bytes[idx(class)].load(Ordering::Relaxed)
+    }
+
+    /// Total *control-plane* messages that hit the scheduler (everything
+    /// except the data-plane classes). This is the load the paper's formulas
+    /// count.
+    pub fn scheduler_control_messages(&self) -> u64 {
+        use MsgClass::*;
+        [
+            GraphSubmit,
+            RegisterExternal,
+            UpdateData,
+            UpdateDataExternal,
+            TaskReport,
+            WantResult,
+            Variable,
+            Queue,
+            Heartbeat,
+        ]
+            .into_iter()
+            .map(|c| self.count(c))
+            .sum()
+    }
+
+    /// Metadata messages *originating at bridges/clients* per the paper's
+    /// accounting (§2.1): classic-scatter metadata + queue ops + variable
+    /// ops + heartbeats. External-task completion notifications are data
+    /// plane and excluded, exactly as the paper counts them.
+    pub fn bridge_metadata_messages(&self) -> u64 {
+        use MsgClass::*;
+        [UpdateData, Variable, Queue, Heartbeat]
+            .into_iter()
+            .map(|c| self.count(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read() {
+        let s = SchedulerStats::new();
+        s.record(MsgClass::UpdateData, 100);
+        s.record(MsgClass::UpdateData, 50);
+        s.record_n(MsgClass::Heartbeat, 3, 0);
+        assert_eq!(s.count(MsgClass::UpdateData), 2);
+        assert_eq!(s.bytes(MsgClass::UpdateData), 150);
+        assert_eq!(s.count(MsgClass::Heartbeat), 3);
+        assert_eq!(s.count(MsgClass::ScatterData), 0);
+    }
+
+    #[test]
+    fn control_plane_totals_exclude_data_plane() {
+        let s = SchedulerStats::new();
+        s.record(MsgClass::GraphSubmit, 0);
+        s.record(MsgClass::ScatterData, 1 << 20);
+        s.record(MsgClass::GatherData, 1 << 20);
+        s.record(MsgClass::PeerFetch, 1 << 20);
+        assert_eq!(s.scheduler_control_messages(), 1);
+        assert_eq!(s.bridge_metadata_messages(), 0);
+    }
+}

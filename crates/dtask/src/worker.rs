@@ -1,0 +1,163 @@
+//! Worker: executor thread + always-responsive data-server thread.
+//!
+//! Splitting the worker into two threads mirrors the comm/executor split of a
+//! Dask worker and makes peer dependency fetches deadlock-free: the data
+//! server never blocks on task execution, so two workers can fetch from each
+//! other while both executors are busy.
+
+use crate::datum::Datum;
+use crate::key::Key;
+use crate::msg::{DataMsg, ExecMsg, SchedMsg, WorkerId};
+use crate::spec::OpRegistry;
+use crate::stats::{MsgClass, SchedulerStats};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared key→value store of one worker.
+pub type WorkerStore = Arc<Mutex<HashMap<Key, Datum>>>;
+
+/// The data-server half: serves `Put`/`Get`/`Delete` until shutdown.
+pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            DataMsg::Put { key, value, ack } => {
+                store.lock().insert(key, value);
+                let _ = ack.send(());
+            }
+            DataMsg::Get { key, reply } => {
+                let value = store.lock().get(&key).cloned();
+                let _ = reply.send(value.ok_or_else(|| format!("key {key} not on this worker")));
+            }
+            DataMsg::Delete { keys } => {
+                let mut guard = store.lock();
+                for key in keys {
+                    guard.remove(&key);
+                }
+            }
+            DataMsg::Stats { reply } => {
+                let guard = store.lock();
+                let keys = guard.len();
+                let bytes = guard.values().map(|d| d.nbytes()).sum();
+                let _ = reply.send((keys, bytes));
+            }
+            DataMsg::Shutdown => break,
+        }
+    }
+}
+
+/// The executor half: runs tasks, fetching dependencies from peers as needed.
+pub struct Executor {
+    /// This worker's id.
+    pub id: WorkerId,
+    /// Local store (shared with the data server).
+    pub store: WorkerStore,
+    /// Inbox of execution requests.
+    pub rx: Receiver<ExecMsg>,
+    /// Scheduler channel for completion reports.
+    pub sched_tx: Sender<SchedMsg>,
+    /// Data channels of every worker (peer fetches).
+    pub peer_data: Vec<Sender<DataMsg>>,
+    /// Shared op registry.
+    pub registry: OpRegistry,
+    /// Shared counters.
+    pub stats: Arc<SchedulerStats>,
+}
+
+impl Executor {
+    /// Run until `Shutdown`.
+    pub fn run(self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ExecMsg::Execute { spec, dep_locations } => {
+                    let key = spec.key.clone();
+                    match self.execute(spec, &dep_locations) {
+                        Ok(result) => {
+                            let nbytes = result.nbytes();
+                            self.store.lock().insert(key.clone(), result);
+                            let _ = self.sched_tx.send(SchedMsg::TaskFinished {
+                                worker: self.id,
+                                key,
+                                nbytes,
+                            });
+                        }
+                        Err(error) => {
+                            let _ = self.sched_tx.send(SchedMsg::TaskErred {
+                                worker: self.id,
+                                key,
+                                error,
+                            });
+                        }
+                    }
+                }
+                ExecMsg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Resolve one dependency: local store first, then peers.
+    fn fetch_dep(&self, key: &Key, locations: &[WorkerId]) -> Result<Datum, String> {
+        if let Some(v) = self.store.lock().get(key).cloned() {
+            return Ok(v);
+        }
+        for &peer in locations {
+            if peer == self.id {
+                continue;
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            if self.peer_data[peer]
+                .send(DataMsg::Get {
+                    key: key.clone(),
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                continue;
+            }
+            match reply_rx.recv() {
+                Ok(Ok(value)) => {
+                    self.stats.record(MsgClass::PeerFetch, value.nbytes());
+                    // Cache locally (replica), like Dask's dependency gather.
+                    self.store.lock().insert(key.clone(), value.clone());
+                    return Ok(value);
+                }
+                Ok(Err(_)) | Err(_) => continue,
+            }
+        }
+        Err(format!(
+            "dependency {key} unavailable (tried {} peers)",
+            locations.len()
+        ))
+    }
+
+    fn execute(
+        &self,
+        spec: crate::spec::TaskSpec,
+        dep_locations: &[(Key, Vec<WorkerId>)],
+    ) -> Result<Datum, String> {
+        let op = self
+            .registry
+            .get(&spec.op)
+            .ok_or_else(|| format!("unknown op '{}'", spec.op))?;
+        let mut inputs = Vec::with_capacity(spec.deps.len());
+        for dep in &spec.deps {
+            let locations = dep_locations
+                .iter()
+                .find(|(k, _)| k == dep)
+                .map(|(_, locs)| locs.as_slice())
+                .unwrap_or(&[]);
+            inputs.push(self.fetch_dep(dep, locations)?);
+        }
+        let params = spec.params.clone();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&params, &inputs)))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<panic>".into());
+                Err(format!("op '{}' panicked: {msg}", spec.op))
+            })
+    }
+}

@@ -1,0 +1,219 @@
+//! On-disk format structures and binary (de)serialization of the index.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// File magic, 8 bytes (name + format version).
+pub const MAGIC: &[u8; 8] = b"H5LITE\0\x01";
+
+/// Chunk grid coordinates of a chunk within a dataset.
+pub type ChunkCoord = Vec<usize>;
+
+/// Errors reading or writing the container format.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not an h5lite container or is corrupt.
+    Corrupt(String),
+    /// Caller error: unknown dataset, bad chunk coordinates, shape mismatch…
+    BadRequest(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "h5lite io: {e}"),
+            FormatError::Corrupt(m) => write!(f, "h5lite corrupt file: {m}"),
+            FormatError::BadRequest(m) => write!(f, "h5lite bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// Metadata of one dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetMeta {
+    /// Global array shape.
+    pub shape: Vec<usize>,
+    /// Chunk shape; each dimension divides into ceil(shape/chunk) chunks.
+    pub chunk_shape: Vec<usize>,
+    /// Byte offset and length of each written chunk.
+    pub chunks: HashMap<ChunkCoord, (u64, u64)>,
+}
+
+impl DatasetMeta {
+    /// Number of chunks along each dimension.
+    pub fn chunk_grid(&self) -> Vec<usize> {
+        self.shape
+            .iter()
+            .zip(&self.chunk_shape)
+            .map(|(&s, &c)| s.div_ceil(c))
+            .collect()
+    }
+
+    /// Actual shape of the chunk at `coord` (edge chunks may be smaller).
+    pub fn chunk_extent(&self, coord: &[usize]) -> Result<Vec<usize>, FormatError> {
+        if coord.len() != self.shape.len() {
+            return Err(FormatError::BadRequest(format!(
+                "chunk coord rank {} vs dataset rank {}",
+                coord.len(),
+                self.shape.len()
+            )));
+        }
+        let grid = self.chunk_grid();
+        let mut extent = Vec::with_capacity(coord.len());
+        for d in 0..coord.len() {
+            if coord[d] >= grid[d] {
+                return Err(FormatError::BadRequest(format!(
+                    "chunk coord {:?} outside grid {:?}",
+                    coord, grid
+                )));
+            }
+            let start = coord[d] * self.chunk_shape[d];
+            extent.push(self.chunk_shape[d].min(self.shape[d] - start));
+        }
+        Ok(extent)
+    }
+
+    /// Element offset (per dimension) of the chunk at `coord`.
+    pub fn chunk_start(&self, coord: &[usize]) -> Vec<usize> {
+        coord
+            .iter()
+            .zip(&self.chunk_shape)
+            .map(|(&c, &s)| c * s)
+            .collect()
+    }
+}
+
+fn put_usize_list(buf: &mut BytesMut, list: &[usize]) {
+    buf.put_u32_le(list.len() as u32);
+    for &v in list {
+        buf.put_u64_le(v as u64);
+    }
+}
+
+fn get_usize_list(buf: &mut Bytes) -> Result<Vec<usize>, FormatError> {
+    if buf.remaining() < 4 {
+        return Err(FormatError::Corrupt("truncated list length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(FormatError::Corrupt("truncated list".into()));
+    }
+    Ok((0..n).map(|_| buf.get_u64_le() as usize).collect())
+}
+
+/// Serialize the dataset table into the index payload.
+pub fn encode_index(datasets: &[(String, DatasetMeta)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(datasets.len() as u32);
+    for (name, meta) in datasets {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        put_usize_list(&mut buf, &meta.shape);
+        put_usize_list(&mut buf, &meta.chunk_shape);
+        buf.put_u32_le(meta.chunks.len() as u32);
+        // Deterministic order for reproducible files.
+        let mut entries: Vec<_> = meta.chunks.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (coord, (off, len)) in entries {
+            put_usize_list(&mut buf, coord);
+            buf.put_u64_le(*off);
+            buf.put_u64_le(*len);
+        }
+    }
+    buf.freeze()
+}
+
+/// Parse the index payload back into the dataset table.
+pub fn decode_index(mut buf: Bytes) -> Result<Vec<(String, DatasetMeta)>, FormatError> {
+    if buf.remaining() < 4 {
+        return Err(FormatError::Corrupt("truncated index".into()));
+    }
+    let n_datasets = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n_datasets);
+    for _ in 0..n_datasets {
+        if buf.remaining() < 4 {
+            return Err(FormatError::Corrupt("truncated name length".into()));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(FormatError::Corrupt("truncated name".into()));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| FormatError::Corrupt("non-utf8 dataset name".into()))?;
+        let shape = get_usize_list(&mut buf)?;
+        let chunk_shape = get_usize_list(&mut buf)?;
+        if shape.len() != chunk_shape.len() {
+            return Err(FormatError::Corrupt("rank mismatch in index".into()));
+        }
+        if buf.remaining() < 4 {
+            return Err(FormatError::Corrupt("truncated chunk count".into()));
+        }
+        let n_chunks = buf.get_u32_le() as usize;
+        let mut chunks = HashMap::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let coord = get_usize_list(&mut buf)?;
+            if buf.remaining() < 16 {
+                return Err(FormatError::Corrupt("truncated chunk entry".into()));
+            }
+            let off = buf.get_u64_le();
+            let len = buf.get_u64_le();
+            chunks.insert(coord, (off, len));
+        }
+        out.push((name, DatasetMeta { shape, chunk_shape, chunks }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DatasetMeta {
+        let mut chunks = HashMap::new();
+        chunks.insert(vec![0, 0], (8, 48));
+        chunks.insert(vec![1, 2], (56, 48));
+        DatasetMeta {
+            shape: vec![5, 9],
+            chunk_shape: vec![2, 3],
+            chunks,
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let table = vec![("temp".to_string(), meta()), ("vel".to_string(), meta())];
+        let decoded = decode_index(encode_index(&table)).unwrap();
+        assert_eq!(decoded, table);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode_index(&[("x".to_string(), meta())]);
+        for cut in [0usize, 3, 7, bytes.len() - 1] {
+            assert!(decode_index(bytes.slice(..cut)).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn chunk_grid_and_extents() {
+        let m = meta();
+        assert_eq!(m.chunk_grid(), vec![3, 3]);
+        // Interior chunk: full size.
+        assert_eq!(m.chunk_extent(&[0, 0]).unwrap(), vec![2, 3]);
+        // Edge chunk: dimension 0 has 5 rows => last chunk is 1 row tall.
+        assert_eq!(m.chunk_extent(&[2, 0]).unwrap(), vec![1, 3]);
+        assert!(m.chunk_extent(&[3, 0]).is_err());
+        assert!(m.chunk_extent(&[0]).is_err());
+        assert_eq!(m.chunk_start(&[1, 2]), vec![2, 6]);
+    }
+}

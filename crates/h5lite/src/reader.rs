@@ -1,0 +1,310 @@
+//! Container reader with chunk and slice access.
+
+use crate::format::{decode_index, DatasetMeta, FormatError, MAGIC};
+use bytes::Bytes;
+use linalg::NDArray;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Reader over a closed h5lite container.
+pub struct H5Reader {
+    file: Mutex<File>,
+    datasets: Vec<(String, DatasetMeta)>,
+    by_name: HashMap<String, usize>,
+    /// Total bytes of chunk payload fetched, for I/O accounting in benches.
+    bytes_read: std::sync::atomic::AtomicU64,
+}
+
+impl H5Reader {
+    /// Open and validate a container, loading the index.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, FormatError> {
+        let mut file = File::open(path)?;
+        let total = file.seek(SeekFrom::End(0))?;
+        let footer_len = (8 + MAGIC.len()) as u64;
+        if total < (MAGIC.len() as u64) * 2 + 8 {
+            return Err(FormatError::Corrupt("file too small".into()));
+        }
+        // Leading magic.
+        let mut head = [0u8; 8];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if &head != MAGIC {
+            return Err(FormatError::Corrupt("bad leading magic".into()));
+        }
+        // Footer: [index offset u64][magic].
+        file.seek(SeekFrom::End(-(footer_len as i64)))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.read_exact(&mut footer)?;
+        if &footer[8..] != MAGIC {
+            return Err(FormatError::Corrupt(
+                "bad trailing magic (file not closed?)".into(),
+            ));
+        }
+        let index_offset = u64::from_le_bytes(footer[..8].try_into().expect("8 bytes"));
+        if index_offset >= total - footer_len {
+            return Err(FormatError::Corrupt("index offset out of range".into()));
+        }
+        let index_len = total - footer_len - index_offset;
+        file.seek(SeekFrom::Start(index_offset))?;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact(&mut index_bytes)?;
+        let datasets = decode_index(Bytes::from(index_bytes))?;
+        let by_name = datasets
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i))
+            .collect();
+        Ok(H5Reader {
+            file: Mutex::new(file),
+            datasets,
+            by_name,
+            bytes_read: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Names of all datasets, in creation order.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.datasets.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Metadata of one dataset.
+    pub fn dataset(&self, name: &str) -> Option<&DatasetMeta> {
+        self.by_name.get(name).map(|&i| &self.datasets[i].1)
+    }
+
+    /// Total chunk payload bytes fetched so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Read one chunk into an array of the chunk's extent.
+    pub fn read_chunk(&self, name: &str, coord: &[usize]) -> Result<NDArray, FormatError> {
+        let meta = self
+            .dataset(name)
+            .ok_or_else(|| FormatError::BadRequest(format!("unknown dataset '{name}'")))?;
+        let extent = meta.chunk_extent(coord)?;
+        let (off, len) = *meta
+            .chunks
+            .get(coord)
+            .ok_or_else(|| FormatError::BadRequest(format!("chunk {:?} was never written", coord)))?;
+        let expected = (extent.iter().product::<usize>() * 8) as u64;
+        if len != expected {
+            return Err(FormatError::Corrupt(format!(
+                "chunk {:?} payload {} bytes, expected {}",
+                coord, len, expected
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        {
+            let mut file = self.file.lock().expect("reader lock");
+            file.seek(SeekFrom::Start(off))?;
+            file.read_exact(&mut payload)?;
+        }
+        self.bytes_read
+            .fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        let data: Vec<f64> = payload
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .collect();
+        NDArray::from_vec(&extent, data).map_err(|e| FormatError::Corrupt(e.to_string()))
+    }
+
+    /// Read an arbitrary hyper-rectangular slice, assembling from all covering
+    /// chunks. Errors if any needed chunk was never written.
+    pub fn read_slice(&self, name: &str, starts: &[usize], sizes: &[usize]) -> Result<NDArray, FormatError> {
+        let meta = self
+            .dataset(name)
+            .ok_or_else(|| FormatError::BadRequest(format!("unknown dataset '{name}'")))?
+            .clone();
+        let rank = meta.shape.len();
+        if starts.len() != rank || sizes.len() != rank {
+            return Err(FormatError::BadRequest("slice rank mismatch".into()));
+        }
+        for d in 0..rank {
+            if starts[d] + sizes[d] > meta.shape[d] {
+                return Err(FormatError::BadRequest(format!(
+                    "slice dim {d} out of bounds"
+                )));
+            }
+        }
+        let mut out = NDArray::zeros(sizes);
+        // Chunk coordinate ranges covered by the slice.
+        let lo: Vec<usize> = (0..rank).map(|d| starts[d] / meta.chunk_shape[d]).collect();
+        let hi: Vec<usize> = (0..rank)
+            .map(|d| (starts[d] + sizes[d] - 1) / meta.chunk_shape[d])
+            .collect();
+        // Iterate the chunk hyper-rectangle with an odometer.
+        let mut coord = lo.clone();
+        loop {
+            let chunk = self.read_chunk(name, &coord)?;
+            let cstart = meta.chunk_start(&coord);
+            let cextent = chunk.shape().to_vec();
+            // Intersection of chunk and slice, in global coordinates.
+            let mut istart = vec![0usize; rank];
+            let mut isize = vec![0usize; rank];
+            for d in 0..rank {
+                let g0 = cstart[d].max(starts[d]);
+                let g1 = (cstart[d] + cextent[d]).min(starts[d] + sizes[d]);
+                istart[d] = g0;
+                isize[d] = g1 - g0;
+            }
+            let local_start: Vec<usize> = (0..rank).map(|d| istart[d] - cstart[d]).collect();
+            let block = chunk
+                .slice(&local_start, &isize)
+                .map_err(|e| FormatError::Corrupt(e.to_string()))?;
+            let out_start: Vec<usize> = (0..rank).map(|d| istart[d] - starts[d]).collect();
+            out.assign_slice(&out_start, &block)
+                .map_err(|e| FormatError::Corrupt(e.to_string()))?;
+            // Odometer over chunk coords lo..=hi.
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    return Ok(out);
+                }
+                d -= 1;
+                coord[d] += 1;
+                if coord[d] <= hi[d] {
+                    break;
+                }
+                coord[d] = lo[d];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::H5Writer;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("h5lite-r-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_grid(path: &std::path::Path, shape: &[usize], chunk: &[usize]) {
+        let mut w = H5Writer::create(path).unwrap();
+        w.create_dataset("d", shape, chunk).unwrap();
+        let meta = DatasetMeta {
+            shape: shape.to_vec(),
+            chunk_shape: chunk.to_vec(),
+            chunks: Default::default(),
+        };
+        let grid = meta.chunk_grid();
+        let mut coord = vec![0usize; shape.len()];
+        loop {
+            let extent = meta.chunk_extent(&coord).unwrap();
+            let start = meta.chunk_start(&coord);
+            let block = NDArray::from_fn(&extent, |i| {
+                // Global linear index as the value.
+                let mut v = 0usize;
+                for d in 0..shape.len() {
+                    v = v * shape[d] + start[d] + i[d];
+                }
+                v as f64
+            });
+            w.write_chunk("d", &coord, &block).unwrap();
+            let mut d = shape.len();
+            loop {
+                if d == 0 {
+                    w.close().unwrap();
+                    return;
+                }
+                d -= 1;
+                coord[d] += 1;
+                if coord[d] < grid[d] {
+                    break;
+                }
+                coord[d] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn slice_equals_direct_index_2d() {
+        let path = tmp("slice2d.h5l");
+        write_grid(&path, &[7, 9], &[3, 4]);
+        let r = H5Reader::open(&path).unwrap();
+        let s = r.read_slice("d", &[2, 3], &[4, 5]).unwrap();
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(s.get(&[i, j]), ((2 + i) * 9 + 3 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_equals_direct_index_3d() {
+        let path = tmp("slice3d.h5l");
+        write_grid(&path, &[4, 5, 6], &[2, 2, 3]);
+        let r = H5Reader::open(&path).unwrap();
+        let s = r.read_slice("d", &[1, 1, 2], &[2, 3, 3]).unwrap();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    assert_eq!(
+                        s.get(&[i, j, k]),
+                        (((1 + i) * 5 + 1 + j) * 6 + 2 + k) as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_array_slice() {
+        let path = tmp("whole.h5l");
+        write_grid(&path, &[6, 6], &[4, 4]);
+        let r = H5Reader::open(&path).unwrap();
+        let s = r.read_slice("d", &[0, 0], &[6, 6]).unwrap();
+        assert_eq!(s.get(&[5, 5]), 35.0);
+        assert!(r.bytes_read() >= 36 * 8);
+    }
+
+    #[test]
+    fn missing_chunk_is_an_error() {
+        let path = tmp("missing.h5l");
+        let mut w = H5Writer::create(&path).unwrap();
+        w.create_dataset("d", &[4, 4], &[2, 2]).unwrap();
+        w.write_chunk("d", &[0, 0], &NDArray::zeros(&[2, 2])).unwrap();
+        w.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert!(r.read_chunk("d", &[1, 1]).is_err());
+        assert!(r.read_slice("d", &[0, 0], &[4, 4]).is_err());
+        // But the written corner works.
+        assert!(r.read_slice("d", &[0, 0], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn unclosed_file_is_rejected() {
+        let path = tmp("unclosed.h5l");
+        {
+            let mut w = H5Writer::create(&path).unwrap();
+            w.create_dataset("d", &[2, 2], &[2, 2]).unwrap();
+            w.write_chunk("d", &[0, 0], &NDArray::zeros(&[2, 2])).unwrap();
+            // dropped without close()
+        }
+        assert!(matches!(H5Reader::open(&path), Err(FormatError::Corrupt(_))));
+    }
+
+    #[test]
+    fn not_a_container_is_rejected() {
+        let path = tmp("garbage.h5l");
+        std::fs::write(&path, b"definitely not an h5lite file, but long enough").unwrap();
+        assert!(H5Reader::open(&path).is_err());
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let path = tmp("bounds.h5l");
+        write_grid(&path, &[4, 4], &[2, 2]);
+        let r = H5Reader::open(&path).unwrap();
+        assert!(r.read_slice("d", &[3, 3], &[2, 2]).is_err());
+        assert!(r.read_slice("d", &[0], &[1]).is_err());
+        assert!(r.read_slice("nope", &[0, 0], &[1, 1]).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Append-only container writer.
+
+use crate::format::{encode_index, DatasetMeta, FormatError, MAGIC};
+use linalg::NDArray;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Writer for a new h5lite container. Chunks append sequentially; the index
+/// goes at the end on [`H5Writer::close`]. Dropping without closing loses the
+/// index (like crashing before `H5Fclose`), which tests cover.
+pub struct H5Writer {
+    file: BufWriter<File>,
+    offset: u64,
+    datasets: Vec<(String, DatasetMeta)>,
+    by_name: HashMap<String, usize>,
+    closed: bool,
+}
+
+impl H5Writer {
+    /// Create (truncate) a container at `path` and write the magic.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, FormatError> {
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(MAGIC)?;
+        Ok(H5Writer {
+            file,
+            offset: MAGIC.len() as u64,
+            datasets: Vec::new(),
+            by_name: HashMap::new(),
+            closed: false,
+        })
+    }
+
+    /// Declare a dataset with its global shape and chunk shape.
+    pub fn create_dataset(
+        &mut self,
+        name: &str,
+        shape: &[usize],
+        chunk_shape: &[usize],
+    ) -> Result<(), FormatError> {
+        if self.by_name.contains_key(name) {
+            return Err(FormatError::BadRequest(format!("dataset '{name}' already exists")));
+        }
+        if shape.len() != chunk_shape.len() || shape.is_empty() {
+            return Err(FormatError::BadRequest(format!(
+                "bad shapes: {:?} chunked {:?}",
+                shape, chunk_shape
+            )));
+        }
+        if chunk_shape.contains(&0) || shape.contains(&0) {
+            return Err(FormatError::BadRequest("zero-sized dimension".into()));
+        }
+        self.by_name.insert(name.to_string(), self.datasets.len());
+        self.datasets.push((
+            name.to_string(),
+            DatasetMeta {
+                shape: shape.to_vec(),
+                chunk_shape: chunk_shape.to_vec(),
+                chunks: HashMap::new(),
+            },
+        ));
+        Ok(())
+    }
+
+    /// Append one chunk. `data`'s shape must equal the chunk extent at
+    /// `coord` (edge chunks are smaller). Rewriting a chunk is allowed; the
+    /// last write wins (the index points at the newest payload).
+    pub fn write_chunk(
+        &mut self,
+        dataset: &str,
+        coord: &[usize],
+        data: &NDArray,
+    ) -> Result<(), FormatError> {
+        let idx = *self
+            .by_name
+            .get(dataset)
+            .ok_or_else(|| FormatError::BadRequest(format!("unknown dataset '{dataset}'")))?;
+        let meta = &mut self.datasets[idx].1;
+        let extent = meta.chunk_extent(coord)?;
+        if data.shape() != extent.as_slice() {
+            return Err(FormatError::BadRequest(format!(
+                "chunk {:?} wants shape {:?}, got {:?}",
+                coord,
+                extent,
+                data.shape()
+            )));
+        }
+        let len = (data.len() * 8) as u64;
+        let off = self.offset;
+        for &v in data.data() {
+            self.file.write_all(&v.to_le_bytes())?;
+        }
+        self.offset += len;
+        meta.chunks.insert(coord.to_vec(), (off, len));
+        Ok(())
+    }
+
+    /// Bytes appended so far (payload only), for I/O accounting in benches.
+    pub fn bytes_written(&self) -> u64 {
+        self.offset - MAGIC.len() as u64
+    }
+
+    /// Write the index + footer and flush. Must be called exactly once.
+    pub fn close(mut self) -> Result<(), FormatError> {
+        let index = encode_index(&self.datasets);
+        let index_offset = self.offset;
+        self.file.write_all(&index)?;
+        self.file.write_all(&index_offset.to_le_bytes())?;
+        self.file.write_all(MAGIC)?;
+        self.file.flush()?;
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// A writer shared by many simulation ranks (threads): one file, one lock —
+/// which is exactly the serialization a single PFS object store stripe
+/// imposes, and what the post-hoc baseline measures.
+#[derive(Clone)]
+pub struct SharedWriter {
+    inner: Arc<Mutex<Option<H5Writer>>>,
+}
+
+impl SharedWriter {
+    /// Wrap a writer for concurrent use.
+    pub fn new(writer: H5Writer) -> Self {
+        SharedWriter {
+            inner: Arc::new(Mutex::new(Some(writer))),
+        }
+    }
+
+    /// Declare a dataset (idempotent: concurrent ranks may race to declare;
+    /// the first wins and later identical declarations are accepted).
+    pub fn ensure_dataset(
+        &self,
+        name: &str,
+        shape: &[usize],
+        chunk_shape: &[usize],
+    ) -> Result<(), FormatError> {
+        let mut guard = self.inner.lock();
+        let w = guard
+            .as_mut()
+            .ok_or_else(|| FormatError::BadRequest("writer already closed".into()))?;
+        if let Some(&idx) = w.by_name.get(name) {
+            let meta = &w.datasets[idx].1;
+            if meta.shape == shape && meta.chunk_shape == chunk_shape {
+                return Ok(());
+            }
+            return Err(FormatError::BadRequest(format!(
+                "dataset '{name}' re-declared with different shape"
+            )));
+        }
+        w.create_dataset(name, shape, chunk_shape)
+    }
+
+    /// Write one chunk under the lock.
+    pub fn write_chunk(&self, dataset: &str, coord: &[usize], data: &NDArray) -> Result<(), FormatError> {
+        let mut guard = self.inner.lock();
+        let w = guard
+            .as_mut()
+            .ok_or_else(|| FormatError::BadRequest("writer already closed".into()))?;
+        w.write_chunk(dataset, coord, data)
+    }
+
+    /// Close the underlying writer (first caller wins; later calls error).
+    pub fn close(&self) -> Result<(), FormatError> {
+        let w = self
+            .inner
+            .lock()
+            .take()
+            .ok_or_else(|| FormatError::BadRequest("writer already closed".into()))?;
+        w.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::H5Reader;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("h5lite-w-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        let mut w = H5Writer::create(tmp("dup.h5l")).unwrap();
+        w.create_dataset("a", &[2, 2], &[1, 1]).unwrap();
+        assert!(w.create_dataset("a", &[2, 2], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn wrong_chunk_shape_rejected() {
+        let mut w = H5Writer::create(tmp("shape.h5l")).unwrap();
+        w.create_dataset("a", &[4, 4], &[2, 2]).unwrap();
+        let bad = NDArray::zeros(&[2, 3]);
+        assert!(w.write_chunk("a", &[0, 0], &bad).is_err());
+        assert!(w.write_chunk("missing", &[0, 0], &bad).is_err());
+        assert!(w.write_chunk("a", &[5, 0], &NDArray::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn rewrite_chunk_last_wins() {
+        let path = tmp("rewrite.h5l");
+        let mut w = H5Writer::create(&path).unwrap();
+        w.create_dataset("a", &[2, 2], &[2, 2]).unwrap();
+        w.write_chunk("a", &[0, 0], &NDArray::full(&[2, 2], 1.0)).unwrap();
+        w.write_chunk("a", &[0, 0], &NDArray::full(&[2, 2], 9.0)).unwrap();
+        w.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.read_chunk("a", &[0, 0]).unwrap().get(&[1, 1]), 9.0);
+    }
+
+    #[test]
+    fn edge_chunks_are_smaller() {
+        let path = tmp("edge.h5l");
+        let mut w = H5Writer::create(&path).unwrap();
+        w.create_dataset("a", &[3, 5], &[2, 2]).unwrap();
+        // grid is 2x3; chunk (1,2) has extent (1,1)
+        w.write_chunk("a", &[1, 2], &NDArray::full(&[1, 1], 7.0)).unwrap();
+        w.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.read_chunk("a", &[1, 2]).unwrap().get(&[0, 0]), 7.0);
+    }
+
+    #[test]
+    fn shared_writer_many_threads() {
+        let path = tmp("shared.h5l");
+        let w = SharedWriter::new(H5Writer::create(&path).unwrap());
+        w.ensure_dataset("temp", &[4, 4], &[1, 4]).unwrap();
+        crossbeam_scope(&w);
+        w.close().unwrap();
+        assert!(w.close().is_err());
+        let r = H5Reader::open(&path).unwrap();
+        for row in 0..4 {
+            assert_eq!(r.read_chunk("temp", &[row, 0]).unwrap().get(&[0, 2]), row as f64);
+        }
+
+        fn crossbeam_scope(w: &SharedWriter) {
+            std::thread::scope(|s| {
+                for row in 0..4usize {
+                    let w = w.clone();
+                    s.spawn(move || {
+                        w.ensure_dataset("temp", &[4, 4], &[1, 4]).unwrap();
+                        w.write_chunk("temp", &[row, 0], &NDArray::full(&[1, 4], row as f64)).unwrap();
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn redeclare_with_other_shape_fails() {
+        let w = SharedWriter::new(H5Writer::create(tmp("redecl.h5l")).unwrap());
+        w.ensure_dataset("a", &[2, 2], &[1, 1]).unwrap();
+        assert!(w.ensure_dataset("a", &[2, 2], &[2, 2]).is_err());
+    }
+}

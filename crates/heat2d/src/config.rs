@@ -1,0 +1,94 @@
+//! Miniapp configuration.
+
+/// Heat2D run parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatConfig {
+    /// Global grid height (rows).
+    pub global: (usize, usize),
+    /// Process grid `(p0, p1)`; `p0 * p1` must equal the world size.
+    pub procs: (usize, usize),
+    /// Number of timesteps.
+    pub steps: usize,
+    /// Diffusivity.
+    pub alpha: f64,
+    /// Time step; stability needs `alpha * dt / dx² ≤ 1/4` (dx = 1 here).
+    pub dt: f64,
+}
+
+impl HeatConfig {
+    /// Validated constructor.
+    pub fn new(global: (usize, usize), procs: (usize, usize), steps: usize) -> Result<Self, String> {
+        let cfg = HeatConfig {
+            global,
+            procs,
+            steps,
+            alpha: 1.0,
+            dt: 0.2,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check divisibility and stability.
+    pub fn validate(&self) -> Result<(), String> {
+        let (gx, gy) = self.global;
+        let (p0, p1) = self.procs;
+        if p0 == 0 || p1 == 0 || gx == 0 || gy == 0 || self.steps == 0 {
+            return Err("zero extent in config".into());
+        }
+        if gx % p0 != 0 || gy % p1 != 0 {
+            return Err(format!(
+                "global {}x{} not divisible by proc grid {}x{}",
+                gx, gy, p0, p1
+            ));
+        }
+        if self.alpha * self.dt > 0.25 {
+            return Err(format!(
+                "unstable: alpha*dt = {} > 0.25",
+                self.alpha * self.dt
+            ));
+        }
+        Ok(())
+    }
+
+    /// Local block size per rank.
+    pub fn local(&self) -> (usize, usize) {
+        (self.global.0 / self.procs.0, self.global.1 / self.procs.1)
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.procs.0 * self.procs.1
+    }
+
+    /// Rank's coordinates in the (row-major) process grid.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.procs.1, rank % self.procs.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(HeatConfig::new((8, 8), (2, 2), 3).is_ok());
+        assert!(HeatConfig::new((8, 9), (2, 2), 3).is_err());
+        assert!(HeatConfig::new((8, 8), (0, 2), 3).is_err());
+        assert!(HeatConfig::new((8, 8), (2, 2), 0).is_err());
+        let mut c = HeatConfig::new((8, 8), (2, 2), 1).unwrap();
+        c.dt = 0.3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn geometry() {
+        let c = HeatConfig::new((12, 8), (3, 2), 1).unwrap();
+        assert_eq!(c.local(), (4, 4));
+        assert_eq!(c.n_ranks(), 6);
+        assert_eq!(c.coords(0), (0, 0));
+        assert_eq!(c.coords(1), (0, 1));
+        assert_eq!(c.coords(5), (2, 1));
+    }
+}

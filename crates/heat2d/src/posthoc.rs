@@ -1,0 +1,168 @@
+//! Post-hoc PDI plugin: write each exposed field block to `h5lite`.
+//!
+//! This reproduces the paper's baseline pipeline: the simulation writes every
+//! timestep to a chunked container on the (parallel) filesystem; plain Dask
+//! later reads it back for analysis. One shared writer per run, one chunk
+//! per rank per step — chunked exactly like the simulation decomposition, so
+//! the analytics "used the same chunking" (§3.3.1).
+
+use crate::config::HeatConfig;
+use h5lite::SharedWriter;
+use pdi::{PdiError, Plugin, Store};
+
+fn perr(message: impl Into<String>) -> PdiError {
+    PdiError {
+        plugin: "PostHoc".into(),
+        message: message.into(),
+    }
+}
+
+/// PDI plugin writing `temp` exposures into a shared h5lite container.
+pub struct PostHocPlugin {
+    writer: SharedWriter,
+    cfg: HeatConfig,
+    rank: usize,
+    dataset: String,
+    local_name: String,
+    /// Chunks written by this rank.
+    pub chunks_written: u64,
+}
+
+impl PostHocPlugin {
+    /// Build a writer plugin for one rank. `dataset` is the container
+    /// dataset name; `local_name` the exposed buffer to capture.
+    pub fn new(
+        writer: SharedWriter,
+        cfg: HeatConfig,
+        rank: usize,
+        dataset: &str,
+        local_name: &str,
+    ) -> PostHocPlugin {
+        PostHocPlugin {
+            writer,
+            cfg,
+            rank,
+            dataset: dataset.to_string(),
+            local_name: local_name.to_string(),
+            chunks_written: 0,
+        }
+    }
+}
+
+impl Plugin for PostHocPlugin {
+    fn name(&self) -> &str {
+        "PostHoc"
+    }
+
+    fn event(&mut self, event: &str, _store: &Store) -> Result<(), PdiError> {
+        if event == "init" {
+            let (l0, l1) = self.cfg.local();
+            let shape = [self.cfg.steps, self.cfg.global.0, self.cfg.global.1];
+            let chunks = [1usize, l0, l1];
+            self.writer
+                .ensure_dataset(&self.dataset, &shape, &chunks)
+                .map_err(|e| perr(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn data_available(&mut self, name: &str, store: &Store) -> Result<(), PdiError> {
+        if name != self.local_name {
+            return Ok(());
+        }
+        let step = store
+            .get("step")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| perr("'step' must be exposed"))? as usize;
+        let value = store
+            .get(name)
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| perr(format!("'{name}' is not an array")))?;
+        let (l0, l1) = self.cfg.local();
+        if value.shape() != [l0, l1] {
+            return Err(perr(format!(
+                "'{name}' shape {:?} != local {:?}",
+                value.shape(),
+                (l0, l1)
+            )));
+        }
+        let (ci, cj) = self.cfg.coords(self.rank);
+        let block = (**value)
+            .clone()
+            .reshape(&[1, l0, l1])
+            .map_err(|e| perr(e.to_string()))?;
+        self.writer
+            .write_chunk(&self.dataset, &[step, ci, cj], &block)
+            .map_err(|e| perr(e.to_string()))?;
+        self.chunks_written += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::run_rank;
+    use h5lite::{H5Reader, H5Writer};
+    use mpisim::World;
+    use pdi::{Pdi, Yaml};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("heat2d-ph-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn posthoc_run_writes_all_chunks_and_matches_simulation() {
+        let path = tmp("run.h5l");
+        let cfg = HeatConfig::new((8, 8), (2, 2), 3).unwrap();
+        let writer = SharedWriter::new(H5Writer::create(&path).unwrap());
+
+        let finals = {
+            let writer = &writer;
+            let cfg = &cfg;
+            World::run(4, move |comm| {
+                let mut pdi = Pdi::new(Yaml::Null);
+                pdi.register(Box::new(PostHocPlugin::new(
+                    writer.clone(),
+                    cfg.clone(),
+                    comm.rank(),
+                    "G_temp",
+                    "temp",
+                )));
+                let s = run_rank(comm, cfg, &mut pdi).unwrap();
+                (cfg.coords(comm.rank()), s.interior())
+            })
+            .unwrap()
+        };
+        writer.close().unwrap();
+
+        let reader = H5Reader::open(&path).unwrap();
+        let meta = reader.dataset("G_temp").unwrap();
+        assert_eq!(meta.shape, vec![3, 8, 8]);
+        assert_eq!(meta.chunks.len(), 3 * 4);
+        // The last written step equals the final in-memory fields.
+        let last = reader.read_slice("G_temp", &[2, 0, 0], &[1, 8, 8]).unwrap();
+        for ((ci, cj), block) in finals {
+            let sub = last.slice(&[0, ci * 4, cj * 4], &[1, 4, 4]).unwrap();
+            let block3 = block.reshape(&[1, 4, 4]).unwrap();
+            assert_eq!(sub.max_abs_diff(&block3).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn wrong_shape_is_reported() {
+        let path = tmp("bad.h5l");
+        let cfg = HeatConfig::new((8, 8), (2, 2), 2).unwrap();
+        let writer = SharedWriter::new(H5Writer::create(&path).unwrap());
+        let mut plugin = PostHocPlugin::new(writer, cfg, 0, "d", "temp");
+        let mut store = pdi::Store::new();
+        store.set("step", pdi::Value::Int(0));
+        store.set("temp", pdi::Value::from(linalg::NDArray::zeros(&[3, 3])));
+        plugin.event("init", &store).unwrap();
+        assert!(plugin.data_available("temp", &store).is_err());
+        // Unrelated exposure is ignored.
+        assert!(plugin.data_available("other", &store).is_ok());
+    }
+}

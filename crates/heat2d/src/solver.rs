@@ -1,0 +1,375 @@
+//! The domain-decomposed solver.
+
+use crate::config::HeatConfig;
+use linalg::NDArray;
+use mpisim::{CartComm, Comm, Tag};
+use pdi::Pdi;
+
+const TAG_UP: Tag = Tag(100);
+const TAG_DOWN: Tag = Tag(101);
+const TAG_LEFT: Tag = Tag(102);
+const TAG_RIGHT: Tag = Tag(103);
+
+/// One rank's solver state: the local field with a one-cell ghost frame.
+pub struct LocalSolver {
+    nx: usize,
+    ny: usize,
+    /// (nx+2) × (ny+2) including ghosts, row-major.
+    field: Vec<f64>,
+    next: Vec<f64>,
+    alpha_dt: f64,
+}
+
+impl LocalSolver {
+    /// Initialize with `f(global_row, global_col)` evaluated on the interior.
+    pub fn new(
+        cfg: &HeatConfig,
+        coords: (usize, usize),
+        f: impl Fn(usize, usize) -> f64,
+    ) -> LocalSolver {
+        let (nx, ny) = cfg.local();
+        let w = ny + 2;
+        let mut field = vec![0.0; (nx + 2) * w];
+        for i in 0..nx {
+            for j in 0..ny {
+                field[(i + 1) * w + (j + 1)] = f(coords.0 * nx + i, coords.1 * ny + j);
+            }
+        }
+        LocalSolver {
+            nx,
+            ny,
+            next: field.clone(),
+            field,
+            alpha_dt: cfg.alpha * cfg.dt,
+        }
+    }
+
+    fn w(&self) -> usize {
+        self.ny + 2
+    }
+
+    /// Interior as a fresh `(nx, ny)` array (what PDI exposes each step).
+    pub fn interior(&self) -> NDArray {
+        let w = self.w();
+        let mut data = Vec::with_capacity(self.nx * self.ny);
+        for i in 0..self.nx {
+            let row = &self.field[(i + 1) * w + 1..(i + 1) * w + 1 + self.ny];
+            data.extend_from_slice(row);
+        }
+        NDArray::from_vec(&[self.nx, self.ny], data).expect("interior shape")
+    }
+
+    /// Sum of the interior (for conservation checks).
+    pub fn heat(&self) -> f64 {
+        let w = self.w();
+        let mut s = 0.0;
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                s += self.field[(i + 1) * w + (j + 1)];
+            }
+        }
+        s
+    }
+
+    /// Exchange ghost rows/columns with Cartesian neighbours; insulated
+    /// (copy-edge) ghosts at physical boundaries.
+    pub fn exchange_ghosts(&mut self, cart: &CartComm<'_>) -> Result<(), String> {
+        let comm = cart.comm();
+        let w = self.w();
+        let up = cart.shift(0, -1);
+        let down = cart.shift(0, 1);
+        let left = cart.shift(1, -1);
+        let right = cart.shift(1, 1);
+
+        // Rows (contiguous).
+        let top_row: Vec<f64> = self.field[w + 1..w + 1 + self.ny].to_vec();
+        let bottom_row: Vec<f64> = self.field[self.nx * w + 1..self.nx * w + 1 + self.ny].to_vec();
+        if let Some(r) = up {
+            comm.send(r, TAG_UP, top_row).map_err(|e| e.to_string())?;
+        }
+        if let Some(r) = down {
+            comm.send(r, TAG_DOWN, bottom_row).map_err(|e| e.to_string())?;
+        }
+        // Columns (strided copies).
+        let left_col: Vec<f64> = (0..self.nx).map(|i| self.field[(i + 1) * w + 1]).collect();
+        let right_col: Vec<f64> = (0..self.nx).map(|i| self.field[(i + 1) * w + self.ny]).collect();
+        if let Some(r) = left {
+            comm.send(r, TAG_LEFT, left_col).map_err(|e| e.to_string())?;
+        }
+        if let Some(r) = right {
+            comm.send(r, TAG_RIGHT, right_col).map_err(|e| e.to_string())?;
+        }
+
+        // Receive into ghosts; physical boundaries copy the edge (Neumann).
+        match up {
+            Some(r) => {
+                let row: Vec<f64> = comm.recv(r, TAG_DOWN).map_err(|e| e.to_string())?;
+                self.field[1..1 + self.ny].copy_from_slice(&row);
+            }
+            None => {
+                let (dst, src) = self.field.split_at_mut(w);
+                dst[1..1 + self.ny].copy_from_slice(&src[1..1 + self.ny]);
+            }
+        }
+        match down {
+            Some(r) => {
+                let row: Vec<f64> = comm.recv(r, TAG_UP).map_err(|e| e.to_string())?;
+                self.field[(self.nx + 1) * w + 1..(self.nx + 1) * w + 1 + self.ny]
+                    .copy_from_slice(&row);
+            }
+            None => {
+                for j in 1..=self.ny {
+                    self.field[(self.nx + 1) * w + j] = self.field[self.nx * w + j];
+                }
+            }
+        }
+        match left {
+            Some(r) => {
+                let col: Vec<f64> = comm.recv(r, TAG_RIGHT).map_err(|e| e.to_string())?;
+                for i in 0..self.nx {
+                    self.field[(i + 1) * w] = col[i];
+                }
+            }
+            None => {
+                for i in 0..self.nx {
+                    self.field[(i + 1) * w] = self.field[(i + 1) * w + 1];
+                }
+            }
+        }
+        match right {
+            Some(r) => {
+                let col: Vec<f64> = comm.recv(r, TAG_LEFT).map_err(|e| e.to_string())?;
+                for i in 0..self.nx {
+                    self.field[(i + 1) * w + self.ny + 1] = col[i];
+                }
+            }
+            None => {
+                for i in 0..self.nx {
+                    self.field[(i + 1) * w + self.ny + 1] = self.field[(i + 1) * w + self.ny];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One explicit Euler step (ghosts must be current).
+    pub fn step_stencil(&mut self) {
+        let w = self.w();
+        for i in 1..=self.nx {
+            for j in 1..=self.ny {
+                let c = self.field[i * w + j];
+                let lap = self.field[(i - 1) * w + j]
+                    + self.field[(i + 1) * w + j]
+                    + self.field[i * w + j - 1]
+                    + self.field[i * w + j + 1]
+                    - 4.0 * c;
+                self.next[i * w + j] = c + self.alpha_dt * lap;
+            }
+        }
+        std::mem::swap(&mut self.field, &mut self.next);
+    }
+}
+
+/// Default initial condition: a hot square in the domain centre.
+pub fn hot_square(cfg: &HeatConfig) -> impl Fn(usize, usize) -> f64 + '_ {
+    let (gx, gy) = cfg.global;
+    move |i, j| {
+        let in_x = i >= gx / 4 && i < 3 * gx / 4;
+        let in_y = j >= gy / 4 && j < 3 * gy / 4;
+        if in_x && in_y {
+            100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the miniapp on one rank: init PDI metadata, raise `init`, then per
+/// timestep exchange ghosts, step the stencil, and expose `step` + `temp`.
+/// The `pdi` instance decides where the data goes (deisa plugin, post-hoc
+/// writer plugin, or nothing).
+pub fn run_rank(comm: &Comm, cfg: &HeatConfig, pdi: &mut Pdi) -> Result<LocalSolver, String> {
+    cfg.validate()?;
+    if comm.size() != cfg.n_ranks() {
+        return Err(format!(
+            "world size {} != proc grid {}x{}",
+            comm.size(),
+            cfg.procs.0,
+            cfg.procs.1
+        ));
+    }
+    let cart = CartComm::new(comm, &[cfg.procs.0, cfg.procs.1], &[false, false])?;
+    let coords = cfg.coords(comm.rank());
+    let (l0, l1) = cfg.local();
+    let mut solver = LocalSolver::new(cfg, coords, hot_square(cfg));
+
+    // Metadata for the plugins ($-expressions in the deisa config).
+    let e = |err: pdi::PdiError| err.to_string();
+    pdi.share("rank", comm.rank() as i64).map_err(e)?;
+    pdi.share("size", comm.size() as i64).map_err(e)?;
+    pdi.share("max_step", cfg.steps as i64).map_err(e)?;
+    pdi.share("loc", vec![l0 as i64, l1 as i64]).map_err(e)?;
+    pdi.share("proc", vec![cfg.procs.0 as i64, cfg.procs.1 as i64])
+        .map_err(e)?;
+    pdi.share("step", 0i64).map_err(e)?;
+    pdi.event("init").map_err(e)?;
+
+    for step in 0..cfg.steps {
+        solver.exchange_ghosts(&cart)?;
+        solver.step_stencil();
+        pdi.share("step", step as i64).map_err(e)?;
+        pdi.share("temp", solver.interior()).map_err(e)?;
+        pdi.event("iteration").map_err(e)?;
+    }
+    pdi.event("finalization").map_err(e)?;
+    Ok(solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::World;
+    use pdi::Yaml;
+
+    fn bare_pdi() -> Pdi {
+        Pdi::new(Yaml::Null)
+    }
+
+    #[test]
+    fn uniform_field_is_a_fixed_point() {
+        let cfg = HeatConfig::new((8, 8), (2, 2), 5).unwrap();
+        World::run(4, |comm| {
+            let cart = CartComm::new(comm, &[2, 2], &[false, false]).unwrap();
+            let mut s = LocalSolver::new(&cfg, cfg.coords(comm.rank()), |_, _| 7.0);
+            for _ in 0..5 {
+                s.exchange_ghosts(&cart).unwrap();
+                s.step_stencil();
+            }
+            let interior = s.interior();
+            for &v in interior.data() {
+                assert!((v - 7.0).abs() < 1e-12);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn heat_is_conserved_with_neumann_boundaries() {
+        let cfg = HeatConfig::new((12, 12), (2, 2), 8).unwrap();
+        let results = World::run(4, |comm| {
+            let mut pdi = bare_pdi();
+            let solver = run_rank(comm, &cfg, &mut pdi).unwrap();
+            solver.heat()
+        })
+        .unwrap();
+        let total: f64 = results.iter().sum();
+        // Initial heat: hot square 6x6 at 100.
+        let initial = 36.0 * 100.0;
+        assert!(
+            (total - initial).abs() < 1e-8,
+            "heat {total} != initial {initial}"
+        );
+    }
+
+    #[test]
+    fn peak_decays_and_stays_positive() {
+        let cfg = HeatConfig::new((8, 8), (1, 1), 10).unwrap();
+        World::run(1, |comm| {
+            let mut pdi = bare_pdi();
+            let solver = run_rank(comm, &cfg, &mut pdi).unwrap();
+            let interior = solver.interior();
+            let max = interior.data().iter().cloned().fold(f64::MIN, f64::max);
+            let min = interior.data().iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max < 100.0, "peak should decay, got {max}");
+            assert!(min > 0.0, "diffusion should warm the cold region");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // The decisive ghost-exchange test: 1 rank vs 4 ranks, same global
+        // field after N steps.
+        let cfg1 = HeatConfig::new((8, 12), (1, 1), 6).unwrap();
+        let serial = World::run(1, |comm| {
+            let mut pdi = bare_pdi();
+            run_rank(comm, &cfg1, &mut pdi).unwrap().interior()
+        })
+        .unwrap()
+        .pop()
+        .unwrap();
+
+        let cfg4 = HeatConfig::new((8, 12), (2, 2), 6).unwrap();
+        let blocks = World::run(4, |comm| {
+            let mut pdi = bare_pdi();
+            let s = run_rank(comm, &cfg4, &mut pdi).unwrap();
+            (cfg4.coords(comm.rank()), s.interior())
+        })
+        .unwrap();
+
+        let mut parallel = NDArray::zeros(&[8, 12]);
+        let (l0, l1) = cfg4.local();
+        for ((ci, cj), block) in blocks {
+            parallel
+                .assign_slice(&[ci * l0, cj * l1], &block)
+                .unwrap();
+        }
+        let diff = serial.max_abs_diff(&parallel).unwrap();
+        assert!(diff < 1e-12, "serial vs parallel diff {diff}");
+    }
+
+    #[test]
+    fn run_rank_rejects_bad_world_size() {
+        let cfg = HeatConfig::new((8, 8), (2, 2), 2).unwrap();
+        World::run(2, |comm| {
+            let mut pdi = bare_pdi();
+            assert!(run_rank(comm, &cfg, &mut pdi).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn symmetric_initial_condition_stays_symmetric() {
+        // The hot square is symmetric under 180-degree rotation of the
+        // domain; diffusion must preserve that symmetry.
+        let cfg = HeatConfig::new((8, 8), (1, 1), 6).unwrap();
+        World::run(1, |comm| {
+            let mut pdi = bare_pdi();
+            let s = run_rank(comm, &cfg, &mut pdi).unwrap();
+            let f = s.interior();
+            for i in 0..8 {
+                for j in 0..8 {
+                    let a = f.get(&[i, j]);
+                    let b = f.get(&[7 - i, 7 - j]);
+                    assert!((a - b).abs() < 1e-12, "asymmetry at ({i},{j})");
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn different_decompositions_agree() {
+        // 1x4, 4x1 and 2x2 rank grids all produce the same global field.
+        let run = |p0: usize, p1: usize| {
+            let cfg = HeatConfig::new((8, 8), (p0, p1), 5).unwrap();
+            let blocks = World::run(p0 * p1, |comm| {
+                let mut pdi = bare_pdi();
+                let s = run_rank(comm, &cfg, &mut pdi).unwrap();
+                (cfg.coords(comm.rank()), s.interior())
+            })
+            .unwrap();
+            let (l0, l1) = cfg.local();
+            let mut full = NDArray::zeros(&[8, 8]);
+            for ((ci, cj), b) in blocks {
+                full.assign_slice(&[ci * l0, cj * l1], &b).unwrap();
+            }
+            full
+        };
+        let a = run(1, 4);
+        let b = run(4, 1);
+        let c = run(2, 2);
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-12);
+        assert!(a.max_abs_diff(&c).unwrap() < 1e-12);
+    }
+}

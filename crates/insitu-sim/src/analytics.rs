@@ -1,0 +1,228 @@
+//! Consumer-side timelines: IPCA chained over timesteps.
+//!
+//! Four combinations, matching the paper's Fig. 2b/3b/4b series:
+//!
+//! * **in transit** (data pushed by bridges; from a [`SimSideOut`]):
+//!   - *old IPCA* — one graph per step (DEISA1): a step's work cannot start
+//!     before the adaptor's per-step submission is processed, and stacking
+//!     cannot be overlapped because the tasks do not exist yet;
+//!   - *new IPCA* — whole graph ahead of time (DEISA3): per-block stacking
+//!     tasks run as blocks arrive, only the `partial_fit` chain serializes;
+//! * **post hoc** (data read back from the PFS):
+//!   - *old IPCA* — per-step submission ⇒ the step `t+1` read starts only
+//!     after step `t` finished computing (no prefetch; the paper: "Dask will
+//!     perform two disk accesses" without the common graph);
+//!   - *new IPCA* — one graph ⇒ reads pipeline ahead of compute, so the
+//!     total approaches `max(read, compute)` instead of their sum.
+
+use crate::cost::CostModel;
+use crate::scenario::Scenario;
+use crate::simside::SimSideOut;
+use netsim::{transfer_ns, FifoServer, SimTime};
+
+/// Analytics-side result.
+#[derive(Debug, Clone)]
+pub struct AnalyticsOut {
+    /// Per-step completion time (ns, on the shared virtual clock).
+    pub step_done: Vec<SimTime>,
+    /// Total analytics duration (ns): last completion (in transit counts
+    /// from workflow start, like the paper's "includes waiting for data").
+    pub total: SimTime,
+    /// Bytes analysed.
+    pub bytes: u64,
+}
+
+/// Per-step stacking time when the R block tasks spread over W workers.
+fn stack_parallel(scen: &Scenario, cost: &CostModel) -> SimTime {
+    let blocks_per_worker = scen.n_ranks.div_ceil(scen.n_workers.max(1)) as u64;
+    transfer_ns(blocks_per_worker * scen.block_bytes, cost.stack_bw)
+}
+
+/// Gathering a step's stacked batch onto the executing worker.
+fn gather_time(scen: &Scenario, cost: &CostModel) -> SimTime {
+    // (W-1)/W of the batch crosses the executing worker's NIC.
+    let external = scen.step_bytes() * (scen.n_workers.max(1) as u64 - 1)
+        / scen.n_workers.max(1) as u64;
+    transfer_ns(external, cost.network.nic_bw)
+}
+
+/// The `partial_fit` stage: the tall-skinny part of the augmented-matrix SVD
+/// distributes over the workers (dask-ml computes it with TSQR), leaving a
+/// fixed small-SVD core sequential.
+fn pf_time(scen: &Scenario, cost: &CostModel) -> SimTime {
+    cost.svd_base_ns
+        + transfer_ns(
+            scen.step_bytes() / scen.n_workers.max(1) as u64,
+            cost.ipca_bw,
+        )
+}
+
+/// In-transit analytics over a completed producer-side run.
+pub fn run_insitu_analytics(
+    scen: &Scenario,
+    cost: &CostModel,
+    sim: &SimSideOut,
+    old_ipca: bool,
+) -> AnalyticsOut {
+    let mut done: SimTime = 0;
+    let mut step_done = Vec::with_capacity(scen.steps);
+    for t in 0..scen.steps {
+        let data = sim.data_ready[t];
+        let start = if old_ipca {
+            // DEISA1: the step's graph must have been submitted & processed,
+            // and the client pays a submission overhead every step.
+            data.max(done)
+                .max(sim.submit_done.get(t).copied().unwrap_or(0))
+                + cost.submit_overhead_ns
+        } else {
+            data.max(done)
+        };
+        let work = if old_ipca {
+            // Stacking tasks only exist after submission: fully on the
+            // critical path.
+            stack_parallel(scen, cost) + gather_time(scen, cost) + pf_time(scen, cost)
+        } else {
+            // New IPCA: stacking of this step's blocks overlapped with the
+            // previous step's partial_fit; only the last block's stack tail
+            // plus gather + partial_fit remain on the chain.
+            transfer_ns(scen.block_bytes, cost.stack_bw)
+                + gather_time(scen, cost)
+                + pf_time(scen, cost)
+        };
+        done = start + work;
+        step_done.push(done);
+    }
+    AnalyticsOut {
+        total: done,
+        step_done,
+        bytes: scen.step_bytes() * scen.steps as u64,
+    }
+}
+
+/// Post-hoc analytics: read the container back from the shared PFS.
+pub fn run_posthoc_analytics(scen: &Scenario, cost: &CostModel, new_ipca: bool) -> AnalyticsOut {
+    let mut pfs = FifoServer::new();
+    let step_read_service = transfer_ns(scen.step_bytes(), cost.pfs_bw)
+        + cost.pfs_latency * scen.n_ranks as u64;
+    let mut done: SimTime = 0;
+    let mut step_done = Vec::with_capacity(scen.steps);
+    if new_ipca {
+        // Single graph: reads pipeline ahead of compute.
+        let mut read_done = Vec::with_capacity(scen.steps);
+        for _ in 0..scen.steps {
+            let (_, fin) = pfs.enqueue(0, step_read_service);
+            read_done.push(fin);
+        }
+        let submit = cost.submit_overhead_ns;
+        for t in 0..scen.steps {
+            let start = read_done[t].max(done).max(submit);
+            done = start
+                + stack_parallel(scen, cost)
+                + gather_time(scen, cost)
+                + pf_time(scen, cost);
+            step_done.push(done);
+        }
+    } else {
+        // Per-step graphs: the next read starts only after this step's
+        // compute finished, every step pays the submission overhead, and the
+        // separate statistics/fit graphs re-read the chunks — "if a given
+        // data is needed by two tasks submitted in two separate task graphs,
+        // Dask will perform two disk accesses" (§3.3.1).
+        for _ in 0..scen.steps {
+            let start = done + cost.submit_overhead_ns;
+            let (_, read_fin) = pfs.enqueue(start, 2 * step_read_service);
+            done = read_fin
+                + stack_parallel(scen, cost)
+                + gather_time(scen, cost)
+                + pf_time(scen, cost);
+            step_done.push(done);
+        }
+    }
+    AnalyticsOut {
+        total: done,
+        step_done,
+        bytes: scen.step_bytes() * scen.steps as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Mode;
+    use crate::simside::run_sim_side;
+
+    fn scen(mode: Mode, ranks: usize, workers: usize) -> Scenario {
+        Scenario {
+            mode,
+            n_ranks: ranks,
+            n_workers: workers,
+            block_bytes: 128 << 20,
+            steps: 10,
+            seed: 1,
+            send_permille: 1000,
+        }
+    }
+
+    #[test]
+    fn new_ipca_beats_old_ipca_post_hoc() {
+        let cost = CostModel::default();
+        let s = scen(Mode::PostHoc, 32, 16);
+        let old = run_posthoc_analytics(&s, &cost, false);
+        let new = run_posthoc_analytics(&s, &cost, true);
+        assert!(
+            new.total < old.total,
+            "pipelined reads should win: {} vs {}",
+            new.total,
+            old.total
+        );
+        // The paper sees "almost twice as fast in some cases".
+        let ratio = old.total as f64 / new.total as f64;
+        assert!(ratio > 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn insitu_beats_posthoc_at_scale() {
+        let cost = CostModel::default();
+        let s3 = scen(Mode::Deisa3, 64, 32);
+        let sim = run_sim_side(&s3, &cost);
+        let insitu = run_insitu_analytics(&s3, &cost, &sim, false);
+        let ph = run_posthoc_analytics(&scen(Mode::PostHoc, 64, 32), &cost, false);
+        assert!(
+            insitu.total < ph.total,
+            "in transit should beat post hoc at 64 procs: {} vs {}",
+            insitu.total,
+            ph.total
+        );
+    }
+
+    #[test]
+    fn deisa1_analytics_slower_than_deisa3() {
+        let cost = CostModel::default();
+        let s1 = scen(Mode::Deisa1, 64, 32);
+        let sim1 = run_sim_side(&s1, &cost);
+        let a1 = run_insitu_analytics(&s1, &cost, &sim1, true);
+        let s3 = scen(Mode::Deisa3, 64, 32);
+        let sim3 = run_sim_side(&s3, &cost);
+        let a3 = run_insitu_analytics(&s3, &cost, &sim3, false);
+        assert!(
+            a1.total > a3.total,
+            "DEISA1+old IPCA should be slower: {} vs {}",
+            a1.total,
+            a3.total
+        );
+    }
+
+    #[test]
+    fn step_done_is_monotone_and_bytes_add_up() {
+        let cost = CostModel::default();
+        let s = scen(Mode::PostHoc, 8, 4);
+        for new in [false, true] {
+            let out = run_posthoc_analytics(&s, &cost, new);
+            for w in out.step_done.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert_eq!(out.bytes, (128 << 20) * 8 * 10);
+            assert_eq!(out.total, *out.step_done.last().unwrap());
+        }
+    }
+}

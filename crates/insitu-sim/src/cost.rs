@@ -1,0 +1,124 @@
+//! The calibrated cost model.
+//!
+//! Each constant is a physical rate or service time; the *shapes* of the
+//! figures come from how the protocols exercise them, not from per-figure
+//! tuning. Sources:
+//!
+//! * `nic_bw` — Irene's EDR InfiniBand is 100 Gb/s ≈ 12.5 GB/s (§3).
+//! * `pfs_bw` — a Lustre allocation's effective aggregate write bandwidth is
+//!   far below the fabric; we use 2 GB/s for the job's share, which makes
+//!   post-hoc writes saturate right where the paper's Fig. 2a/3a do.
+//! * `compute_per_byte` — calibrated so a 128 MiB/process Heat2D iteration
+//!   costs ≈ 2.4 s, matching the flat "Simulation" series of Fig. 2a. (The
+//!   real `heat2d` kernel is much faster per cell; the paper's miniapp does
+//!   more work per iteration — only the *constant* differs, not the flat
+//!   weak-scaling shape.)
+//! * scheduler service times — a centralized Python scheduler spends on the
+//!   order of milliseconds per metadata-heavy message (the overload the
+//!   paper attacks). DEISA1's per-timestep messages carry whole-array
+//!   metadata (`sched_meta_ns`, heavy); the external-task `update_data` of
+//!   DEISA2/3 carries only a key (`sched_update_ns`, light); graph tasks
+//!   cost `sched_task_ns` each at submission.
+//! * `ipca_flops_bw` / `svd_base_ns` — IPCA `partial_fit` throughput per
+//!   worker core and the fixed small-SVD core cost.
+
+use netsim::{NetworkConfig, SimTime, MS, US};
+
+/// All model constants.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Simulation compute per byte of local block per iteration (ns/B).
+    pub compute_per_byte_x1000: u64,
+    /// Relative compute jitter (1/1000 units; OS noise etc.).
+    pub jitter_permille: u64,
+    /// Fixed client-side cost of one `scatter` call (serialization, comm
+    /// setup, ack round trip in the Python client) — paid per bridge per
+    /// step, independent of scale. This is why the paper's DEISA3
+    /// communication bars sit well above raw wire time yet stay flat.
+    pub scatter_overhead_ns: SimTime,
+    /// Scheduler service per *light* control message (external update_data,
+    /// heartbeat ack).
+    pub sched_update_ns: SimTime,
+    /// Scheduler service per *metadata-heavy* DEISA1 message (classic
+    /// scatter update + queue ops).
+    pub sched_meta_ns: SimTime,
+    /// Scheduler service per task of a submitted graph.
+    pub sched_task_ns: SimTime,
+    /// Control-message payload size (bytes) on the wire.
+    pub ctrl_bytes: u64,
+    /// Aggregate PFS bandwidth (bytes/s), shared by all writers/readers.
+    pub pfs_bw: u64,
+    /// Per-operation PFS latency.
+    pub pfs_latency: SimTime,
+    /// One-off cost of creating the output file (the paper observed the
+    /// first post-hoc iteration is longer; they exclude it, so do we).
+    pub pfs_create_ns: SimTime,
+    /// Analytics streaming throughput per worker core (bytes/s) for
+    /// stacking/assembly work.
+    pub stack_bw: u64,
+    /// IPCA `partial_fit` batch throughput (bytes/s) on one worker.
+    pub ipca_bw: u64,
+    /// Fixed cost of the small-SVD core per `partial_fit`.
+    pub svd_base_ns: SimTime,
+    /// Per-graph client→scheduler submission overhead (old IPCA pays this
+    /// every step, new IPCA once).
+    pub submit_overhead_ns: SimTime,
+    /// Network parameters (node count is set per scenario).
+    pub network: NetworkConfig,
+    /// Simulation processes per node (the paper fixes 2).
+    pub ranks_per_node: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // 2.4 s / 128 MiB  =>  ~17.9 ns/B  => 17900 per 1000 bytes.
+            compute_per_byte_x1000: 17_900,
+            jitter_permille: 8,
+            scatter_overhead_ns: 150 * MS,
+            sched_update_ns: 500 * US,
+            sched_meta_ns: 10 * MS,
+            sched_task_ns: MS,
+            ctrl_bytes: 2_048,
+            pfs_bw: 2_000_000_000,
+            pfs_latency: 500 * US,
+            pfs_create_ns: 800 * MS,
+            stack_bw: 2_500_000_000,
+            ipca_bw: 1_200_000_000,
+            svd_base_ns: 60 * MS,
+            submit_overhead_ns: 25 * MS,
+            network: NetworkConfig {
+                nodes: 0, // filled per scenario
+                nodes_per_switch: 24,
+                nic_bw: 12_500_000_000,
+                prune_factor: 2,
+                hop_latency: 1_000,
+            },
+            ranks_per_node: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Simulation compute time for a local block of `bytes`.
+    pub fn compute_ns(&self, bytes: u64) -> SimTime {
+        (bytes as u128 * self.compute_per_byte_x1000 as u128 / 1000) as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SEC;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostModel::default();
+        // 128 MiB iteration ≈ 2.4 s.
+        let t = c.compute_ns(128 << 20);
+        assert!(t > 2 * SEC && t < 3 * SEC, "{t}");
+        // Heavy metadata messages are an order of magnitude above light ones.
+        assert!(c.sched_meta_ns >= 10 * c.sched_update_ns);
+        assert!(c.pfs_bw < c.network.nic_bw);
+    }
+}

@@ -1,0 +1,36 @@
+//! `insitu-sim` — DES models of the paper's four workflow configurations.
+//!
+//! The real runtime (`dtask` + `deisa-core` + `heat2d`) executes the
+//! protocols with real data at laptop scale; this crate replays the *same
+//! message schedules* at paper scale (up to 128 ranks × 1 GiB per process)
+//! on the `netsim` discrete-event simulator to regenerate the evaluation
+//! figures. The correspondence is enforced by integration tests: the message
+//! counts per class that the models inject equal the counts the real runtime
+//! produces (`dtask::SchedulerStats`).
+//!
+//! Modules:
+//! * [`cost`] — the calibrated cost model (NIC/PFS bandwidths, scheduler
+//!   service times, compute rates) with the rationale for each constant,
+//! * [`scenario`] — workload + placement description (which node each actor
+//!   occupies in the pruned fat tree; the seed moves the allocation's switch
+//!   boundary, reproducing §3.3.2's placement variability),
+//! * [`simside`] — the producer-side DES: compute, ghost-sync lockstep,
+//!   scatter data+control, scheduler queueing, heartbeats, PFS writes,
+//! * [`analytics`] — the consumer-side timelines: in-transit IPCA (old and
+//!   new) chained on data arrival, post-hoc IPCA chained on PFS reads,
+//! * [`figures`] — one function per paper figure, returning plot-ready
+//!   series.
+
+pub mod ablations;
+pub mod analytics;
+pub mod cost;
+pub mod figures;
+pub mod scenario;
+pub mod simside;
+pub mod stats_util;
+
+pub use cost::CostModel;
+pub use figures::{Figure, Series};
+pub use scenario::{Mode, Scenario};
+pub use ablations::all_ablations;
+pub use simside::{run_sim_side, SimSideOut};

@@ -1,0 +1,466 @@
+//! Producer-side DES: simulation iterations, scatter, scheduler queueing,
+//! heartbeats, and PFS writes.
+//!
+//! Per iteration and rank, the model injects exactly the message schedule the
+//! real runtime emits (see the cross-check integration tests):
+//!
+//! * **DEISA2/3** — data block → preselected worker (network), then one
+//!   *light* `update_data` control message → scheduler;
+//! * **DEISA1** — same data movement, but the `update_data` is *metadata-
+//!   heavy*, plus one heavy queue-push message per rank, plus a per-step
+//!   adaptor turn (R queue pops + an R-task graph submission) on the
+//!   scheduler, plus periodic heartbeats;
+//! * **post hoc** — the block goes to the shared PFS instead (no scheduler
+//!   traffic during the run).
+//!
+//! Iterations are lockstep (ghost exchange synchronizes the stencil), so
+//! step `t+1` starts once every rank finished compute + I/O of step `t` —
+//! matching how the paper reports "maximum duration per iteration".
+
+use crate::cost::CostModel;
+use crate::scenario::{Mode, Scenario};
+use netsim::{transfer_ns, Engine, FifoServer, Network, SimTime, SEC};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Control-message kinds at the scheduler.
+#[derive(Debug, Clone, Copy)]
+enum Ctrl {
+    /// `update_data` of one rank's block (completion unblocks the rank).
+    Update { rank: usize, t: usize, heavy: bool },
+    /// DEISA1 queue push (completion counts toward the adaptor's step).
+    Push { t: usize },
+    /// Heartbeat (fire and forget).
+    Heartbeat,
+    /// DEISA1 per-step adaptor turn: pops + graph submission.
+    Submit { t: usize },
+}
+
+#[derive(Debug)]
+enum Ev {
+    ComputeDone { rank: usize, t: usize },
+    DataArrive { rank: usize, t: usize },
+    CtrlArrive { ctrl: Ctrl },
+    CtrlDone { ctrl: Ctrl },
+    WriteDone { rank: usize, t: usize },
+    HeartbeatTick { rank: usize },
+}
+
+/// Results of a producer-side run.
+#[derive(Debug, Clone)]
+pub struct SimSideOut {
+    /// Per `[t][rank]` communication/IO duration (from local compute done to
+    /// scatter-acknowledged / write-complete), ns.
+    pub comm: Vec<Vec<SimTime>>,
+    /// Per `[t][rank]` compute duration, ns.
+    pub compute: Vec<Vec<SimTime>>,
+    /// Per step: when the last block of the step reached its worker (deisa)
+    /// or the PFS (post hoc), ns.
+    pub data_ready: Vec<SimTime>,
+    /// DEISA1: when the step's graph submission finished on the scheduler
+    /// (zeros for other modes).
+    pub submit_done: Vec<SimTime>,
+    /// Total virtual runtime.
+    pub makespan: SimTime,
+    /// Scheduler busy time (load diagnostics).
+    pub sched_busy: SimTime,
+    /// Control messages that hit the scheduler.
+    pub sched_msgs: u64,
+}
+
+struct Model {
+    scen: Scenario,
+    cost: CostModel,
+    nodes_rank: Vec<usize>,
+    node_sched: usize,
+    node_client: usize,
+    nodes_worker: Vec<usize>,
+    net: Network,
+    sched: FifoServer,
+    pfs: FifoServer,
+    // progress state
+    compute_done: Vec<Vec<SimTime>>,
+    data_arrive: Vec<Vec<SimTime>>,
+    comm_done: Vec<Vec<SimTime>>,
+    rank_complete: Vec<usize>, // per t: number of ranks done
+    pushes_done: Vec<usize>,
+    submit_done: Vec<SimTime>,
+    all_done: bool,
+    sched_msgs: u64,
+}
+
+impl Model {
+    fn jitter(&self, rank: usize, t: usize) -> u64 {
+        let mut rng = SmallRng::seed_from_u64(
+            self.scen
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((rank as u64) << 20)
+                .wrapping_add(t as u64),
+        );
+        rng.gen_range(0..=self.cost.jitter_permille)
+    }
+
+    fn compute_time(&self, rank: usize, t: usize) -> SimTime {
+        let base = self.cost.compute_ns(self.scen.block_bytes);
+        base + base * self.jitter(rank, t) / 1000
+    }
+
+    fn schedule_iteration(&mut self, eng: &mut Engine<Ev>, t: usize) {
+        for rank in 0..self.scen.n_ranks {
+            let dt = self.compute_time(rank, t);
+            eng.schedule(dt, Ev::ComputeDone { rank, t });
+        }
+    }
+
+    fn sched_enqueue(&mut self, eng: &mut Engine<Ev>, now: SimTime, ctrl: Ctrl) {
+        let service = match ctrl {
+            Ctrl::Update { heavy, .. } => {
+                if heavy {
+                    self.cost.sched_meta_ns
+                } else {
+                    self.cost.sched_update_ns
+                }
+            }
+            Ctrl::Push { .. } => self.cost.sched_meta_ns,
+            // Dask heartbeats carry worker state/metrics payloads the
+            // scheduler must merge — metadata weight, not ping weight.
+            Ctrl::Heartbeat => self.cost.sched_meta_ns,
+            Ctrl::Submit { .. } => {
+                let r = self.scen.n_ranks as u64;
+                // R queue pops (heavy metadata) + R graph tasks.
+                r * self.cost.sched_meta_ns + r * self.cost.sched_task_ns
+            }
+        };
+        self.sched_msgs += 1;
+        let (_, fin) = self.sched.enqueue(now, service);
+        eng.schedule_at(fin, Ev::CtrlDone { ctrl });
+    }
+
+    fn rank_step_complete(&mut self, eng: &mut Engine<Ev>, t: usize, rank: usize, done_at: SimTime) {
+        self.comm_done[t][rank] = done_at;
+        self.rank_complete[t] += 1;
+        if self.rank_complete[t] == self.scen.n_ranks {
+            // Lockstep barrier: next iteration starts for everyone once the
+            // slowest rank finished (completions can land out of order
+            // because reply latencies differ per rank).
+            let barrier = self.comm_done[t].iter().copied().max().expect("ranks > 0");
+            if t + 1 < self.scen.steps {
+                let t_next = t + 1;
+                for r in 0..self.scen.n_ranks {
+                    let dt = self.compute_time(r, t_next);
+                    eng.schedule_at(barrier + dt, Ev::ComputeDone { rank: r, t: t_next });
+                }
+            } else {
+                self.all_done = true;
+            }
+        }
+    }
+}
+
+/// Run the producer side of a scenario.
+pub fn run_sim_side(scen: &Scenario, cost: &CostModel) -> SimSideOut {
+    let (net, placement) = scen.network(cost);
+    let steps = scen.steps;
+    let n = scen.n_ranks;
+    let mut model = Model {
+        scen: scen.clone(),
+        cost: cost.clone(),
+        nodes_rank: placement.ranks.clone(),
+        node_sched: placement.scheduler,
+        node_client: placement.client,
+        nodes_worker: placement.workers.clone(),
+        net,
+        sched: FifoServer::new(),
+        pfs: FifoServer::new(),
+        compute_done: vec![vec![0; n]; steps],
+        data_arrive: vec![vec![0; n]; steps],
+        comm_done: vec![vec![0; n]; steps],
+        rank_complete: vec![0; steps],
+        pushes_done: vec![0; steps],
+        submit_done: vec![0; steps],
+        all_done: false,
+        sched_msgs: 0,
+    };
+    let mut eng: Engine<Ev> = Engine::new();
+    model.schedule_iteration(&mut eng, 0);
+    // Heartbeats: bridges connect almost simultaneously at startup, so
+    // their periodic timers stay loosely aligned — heartbeats arrive in
+    // bursts a few milliseconds apart, which occasionally collide with a
+    // step's scatter window (the variability source of §3.3.2).
+    if let Some(hb) = scen.mode.heartbeat_secs() {
+        for rank in 0..n {
+            let start = rank as u64 * 3 * netsim::MS % (hb * SEC) + 1;
+            eng.schedule(start, Ev::HeartbeatTick { rank });
+        }
+    }
+
+    eng.run(&mut model, |eng, m, ev| {
+        let now = eng.now();
+        match ev {
+            Ev::ComputeDone { rank, t } => {
+                m.compute_done[t][rank] = now;
+                match m.scen.mode {
+                    Mode::PostHoc => {
+                        let mut service =
+                            transfer_ns(m.scen.block_bytes, m.cost.pfs_bw) + m.cost.pfs_latency;
+                        if t == 0 {
+                            service += m.cost.pfs_create_ns;
+                        }
+                        let (_, fin) = m.pfs.enqueue(now, service);
+                        eng.schedule_at(fin, Ev::WriteDone { rank, t });
+                    }
+                    _ if !m.scen.rank_sends(rank) => {
+                        // Contract filtered this block: the bridge checks
+                        // locally and skips all communication (§2.4.3).
+                        m.rank_step_complete(eng, t, rank, now);
+                    }
+                    _ => {
+                        let worker_node = m.nodes_worker[m.scen.worker_of_rank(rank)];
+                        let arrive =
+                            m.net
+                                .send(now, m.nodes_rank[rank], worker_node, m.scen.block_bytes);
+                        eng.schedule_at(arrive, Ev::DataArrive { rank, t });
+                    }
+                }
+            }
+            Ev::DataArrive { rank, t } => {
+                m.data_arrive[t][rank] = now;
+                let heavy = m.scen.mode == Mode::Deisa1;
+                let arr = m
+                    .net
+                    .send(now, m.nodes_rank[rank], m.node_sched, m.cost.ctrl_bytes);
+                eng.schedule_at(
+                    arr,
+                    Ev::CtrlArrive {
+                        ctrl: Ctrl::Update { rank, t, heavy },
+                    },
+                );
+                if m.scen.mode == Mode::Deisa1 {
+                    let arr2 =
+                        m.net
+                            .send(now, m.nodes_rank[rank], m.node_sched, m.cost.ctrl_bytes);
+                    eng.schedule_at(
+                        arr2,
+                        Ev::CtrlArrive {
+                            ctrl: Ctrl::Push { t },
+                        },
+                    );
+                }
+            }
+            Ev::CtrlArrive { ctrl } => {
+                m.sched_enqueue(eng, now, ctrl);
+            }
+            Ev::CtrlDone { ctrl } => match ctrl {
+                Ctrl::Update { rank, t, .. } => {
+                    // Reply back to the bridge completes the scatter, plus
+                    // the fixed client-side scatter-call overhead.
+                    let hops = m.net.hops(m.node_sched, m.nodes_rank[rank]) as u64;
+                    let done = now
+                        + hops * m.cost.network.hop_latency
+                        + m.cost.scatter_overhead_ns;
+                    m.rank_step_complete(eng, t, rank, done);
+                }
+                Ctrl::Push { t } => {
+                    m.pushes_done[t] += 1;
+                    if m.pushes_done[t] == m.scen.n_ranks {
+                        // Adaptor pops everything and submits the step graph.
+                        let arr =
+                            m.net
+                                .send(now, m.node_client, m.node_sched, m.cost.ctrl_bytes);
+                        eng.schedule_at(
+                            arr,
+                            Ev::CtrlArrive {
+                                ctrl: Ctrl::Submit { t },
+                            },
+                        );
+                    }
+                }
+                Ctrl::Submit { t } => {
+                    m.submit_done[t] = now;
+                }
+                Ctrl::Heartbeat => {}
+            },
+            Ev::WriteDone { rank, t } => {
+                m.data_arrive[t][rank] = now;
+                m.rank_step_complete(eng, t, rank, now);
+            }
+            Ev::HeartbeatTick { rank } => {
+                if !m.all_done {
+                    let arr = m
+                        .net
+                        .send(now, m.nodes_rank[rank], m.node_sched, m.cost.ctrl_bytes);
+                    eng.schedule_at(
+                        arr,
+                        Ev::CtrlArrive {
+                            ctrl: Ctrl::Heartbeat,
+                        },
+                    );
+                    let hb = m.scen.mode.heartbeat_secs().expect("ticking implies heartbeats");
+                    eng.schedule(hb * SEC, Ev::HeartbeatTick { rank });
+                }
+            }
+        }
+    });
+
+    let comm: Vec<Vec<SimTime>> = (0..steps)
+        .map(|t| {
+            (0..n)
+                .map(|r| model.comm_done[t][r].saturating_sub(model.compute_done[t][r]))
+                .collect()
+        })
+        .collect();
+    let compute: Vec<Vec<SimTime>> = (0..steps)
+        .map(|t| {
+            (0..n)
+                .map(|r| {
+                    let start = if t == 0 {
+                        0
+                    } else {
+                        // iteration t started at the barrier = max comm_done of t-1
+                        model.comm_done[t - 1].iter().copied().max().unwrap_or(0)
+                    };
+                    model.compute_done[t][r].saturating_sub(start)
+                })
+                .collect()
+        })
+        .collect();
+    let data_ready: Vec<SimTime> = (0..steps)
+        .map(|t| model.data_arrive[t].iter().copied().max().unwrap_or(0))
+        .collect();
+    let makespan = model
+        .comm_done
+        .last()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .unwrap_or(0);
+    SimSideOut {
+        comm,
+        compute,
+        data_ready,
+        submit_done: model.submit_done,
+        makespan,
+        sched_busy: model.sched.busy_total(),
+        sched_msgs: model.sched_msgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scen(mode: Mode, ranks: usize, workers: usize, mib: u64) -> Scenario {
+        Scenario {
+            mode,
+            n_ranks: ranks,
+            n_workers: workers,
+            block_bytes: mib << 20,
+            steps: 10,
+            seed: 1,
+            send_permille: 1000,
+        }
+    }
+
+    fn mean_comm(out: &SimSideOut) -> f64 {
+        let vals: Vec<f64> = out.comm.iter().flatten().map(|&v| v as f64).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cost = CostModel::default();
+        let s = scen(Mode::Deisa1, 16, 8, 128);
+        let a = run_sim_side(&s, &cost);
+        let b = run_sim_side(&s, &cost);
+        assert_eq!(a.comm, b.comm);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn deisa1_comm_exceeds_deisa3() {
+        let cost = CostModel::default();
+        let d1 = run_sim_side(&scen(Mode::Deisa1, 64, 32, 128), &cost);
+        let d3 = run_sim_side(&scen(Mode::Deisa3, 64, 32, 128), &cost);
+        let (m1, m3) = (mean_comm(&d1), mean_comm(&d3));
+        assert!(
+            m1 > 3.0 * m3,
+            "DEISA1 comm {m1} should far exceed DEISA3 {m3}"
+        );
+    }
+
+    #[test]
+    fn deisa1_gap_grows_with_scale() {
+        let cost = CostModel::default();
+        let ratio = |ranks: usize, workers: usize| {
+            let d1 = run_sim_side(&scen(Mode::Deisa1, ranks, workers, 128), &cost);
+            let d3 = run_sim_side(&scen(Mode::Deisa3, ranks, workers, 128), &cost);
+            mean_comm(&d1) / mean_comm(&d3)
+        };
+        let small = ratio(4, 2);
+        let large = ratio(64, 32);
+        assert!(
+            large > small,
+            "metadata overload should grow with ranks: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn posthoc_write_time_grows_with_ranks_deisa_flat() {
+        let cost = CostModel::default();
+        // Weak scaling: double the ranks, PFS time should ~double; DEISA3
+        // stays roughly flat.
+        let ph_small = mean_comm(&run_sim_side(&scen(Mode::PostHoc, 8, 4, 128), &cost));
+        let ph_large = mean_comm(&run_sim_side(&scen(Mode::PostHoc, 32, 16, 128), &cost));
+        assert!(
+            ph_large > 2.5 * ph_small,
+            "PFS contention should grow: {ph_small} -> {ph_large}"
+        );
+        let d3_small = mean_comm(&run_sim_side(&scen(Mode::Deisa3, 8, 4, 128), &cost));
+        let d3_large = mean_comm(&run_sim_side(&scen(Mode::Deisa3, 32, 16, 128), &cost));
+        assert!(
+            d3_large < 2.0 * d3_small,
+            "DEISA3 comm should stay near-flat: {d3_small} -> {d3_large}"
+        );
+    }
+
+    #[test]
+    fn simulation_compute_weak_scales_flat() {
+        let cost = CostModel::default();
+        let small = run_sim_side(&scen(Mode::Deisa3, 4, 2, 128), &cost);
+        let large = run_sim_side(&scen(Mode::Deisa3, 64, 32, 128), &cost);
+        let mc = |o: &SimSideOut| {
+            let v: Vec<f64> = o.compute.iter().flatten().map(|&x| x as f64).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let (a, b) = (mc(&small), mc(&large));
+        assert!((a - b).abs() / a < 0.05, "compute should be flat: {a} vs {b}");
+    }
+
+    #[test]
+    fn heartbeats_add_scheduler_messages() {
+        let cost = CostModel::default();
+        let d1 = run_sim_side(&scen(Mode::Deisa1, 32, 16, 128), &cost);
+        let d2 = run_sim_side(&scen(Mode::Deisa2, 32, 16, 128), &cost);
+        let d3 = run_sim_side(&scen(Mode::Deisa3, 32, 16, 128), &cost);
+        assert!(d1.sched_msgs > d2.sched_msgs);
+        assert!(d2.sched_msgs >= d3.sched_msgs);
+    }
+
+    #[test]
+    fn submit_done_only_for_deisa1() {
+        let cost = CostModel::default();
+        let d1 = run_sim_side(&scen(Mode::Deisa1, 8, 4, 64), &cost);
+        assert!(d1.submit_done.iter().all(|&t| t > 0));
+        let d3 = run_sim_side(&scen(Mode::Deisa3, 8, 4, 64), &cost);
+        assert!(d3.submit_done.iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn data_ready_is_monotone() {
+        let cost = CostModel::default();
+        let out = run_sim_side(&scen(Mode::Deisa3, 16, 8, 64), &cost);
+        for w in out.data_ready.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(out.makespan >= *out.data_ready.last().unwrap());
+    }
+}

@@ -1,0 +1,58 @@
+//! Small statistics helpers for figure assembly.
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Nanoseconds → seconds.
+pub fn ns_to_s(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Bytes and nanoseconds → MiB/s.
+pub fn mib_per_s(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / (1 << 20) as f64) / (ns as f64 / 1e9)
+}
+
+/// Seconds and a core count → core-hours.
+pub fn core_hours(seconds: f64, cores: usize) -> f64 {
+    seconds * cores as f64 / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std(&[5.0]), 0.0);
+        let s = std(&[2.0, 4.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ns_to_s(1_500_000_000), 1.5);
+        assert!((mib_per_s(1 << 20, 1_000_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(mib_per_s(1, 0), 0.0);
+        assert!((core_hours(3600.0, 2) - 2.0).abs() < 1e-12);
+    }
+}

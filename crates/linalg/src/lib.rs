@@ -1,0 +1,56 @@
+//! Dense linear algebra built from scratch for the DEISA reproduction.
+//!
+//! The analytics side of the paper (incremental PCA, randomized SVD) needs a
+//! small but real linear-algebra stack. This crate provides:
+//!
+//! * [`NDArray`] — a row-major dense n-dimensional array of `f64`,
+//! * [`Matrix`] — a 2-D specialization with blocked `matmul`,
+//! * Householder [`qr`] and the communication-avoiding tall-skinny [`qr::tsqr`],
+//! * one-sided Jacobi [`svd`] (robust for the small cores IPCA produces),
+//! * [`rsvd`] — the randomized SVD used by `svd_solver='randomized'` in the
+//!   paper's Listing 2,
+//! * axis [`stats`] (mean / variance) used by the IPCA update.
+//!
+//! Everything is deterministic given a seed; no external BLAS.
+
+pub mod matrix;
+pub mod ndarray;
+pub mod qr;
+pub mod rsvd;
+pub mod stats;
+pub mod svd;
+
+pub use matrix::Matrix;
+pub use ndarray::NDArray;
+pub use qr::{householder_qr, tsqr};
+pub use rsvd::randomized_svd;
+pub use svd::{jacobi_svd, Svd};
+
+/// Error type for shape/argument mismatches in linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// An argument was out of the valid domain (e.g. `k` larger than `min(m,n)`).
+    InvalidArgument {
+        /// Human-readable description of the bad argument.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            LinalgError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,353 @@
+//! 2-D matrix type with cache-blocked multiplication.
+//!
+//! `Matrix` is the working type of the QR/SVD kernels. It is deliberately a
+//! plain row-major `Vec<f64>` (per the perf-book guidance: flat storage, no
+//! pointer chasing) with a micro-kernel-free but cache-blocked `matmul`.
+
+use crate::ndarray::NDArray;
+use crate::{LinalgError, Result};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+/// Block size for the cache-blocked matmul; chosen so three blocks of
+/// `B*B` f64 fit comfortably in L1/L2.
+const MM_BLOCK: usize = 64;
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("{rows}x{cols} wants {} elements, got {}", rows * cols, data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// View a 2-D [`NDArray`] as a matrix (copy-free move of the buffer).
+    pub fn from_ndarray(a: NDArray) -> Result<Self> {
+        if a.ndim() != 2 {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("expected 2-D array, got {:?}", a.shape()),
+            });
+        }
+        let (r, c) = (a.shape()[0], a.shape()[1]);
+        Matrix::from_vec(r, c, a.into_vec())
+    }
+
+    /// Convert into a 2-D [`NDArray`].
+    pub fn into_ndarray(self) -> NDArray {
+        NDArray::from_vec(&[self.rows, self.cols], self.data).expect("consistent shape")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Cache-blocked matrix multiplication `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for ib in (0..m).step_by(MM_BLOCK) {
+            let imax = (ib + MM_BLOCK).min(m);
+            for kb in (0..k).step_by(MM_BLOCK) {
+                let kmax = (kb + MM_BLOCK).min(k);
+                for jb in (0..n).step_by(MM_BLOCK) {
+                    let jmax = (jb + MM_BLOCK).min(n);
+                    for i in ib..imax {
+                        for kk in kb..kmax {
+                            let a = self.data[i * k + kk];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let rrow = &rhs.data[kk * n..kk * n + n];
+                            let orow = &mut out.data[i * n..i * n + n];
+                            for j in jb..jmax {
+                                orow[j] += a * rrow[j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("({}x{})^T * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let arow = &self.data[kk * self.cols..(kk + 1) * self.cols];
+            let brow = &rhs.data[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let a = arow[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Stack matrices vertically (all must share a column count).
+    pub fn vstack(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts.first().ok_or_else(|| LinalgError::InvalidArgument {
+            what: "vstack of zero matrices".into(),
+        })?;
+        let cols = first.cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            if p.cols != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    what: format!("vstack: {} cols vs {} cols", p.cols, cols),
+                });
+            }
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Copy of the first `k` columns.
+    pub fn take_cols(&self, k: usize) -> Result<Matrix> {
+        if k > self.cols {
+            return Err(LinalgError::InvalidArgument {
+                what: format!("take_cols({k}) of a {}-column matrix", self.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..k]);
+        }
+        Ok(out)
+    }
+
+    /// Copy of the first `k` rows.
+    pub fn take_rows(&self, k: usize) -> Result<Matrix> {
+        if k > self.rows {
+            return Err(LinalgError::InvalidArgument {
+                what: format!("take_rows({k}) of a {}-row matrix", self.rows),
+            });
+        }
+        Ok(Matrix {
+            rows: k,
+            cols: self.cols,
+            data: self.data[..k * self.cols].to_vec(),
+        })
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                what: "max_abs_diff".into(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64 * 0.5 - 3.0);
+        let b = Matrix::from_fn(5, 9, |i, j| ((i + 2) * (j + 1)) as f64 * 0.25);
+        let blocked = a.matmul(&b).unwrap();
+        let naive = naive_matmul(&a, &b);
+        assert!(blocked.max_abs_diff(&naive).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_blocked_large() {
+        let a = Matrix::from_fn(130, 70, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(70, 90, |i, j| ((i * 3 + j * 11) % 17) as f64 - 8.0);
+        let blocked = a.matmul(&b).unwrap();
+        let naive = naive_matmul(&a, &b);
+        assert!(blocked.max_abs_diff(&naive).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn t_matmul_matches_transpose_then_mul() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f64 * 0.1);
+        let direct = a.t_matmul(&b).unwrap();
+        let via_t = a.transpose().matmul(&b).unwrap();
+        assert!(direct.max_abs_diff(&via_t).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let i4 = Matrix::eye(4);
+        assert!(a.matmul(&i4).unwrap().max_abs_diff(&a).unwrap() < 1e-15);
+        assert!(i4.matmul(&a).unwrap().max_abs_diff(&a).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn vstack_and_take() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let b = Matrix::from_fn(1, 3, |_, j| 100.0 + j as f64);
+        let s = Matrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s[(2, 1)], 101.0);
+        assert_eq!(s.take_rows(2).unwrap().max_abs_diff(&a).unwrap(), 0.0);
+        let c = s.take_cols(2).unwrap();
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(2, 1)], 101.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.take_cols(4).is_err());
+        assert!(a.take_rows(3).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn ndarray_roundtrip() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let nd = a.clone().into_ndarray();
+        assert_eq!(nd.shape(), &[3, 2]);
+        let back = Matrix::from_ndarray(nd).unwrap();
+        assert_eq!(back.max_abs_diff(&a).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Householder QR and communication-avoiding tall-skinny QR (TSQR).
+//!
+//! TSQR is the building block dask-ml uses for its SVD of tall-and-skinny
+//! chunked arrays; we reproduce the same structure: per-chunk local QR, then a
+//! reduction tree over the stacked R factors.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Thin QR decomposition `A = Q R` with `Q: m×k`, `R: k×n`, `k = min(m, n)`.
+pub struct Qr {
+    /// Orthonormal factor (thin).
+    pub q: Matrix,
+    /// Upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Householder QR returning the thin factors.
+///
+/// Numerically stable for any `m >= 1`, `n >= 1`. Cost `O(m n^2)`.
+pub fn householder_qr(a: &Matrix) -> Result<Qr> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidArgument {
+            what: "QR of an empty matrix".into(),
+        });
+    }
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Store Householder vectors; v[j] has length m - j.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        // Build the Householder vector for column j below the diagonal.
+        let mut norm = 0.0;
+        for i in j..m {
+            norm += r[(i, j)] * r[(i, j)];
+        }
+        norm = norm.sqrt();
+        let mut v = vec![0.0; m - j];
+        if norm == 0.0 {
+            // Column already zero; identity reflector.
+            vs.push(v);
+            continue;
+        }
+        let alpha = if r[(j, j)] >= 0.0 { -norm } else { norm };
+        for i in j..m {
+            v[i - j] = r[(i, j)];
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 > 0.0 {
+            // Apply H = I - 2 v v^T / (v^T v) to R[j.., j..].
+            for col in j..n {
+                let mut dot = 0.0;
+                for i in j..m {
+                    dot += v[i - j] * r[(i, col)];
+                }
+                let f = 2.0 * dot / vnorm2;
+                for i in j..m {
+                    r[(i, col)] -= f * v[i - j];
+                }
+            }
+        }
+        vs.push(v);
+    }
+    // Zero strict lower triangle of R and take the top k rows.
+    let mut r_thin = Matrix::zeros(k, n);
+    for i in 0..k {
+        for jj in i..n {
+            r_thin[(i, jj)] = r[(i, jj)];
+        }
+    }
+    // Accumulate Q by applying reflectors to the first k columns of I.
+    let mut q = Matrix::zeros(m, k);
+    for i in 0..k {
+        q[(i, i)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for col in 0..k {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * q[(i, col)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in j..m {
+                q[(i, col)] -= f * v[i - j];
+            }
+        }
+    }
+    Ok(Qr { q, r: r_thin })
+}
+
+/// Tall-skinny QR over row blocks.
+///
+/// Each block gets a local QR; the stacked `R` factors are reduced pairwise in
+/// a tree until one `R` remains; local `Q`s are then back-multiplied by the
+/// tree `Q` pieces. Returns thin `Q` (same row partitioning as the input,
+/// concatenated) and `R`.
+///
+/// Requires every block to have at least as many rows as columns would be
+/// ideal, but the implementation is correct for any block heights as long as
+/// the *total* row count is >= the column count.
+pub fn tsqr(blocks: &[Matrix]) -> Result<Qr> {
+    let first = blocks.first().ok_or_else(|| LinalgError::InvalidArgument {
+        what: "tsqr of zero blocks".into(),
+    })?;
+    let n = first.cols();
+    for b in blocks {
+        if b.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("tsqr block cols {} vs {}", b.cols(), n),
+            });
+        }
+    }
+    let total_rows: usize = blocks.iter().map(|b| b.rows()).sum();
+    if total_rows < n {
+        return Err(LinalgError::InvalidArgument {
+            what: format!("tsqr: total rows {total_rows} < cols {n}"),
+        });
+    }
+    // Level 0: local QRs.
+    let mut qs: Vec<Matrix> = Vec::with_capacity(blocks.len());
+    let mut rs: Vec<Matrix> = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        let qr = householder_qr(b)?;
+        qs.push(qr.q);
+        rs.push(qr.r);
+    }
+    // Reduction tree over R factors. Track, for each original block, the chain
+    // of (level, pair-slot) multiplications to apply. Simpler: at each level,
+    // keep for each surviving node the list of original block indices and the
+    // per-block accumulated Q factors.
+    // groups[g] = (R factor, Vec<(block_idx, q_chain)>) where q_chain is the
+    // matrix each original local Q must be multiplied by.
+    struct Group {
+        r: Matrix,
+        members: Vec<(usize, Matrix)>, // (block index, accumulated right factor)
+    }
+    let mut groups: Vec<Group> = rs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let k = r.rows();
+            Group { r, members: vec![(i, Matrix::eye(k))] }
+        })
+        .collect();
+    while groups.len() > 1 {
+        let mut next: Vec<Group> = Vec::with_capacity(groups.len().div_ceil(2));
+        let mut it = groups.into_iter();
+        while let Some(g1) = it.next() {
+            match it.next() {
+                None => next.push(g1),
+                Some(g2) => {
+                    let stacked = Matrix::vstack(&[&g1.r, &g2.r])?;
+                    let qr = householder_qr(&stacked)?;
+                    // Split tree Q rows between the two children.
+                    let k1 = g1.r.rows();
+                    let q_top = qr.q.take_rows(k1)?;
+                    let q_bot = Matrix::from_vec(
+                        qr.q.rows() - k1,
+                        qr.q.cols(),
+                        qr.q.data()[k1 * qr.q.cols()..].to_vec(),
+                    )?;
+                    let mut members = Vec::with_capacity(g1.members.len() + g2.members.len());
+                    for (idx, chain) in g1.members {
+                        members.push((idx, chain.matmul(&q_top)?));
+                    }
+                    for (idx, chain) in g2.members {
+                        members.push((idx, chain.matmul(&q_bot)?));
+                    }
+                    next.push(Group { r: qr.r, members });
+                }
+            }
+        }
+        groups = next;
+    }
+    let root = groups.pop().expect("one group remains");
+    // Assemble Q: each block's thin local Q times its accumulated chain.
+    let mut finals: Vec<Option<Matrix>> = (0..blocks.len()).map(|_| None).collect();
+    for (idx, chain) in root.members {
+        finals[idx] = Some(qs[idx].matmul(&chain)?);
+    }
+    let parts: Vec<Matrix> = finals.into_iter().map(|m| m.expect("every block mapped")).collect();
+    let refs: Vec<&Matrix> = parts.iter().collect();
+    Ok(Qr { q: Matrix::vstack(&refs)?, r: root.r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f64) {
+        let qtq = q.t_matmul(q).unwrap();
+        let eye = Matrix::eye(q.cols());
+        assert!(
+            qtq.max_abs_diff(&eye).unwrap() < tol,
+            "Q columns not orthonormal: err {}",
+            qtq.max_abs_diff(&eye).unwrap()
+        );
+    }
+
+    fn assert_reconstructs(a: &Matrix, q: &Matrix, r: &Matrix, tol: f64) {
+        let qr = q.matmul(r).unwrap();
+        assert!(
+            qr.max_abs_diff(a).unwrap() < tol,
+            "QR != A: err {}",
+            qr.max_abs_diff(a).unwrap()
+        );
+    }
+
+    #[test]
+    fn qr_square() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let qr = householder_qr(&a).unwrap();
+        assert_orthonormal_cols(&qr.q, 1e-10);
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-10);
+    }
+
+    #[test]
+    fn qr_tall() {
+        let a = Matrix::from_fn(20, 4, |i, j| (i as f64 + 1.0).powi(j as i32));
+        let qr = householder_qr(&a).unwrap();
+        assert_eq!(qr.q.rows(), 20);
+        assert_eq!(qr.q.cols(), 4);
+        assert_eq!(qr.r.rows(), 4);
+        assert_orthonormal_cols(&qr.q, 1e-9);
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-8);
+    }
+
+    #[test]
+    fn qr_wide() {
+        let a = Matrix::from_fn(3, 6, |i, j| ((i * 13 + j * 5) % 7) as f64);
+        let qr = householder_qr(&a).unwrap();
+        assert_eq!(qr.q.cols(), 3);
+        assert_eq!(qr.r.rows(), 3);
+        assert_orthonormal_cols(&qr.q, 1e-10);
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-10);
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 2)) as f64 % 5.0 - 2.0);
+        let qr = householder_qr(&a).unwrap();
+        for i in 0..qr.r.rows() {
+            for j in 0..i.min(qr.r.cols()) {
+                assert!(qr.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rank_deficient_column() {
+        // Second column is zero.
+        let a = Matrix::from_fn(5, 3, |i, j| if j == 1 { 0.0 } else { (i + j) as f64 + 1.0 });
+        let qr = householder_qr(&a).unwrap();
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-10);
+    }
+
+    #[test]
+    fn tsqr_matches_direct_qr_reconstruction() {
+        let a = Matrix::from_fn(24, 5, |i, j| ((i * 17 + j * 29) % 23) as f64 * 0.3 - 3.0);
+        // Split into uneven row blocks.
+        let blocks = vec![
+            a.take_rows(7).unwrap(),
+            Matrix::from_vec(9, 5, a.data()[7 * 5..16 * 5].to_vec()).unwrap(),
+            Matrix::from_vec(8, 5, a.data()[16 * 5..24 * 5].to_vec()).unwrap(),
+        ];
+        let qr = tsqr(&blocks).unwrap();
+        assert_eq!(qr.q.rows(), 24);
+        assert_orthonormal_cols(&qr.q, 1e-9);
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-9);
+    }
+
+    #[test]
+    fn tsqr_single_block_degenerates_to_qr() {
+        let a = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64 * 0.1 + 1.0);
+        let qr = tsqr(std::slice::from_ref(&a)).unwrap();
+        assert_orthonormal_cols(&qr.q, 1e-10);
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-10);
+    }
+
+    #[test]
+    fn tsqr_many_small_blocks() {
+        let a = Matrix::from_fn(33, 4, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+        let mut blocks = Vec::new();
+        let mut row = 0;
+        for h in [4usize, 4, 4, 4, 4, 4, 4, 5] {
+            blocks.push(Matrix::from_vec(h, 4, a.data()[row * 4..(row + h) * 4].to_vec()).unwrap());
+            row += h;
+        }
+        let qr = tsqr(&blocks).unwrap();
+        assert_orthonormal_cols(&qr.q, 1e-9);
+        assert_reconstructs(&a, &qr.q, &qr.r, 1e-9);
+    }
+
+    #[test]
+    fn tsqr_errors() {
+        assert!(tsqr(&[]).is_err());
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(tsqr(&[a.clone(), b]).is_err());
+        // total rows < cols
+        assert!(tsqr(&[a]).is_err());
+    }
+}

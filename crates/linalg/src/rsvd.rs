@@ -1,0 +1,114 @@
+//! Randomized SVD (Halko–Martinsson–Tropp).
+//!
+//! This is the `svd_solver='randomized'` the paper's Listing 2 passes to
+//! `InSituIncrementalPCA`: project onto a random Gaussian range, orthonormalize
+//! with a few power iterations, then run an exact SVD on the small projected
+//! matrix.
+
+use crate::matrix::Matrix;
+use crate::qr::householder_qr;
+use crate::svd::{jacobi_svd, Svd};
+use crate::{LinalgError, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw an `rows×cols` matrix of (approximately) standard normal entries from
+/// a seeded PRNG, via the sum-of-uniforms (Irwin–Hall) approximation which is
+/// plenty for a range finder.
+fn gaussian(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+        s - 6.0
+    })
+}
+
+/// Randomized truncated SVD of `a` with target rank `k`.
+///
+/// * `oversample` — extra random directions (default choice: 10),
+/// * `n_power_iter` — power iterations to sharpen the spectrum decay
+///   (2 is a good default for PCA),
+/// * `seed` — PRNG seed; results are deterministic per seed.
+pub fn randomized_svd(
+    a: &Matrix,
+    k: usize,
+    oversample: usize,
+    n_power_iter: usize,
+    seed: u64,
+) -> Result<Svd> {
+    let m = a.rows();
+    let n = a.cols();
+    if k == 0 || k > m.min(n) {
+        return Err(LinalgError::InvalidArgument {
+            what: format!("rank {k} out of range for {m}x{n}"),
+        });
+    }
+    let l = (k + oversample).min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Range finding: Y = A * Omega.
+    let omega = gaussian(n, l, &mut rng);
+    let mut y = a.matmul(&omega)?;
+    // Power iterations with re-orthonormalization for stability.
+    for _ in 0..n_power_iter {
+        let q = householder_qr(&y)?.q;
+        let z = a.t_matmul(&q)?; // A^T Q
+        let qz = householder_qr(&z)?.q;
+        y = a.matmul(&qz)?;
+    }
+    let q = householder_qr(&y)?.q; // m×l orthonormal basis of range(A)
+    // Project: B = Q^T A (l×n), exact SVD of the small B.
+    let b = q.t_matmul(a)?;
+    let svd_b = jacobi_svd(&b)?;
+    let svd_b = svd_b.truncate(k)?;
+    Ok(Svd {
+        u: q.matmul(&svd_b.u)?,
+        s: svd_b.s,
+        vt: svd_b.vt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Low-rank test matrix: rank `r` product of two factor matrices.
+    fn low_rank(m: usize, n: usize, r: usize) -> Matrix {
+        let a = Matrix::from_fn(m, r, |i, j| ((i * 13 + j * 7) % 11) as f64 * 0.3 - 1.5);
+        let b = Matrix::from_fn(r, n, |i, j| ((i * 5 + j * 3) % 13) as f64 * 0.2 - 1.2);
+        a.matmul(&b).unwrap()
+    }
+
+    #[test]
+    fn rsvd_recovers_low_rank_matrix() {
+        let a = low_rank(40, 30, 3);
+        let svd = randomized_svd(&a, 3, 10, 2, 42).unwrap();
+        let rec = svd.reconstruct().unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn rsvd_singular_values_match_exact() {
+        let a = Matrix::from_fn(25, 12, |i, j| ((i * 3 + j * 5) % 7) as f64 + 0.01 * i as f64);
+        let exact = jacobi_svd(&a).unwrap();
+        let approx = randomized_svd(&a, 4, 8, 3, 7).unwrap();
+        for i in 0..4 {
+            let rel = (approx.s[i] - exact.s[i]).abs() / exact.s[i].max(1e-12);
+            assert!(rel < 1e-6, "sigma_{i}: {} vs {}", approx.s[i], exact.s[i]);
+        }
+    }
+
+    #[test]
+    fn rsvd_is_deterministic_per_seed() {
+        let a = low_rank(20, 15, 4);
+        let s1 = randomized_svd(&a, 4, 6, 2, 123).unwrap();
+        let s2 = randomized_svd(&a, 4, 6, 2, 123).unwrap();
+        assert_eq!(s1.s, s2.s);
+        assert!(s1.u.max_abs_diff(&s2.u).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn rsvd_rejects_bad_rank() {
+        let a = Matrix::zeros(5, 4);
+        assert!(randomized_svd(&a, 0, 2, 1, 0).is_err());
+        assert!(randomized_svd(&a, 5, 2, 1, 0).is_err());
+    }
+}

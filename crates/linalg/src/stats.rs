@@ -1,0 +1,171 @@
+//! Column statistics and incremental mean/variance updates.
+//!
+//! These are the building blocks of scikit-learn-style `IncrementalPCA`:
+//! per-column means/variances of a batch and the Chan et al. pooled update
+//! that merges batch statistics into running statistics.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Per-column mean of a samples×features matrix.
+pub fn col_mean(x: &Matrix) -> Vec<f64> {
+    let n = x.rows() as f64;
+    let mut mean = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        for (j, m) in mean.iter_mut().enumerate() {
+            *m += x[(i, j)];
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    mean
+}
+
+/// Per-column population variance (divisor `n`).
+pub fn col_var(x: &Matrix, mean: &[f64]) -> Vec<f64> {
+    let n = x.rows() as f64;
+    let mut var = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        for (j, v) in var.iter_mut().enumerate() {
+            let d = x[(i, j)] - mean[j];
+            *v += d * d;
+        }
+    }
+    for v in &mut var {
+        *v /= n;
+    }
+    var
+}
+
+/// Subtract a per-column mean from every row, returning the centered matrix.
+pub fn center_columns(x: &Matrix, mean: &[f64]) -> Result<Matrix> {
+    if mean.len() != x.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            what: format!("mean len {} vs {} cols", mean.len(), x.cols()),
+        });
+    }
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for (j, r) in row.iter_mut().enumerate() {
+            *r -= mean[j];
+        }
+    }
+    Ok(out)
+}
+
+/// Running (count, mean, unnormalized variance `M2 = var*count`) per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningStats {
+    /// Number of samples seen so far.
+    pub count: u64,
+    /// Per-column mean over the samples seen.
+    pub mean: Vec<f64>,
+    /// Per-column population variance over the samples seen.
+    pub var: Vec<f64>,
+}
+
+impl RunningStats {
+    /// Empty statistics over `features` columns.
+    pub fn new(features: usize) -> Self {
+        RunningStats {
+            count: 0,
+            mean: vec![0.0; features],
+            var: vec![0.0; features],
+        }
+    }
+
+    /// Merge a batch's (count, mean, var) using the pooled/parallel update of
+    /// Chan, Golub & LeVeque — the same update `sklearn`'s
+    /// `_incremental_mean_and_var` performs.
+    pub fn update(&mut self, batch_count: u64, batch_mean: &[f64], batch_var: &[f64]) -> Result<()> {
+        if batch_mean.len() != self.mean.len() || batch_var.len() != self.var.len() {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("stats width {} vs batch {}", self.mean.len(), batch_mean.len()),
+            });
+        }
+        if batch_count == 0 {
+            return Ok(());
+        }
+        let n_a = self.count as f64;
+        let n_b = batch_count as f64;
+        let n = n_a + n_b;
+        for j in 0..self.mean.len() {
+            let delta = batch_mean[j] - self.mean[j];
+            let m2_a = self.var[j] * n_a;
+            let m2_b = batch_var[j] * n_b;
+            let m2 = m2_a + m2_b + delta * delta * n_a * n_b / n;
+            self.mean[j] += delta * n_b / n;
+            self.var[j] = m2 / n;
+        }
+        self.count += batch_count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_mean_and_var_simple() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        let m = col_mean(&x);
+        assert_eq!(m, vec![2.0, 20.0]);
+        let v = col_var(&x, &m);
+        assert!((v[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v[1] - 200.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centering_zeroes_the_mean() {
+        let x = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 1.7 - 4.0);
+        let m = col_mean(&x);
+        let c = center_columns(&x, &m).unwrap();
+        for v in col_mean(&c) {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn running_stats_match_batch_stats() {
+        // Feed a matrix in three uneven chunks; the running stats must equal
+        // the whole-matrix stats.
+        let x = Matrix::from_fn(10, 4, |i, j| ((i * 7 + j * 3) % 13) as f64 * 0.9 - 2.0);
+        let whole_mean = col_mean(&x);
+        let whole_var = col_var(&x, &whole_mean);
+
+        let mut rs = RunningStats::new(4);
+        let mut row = 0;
+        for h in [3usize, 5, 2] {
+            let chunk = Matrix::from_vec(h, 4, x.data()[row * 4..(row + h) * 4].to_vec()).unwrap();
+            let m = col_mean(&chunk);
+            let v = col_var(&chunk, &m);
+            rs.update(h as u64, &m, &v).unwrap();
+            row += h;
+        }
+        assert_eq!(rs.count, 10);
+        for j in 0..4 {
+            assert!((rs.mean[j] - whole_mean[j]).abs() < 1e-12);
+            assert!((rs.var[j] - whole_var[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut rs = RunningStats::new(2);
+        rs.update(4, &[1.0, 2.0], &[0.5, 0.5]).unwrap();
+        let before = rs.clone();
+        rs.update(0, &[99.0, 99.0], &[9.0, 9.0]).unwrap();
+        assert_eq!(rs, before);
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let mut rs = RunningStats::new(2);
+        assert!(rs.update(1, &[1.0], &[0.0]).is_err());
+        let x = Matrix::zeros(2, 2);
+        assert!(center_columns(&x, &[0.0]).is_err());
+    }
+}

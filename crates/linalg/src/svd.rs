@@ -1,0 +1,272 @@
+//! One-sided Jacobi SVD.
+//!
+//! Robust and simple: rotate column pairs of `A` until all pairs are
+//! orthogonal; then column norms are the singular values, the normalized
+//! columns are `U`, and the accumulated rotations give `V`. Used directly for
+//! small/medium matrices and as the core factorization after QR or random
+//! projection for large ones.
+
+use crate::matrix::Matrix;
+use crate::qr::householder_qr;
+use crate::{LinalgError, Result};
+
+/// Singular value decomposition `A = U diag(S) V^T`.
+pub struct Svd {
+    /// Left singular vectors, `m×k`.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors transposed, `k×n`.
+    pub vt: Matrix,
+}
+
+/// Maximum sweeps for the Jacobi iteration; convergence is normally < 15
+/// sweeps even for ill-conditioned inputs.
+const MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD of `a` (thin: `k = min(m, n)`).
+///
+/// For `m < n` the routine factors the transpose and swaps the factors.
+/// For very tall matrices a QR step first reduces the problem to `n×n`.
+pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidArgument {
+            what: "SVD of an empty matrix".into(),
+        });
+    }
+    if m < n {
+        // A^T = U' S V'^T  =>  A = V' S U'^T
+        let svd_t = jacobi_svd(&a.transpose())?;
+        return Ok(Svd {
+            u: svd_t.vt.transpose(),
+            s: svd_t.s,
+            vt: svd_t.u.transpose(),
+        });
+    }
+    if m > 2 * n {
+        // Tall: QR first, SVD of R, then U = Q * U_r.
+        let qr = householder_qr(a)?;
+        let svd_r = jacobi_svd(&qr.r)?;
+        return Ok(Svd {
+            u: qr.q.matmul(&svd_r.u)?,
+            s: svd_r.s,
+            vt: svd_r.vt,
+        });
+    }
+
+    // Work on columns of a copy of A; accumulate V.
+    let mut w = a.clone();
+    let mut v = Matrix::eye(n);
+    let eps = 1e-14;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Compute the 2x2 Gram entries for columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let xp = w[(i, p)];
+                    let xq = w[(i, q)];
+                    app += xp * xp;
+                    aqq += xq * xq;
+                    apq += xp * xq;
+                }
+                let denom = (app * aqq).sqrt();
+                if denom > 0.0 {
+                    off = off.max(apq.abs() / denom);
+                }
+                if apq.abs() <= eps * denom {
+                    continue;
+                }
+                // Jacobi rotation annihilating the off-diagonal Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let xp = w[(i, p)];
+                    let xq = w[(i, q)];
+                    w[(i, p)] = c * xp - s * xq;
+                    w[(i, q)] = s * xp + c * xq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < eps {
+            break;
+        }
+    }
+
+    // Column norms = singular values.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigma = vec![0.0f64; n];
+    for (j, s) in sigma.iter_mut().enumerate() {
+        let mut norm = 0.0;
+        for i in 0..m {
+            norm += w[(i, j)] * w[(i, j)];
+        }
+        *s = norm.sqrt();
+    }
+    order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).expect("no NaN singular values"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut s_sorted = vec![0.0f64; n];
+    for (out_j, &j) in order.iter().enumerate() {
+        let s = sigma[j];
+        s_sorted[out_j] = s;
+        if s > 0.0 {
+            for i in 0..m {
+                u[(i, out_j)] = w[(i, j)] / s;
+            }
+        } else {
+            // Null space: leave a zero column (caller may not use it).
+            u[(out_j.min(m - 1), out_j)] = 0.0;
+        }
+        for i in 0..n {
+            vt[(out_j, i)] = v[(i, j)];
+        }
+    }
+    Ok(Svd { u, s: s_sorted, vt })
+}
+
+impl Svd {
+    /// Truncate to the top `k` components.
+    pub fn truncate(self, k: usize) -> Result<Svd> {
+        if k > self.s.len() {
+            return Err(LinalgError::InvalidArgument {
+                what: format!("truncate({k}) of a rank-{} SVD", self.s.len()),
+            });
+        }
+        Ok(Svd {
+            u: self.u.take_cols(k)?,
+            s: self.s[..k].to_vec(),
+            vt: self.vt.take_rows(k)?,
+        })
+    }
+
+    /// Reconstruct `U diag(S) V^T`.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..us.cols() {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid_svd(a: &Matrix, svd: &Svd, tol: f64) {
+        // Reconstruction.
+        let rec = svd.reconstruct().unwrap();
+        assert!(
+            rec.max_abs_diff(a).unwrap() < tol,
+            "reconstruction error {}",
+            rec.max_abs_diff(a).unwrap()
+        );
+        // Descending singular values.
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not descending: {:?}", svd.s);
+        }
+        // V orthonormal rows.
+        let vvt = svd.vt.matmul(&svd.vt.transpose()).unwrap();
+        assert!(vvt.max_abs_diff(&Matrix::eye(svd.vt.rows())).unwrap() < tol);
+    }
+
+    #[test]
+    fn svd_square() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j * 13) % 17) as f64 - 8.0);
+        let svd = jacobi_svd(&a).unwrap();
+        assert_valid_svd(&a, &svd, 1e-9);
+    }
+
+    #[test]
+    fn svd_tall_triggers_qr_path() {
+        let a = Matrix::from_fn(50, 4, |i, j| ((i + 1) as f64).sin() * (j + 1) as f64 + 0.1 * i as f64);
+        let svd = jacobi_svd(&a).unwrap();
+        assert_eq!(svd.u.rows(), 50);
+        assert_eq!(svd.u.cols(), 4);
+        assert_valid_svd(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn svd_wide_via_transpose() {
+        let a = Matrix::from_fn(3, 8, |i, j| ((i * 11 + j * 3) % 7) as f64 * 0.5);
+        let svd = jacobi_svd(&a).unwrap();
+        assert_eq!(svd.u.rows(), 3);
+        assert_eq!(svd.vt.cols(), 8);
+        assert_valid_svd(&a, &svd, 1e-9);
+    }
+
+    #[test]
+    fn svd_known_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let svd = jacobi_svd(&a).unwrap();
+        assert!((svd.s[0] - 3.0).abs() < 1e-12);
+        assert!((svd.s[1] - 2.0).abs() < 1e-12);
+        assert!((svd.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_rank_one() {
+        // a = u v^T with |u| = 2, |v| = 3 => sigma_1 = 6, rest 0.
+        let u = [2.0, 0.0, 0.0, 0.0];
+        let v = [3.0, 0.0, 0.0];
+        let a = Matrix::from_fn(4, 3, |i, j| u[i] * v[j]);
+        let svd = jacobi_svd(&a).unwrap();
+        assert!((svd.s[0] - 6.0).abs() < 1e-10);
+        assert!(svd.s[1].abs() < 1e-10);
+        assert_valid_svd(&a, &svd, 1e-9);
+    }
+
+    #[test]
+    fn svd_truncate_gives_best_rank_k() {
+        // Construct a matrix with known spectrum via random-ish orthogonal mixing.
+        let a = Matrix::from_fn(8, 5, |i, j| ((i * 31 + j * 17) % 19) as f64 * 0.1 - 0.9);
+        let svd = jacobi_svd(&a).unwrap();
+        let k = 2;
+        let t = jacobi_svd(&a).unwrap().truncate(k).unwrap();
+        let rec = t.reconstruct().unwrap();
+        // Error of best rank-k approx in Frobenius norm = sqrt(sum of tail sigma^2).
+        let mut diff = a.clone();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                diff[(i, j)] -= rec[(i, j)];
+            }
+        }
+        let tail: f64 = svd.s[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((diff.frobenius_norm() - tail).abs() < 1e-8);
+    }
+
+    #[test]
+    fn svd_singular_values_match_gram_eigensqrt() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i as f64 - j as f64) * 0.7 + 1.0);
+        let svd = jacobi_svd(&a).unwrap();
+        // sum sigma_i^2 == ||A||_F^2
+        let ss: f64 = svd.s.iter().map(|s| s * s).sum();
+        let fro2 = a.frobenius_norm().powi(2);
+        assert!((ss - fro2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_empty_errors() {
+        assert!(jacobi_svd(&Matrix::zeros(0, 3)).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! Algorithms follow the classic log-P formulations:
+//! * barrier — dissemination algorithm (`⌈log2 P⌉` rounds),
+//! * bcast — binomial tree rooted at `root`,
+//! * reduce/gather — flat convergecast to `root` (fine at thread scale),
+//! * allreduce — recursive doubling for power-of-two worlds, with a
+//!   fold-in/fold-out step for the remainder ranks.
+
+use crate::comm::{Comm, RecvError, SendError, Tag, COLLECTIVE_TAG_BASE};
+
+/// Error during a collective: wraps the failing point-to-point step.
+#[derive(Debug)]
+pub enum CollectiveError {
+    /// A send leg failed.
+    Send(SendError),
+    /// A receive leg failed.
+    Recv(RecvError),
+    /// The caller passed inconsistent arguments (e.g. wrong vector length).
+    BadArgument(String),
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::Send(e) => write!(f, "collective send leg: {e}"),
+            CollectiveError::Recv(e) => write!(f, "collective recv leg: {e}"),
+            CollectiveError::BadArgument(m) => write!(f, "collective bad argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl From<SendError> for CollectiveError {
+    fn from(e: SendError) -> Self {
+        CollectiveError::Send(e)
+    }
+}
+
+impl From<RecvError> for CollectiveError {
+    fn from(e: RecvError) -> Self {
+        CollectiveError::Recv(e)
+    }
+}
+
+/// Barrier uses one tag per dissemination round (rounds are powers of two, so
+/// at most 64 tags). Per-pair channels are FIFO, so matching on
+/// `(source, round-tag)` cleanly separates successive barrier generations
+/// without sense reversal.
+const TAG_BARRIER_BASE: u64 = COLLECTIVE_TAG_BASE;
+const TAG_BCAST: Tag = Tag(COLLECTIVE_TAG_BASE + 64);
+const TAG_GATHER: Tag = Tag(COLLECTIVE_TAG_BASE + 65);
+const TAG_ALLREDUCE: Tag = Tag(COLLECTIVE_TAG_BASE + 66);
+const TAG_REDUCE: Tag = Tag(COLLECTIVE_TAG_BASE + 67);
+
+impl Comm {
+    /// Dissemination barrier: every rank is released only after all entered.
+    pub fn barrier(&self) -> Result<(), CollectiveError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let mut round = 1usize;
+        while round < p {
+            let tag = Tag(TAG_BARRIER_BASE + round.trailing_zeros() as u64);
+            let dest = (self.rank() + round) % p;
+            let src = (self.rank() + p - round) % p;
+            self.send(dest, tag, ())?;
+            self.recv::<()>(src, tag)?;
+            round <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast from `root`. Every rank passes its (possibly
+    /// received) value in and gets the root's value out.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> Result<T, CollectiveError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(value);
+        }
+        // Re-number ranks so the root is virtual rank 0.
+        let vrank = (self.rank() + p - root) % p;
+        let mut val = if vrank == 0 { Some(value) } else { None };
+        // Receive from parent.
+        if vrank != 0 {
+            let mut mask = 1usize;
+            while mask < p {
+                if vrank & mask != 0 {
+                    let parent_v = vrank & !mask;
+                    let parent = (parent_v + root) % p;
+                    val = Some(self.recv::<T>(parent, TAG_BCAST)?);
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        let val = val.expect("bcast value set");
+        // Forward to children.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                break;
+            }
+            mask <<= 1;
+        }
+        let mut child_mask = mask >> 1;
+        while child_mask > 0 {
+            let child_v = vrank | child_mask;
+            if child_v < p {
+                let child = (child_v + root) % p;
+                self.send(child, TAG_BCAST, val.clone())?;
+            }
+            child_mask >>= 1;
+        }
+        Ok(val)
+    }
+
+    /// Gather every rank's value at `root`; returns `Some(values)` in rank
+    /// order at the root, `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Result<Option<Vec<T>>, CollectiveError> {
+        if self.rank() == root {
+            // Receive from each source explicitly: per-pair FIFO then keeps
+            // successive gather generations separated.
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for src in 0..self.size() {
+                if src == root {
+                    continue;
+                }
+                let v: T = self.recv(src, TAG_GATHER)?;
+                slots[src] = Some(v);
+            }
+            Ok(Some(slots.into_iter().map(|s| s.expect("all ranks gathered")).collect()))
+        } else {
+            self.send(root, TAG_GATHER, value)?;
+            Ok(None)
+        }
+    }
+
+    /// Reduce f64 vectors elementwise at `root` with `op`; `None` off-root.
+    pub fn reduce_f64(
+        &self,
+        root: usize,
+        mut value: Vec<f64>,
+        op: fn(f64, f64) -> f64,
+    ) -> Result<Option<Vec<f64>>, CollectiveError> {
+        if self.rank() == root {
+            for src in 0..self.size() {
+                if src == root {
+                    continue;
+                }
+                let v: Vec<f64> = self.recv(src, TAG_REDUCE)?;
+                for (a, b) in value.iter_mut().zip(v) {
+                    *a = op(*a, b);
+                }
+            }
+            Ok(Some(value))
+        } else {
+            self.send(root, TAG_REDUCE, value)?;
+            Ok(None)
+        }
+    }
+
+    /// Recursive-doubling allreduce over f64 vectors with an elementwise `op`
+    /// (commutative + associative). Handles non-power-of-two sizes with the
+    /// standard fold-in/fold-out of the excess ranks.
+    pub fn allreduce_f64(
+        &self,
+        mut value: Vec<f64>,
+        op: fn(f64, f64) -> f64,
+    ) -> Result<Vec<f64>, CollectiveError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(value);
+        }
+        let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+        let rem = p - pof2;
+        let rank = self.rank();
+        // Phase 1: the first 2*rem ranks pair up; odd ones fold into even ones.
+        let vrank: Option<usize> = if rank < 2 * rem {
+            if rank % 2 == 1 {
+                self.send(rank - 1, TAG_ALLREDUCE, value.clone())?;
+                None
+            } else {
+                let other: Vec<f64> = self.recv(rank + 1, TAG_ALLREDUCE)?;
+                for (a, b) in value.iter_mut().zip(other) {
+                    *a = op(*a, b);
+                }
+                Some(rank / 2)
+            }
+        } else {
+            Some(rank - rem)
+        };
+        // Phase 2: recursive doubling among the pof2 virtual ranks.
+        if let Some(vr) = vrank {
+            let real = |v: usize| if v < rem { v * 2 } else { v + rem };
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let peer_v = vr ^ mask;
+                let peer = real(peer_v);
+                self.send(peer, TAG_ALLREDUCE, value.clone())?;
+                let other: Vec<f64> = self.recv(peer, TAG_ALLREDUCE)?;
+                for (a, b) in value.iter_mut().zip(other) {
+                    *a = op(*a, b);
+                }
+                mask <<= 1;
+            }
+        }
+        // Phase 3: fold results back out to the odd ranks.
+        if rank < 2 * rem {
+            if rank.is_multiple_of(2) {
+                self.send(rank + 1, TAG_ALLREDUCE, value.clone())?;
+            } else {
+                value = self.recv(rank - 1, TAG_ALLREDUCE)?;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Allreduce of a single scalar.
+    pub fn allreduce_scalar(&self, value: f64, op: fn(f64, f64) -> f64) -> Result<f64, CollectiveError> {
+        Ok(self.allreduce_f64(vec![value], op)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let entered = AtomicUsize::new(0);
+        World::run(7, |comm| {
+            entered.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // After the barrier every rank must observe all 7 entries.
+            assert_eq!(entered.load(Ordering::SeqCst), 7);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..5 {
+            let results = World::run(5, move |comm| {
+                let v = if comm.rank() == root { 42u64 + root as u64 } else { 0 };
+                comm.bcast(root, v).unwrap()
+            })
+            .unwrap();
+            assert!(results.iter().all(|&v| v == 42 + root as u64), "root {root}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = World::run(6, |comm| comm.gather(2, comm.rank() * comm.rank()).unwrap()).unwrap();
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(r.as_ref().unwrap(), &vec![0, 1, 4, 9, 16, 25]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_at_root() {
+        let results = World::run(4, |comm| {
+            comm.reduce_f64(0, vec![comm.rank() as f64, 1.0], |a, b| a + b).unwrap()
+        })
+        .unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_power_of_two() {
+        let results = World::run(8, |comm| {
+            comm.allreduce_f64(vec![comm.rank() as f64], |a, b| a + b).unwrap()
+        })
+        .unwrap();
+        assert!(results.iter().all(|r| r[0] == 28.0));
+    }
+
+    #[test]
+    fn allreduce_sum_non_power_of_two() {
+        for p in [3usize, 5, 6, 7] {
+            let results = World::run(p, |comm| {
+                comm.allreduce_f64(vec![1.0, comm.rank() as f64], |a, b| a + b).unwrap()
+            })
+            .unwrap();
+            let expect_sum = (p * (p - 1) / 2) as f64;
+            for r in &results {
+                assert_eq!(r[0], p as f64, "p={p}");
+                assert_eq!(r[1], expect_sum, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let results = World::run(5, |comm| {
+            comm.allreduce_scalar((comm.rank() as f64 - 2.0).abs(), f64::max).unwrap()
+        })
+        .unwrap();
+        assert!(results.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_talk() {
+        World::run(4, |comm| {
+            for _ in 0..25 {
+                comm.barrier().unwrap();
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Additional collectives: allgather, scan, sendrecv, alltoall.
+//!
+//! Same design as the core set: log-P algorithms over the tagged
+//! point-to-point layer, with per-round tags (the per-pair FIFO argument in
+//! `collectives.rs` keeps successive collectives separated).
+
+use crate::collectives::CollectiveError;
+use crate::comm::{Comm, Tag, COLLECTIVE_TAG_BASE};
+
+const TAG_ALLGATHER_BASE: u64 = COLLECTIVE_TAG_BASE + 128;
+const TAG_SCAN: Tag = Tag(COLLECTIVE_TAG_BASE + 192);
+const TAG_SENDRECV: Tag = Tag(COLLECTIVE_TAG_BASE + 193);
+const TAG_ALLTOALL: Tag = Tag(COLLECTIVE_TAG_BASE + 194);
+
+impl Comm {
+    /// Bruck-style allgather: every rank contributes `value`, everyone gets
+    /// the full rank-ordered vector. `⌈log2 P⌉` rounds, doubling payloads.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CollectiveError> {
+        let p = self.size();
+        let rank = self.rank();
+        // items[i] = contribution of rank (rank + i) mod p.
+        let mut items: Vec<T> = vec![value];
+        let mut round = 0u64;
+        let mut step = 1usize;
+        while step < p {
+            let dest = (rank + p - step) % p;
+            let src = (rank + step) % p;
+            let tag = Tag(TAG_ALLGATHER_BASE + round);
+            // Send what we have; receive the next window.
+            let want = step.min(p - items.len());
+            self.send(dest, tag, items.clone())?;
+            let incoming: Vec<T> = self.recv(src, tag)?;
+            items.extend(incoming.into_iter().take(want));
+            step <<= 1;
+            round += 1;
+        }
+        // Rotate so index i holds rank i's contribution.
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for (i, v) in items.into_iter().enumerate() {
+            out[(rank + i) % p] = Some(v);
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("allgather filled every slot"))
+            .collect())
+    }
+
+    /// Inclusive prefix scan over f64 vectors (rank r gets op-fold of ranks
+    /// 0..=r), linear pipeline.
+    pub fn scan_f64(
+        &self,
+        mut value: Vec<f64>,
+        op: fn(f64, f64) -> f64,
+    ) -> Result<Vec<f64>, CollectiveError> {
+        let rank = self.rank();
+        if rank > 0 {
+            let prefix: Vec<f64> = self.recv(rank - 1, TAG_SCAN)?;
+            for (a, b) in value.iter_mut().zip(prefix) {
+                *a = op(b, *a);
+            }
+        }
+        if rank + 1 < self.size() {
+            self.send(rank + 1, TAG_SCAN, value.clone())?;
+        }
+        Ok(value)
+    }
+
+    /// Combined send+receive (like `MPI_Sendrecv`): send `value` to `dest`,
+    /// receive from `src`. Deadlock-free because sends are buffered.
+    pub fn sendrecv<T: Send + 'static, U: Send + 'static>(
+        &self,
+        dest: usize,
+        value: T,
+        src: usize,
+    ) -> Result<U, CollectiveError> {
+        self.send(dest, TAG_SENDRECV, value)?;
+        Ok(self.recv(src, TAG_SENDRECV)?)
+    }
+
+    /// All-to-all personalized exchange: `items[i]` goes to rank `i`;
+    /// returns the vector of items received (index = source rank).
+    pub fn alltoall<T: Send + 'static>(&self, items: Vec<T>) -> Result<Vec<T>, CollectiveError> {
+        let p = self.size();
+        if items.len() != p {
+            return Err(CollectiveError::BadArgument(format!(
+                "alltoall needs {p} items, got {}",
+                items.len()
+            )));
+        }
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for (dest, item) in items.into_iter().enumerate() {
+            if dest == self.rank() {
+                slots[dest] = Some(item);
+            } else {
+                self.send(dest, TAG_ALLTOALL, item)?;
+            }
+        }
+        for src in 0..p {
+            if src == self.rank() {
+                continue;
+            }
+            slots[src] = Some(self.recv(src, TAG_ALLTOALL)?);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("alltoall filled every slot"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let results = World::run(p, |comm| comm.allgather(comm.rank() * 10).unwrap()).unwrap();
+            let expect: Vec<usize> = (0..p).map(|r| r * 10).collect();
+            for r in results {
+                assert_eq!(r, expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_strings() {
+        let results = World::run(4, |comm| {
+            comm.allgather(format!("r{}", comm.rank())).unwrap()
+        })
+        .unwrap();
+        assert_eq!(results[2], vec!["r0", "r1", "r2", "r3"]);
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let results = World::run(6, |comm| {
+            comm.scan_f64(vec![comm.rank() as f64 + 1.0], |a, b| a + b).unwrap()
+        })
+        .unwrap();
+        // Rank r gets sum of 1..=(r+1).
+        for (r, v) in results.iter().enumerate() {
+            assert_eq!(v[0], ((r + 1) * (r + 2) / 2) as f64);
+        }
+    }
+
+    #[test]
+    fn scan_max() {
+        let vals = [3.0, 1.0, 7.0, 2.0];
+        let results = World::run(4, |comm| {
+            comm.scan_f64(vec![vals[comm.rank()]], f64::max).unwrap()
+        })
+        .unwrap();
+        assert_eq!(
+            results.iter().map(|v| v[0]).collect::<Vec<_>>(),
+            vec![3.0, 3.0, 7.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn sendrecv_ring() {
+        let results = World::run(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let got: usize = comm.sendrecv(next, comm.rank(), prev).unwrap();
+            got
+        })
+        .unwrap();
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let results = World::run(4, |comm| {
+            let items: Vec<(usize, usize)> =
+                (0..4).map(|dest| (comm.rank(), dest)).collect();
+            comm.alltoall(items).unwrap()
+        })
+        .unwrap();
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, item) in recv.iter().enumerate() {
+                assert_eq!(*item, (src, rank));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_allgathers_do_not_cross_talk() {
+        World::run(3, |comm| {
+            for round in 0..10usize {
+                let got = comm.allgather(comm.rank() + round * 100).unwrap();
+                let expect: Vec<usize> = (0..3).map(|r| r + round * 100).collect();
+                assert_eq!(got, expect);
+            }
+        })
+        .unwrap();
+    }
+}

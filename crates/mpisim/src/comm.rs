@@ -1,0 +1,350 @@
+//! Tagged, typed point-to-point messaging between ranks.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag, like MPI's `tag` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u64);
+
+/// Wildcard source for [`Comm::recv_any`]-style matching.
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Reserved tag space used internally by the collectives; user tags below
+/// this bound never collide with collective traffic.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = u64::MAX - 1024;
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Error sending a message (receiver rank hung up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError {
+    /// Destination rank.
+    pub dest: usize,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "send to rank {} failed: rank exited", self.dest)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error receiving a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders exited while we waited.
+    Disconnected,
+    /// A message matched (source, tag) but carried a different payload type.
+    TypeMismatch {
+        /// The source of the offending message.
+        src: usize,
+        /// The tag of the offending message.
+        tag: Tag,
+    },
+    /// Timed out waiting for a matching message.
+    Timeout,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Disconnected => write!(f, "recv failed: peers exited"),
+            RecvError::TypeMismatch { src, tag } => {
+                write!(f, "recv type mismatch for message from {} tag {:?}", src, tag)
+            }
+            RecvError::Timeout => write!(f, "recv timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Per-world shared message-count statistics (sends per rank).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    sends: Vec<AtomicU64>,
+}
+
+impl CommStats {
+    pub(crate) fn new(n: usize) -> Self {
+        CommStats {
+            sends: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Total messages sent by `rank` so far.
+    pub fn sends_by(&self, rank: usize) -> u64 {
+        self.sends[rank].load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_sends(&self) -> u64 {
+        self.sends.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A rank's endpoint in the world: knows its rank, the world size, and how to
+/// reach every other rank.
+pub struct Comm {
+    rank: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// Unexpected-message queue: arrived but not yet matched by a recv.
+    pending: std::cell::RefCell<VecDeque<Envelope>>,
+    stats: Arc<CommStats>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Sender<Envelope>>,
+        receiver: Receiver<Envelope>,
+        stats: Arc<CommStats>,
+    ) -> Self {
+        Comm {
+            rank,
+            senders,
+            receiver,
+            pending: std::cell::RefCell::new(VecDeque::new()),
+            stats,
+        }
+    }
+
+    /// Build the full mesh of endpoints for `n` ranks.
+    pub(crate) fn mesh(n: usize) -> Vec<Comm> {
+        let stats = Arc::new(CommStats::new(n));
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Comm::new(rank, senders.clone(), rx, Arc::clone(&stats)))
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Shared send statistics for the world.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Send `value` to `dest` with `tag`. Non-blocking (buffered channel).
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> Result<(), SendError> {
+        self.stats.sends[self.rank].fetch_add(1, Ordering::Relaxed);
+        self.senders[dest]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .map_err(|_| SendError { dest })
+    }
+
+    fn matches(env: &Envelope, src: usize, tag: Tag) -> bool {
+        (src == ANY_SOURCE || env.src == src) && env.tag == tag
+    }
+
+    fn take_pending(&self, src: usize, tag: Tag) -> Option<Envelope> {
+        let mut pending = self.pending.borrow_mut();
+        let pos = pending.iter().position(|e| Self::matches(e, src, tag))?;
+        pending.remove(pos)
+    }
+
+    fn downcast<T: 'static>(env: Envelope) -> Result<(usize, T), RecvError> {
+        let src = env.src;
+        let tag = env.tag;
+        env.payload
+            .downcast::<T>()
+            .map(|b| (src, *b))
+            .map_err(|_| RecvError::TypeMismatch { src, tag })
+    }
+
+    /// Blocking receive of a `T` from `src` (or [`ANY_SOURCE`]) with `tag`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Result<T, RecvError> {
+        self.recv_from(src, tag).map(|(_, v)| v)
+    }
+
+    /// Blocking receive that also reports the actual source rank.
+    pub fn recv_from<T: Send + 'static>(&self, src: usize, tag: Tag) -> Result<(usize, T), RecvError> {
+        if let Some(env) = self.take_pending(src, tag) {
+            return Self::downcast(env);
+        }
+        loop {
+            let env = self.receiver.recv().map_err(|_| RecvError::Disconnected)?;
+            if Self::matches(&env, src, tag) {
+                return Self::downcast(env);
+            }
+            self.pending.borrow_mut().push_back(env);
+        }
+    }
+
+    /// Receive with a timeout; useful in tests to avoid deadlocking forever.
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<T, RecvError> {
+        if let Some(env) = self.take_pending(src, tag) {
+            return Self::downcast(env).map(|(_, v)| v);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(RecvError::Timeout)?;
+            let env = self
+                .receiver
+                .recv_timeout(remaining)
+                .map_err(|e| match e {
+                    crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+                    crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+                })?;
+            if Self::matches(&env, src, tag) {
+                return Self::downcast(env).map(|(_, v)| v);
+            }
+            self.pending.borrow_mut().push_back(env);
+        }
+    }
+
+    /// True if a matching message is already available (like `MPI_Iprobe`).
+    pub fn probe(&self, src: usize, tag: Tag) -> bool {
+        if self.pending.borrow().iter().any(|e| Self::matches(e, src, tag)) {
+            return true;
+        }
+        // Drain everything currently queued into pending, then check.
+        while let Ok(env) = self.receiver.try_recv() {
+            self.pending.borrow_mut().push_back(env);
+        }
+        self.pending.borrow().iter().any(|e| Self::matches(e, src, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag(1), "first".to_string()).unwrap();
+                comm.send(1, Tag(2), "second".to_string()).unwrap();
+                String::new()
+            } else {
+                // Receive tag 2 before tag 1; the tag-1 message must be buffered.
+                let b: String = comm.recv(0, Tag(2)).unwrap();
+                let a: String = comm.recv(0, Tag(1)).unwrap();
+                format!("{a}-{b}")
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], "first-second");
+    }
+
+    #[test]
+    fn any_source_matches_either_sender() {
+        let results = World::run(3, |comm| {
+            if comm.rank() == 2 {
+                let (s1, v1): (usize, u32) = comm.recv_from(ANY_SOURCE, Tag(9)).unwrap();
+                let (s2, v2): (usize, u32) = comm.recv_from(ANY_SOURCE, Tag(9)).unwrap();
+                assert_ne!(s1, s2);
+                v1 + v2
+            } else {
+                comm.send(2, Tag(9), comm.rank() as u32 + 100).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(results[2], 201);
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag(0), 42u32).unwrap();
+                true
+            } else {
+                matches!(
+                    comm.recv::<String>(0, Tag(0)),
+                    Err(RecvError::TypeMismatch { src: 0, .. })
+                )
+            }
+        })
+        .unwrap();
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let results = World::run(1, |comm| {
+            matches!(
+                comm.recv_timeout::<u8>(0, Tag(5), Duration::from_millis(10)),
+                Err(RecvError::Timeout)
+            )
+        })
+        .unwrap();
+        assert!(results[0]);
+    }
+
+    #[test]
+    fn probe_sees_queued_message() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag(3), 7u8).unwrap();
+                true
+            } else {
+                // Spin until the message lands.
+                while !comm.probe(0, Tag(3)) {
+                    std::thread::yield_now();
+                }
+                comm.recv::<u8>(0, Tag(3)).unwrap() == 7
+            }
+        })
+        .unwrap();
+        assert!(results.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..5u8 {
+                    comm.send(1, Tag(i as u64), i).unwrap();
+                }
+            } else {
+                for i in 0..5u8 {
+                    let _: u8 = comm.recv(0, Tag(i as u64)).unwrap();
+                }
+            }
+            assert!(comm.stats().total_sends() <= 5);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,114 @@
+//! SPMD launcher: run the same closure on `n` ranks, each on its own thread.
+
+use crate::comm::Comm;
+
+/// Error launching or joining an SPMD world.
+#[derive(Debug)]
+pub enum WorldError {
+    /// A rank panicked; the payload's `Display` if it was a string.
+    RankPanicked {
+        /// Which rank panicked.
+        rank: usize,
+        /// Panic message when recoverable.
+        message: String,
+    },
+    /// Zero ranks were requested.
+    EmptyWorld,
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            WorldError::EmptyWorld => write!(f, "world of zero ranks"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// An SPMD world. The only entry point is [`World::run`], mirroring
+/// `mpiexec -n <n>`: the closure is the "main" of every rank.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` ranks concurrently; returns per-rank results in rank
+    /// order. If any rank panics, the first panicking rank is reported.
+    pub fn run<T, F>(n: usize, f: F) -> Result<Vec<T>, WorldError>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+    {
+        if n == 0 {
+            return Err(WorldError::EmptyWorld);
+        }
+        let comms = Comm::mesh(n);
+        let f = &f;
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    scope
+                        .builder()
+                        .name(format!("rank-{}", comm.rank()))
+                        .spawn(move |_| f(&comm))
+                        .expect("spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join().map_err(|e| {
+                        let message = e
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| e.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into());
+                        WorldError::RankPanicked { rank, message }
+                    })
+                })
+                .collect::<Result<Vec<T>, WorldError>>()
+        })
+        .map_err(|_| WorldError::RankPanicked {
+            rank: usize::MAX,
+            message: "scope panicked".into(),
+        })?;
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        assert!(matches!(World::run(0, |_| ()), Err(WorldError::EmptyWorld)));
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let r = World::run(1, |c| (c.rank(), c.size())).unwrap();
+        assert_eq!(r, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn panic_is_reported_with_rank() {
+        let err = World::run(3, |c| {
+            if c.rank() == 1 {
+                panic!("boom at rank 1");
+            }
+        })
+        .unwrap_err();
+        match err {
+            WorldError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

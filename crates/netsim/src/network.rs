@@ -1,0 +1,196 @@
+//! Pruned fat-tree network model.
+//!
+//! Two levels, like the Irene Skylake partition's EDR InfiniBand fabric the
+//! paper describes: nodes hang off leaf switches; leaf switches connect
+//! through a core. "Pruned" means the leaf uplink offers less bandwidth than
+//! the sum of its nodes' NICs (a pruning factor > 1). Latency grows with hop
+//! count (same node < same switch < cross switch), which is exactly the
+//! placement-dependent variability §3.3.2 discusses.
+
+use crate::engine::SimTime;
+use crate::resources::FifoServer;
+use crate::transfer_ns;
+
+/// Network parameters.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Nodes per leaf switch.
+    pub nodes_per_switch: usize,
+    /// NIC bandwidth, bytes/s (EDR ≈ 12.5 GB/s).
+    pub nic_bw: u64,
+    /// Pruning factor: uplink bandwidth = `nodes_per_switch * nic_bw /
+    /// prune_factor`.
+    pub prune_factor: u64,
+    /// Per-hop latency in ns.
+    pub hop_latency: SimTime,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nodes: 16,
+            nodes_per_switch: 8,
+            nic_bw: 12_500_000_000, // 100 Gb/s EDR
+            prune_factor: 2,
+            hop_latency: 1_000, // 1 µs per hop
+        }
+    }
+}
+
+/// The network state: per-node NIC queues (tx and rx) and per-switch uplink
+/// queues.
+pub struct Network {
+    config: NetworkConfig,
+    tx: Vec<FifoServer>,
+    rx: Vec<FifoServer>,
+    uplinks: Vec<FifoServer>,
+    /// Total bytes moved (for bandwidth reporting).
+    bytes_moved: u64,
+}
+
+impl Network {
+    /// Build from a config.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.nodes_per_switch > 0, "nodes_per_switch must be > 0");
+        let n_switches = config.nodes.div_ceil(config.nodes_per_switch);
+        Network {
+            tx: vec![FifoServer::new(); config.nodes],
+            rx: vec![FifoServer::new(); config.nodes],
+            uplinks: vec![FifoServer::new(); n_switches],
+            config,
+            bytes_moved: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Switch of a node.
+    pub fn switch_of(&self, node: usize) -> usize {
+        node / self.config.nodes_per_switch
+    }
+
+    /// Number of leaf switches.
+    pub fn n_switches(&self) -> usize {
+        self.uplinks.len()
+    }
+
+    /// Hop count between two nodes: 0 (same node), 2 (same switch),
+    /// 4 (through the core).
+    pub fn hops(&self, src: usize, dst: usize) -> u32 {
+        if src == dst {
+            0
+        } else if self.switch_of(src) == self.switch_of(dst) {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Total bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Simulate sending `bytes` from `src` to `dst` starting at `now`;
+    /// returns the arrival (fully-received) time. Occupies the sender NIC,
+    /// the shared uplinks when crossing switches, and the receiver NIC, in
+    /// sequence — each a FIFO station, so concurrent flows contend.
+    pub fn send(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        self.bytes_moved += bytes;
+        if src == dst {
+            // Loopback: memcpy-speed, modeled as NIC-speed without queueing.
+            return now + transfer_ns(bytes, self.config.nic_bw * 4);
+        }
+        let nic_time = transfer_ns(bytes, self.config.nic_bw);
+        let (_, tx_done) = self.tx[src].enqueue(now, nic_time);
+        let mut t = tx_done + self.config.hop_latency; // into leaf switch
+        let s_src = self.switch_of(src);
+        let s_dst = self.switch_of(dst);
+        if s_src != s_dst {
+            let uplink_bw =
+                self.config.nodes_per_switch as u64 * self.config.nic_bw / self.config.prune_factor.max(1);
+            let up_time = transfer_ns(bytes, uplink_bw);
+            // Source uplink (to core) then destination uplink (from core).
+            let (_, up_done) = self.uplinks[s_src].enqueue(t, up_time);
+            t = up_done + self.config.hop_latency;
+            let (_, down_done) = self.uplinks[s_dst].enqueue(t, up_time);
+            t = down_done + self.config.hop_latency;
+        }
+        let (_, rx_done) = self.rx[dst].enqueue(t, nic_time);
+        rx_done + self.config.hop_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetworkConfig {
+            nodes: 8,
+            nodes_per_switch: 4,
+            nic_bw: 1_000_000_000, // 1 GB/s for round numbers
+            prune_factor: 2,
+            hop_latency: 1_000,
+        })
+    }
+
+    #[test]
+    fn topology_mapping() {
+        let n = net();
+        assert_eq!(n.n_switches(), 2);
+        assert_eq!(n.switch_of(3), 0);
+        assert_eq!(n.switch_of(4), 1);
+        assert_eq!(n.hops(1, 1), 0);
+        assert_eq!(n.hops(0, 3), 2);
+        assert_eq!(n.hops(0, 5), 4);
+    }
+
+    #[test]
+    fn same_switch_faster_than_cross_switch() {
+        let mut n = net();
+        let t_same = n.send(0, 0, 1, 1_000_000);
+        let mut n2 = net();
+        let t_cross = n2.send(0, 0, 5, 1_000_000);
+        assert!(t_cross > t_same, "{t_cross} !> {t_same}");
+    }
+
+    #[test]
+    fn nic_contention_serializes() {
+        let mut n = net();
+        // Two 1 MB messages from the same source at the same instant.
+        let t1 = n.send(0, 0, 1, 1_000_000);
+        let t2 = n.send(0, 0, 2, 1_000_000);
+        // 1 MB at 1 GB/s = 1 ms of NIC time; the second must wait ~1 ms more.
+        assert!(t2 >= t1 + 900_000, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn uplink_pruning_contends_cross_switch_flows() {
+        // Many simultaneous cross-switch flows from distinct sources share
+        // the pruned uplink; the last one lands much later than a lone flow.
+        let mut lone = net();
+        let t_lone = lone.send(0, 0, 4, 4_000_000);
+        let mut busy = net();
+        let mut last = 0;
+        for src in 0..4 {
+            last = last.max(busy.send(0, src, 4 + src, 4_000_000));
+        }
+        assert!(last > t_lone, "uplink contention should delay: {last} vs {t_lone}");
+        assert_eq!(busy.bytes_moved(), 16_000_000);
+    }
+
+    #[test]
+    fn loopback_is_fast_and_uncontended() {
+        let mut n = net();
+        let t1 = n.send(0, 3, 3, 1_000_000);
+        let t2 = n.send(0, 3, 3, 1_000_000);
+        assert_eq!(t1, t2); // no queueing on loopback
+        assert!(t1 < 1_000_000); // faster than NIC serialization
+    }
+}

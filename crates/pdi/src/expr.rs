@@ -1,0 +1,262 @@
+//! `$`-expression evaluator for plugin configurations.
+//!
+//! PDI configs reference exposed values with `$name` and support integer
+//! arithmetic, e.g. `'$cfg.loc[0] * ($rank % $cfg.proc[0])'`. Grammar:
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := factor (('*' | '/' | '%') factor)*
+//! factor := INT | ref | '(' expr ')'
+//! ref    := '$' ident ('.' ident)* ('[' expr ']')?
+//! ```
+//!
+//! References resolve against a [`Store`]: `$cfg.loc[0]` looks up the value
+//! named `cfg.loc` and indexes it. Division is integer division (the paper's
+//! configs use `/` for rank-grid arithmetic).
+
+use crate::store::{Store, Value};
+
+/// Expression evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError {
+    /// What went wrong, with the offending expression fragment.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExprError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expression error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ExprError> {
+    Err(ExprError { message: message.into() })
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    store: &'a Store,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn expr(&mut self) -> Result<i64, ExprError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    acc += self.term()?;
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    acc -= self.term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<i64, ExprError> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    acc *= self.factor()?;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let d = self.factor()?;
+                    if d == 0 {
+                        return err("division by zero");
+                    }
+                    acc /= d;
+                }
+                Some(b'%') => {
+                    self.pos += 1;
+                    let d = self.factor()?;
+                    if d == 0 {
+                        return err("modulo by zero");
+                    }
+                    acc %= d;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<i64, ExprError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.bump() != Some(b')') {
+                    return err("expected ')'");
+                }
+                Ok(v)
+            }
+            Some(b'$') => {
+                self.pos += 1;
+                self.reference()
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(-self.factor()?)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.src[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map_or_else(|| err("bad integer literal"), Ok)
+            }
+            Some(c) => err(format!("unexpected character '{}'", c as char)),
+            None => err("unexpected end of expression"),
+        }
+    }
+
+    fn reference(&mut self) -> Result<i64, ExprError> {
+        // ident ('.' ident)*
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric()
+                || self.src[self.pos] == b'_'
+                || self.src[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return err("empty reference after '$'");
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| ExprError { message: "non-utf8 reference".into() })?;
+        let value = self
+            .store
+            .get(name)
+            .ok_or_else(|| ExprError { message: format!("unknown reference '${name}'") })?;
+        // Optional index.
+        if self.peek() == Some(b'[') {
+            self.pos += 1;
+            let idx = self.expr()?;
+            if self.bump() != Some(b']') {
+                return err("expected ']'");
+            }
+            let idx = usize::try_from(idx).map_err(|_| ExprError {
+                message: format!("negative index {idx} into '${name}'"),
+            })?;
+            return match value {
+                Value::IntList(items) => items.get(idx).copied().map_or_else(
+                    || err(format!("index {idx} out of bounds for '${name}'")),
+                    Ok,
+                ),
+                _ => err(format!("'${name}' is not indexable")),
+            };
+        }
+        match value {
+            Value::Int(v) => Ok(*v),
+            Value::IntList(_) => err(format!("'${name}' is a list; index it")),
+            Value::Float(_) => err(format!("'${name}' is a float; expressions are integer-only")),
+            Value::Str(_) => err(format!("'${name}' is a string, not an integer")),
+            Value::Array(_) => err(format!("'${name}' is an array, not an integer")),
+        }
+    }
+}
+
+/// Evaluate an integer `$`-expression against a store. A plain integer
+/// string (no `$`) evaluates to itself.
+pub fn eval_expr(src: &str, store: &Store) -> Result<i64, ExprError> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0, store };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return err(format!("trailing characters in '{src}'"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, Value};
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.set("step", Value::Int(4));
+        s.set("rank", Value::Int(5));
+        s.set("cfg.loc", Value::IntList(vec![100, 200]));
+        s.set("cfg.proc", Value::IntList(vec![2, 3]));
+        s.set("cfg.max_time_step", Value::Int(10));
+        s.set("name", Value::Str("x".into()));
+        s
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        let s = Store::new();
+        assert_eq!(eval_expr("42", &s).unwrap(), 42);
+        assert_eq!(eval_expr("2+3*4", &s).unwrap(), 14);
+        assert_eq!(eval_expr("(2+3)*4", &s).unwrap(), 20);
+        assert_eq!(eval_expr("7/2", &s).unwrap(), 3);
+        assert_eq!(eval_expr("7%4", &s).unwrap(), 3);
+        assert_eq!(eval_expr("-3 + 5", &s).unwrap(), 2);
+        assert_eq!(eval_expr(" 1 + 2 ", &s).unwrap(), 3);
+    }
+
+    #[test]
+    fn references_and_indexing() {
+        let s = store();
+        assert_eq!(eval_expr("$step", &s).unwrap(), 4);
+        assert_eq!(eval_expr("$cfg.loc[0]", &s).unwrap(), 100);
+        assert_eq!(eval_expr("$cfg.loc[1]", &s).unwrap(), 200);
+        assert_eq!(eval_expr("$cfg.loc[$step - 3]", &s).unwrap(), 200);
+    }
+
+    #[test]
+    fn paper_listing_expressions() {
+        let s = store();
+        // '$cfg.loc[0] * ($rank % $cfg.proc[0])' with rank=5, proc=[2,3]:
+        // 100 * (5 % 2) = 100.
+        assert_eq!(eval_expr("$cfg.loc[0] * ($rank % $cfg.proc[0])", &s).unwrap(), 100);
+        // '$cfg.loc[1] * ($rank / $cfg.proc[0])' = 200 * (5/2) = 400.
+        assert_eq!(eval_expr("$cfg.loc[1] * ($rank / $cfg.proc[0])", &s).unwrap(), 400);
+    }
+
+    #[test]
+    fn error_cases() {
+        let s = store();
+        assert!(eval_expr("$missing", &s).is_err());
+        assert!(eval_expr("$cfg.loc", &s).is_err());
+        assert!(eval_expr("$cfg.loc[9]", &s).is_err());
+        assert!(eval_expr("$step[0]", &s).is_err());
+        assert!(eval_expr("$name", &s).is_err());
+        assert!(eval_expr("1/0", &s).is_err());
+        assert!(eval_expr("1%0", &s).is_err());
+        assert!(eval_expr("2 +", &s).is_err());
+        assert!(eval_expr("(1", &s).is_err());
+        assert!(eval_expr("1 garbage", &s).is_err());
+        assert!(eval_expr("$cfg.loc[-1]", &s).is_err());
+    }
+}

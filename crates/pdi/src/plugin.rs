@@ -1,0 +1,217 @@
+//! The PDI instance: plugins subscribe to shared data and named events.
+//!
+//! A simulation rank owns one [`Pdi`]. It calls [`Pdi::share`] for each
+//! buffer/metadata it wants visible, [`Pdi::event`] at synchronization points
+//! (e.g. `init`, end of iteration), and [`Pdi::reclaim`] when it takes a
+//! buffer back. Plugins get callbacks with read access to the whole store,
+//! which is how the deisa plugin resolves `$`-expressions at share time.
+
+use crate::store::{Store, Value};
+use crate::yaml::Yaml;
+
+/// Error raised by the data interface or a plugin.
+#[derive(Debug)]
+pub struct PdiError {
+    /// Which plugin (or the core) raised the error.
+    pub plugin: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PdiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pdi [{}]: {}", self.plugin, self.message)
+    }
+}
+
+impl std::error::Error for PdiError {}
+
+/// A PDI plugin. Implementations receive callbacks when data is shared and
+/// when events fire; `finalize` runs when the instance is dropped cleanly.
+pub trait Plugin: Send {
+    /// Plugin name for error reporting.
+    fn name(&self) -> &str;
+
+    /// Called after `name` was written into the store.
+    fn data_available(&mut self, _name: &str, _store: &Store) -> Result<(), PdiError> {
+        Ok(())
+    }
+
+    /// Called on a named event.
+    fn event(&mut self, _event: &str, _store: &Store) -> Result<(), PdiError> {
+        Ok(())
+    }
+
+    /// Called once at the end of the run.
+    fn finalize(&mut self, _store: &Store) -> Result<(), PdiError> {
+        Ok(())
+    }
+}
+
+/// A per-rank PDI instance: the store plus the configured plugin chain.
+pub struct Pdi {
+    store: Store,
+    plugins: Vec<Box<dyn Plugin>>,
+    config: Yaml,
+    finalized: bool,
+}
+
+impl Pdi {
+    /// Create an instance from a parsed configuration document. Plugins are
+    /// constructed by the caller (plugin crates know their own config
+    /// sections) and registered with [`Pdi::register`].
+    pub fn new(config: Yaml) -> Self {
+        Pdi {
+            store: Store::new(),
+            plugins: Vec::new(),
+            config,
+            finalized: false,
+        }
+    }
+
+    /// The raw configuration document.
+    pub fn config(&self) -> &Yaml {
+        &self.config
+    }
+
+    /// Register a plugin; callbacks fire in registration order.
+    pub fn register(&mut self, plugin: Box<dyn Plugin>) {
+        self.plugins.push(plugin);
+    }
+
+    /// Read access to the store (tests, diagnostics).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Share a value under `name` and notify plugins.
+    pub fn share(&mut self, name: &str, value: impl Into<Value>) -> Result<(), PdiError> {
+        self.store.set(name, value.into());
+        for p in &mut self.plugins {
+            p.data_available(name, &self.store)?;
+        }
+        Ok(())
+    }
+
+    /// Alias matching PDI's `expose` (share + implicit reclaim-by-replace).
+    pub fn expose(&mut self, name: &str, value: impl Into<Value>) -> Result<(), PdiError> {
+        self.share(name, value)
+    }
+
+    /// Raise a named event.
+    pub fn event(&mut self, event: &str) -> Result<(), PdiError> {
+        for p in &mut self.plugins {
+            p.event(event, &self.store)?;
+        }
+        Ok(())
+    }
+
+    /// Take a value back from the store.
+    pub fn reclaim(&mut self, name: &str) -> Option<Value> {
+        self.store.remove(name)
+    }
+
+    /// Finalize all plugins explicitly (also called on drop).
+    pub fn finalize(&mut self) -> Result<(), PdiError> {
+        if self.finalized {
+            return Ok(());
+        }
+        self.finalized = true;
+        for p in &mut self.plugins {
+            p.finalize(&self.store)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Pdi {
+    fn drop(&mut self) {
+        let _ = self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yaml::parse_yaml;
+    use std::sync::{Arc, Mutex};
+
+    /// Test plugin recording every callback.
+    struct Recorder {
+        log: Arc<Mutex<Vec<String>>>,
+        fail_on: Option<String>,
+    }
+
+    impl Plugin for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn data_available(&mut self, name: &str, store: &Store) -> Result<(), PdiError> {
+            assert!(store.contains(name));
+            self.log.lock().unwrap().push(format!("data:{name}"));
+            Ok(())
+        }
+        fn event(&mut self, event: &str, _store: &Store) -> Result<(), PdiError> {
+            if self.fail_on.as_deref() == Some(event) {
+                return Err(PdiError {
+                    plugin: "recorder".into(),
+                    message: format!("told to fail on {event}"),
+                });
+            }
+            self.log.lock().unwrap().push(format!("event:{event}"));
+            Ok(())
+        }
+        fn finalize(&mut self, _store: &Store) -> Result<(), PdiError> {
+            self.log.lock().unwrap().push("finalize".into());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn callbacks_fire_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut pdi = Pdi::new(parse_yaml("plugins:").unwrap());
+        pdi.register(Box::new(Recorder { log: Arc::clone(&log), fail_on: None }));
+        pdi.share("step", 1i64).unwrap();
+        pdi.share("temp", linalg::NDArray::zeros(&[2, 2])).unwrap();
+        pdi.event("init").unwrap();
+        pdi.finalize().unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["data:step", "data:temp", "event:init", "finalize"]
+        );
+    }
+
+    #[test]
+    fn plugin_error_propagates() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut pdi = Pdi::new(Yaml::Null);
+        pdi.register(Box::new(Recorder {
+            log,
+            fail_on: Some("boom".into()),
+        }));
+        assert!(pdi.event("ok").is_ok());
+        let err = pdi.event("boom").unwrap_err();
+        assert_eq!(err.plugin, "recorder");
+    }
+
+    #[test]
+    fn drop_finalizes_once() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut pdi = Pdi::new(Yaml::Null);
+            pdi.register(Box::new(Recorder { log: Arc::clone(&log), fail_on: None }));
+            pdi.finalize().unwrap();
+        } // drop runs here; finalize must not fire twice
+        assert_eq!(*log.lock().unwrap(), vec!["finalize"]);
+    }
+
+    #[test]
+    fn reclaim_removes_from_store() {
+        let mut pdi = Pdi::new(Yaml::Null);
+        pdi.share("x", 5i64).unwrap();
+        assert!(pdi.reclaim("x").is_some());
+        assert!(!pdi.store().contains("x"));
+        assert!(pdi.reclaim("x").is_none());
+    }
+}

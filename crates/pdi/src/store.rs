@@ -1,0 +1,136 @@
+//! Typed value store for exposed simulation data and metadata.
+
+use linalg::NDArray;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A value exposed to the data interface.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer metadata (timestep, rank, …).
+    Int(i64),
+    /// Integer list metadata (grid dims, local sizes, …).
+    IntList(Vec<i64>),
+    /// Float metadata.
+    Float(f64),
+    /// String metadata.
+    Str(String),
+    /// Array data. Shared (`Arc`) so `expose` does not copy the buffer —
+    /// PDI's zero-copy share semantics.
+    Array(Arc<NDArray>),
+}
+
+impl Value {
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Arc<NDArray>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Self {
+        Value::IntList(v)
+    }
+}
+
+impl From<NDArray> for Value {
+    fn from(v: NDArray) -> Self {
+        Value::Array(Arc::new(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+/// Name → value map of everything currently shared with the data interface.
+#[derive(Debug, Default)]
+pub struct Store {
+    values: HashMap<String, Value>,
+}
+
+impl Store {
+    /// Empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Insert or replace a value.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Look up a value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Remove a value (PDI `reclaim`).
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.values.remove(name)
+    }
+
+    /// Whether a name is currently shared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut s = Store::new();
+        s.set("step", Value::Int(3));
+        assert_eq!(s.get("step").unwrap().as_int(), Some(3));
+        assert!(s.contains("step"));
+        s.remove("step");
+        assert!(!s.contains("step"));
+    }
+
+    #[test]
+    fn array_share_is_zero_copy() {
+        let mut s = Store::new();
+        let a = Arc::new(NDArray::full(&[4, 4], 1.5));
+        s.set("temp", Value::Array(Arc::clone(&a)));
+        let got = s.get("temp").unwrap().as_array().unwrap();
+        assert!(Arc::ptr_eq(got, &a));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert!(matches!(Value::from(3i64), Value::Int(3)));
+        assert!(matches!(Value::from(vec![1i64, 2]), Value::IntList(_)));
+        assert!(matches!(Value::from("x"), Value::Str(_)));
+        assert!(matches!(Value::from(NDArray::zeros(&[1])), Value::Array(_)));
+    }
+}

@@ -1,0 +1,462 @@
+//! A small YAML-subset parser.
+//!
+//! Supports exactly what PDI-style plugin configurations need (see the
+//! paper's Listing 1):
+//!
+//! * block mappings `key: value` with indentation-based nesting,
+//! * block sequences `- item` (including `-item` glued form used in the
+//!   paper's listing),
+//! * scalars: ints, floats, booleans, bare strings, single/double-quoted
+//!   strings (quotes protect `$`-expressions with spaces),
+//! * inline lists `[a, b, c]`,
+//! * `#` comments and blank lines.
+//!
+//! Anchors, multi-docs, flow mappings and block scalars are out of scope.
+
+/// Parsed YAML node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Yaml {
+    /// Scalar leaf, kept as the raw (unquoted) string.
+    Scalar(String),
+    /// Ordered mapping.
+    Map(Vec<(String, Yaml)>),
+    /// Sequence.
+    List(Vec<Yaml>),
+    /// Empty value (key with nothing after the colon and no indented block).
+    Null,
+}
+
+/// Parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for YamlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "yaml error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+impl Yaml {
+    /// Map lookup.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        match self {
+            Yaml::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Scalar as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Scalar parsed as i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_str()?.parse().ok()
+    }
+
+    /// Scalar parsed as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_str()?.parse().ok()
+    }
+
+    /// Scalar parsed as bool (`true`/`false`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.as_str()? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Sequence items.
+    pub fn as_list(&self) -> Option<&[Yaml]> {
+        match self {
+            Yaml::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Map entries in order.
+    pub fn as_map(&self) -> Option<&[(String, Yaml)]> {
+        match self {
+            Yaml::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+struct Line {
+    number: usize,
+    indent: usize,
+    content: String,
+}
+
+fn strip_comment(s: &str) -> &str {
+    // A '#' starts a comment unless inside quotes.
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => {
+                // YAML requires a space before # unless at start; accept both.
+                return &s[..i];
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+fn logical_lines(src: &str) -> Result<Vec<Line>, YamlError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let number = i + 1;
+        if raw.contains('\t') {
+            return Err(YamlError {
+                line: number,
+                message: "tabs are not allowed for indentation".into(),
+            });
+        }
+        let without_comment = strip_comment(raw);
+        let trimmed_end = without_comment.trim_end();
+        let indent = trimmed_end.len() - trimmed_end.trim_start().len();
+        let content = trimmed_end.trim_start().to_string();
+        if content.is_empty() {
+            continue;
+        }
+        out.push(Line { number, indent, content });
+    }
+    Ok(out)
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 {
+        let bytes = s.as_bytes();
+        if (bytes[0] == b'\'' && bytes[s.len() - 1] == b'\'')
+            || (bytes[0] == b'"' && bytes[s.len() - 1] == b'"')
+        {
+            return s[1..s.len() - 1].to_string();
+        }
+    }
+    s.to_string()
+}
+
+fn parse_inline(s: &str, line: usize) -> Result<Yaml, YamlError> {
+    let s = s.trim();
+    if s.starts_with('[') {
+        if !s.ends_with(']') {
+            return Err(YamlError {
+                line,
+                message: "unterminated inline list".into(),
+            });
+        }
+        let inner = &s[1..s.len() - 1];
+        if inner.trim().is_empty() {
+            return Ok(Yaml::List(Vec::new()));
+        }
+        // Split on commas not inside quotes or nested brackets.
+        let mut items = Vec::new();
+        let mut depth = 0usize;
+        let mut in_single = false;
+        let mut in_double = false;
+        let mut start = 0usize;
+        for (i, c) in inner.char_indices() {
+            match c {
+                '\'' if !in_double => in_single = !in_single,
+                '"' if !in_single => in_double = !in_double,
+                '[' if !in_single && !in_double => depth += 1,
+                ']' if !in_single && !in_double => depth = depth.saturating_sub(1),
+                ',' if depth == 0 && !in_single && !in_double => {
+                    items.push(parse_inline(&inner[start..i], line)?);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        items.push(parse_inline(&inner[start..], line)?);
+        return Ok(Yaml::List(items));
+    }
+    Ok(Yaml::Scalar(unquote(s)))
+}
+
+/// Split a `key: value` line at the first colon outside quotes. Returns
+/// `(key, rest)` where rest may be empty.
+fn split_key(content: &str, line: usize) -> Result<Option<(String, String)>, YamlError> {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in content.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ':' if !in_single && !in_double => {
+                // Must be followed by space or end-of-line to be a mapping key.
+                let rest = &content[i + 1..];
+                if rest.is_empty() || rest.starts_with(' ') {
+                    let key = unquote(&content[..i]);
+                    if key.is_empty() {
+                        return Err(YamlError {
+                            line,
+                            message: "empty mapping key".into(),
+                        });
+                    }
+                    return Ok(Some((key, rest.trim().to_string())));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(None)
+}
+
+/// Recursive-descent block parser over `lines[*pos..]` at `min_indent`.
+fn parse_block(lines: &[Line], pos: &mut usize, min_indent: usize) -> Result<Yaml, YamlError> {
+    if *pos >= lines.len() {
+        return Ok(Yaml::Null);
+    }
+    let indent = lines[*pos].indent;
+    if indent < min_indent {
+        return Ok(Yaml::Null);
+    }
+    let is_list = lines[*pos].content.starts_with('-');
+    if is_list {
+        let mut items = Vec::new();
+        while *pos < lines.len() && lines[*pos].indent == indent {
+            let line = &lines[*pos];
+            if !line.content.starts_with('-') {
+                break;
+            }
+            // Accept both "- item" and the glued "-item" of the paper's listing.
+            let after = line.content[1..].trim_start().to_string();
+            let number = line.number;
+            *pos += 1;
+            if after.is_empty() {
+                // Nested block under the dash.
+                items.push(parse_block(lines, pos, indent + 1)?);
+            } else if let Some((key, rest)) = split_key(&after, number)? {
+                // "- key: value" — a map item inside the list.
+                let mut entries = Vec::new();
+                let value = if rest.is_empty() {
+                    parse_block(lines, pos, indent + 1)?
+                } else {
+                    parse_inline(&rest, number)?
+                };
+                entries.push((key, value));
+                // Further keys of the same inline map appear indented deeper.
+                while *pos < lines.len() && lines[*pos].indent > indent {
+                    let l = &lines[*pos];
+                    if let Some((k, r)) = split_key(&l.content, l.number)? {
+                        let n = l.number;
+                        *pos += 1;
+                        let v = if r.is_empty() {
+                            parse_block(lines, pos, l.indent + 1)?
+                        } else {
+                            parse_inline(&r, n)?
+                        };
+                        entries.push((k, v));
+                    } else {
+                        break;
+                    }
+                }
+                items.push(Yaml::Map(entries));
+            } else {
+                items.push(parse_inline(&after, number)?);
+            }
+        }
+        return Ok(Yaml::List(items));
+    }
+    // Block mapping.
+    let mut entries = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent == indent {
+        let line = &lines[*pos];
+        let number = line.number;
+        match split_key(&line.content, number)? {
+            Some((key, rest)) => {
+                *pos += 1;
+                let value = if rest.is_empty() {
+                    parse_block(lines, pos, indent + 1)?
+                } else {
+                    parse_inline(&rest, number)?
+                };
+                entries.push((key, value));
+            }
+            None => {
+                if entries.is_empty() {
+                    // A bare scalar document.
+                    *pos += 1;
+                    return parse_inline(&line.content, number);
+                }
+                return Err(YamlError {
+                    line: number,
+                    message: format!("expected 'key: value', got '{}'", line.content),
+                });
+            }
+        }
+    }
+    Ok(Yaml::Map(entries))
+}
+
+/// Parse a YAML document.
+pub fn parse_yaml(src: &str) -> Result<Yaml, YamlError> {
+    let lines = logical_lines(src)?;
+    if lines.is_empty() {
+        return Ok(Yaml::Null);
+    }
+    let mut pos = 0usize;
+    let doc = parse_block(&lines, &mut pos, 0)?;
+    if pos < lines.len() {
+        return Err(YamlError {
+            line: lines[pos].number,
+            message: "trailing content after document".into(),
+        });
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_types() {
+        let y = parse_yaml("a: 3\nb: 2.5\nc: hello\nd: true\ne: 'qu oted'").unwrap();
+        assert_eq!(y.get("a").unwrap().as_i64(), Some(3));
+        assert_eq!(y.get("b").unwrap().as_f64(), Some(2.5));
+        assert_eq!(y.get("c").unwrap().as_str(), Some("hello"));
+        assert_eq!(y.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(y.get("e").unwrap().as_str(), Some("qu oted"));
+    }
+
+    #[test]
+    fn nested_maps() {
+        let y = parse_yaml("outer:\n  inner:\n    leaf: 7\n  other: x").unwrap();
+        let inner = y.get("outer").unwrap().get("inner").unwrap();
+        assert_eq!(inner.get("leaf").unwrap().as_i64(), Some(7));
+        assert_eq!(y.get("outer").unwrap().get("other").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn block_list_and_glued_dash() {
+        let y = parse_yaml("sizes:\n  - 1\n  -2\n  - 3").unwrap();
+        let items = y.get("sizes").unwrap().as_list().unwrap();
+        let vals: Vec<i64> = items.iter().map(|i| i.as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn inline_list() {
+        let y = parse_yaml("size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]").unwrap();
+        let items = y.get("size").unwrap().as_list().unwrap();
+        assert_eq!(items[0].as_str(), Some("$cfg.loc[0]"));
+        assert_eq!(items[1].as_str(), Some("$cfg.loc[1]"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let y = parse_yaml("# leading\na: 1 # trailing\nb: '#notcomment'").unwrap();
+        assert_eq!(y.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(y.get("b").unwrap().as_str(), Some("#notcomment"));
+    }
+
+    #[test]
+    fn inline_map_value_after_colon() {
+        let y = parse_yaml("metadata: { step: int, cfg: config_t, rank: int}").unwrap();
+        // We keep inline-brace values as raw scalars: good enough for the
+        // configs we consume, which only need the keys present check.
+        assert!(y.get("metadata").is_some());
+    }
+
+    #[test]
+    fn paper_listing_1_parses() {
+        let src = r#"
+metadata: { step: int, cfg: config_t, rank: int}
+data:
+  temp: # the main temperature field
+    type: array
+    subtype: double
+    size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]
+plugins:
+  mpi: # get MPI rank and size
+  PdiPluginDeisa:
+    scheduler_info: scheduler.json
+    init_on: init
+    time_step: $step
+    deisa_arrays: # Deisa Virtual arrays
+      G_temp: # Field name
+        type: array
+        subtype: double
+        size:
+          -'$cfg.max_time_step'
+          -'$cfg.glob[0]'
+          -'$cfg.glob[1]'
+        subsize: # Chunk size
+          -1
+          -'$cfg.loc[0]'
+          -'$cfg.loc[1]'
+        start: # Chunk start
+          -$step
+          -'$cfg.loc[0] * ($rank % $cfg.proc[0])'
+          -'$cfg.loc[1] * ($rank / $cfg.proc[0])'
+        timedim: 0 # A tag for the time dimension
+    map_in: # Deisa array mapping
+      temp: G_temp
+"#;
+        let y = parse_yaml(src).unwrap();
+        let deisa = y.get("plugins").unwrap().get("PdiPluginDeisa").unwrap();
+        assert_eq!(deisa.get("scheduler_info").unwrap().as_str(), Some("scheduler.json"));
+        assert_eq!(deisa.get("time_step").unwrap().as_str(), Some("$step"));
+        let gtemp = deisa.get("deisa_arrays").unwrap().get("G_temp").unwrap();
+        assert_eq!(gtemp.get("timedim").unwrap().as_i64(), Some(0));
+        let subsize = gtemp.get("subsize").unwrap().as_list().unwrap();
+        assert_eq!(subsize.len(), 3);
+        assert_eq!(subsize[0].as_i64(), Some(1));
+        assert_eq!(subsize[1].as_str(), Some("$cfg.loc[0]"));
+        let start = gtemp.get("start").unwrap().as_list().unwrap();
+        assert_eq!(start[2].as_str(), Some("$cfg.loc[1] * ($rank / $cfg.proc[0])"));
+        assert_eq!(
+            y.get("plugins").unwrap().get("PdiPluginDeisa").unwrap().get("map_in").unwrap()
+                .get("temp").unwrap().as_str(),
+            Some("G_temp")
+        );
+    }
+
+    #[test]
+    fn empty_value_is_null() {
+        let y = parse_yaml("plugins:\n  mpi:\n  other: 1").unwrap();
+        assert_eq!(y.get("plugins").unwrap().get("mpi"), Some(&Yaml::Null));
+    }
+
+    #[test]
+    fn tab_is_rejected() {
+        let err = parse_yaml("a:\n\tb: 1").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_doc_is_null() {
+        assert_eq!(parse_yaml("").unwrap(), Yaml::Null);
+        assert_eq!(parse_yaml("\n  \n# only a comment\n").unwrap(), Yaml::Null);
+    }
+
+    #[test]
+    fn list_of_maps() {
+        let y = parse_yaml("jobs:\n  - name: a\n    cores: 2\n  - name: b\n    cores: 4").unwrap();
+        let jobs = y.get("jobs").unwrap().as_list().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(jobs[1].get("cores").unwrap().as_i64(), Some(4));
+    }
+}

@@ -1,0 +1,147 @@
+//! A workflow with TWO virtual arrays under one contract — the plugin config
+//! in the paper allows several `deisa_arrays` entries; this exercises the
+//! path where the analytics selects different regions from different fields
+//! and the bridges filter each independently.
+
+use deisa_repro::darray::Graph;
+use deisa_repro::deisa::{Adaptor, Bridge, DeisaVersion, Selection, VirtualArray};
+use deisa_repro::dtask::Cluster;
+use deisa_repro::linalg::NDArray;
+use deisa_repro::{darray, dml};
+
+const STEPS: usize = 4;
+const RANKS: usize = 4; // 2x2 spatial grid
+
+fn temp() -> VirtualArray {
+    VirtualArray::new("G_temp", &[STEPS, 4, 4], &[1, 2, 2], 0).unwrap()
+}
+
+fn vel() -> VirtualArray {
+    VirtualArray::new("G_vel", &[STEPS, 4, 4], &[1, 2, 2], 0).unwrap()
+}
+
+#[test]
+fn two_arrays_one_contract() {
+    let cluster = Cluster::new(3);
+    darray::register_array_ops(cluster.registry());
+    dml::register_ml_ops(cluster.registry());
+
+    let analytics = {
+        let client = cluster.client();
+        std::thread::spawn(move || {
+            let adaptor = Adaptor::new(client);
+            let mut arrays = adaptor.get_deisa_arrays().unwrap();
+            let mut names = arrays.names();
+            names.sort();
+            assert_eq!(names, vec!["G_temp", "G_vel"]);
+            // temp: everything. vel: only the last two steps, top half.
+            let t = arrays.select("G_temp", Selection::all(&temp())).unwrap();
+            let v = arrays
+                .select(
+                    "G_vel",
+                    Selection {
+                        starts: vec![2, 0, 0],
+                        sizes: vec![2, 2, 4],
+                    },
+                )
+                .unwrap();
+            arrays.validate_contract().unwrap();
+
+            let mut g = Graph::new("two");
+            let t_sum = t.sum_all(&mut g);
+            let v_sum = v.sum_all(&mut g);
+            // Cross-array arithmetic: mean temp minus mean vel on the shared
+            // region is well-defined through plain graph ops too.
+            g.submit(adaptor.client());
+            let ts = adaptor.client().future(t_sum).result().unwrap().as_f64().unwrap();
+            let vs = adaptor.client().future(v_sum).result().unwrap().as_f64().unwrap();
+            (ts, vs)
+        })
+    };
+
+    let mut handles = Vec::new();
+    for rank in 0..RANKS {
+        let client = cluster.client_with_heartbeat(DeisaVersion::Deisa3.heartbeat());
+        handles.push(std::thread::spawn(move || {
+            let mut bridge = Bridge::init(client, rank, vec![temp(), vel()]).unwrap();
+            let mut sent = (0u64, 0u64);
+            for t in 0..STEPS {
+                // temp block value = 1; vel block value = 10.
+                if bridge
+                    .publish("G_temp", t, rank, NDArray::full(&[1, 2, 2], 1.0))
+                    .unwrap()
+                {
+                    sent.0 += 1;
+                }
+                if bridge
+                    .publish("G_vel", t, rank, NDArray::full(&[1, 2, 2], 10.0))
+                    .unwrap()
+                {
+                    sent.1 += 1;
+                }
+            }
+            sent
+        }));
+    }
+    let mut temp_sent = 0;
+    let mut vel_sent = 0;
+    for h in handles {
+        let (a, b) = h.join().unwrap();
+        temp_sent += a;
+        vel_sent += b;
+    }
+    let (ts, vs) = analytics.join().unwrap();
+
+    // temp: all 4 blocks × 4 steps flow.
+    assert_eq!(temp_sent, (STEPS * RANKS) as u64);
+    // vel: steps 2..4 × top block row (ranks 0, 1) only.
+    assert_eq!(vel_sent, 2 * 2);
+    // Sums: temp = 4 elements × 1.0 × 16 blocks; vel window = 2 steps × top
+    // half (2×4 elements) × 10.
+    assert_eq!(ts, 64.0);
+    assert_eq!(vs, 160.0);
+}
+
+#[test]
+fn per_array_contracts_filter_independently() {
+    // One array fully deselected: its bridge publishes become pure no-ops.
+    let cluster = Cluster::new(2);
+    darray::register_array_ops(cluster.registry());
+    let analytics = {
+        let client = cluster.client();
+        std::thread::spawn(move || {
+            let adaptor = Adaptor::new(client);
+            let mut arrays = adaptor.get_deisa_arrays().unwrap();
+            // Select ONLY temp; vel is never mentioned in the contract.
+            let t = arrays.select("G_temp", Selection::all(&temp())).unwrap();
+            arrays.validate_contract().unwrap();
+            let mut g = Graph::new("only-temp");
+            let k = t.sum_all(&mut g);
+            g.submit(adaptor.client());
+            adaptor.client().future(k).result().unwrap().as_f64().unwrap()
+        })
+    };
+    let mut handles = Vec::new();
+    for rank in 0..RANKS {
+        let client = cluster.client_with_heartbeat(DeisaVersion::Deisa3.heartbeat());
+        handles.push(std::thread::spawn(move || {
+            let mut bridge = Bridge::init(client, rank, vec![temp(), vel()]).unwrap();
+            for t in 0..STEPS {
+                assert!(bridge
+                    .publish("G_temp", t, rank, NDArray::full(&[1, 2, 2], 2.0))
+                    .unwrap());
+                // vel is not under contract: filtered locally.
+                assert!(!bridge
+                    .publish("G_vel", t, rank, NDArray::full(&[1, 2, 2], 99.0))
+                    .unwrap());
+            }
+            bridge.filtered_blocks
+        }));
+    }
+    let mut filtered = 0;
+    for h in handles {
+        filtered += h.join().unwrap();
+    }
+    assert_eq!(filtered, (STEPS * RANKS) as u64);
+    assert_eq!(analytics.join().unwrap(), 128.0);
+}

@@ -1,0 +1,230 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants that the whole stack leans on.
+
+use deisa_repro::darray::ChunkGrid;
+use deisa_repro::deisa::{block_key, naming, Contract, Selection, VirtualArray};
+use deisa_repro::linalg::stats::{col_mean, col_var, RunningStats};
+use deisa_repro::linalg::{householder_qr, jacobi_svd, Matrix, NDArray};
+use proptest::prelude::*;
+
+// ---------- NDArray slice/assign ------------------------------------------
+
+/// Shape + a valid slice inside it.
+fn shape_and_slice() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>)> {
+    proptest::collection::vec(1usize..6, 1..4).prop_flat_map(|shape| {
+        let starts: Vec<BoxedStrategy<usize>> =
+            shape.iter().map(|&s| (0..s).boxed()).collect();
+        let shape2 = shape.clone();
+        starts.prop_flat_map(move |starts| {
+            let sizes: Vec<BoxedStrategy<usize>> = shape2
+                .iter()
+                .zip(&starts)
+                .map(|(&s, &st)| (1..=s - st).boxed())
+                .collect();
+            let shape3 = shape2.clone();
+            let starts2 = starts.clone();
+            sizes.prop_map(move |sizes| (shape3.clone(), starts2.clone(), sizes))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slice_assign_roundtrip((shape, starts, sizes) in shape_and_slice()) {
+        let a = NDArray::from_fn(&shape, |idx| {
+            idx.iter().enumerate().map(|(d, &i)| (d + 1) * 100 + i).sum::<usize>() as f64
+        });
+        let block = a.slice(&starts, &sizes).unwrap();
+        prop_assert_eq!(block.shape(), &sizes[..]);
+        let mut b = NDArray::zeros(&shape);
+        b.assign_slice(&starts, &block).unwrap();
+        // Every element of the assigned region matches the source.
+        let back = b.slice(&starts, &sizes).unwrap();
+        prop_assert_eq!(back.max_abs_diff(&block).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(data in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+        let n = data.len();
+        let a = NDArray::from_vec(&[n], data).unwrap();
+        let sum = a.sum();
+        let b = a.reshape(&[1, n]).unwrap();
+        prop_assert!((b.sum() - sum).abs() < 1e-9);
+    }
+
+    // ---------- ChunkGrid ---------------------------------------------------
+
+    #[test]
+    fn chunk_grid_tiles_exactly(
+        shape in proptest::collection::vec(1usize..20, 1..4),
+        chunk_seed in proptest::collection::vec(1usize..7, 1..4),
+    ) {
+        prop_assume!(shape.len() == chunk_seed.len());
+        let chunk: Vec<usize> = shape.iter().zip(&chunk_seed).map(|(&s, &c)| c.min(s)).collect();
+        let grid = ChunkGrid::regular(&shape, &chunk).unwrap();
+        // Chunks tile each dimension exactly.
+        for d in 0..shape.len() {
+            let total: usize = grid.chunk_sizes(d).iter().sum();
+            prop_assert_eq!(total, shape[d]);
+        }
+        // Every block's start+extent stays in bounds; blocks cover everything.
+        let dims = grid.grid_dims();
+        let mut covered = 0usize;
+        for coord in deisa_repro::darray::array::iter_coords(&dims) {
+            let start = grid.block_start(&coord);
+            let extent = grid.block_extent(&coord);
+            for d in 0..shape.len() {
+                prop_assert!(start[d] + extent[d] <= shape[d]);
+            }
+            covered += extent.iter().product::<usize>();
+        }
+        prop_assert_eq!(covered, shape.iter().product::<usize>());
+    }
+
+    // ---------- naming scheme ----------------------------------------------
+
+    #[test]
+    fn block_key_roundtrip(name in "[a-zA-Z_][a-zA-Z0-9_]{0,12}",
+                           pos in proptest::collection::vec(0usize..1000, 1..5)) {
+        let key = block_key(&name, &pos);
+        let (n, p) = naming::parse_block_key(&key).unwrap();
+        prop_assert_eq!(n, name);
+        prop_assert_eq!(p, pos);
+    }
+
+    // ---------- contracts ----------------------------------------------------
+
+    #[test]
+    fn selection_intersection_matches_block_ranges(
+        t in 1usize..6,
+        grid in 1usize..5,
+        sel_seed in (0usize..100, 0usize..100, 1usize..100, 1usize..100),
+    ) {
+        let block = 3usize;
+        let extent = grid * block;
+        let v = VirtualArray::new("A", &[t, extent, extent], &[1, block, block], 0).unwrap();
+        let (s0, s1, z0, z1) = sel_seed;
+        let starts = vec![0, s0 % extent, s1 % extent];
+        let sizes = vec![t,
+            (z0 % (extent - starts[1])).max(1).min(extent - starts[1]),
+            (z1 % (extent - starts[2])).max(1).min(extent - starts[2])];
+        let sel = Selection { starts, sizes };
+        sel.validate(&v).unwrap();
+        let ranges = sel.block_ranges(&v);
+        // A block intersects the selection IFF its coordinate is inside the
+        // block ranges, for every block of the grid.
+        for step in 0..t {
+            for b in 0..v.blocks_per_step() {
+                let pos = v.block_position(step, b);
+                let inside = pos.iter().zip(&ranges).all(|(&p, r)| r.contains(&p));
+                prop_assert_eq!(sel.intersects_block(&v, &pos), inside);
+            }
+        }
+    }
+
+    #[test]
+    fn contract_datum_roundtrip(
+        names in proptest::collection::vec("[a-z]{1,8}", 1..4),
+        dims in proptest::collection::vec((0usize..10, 1usize..10), 1..4),
+    ) {
+        let mut c = Contract::new();
+        for name in &names {
+            let sel = Selection {
+                starts: dims.iter().map(|&(s, _)| s).collect(),
+                sizes: dims.iter().map(|&(_, z)| z).collect(),
+            };
+            c.insert(name, sel);
+        }
+        let back = Contract::from_datum(&c.to_datum()).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    // ---------- incremental statistics ---------------------------------------
+
+    #[test]
+    fn running_stats_equal_any_batching(
+        rows in proptest::collection::vec(-50.0f64..50.0, 12..48),
+        split in 1usize..11,
+    ) {
+        let cols = 3usize;
+        let n = rows.len() / cols;
+        let data = &rows[..n * cols];
+        let whole = Matrix::from_vec(n, cols, data.to_vec()).unwrap();
+        let wm = col_mean(&whole);
+        let wv = col_var(&whole, &wm);
+
+        let mut rs = RunningStats::new(cols);
+        let mut row = 0;
+        while row < n {
+            let h = split.min(n - row);
+            let chunk = Matrix::from_vec(h, cols, data[row * cols..(row + h) * cols].to_vec()).unwrap();
+            let m = col_mean(&chunk);
+            let v = col_var(&chunk, &m);
+            rs.update(h as u64, &m, &v).unwrap();
+            row += h;
+        }
+        for j in 0..cols {
+            prop_assert!((rs.mean[j] - wm[j]).abs() < 1e-9);
+            prop_assert!((rs.var[j] - wv[j]).abs() < 1e-7);
+        }
+    }
+
+    // ---------- linear algebra ------------------------------------------------
+
+    #[test]
+    fn qr_always_reconstructs(
+        m in 1usize..12,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::from_fn(m, n, |i, j| {
+            let x = (i as u64 * 31 + j as u64 * 17 + seed) % 101;
+            x as f64 / 10.0 - 5.0
+        });
+        let qr = householder_qr(&a).unwrap();
+        let rec = qr.q.matmul(&qr.r).unwrap();
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn svd_singular_values_nonneg_descending_and_norm_preserving(
+        m in 1usize..10,
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::from_fn(m, n, |i, j| {
+            let x = (i as u64 * 13 + j as u64 * 7 + seed * 3) % 97;
+            x as f64 / 7.0 - 6.0
+        });
+        let svd = jacobi_svd(&a).unwrap();
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10);
+        }
+        for &s in &svd.s {
+            prop_assert!(s >= 0.0);
+        }
+        let fro2: f64 = a.frobenius_norm().powi(2);
+        let ss: f64 = svd.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - ss).abs() < 1e-6 * fro2.max(1.0));
+    }
+
+    // ---------- virtual arrays -------------------------------------------------
+
+    #[test]
+    fn varray_keys_are_unique_and_parse(
+        t in 1usize..5,
+        gx in 1usize..4,
+        gy in 1usize..4,
+    ) {
+        let v = VirtualArray::new("f", &[t, gx * 2, gy * 3], &[1, 2, 3], 0).unwrap();
+        let keys = v.all_keys();
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        prop_assert_eq!(set.len(), keys.len());
+        prop_assert_eq!(keys.len(), t * gx * gy);
+        for key in &keys {
+            prop_assert!(naming::parse_block_key(key).is_some());
+        }
+    }
+}
