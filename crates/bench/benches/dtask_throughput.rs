@@ -39,11 +39,21 @@ fn bench_graph_round_trip(c: &mut Criterion) {
         bench.iter(|| {
             let mut specs = Vec::new();
             let root = Key::new(format!("r{run}"));
-            specs.push(TaskSpec::new(root.clone(), "const", Datum::F64(1.0), vec![]));
+            specs.push(TaskSpec::new(
+                root.clone(),
+                "const",
+                Datum::F64(1.0),
+                vec![],
+            ));
             let mut prev = root;
             for d in 0..16 {
                 let key = Key::new(format!("c{run}-{d}"));
-                specs.push(TaskSpec::new(key.clone(), "identity", Datum::Null, vec![prev]));
+                specs.push(TaskSpec::new(
+                    key.clone(),
+                    "identity",
+                    Datum::Null,
+                    vec![prev],
+                ));
                 prev = key;
             }
             run += 1;
@@ -61,12 +71,7 @@ fn bench_fan_out(c: &mut Criterion) {
         bench.iter(|| {
             let mut specs: Vec<TaskSpec> = (0..64)
                 .map(|i| {
-                    TaskSpec::new(
-                        format!("f{run}-{i}"),
-                        "const",
-                        Datum::F64(i as f64),
-                        vec![],
-                    )
+                    TaskSpec::new(format!("f{run}-{i}"), "const", Datum::F64(i as f64), vec![])
                 })
                 .collect();
             let total = Key::new(format!("t{run}"));
@@ -83,5 +88,10 @@ fn bench_fan_out(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scatter, bench_graph_round_trip, bench_fan_out);
+criterion_group!(
+    benches,
+    bench_scatter,
+    bench_graph_round_trip,
+    bench_fan_out
+);
 criterion_main!(benches);

@@ -17,12 +17,11 @@ fn bench_scenarios(c: &mut Criterion) {
                 block_bytes: 128 << 20,
                 steps: 10,
                 seed: 1,
-            send_permille: 1000,
+                send_permille: 1000,
             };
-            group.bench_function(
-                BenchmarkId::new(mode.label(), ranks),
-                |bench| bench.iter(|| black_box(run_sim_side(&scen, &cost))),
-            );
+            group.bench_function(BenchmarkId::new(mode.label(), ranks), |bench| {
+                bench.iter(|| black_box(run_sim_side(&scen, &cost)))
+            });
         }
     }
     group.finish();

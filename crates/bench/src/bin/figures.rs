@@ -16,7 +16,9 @@ use insitu_sim::figures::{all_figures, fig2a, fig2b, fig3a, fig3b, fig4a, fig4b,
 use insitu_sim::CostModel;
 
 fn usage() -> ! {
-    eprintln!("usage: figures [fig2a|fig2b|fig3a|fig3b|fig4a|fig4b|fig5|all|ablations] [--out DIR]");
+    eprintln!(
+        "usage: figures [fig2a|fig2b|fig3a|fig3b|fig4a|fig4b|fig5|all|ablations] [--out DIR]"
+    );
     std::process::exit(2);
 }
 

@@ -53,7 +53,9 @@ pub fn run_small_insitu(ranks: usize, steps: usize, block_side: usize) -> Vec<f6
             arrays.validate_contract().expect("contract");
             let ipca = InSituIncrementalPCA::new(2, SvdSolver::Full);
             let mut g = darray::Graph::new("bench");
-            let fitted = ipca.fit(&mut g, &gt, "t", &["Y"], &["X"]).expect("fit graph");
+            let fitted = ipca
+                .fit(&mut g, &gt, "t", &["Y"], &["X"])
+                .expect("fit graph");
             g.submit(adaptor.client());
             let model = fitted.fetch(adaptor.client()).expect("model");
             model.explained_variance

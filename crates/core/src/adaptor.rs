@@ -192,7 +192,12 @@ mod tests {
                 let adaptor = Adaptor::new(client);
                 let mut arrays = adaptor.get_deisa_arrays().unwrap();
                 assert_eq!(arrays.names(), vec!["G_temp"]);
-                let gt = arrays.select("G_temp", Selection::all(arrays.descriptor("G_temp").unwrap())).unwrap();
+                let gt = arrays
+                    .select(
+                        "G_temp",
+                        Selection::all(arrays.descriptor("G_temp").unwrap()),
+                    )
+                    .unwrap();
                 arrays.validate_contract().unwrap();
                 let mut g = darray::Graph::new("an");
                 let total_key = gt.sum_all(&mut g);
@@ -284,10 +289,7 @@ mod tests {
         let cluster = Cluster::new(1);
         let client0 = cluster.client();
         // Publish descriptors directly (stand-in for rank 0).
-        client0.var_set(
-            ARRAYS_VAR,
-            dtask::Datum::List(vec![varr(2).to_datum()]),
-        );
+        client0.var_set(ARRAYS_VAR, dtask::Datum::List(vec![varr(2).to_datum()]));
         let adaptor = Adaptor::new(cluster.client());
         let mut arrays = adaptor.get_deisa_arrays().unwrap();
         assert!(arrays.select("nope", Selection::all(&varr(2))).is_err());

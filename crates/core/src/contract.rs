@@ -62,10 +62,9 @@ impl Selection {
     /// data").
     pub fn intersects_block(&self, varray: &VirtualArray, position: &[usize]) -> bool {
         let bstart = varray.block_start(position);
-        for d in 0..self.starts.len() {
+        for (d, &s0) in self.starts.iter().enumerate() {
             let b0 = bstart[d];
             let b1 = b0 + varray.subsize[d];
-            let s0 = self.starts[d];
             let s1 = s0 + self.sizes[d];
             if b1 <= s0 || b0 >= s1 {
                 return false;

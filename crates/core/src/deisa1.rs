@@ -130,10 +130,13 @@ impl Adaptor1 {
                 .map_err(|e| format!("adaptor1: queue pop rank {rank}: {e}"))?;
             let l = d.as_list().ok_or("adaptor1: bad metadata")?;
             let key = Key::new(l.first().and_then(|v| v.as_str()).ok_or("meta: key")?);
-            let name = l.get(1).and_then(|v| v.as_str()).ok_or("meta: name")?.to_string();
+            let name = l
+                .get(1)
+                .and_then(|v| v.as_str())
+                .ok_or("meta: name")?
+                .to_string();
             let t = l.get(2).and_then(|v| v.as_i64()).ok_or("meta: t")? as usize;
-            let spatial_linear =
-                l.get(3).and_then(|v| v.as_i64()).ok_or("meta: idx")? as usize;
+            let spatial_linear = l.get(3).and_then(|v| v.as_i64()).ok_or("meta: idx")? as usize;
             metas.push(BlockMeta {
                 key,
                 name,

@@ -87,7 +87,10 @@ mod tests {
         assert!(!DeisaVersion::Deisa1.uses_external_tasks());
         assert!(DeisaVersion::Deisa2.uses_external_tasks());
         assert!(DeisaVersion::Deisa3.uses_external_tasks());
-        assert_eq!(DeisaVersion::Deisa3.heartbeat(), HeartbeatInterval::Infinite);
+        assert_eq!(
+            DeisaVersion::Deisa3.heartbeat(),
+            HeartbeatInterval::Infinite
+        );
         assert_eq!(
             DeisaVersion::Deisa1.heartbeat(),
             HeartbeatInterval::Every(Duration::from_secs(5))

@@ -96,12 +96,12 @@ impl DeisaPluginConfig {
         let mut arrays = Vec::new();
         for (name, body) in arrays_y {
             let size = expr_list(body.get("size").ok_or("array missing size")?, "size")?;
-            let subsize = expr_list(body.get("subsize").ok_or("array missing subsize")?, "subsize")?;
+            let subsize = expr_list(
+                body.get("subsize").ok_or("array missing subsize")?,
+                "subsize",
+            )?;
             let start = expr_list(body.get("start").ok_or("array missing start")?, "start")?;
-            let timedim = body
-                .get("timedim")
-                .and_then(|v| v.as_i64())
-                .unwrap_or(0) as usize;
+            let timedim = body.get("timedim").and_then(|v| v.as_i64()).unwrap_or(0) as usize;
             if size.len() != subsize.len() || size.len() != start.len() {
                 return Err(format!("array '{name}': size/subsize/start rank mismatch"));
             }
@@ -218,7 +218,12 @@ impl DeisaPlugin {
     }
 
     /// The block's spatial linear index, from the `start` expressions.
-    fn spatial_index(&self, a: &ArrayConfig, varray: &VirtualArray, store: &Store) -> Result<usize, PdiError> {
+    fn spatial_index(
+        &self,
+        a: &ArrayConfig,
+        varray: &VirtualArray,
+        store: &Store,
+    ) -> Result<usize, PdiError> {
         let sdims = varray.spatial_grid_dims();
         let mut linear = 0usize;
         let mut si = 0usize;
@@ -391,7 +396,13 @@ plugins:
                 let mut g = darray::Graph::new("an");
                 let total = gt.sum_all(&mut g);
                 g.submit(adaptor.client());
-                adaptor.client().future(total).result().unwrap().as_f64().unwrap()
+                adaptor
+                    .client()
+                    .future(total)
+                    .result()
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
             })
         };
 

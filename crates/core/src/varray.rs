@@ -41,7 +41,9 @@ impl VirtualArray {
             ));
         }
         if timedim >= shape.len() {
-            return Err(format!("virtual array '{name}': timedim {timedim} out of range"));
+            return Err(format!(
+                "virtual array '{name}': timedim {timedim} out of range"
+            ));
         }
         if subsize[timedim] != 1 {
             return Err(format!(
@@ -191,16 +193,10 @@ impl VirtualArray {
     /// Deserialize from a Variable payload.
     pub fn from_datum(d: &Datum) -> Result<Self, String> {
         let l = d.as_list().ok_or("virtual array datum must be a list")?;
-        let name = l
-            .first()
-            .and_then(|v| v.as_str())
-            .ok_or("missing name")?;
+        let name = l.first().and_then(|v| v.as_str()).ok_or("missing name")?;
         let shape = darray::ops::usizes(l.get(1).ok_or("missing shape")?)?;
         let subsize = darray::ops::usizes(l.get(2).ok_or("missing subsize")?)?;
-        let timedim = l
-            .get(3)
-            .and_then(|v| v.as_i64())
-            .ok_or("missing timedim")? as usize;
+        let timedim = l.get(3).and_then(|v| v.as_i64()).ok_or("missing timedim")? as usize;
         VirtualArray::new(name, &shape, &subsize, timedim)
     }
 }

@@ -242,11 +242,19 @@ impl DArray {
 
     /// Array whose value at each element is its global row-major index
     /// (deterministic test pattern).
-    pub fn linear(graph: &mut Graph, shape: &[usize], chunk_shape: &[usize]) -> Result<Self, DArrayError> {
+    pub fn linear(
+        graph: &mut Graph,
+        shape: &[usize],
+        chunk_shape: &[usize],
+    ) -> Result<Self, DArrayError> {
         let global = shape.to_vec();
-        Self::generate(graph, shape, chunk_shape, "da.gen_linear", move |starts, sizes| {
-            Datum::List(vec![ilist(starts), ilist(sizes), ilist(&global)])
-        })
+        Self::generate(
+            graph,
+            shape,
+            chunk_shape,
+            "da.gen_linear",
+            move |starts, sizes| Datum::List(vec![ilist(starts), ilist(sizes), ilist(&global)]),
+        )
     }
 
     /// Geometry accessor.
@@ -274,7 +282,12 @@ impl DArray {
         let mut keys = Vec::with_capacity(self.keys.len());
         for src in &self.keys {
             let key = graph.fresh_key("map");
-            graph.add(TaskSpec::new(key.clone(), op, params.clone(), vec![src.clone()]));
+            graph.add(TaskSpec::new(
+                key.clone(),
+                op,
+                params.clone(),
+                vec![src.clone()],
+            ));
             keys.push(key);
         }
         DArray {
@@ -284,7 +297,12 @@ impl DArray {
     }
 
     /// Apply a binary op block-wise; chunking must match exactly.
-    pub fn zip_blocks(&self, graph: &mut Graph, other: &DArray, op: &str) -> Result<DArray, DArrayError> {
+    pub fn zip_blocks(
+        &self,
+        graph: &mut Graph,
+        other: &DArray,
+        op: &str,
+    ) -> Result<DArray, DArrayError> {
         if self.grid != other.grid {
             return Err(DArrayError::Geometry("zip_blocks: chunking differs".into()));
         }
@@ -350,8 +368,7 @@ impl DArray {
             let mut deps = Vec::new();
             let mut pieces = Vec::new();
             for rel in iter_coords(&range_dims) {
-                let src_coord: Vec<usize> =
-                    (0..rank).map(|d| ranges[d].start + rel[d]).collect();
+                let src_coord: Vec<usize> = (0..rank).map(|d| ranges[d].start + rel[d]).collect();
                 let src_start = self.grid.block_start(&src_coord);
                 let src_extent = self.grid.block_extent(&src_coord);
                 // Intersection in global coordinates.
@@ -366,7 +383,11 @@ impl DArray {
                     copy.push(hi - lo);
                 }
                 deps.push(self.key_at(&src_coord).clone());
-                pieces.push(Datum::List(vec![ilist(&dst_off), ilist(&src_off), ilist(&copy)]));
+                pieces.push(Datum::List(vec![
+                    ilist(&dst_off),
+                    ilist(&src_off),
+                    ilist(&copy),
+                ]));
             }
             let key = graph.fresh_key("restr");
             graph.add(TaskSpec::new(
@@ -408,7 +429,9 @@ impl DArray {
     /// each output block is the transpose of the mirrored input block.
     pub fn transpose2d(&self, graph: &mut Graph) -> Result<DArray, DArrayError> {
         if self.grid.ndim() != 2 {
-            return Err(DArrayError::Geometry("transpose2d needs a 2-D array".into()));
+            return Err(DArrayError::Geometry(
+                "transpose2d needs a 2-D array".into(),
+            ));
         }
         let out_grid = ChunkGrid::new(
             &[self.grid.shape()[1], self.grid.shape()[0]],
@@ -441,7 +464,12 @@ impl DArray {
             .iter()
             .map(|src| {
                 let key = graph.fresh_key("psum");
-                graph.add(TaskSpec::new(key.clone(), "da.sum", Datum::Null, vec![src.clone()]));
+                graph.add(TaskSpec::new(
+                    key.clone(),
+                    "da.sum",
+                    Datum::Null,
+                    vec![src.clone()],
+                ));
                 key
             })
             .collect();

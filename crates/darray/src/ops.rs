@@ -93,7 +93,8 @@ pub fn register_array_ops(registry: &OpRegistry) {
             let copy = usizes(param(piece, 2)?)?;
             let src = arr(dep)?;
             let block = src.slice(&src_start, &copy).map_err(|e| e.to_string())?;
-            out.assign_slice(&dst_start, &block).map_err(|e| e.to_string())?;
+            out.assign_slice(&dst_start, &block)
+                .map_err(|e| e.to_string())?;
         }
         Ok(Datum::from(out))
     });
@@ -101,19 +102,25 @@ pub fn register_array_ops(registry: &OpRegistry) {
     registry.register("da.add", |_p, deps| {
         let a = arr(deps.first().ok_or("da.add: two inputs required")?)?;
         let b = arr(deps.get(1).ok_or("da.add: two inputs required")?)?;
-        a.zip_with(b, |x, y| x + y).map(Datum::from).map_err(|e| e.to_string())
+        a.zip_with(b, |x, y| x + y)
+            .map(Datum::from)
+            .map_err(|e| e.to_string())
     });
 
     registry.register("da.sub", |_p, deps| {
         let a = arr(deps.first().ok_or("da.sub: two inputs required")?)?;
         let b = arr(deps.get(1).ok_or("da.sub: two inputs required")?)?;
-        a.zip_with(b, |x, y| x - y).map(Datum::from).map_err(|e| e.to_string())
+        a.zip_with(b, |x, y| x - y)
+            .map(Datum::from)
+            .map_err(|e| e.to_string())
     });
 
     registry.register("da.mul", |_p, deps| {
         let a = arr(deps.first().ok_or("da.mul: two inputs required")?)?;
         let b = arr(deps.get(1).ok_or("da.mul: two inputs required")?)?;
-        a.zip_with(b, |x, y| x * y).map(Datum::from).map_err(|e| e.to_string())
+        a.zip_with(b, |x, y| x * y)
+            .map(Datum::from)
+            .map_err(|e| e.to_string())
     });
 
     // out = a * scale + offset
@@ -208,11 +215,7 @@ mod tests {
     fn fill_and_sum() {
         let r = reg();
         let fill = r.get("da.fill").unwrap();
-        let out = fill(
-            &Datum::List(vec![ilist(&[2, 3]), Datum::F64(1.5)]),
-            &[],
-        )
-        .unwrap();
+        let out = fill(&Datum::List(vec![ilist(&[2, 3]), Datum::F64(1.5)]), &[]).unwrap();
         let sum = r.get("da.sum").unwrap();
         assert_eq!(sum(&Datum::Null, &[out]).unwrap().as_f64(), Some(9.0));
     }
@@ -241,8 +244,16 @@ mod tests {
         )
         .unwrap();
         let slice = r.get("da.slice").unwrap();
-        let top = slice(&Datum::List(vec![ilist(&[0, 0]), ilist(&[2, 4])]), &[block.clone()]).unwrap();
-        let bottom = slice(&Datum::List(vec![ilist(&[2, 0]), ilist(&[2, 4])]), &[block.clone()]).unwrap();
+        let top = slice(
+            &Datum::List(vec![ilist(&[0, 0]), ilist(&[2, 4])]),
+            std::slice::from_ref(&block),
+        )
+        .unwrap();
+        let bottom = slice(
+            &Datum::List(vec![ilist(&[2, 0]), ilist(&[2, 4])]),
+            std::slice::from_ref(&block),
+        )
+        .unwrap();
         let assemble = r.get("da.assemble").unwrap();
         let whole = assemble(
             &Datum::List(vec![
@@ -256,7 +267,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            whole.as_array().unwrap().max_abs_diff(block.as_array().unwrap()).unwrap(),
+            whole
+                .as_array()
+                .unwrap()
+                .max_abs_diff(block.as_array().unwrap())
+                .unwrap(),
             0.0
         );
     }
@@ -284,7 +299,7 @@ mod tests {
     fn matmul_and_transpose() {
         let r = reg();
         let a = Datum::from(NDArray::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
-        let t = r.get("da.transpose2d").unwrap()(&Datum::Null, &[a.clone()]).unwrap();
+        let t = r.get("da.transpose2d").unwrap()(&Datum::Null, std::slice::from_ref(&a)).unwrap();
         assert_eq!(t.as_array().unwrap().get(&[0, 1]), 3.0);
         let m = r.get("da.matmul2d").unwrap()(&Datum::Null, &[a.clone(), t]).unwrap();
         // [[1,2],[3,4]] * [[1,3],[2,4]] = [[5,11],[11,25]]

@@ -86,7 +86,8 @@ pub(crate) fn register_reduction_ops(registry: &OpRegistry) {
                     .map_err(|e| e.to_string())?,
             });
         }
-        acc.map(Datum::from).ok_or_else(|| "da.merge_reduced: no inputs".into())
+        acc.map(Datum::from)
+            .ok_or_else(|| "da.merge_reduced: no inputs".into())
     });
 }
 
@@ -206,7 +207,11 @@ impl DArray {
 
     /// Concatenate arrays along `axis`. All inputs must agree on every other
     /// dimension's extent and chunking.
-    pub fn concat(graph: &mut Graph, parts: &[&DArray], axis: usize) -> Result<DArray, DArrayError> {
+    pub fn concat(
+        graph: &mut Graph,
+        parts: &[&DArray],
+        axis: usize,
+    ) -> Result<DArray, DArrayError> {
         let first = parts
             .first()
             .ok_or_else(|| DArrayError::Geometry("concat of zero arrays".into()))?;
@@ -220,11 +225,11 @@ impl DArray {
             if p.grid().ndim() != rank {
                 return Err(DArrayError::Geometry("concat rank mismatch".into()));
             }
-            for d in 0..rank {
+            for (d, &dim) in out_shape.iter().enumerate() {
                 if d == axis {
                     continue;
                 }
-                if p.grid().shape()[d] != out_shape[d]
+                if p.grid().shape()[d] != dim
                     || p.grid().chunk_sizes(d) != first.grid().chunk_sizes(d)
                 {
                     return Err(DArrayError::Geometry(format!(
@@ -276,7 +281,7 @@ mod tests {
         let cluster = cluster();
         let client = cluster.client();
         let mut g = Graph::new("r1");
-        let a = DArray::linear(&mut g, &[4, 6], &[2, 2], ).unwrap();
+        let a = DArray::linear(&mut g, &[4, 6], &[2, 2]).unwrap();
         let s0 = a.sum_axis(&mut g, 0).unwrap();
         let s1 = a.sum_axis(&mut g, 1).unwrap();
         g.submit(&client);
@@ -317,7 +322,9 @@ mod tests {
         assert_eq!(fx.shape(), &[3, 4]);
         for t in 0..3 {
             for x in 0..4 {
-                let expect = (0..5).map(|y| full.get(&[t, x, y])).fold(f64::MIN, f64::max);
+                let expect = (0..5)
+                    .map(|y| full.get(&[t, x, y]))
+                    .fold(f64::MIN, f64::max);
                 assert_eq!(fx.get(&[t, x]), expect);
             }
         }

@@ -97,7 +97,9 @@ pub fn register_ml_ops(registry: &OpRegistry) {
     crate::dpca::register_dpca_ops(registry);
     // params: [n_components, solver_tag, seed] -> fresh state
     registry.register("ml.ipca_init", |params, _deps| {
-        let l = params.as_list().ok_or("ml.ipca_init: params must be a list")?;
+        let l = params
+            .as_list()
+            .ok_or("ml.ipca_init: params must be a list")?;
         let k = l
             .first()
             .and_then(|v| v.as_i64())
@@ -133,7 +135,10 @@ pub fn register_ml_ops(registry: &OpRegistry) {
             .and_then(|d| d.as_array())
             .ok_or("ml.partial_fit: missing batch array")?;
         if batch.ndim() != 2 {
-            return Err(format!("ml.partial_fit: batch must be 2-D, got {:?}", batch.shape()));
+            return Err(format!(
+                "ml.partial_fit: batch must be 2-D, got {:?}",
+                batch.shape()
+            ));
         }
         let mut model = decode_state(state)?;
         let x = Matrix::from_ndarray((**batch).clone()).map_err(|e| e.to_string())?;
@@ -437,10 +442,20 @@ mod tests {
         let wg_model = fitted.fetch(&client).unwrap();
 
         assert_eq!(sw_model.n_samples_seen, wg_model.n_samples_seen);
-        for (a, b) in sw_model.singular_values.iter().zip(&wg_model.singular_values) {
+        for (a, b) in sw_model
+            .singular_values
+            .iter()
+            .zip(&wg_model.singular_values)
+        {
             assert!((a - b).abs() < 1e-9);
         }
-        assert!(sw_model.components.max_abs_diff(&wg_model.components).unwrap() < 1e-9);
+        assert!(
+            sw_model
+                .components
+                .max_abs_diff(&wg_model.components)
+                .unwrap()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -452,7 +467,9 @@ mod tests {
         let (t, x, y) = (3usize, 2usize, 4usize);
         // External keys, one block per timestep (block covers the whole
         // spatial domain here; deisa-core tests cover multi-block).
-        let keys: Vec<dtask::Key> = (0..t).map(|i| dtask::Key::new(format!("sim-{i}"))).collect();
+        let keys: Vec<dtask::Key> = (0..t)
+            .map(|i| dtask::Key::new(format!("sim-{i}")))
+            .collect();
         client.register_external(keys.clone());
         let grid = darray::ChunkGrid::regular(&[t, x, y], &[1, x, y]).unwrap();
         let a = DArray::from_keys(grid, keys.clone()).unwrap();
@@ -477,7 +494,9 @@ mod tests {
         // Reference local computation.
         let mut local = IncrementalPca::new(2, SvdSolver::Full);
         for tt in 0..t {
-            let b = Matrix::from_fn(y, x, |yy, xx| ((tt * x + xx) * y + yy) as f64 * 0.5 + tt as f64);
+            let b = Matrix::from_fn(y, x, |yy, xx| {
+                ((tt * x + xx) * y + yy) as f64 * 0.5 + tt as f64
+            });
             local.partial_fit(&b).unwrap();
         }
         assert!(model.components.max_abs_diff(&local.components).unwrap() < 1e-9);

@@ -160,8 +160,7 @@ pub(crate) fn register_dpca_ops(registry: &OpRegistry) {
         if k == 0 || k > svd.s.len() {
             return Err(format!("ml.pca_finish: k={k} out of range"));
         }
-        let total_var: f64 =
-            svd.s.iter().map(|s| s * s).sum::<f64>() / (n_samples - 1.0).max(1.0);
+        let total_var: f64 = svd.s.iter().map(|s| s * s).sum::<f64>() / (n_samples - 1.0).max(1.0);
         let mut svd = svd.truncate(k).map_err(|e| e.to_string())?;
         sign_flip_rows(&mut svd.vt);
         let ev: Vec<f64> = svd
@@ -400,7 +399,13 @@ mod tests {
         for (a, b) in model.singular_values.iter().zip(&reference.singular_values) {
             assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }
-        assert!(model.components.max_abs_diff(&reference.components).unwrap() < 1e-7);
+        assert!(
+            model
+                .components
+                .max_abs_diff(&reference.components)
+                .unwrap()
+                < 1e-7
+        );
         for (a, b) in model.mean.iter().zip(&reference.mean) {
             assert!((a - b).abs() < 1e-10);
         }
@@ -487,5 +492,4 @@ mod tests {
             assert!((a - b).abs() < 1e-8);
         }
     }
-
 }

@@ -106,7 +106,10 @@ impl IncrementalPca {
             self.var = vec![0.0; n_features];
         } else if n_features != self.mean.len() {
             return Err(LinalgError::ShapeMismatch {
-                what: format!("batch has {n_features} features, model has {}", self.mean.len()),
+                what: format!(
+                    "batch has {n_features} features, model has {}",
+                    self.mean.len()
+                ),
             });
         }
 
@@ -170,7 +173,11 @@ impl IncrementalPca {
         let mut row = 0;
         while row < x.rows() {
             let h = batch_rows.min(x.rows() - row);
-            let chunk = Matrix::from_vec(h, x.cols(), x.data()[row * x.cols()..(row + h) * x.cols()].to_vec())?;
+            let chunk = Matrix::from_vec(
+                h,
+                x.cols(),
+                x.data()[row * x.cols()..(row + h) * x.cols()].to_vec(),
+            )?;
             self.partial_fit(&chunk)?;
             row += h;
         }
@@ -223,13 +230,18 @@ mod tests {
         for i in 0..3 {
             let rel = (ipca.singular_values[i] - pca.singular_values[i]).abs()
                 / pca.singular_values[i].max(1e-12);
-            assert!(rel < 1e-6, "sigma_{i}: {} vs {}", ipca.singular_values[i], pca.singular_values[i]);
+            assert!(
+                rel < 1e-6,
+                "sigma_{i}: {} vs {}",
+                ipca.singular_values[i],
+                pca.singular_values[i]
+            );
         }
         assert!(ipca.components.max_abs_diff(&pca.components).unwrap() < 1e-5);
         // Means agree with the full-data means.
         let mean = linalg::stats::col_mean(&x);
-        for j in 0..3 {
-            assert!((ipca.mean[j] - mean[j]).abs() < 1e-10);
+        for (got, want) in ipca.mean.iter().zip(&mean).take(3) {
+            assert!((got - want).abs() < 1e-10);
         }
     }
 

@@ -38,8 +38,7 @@ impl Pca {
         let total_var: f64 = svd.s.iter().map(|s| s * s).sum::<f64>() / (n as f64 - 1.0);
         let mut svd = svd.truncate(k)?;
         sign_flip_rows(&mut svd.vt);
-        let explained_variance: Vec<f64> =
-            svd.s.iter().map(|s| s * s / (n as f64 - 1.0)).collect();
+        let explained_variance: Vec<f64> = svd.s.iter().map(|s| s * s / (n as f64 - 1.0)).collect();
         let explained_variance_ratio = explained_variance
             .iter()
             .map(|v| if total_var > 0.0 { v / total_var } else { 0.0 })

@@ -104,7 +104,11 @@ impl Client {
     /// The extended scatter of §2.2 (`keys=`, `external=true`): push blocks
     /// produced by the external environment; the scheduler handles each key
     /// like a finished task, cascading into pre-submitted graphs.
-    pub fn scatter_external(&self, items: Vec<(Key, Datum)>, worker: Option<WorkerId>) -> Vec<WorkerId> {
+    pub fn scatter_external(
+        &self,
+        items: Vec<(Key, Datum)>,
+        worker: Option<WorkerId>,
+    ) -> Vec<WorkerId> {
         self.scatter_impl(items, worker, true)
     }
 
@@ -209,7 +213,9 @@ impl Client {
                         .ok_or(WaitError::Timeout)?;
                     self.rx.recv_timeout(remaining).map_err(|e| match e {
                         crossbeam::channel::RecvTimeoutError::Timeout => WaitError::Timeout,
-                        crossbeam::channel::RecvTimeoutError::Disconnected => WaitError::Disconnected,
+                        crossbeam::channel::RecvTimeoutError::Disconnected => {
+                            WaitError::Disconnected
+                        }
                     })?
                 }
             };
@@ -261,9 +267,11 @@ impl Client {
             wait: true,
         });
         self.wait_msg(None, |m| match m {
-            ClientMsg::VariableValue { name: n, value, found: true } if n == name => {
-                Some(value.clone())
-            }
+            ClientMsg::VariableValue {
+                name: n,
+                value,
+                found: true,
+            } if n == name => Some(value.clone()),
             _ => None,
         })
     }
@@ -276,9 +284,11 @@ impl Client {
             wait: false,
         });
         self.wait_msg(None, |m| match m {
-            ClientMsg::VariableValue { name: n, value, found } if n == name => {
-                Some(found.then(|| value.clone()))
-            }
+            ClientMsg::VariableValue {
+                name: n,
+                value,
+                found,
+            } if n == name => Some(found.then(|| value.clone())),
             _ => None,
         })
     }
@@ -331,7 +341,9 @@ impl Client {
 
 impl Drop for Client {
     fn drop(&mut self) {
-        let _ = self.sched_tx.send(SchedMsg::ClientDisconnect { client: self.id });
+        let _ = self
+            .sched_tx
+            .send(SchedMsg::ClientDisconnect { client: self.id });
     }
 }
 

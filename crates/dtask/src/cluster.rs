@@ -5,7 +5,7 @@ use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg};
 use crate::scheduler::Scheduler;
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
-use crate::worker::{run_data_server, Executor, WorkerStore};
+use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -33,8 +33,16 @@ impl HeartbeatInterval {
 /// Cluster construction options.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of worker threads.
+    /// Number of workers.
     pub n_workers: usize,
+    /// Executor slots (threads) per worker. `0` means auto:
+    /// `max(2, available_parallelism / n_workers)`. Each worker's slots
+    /// share one inbox, so a task blocked in a dependency gather or a
+    /// long-running op does not stall the tasks queued behind it.
+    pub slots_per_worker: usize,
+    /// How executors resolve missing dependencies (default: concurrent
+    /// fan-out to all holders at once).
+    pub gather_mode: GatherMode,
     /// Heartbeat interval applied to clients created with
     /// [`Cluster::client`] (override per client with
     /// [`Cluster::client_with_heartbeat`]).
@@ -45,8 +53,23 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             n_workers: 2,
+            slots_per_worker: 0,
+            gather_mode: GatherMode::Concurrent,
             default_heartbeat: HeartbeatInterval::Infinite,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Resolve `slots_per_worker = 0` (auto) to a concrete slot count.
+    fn resolved_slots(&self) -> usize {
+        if self.slots_per_worker > 0 {
+            return self.slots_per_worker;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores / self.n_workers.max(1)).max(2)
     }
 }
 
@@ -60,6 +83,7 @@ pub struct Cluster {
     stats: Arc<SchedulerStats>,
     next_client: AtomicUsize,
     default_heartbeat: HeartbeatInterval,
+    slots_per_worker: usize,
     threads: Vec<JoinHandle<()>>,
     down: bool,
 }
@@ -76,6 +100,7 @@ impl Cluster {
     /// Start a cluster from a config.
     pub fn with_config(config: ClusterConfig) -> Self {
         assert!(config.n_workers > 0, "cluster needs at least one worker");
+        let slots = config.resolved_slots();
         let registry = OpRegistry::with_std_ops();
         let stats = Arc::new(SchedulerStats::new());
         let (sched_tx, sched_rx) = unbounded();
@@ -103,7 +128,7 @@ impl Cluster {
                 .cloned()
                 .zip(worker_exec.iter().cloned())
                 .collect();
-            let sched = Scheduler::new(sched_rx, pairs, Arc::clone(&stats));
+            let sched = Scheduler::new(sched_rx, pairs, slots, Arc::clone(&stats));
             threads.push(
                 std::thread::Builder::new()
                     .name("dtask-scheduler".into())
@@ -111,7 +136,8 @@ impl Cluster {
                     .expect("spawn scheduler"),
             );
         }
-        // Worker threads.
+        // Worker threads: one data server + `slots` executor slots each, the
+        // slots draining one shared (cloned) inbox.
         for (id, (data_rx, exec_rx)) in data_rxs.into_iter().zip(exec_rxs).enumerate() {
             let store = Arc::clone(&stores[id]);
             threads.push(
@@ -120,21 +146,24 @@ impl Cluster {
                     .spawn(move || run_data_server(store, data_rx))
                     .expect("spawn data server"),
             );
-            let exec = Executor {
-                id,
-                store: Arc::clone(&stores[id]),
-                rx: exec_rx,
-                sched_tx: sched_tx.clone(),
-                peer_data: worker_data.clone(),
-                registry: registry.clone(),
-                stats: Arc::clone(&stats),
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("dtask-worker-{id}-exec"))
-                    .spawn(move || exec.run())
-                    .expect("spawn executor"),
-            );
+            for slot in 0..slots {
+                let exec = Executor {
+                    id,
+                    store: Arc::clone(&stores[id]),
+                    rx: exec_rx.clone(),
+                    sched_tx: sched_tx.clone(),
+                    peer_data: worker_data.clone(),
+                    registry: registry.clone(),
+                    stats: Arc::clone(&stats),
+                    gather_mode: config.gather_mode,
+                };
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("dtask-worker-{id}-exec-{slot}"))
+                        .spawn(move || exec.run())
+                        .expect("spawn executor"),
+                );
+            }
         }
 
         Cluster {
@@ -145,6 +174,7 @@ impl Cluster {
             stats,
             next_client: AtomicUsize::new(0),
             default_heartbeat: config.default_heartbeat,
+            slots_per_worker: slots,
             threads,
             down: false,
         }
@@ -164,6 +194,11 @@ impl Cluster {
     /// Number of workers.
     pub fn n_workers(&self) -> usize {
         self.worker_data.len()
+    }
+
+    /// Executor slots each worker runs (after `0 = auto` resolution).
+    pub fn slots_per_worker(&self) -> usize {
+        self.slots_per_worker
     }
 
     /// Per-worker `(stored keys, stored bytes)` snapshot — how Dask's
@@ -190,7 +225,10 @@ impl Cluster {
     pub fn client_with_heartbeat(&self, heartbeat: HeartbeatInterval) -> Client {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded::<ClientMsg>();
-        let _ = self.sched_tx.send(SchedMsg::ClientConnect { client: id, sender: tx });
+        let _ = self.sched_tx.send(SchedMsg::ClientConnect {
+            client: id,
+            sender: tx,
+        });
         let hb = match heartbeat {
             HeartbeatInterval::Infinite => None,
             HeartbeatInterval::Every(period) => {
@@ -248,7 +286,11 @@ impl Cluster {
         self.down = true;
         let _ = self.sched_tx.send(SchedMsg::Shutdown);
         for tx in &self.worker_exec {
-            let _ = tx.send(ExecMsg::Shutdown);
+            // One shutdown message per slot: each slot thread consumes
+            // exactly one and exits.
+            for _ in 0..self.slots_per_worker {
+                let _ = tx.send(ExecMsg::Shutdown);
+            }
         }
         for tx in &self.worker_data {
             let _ = tx.send(DataMsg::Shutdown);
@@ -279,7 +321,12 @@ mod tests {
         client.submit(vec![
             TaskSpec::new("a", "const", Datum::F64(2.0), vec![]),
             TaskSpec::new("b", "const", Datum::F64(3.0), vec![]),
-            TaskSpec::new("c", "sum_scalars", Datum::Null, vec!["a".into(), "b".into()]),
+            TaskSpec::new(
+                "c",
+                "sum_scalars",
+                Datum::Null,
+                vec!["a".into(), "b".into()],
+            ),
         ]);
         let r = client.future("c").result().unwrap();
         assert_eq!(r.as_f64(), Some(5.0));
@@ -291,9 +338,19 @@ mod tests {
         let client = cluster.client();
         client.submit(vec![
             TaskSpec::new("root", "const", Datum::F64(1.0), vec![]),
-            TaskSpec::new("l", "sum_scalars", Datum::Null, vec!["root".into(), "root".into()]),
+            TaskSpec::new(
+                "l",
+                "sum_scalars",
+                Datum::Null,
+                vec!["root".into(), "root".into()],
+            ),
             TaskSpec::new("r", "identity", Datum::Null, vec!["root".into()]),
-            TaskSpec::new("top", "sum_scalars", Datum::Null, vec!["l".into(), "r".into()]),
+            TaskSpec::new(
+                "top",
+                "sum_scalars",
+                Datum::Null,
+                vec!["l".into(), "r".into()],
+            ),
         ]);
         assert_eq!(client.future("top").result().unwrap().as_f64(), Some(3.0));
     }
@@ -337,7 +394,9 @@ mod tests {
     #[test]
     fn erred_task_propagates_to_dependents() {
         let cluster = Cluster::new(2);
-        cluster.registry().register("boom", |_, _| Err("kaboom".into()));
+        cluster
+            .registry()
+            .register("boom", |_, _| Err("kaboom".into()));
         let client = cluster.client();
         client.submit(vec![
             TaskSpec::new("bad", "boom", Datum::Null, vec![]),
@@ -351,7 +410,9 @@ mod tests {
     #[test]
     fn panicking_op_is_caught() {
         let cluster = Cluster::new(1);
-        cluster.registry().register("panic", |_, _| panic!("op blew up"));
+        cluster
+            .registry()
+            .register("panic", |_, _| panic!("op blew up"));
         let client = cluster.client();
         client.submit(vec![TaskSpec::new("p", "panic", Datum::Null, vec![])]);
         let err = client.future("p").result().unwrap_err();
@@ -432,7 +493,8 @@ mod tests {
     #[test]
     fn heartbeats_are_counted() {
         let cluster = Cluster::new(1);
-        let _client = cluster.client_with_heartbeat(HeartbeatInterval::Every(Duration::from_millis(25)));
+        let _client =
+            cluster.client_with_heartbeat(HeartbeatInterval::Every(Duration::from_millis(25)));
         std::thread::sleep(Duration::from_millis(130));
         assert!(cluster.stats().count(crate::stats::MsgClass::Heartbeat) >= 2);
     }
@@ -473,7 +535,10 @@ mod tests {
         ));
         client.submit(specs);
         let expect = (0..n).sum::<usize>() as f64;
-        assert_eq!(client.future("total").result().unwrap().as_f64(), Some(expect));
+        assert_eq!(
+            client.future("total").result().unwrap().as_f64(),
+            Some(expect)
+        );
     }
 
     #[test]
@@ -494,7 +559,9 @@ mod tests {
     #[test]
     fn gather_many_propagates_errors() {
         let cluster = Cluster::new(1);
-        cluster.registry().register("bad", |_, _| Err("nope".into()));
+        cluster
+            .registry()
+            .register("bad", |_, _| Err("nope".into()));
         let client = cluster.client();
         client.submit(vec![
             TaskSpec::new("ok", "const", Datum::F64(1.0), vec![]),
@@ -512,7 +579,12 @@ mod tests {
         let client = cluster.client();
         let graph = vec![
             TaskSpec::new("base", "const", Datum::F64(3.0), vec![]),
-            TaskSpec::new("dbl", "sum_scalars", Datum::Null, vec!["base".into(), "base".into()]),
+            TaskSpec::new(
+                "dbl",
+                "sum_scalars",
+                Datum::Null,
+                vec!["base".into(), "base".into()],
+            ),
         ];
         client.submit(graph.clone());
         assert_eq!(client.future("dbl").result().unwrap().as_f64(), Some(6.0));
@@ -542,12 +614,253 @@ mod tests {
         assert_eq!(client.future("use").result().unwrap().as_f64(), Some(5.0));
     }
 
+    fn register_slow_sum(cluster: &Cluster) {
+        cluster.registry().register("slow_sum", |params, inputs| {
+            let ms = params.as_i64().unwrap_or(0) as u64;
+            std::thread::sleep(Duration::from_millis(ms));
+            let mut total = 0.0;
+            for d in inputs {
+                total += d.as_f64().ok_or_else(|| "non-scalar input".to_string())?;
+            }
+            Ok(Datum::F64(total))
+        });
+    }
+
+    #[test]
+    fn mutual_cross_worker_gather_does_not_deadlock() {
+        // Two busy workers fetching from each other at the same time: the
+        // data-server split plus concurrent gather must never deadlock.
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            slots_per_worker: 1,
+            gather_mode: crate::worker::GatherMode::Concurrent,
+            ..ClusterConfig::default()
+        });
+        register_slow_sum(&cluster);
+        let client = cluster.client();
+        client.scatter(vec![(Key::new("a0"), Datum::F64(1.0))], Some(0));
+        client.scatter(vec![(Key::new("a1"), Datum::F64(2.0))], Some(1));
+        client.submit(vec![
+            TaskSpec::new(
+                "t0",
+                "slow_sum",
+                Datum::I64(40),
+                vec!["a0".into(), "a1".into()],
+            ),
+            TaskSpec::new(
+                "t1",
+                "slow_sum",
+                Datum::I64(40),
+                vec!["a1".into(), "a0".into()],
+            ),
+        ]);
+        let r0 = client
+            .future("t0")
+            .result_timeout(Duration::from_secs(5))
+            .unwrap();
+        let r1 = client
+            .future("t1")
+            .result_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(r0.as_f64(), Some(3.0));
+        assert_eq!(r1.as_f64(), Some(3.0));
+        assert!(cluster.stats().count(crate::stats::MsgClass::PeerFetch) >= 2);
+    }
+
+    #[test]
+    fn add_replica_updates_placement() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            slots_per_worker: 1,
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        // Big block on w0, bigger on w1.
+        client.scatter(
+            vec![(Key::new("a"), Datum::from(linalg::NDArray::zeros(&[128])))],
+            Some(0),
+        );
+        client.scatter(
+            vec![(Key::new("b"), Datum::from(linalg::NDArray::zeros(&[256])))],
+            Some(1),
+        );
+        // y0 lands on w1 (data gravity: b is bigger) and must gather `a`,
+        // which replicates it onto w1 and reports AddReplica.
+        client.submit(vec![TaskSpec::new(
+            "y0",
+            "list",
+            Datum::Null,
+            vec!["a".into(), "b".into()],
+        )]);
+        client.future("y0").result().unwrap();
+        let fetches_after_y0 = cluster.stats().count(crate::stats::MsgClass::PeerFetch);
+        assert_eq!(fetches_after_y0, 1, "y0 fetched exactly `a`");
+        assert!(cluster.stats().count(crate::stats::MsgClass::AddReplica) >= 1);
+        // Small block on w1; y1 depends on {a, c}. Thanks to the replica of
+        // `a` on w1, gravity now favours w1 and no further fetch happens.
+        // (Without replica feedback w0 would win — `a` originally outweighs
+        // `c` — and the task would re-fetch `c` across workers.)
+        client.scatter(
+            vec![(Key::new("c"), Datum::from(linalg::NDArray::zeros(&[4])))],
+            Some(1),
+        );
+        client.submit(vec![TaskSpec::new(
+            "y1",
+            "list",
+            Datum::Null,
+            vec!["a".into(), "c".into()],
+        )]);
+        client.future("y1").result().unwrap();
+        assert_eq!(
+            cluster.stats().count(crate::stats::MsgClass::PeerFetch),
+            fetches_after_y0,
+            "replica-aware placement avoided a second fetch"
+        );
+    }
+
+    #[test]
+    fn released_key_can_be_depended_on_again() {
+        // Regression: releasing a key used to leave its edges dangling and
+        // made later graphs that depend on it fail with "unknown
+        // dependency". Now the dep is treated as an implicit external task.
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        client.scatter(vec![(Key::new("x"), Datum::F64(7.0))], Some(0));
+        client.submit(vec![TaskSpec::new(
+            "y",
+            "identity",
+            Datum::Null,
+            vec!["x".into()],
+        )]);
+        assert_eq!(client.future("y").result().unwrap().as_f64(), Some(7.0));
+        client.release(vec![Key::new("x")]);
+        std::thread::sleep(Duration::from_millis(30));
+        // A new graph depending on the released key waits for fresh data
+        // instead of erring out.
+        client.submit(vec![TaskSpec::new(
+            "y2",
+            "identity",
+            Datum::Null,
+            vec!["x".into()],
+        )]);
+        let pending = client
+            .future("y2")
+            .result_timeout(Duration::from_millis(60));
+        assert!(pending.is_err(), "y2 must wait for the released key");
+        client.scatter_external(vec![(Key::new("x"), Datum::F64(8.0))], Some(0));
+        assert_eq!(client.future("y2").result().unwrap().as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn release_fails_waiting_dependents() {
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        client.register_external(vec![Key::new("ext")]);
+        client.submit(vec![TaskSpec::new(
+            "w",
+            "identity",
+            Datum::Null,
+            vec!["ext".into()],
+        )]);
+        std::thread::sleep(Duration::from_millis(20));
+        client.release(vec![Key::new("ext")]);
+        let err = client.future("w").result().unwrap_err();
+        assert!(err.message.contains("released"), "{}", err.message);
+    }
+
+    #[test]
+    fn release_unlinks_dependency_edges() {
+        // Releasing a mid-graph key and resubmitting it must not leave a
+        // stale edge behind (the old bug double-wired the dependent).
+        let cluster = Cluster::new(1);
+        let client = cluster.client();
+        let graph = |tag: f64| {
+            vec![
+                TaskSpec::new("base", "const", Datum::F64(tag), vec![]),
+                TaskSpec::new("mid", "identity", Datum::Null, vec!["base".into()]),
+            ]
+        };
+        client.submit(graph(1.0));
+        assert_eq!(client.future("mid").result().unwrap().as_f64(), Some(1.0));
+        client.release(vec![Key::new("mid")]);
+        std::thread::sleep(Duration::from_millis(20));
+        client.submit(graph(2.0));
+        // `base` is still in memory (1.0) and is reused; `mid` recomputes.
+        assert_eq!(client.future("mid").result().unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn executor_slots_overlap_blocking_tasks() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 1,
+            slots_per_worker: 4,
+            ..ClusterConfig::default()
+        });
+        register_slow_sum(&cluster);
+        assert_eq!(cluster.slots_per_worker(), 4);
+        let client = cluster.client();
+        let started = std::time::Instant::now();
+        client.submit(
+            (0..4)
+                .map(|i| TaskSpec::new(format!("s{i}"), "slow_sum", Datum::I64(60), vec![]))
+                .collect(),
+        );
+        for i in 0..4 {
+            client.future(format!("s{i}")).result().unwrap();
+        }
+        let elapsed = started.elapsed();
+        // Serial execution would take ≥240 ms; four slots overlap the sleeps.
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "slots did not overlap: {elapsed:?}"
+        );
+        assert!(cluster.stats().exec_busy_ns() > 0);
+    }
+
+    #[test]
+    fn serial_gather_mode_still_resolves_remote_deps() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            slots_per_worker: 1,
+            gather_mode: crate::worker::GatherMode::Serial,
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        client.scatter(vec![(Key::new("a"), Datum::F64(1.0))], Some(0));
+        client.scatter(vec![(Key::new("b"), Datum::F64(2.0))], Some(1));
+        client.submit(vec![TaskSpec::new(
+            "c",
+            "sum_scalars",
+            Datum::Null,
+            vec!["a".into(), "b".into()],
+        )]);
+        assert_eq!(client.future("c").result().unwrap().as_f64(), Some(3.0));
+        assert!(cluster.stats().gather_batches() >= 1);
+        assert!(cluster.stats().gather_wait_ns() > 0);
+    }
+
+    #[test]
+    fn auto_slot_resolution_has_floor_of_two() {
+        let config = ClusterConfig {
+            n_workers: 64, // more workers than any test box has cores
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::with_config(config);
+        assert!(cluster.slots_per_worker() >= 2);
+    }
+
     #[test]
     fn worker_memory_reports_stored_data() {
         let cluster = Cluster::new(2);
         let client = cluster.client();
-        client.scatter(vec![(Key::new("m0"), Datum::from(linalg::NDArray::zeros(&[4])))], Some(0));
-        client.scatter(vec![(Key::new("m1"), Datum::from(linalg::NDArray::zeros(&[8])))], Some(1));
+        client.scatter(
+            vec![(Key::new("m0"), Datum::from(linalg::NDArray::zeros(&[4])))],
+            Some(0),
+        );
+        client.scatter(
+            vec![(Key::new("m1"), Datum::from(linalg::NDArray::zeros(&[8])))],
+            Some(1),
+        );
         let mem = cluster.worker_memory();
         assert_eq!(mem.len(), 2);
         assert_eq!(mem[0], (1, 32));

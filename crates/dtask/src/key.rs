@@ -74,6 +74,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Key::new("deisa-temp@(1,3,5)").to_string(), "deisa-temp@(1,3,5)");
+        assert_eq!(
+            Key::new("deisa-temp@(1,3,5)").to_string(),
+            "deisa-temp@(1,3,5)"
+        );
     }
 }

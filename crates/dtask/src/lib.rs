@@ -58,3 +58,4 @@ pub use key::Key;
 pub use msg::TaskError;
 pub use spec::{OpRegistry, TaskSpec};
 pub use stats::{MsgClass, SchedulerStats};
+pub use worker::GatherMode;

@@ -4,6 +4,7 @@ use crate::datum::Datum;
 use crate::key::Key;
 use crate::spec::TaskSpec;
 use crossbeam::channel::Sender;
+use std::sync::Arc;
 
 /// Worker identifier (index into the cluster's worker table).
 pub type WorkerId = usize;
@@ -78,6 +79,15 @@ pub enum SchedMsg {
         /// Result size.
         nbytes: u64,
     },
+    /// Worker gained replicas of keys it fetched from peers during a
+    /// dependency gather. Future placement can then prefer the replica
+    /// holder instead of re-fetching from the original producer.
+    AddReplica {
+        /// Worker that now holds copies.
+        worker: WorkerId,
+        /// `(key, nbytes)` of each newly cached block.
+        entries: Vec<(Key, u64)>,
+    },
     /// Worker reports a task failed.
     TaskErred {
         /// Executing worker.
@@ -143,16 +153,19 @@ pub enum SchedMsg {
     Shutdown,
 }
 
-/// Messages a worker's *executor* handles.
+/// Messages a worker's *executor slots* handle (one shared inbox per worker,
+/// drained by every slot thread).
 pub enum ExecMsg {
-    /// Run a task; `dep_locations` says which workers hold each dependency.
+    /// Run a task; `dep_locations` says which workers hold each dependency
+    /// the scheduler believes is *not* already on the target worker (deps
+    /// local to the worker are resolved from its store and omitted here).
     Execute {
-        /// The task.
-        spec: TaskSpec,
-        /// Placement of each dependency (parallel to `spec.deps`).
+        /// The task (shared with the scheduler's entry — no deep copy).
+        spec: Arc<TaskSpec>,
+        /// Placement of each dependency that needs a remote fetch.
         dep_locations: Vec<(Key, Vec<WorkerId>)>,
     },
-    /// Stop the executor thread.
+    /// Stop one executor slot thread.
     Shutdown,
 }
 

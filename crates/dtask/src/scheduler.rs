@@ -45,7 +45,7 @@ pub enum TaskState {
 }
 
 struct TaskEntry {
-    spec: Option<TaskSpec>,
+    spec: Option<Arc<TaskSpec>>,
     state: TaskState,
     deps: Vec<Key>,
     dependents: Vec<Key>,
@@ -79,6 +79,20 @@ struct WorkerEntry {
     exec_tx: Sender<crate::msg::ExecMsg>,
     /// Tasks currently assigned and not yet reported done.
     processing: usize,
+    /// Executor slots this worker runs; load comparisons use the
+    /// `processing / slots` ratio so a 4-slot worker with 2 running tasks
+    /// counts as less loaded than a 1-slot worker with 1.
+    slots: usize,
+}
+
+impl WorkerEntry {
+    /// Compare load ratios `a.processing/a.slots` vs `b.processing/b.slots`
+    /// without division (cross-multiplied, exact in u64).
+    fn load_cmp(a: &WorkerEntry, b: &WorkerEntry) -> std::cmp::Ordering {
+        let la = a.processing as u64 * b.slots as u64;
+        let lb = b.processing as u64 * a.slots as u64;
+        la.cmp(&lb)
+    }
 }
 
 #[derive(Default)]
@@ -105,11 +119,15 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Build a scheduler over its inbox and the worker channel table.
+    /// `slots_per_worker` is the executor-slot count of each worker (≥1),
+    /// used to weight load comparisons during placement.
     pub fn new(
         rx: Receiver<SchedMsg>,
         workers: Vec<(Sender<DataMsg>, Sender<crate::msg::ExecMsg>)>,
+        slots_per_worker: usize,
         stats: Arc<SchedulerStats>,
     ) -> Self {
+        let slots = slots_per_worker.max(1);
         Scheduler {
             rx,
             tasks: HashMap::new(),
@@ -120,6 +138,7 @@ impl Scheduler {
                     data_tx,
                     exec_tx,
                     processing: 0,
+                    slots,
                 })
                 .collect(),
             clients: HashMap::new(),
@@ -185,11 +204,31 @@ impl Scheduler {
                 }
                 self.schedule();
             }
-            SchedMsg::TaskFinished { worker, key, nbytes } => {
+            SchedMsg::TaskFinished {
+                worker,
+                key,
+                nbytes,
+            } => {
                 self.stats.record(MsgClass::TaskReport, 0);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
                 self.handle_task_finished(key, worker, nbytes);
                 self.schedule();
+            }
+            SchedMsg::AddReplica { worker, entries } => {
+                self.stats.record(MsgClass::AddReplica, 0);
+                for (key, nbytes) in entries {
+                    if let Some(entry) = self.tasks.get_mut(&key) {
+                        // Only record replicas of keys still in memory — a
+                        // released key may still be reported by an in-flight
+                        // gather and must stay forgotten.
+                        if entry.state == TaskState::Memory && !entry.who_has.contains(&worker) {
+                            entry.who_has.push(worker);
+                            if entry.nbytes == 0 {
+                                entry.nbytes = nbytes;
+                            }
+                        }
+                    }
+                }
             }
             SchedMsg::TaskErred { worker, key, error } => {
                 self.stats.record(MsgClass::TaskReport, 0);
@@ -207,11 +246,23 @@ impl Scheduler {
                     Some(entry) => match entry.state {
                         TaskState::Memory => {
                             let loc = entry.who_has[0];
-                            self.notify(client, ClientMsg::KeyReady { key, location: Ok(loc) });
+                            self.notify(
+                                client,
+                                ClientMsg::KeyReady {
+                                    key,
+                                    location: Ok(loc),
+                                },
+                            );
                         }
                         TaskState::Erred => {
                             let e = entry.error.clone().expect("erred tasks carry an error");
-                            self.notify(client, ClientMsg::KeyReady { key, location: Err(e) });
+                            self.notify(
+                                client,
+                                ClientMsg::KeyReady {
+                                    key,
+                                    location: Err(e),
+                                },
+                            );
                         }
                         _ => entry.waiters.push(client),
                     },
@@ -235,12 +286,39 @@ impl Scheduler {
             }
             SchedMsg::ReleaseKeys { keys } => {
                 let mut per_worker: HashMap<WorkerId, Vec<Key>> = HashMap::new();
+                let mut orphans: Vec<(Key, TaskError)> = Vec::new();
                 for key in keys {
                     if let Some(entry) = self.tasks.remove(&key) {
+                        // Unlink the edge from each dependency's dependents
+                        // list, so a later resubmission of this key does not
+                        // find (and double-wire) a stale edge.
+                        for dep in &entry.deps {
+                            if let Some(dep_entry) = self.tasks.get_mut(dep) {
+                                dep_entry.dependents.retain(|k| k != &key);
+                            }
+                        }
+                        // Dependents still waiting on this key can never run
+                        // now: fail them instead of leaving them hung.
+                        for dependent in entry.dependents {
+                            if let Some(d) = self.tasks.get(&dependent) {
+                                if d.state == TaskState::Waiting {
+                                    orphans.push((
+                                        dependent.clone(),
+                                        TaskError {
+                                            key: key.clone(),
+                                            message: format!("dependency {key} was released"),
+                                        },
+                                    ));
+                                }
+                            }
+                        }
                         for w in entry.who_has {
                             per_worker.entry(w).or_default().push(key.clone());
                         }
                     }
+                }
+                for (key, err) in orphans {
+                    self.mark_erred(key, err);
                 }
                 for (w, keys) in per_worker {
                     let _ = self.workers[w].data_tx.send(DataMsg::Delete { keys });
@@ -319,6 +397,8 @@ impl Scheduler {
 
     /// Insert a graph: wire dependencies, count unfinished deps, queue roots.
     fn submit_graph(&mut self, specs: Vec<TaskSpec>) {
+        // Specs are shared (scheduler entry + execute message), not copied.
+        let specs: Vec<Arc<TaskSpec>> = specs.into_iter().map(Arc::new).collect();
         // First pass: create entries for every spec key (so intra-graph deps
         // resolve regardless of order).
         for spec in &specs {
@@ -330,12 +410,12 @@ impl Scheduler {
                         && entry.state != TaskState::External
                         && entry.state != TaskState::Memory
                     {
-                        entry.spec = Some(spec.clone());
+                        entry.spec = Some(Arc::clone(spec));
                     }
                 }
                 None => {
                     let mut e = TaskEntry::bare(TaskState::Waiting);
-                    e.spec = Some(spec.clone());
+                    e.spec = Some(Arc::clone(spec));
                     e.deps = spec.deps.clone();
                     self.tasks.insert(spec.key.clone(), e);
                 }
@@ -350,31 +430,37 @@ impl Scheduler {
             }
             let mut n_waiting = 0usize;
             let mut missing = None;
+            // Duplicate deps (e.g. `f(x, x)`) wire exactly one edge, and the
+            // completion cascade decrements `n_waiting` once per edge — so
+            // count each distinct dependency once.
+            let mut seen: std::collections::HashSet<&Key> = std::collections::HashSet::new();
             for dep in &spec.deps {
-                match self.tasks.get_mut(dep) {
-                    Some(dep_entry) => {
-                        dep_entry.dependents.push(spec.key.clone());
-                        match dep_entry.state {
-                            TaskState::Memory => {}
-                            TaskState::Erred => {
-                                missing = Some(TaskError {
-                                    key: dep.clone(),
-                                    message: dep_entry
-                                        .error
-                                        .clone()
-                                        .map(|e| e.message)
-                                        .unwrap_or_else(|| "upstream error".into()),
-                                });
-                            }
-                            _ => n_waiting += 1,
-                        }
-                    }
-                    None => {
+                if !seen.insert(dep) {
+                    continue;
+                }
+                let dep_entry = self.tasks.entry(dep.clone()).or_insert_with(|| {
+                    // Dependency the scheduler has never heard of (e.g. a
+                    // released key, or data a bridge will push later):
+                    // treat it as an implicit external task awaiting data
+                    // rather than failing the submission.
+                    TaskEntry::bare(TaskState::External)
+                });
+                if !dep_entry.dependents.contains(&spec.key) {
+                    dep_entry.dependents.push(spec.key.clone());
+                }
+                match dep_entry.state {
+                    TaskState::Memory => {}
+                    TaskState::Erred => {
                         missing = Some(TaskError {
-                            key: spec.key.clone(),
-                            message: format!("unknown dependency {dep}"),
+                            key: dep.clone(),
+                            message: dep_entry
+                                .error
+                                .clone()
+                                .map(|e| e.message)
+                                .unwrap_or_else(|| "upstream error".into()),
                         });
                     }
+                    _ => n_waiting += 1,
                 }
             }
             if let Some(err) = missing {
@@ -500,8 +586,9 @@ impl Scheduler {
         }
     }
 
-    /// Placement: data-gravity first (most dependency bytes), then least
-    /// loaded, then round-robin.
+    /// Placement: data-gravity first (most dependency bytes), then lowest
+    /// load *ratio* (`processing / slots`, so multi-slot workers absorb
+    /// proportionally more tasks), then round-robin.
     fn decide_worker(&mut self, spec: &TaskSpec) -> WorkerId {
         if self.workers.len() == 1 {
             return 0;
@@ -517,32 +604,31 @@ impl Scheduler {
             }
         }
         if any_deps {
-            let best = byte_share
-                .iter()
-                .enumerate()
-                .max_by_key(|(w, &b)| (b, std::cmp::Reverse(self.workers[*w].processing)))
-                .map(|(w, _)| w)
+            let best = (0..self.workers.len())
+                .max_by(|&a, &b| {
+                    byte_share[a].cmp(&byte_share[b]).then_with(|| {
+                        // Equal bytes: prefer the lower load ratio (reverse
+                        // the comparison, `max_by` keeps the smaller load).
+                        WorkerEntry::load_cmp(&self.workers[b], &self.workers[a])
+                    })
+                })
                 .expect("non-empty worker table");
             if byte_share[best] > 0 {
                 return best;
             }
         }
-        // No placed deps: least busy, breaking ties round-robin.
-        let min = self
-            .workers
-            .iter()
-            .map(|w| w.processing)
-            .min()
-            .expect("non-empty worker table");
+        // No placed deps: lowest load ratio, breaking ties round-robin
+        // (strict `<` keeps the first minimum in round-robin order).
         let n = self.workers.len();
-        for off in 0..n {
+        let mut best = self.rr_cursor % n;
+        for off in 1..n {
             let w = (self.rr_cursor + off) % n;
-            if self.workers[w].processing == min {
-                self.rr_cursor = (w + 1) % n;
-                return w;
+            if WorkerEntry::load_cmp(&self.workers[w], &self.workers[best]).is_lt() {
+                best = w;
             }
         }
-        0
+        self.rr_cursor = (best + 1) % n;
+        best
     }
 
     /// Drain the ready queue, assigning tasks to workers.
@@ -554,30 +640,36 @@ impl Scheduler {
             if entry.state != TaskState::Ready {
                 continue;
             }
-            let spec = entry
-                .spec
-                .clone()
-                .expect("ready tasks have specs (external tasks are never ready)");
+            let spec = Arc::clone(
+                entry
+                    .spec
+                    .as_ref()
+                    .expect("ready tasks have specs (external tasks are never ready)"),
+            );
             let worker = self.decide_worker(&spec);
+            // Ship locations only for deps the target worker does not hold:
+            // local deps resolve from its store, so cloning their (possibly
+            // long) `who_has` lists here would be pure overhead.
             let dep_locations: Vec<(Key, Vec<WorkerId>)> = spec
                 .deps
                 .iter()
-                .map(|d| {
-                    let who = self
-                        .tasks
-                        .get(d)
-                        .map(|e| e.who_has.clone())
-                        .unwrap_or_default();
-                    (d.clone(), who)
+                .filter_map(|d| {
+                    let e = self.tasks.get(d)?;
+                    if e.who_has.contains(&worker) {
+                        return None;
+                    }
+                    Some((d.clone(), e.who_has.clone()))
                 })
                 .collect();
             let entry = self.tasks.get_mut(&key).expect("checked above");
             entry.state = TaskState::Processing;
             self.workers[worker].processing += 1;
-            let _ = self.workers[worker].exec_tx.send(crate::msg::ExecMsg::Execute {
-                spec,
-                dep_locations,
-            });
+            let _ = self.workers[worker]
+                .exec_tx
+                .send(crate::msg::ExecMsg::Execute {
+                    spec,
+                    dep_locations,
+                });
         }
     }
 }

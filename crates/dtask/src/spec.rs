@@ -32,7 +32,13 @@ pub struct TaskSpec {
 
 impl std::fmt::Debug for TaskSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TaskSpec({} = {}({} deps))", self.key, self.op, self.deps.len())
+        write!(
+            f,
+            "TaskSpec({} = {}({} deps))",
+            self.key,
+            self.op,
+            self.deps.len()
+        )
     }
 }
 
@@ -115,7 +121,10 @@ mod tests {
     fn std_ops_behave() {
         let reg = OpRegistry::with_std_ops();
         let id = reg.get("identity").unwrap();
-        assert!(matches!(id(&Datum::Null, &[Datum::I64(7)]), Ok(Datum::I64(7))));
+        assert!(matches!(
+            id(&Datum::Null, &[Datum::I64(7)]),
+            Ok(Datum::I64(7))
+        ));
         assert!(id(&Datum::Null, &[]).is_err());
 
         let c = reg.get("const").unwrap();
@@ -132,9 +141,15 @@ mod tests {
         let reg = OpRegistry::new();
         assert!(reg.get("f").is_none());
         reg.register("f", |_, _| Ok(Datum::I64(1)));
-        assert_eq!(reg.get("f").unwrap()(&Datum::Null, &[]).unwrap().as_i64(), Some(1));
+        assert_eq!(
+            reg.get("f").unwrap()(&Datum::Null, &[]).unwrap().as_i64(),
+            Some(1)
+        );
         reg.register("f", |_, _| Ok(Datum::I64(2)));
-        assert_eq!(reg.get("f").unwrap()(&Datum::Null, &[]).unwrap().as_i64(), Some(2));
+        assert_eq!(
+            reg.get("f").unwrap()(&Datum::Null, &[]).unwrap().as_i64(),
+            Some(2)
+        );
     }
 
     #[test]

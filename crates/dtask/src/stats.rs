@@ -39,9 +39,11 @@ pub enum MsgClass {
     GatherData,
     /// Peer dependency fetches worker→worker (data plane).
     PeerFetch,
+    /// `AddReplica` reports from workers that cached remote blocks.
+    AddReplica,
 }
 
-const N_CLASSES: usize = 13;
+const N_CLASSES: usize = 14;
 
 fn idx(class: MsgClass) -> usize {
     match class {
@@ -58,6 +60,7 @@ fn idx(class: MsgClass) -> usize {
         MsgClass::ScatterData => 9,
         MsgClass::GatherData => 10,
         MsgClass::PeerFetch => 11,
+        MsgClass::AddReplica => 13,
     }
 }
 
@@ -66,6 +69,16 @@ fn idx(class: MsgClass) -> usize {
 pub struct SchedulerStats {
     counts: [AtomicU64; N_CLASSES],
     bytes: [AtomicU64; N_CLASSES],
+    /// Dependency-gather batches that needed ≥1 remote fetch.
+    gather_batches: AtomicU64,
+    /// Remote dependencies fetched across all gathers.
+    gather_deps: AtomicU64,
+    /// Wall time spent waiting on remote dependency gathers.
+    gather_wait_ns: AtomicU64,
+    /// Wall time executor slots spent running tasks (gather + compute).
+    exec_busy_ns: AtomicU64,
+    /// Wall time executor slots spent blocked on an empty inbox.
+    exec_idle_ns: AtomicU64,
 }
 
 impl SchedulerStats {
@@ -96,6 +109,60 @@ impl SchedulerStats {
         self.bytes[idx(class)].load(Ordering::Relaxed)
     }
 
+    /// Record one dependency-gather batch: `deps` remote fetches resolved in
+    /// `wait_ns` of wall time (concurrent fetches overlap inside one batch).
+    pub fn record_gather(&self, deps: u64, wait_ns: u64) {
+        self.gather_batches.fetch_add(1, Ordering::Relaxed);
+        self.gather_deps.fetch_add(deps, Ordering::Relaxed);
+        self.gather_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// Record time an executor slot spent running a task.
+    pub fn record_exec_busy(&self, ns: u64) {
+        self.exec_busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record time an executor slot spent waiting for work.
+    pub fn record_exec_idle(&self, ns: u64) {
+        self.exec_idle_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of gather batches that hit the network (≥1 remote dep).
+    pub fn gather_batches(&self) -> u64 {
+        self.gather_batches.load(Ordering::Relaxed)
+    }
+
+    /// Remote dependencies fetched across all gathers.
+    pub fn gather_deps(&self) -> u64 {
+        self.gather_deps.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent waiting on dependency gathers.
+    pub fn gather_wait_ns(&self) -> u64 {
+        self.gather_wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds executor slots spent running tasks.
+    pub fn exec_busy_ns(&self) -> u64 {
+        self.exec_busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds executor slots spent blocked on an empty inbox.
+    pub fn exec_idle_ns(&self) -> u64 {
+        self.exec_idle_ns.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of executor-slot wall time spent busy, in `[0, 1]`.
+    pub fn executor_utilization(&self) -> f64 {
+        let busy = self.exec_busy_ns() as f64;
+        let idle = self.exec_idle_ns() as f64;
+        if busy + idle == 0.0 {
+            0.0
+        } else {
+            busy / (busy + idle)
+        }
+    }
+
     /// Total *control-plane* messages that hit the scheduler (everything
     /// except the data-plane classes). This is the load the paper's formulas
     /// count.
@@ -107,14 +174,15 @@ impl SchedulerStats {
             UpdateData,
             UpdateDataExternal,
             TaskReport,
+            AddReplica,
             WantResult,
             Variable,
             Queue,
             Heartbeat,
         ]
-            .into_iter()
-            .map(|c| self.count(c))
-            .sum()
+        .into_iter()
+        .map(|c| self.count(c))
+        .sum()
     }
 
     /// Metadata messages *originating at bridges/clients* per the paper's
@@ -144,6 +212,22 @@ mod tests {
         assert_eq!(s.bytes(MsgClass::UpdateData), 150);
         assert_eq!(s.count(MsgClass::Heartbeat), 3);
         assert_eq!(s.count(MsgClass::ScatterData), 0);
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.executor_utilization(), 0.0);
+        s.record_gather(3, 1_000);
+        s.record_gather(1, 500);
+        s.record_exec_busy(300);
+        s.record_exec_idle(100);
+        assert_eq!(s.gather_batches(), 2);
+        assert_eq!(s.gather_deps(), 4);
+        assert_eq!(s.gather_wait_ns(), 1_500);
+        assert_eq!(s.exec_busy_ns(), 300);
+        assert_eq!(s.exec_idle_ns(), 100);
+        assert!((s.executor_utilization() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,22 +1,46 @@
-//! Worker: executor thread + always-responsive data-server thread.
+//! Worker: executor slots + always-responsive data-server thread.
 //!
-//! Splitting the worker into two threads mirrors the comm/executor split of a
-//! Dask worker and makes peer dependency fetches deadlock-free: the data
-//! server never blocks on task execution, so two workers can fetch from each
-//! other while both executors are busy.
+//! Splitting the worker into compute and comm halves mirrors the
+//! comm/executor split of a Dask worker and makes peer dependency fetches
+//! deadlock-free: the data server never blocks on task execution, so two
+//! workers can fetch from each other while both executors are busy.
+//!
+//! The execution pipeline is built around three ideas:
+//!
+//! 1. **Concurrent dependency gather** — all missing dependencies of a task
+//!    are requested from peers *at once* (one reply channel each) and then
+//!    collected, so the gather latency is the slowest single fetch instead of
+//!    the sum of all fetches ([`GatherMode::Concurrent`]).
+//! 2. **Executor slots** — a worker runs a pool of executor threads draining
+//!    one shared inbox, so a task blocked in a gather (or in a blocking op)
+//!    does not stall the tasks queued behind it.
+//! 3. **Replica feedback** — blocks cached during a gather are reported to
+//!    the scheduler ([`SchedMsg::AddReplica`]) so later placement decisions
+//!    see the new copies and stop re-fetching.
 
 use crate::datum::Datum;
 use crate::key::Key;
 use crate::msg::{DataMsg, ExecMsg, SchedMsg, WorkerId};
-use crate::spec::OpRegistry;
+use crate::spec::{OpRegistry, TaskSpec};
 use crate::stats::{MsgClass, SchedulerStats};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared key→value store of one worker.
 pub type WorkerStore = Arc<Mutex<HashMap<Key, Datum>>>;
+
+/// How an executor resolves a task's missing dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GatherMode {
+    /// One peer request at a time; wait for each reply before the next.
+    Serial,
+    /// Fan out every request up front, then collect the replies.
+    #[default]
+    Concurrent,
+}
 
 /// The data-server half: serves `Put`/`Get`/`Delete` until shutdown.
 pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>) {
@@ -47,15 +71,30 @@ pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>) {
     }
 }
 
-/// The executor half: runs tasks, fetching dependencies from peers as needed.
+/// One in-flight peer fetch of the concurrent gather.
+struct PendingFetch<'a> {
+    /// Index into the task's input vector.
+    slot: usize,
+    /// The dependency key.
+    key: &'a Key,
+    /// Candidate holders (excluding this worker).
+    candidates: Vec<WorkerId>,
+    /// Position in `candidates` of the peer already asked.
+    asked: usize,
+    /// Reply channel of the outstanding request.
+    reply_rx: Receiver<Result<Datum, String>>,
+}
+
+/// One executor slot: runs tasks, fetching dependencies from peers as needed.
+/// A worker spawns several of these over one cloned inbox [`Receiver`].
 pub struct Executor {
     /// This worker's id.
     pub id: WorkerId,
-    /// Local store (shared with the data server).
+    /// Local store (shared with the data server and sibling slots).
     pub store: WorkerStore,
-    /// Inbox of execution requests.
+    /// Inbox of execution requests (shared by all slots of this worker).
     pub rx: Receiver<ExecMsg>,
-    /// Scheduler channel for completion reports.
+    /// Scheduler channel for completion and replica reports.
     pub sched_tx: Sender<SchedMsg>,
     /// Data channels of every worker (peer fetches).
     pub peer_data: Vec<Sender<DataMsg>>,
@@ -63,16 +102,30 @@ pub struct Executor {
     pub registry: OpRegistry,
     /// Shared counters.
     pub stats: Arc<SchedulerStats>,
+    /// Dependency gather strategy.
+    pub gather_mode: GatherMode,
 }
 
 impl Executor {
     /// Run until `Shutdown`.
     pub fn run(self) {
-        while let Ok(msg) = self.rx.recv() {
+        loop {
+            let idle_from = Instant::now();
+            let msg = match self.rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            };
+            self.stats
+                .record_exec_idle(idle_from.elapsed().as_nanos() as u64);
             match msg {
-                ExecMsg::Execute { spec, dep_locations } => {
+                ExecMsg::Execute {
+                    spec,
+                    dep_locations,
+                } => {
+                    let busy_from = Instant::now();
                     let key = spec.key.clone();
-                    match self.execute(spec, &dep_locations) {
+                    let outcome = self.execute(&spec, &dep_locations);
+                    match outcome {
                         Ok(result) => {
                             let nbytes = result.nbytes();
                             self.store.lock().insert(key.clone(), result);
@@ -90,36 +143,61 @@ impl Executor {
                             });
                         }
                     }
+                    self.stats
+                        .record_exec_busy(busy_from.elapsed().as_nanos() as u64);
                 }
                 ExecMsg::Shutdown => break,
             }
         }
     }
 
-    /// Resolve one dependency: local store first, then peers.
-    fn fetch_dep(&self, key: &Key, locations: &[WorkerId]) -> Result<Datum, String> {
+    /// Ask `peer` for `key`; returns the reply channel of the request.
+    fn request_from_peer(
+        &self,
+        peer: WorkerId,
+        key: &Key,
+    ) -> Option<Receiver<Result<Datum, String>>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.peer_data[peer]
+            .send(DataMsg::Get {
+                key: key.clone(),
+                reply: reply_tx,
+            })
+            .ok()
+            .map(|_| reply_rx)
+    }
+
+    /// Cache a fetched block locally (a replica, like Dask's dependency
+    /// gather) and account for the transfer.
+    fn cache_replica(&self, key: &Key, value: &Datum, replicas: &mut Vec<(Key, u64)>) {
+        self.stats.record(MsgClass::PeerFetch, value.nbytes());
+        self.store.lock().insert(key.clone(), value.clone());
+        replicas.push((key.clone(), value.nbytes()));
+    }
+
+    /// Resolve one dependency serially: local store first, then each peer in
+    /// turn. Used by [`GatherMode::Serial`] and as the fallback when a
+    /// concurrent fetch's first candidate fails.
+    fn fetch_dep_serial(
+        &self,
+        key: &Key,
+        candidates: &[WorkerId],
+        skip: usize,
+        replicas: &mut Vec<(Key, u64)>,
+    ) -> Result<Datum, String> {
         if let Some(v) = self.store.lock().get(key).cloned() {
             return Ok(v);
         }
-        for &peer in locations {
-            if peer == self.id {
+        for (i, &peer) in candidates.iter().enumerate() {
+            if i < skip {
                 continue;
             }
-            let (reply_tx, reply_rx) = bounded(1);
-            if self.peer_data[peer]
-                .send(DataMsg::Get {
-                    key: key.clone(),
-                    reply: reply_tx,
-                })
-                .is_err()
-            {
+            let Some(reply_rx) = self.request_from_peer(peer, key) else {
                 continue;
-            }
+            };
             match reply_rx.recv() {
                 Ok(Ok(value)) => {
-                    self.stats.record(MsgClass::PeerFetch, value.nbytes());
-                    // Cache locally (replica), like Dask's dependency gather.
-                    self.store.lock().insert(key.clone(), value.clone());
+                    self.cache_replica(key, &value, replicas);
                     return Ok(value);
                 }
                 Ok(Err(_)) | Err(_) => continue,
@@ -127,30 +205,128 @@ impl Executor {
         }
         Err(format!(
             "dependency {key} unavailable (tried {} peers)",
-            locations.len()
+            candidates.len()
         ))
+    }
+
+    /// Resolve every dependency of `spec`. Local blocks come straight from
+    /// the store; the rest are gathered from peers per [`GatherMode`]. On
+    /// success the inputs are ordered like `spec.deps`.
+    fn gather_deps(
+        &self,
+        spec: &TaskSpec,
+        dep_locations: &[(Key, Vec<WorkerId>)],
+        replicas: &mut Vec<(Key, u64)>,
+    ) -> Result<Vec<Datum>, String> {
+        let mut inputs: Vec<Option<Datum>> = vec![None; spec.deps.len()];
+        let mut missing: Vec<(usize, &Key)> = Vec::new();
+        {
+            let store = self.store.lock();
+            for (i, dep) in spec.deps.iter().enumerate() {
+                match store.get(dep) {
+                    Some(v) => inputs[i] = Some(v.clone()),
+                    None => missing.push((i, dep)),
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let gather_from = Instant::now();
+            let n_remote = missing.len() as u64;
+            let candidates_of = |key: &Key| -> Vec<WorkerId> {
+                dep_locations
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, locs)| locs.iter().copied().filter(|&w| w != self.id).collect())
+                    .unwrap_or_default()
+            };
+            match self.gather_mode {
+                GatherMode::Serial => {
+                    for (slot, key) in missing {
+                        inputs[slot] =
+                            Some(self.fetch_dep_serial(key, &candidates_of(key), 0, replicas)?);
+                    }
+                }
+                GatherMode::Concurrent => {
+                    // Phase 1: fan out one request per missing dep to its
+                    // first candidate holder.
+                    let mut pending: Vec<PendingFetch> = Vec::with_capacity(missing.len());
+                    for (slot, key) in missing {
+                        let candidates = candidates_of(key);
+                        let mut launched = None;
+                        for (i, &peer) in candidates.iter().enumerate() {
+                            if let Some(reply_rx) = self.request_from_peer(peer, key) {
+                                launched = Some((i, reply_rx));
+                                break;
+                            }
+                        }
+                        match launched {
+                            Some((asked, reply_rx)) => pending.push(PendingFetch {
+                                slot,
+                                key,
+                                candidates,
+                                asked,
+                                reply_rx,
+                            }),
+                            // No reachable candidate: the serial path below
+                            // re-checks the local store (a scatter may have
+                            // landed meanwhile) before giving up.
+                            None => {
+                                inputs[slot] =
+                                    Some(self.fetch_dep_serial(key, &candidates, 0, replicas)?)
+                            }
+                        }
+                    }
+                    // Phase 2: collect replies; a failed fetch falls back to
+                    // the remaining candidates serially.
+                    for fetch in pending {
+                        match fetch.reply_rx.recv() {
+                            Ok(Ok(value)) => {
+                                self.cache_replica(fetch.key, &value, replicas);
+                                inputs[fetch.slot] = Some(value);
+                            }
+                            Ok(Err(_)) | Err(_) => {
+                                inputs[fetch.slot] = Some(self.fetch_dep_serial(
+                                    fetch.key,
+                                    &fetch.candidates,
+                                    fetch.asked + 1,
+                                    replicas,
+                                )?);
+                            }
+                        }
+                    }
+                }
+            }
+            self.stats
+                .record_gather(n_remote, gather_from.elapsed().as_nanos() as u64);
+        }
+        Ok(inputs
+            .into_iter()
+            .map(|v| v.expect("every dependency resolved or we returned Err"))
+            .collect())
     }
 
     fn execute(
         &self,
-        spec: crate::spec::TaskSpec,
+        spec: &TaskSpec,
         dep_locations: &[(Key, Vec<WorkerId>)],
     ) -> Result<Datum, String> {
         let op = self
             .registry
             .get(&spec.op)
             .ok_or_else(|| format!("unknown op '{}'", spec.op))?;
-        let mut inputs = Vec::with_capacity(spec.deps.len());
-        for dep in &spec.deps {
-            let locations = dep_locations
-                .iter()
-                .find(|(k, _)| k == dep)
-                .map(|(_, locs)| locs.as_slice())
-                .unwrap_or(&[]);
-            inputs.push(self.fetch_dep(dep, locations)?);
+        let mut replicas = Vec::new();
+        let gathered = self.gather_deps(spec, dep_locations, &mut replicas);
+        // Report new replicas even if some other dependency failed: the
+        // cached blocks exist either way and placement should know.
+        if !replicas.is_empty() {
+            let _ = self.sched_tx.send(SchedMsg::AddReplica {
+                worker: self.id,
+                entries: replicas,
+            });
         }
-        let params = spec.params.clone();
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&params, &inputs)))
+        let inputs = gathered?;
+        let params = &spec.params;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(params, &inputs)))
             .unwrap_or_else(|p| {
                 let msg = p
                     .downcast_ref::<&str>()

@@ -169,7 +169,14 @@ pub fn decode_index(mut buf: Bytes) -> Result<Vec<(String, DatasetMeta)>, Format
             let len = buf.get_u64_le();
             chunks.insert(coord, (off, len));
         }
-        out.push((name, DatasetMeta { shape, chunk_shape, chunks }));
+        out.push((
+            name,
+            DatasetMeta {
+                shape,
+                chunk_shape,
+                chunks,
+            },
+        ));
     }
     Ok(out)
 }

@@ -45,7 +45,8 @@ mod tests {
         w.create_dataset("temp", &[4, 6], &[2, 3]).unwrap();
         for ci in 0..2 {
             for cj in 0..2 {
-                let chunk = NDArray::from_fn(&[2, 3], |i| (ci * 100 + cj * 10 + i[0] * 3 + i[1]) as f64);
+                let chunk =
+                    NDArray::from_fn(&[2, 3], |i| (ci * 100 + cj * 10 + i[0] * 3 + i[1]) as f64);
                 w.write_chunk("temp", &[ci, cj], &chunk).unwrap();
             }
         }

@@ -86,10 +86,9 @@ impl H5Reader {
             .dataset(name)
             .ok_or_else(|| FormatError::BadRequest(format!("unknown dataset '{name}'")))?;
         let extent = meta.chunk_extent(coord)?;
-        let (off, len) = *meta
-            .chunks
-            .get(coord)
-            .ok_or_else(|| FormatError::BadRequest(format!("chunk {:?} was never written", coord)))?;
+        let (off, len) = *meta.chunks.get(coord).ok_or_else(|| {
+            FormatError::BadRequest(format!("chunk {:?} was never written", coord))
+        })?;
         let expected = (extent.iter().product::<usize>() * 8) as u64;
         if len != expected {
             return Err(FormatError::Corrupt(format!(
@@ -114,7 +113,12 @@ impl H5Reader {
 
     /// Read an arbitrary hyper-rectangular slice, assembling from all covering
     /// chunks. Errors if any needed chunk was never written.
-    pub fn read_slice(&self, name: &str, starts: &[usize], sizes: &[usize]) -> Result<NDArray, FormatError> {
+    pub fn read_slice(
+        &self,
+        name: &str,
+        starts: &[usize],
+        sizes: &[usize],
+    ) -> Result<NDArray, FormatError> {
         let meta = self
             .dataset(name)
             .ok_or_else(|| FormatError::BadRequest(format!("unknown dataset '{name}'")))?
@@ -270,7 +274,8 @@ mod tests {
         let path = tmp("missing.h5l");
         let mut w = H5Writer::create(&path).unwrap();
         w.create_dataset("d", &[4, 4], &[2, 2]).unwrap();
-        w.write_chunk("d", &[0, 0], &NDArray::zeros(&[2, 2])).unwrap();
+        w.write_chunk("d", &[0, 0], &NDArray::zeros(&[2, 2]))
+            .unwrap();
         w.close().unwrap();
         let r = H5Reader::open(&path).unwrap();
         assert!(r.read_chunk("d", &[1, 1]).is_err());
@@ -285,10 +290,14 @@ mod tests {
         {
             let mut w = H5Writer::create(&path).unwrap();
             w.create_dataset("d", &[2, 2], &[2, 2]).unwrap();
-            w.write_chunk("d", &[0, 0], &NDArray::zeros(&[2, 2])).unwrap();
+            w.write_chunk("d", &[0, 0], &NDArray::zeros(&[2, 2]))
+                .unwrap();
             // dropped without close()
         }
-        assert!(matches!(H5Reader::open(&path), Err(FormatError::Corrupt(_))));
+        assert!(matches!(
+            H5Reader::open(&path),
+            Err(FormatError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl H5Writer {
         chunk_shape: &[usize],
     ) -> Result<(), FormatError> {
         if self.by_name.contains_key(name) {
-            return Err(FormatError::BadRequest(format!("dataset '{name}' already exists")));
+            return Err(FormatError::BadRequest(format!(
+                "dataset '{name}' already exists"
+            )));
         }
         if shape.len() != chunk_shape.len() || shape.is_empty() {
             return Err(FormatError::BadRequest(format!(
@@ -157,7 +159,12 @@ impl SharedWriter {
     }
 
     /// Write one chunk under the lock.
-    pub fn write_chunk(&self, dataset: &str, coord: &[usize], data: &NDArray) -> Result<(), FormatError> {
+    pub fn write_chunk(
+        &self,
+        dataset: &str,
+        coord: &[usize],
+        data: &NDArray,
+    ) -> Result<(), FormatError> {
         let mut guard = self.inner.lock();
         let w = guard
             .as_mut()
@@ -201,7 +208,9 @@ mod tests {
         let bad = NDArray::zeros(&[2, 3]);
         assert!(w.write_chunk("a", &[0, 0], &bad).is_err());
         assert!(w.write_chunk("missing", &[0, 0], &bad).is_err());
-        assert!(w.write_chunk("a", &[5, 0], &NDArray::zeros(&[2, 2])).is_err());
+        assert!(w
+            .write_chunk("a", &[5, 0], &NDArray::zeros(&[2, 2]))
+            .is_err());
     }
 
     #[test]
@@ -209,8 +218,10 @@ mod tests {
         let path = tmp("rewrite.h5l");
         let mut w = H5Writer::create(&path).unwrap();
         w.create_dataset("a", &[2, 2], &[2, 2]).unwrap();
-        w.write_chunk("a", &[0, 0], &NDArray::full(&[2, 2], 1.0)).unwrap();
-        w.write_chunk("a", &[0, 0], &NDArray::full(&[2, 2], 9.0)).unwrap();
+        w.write_chunk("a", &[0, 0], &NDArray::full(&[2, 2], 1.0))
+            .unwrap();
+        w.write_chunk("a", &[0, 0], &NDArray::full(&[2, 2], 9.0))
+            .unwrap();
         w.close().unwrap();
         let r = H5Reader::open(&path).unwrap();
         assert_eq!(r.read_chunk("a", &[0, 0]).unwrap().get(&[1, 1]), 9.0);
@@ -222,7 +233,8 @@ mod tests {
         let mut w = H5Writer::create(&path).unwrap();
         w.create_dataset("a", &[3, 5], &[2, 2]).unwrap();
         // grid is 2x3; chunk (1,2) has extent (1,1)
-        w.write_chunk("a", &[1, 2], &NDArray::full(&[1, 1], 7.0)).unwrap();
+        w.write_chunk("a", &[1, 2], &NDArray::full(&[1, 1], 7.0))
+            .unwrap();
         w.close().unwrap();
         let r = H5Reader::open(&path).unwrap();
         assert_eq!(r.read_chunk("a", &[1, 2]).unwrap().get(&[0, 0]), 7.0);
@@ -238,7 +250,10 @@ mod tests {
         assert!(w.close().is_err());
         let r = H5Reader::open(&path).unwrap();
         for row in 0..4 {
-            assert_eq!(r.read_chunk("temp", &[row, 0]).unwrap().get(&[0, 2]), row as f64);
+            assert_eq!(
+                r.read_chunk("temp", &[row, 0]).unwrap().get(&[0, 2]),
+                row as f64
+            );
         }
 
         fn crossbeam_scope(w: &SharedWriter) {
@@ -247,7 +262,8 @@ mod tests {
                     let w = w.clone();
                     s.spawn(move || {
                         w.ensure_dataset("temp", &[4, 4], &[1, 4]).unwrap();
-                        w.write_chunk("temp", &[row, 0], &NDArray::full(&[1, 4], row as f64)).unwrap();
+                        w.write_chunk("temp", &[row, 0], &NDArray::full(&[1, 4], row as f64))
+                            .unwrap();
                     });
                 }
             });

@@ -17,7 +17,11 @@ pub struct HeatConfig {
 
 impl HeatConfig {
     /// Validated constructor.
-    pub fn new(global: (usize, usize), procs: (usize, usize), steps: usize) -> Result<Self, String> {
+    pub fn new(
+        global: (usize, usize),
+        procs: (usize, usize),
+        steps: usize,
+    ) -> Result<Self, String> {
         let cfg = HeatConfig {
             global,
             procs,

@@ -88,16 +88,21 @@ impl LocalSolver {
             comm.send(r, TAG_UP, top_row).map_err(|e| e.to_string())?;
         }
         if let Some(r) = down {
-            comm.send(r, TAG_DOWN, bottom_row).map_err(|e| e.to_string())?;
+            comm.send(r, TAG_DOWN, bottom_row)
+                .map_err(|e| e.to_string())?;
         }
         // Columns (strided copies).
         let left_col: Vec<f64> = (0..self.nx).map(|i| self.field[(i + 1) * w + 1]).collect();
-        let right_col: Vec<f64> = (0..self.nx).map(|i| self.field[(i + 1) * w + self.ny]).collect();
+        let right_col: Vec<f64> = (0..self.nx)
+            .map(|i| self.field[(i + 1) * w + self.ny])
+            .collect();
         if let Some(r) = left {
-            comm.send(r, TAG_LEFT, left_col).map_err(|e| e.to_string())?;
+            comm.send(r, TAG_LEFT, left_col)
+                .map_err(|e| e.to_string())?;
         }
         if let Some(r) = right {
-            comm.send(r, TAG_RIGHT, right_col).map_err(|e| e.to_string())?;
+            comm.send(r, TAG_RIGHT, right_col)
+                .map_err(|e| e.to_string())?;
         }
 
         // Receive into ghosts; physical boundaries copy the edge (Neumann).
@@ -126,8 +131,8 @@ impl LocalSolver {
         match left {
             Some(r) => {
                 let col: Vec<f64> = comm.recv(r, TAG_RIGHT).map_err(|e| e.to_string())?;
-                for i in 0..self.nx {
-                    self.field[(i + 1) * w] = col[i];
+                for (i, &c) in col.iter().enumerate().take(self.nx) {
+                    self.field[(i + 1) * w] = c;
                 }
             }
             None => {
@@ -139,8 +144,8 @@ impl LocalSolver {
         match right {
             Some(r) => {
                 let col: Vec<f64> = comm.recv(r, TAG_LEFT).map_err(|e| e.to_string())?;
-                for i in 0..self.nx {
-                    self.field[(i + 1) * w + self.ny + 1] = col[i];
+                for (i, &c) in col.iter().enumerate().take(self.nx) {
+                    self.field[(i + 1) * w + self.ny + 1] = c;
                 }
             }
             None => {
@@ -310,9 +315,7 @@ mod tests {
         let mut parallel = NDArray::zeros(&[8, 12]);
         let (l0, l1) = cfg4.local();
         for ((ci, cj), block) in blocks {
-            parallel
-                .assign_slice(&[ci * l0, cj * l1], &block)
-                .unwrap();
+            parallel.assign_slice(&[ci * l0, cj * l1], &block).unwrap();
         }
         let diff = serial.max_abs_diff(&parallel).unwrap();
         assert!(diff < 1e-12, "serial vs parallel diff {diff}");

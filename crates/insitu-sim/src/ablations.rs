@@ -52,11 +52,7 @@ pub fn heartbeat_sweep(cost: &CostModel) -> Figure {
     // faithful sweep: use the three real modes plus a denser Deisa1 variant
     // via shortened virtual heartbeat = 1 s achieved by scaling: we encode
     // the interval through dedicated scenarios below.
-    for (interval, scen_mode) in [
-        (5u64, Mode::Deisa1),
-        (60, Mode::Deisa2),
-        (0, Mode::Deisa3),
-    ] {
+    for (interval, scen_mode) in [(5u64, Mode::Deisa1), (60, Mode::Deisa2), (0, Mode::Deisa3)] {
         let mut samples = Vec::new();
         for seed in [1u64, 2, 3] {
             samples.extend(comm_per_iter(&base_scenario(scen_mode, seed), cost));

@@ -41,8 +41,8 @@ fn stack_parallel(scen: &Scenario, cost: &CostModel) -> SimTime {
 /// Gathering a step's stacked batch onto the executing worker.
 fn gather_time(scen: &Scenario, cost: &CostModel) -> SimTime {
     // (W-1)/W of the batch crosses the executing worker's NIC.
-    let external = scen.step_bytes() * (scen.n_workers.max(1) as u64 - 1)
-        / scen.n_workers.max(1) as u64;
+    let external =
+        scen.step_bytes() * (scen.n_workers.max(1) as u64 - 1) / scen.n_workers.max(1) as u64;
     transfer_ns(external, cost.network.nic_bw)
 }
 
@@ -102,8 +102,8 @@ pub fn run_insitu_analytics(
 /// Post-hoc analytics: read the container back from the shared PFS.
 pub fn run_posthoc_analytics(scen: &Scenario, cost: &CostModel, new_ipca: bool) -> AnalyticsOut {
     let mut pfs = FifoServer::new();
-    let step_read_service = transfer_ns(scen.step_bytes(), cost.pfs_bw)
-        + cost.pfs_latency * scen.n_ranks as u64;
+    let step_read_service =
+        transfer_ns(scen.step_bytes(), cost.pfs_bw) + cost.pfs_latency * scen.n_ranks as u64;
     let mut done: SimTime = 0;
     let mut step_done = Vec::with_capacity(scen.steps);
     if new_ipca {
@@ -114,12 +114,10 @@ pub fn run_posthoc_analytics(scen: &Scenario, cost: &CostModel, new_ipca: bool) 
             read_done.push(fin);
         }
         let submit = cost.submit_overhead_ns;
-        for t in 0..scen.steps {
-            let start = read_done[t].max(done).max(submit);
-            done = start
-                + stack_parallel(scen, cost)
-                + gather_time(scen, cost)
-                + pf_time(scen, cost);
+        for &ready in &read_done {
+            let start = ready.max(done).max(submit);
+            done =
+                start + stack_parallel(scen, cost) + gather_time(scen, cost) + pf_time(scen, cost);
             step_done.push(done);
         }
     } else {

@@ -68,7 +68,7 @@ fn scenario(mode: Mode, ranks: usize, workers: usize, block_bytes: u64, seed: u6
         block_bytes,
         steps: STEPS,
         seed,
-            send_permille: 1000,
+        send_permille: 1000,
     }
 }
 
@@ -307,8 +307,14 @@ pub fn fig4b(cost: &CostModel) -> Figure {
         let mut v = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for &seed in &RUNS {
             let ph = scenario(Mode::PostHoc, p, w, block, seed);
-            v[0].push(core_hours(ns_to_s(run_posthoc_analytics(&ph, cost, false).total), w));
-            v[1].push(core_hours(ns_to_s(run_posthoc_analytics(&ph, cost, true).total), w));
+            v[0].push(core_hours(
+                ns_to_s(run_posthoc_analytics(&ph, cost, false).total),
+                w,
+            ));
+            v[1].push(core_hours(
+                ns_to_s(run_posthoc_analytics(&ph, cost, true).total),
+                w,
+            ));
             let s1 = scenario(Mode::Deisa1, p, w, block, seed);
             let sim1 = run_sim_side(&s1, cost);
             v[2].push(core_hours(
@@ -528,7 +534,10 @@ mod tests {
     fn all_figures_have_expected_ids() {
         let figs = all_figures(&CostModel::default());
         let ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
-        assert_eq!(ids, vec!["fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5"]);
+        assert_eq!(
+            ids,
+            vec!["fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5"]
+        );
         for f in &figs {
             assert!(!f.series.is_empty());
             for s in &f.series {

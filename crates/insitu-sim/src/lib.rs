@@ -29,8 +29,8 @@ pub mod scenario;
 pub mod simside;
 pub mod stats_util;
 
+pub use ablations::all_ablations;
 pub use cost::CostModel;
 pub use figures::{Figure, Series};
 pub use scenario::{Mode, Scenario};
-pub use ablations::all_ablations;
 pub use simside::{run_sim_side, SimSideOut};

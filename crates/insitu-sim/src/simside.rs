@@ -137,7 +137,13 @@ impl Model {
         eng.schedule_at(fin, Ev::CtrlDone { ctrl });
     }
 
-    fn rank_step_complete(&mut self, eng: &mut Engine<Ev>, t: usize, rank: usize, done_at: SimTime) {
+    fn rank_step_complete(
+        &mut self,
+        eng: &mut Engine<Ev>,
+        t: usize,
+        rank: usize,
+        done_at: SimTime,
+    ) {
         self.comm_done[t][rank] = done_at;
         self.rank_complete[t] += 1;
         if self.rank_complete[t] == self.scen.n_ranks {
@@ -237,9 +243,9 @@ pub fn run_sim_side(scen: &Scenario, cost: &CostModel) -> SimSideOut {
                     },
                 );
                 if m.scen.mode == Mode::Deisa1 {
-                    let arr2 =
-                        m.net
-                            .send(now, m.nodes_rank[rank], m.node_sched, m.cost.ctrl_bytes);
+                    let arr2 = m
+                        .net
+                        .send(now, m.nodes_rank[rank], m.node_sched, m.cost.ctrl_bytes);
                     eng.schedule_at(
                         arr2,
                         Ev::CtrlArrive {
@@ -256,18 +262,16 @@ pub fn run_sim_side(scen: &Scenario, cost: &CostModel) -> SimSideOut {
                     // Reply back to the bridge completes the scatter, plus
                     // the fixed client-side scatter-call overhead.
                     let hops = m.net.hops(m.node_sched, m.nodes_rank[rank]) as u64;
-                    let done = now
-                        + hops * m.cost.network.hop_latency
-                        + m.cost.scatter_overhead_ns;
+                    let done = now + hops * m.cost.network.hop_latency + m.cost.scatter_overhead_ns;
                     m.rank_step_complete(eng, t, rank, done);
                 }
                 Ctrl::Push { t } => {
                     m.pushes_done[t] += 1;
                     if m.pushes_done[t] == m.scen.n_ranks {
                         // Adaptor pops everything and submits the step graph.
-                        let arr =
-                            m.net
-                                .send(now, m.node_client, m.node_sched, m.cost.ctrl_bytes);
+                        let arr = m
+                            .net
+                            .send(now, m.node_client, m.node_sched, m.cost.ctrl_bytes);
                         eng.schedule_at(
                             arr,
                             Ev::CtrlArrive {
@@ -296,7 +300,11 @@ pub fn run_sim_side(scen: &Scenario, cost: &CostModel) -> SimSideOut {
                             ctrl: Ctrl::Heartbeat,
                         },
                     );
-                    let hb = m.scen.mode.heartbeat_secs().expect("ticking implies heartbeats");
+                    let hb = m
+                        .scen
+                        .mode
+                        .heartbeat_secs()
+                        .expect("ticking implies heartbeats");
                     eng.schedule(hb * SEC, Ev::HeartbeatTick { rank });
                 }
             }
@@ -432,7 +440,10 @@ mod tests {
             v.iter().sum::<f64>() / v.len() as f64
         };
         let (a, b) = (mc(&small), mc(&large));
-        assert!((a - b).abs() / a < 0.05, "compute should be flat: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a < 0.05,
+            "compute should be flat: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! 2-D matrix type with cache-blocked multiplication.
+//! 2-D matrix type with cache-blocked, band-parallel multiplication.
 //!
 //! `Matrix` is the working type of the QR/SVD kernels. It is deliberately a
 //! plain row-major `Vec<f64>` (per the perf-book guidance: flat storage, no
 //! pointer chasing) with a micro-kernel-free but cache-blocked `matmul`.
+//! Large products additionally split the output into row bands and compute
+//! them on scoped threads — bands of the row-major output are disjoint
+//! `&mut` slices, so the parallelism needs no locks and no extra
+//! dependencies.
 
 use crate::ndarray::NDArray;
 use crate::{LinalgError, Result};
@@ -25,10 +29,60 @@ impl std::fmt::Debug for Matrix {
 /// `B*B` f64 fit comfortably in L1/L2.
 const MM_BLOCK: usize = 64;
 
+/// Minimum work (inner-loop multiply-adds) to justify one extra thread —
+/// below this, thread spawn/join overhead beats the parallel win.
+const PAR_MIN_WORK: usize = 1 << 16;
+
+/// Thread count for a kernel with `max_units` independent work units and
+/// `work` total multiply-adds: capped by the machine, the units, and a
+/// minimum amount of work per thread. Returns 1 on small problems.
+pub(crate) fn par_threads(max_units: usize, work: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores
+        .min(max_units.max(1))
+        .min((work / PAR_MIN_WORK).max(1))
+}
+
+/// Cache-blocked multiply of one row band: `out` covers output rows
+/// `row0 ..` (its length dictates how many), `a` is the full `m×k` left
+/// operand, `b` the full `k×n` right operand.
+fn matmul_band(a: &[f64], b: &[f64], out: &mut [f64], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for ib in (0..rows).step_by(MM_BLOCK) {
+        let imax = (ib + MM_BLOCK).min(rows);
+        for kb in (0..k).step_by(MM_BLOCK) {
+            let kmax = (kb + MM_BLOCK).min(k);
+            for jb in (0..n).step_by(MM_BLOCK) {
+                let jmax = (jb + MM_BLOCK).min(n);
+                for i in ib..imax {
+                    let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+                    let orow = &mut out[i * n..i * n + n];
+                    for kk in kb..kmax {
+                        let v = arow[kk];
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n..kk * n + n];
+                        for j in jb..jmax {
+                            orow[j] += v * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -44,7 +98,11 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(LinalgError::ShapeMismatch {
-                what: format!("{rows}x{cols} wants {} elements, got {}", rows * cols, data.len()),
+                what: format!(
+                    "{rows}x{cols} wants {} elements, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -118,8 +176,17 @@ impl Matrix {
         t
     }
 
-    /// Cache-blocked matrix multiplication `self * rhs`.
+    /// Cache-blocked matrix multiplication `self * rhs`, parallelized over
+    /// output row bands when the product is large enough to pay for it.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let threads = par_threads(self.rows, self.rows * self.cols * rhs.cols);
+        self.matmul_par(rhs, threads)
+    }
+
+    /// [`Matrix::matmul`] with an explicit thread count (`1` = serial).
+    /// Bands of output rows are computed on scoped threads; each band is a
+    /// disjoint `&mut` slice of the row-major output.
+    pub fn matmul_par(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 what: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
@@ -127,27 +194,20 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        for ib in (0..m).step_by(MM_BLOCK) {
-            let imax = (ib + MM_BLOCK).min(m);
-            for kb in (0..k).step_by(MM_BLOCK) {
-                let kmax = (kb + MM_BLOCK).min(k);
-                for jb in (0..n).step_by(MM_BLOCK) {
-                    let jmax = (jb + MM_BLOCK).min(n);
-                    for i in ib..imax {
-                        for kk in kb..kmax {
-                            let a = self.data[i * k + kk];
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let rrow = &rhs.data[kk * n..kk * n + n];
-                            let orow = &mut out.data[i * n..i * n + n];
-                            for j in jb..jmax {
-                                orow[j] += a * rrow[j];
-                            }
-                        }
-                    }
+        if m == 0 || n == 0 || k == 0 {
+            return Ok(out);
+        }
+        let threads = threads.clamp(1, m);
+        if threads == 1 {
+            matmul_band(&self.data, &rhs.data, &mut out.data, 0, k, n);
+        } else {
+            let band = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, chunk) in out.data.chunks_mut(band * n).enumerate() {
+                    let (a, b) = (&self.data, &rhs.data);
+                    s.spawn(move || matmul_band(a, b, chunk, t * band, k, n));
                 }
-            }
+            });
         }
         Ok(out)
     }
@@ -156,7 +216,10 @@ impl Matrix {
     pub fn t_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
-                what: format!("({}x{})^T * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+                what: format!(
+                    "({}x{})^T * {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
             });
         }
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
@@ -164,8 +227,7 @@ impl Matrix {
         for kk in 0..k {
             let arow = &self.data[kk * self.cols..(kk + 1) * self.cols];
             let brow = &rhs.data[kk * n..(kk + 1) * n];
-            for i in 0..m {
-                let a = arow[i];
+            for (i, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
@@ -300,6 +362,31 @@ mod tests {
         let blocked = a.matmul(&b).unwrap();
         let naive = naive_matmul(&a, &b);
         assert!(blocked.max_abs_diff(&naive).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_par_matches_serial_any_thread_count() {
+        let a = Matrix::from_fn(67, 33, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(33, 41, |i, j| ((i * 3 + j * 11) % 17) as f64 - 8.0);
+        let serial = a.matmul_par(&b, 1).unwrap();
+        for threads in [2, 3, 5, 8, 100] {
+            let par = a.matmul_par(&b, threads).unwrap();
+            assert!(
+                par.max_abs_diff(&serial).unwrap() == 0.0,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_par_degenerate_shapes() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul_par(&b, 4).unwrap().rows(), 0);
+        let a = Matrix::from_fn(3, 1, |i, _| i as f64);
+        let b = Matrix::from_fn(1, 1, |_, _| 2.0);
+        let r = a.matmul_par(&b, 7).unwrap();
+        assert_eq!(r[(2, 0)], 4.0);
     }
 
     #[test]

@@ -14,7 +14,12 @@ pub struct NDArray {
 
 impl std::fmt::Debug for NDArray {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NDArray(shape={:?}, len={})", self.shape, self.data.len())
+        write!(
+            f,
+            "NDArray(shape={:?}, len={})",
+            self.shape,
+            self.data.len()
+        )
     }
 }
 
@@ -50,10 +55,18 @@ impl NDArray {
     pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Result<Self> {
         if shape_len(shape) != data.len() {
             return Err(LinalgError::ShapeMismatch {
-                what: format!("shape {:?} wants {} elements, got {}", shape, shape_len(shape), data.len()),
+                what: format!(
+                    "shape {:?} wants {} elements, got {}",
+                    shape,
+                    shape_len(shape),
+                    data.len()
+                ),
             });
         }
-        Ok(NDArray { shape: shape.to_vec(), data })
+        Ok(NDArray {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// Build an array by evaluating `f` at every multi-index.
@@ -72,7 +85,10 @@ impl NDArray {
                 idx[d] = 0;
             }
         }
-        NDArray { shape: shape.to_vec(), data }
+        NDArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The array's shape.
@@ -239,7 +255,10 @@ impl NDArray {
             .zip(&other.data)
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(NDArray { shape: self.shape.clone(), data })
+        Ok(NDArray {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Element-wise map.

@@ -4,8 +4,97 @@
 //! chunked arrays; we reproduce the same structure: per-chunk local QR, then a
 //! reduction tree over the stacked R factors.
 
-use crate::matrix::Matrix;
+use crate::matrix::{par_threads, Matrix};
 use crate::{LinalgError, Result};
+
+/// Apply the Householder reflector `H = I - 2 v v^T / (v^T v)` to the block
+/// `mat[pivot.., col0..]`. `v` spans rows `pivot..m`.
+///
+/// With `threads > 1` the update runs in two band-parallel passes over row
+/// bands of the trailing block: (1) partial column dots per band, reduced on
+/// the calling thread; (2) the rank-1 row updates, each band a disjoint
+/// `&mut` slice of the row-major storage.
+fn apply_reflector(
+    mat: &mut Matrix,
+    pivot: usize,
+    col0: usize,
+    v: &[f64],
+    vnorm2: f64,
+    threads: usize,
+) {
+    let m = mat.rows();
+    let n = mat.cols();
+    let ncols = n - col0;
+    if ncols == 0 || m == pivot {
+        return;
+    }
+    let nrows = m - pivot;
+    let threads = threads.clamp(1, nrows);
+    if threads == 1 {
+        for col in col0..n {
+            let mut dot = 0.0;
+            for i in pivot..m {
+                dot += v[i - pivot] * mat[(i, col)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in pivot..m {
+                mat[(i, col)] -= f * v[i - pivot];
+            }
+        }
+        return;
+    }
+    let tail = &mut mat.data_mut()[pivot * n..];
+    let band = nrows.div_ceil(threads);
+    // Pass 1: column dots, one partial vector per row band.
+    let mut dots = vec![0.0; ncols];
+    {
+        let tail_ro: &[f64] = tail;
+        let partials: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let r0 = t * band;
+                    let r1 = ((t + 1) * band).min(nrows);
+                    s.spawn(move || {
+                        let mut partial = vec![0.0; ncols];
+                        for i in r0..r1 {
+                            let vi = v[i];
+                            let row = &tail_ro[i * n + col0..i * n + n];
+                            for (p, x) in partial.iter_mut().zip(row) {
+                                *p += vi * x;
+                            }
+                        }
+                        partial
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dot band panicked"))
+                .collect()
+        });
+        for partial in partials {
+            for (d, p) in dots.iter_mut().zip(partial) {
+                *d += p;
+            }
+        }
+    }
+    let factors: Vec<f64> = dots.iter().map(|d| 2.0 * d / vnorm2).collect();
+    // Pass 2: rank-1 update, disjoint row bands.
+    std::thread::scope(|s| {
+        for (t, chunk) in tail.chunks_mut(band * n).enumerate() {
+            let r0 = t * band;
+            let factors = &factors;
+            s.spawn(move || {
+                for (li, row) in chunk.chunks_mut(n).enumerate() {
+                    let vi = v[r0 + li];
+                    for (f, x) in factors.iter().zip(&mut row[col0..]) {
+                        *x -= f * vi;
+                    }
+                }
+            });
+        }
+    });
+}
 
 /// Thin QR decomposition `A = Q R` with `Q: m×k`, `R: k×n`, `k = min(m, n)`.
 pub struct Qr {
@@ -50,17 +139,10 @@ pub fn householder_qr(a: &Matrix) -> Result<Qr> {
         v[0] -= alpha;
         let vnorm2: f64 = v.iter().map(|x| x * x).sum();
         if vnorm2 > 0.0 {
-            // Apply H = I - 2 v v^T / (v^T v) to R[j.., j..].
-            for col in j..n {
-                let mut dot = 0.0;
-                for i in j..m {
-                    dot += v[i - j] * r[(i, col)];
-                }
-                let f = 2.0 * dot / vnorm2;
-                for i in j..m {
-                    r[(i, col)] -= f * v[i - j];
-                }
-            }
+            // Apply H = I - 2 v v^T / (v^T v) to R[j.., j..], band-parallel
+            // on trailing blocks large enough to pay for it.
+            let threads = par_threads(m - j, 2 * (m - j) * (n - j));
+            apply_reflector(&mut r, j, j, &v, vnorm2, threads);
         }
         vs.push(v);
     }
@@ -82,16 +164,8 @@ pub fn householder_qr(a: &Matrix) -> Result<Qr> {
         if vnorm2 == 0.0 {
             continue;
         }
-        for col in 0..k {
-            let mut dot = 0.0;
-            for i in j..m {
-                dot += v[i - j] * q[(i, col)];
-            }
-            let f = 2.0 * dot / vnorm2;
-            for i in j..m {
-                q[(i, col)] -= f * v[i - j];
-            }
-        }
+        let threads = par_threads(m - j, 2 * (m - j) * k);
+        apply_reflector(&mut q, j, 0, v, vnorm2, threads);
     }
     Ok(Qr { q, r: r_thin })
 }
@@ -124,13 +198,35 @@ pub fn tsqr(blocks: &[Matrix]) -> Result<Qr> {
             what: format!("tsqr: total rows {total_rows} < cols {n}"),
         });
     }
-    // Level 0: local QRs.
+    // Level 0: local QRs — independent per block, so run them on scoped
+    // threads when there is enough work.
+    let level0_threads = par_threads(blocks.len(), total_rows * n * n);
     let mut qs: Vec<Matrix> = Vec::with_capacity(blocks.len());
     let mut rs: Vec<Matrix> = Vec::with_capacity(blocks.len());
-    for b in blocks {
-        let qr = householder_qr(b)?;
-        qs.push(qr.q);
-        rs.push(qr.r);
+    if level0_threads <= 1 {
+        for b in blocks {
+            let qr = householder_qr(b)?;
+            qs.push(qr.q);
+            rs.push(qr.r);
+        }
+    } else {
+        let per_chunk = blocks.len().div_ceil(level0_threads);
+        let chunk_results: Vec<Result<Vec<Qr>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = blocks
+                .chunks(per_chunk)
+                .map(|chunk| s.spawn(move || chunk.iter().map(householder_qr).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("local QR panicked"))
+                .collect()
+        });
+        for chunk in chunk_results {
+            for qr in chunk? {
+                qs.push(qr.q);
+                rs.push(qr.r);
+            }
+        }
     }
     // Reduction tree over R factors. Track, for each original block, the chain
     // of (level, pair-slot) multiplications to apply. Simpler: at each level,
@@ -147,7 +243,10 @@ pub fn tsqr(blocks: &[Matrix]) -> Result<Qr> {
         .enumerate()
         .map(|(i, r)| {
             let k = r.rows();
-            Group { r, members: vec![(i, Matrix::eye(k))] }
+            Group {
+                r,
+                members: vec![(i, Matrix::eye(k))],
+            }
         })
         .collect();
     while groups.len() > 1 {
@@ -181,14 +280,50 @@ pub fn tsqr(blocks: &[Matrix]) -> Result<Qr> {
         groups = next;
     }
     let root = groups.pop().expect("one group remains");
-    // Assemble Q: each block's thin local Q times its accumulated chain.
+    // Assemble Q: each block's thin local Q times its accumulated chain —
+    // again independent per block, so fan the products out.
+    let assembly_threads = par_threads(root.members.len(), total_rows * n * n);
     let mut finals: Vec<Option<Matrix>> = (0..blocks.len()).map(|_| None).collect();
-    for (idx, chain) in root.members {
-        finals[idx] = Some(qs[idx].matmul(&chain)?);
+    if assembly_threads <= 1 {
+        for (idx, chain) in root.members {
+            finals[idx] = Some(qs[idx].matmul_par(&chain, 1)?);
+        }
+    } else {
+        let per_chunk = root.members.len().div_ceil(assembly_threads);
+        let products: Vec<Result<Vec<(usize, Matrix)>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = root
+                .members
+                .chunks(per_chunk)
+                .map(|chunk| {
+                    let qs = &qs;
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(idx, chain)| Ok((*idx, qs[*idx].matmul_par(chain, 1)?)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("Q assembly panicked"))
+                .collect()
+        });
+        for chunk in products {
+            for (idx, q) in chunk? {
+                finals[idx] = Some(q);
+            }
+        }
     }
-    let parts: Vec<Matrix> = finals.into_iter().map(|m| m.expect("every block mapped")).collect();
+    let parts: Vec<Matrix> = finals
+        .into_iter()
+        .map(|m| m.expect("every block mapped"))
+        .collect();
     let refs: Vec<&Matrix> = parts.iter().collect();
-    Ok(Qr { q: Matrix::vstack(&refs)?, r: root.r })
+    Ok(Qr {
+        q: Matrix::vstack(&refs)?,
+        r: root.r,
+    })
 }
 
 #[cfg(test)]
@@ -297,6 +432,33 @@ mod tests {
         let qr = tsqr(&blocks).unwrap();
         assert_orthonormal_cols(&qr.q, 1e-9);
         assert_reconstructs(&a, &qr.q, &qr.r, 1e-9);
+    }
+
+    #[test]
+    fn parallel_reflector_matches_serial() {
+        let base = Matrix::from_fn(41, 9, |i, j| ((i * 13 + j * 29) % 19) as f64 * 0.5 - 4.0);
+        let pivot = 3usize;
+        let v: Vec<f64> = (0..base.rows() - pivot)
+            .map(|i| ((i * 7 + 2) % 11) as f64 - 5.0)
+            .collect();
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        let mut serial = base.clone();
+        apply_reflector(&mut serial, pivot, 2, &v, vnorm2, 1);
+        for threads in [2, 4, 9, 64] {
+            let mut par = base.clone();
+            apply_reflector(&mut par, pivot, 2, &v, vnorm2, threads);
+            // Band-wise dot reduction reorders the sums; allow rounding.
+            assert!(
+                par.max_abs_diff(&serial).unwrap() < 1e-12,
+                "threads={threads}"
+            );
+        }
+        // Untouched region (rows above pivot, cols before col0) is bit-equal.
+        for i in 0..pivot {
+            for j in 0..base.cols() {
+                assert_eq!(serial[(i, j)], base[(i, j)]);
+            }
+        }
     }
 
     #[test]

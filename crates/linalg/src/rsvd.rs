@@ -55,7 +55,7 @@ pub fn randomized_svd(
         y = a.matmul(&qz)?;
     }
     let q = householder_qr(&y)?.q; // m×l orthonormal basis of range(A)
-    // Project: B = Q^T A (l×n), exact SVD of the small B.
+                                   // Project: B = Q^T A (l×n), exact SVD of the small B.
     let b = q.t_matmul(a)?;
     let svd_b = jacobi_svd(&b)?;
     let svd_b = svd_b.truncate(k)?;
@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn rsvd_singular_values_match_exact() {
-        let a = Matrix::from_fn(25, 12, |i, j| ((i * 3 + j * 5) % 7) as f64 + 0.01 * i as f64);
+        let a = Matrix::from_fn(25, 12, |i, j| {
+            ((i * 3 + j * 5) % 7) as f64 + 0.01 * i as f64
+        });
         let exact = jacobi_svd(&a).unwrap();
         let approx = randomized_svd(&a, 4, 8, 3, 7).unwrap();
         for i in 0..4 {

@@ -79,10 +79,19 @@ impl RunningStats {
     /// Merge a batch's (count, mean, var) using the pooled/parallel update of
     /// Chan, Golub & LeVeque — the same update `sklearn`'s
     /// `_incremental_mean_and_var` performs.
-    pub fn update(&mut self, batch_count: u64, batch_mean: &[f64], batch_var: &[f64]) -> Result<()> {
+    pub fn update(
+        &mut self,
+        batch_count: u64,
+        batch_mean: &[f64],
+        batch_var: &[f64],
+    ) -> Result<()> {
         if batch_mean.len() != self.mean.len() || batch_var.len() != self.var.len() {
             return Err(LinalgError::ShapeMismatch {
-                what: format!("stats width {} vs batch {}", self.mean.len(), batch_mean.len()),
+                what: format!(
+                    "stats width {} vs batch {}",
+                    self.mean.len(),
+                    batch_mean.len()
+                ),
             });
         }
         if batch_count == 0 {

@@ -116,7 +116,11 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
         }
         *s = norm.sqrt();
     }
-    order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).expect("no NaN singular values"));
+    order.sort_by(|&x, &y| {
+        sigma[y]
+            .partial_cmp(&sigma[x])
+            .expect("no NaN singular values")
+    });
 
     let mut u = Matrix::zeros(m, n);
     let mut vt = Matrix::zeros(n, n);
@@ -196,7 +200,9 @@ mod tests {
 
     #[test]
     fn svd_tall_triggers_qr_path() {
-        let a = Matrix::from_fn(50, 4, |i, j| ((i + 1) as f64).sin() * (j + 1) as f64 + 0.1 * i as f64);
+        let a = Matrix::from_fn(50, 4, |i, j| {
+            ((i + 1) as f64).sin() * (j + 1) as f64 + 0.1 * i as f64
+        });
         let svd = jacobi_svd(&a).unwrap();
         assert_eq!(svd.u.rows(), 50);
         assert_eq!(svd.u.cols(), 4);

@@ -74,8 +74,8 @@ impl<'a> CartComm<'a> {
     /// Rank of a coordinate tuple.
     pub fn rank_of(&self, coords: &[usize]) -> usize {
         let mut rank = 0usize;
-        for d in 0..self.dims.len() {
-            rank = rank * self.dims[d] + coords[d];
+        for (dim, c) in self.dims.iter().zip(coords) {
+            rank = rank * dim + c;
         }
         rank
     }

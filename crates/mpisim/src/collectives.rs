@@ -75,7 +75,11 @@ impl Comm {
 
     /// Binomial-tree broadcast from `root`. Every rank passes its (possibly
     /// received) value in and gets the root's value out.
-    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> Result<T, CollectiveError> {
+    pub fn bcast<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Result<T, CollectiveError> {
         let p = self.size();
         if p == 1 {
             return Ok(value);
@@ -119,20 +123,28 @@ impl Comm {
 
     /// Gather every rank's value at `root`; returns `Some(values)` in rank
     /// order at the root, `None` elsewhere.
-    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Result<Option<Vec<T>>, CollectiveError> {
+    pub fn gather<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CollectiveError> {
         if self.rank() == root {
             // Receive from each source explicitly: per-pair FIFO then keeps
             // successive gather generations separated.
             let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             slots[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in slots.iter_mut().enumerate() {
                 if src == root {
                     continue;
                 }
-                let v: T = self.recv(src, TAG_GATHER)?;
-                slots[src] = Some(v);
+                *slot = Some(self.recv(src, TAG_GATHER)?);
             }
-            Ok(Some(slots.into_iter().map(|s| s.expect("all ranks gathered")).collect()))
+            Ok(Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("all ranks gathered"))
+                    .collect(),
+            ))
         } else {
             self.send(root, TAG_GATHER, value)?;
             Ok(None)
@@ -220,7 +232,11 @@ impl Comm {
     }
 
     /// Allreduce of a single scalar.
-    pub fn allreduce_scalar(&self, value: f64, op: fn(f64, f64) -> f64) -> Result<f64, CollectiveError> {
+    pub fn allreduce_scalar(
+        &self,
+        value: f64,
+        op: fn(f64, f64) -> f64,
+    ) -> Result<f64, CollectiveError> {
         Ok(self.allreduce_f64(vec![value], op)?[0])
     }
 }
@@ -246,17 +262,25 @@ mod tests {
     fn bcast_from_every_root() {
         for root in 0..5 {
             let results = World::run(5, move |comm| {
-                let v = if comm.rank() == root { 42u64 + root as u64 } else { 0 };
+                let v = if comm.rank() == root {
+                    42u64 + root as u64
+                } else {
+                    0
+                };
                 comm.bcast(root, v).unwrap()
             })
             .unwrap();
-            assert!(results.iter().all(|&v| v == 42 + root as u64), "root {root}");
+            assert!(
+                results.iter().all(|&v| v == 42 + root as u64),
+                "root {root}"
+            );
         }
     }
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let results = World::run(6, |comm| comm.gather(2, comm.rank() * comm.rank()).unwrap()).unwrap();
+        let results =
+            World::run(6, |comm| comm.gather(2, comm.rank() * comm.rank()).unwrap()).unwrap();
         for (rank, r) in results.iter().enumerate() {
             if rank == 2 {
                 assert_eq!(r.as_ref().unwrap(), &vec![0, 1, 4, 9, 16, 25]);
@@ -269,7 +293,8 @@ mod tests {
     #[test]
     fn reduce_sums_at_root() {
         let results = World::run(4, |comm| {
-            comm.reduce_f64(0, vec![comm.rank() as f64, 1.0], |a, b| a + b).unwrap()
+            comm.reduce_f64(0, vec![comm.rank() as f64, 1.0], |a, b| a + b)
+                .unwrap()
         })
         .unwrap();
         assert_eq!(results[0].as_ref().unwrap(), &vec![6.0, 4.0]);
@@ -278,7 +303,8 @@ mod tests {
     #[test]
     fn allreduce_sum_power_of_two() {
         let results = World::run(8, |comm| {
-            comm.allreduce_f64(vec![comm.rank() as f64], |a, b| a + b).unwrap()
+            comm.allreduce_f64(vec![comm.rank() as f64], |a, b| a + b)
+                .unwrap()
         })
         .unwrap();
         assert!(results.iter().all(|r| r[0] == 28.0));
@@ -288,7 +314,8 @@ mod tests {
     fn allreduce_sum_non_power_of_two() {
         for p in [3usize, 5, 6, 7] {
             let results = World::run(p, |comm| {
-                comm.allreduce_f64(vec![1.0, comm.rank() as f64], |a, b| a + b).unwrap()
+                comm.allreduce_f64(vec![1.0, comm.rank() as f64], |a, b| a + b)
+                    .unwrap()
             })
             .unwrap();
             let expect_sum = (p * (p - 1) / 2) as f64;
@@ -302,7 +329,8 @@ mod tests {
     #[test]
     fn allreduce_max() {
         let results = World::run(5, |comm| {
-            comm.allreduce_scalar((comm.rank() as f64 - 2.0).abs(), f64::max).unwrap()
+            comm.allreduce_scalar((comm.rank() as f64 - 2.0).abs(), f64::max)
+                .unwrap()
         })
         .unwrap();
         assert!(results.iter().all(|&v| v == 2.0));

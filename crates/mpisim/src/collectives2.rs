@@ -15,7 +15,10 @@ const TAG_ALLTOALL: Tag = Tag(COLLECTIVE_TAG_BASE + 194);
 impl Comm {
     /// Bruck-style allgather: every rank contributes `value`, everyone gets
     /// the full rank-ordered vector. `⌈log2 P⌉` rounds, doubling payloads.
-    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CollectiveError> {
+    pub fn allgather<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<T>, CollectiveError> {
         let p = self.size();
         let rank = self.rank();
         // items[i] = contribution of rank (rank + i) mod p.
@@ -95,11 +98,12 @@ impl Comm {
                 self.send(dest, TAG_ALLTOALL, item)?;
             }
         }
-        for src in 0..p {
-            if src == self.rank() {
+        let me = self.rank();
+        for (src, slot) in slots.iter_mut().enumerate() {
+            if src == me {
                 continue;
             }
-            slots[src] = Some(self.recv(src, TAG_ALLTOALL)?);
+            *slot = Some(self.recv(src, TAG_ALLTOALL)?);
         }
         Ok(slots
             .into_iter()
@@ -135,7 +139,8 @@ mod tests {
     #[test]
     fn scan_prefix_sums() {
         let results = World::run(6, |comm| {
-            comm.scan_f64(vec![comm.rank() as f64 + 1.0], |a, b| a + b).unwrap()
+            comm.scan_f64(vec![comm.rank() as f64 + 1.0], |a, b| a + b)
+                .unwrap()
         })
         .unwrap();
         // Rank r gets sum of 1..=(r+1).
@@ -172,8 +177,7 @@ mod tests {
     #[test]
     fn alltoall_transposes() {
         let results = World::run(4, |comm| {
-            let items: Vec<(usize, usize)> =
-                (0..4).map(|dest| (comm.rank(), dest)).collect();
+            let items: Vec<(usize, usize)> = (0..4).map(|dest| (comm.rank(), dest)).collect();
             comm.alltoall(items).unwrap()
         })
         .unwrap();

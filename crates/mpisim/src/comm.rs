@@ -60,7 +60,11 @@ impl std::fmt::Display for RecvError {
         match self {
             RecvError::Disconnected => write!(f, "recv failed: peers exited"),
             RecvError::TypeMismatch { src, tag } => {
-                write!(f, "recv type mismatch for message from {} tag {:?}", src, tag)
+                write!(
+                    f,
+                    "recv type mismatch for message from {} tag {:?}",
+                    src, tag
+                )
             }
             RecvError::Timeout => write!(f, "recv timed out"),
         }
@@ -153,7 +157,12 @@ impl Comm {
     }
 
     /// Send `value` to `dest` with `tag`. Non-blocking (buffered channel).
-    pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> Result<(), SendError> {
+    pub fn send<T: Send + 'static>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        value: T,
+    ) -> Result<(), SendError> {
         self.stats.sends[self.rank].fetch_add(1, Ordering::Relaxed);
         self.senders[dest]
             .send(Envelope {
@@ -189,7 +198,11 @@ impl Comm {
     }
 
     /// Blocking receive that also reports the actual source rank.
-    pub fn recv_from<T: Send + 'static>(&self, src: usize, tag: Tag) -> Result<(usize, T), RecvError> {
+    pub fn recv_from<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: Tag,
+    ) -> Result<(usize, T), RecvError> {
         if let Some(env) = self.take_pending(src, tag) {
             return Self::downcast(env);
         }
@@ -217,13 +230,10 @@ impl Comm {
             let remaining = deadline
                 .checked_duration_since(std::time::Instant::now())
                 .ok_or(RecvError::Timeout)?;
-            let env = self
-                .receiver
-                .recv_timeout(remaining)
-                .map_err(|e| match e {
-                    crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
-                    crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
-                })?;
+            let env = self.receiver.recv_timeout(remaining).map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+                crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+            })?;
             if Self::matches(&env, src, tag) {
                 return Self::downcast(env).map(|(_, v)| v);
             }
@@ -233,14 +243,22 @@ impl Comm {
 
     /// True if a matching message is already available (like `MPI_Iprobe`).
     pub fn probe(&self, src: usize, tag: Tag) -> bool {
-        if self.pending.borrow().iter().any(|e| Self::matches(e, src, tag)) {
+        if self
+            .pending
+            .borrow()
+            .iter()
+            .any(|e| Self::matches(e, src, tag))
+        {
             return true;
         }
         // Drain everything currently queued into pending, then check.
         while let Ok(env) = self.receiver.try_recv() {
             self.pending.borrow_mut().push_back(env);
         }
-        self.pending.borrow().iter().any(|e| Self::matches(e, src, tag))
+        self.pending
+            .borrow()
+            .iter()
+            .any(|e| Self::matches(e, src, tag))
     }
 }
 

@@ -112,8 +112,8 @@ impl Network {
         let s_src = self.switch_of(src);
         let s_dst = self.switch_of(dst);
         if s_src != s_dst {
-            let uplink_bw =
-                self.config.nodes_per_switch as u64 * self.config.nic_bw / self.config.prune_factor.max(1);
+            let uplink_bw = self.config.nodes_per_switch as u64 * self.config.nic_bw
+                / self.config.prune_factor.max(1);
             let up_time = transfer_ns(bytes, uplink_bw);
             // Source uplink (to core) then destination uplink (from core).
             let (_, up_done) = self.uplinks[s_src].enqueue(t, up_time);
@@ -181,7 +181,10 @@ mod tests {
         for src in 0..4 {
             last = last.max(busy.send(0, src, 4 + src, 4_000_000));
         }
-        assert!(last > t_lone, "uplink contention should delay: {last} vs {t_lone}");
+        assert!(
+            last > t_lone,
+            "uplink contention should delay: {last} vs {t_lone}"
+        );
         assert_eq!(busy.bytes_moved(), 16_000_000);
     }
 

@@ -32,7 +32,9 @@ impl std::fmt::Display for ExprError {
 impl std::error::Error for ExprError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ExprError> {
-    Err(ExprError { message: message.into() })
+    Err(ExprError {
+        message: message.into(),
+    })
 }
 
 struct Parser<'a> {
@@ -151,12 +153,12 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return err("empty reference after '$'");
         }
-        let name = std::str::from_utf8(&self.src[start..self.pos])
-            .map_err(|_| ExprError { message: "non-utf8 reference".into() })?;
-        let value = self
-            .store
-            .get(name)
-            .ok_or_else(|| ExprError { message: format!("unknown reference '${name}'") })?;
+        let name = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| ExprError {
+            message: "non-utf8 reference".into(),
+        })?;
+        let value = self.store.get(name).ok_or_else(|| ExprError {
+            message: format!("unknown reference '${name}'"),
+        })?;
         // Optional index.
         if self.peek() == Some(b'[') {
             self.pos += 1;
@@ -178,7 +180,9 @@ impl<'a> Parser<'a> {
         match value {
             Value::Int(v) => Ok(*v),
             Value::IntList(_) => err(format!("'${name}' is a list; index it")),
-            Value::Float(_) => err(format!("'${name}' is a float; expressions are integer-only")),
+            Value::Float(_) => err(format!(
+                "'${name}' is a float; expressions are integer-only"
+            )),
             Value::Str(_) => err(format!("'${name}' is a string, not an integer")),
             Value::Array(_) => err(format!("'${name}' is an array, not an integer")),
         }
@@ -188,7 +192,11 @@ impl<'a> Parser<'a> {
 /// Evaluate an integer `$`-expression against a store. A plain integer
 /// string (no `$`) evaluates to itself.
 pub fn eval_expr(src: &str, store: &Store) -> Result<i64, ExprError> {
-    let mut p = Parser { src: src.as_bytes(), pos: 0, store };
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+        store,
+    };
     let v = p.expr()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -239,9 +247,15 @@ mod tests {
         let s = store();
         // '$cfg.loc[0] * ($rank % $cfg.proc[0])' with rank=5, proc=[2,3]:
         // 100 * (5 % 2) = 100.
-        assert_eq!(eval_expr("$cfg.loc[0] * ($rank % $cfg.proc[0])", &s).unwrap(), 100);
+        assert_eq!(
+            eval_expr("$cfg.loc[0] * ($rank % $cfg.proc[0])", &s).unwrap(),
+            100
+        );
         // '$cfg.loc[1] * ($rank / $cfg.proc[0])' = 200 * (5/2) = 400.
-        assert_eq!(eval_expr("$cfg.loc[1] * ($rank / $cfg.proc[0])", &s).unwrap(), 400);
+        assert_eq!(
+            eval_expr("$cfg.loc[1] * ($rank / $cfg.proc[0])", &s).unwrap(),
+            400
+        );
     }
 
     #[test]

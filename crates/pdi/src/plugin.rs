@@ -171,7 +171,10 @@ mod tests {
     fn callbacks_fire_in_order() {
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut pdi = Pdi::new(parse_yaml("plugins:").unwrap());
-        pdi.register(Box::new(Recorder { log: Arc::clone(&log), fail_on: None }));
+        pdi.register(Box::new(Recorder {
+            log: Arc::clone(&log),
+            fail_on: None,
+        }));
         pdi.share("step", 1i64).unwrap();
         pdi.share("temp", linalg::NDArray::zeros(&[2, 2])).unwrap();
         pdi.event("init").unwrap();
@@ -200,7 +203,10 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         {
             let mut pdi = Pdi::new(Yaml::Null);
-            pdi.register(Box::new(Recorder { log: Arc::clone(&log), fail_on: None }));
+            pdi.register(Box::new(Recorder {
+                log: Arc::clone(&log),
+                fail_on: None,
+            }));
             pdi.finalize().unwrap();
         } // drop runs here; finalize must not fire twice
         assert_eq!(*log.lock().unwrap(), vec!["finalize"]);

@@ -137,7 +137,11 @@ fn logical_lines(src: &str) -> Result<Vec<Line>, YamlError> {
         if content.is_empty() {
             continue;
         }
-        out.push(Line { number, indent, content });
+        out.push(Line {
+            number,
+            indent,
+            content,
+        });
     }
     Ok(out)
 }
@@ -345,7 +349,10 @@ mod tests {
         let y = parse_yaml("outer:\n  inner:\n    leaf: 7\n  other: x").unwrap();
         let inner = y.get("outer").unwrap().get("inner").unwrap();
         assert_eq!(inner.get("leaf").unwrap().as_i64(), Some(7));
-        assert_eq!(y.get("outer").unwrap().get("other").unwrap().as_str(), Some("x"));
+        assert_eq!(
+            y.get("outer").unwrap().get("other").unwrap().as_str(),
+            Some("x")
+        );
     }
 
     #[test]
@@ -416,7 +423,10 @@ plugins:
 "#;
         let y = parse_yaml(src).unwrap();
         let deisa = y.get("plugins").unwrap().get("PdiPluginDeisa").unwrap();
-        assert_eq!(deisa.get("scheduler_info").unwrap().as_str(), Some("scheduler.json"));
+        assert_eq!(
+            deisa.get("scheduler_info").unwrap().as_str(),
+            Some("scheduler.json")
+        );
         assert_eq!(deisa.get("time_step").unwrap().as_str(), Some("$step"));
         let gtemp = deisa.get("deisa_arrays").unwrap().get("G_temp").unwrap();
         assert_eq!(gtemp.get("timedim").unwrap().as_i64(), Some(0));
@@ -425,10 +435,20 @@ plugins:
         assert_eq!(subsize[0].as_i64(), Some(1));
         assert_eq!(subsize[1].as_str(), Some("$cfg.loc[0]"));
         let start = gtemp.get("start").unwrap().as_list().unwrap();
-        assert_eq!(start[2].as_str(), Some("$cfg.loc[1] * ($rank / $cfg.proc[0])"));
         assert_eq!(
-            y.get("plugins").unwrap().get("PdiPluginDeisa").unwrap().get("map_in").unwrap()
-                .get("temp").unwrap().as_str(),
+            start[2].as_str(),
+            Some("$cfg.loc[1] * ($rank / $cfg.proc[0])")
+        );
+        assert_eq!(
+            y.get("plugins")
+                .unwrap()
+                .get("PdiPluginDeisa")
+                .unwrap()
+                .get("map_in")
+                .unwrap()
+                .get("temp")
+                .unwrap()
+                .as_str(),
             Some("G_temp")
         );
     }

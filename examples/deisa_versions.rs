@@ -41,7 +41,13 @@ fn run_deisa1() -> (f64, u64, u64) {
                 let mut g = Graph::new(format!("s{_t}"));
                 let k = step.sum_all(&mut g);
                 g.submit(adaptor.client());
-                total += adaptor.client().future(k).result().unwrap().as_f64().unwrap();
+                total += adaptor
+                    .client()
+                    .future(k)
+                    .result()
+                    .unwrap()
+                    .as_f64()
+                    .unwrap();
             }
             total
         })
@@ -83,7 +89,13 @@ fn run_deisa3() -> (f64, u64, u64) {
             let mut g = Graph::new("whole");
             let k = gt.sum_all(&mut g);
             g.submit(adaptor.client());
-            adaptor.client().future(k).result().unwrap().as_f64().unwrap()
+            adaptor
+                .client()
+                .future(k)
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap()
         })
     };
     let mut handles = Vec::new();

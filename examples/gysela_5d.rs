@@ -75,7 +75,10 @@ fn main() {
                 .fit(&mut g, &gt, "t", &["phi", "r"], &["vpar", "mu"])
                 .unwrap();
             let n = g.submit(adaptor.client());
-            println!("analytics: {n}-task graph over {} external blocks", v.all_keys().len());
+            println!(
+                "analytics: {n}-task graph over {} external blocks",
+                v.all_keys().len()
+            );
             fitted.fetch(adaptor.client()).unwrap()
         })
     };
@@ -104,9 +107,7 @@ fn main() {
     let model = analytics.join().unwrap();
     let total_features = VPAR * MU;
     let total_samples = STEPS * PHI * R;
-    println!(
-        "fitted IPCA over {total_samples} samples × {total_features} velocity-space features"
-    );
+    println!("fitted IPCA over {total_samples} samples × {total_features} velocity-space features");
     assert_eq!(model.n_samples_seen as usize, total_samples);
     let evr: f64 = model.explained_variance_ratio.iter().sum();
     println!(
@@ -121,6 +122,9 @@ fn main() {
     );
     // The toy f is near-low-rank in velocity space: 3 components must explain
     // almost everything.
-    assert!(evr > 0.99, "expected near-total variance capture, got {evr}");
+    assert!(
+        evr > 0.99,
+        "expected near-total variance capture, got {evr}"
+    );
     println!("gysela_5d OK");
 }

@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --example insitu_ipca`
 
+use deisa_repro::darray;
 use deisa_repro::deisa::plugin::DeisaPlugin;
 use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
@@ -15,7 +16,6 @@ use deisa_repro::dtask::Cluster;
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
 use deisa_repro::pdi::{parse_yaml, Pdi};
-use deisa_repro::darray;
 
 /// The deisa plugin configuration — the Rust-side rendition of Listing 1.
 const CONFIG: &str = r#"
@@ -94,9 +94,7 @@ fn main() {
             );
             println!(
                 "analytics: samples consumed = {} ({} steps × Y={})",
-                model.n_samples_seen,
-                v.shape[0],
-                v.shape[2]
+                model.n_samples_seen, v.shape[0], v.shape[2]
             );
             model
         })

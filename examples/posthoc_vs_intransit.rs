@@ -88,7 +88,9 @@ fn posthoc_analyze(path: &std::path::Path) -> dml::IncrementalPca {
     let gt = LabeledArray::new(array, &["t", "X", "Y"]).unwrap();
     let ipca = InSituIncrementalPCA::new(2, SvdSolver::Full);
     // Old IPCA: one graph per timestep.
-    let (model, submissions) = ipca.fit_stepwise(&client, &gt, "t", &["Y"], &["X"]).unwrap();
+    let (model, submissions) = ipca
+        .fit_stepwise(&client, &gt, "t", &["Y"], &["X"])
+        .unwrap();
     println!("post hoc: {submissions} graph submissions (old IPCA, one per step)");
     model
 }

@@ -1,0 +1,252 @@
+//! Minimal `criterion` stand-in: a real wall-clock benchmark harness with
+//! the criterion API subset this workspace's benches use.
+//!
+//! The workspace must build with no network access, so the real crate cannot
+//! be downloaded. This harness warms up, runs timed iterations under a
+//! per-bench time/sample budget, and prints mean + median ns/iter in a
+//! criterion-like one-line format. It is deliberately simple — no outlier
+//! rejection or statistics beyond mean/median — but the numbers are honest
+//! wall-clock measurements, good enough for the A/B comparisons the bench
+//! suite makes.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The printable label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly under the harness budget, timing each call.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: one untimed call (fills caches, spawns lazy state).
+        black_box(f());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples
+            && (started.elapsed() < self.time_budget || self.samples.len() < 5)
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(label: &str, max_samples: usize, time_budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        max_samples,
+        time_budget,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let mut ns: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9)
+        .collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let median = ns[ns.len() / 2];
+    println!(
+        "{label:<44} time: [median {} mean {}]  (n={})",
+        fmt_ns(median),
+        fmt_ns(mean),
+        ns.len()
+    );
+}
+
+/// Benchmark registry/runner (the harness entry object).
+pub struct Criterion {
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            time_budget: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-bench sample cap.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_label(), self.sample_size, self.time_budget, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            time_budget: self.time_budget,
+            _parent: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and budget.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    time_budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-bench sample cap for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.sample_size, self.time_budget, f);
+        self
+    }
+
+    /// Close the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // warmup + up to 5 samples
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn groups_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -6,7 +6,7 @@ use deisa_repro::darray::{self, ChunkGrid, DArray, Graph, LabeledArray};
 use deisa_repro::deisa::deisa1::{Adaptor1, Bridge1};
 use deisa_repro::deisa::plugin::DeisaPlugin;
 use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection, VirtualArray};
-use deisa_repro::dml::{self, IncrementalPca, InSituIncrementalPCA, SvdSolver};
+use deisa_repro::dml::{self, InSituIncrementalPCA, IncrementalPca, SvdSolver};
 use deisa_repro::dtask::{Cluster, Datum, Key};
 use deisa_repro::h5lite::{H5Reader, H5Writer, SharedWriter};
 use deisa_repro::heat2d::{run_rank, HeatConfig, PostHocPlugin};
@@ -77,7 +77,9 @@ fn reference_model() -> IncrementalPca {
     let (gx, gy) = cfg.global;
     let mut model = IncrementalPca::new(2, SvdSolver::Full);
     for t in 0..STEPS {
-        let step = reader.read_slice("G_temp", &[t, 0, 0], &[1, gx, gy]).unwrap();
+        let step = reader
+            .read_slice("G_temp", &[t, 0, 0], &[1, gx, gy])
+            .unwrap();
         // stack2d semantics: samples = (t, Y), features = X.
         let batch = Matrix::from_fn(gy, gx, |y, x| step.get(&[0, x, y]));
         model.partial_fit(&batch).unwrap();
@@ -127,7 +129,13 @@ fn deisa1_model() -> IncrementalPca {
     let n_ranks = cfg.n_ranks();
     let varray = {
         let (l0, l1) = cfg.local();
-        VirtualArray::new("G_temp", &[STEPS, cfg.global.0, cfg.global.1], &[1, l0, l1], 0).unwrap()
+        VirtualArray::new(
+            "G_temp",
+            &[STEPS, cfg.global.0, cfg.global.1],
+            &[1, l0, l1],
+            0,
+        )
+        .unwrap()
     };
     let analytics = {
         let client = cluster.client();
@@ -182,7 +190,13 @@ fn deisa3_matches_reference() {
     for (a, b) in model.singular_values.iter().zip(&reference.singular_values) {
         assert!((a - b).abs() < 1e-8, "{a} vs {b}");
     }
-    assert!(model.components.max_abs_diff(&reference.components).unwrap() < 1e-7);
+    assert!(
+        model
+            .components
+            .max_abs_diff(&reference.components)
+            .unwrap()
+            < 1e-7
+    );
     for (a, b) in model.mean.iter().zip(&reference.mean) {
         assert!((a - b).abs() < 1e-9);
     }
@@ -196,7 +210,13 @@ fn deisa1_matches_reference() {
     for (a, b) in model.singular_values.iter().zip(&reference.singular_values) {
         assert!((a - b).abs() < 1e-8, "{a} vs {b}");
     }
-    assert!(model.components.max_abs_diff(&reference.components).unwrap() < 1e-7);
+    assert!(
+        model
+            .components
+            .max_abs_diff(&reference.components)
+            .unwrap()
+            < 1e-7
+    );
 }
 
 #[test]
@@ -206,8 +226,13 @@ fn contracted_subregion_matches_local_computation() {
     let cfg = cfg();
     let cluster = cluster();
     let (l0, l1) = cfg.local();
-    let varray =
-        VirtualArray::new("G_temp", &[STEPS, cfg.global.0, cfg.global.1], &[1, l0, l1], 0).unwrap();
+    let varray = VirtualArray::new(
+        "G_temp",
+        &[STEPS, cfg.global.0, cfg.global.1],
+        &[1, l0, l1],
+        0,
+    )
+    .unwrap();
 
     let analytics = {
         let client = cluster.client();
@@ -224,7 +249,13 @@ fn contracted_subregion_matches_local_computation() {
             let mut g = Graph::new("w");
             let k = win.sum_all(&mut g);
             g.submit(adaptor.client());
-            adaptor.client().future(k).result().unwrap().as_f64().unwrap()
+            adaptor
+                .client()
+                .future(k)
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap()
         })
     };
 
@@ -292,7 +323,13 @@ fn deisa2_version_also_works() {
             let mut g = Graph::new("d2");
             let k = a.sum_all(&mut g);
             g.submit(adaptor.client());
-            adaptor.client().future(k).result().unwrap().as_f64().unwrap()
+            adaptor
+                .client()
+                .future(k)
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap()
         })
     };
     let mut handles = Vec::new();
@@ -302,8 +339,13 @@ fn deisa2_version_also_works() {
         handles.push(std::thread::spawn(move || {
             let mut b = deisa_repro::deisa::Bridge::init(client, rank, vec![v]).unwrap();
             for t in 0..2 {
-                b.publish("A", t, rank, deisa_repro::linalg::NDArray::full(&[1, 2, 2], 1.0))
-                    .unwrap();
+                b.publish(
+                    "A",
+                    t,
+                    rank,
+                    deisa_repro::linalg::NDArray::full(&[1, 2, 2], 1.0),
+                )
+                .unwrap();
             }
         }));
     }

@@ -38,7 +38,8 @@ fn run_version(version: DeisaVersion) -> Cluster {
             handles.push(std::thread::spawn(move || {
                 let mut b = Bridge::init(client, rank, vec![varray()]).unwrap();
                 for t in 0..STEPS {
-                    b.publish("A", t, rank, NDArray::full(&[1, 2, 2], 1.0)).unwrap();
+                    b.publish("A", t, rank, NDArray::full(&[1, 2, 2], 1.0))
+                        .unwrap();
                 }
             }));
         }
@@ -67,7 +68,8 @@ fn run_version(version: DeisaVersion) -> Cluster {
             handles.push(std::thread::spawn(move || {
                 let mut b = Bridge1::init(client, rank, vec![varray()]);
                 for t in 0..STEPS {
-                    b.publish("A", t, rank, NDArray::full(&[1, 2, 2], 1.0)).unwrap();
+                    b.publish("A", t, rank, NDArray::full(&[1, 2, 2], 1.0))
+                        .unwrap();
                 }
             }));
         }

@@ -53,8 +53,20 @@ fn two_arrays_one_contract() {
             // Cross-array arithmetic: mean temp minus mean vel on the shared
             // region is well-defined through plain graph ops too.
             g.submit(adaptor.client());
-            let ts = adaptor.client().future(t_sum).result().unwrap().as_f64().unwrap();
-            let vs = adaptor.client().future(v_sum).result().unwrap().as_f64().unwrap();
+            let ts = adaptor
+                .client()
+                .future(t_sum)
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            let vs = adaptor
+                .client()
+                .future(v_sum)
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap();
             (ts, vs)
         })
     };
@@ -118,7 +130,13 @@ fn per_array_contracts_filter_independently() {
             let mut g = Graph::new("only-temp");
             let k = t.sum_all(&mut g);
             g.submit(adaptor.client());
-            adaptor.client().future(k).result().unwrap().as_f64().unwrap()
+            adaptor
+                .client()
+                .future(k)
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap()
         })
     };
     let mut handles = Vec::new();

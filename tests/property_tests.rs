@@ -1,73 +1,81 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants that the whole stack leans on.
+//! Property-style tests on the core data structures and invariants that the
+//! whole stack leans on. Each test sweeps many pseudo-random cases drawn from
+//! a fixed seed, so runs are deterministic and fully offline.
 
 use deisa_repro::darray::ChunkGrid;
 use deisa_repro::deisa::{block_key, naming, Contract, Selection, VirtualArray};
 use deisa_repro::linalg::stats::{col_mean, col_var, RunningStats};
 use deisa_repro::linalg::{householder_qr, jacobi_svd, Matrix, NDArray};
-use proptest::prelude::*;
+use rand::prelude::*;
+
+const CASES: usize = 64;
+
+/// Random shape (1–3 dims of 1–5) plus a valid slice inside it.
+fn shape_and_slice(rng: &mut SmallRng) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let ndim = rng.gen_range(1usize..4);
+    let shape: Vec<usize> = (0..ndim).map(|_| rng.gen_range(1usize..6)).collect();
+    let starts: Vec<usize> = shape.iter().map(|&s| rng.gen_range(0usize..s)).collect();
+    let sizes: Vec<usize> = shape
+        .iter()
+        .zip(&starts)
+        .map(|(&s, &st)| rng.gen_range(1usize..=s - st))
+        .collect();
+    (shape, starts, sizes)
+}
 
 // ---------- NDArray slice/assign ------------------------------------------
 
-/// Shape + a valid slice inside it.
-fn shape_and_slice() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>)> {
-    proptest::collection::vec(1usize..6, 1..4).prop_flat_map(|shape| {
-        let starts: Vec<BoxedStrategy<usize>> =
-            shape.iter().map(|&s| (0..s).boxed()).collect();
-        let shape2 = shape.clone();
-        starts.prop_flat_map(move |starts| {
-            let sizes: Vec<BoxedStrategy<usize>> = shape2
-                .iter()
-                .zip(&starts)
-                .map(|(&s, &st)| (1..=s - st).boxed())
-                .collect();
-            let shape3 = shape2.clone();
-            let starts2 = starts.clone();
-            sizes.prop_map(move |sizes| (shape3.clone(), starts2.clone(), sizes))
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn slice_assign_roundtrip((shape, starts, sizes) in shape_and_slice()) {
+#[test]
+fn slice_assign_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let (shape, starts, sizes) = shape_and_slice(&mut rng);
         let a = NDArray::from_fn(&shape, |idx| {
-            idx.iter().enumerate().map(|(d, &i)| (d + 1) * 100 + i).sum::<usize>() as f64
+            idx.iter()
+                .enumerate()
+                .map(|(d, &i)| (d + 1) * 100 + i)
+                .sum::<usize>() as f64
         });
         let block = a.slice(&starts, &sizes).unwrap();
-        prop_assert_eq!(block.shape(), &sizes[..]);
+        assert_eq!(block.shape(), &sizes[..]);
         let mut b = NDArray::zeros(&shape);
         b.assign_slice(&starts, &block).unwrap();
         // Every element of the assigned region matches the source.
         let back = b.slice(&starts, &sizes).unwrap();
-        prop_assert_eq!(back.max_abs_diff(&block).unwrap(), 0.0);
+        assert_eq!(back.max_abs_diff(&block).unwrap(), 0.0);
     }
+}
 
-    #[test]
-    fn reshape_preserves_sum(data in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
-        let n = data.len();
+#[test]
+fn reshape_preserves_sum() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..64);
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let a = NDArray::from_vec(&[n], data).unwrap();
         let sum = a.sum();
         let b = a.reshape(&[1, n]).unwrap();
-        prop_assert!((b.sum() - sum).abs() < 1e-9);
+        assert!((b.sum() - sum).abs() < 1e-9);
     }
+}
 
-    // ---------- ChunkGrid ---------------------------------------------------
+// ---------- ChunkGrid ---------------------------------------------------
 
-    #[test]
-    fn chunk_grid_tiles_exactly(
-        shape in proptest::collection::vec(1usize..20, 1..4),
-        chunk_seed in proptest::collection::vec(1usize..7, 1..4),
-    ) {
-        prop_assume!(shape.len() == chunk_seed.len());
-        let chunk: Vec<usize> = shape.iter().zip(&chunk_seed).map(|(&s, &c)| c.min(s)).collect();
+#[test]
+fn chunk_grid_tiles_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0xC4C4);
+    for _ in 0..CASES {
+        let ndim = rng.gen_range(1usize..4);
+        let shape: Vec<usize> = (0..ndim).map(|_| rng.gen_range(1usize..20)).collect();
+        let chunk: Vec<usize> = shape
+            .iter()
+            .map(|&s| rng.gen_range(1usize..7).min(s))
+            .collect();
         let grid = ChunkGrid::regular(&shape, &chunk).unwrap();
         // Chunks tile each dimension exactly.
-        for d in 0..shape.len() {
+        for (d, &extent) in shape.iter().enumerate() {
             let total: usize = grid.chunk_sizes(d).iter().sum();
-            prop_assert_eq!(total, shape[d]);
+            assert_eq!(total, extent);
         }
         // Every block's start+extent stays in bounds; blocks cover everything.
         let dims = grid.grid_dims();
@@ -76,40 +84,68 @@ proptest! {
             let start = grid.block_start(&coord);
             let extent = grid.block_extent(&coord);
             for d in 0..shape.len() {
-                prop_assert!(start[d] + extent[d] <= shape[d]);
+                assert!(start[d] + extent[d] <= shape[d]);
             }
             covered += extent.iter().product::<usize>();
         }
-        prop_assert_eq!(covered, shape.iter().product::<usize>());
+        assert_eq!(covered, shape.iter().product::<usize>());
     }
+}
 
-    // ---------- naming scheme ----------------------------------------------
+// ---------- naming scheme ----------------------------------------------
 
-    #[test]
-    fn block_key_roundtrip(name in "[a-zA-Z_][a-zA-Z0-9_]{0,12}",
-                           pos in proptest::collection::vec(0usize..1000, 1..5)) {
+#[test]
+fn block_key_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    let first: Vec<char> = ('a'..='z')
+        .chain('A'..='Z')
+        .chain(std::iter::once('_'))
+        .collect();
+    let rest: Vec<char> = ('a'..='z')
+        .chain('A'..='Z')
+        .chain('0'..='9')
+        .chain(std::iter::once('_'))
+        .collect();
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..13);
+        let mut name = String::new();
+        name.push(first[rng.gen_range(0usize..first.len())]);
+        for _ in 0..len {
+            name.push(rest[rng.gen_range(0usize..rest.len())]);
+        }
+        let pos: Vec<usize> = (0..rng.gen_range(1usize..5))
+            .map(|_| rng.gen_range(0usize..1000))
+            .collect();
         let key = block_key(&name, &pos);
         let (n, p) = naming::parse_block_key(&key).unwrap();
-        prop_assert_eq!(n, name);
-        prop_assert_eq!(p, pos);
+        assert_eq!(n, name);
+        assert_eq!(p, pos);
     }
+}
 
-    // ---------- contracts ----------------------------------------------------
+// ---------- contracts ----------------------------------------------------
 
-    #[test]
-    fn selection_intersection_matches_block_ranges(
-        t in 1usize..6,
-        grid in 1usize..5,
-        sel_seed in (0usize..100, 0usize..100, 1usize..100, 1usize..100),
-    ) {
+#[test]
+fn selection_intersection_matches_block_ranges() {
+    let mut rng = SmallRng::seed_from_u64(0x5E1);
+    for _ in 0..CASES {
+        let t = rng.gen_range(1usize..6);
+        let grid = rng.gen_range(1usize..5);
         let block = 3usize;
         let extent = grid * block;
         let v = VirtualArray::new("A", &[t, extent, extent], &[1, block, block], 0).unwrap();
-        let (s0, s1, z0, z1) = sel_seed;
+        let (s0, s1, z0, z1) = (
+            rng.gen_range(0usize..100),
+            rng.gen_range(0usize..100),
+            rng.gen_range(1usize..100),
+            rng.gen_range(1usize..100),
+        );
         let starts = vec![0, s0 % extent, s1 % extent];
-        let sizes = vec![t,
+        let sizes = vec![
+            t,
             (z0 % (extent - starts[1])).max(1).min(extent - starts[1]),
-            (z1 % (extent - starts[2])).max(1).min(extent - starts[2])];
+            (z1 % (extent - starts[2])).max(1).min(extent - starts[2]),
+        ];
         let sel = Selection { starts, sizes };
         sel.validate(&v).unwrap();
         let ranges = sel.block_ranges(&v);
@@ -119,16 +155,28 @@ proptest! {
             for b in 0..v.blocks_per_step() {
                 let pos = v.block_position(step, b);
                 let inside = pos.iter().zip(&ranges).all(|(&p, r)| r.contains(&p));
-                prop_assert_eq!(sel.intersects_block(&v, &pos), inside);
+                assert_eq!(sel.intersects_block(&v, &pos), inside);
             }
         }
     }
+}
 
-    #[test]
-    fn contract_datum_roundtrip(
-        names in proptest::collection::vec("[a-z]{1,8}", 1..4),
-        dims in proptest::collection::vec((0usize..10, 1usize..10), 1..4),
-    ) {
+#[test]
+fn contract_datum_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xD00D);
+    for _ in 0..CASES {
+        let n_names = rng.gen_range(1usize..4);
+        let names: Vec<String> = (0..n_names)
+            .map(|_| {
+                let len = rng.gen_range(1usize..9);
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.gen_range(0u32..26) as u8))
+                    .collect()
+            })
+            .collect();
+        let dims: Vec<(usize, usize)> = (0..rng.gen_range(1usize..4))
+            .map(|_| (rng.gen_range(0usize..10), rng.gen_range(1usize..10)))
+            .collect();
         let mut c = Contract::new();
         for name in &names {
             let sel = Selection {
@@ -138,18 +186,24 @@ proptest! {
             c.insert(name, sel);
         }
         let back = Contract::from_datum(&c.to_datum()).unwrap();
-        prop_assert_eq!(back, c);
+        assert_eq!(back, c);
     }
+}
 
-    // ---------- incremental statistics ---------------------------------------
+// ---------- incremental statistics ---------------------------------------
 
-    #[test]
-    fn running_stats_equal_any_batching(
-        rows in proptest::collection::vec(-50.0f64..50.0, 12..48),
-        split in 1usize..11,
-    ) {
+#[test]
+fn running_stats_equal_any_batching() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7);
+    for _ in 0..CASES {
         let cols = 3usize;
+        let len = rng.gen_range(12usize..48);
+        let rows: Vec<f64> = (0..len).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let split = rng.gen_range(1usize..11);
         let n = rows.len() / cols;
+        if n == 0 {
+            continue;
+        }
         let data = &rows[..n * cols];
         let whole = Matrix::from_vec(n, cols, data.to_vec()).unwrap();
         let wm = col_mean(&whole);
@@ -159,72 +213,79 @@ proptest! {
         let mut row = 0;
         while row < n {
             let h = split.min(n - row);
-            let chunk = Matrix::from_vec(h, cols, data[row * cols..(row + h) * cols].to_vec()).unwrap();
+            let chunk =
+                Matrix::from_vec(h, cols, data[row * cols..(row + h) * cols].to_vec()).unwrap();
             let m = col_mean(&chunk);
             let v = col_var(&chunk, &m);
             rs.update(h as u64, &m, &v).unwrap();
             row += h;
         }
         for j in 0..cols {
-            prop_assert!((rs.mean[j] - wm[j]).abs() < 1e-9);
-            prop_assert!((rs.var[j] - wv[j]).abs() < 1e-7);
+            assert!((rs.mean[j] - wm[j]).abs() < 1e-9);
+            assert!((rs.var[j] - wv[j]).abs() < 1e-7);
         }
     }
+}
 
-    // ---------- linear algebra ------------------------------------------------
+// ---------- linear algebra ------------------------------------------------
 
-    #[test]
-    fn qr_always_reconstructs(
-        m in 1usize..12,
-        n in 1usize..8,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn qr_always_reconstructs() {
+    let mut rng = SmallRng::seed_from_u64(0x9182);
+    for _ in 0..CASES {
+        let m = rng.gen_range(1usize..12);
+        let n = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..1000);
         let a = Matrix::from_fn(m, n, |i, j| {
             let x = (i as u64 * 31 + j as u64 * 17 + seed) % 101;
             x as f64 / 10.0 - 5.0
         });
         let qr = householder_qr(&a).unwrap();
         let rec = qr.q.matmul(&qr.r).unwrap();
-        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8);
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-8);
     }
+}
 
-    #[test]
-    fn svd_singular_values_nonneg_descending_and_norm_preserving(
-        m in 1usize..10,
-        n in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn svd_singular_values_nonneg_descending_and_norm_preserving() {
+    let mut rng = SmallRng::seed_from_u64(0x51D);
+    for _ in 0..CASES {
+        let m = rng.gen_range(1usize..10);
+        let n = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..1000);
         let a = Matrix::from_fn(m, n, |i, j| {
             let x = (i as u64 * 13 + j as u64 * 7 + seed * 3) % 97;
             x as f64 / 7.0 - 6.0
         });
         let svd = jacobi_svd(&a).unwrap();
         for w in svd.s.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-10);
+            assert!(w[0] >= w[1] - 1e-10);
         }
         for &s in &svd.s {
-            prop_assert!(s >= 0.0);
+            assert!(s >= 0.0);
         }
         let fro2: f64 = a.frobenius_norm().powi(2);
         let ss: f64 = svd.s.iter().map(|s| s * s).sum();
-        prop_assert!((fro2 - ss).abs() < 1e-6 * fro2.max(1.0));
+        assert!((fro2 - ss).abs() < 1e-6 * fro2.max(1.0));
     }
+}
 
-    // ---------- virtual arrays -------------------------------------------------
+// ---------- virtual arrays -------------------------------------------------
 
-    #[test]
-    fn varray_keys_are_unique_and_parse(
-        t in 1usize..5,
-        gx in 1usize..4,
-        gy in 1usize..4,
-    ) {
+#[test]
+fn varray_keys_are_unique_and_parse() {
+    let mut rng = SmallRng::seed_from_u64(0x7A97);
+    for _ in 0..CASES {
+        let t = rng.gen_range(1usize..5);
+        let gx = rng.gen_range(1usize..4);
+        let gy = rng.gen_range(1usize..4);
         let v = VirtualArray::new("f", &[t, gx * 2, gy * 3], &[1, 2, 3], 0).unwrap();
         let keys = v.all_keys();
         let set: std::collections::HashSet<_> = keys.iter().collect();
-        prop_assert_eq!(set.len(), keys.len());
-        prop_assert_eq!(keys.len(), t * gx * gy);
+        assert_eq!(set.len(), keys.len());
+        assert_eq!(keys.len(), t * gx * gy);
         for key in &keys {
-            prop_assert!(naming::parse_block_key(key).is_some());
+            assert!(naming::parse_block_key(key).is_some());
         }
     }
 }
