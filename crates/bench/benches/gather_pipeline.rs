@@ -31,6 +31,7 @@ fn make_cluster(slots_per_worker: usize, gather_mode: GatherMode) -> Cluster {
         slots_per_worker,
         gather_mode,
         default_heartbeat: HeartbeatInterval::Infinite,
+        ..ClusterConfig::default()
     });
     cluster.registry().register("slow_sum", |params, inputs| {
         let ms = params.as_i64().unwrap_or(0) as u64;

@@ -1,0 +1,187 @@
+//! Scheduler-path A/B bench: graph optimization (cull + linear-chain
+//! fusion) and batched inbox ingestion against the per-message baseline.
+//!
+//! The workload is shaped like the paper's in-transit IPCA driver: `CHAINS`
+//! independent linear op chains of length `CHAIN_LEN`, each rooted at one
+//! **external** task (the simulation block for one timestep), all feeding a
+//! single reduction sink, plus a sprinkling of dead derived tasks nobody
+//! requested. The whole graph is submitted ahead of the data; then the
+//! blocks are scattered `external=true` and we time submit → last result.
+//!
+//! * baseline: optimizer off, `IngestMode::PerMessage` — the seed protocol,
+//!   one scheduler pass and one `Execute` per task.
+//! * optimized: cull + fuse on, `IngestMode::Batched` — chains collapse to
+//!   one spec each, dead branches never run, and the scheduler drains its
+//!   inbox in bursts with per-worker coalesced assignments.
+//!
+//! Besides wall time the run prints the `SchedulerStats` optimizer and
+//! ingestion counters, so the message-count drop is measured, not inferred.
+//! Target: >= 1.5x on this scheduling-bound workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtask::{Cluster, ClusterConfig, Datum, IngestMode, Key, MsgClass, OptimizeConfig, TaskSpec};
+use std::time::{Duration, Instant};
+
+const N_WORKERS: usize = 4;
+const CHAINS: usize = 64;
+const CHAIN_LEN: usize = 8;
+const DEAD_TASKS: usize = 32;
+
+fn make_cluster(optimize: OptimizeConfig, ingest: IngestMode) -> Cluster {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: N_WORKERS,
+        optimize,
+        ingest,
+        ..ClusterConfig::default()
+    });
+    // Chain stage: scalar increment — cheap on purpose, so scheduling
+    // overhead (not kernel time) dominates the round.
+    cluster.registry().register("bump", |_params, inputs| {
+        let x = inputs
+            .first()
+            .and_then(|d| d.as_f64())
+            .ok_or_else(|| "bump: scalar input required".to_string())?;
+        Ok(Datum::F64(x + 1.0))
+    });
+    cluster
+}
+
+/// One ahead-of-time round: submit the whole graph, scatter the external
+/// blocks, await the sink. Returns the sink value.
+fn run_round(cluster: &Cluster, round: u64) -> f64 {
+    let client = cluster.client();
+    let ext_keys: Vec<Key> = (0..CHAINS)
+        .map(|c| Key::new(format!("ext-{round}-{c}")))
+        .collect();
+    client.register_external(ext_keys.clone());
+
+    let mut specs = Vec::with_capacity(CHAINS * CHAIN_LEN + DEAD_TASKS + 1);
+    let mut tails = Vec::with_capacity(CHAINS);
+    for (c, ext) in ext_keys.iter().enumerate() {
+        let mut prev = ext.clone();
+        for l in 0..CHAIN_LEN {
+            let key = Key::new(format!("chain-{round}-{c}-{l}"));
+            specs.push(TaskSpec::new(key.clone(), "bump", Datum::Null, vec![prev]));
+            prev = key;
+        }
+        tails.push(prev);
+    }
+    // Dead derived tasks: hang off chain interiors, never requested.
+    for d in 0..DEAD_TASKS {
+        let src = Key::new(format!("chain-{round}-{}-0", d % CHAINS));
+        specs.push(TaskSpec::new(
+            format!("dead-{round}-{d}"),
+            "bump",
+            Datum::Null,
+            vec![src],
+        ));
+    }
+    let sink = Key::new(format!("sink-{round}"));
+    specs.push(TaskSpec::new(
+        sink.clone(),
+        "sum_scalars",
+        Datum::Null,
+        tails,
+    ));
+    client.submit_with_outputs(specs, std::slice::from_ref(&sink));
+
+    // The "simulation" produces the blocks after submission.
+    for (c, key) in ext_keys.into_iter().enumerate() {
+        client.scatter_external(vec![(key, Datum::F64(c as f64))], None);
+    }
+    client
+        .future(sink)
+        .result()
+        .expect("sink result")
+        .as_f64()
+        .expect("scalar sink")
+}
+
+fn expected_sink() -> f64 {
+    (0..CHAINS).map(|c| (c + CHAIN_LEN) as f64).sum()
+}
+
+/// Run `rounds` workloads on a fresh cluster; print the scheduler telemetry;
+/// return total wall time.
+fn timed_config(
+    label: &str,
+    optimize: OptimizeConfig,
+    ingest: IngestMode,
+    rounds: u64,
+) -> (Duration, u64) {
+    let cluster = make_cluster(optimize, ingest);
+    let started = Instant::now();
+    for round in 0..rounds {
+        assert_eq!(run_round(&cluster, round), expected_sink());
+    }
+    let elapsed = started.elapsed();
+    let stats = cluster.stats();
+    let sched_to_worker = stats.assign_messages();
+    let bursts = stats.ingest_bursts().max(1);
+    println!(
+        "  {label:<30} {:>7.1} ms | {} tasks in -> {} kept ({} culled, {} fused chains) | \
+         {} assigns in {} msgs | {:.1} msgs/burst | {} task reports",
+        elapsed.as_secs_f64() * 1e3,
+        stats.optimize_tasks_in(),
+        stats.optimize_tasks_out(),
+        stats.optimize_culled(),
+        stats.fused_chains(),
+        stats.assign_tasks(),
+        sched_to_worker,
+        stats.ingest_msgs() as f64 / bursts as f64,
+        stats.count(MsgClass::TaskReport),
+    );
+    (elapsed, sched_to_worker + stats.count(MsgClass::TaskReport))
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    println!(
+        "scheduler_throughput: {CHAINS} chains x {CHAIN_LEN} ops + {DEAD_TASKS} dead tasks, \
+         {N_WORKERS} workers, graph submitted before data"
+    );
+    let rounds = 5;
+    let (baseline, base_msgs) = timed_config(
+        "baseline per-message/no-opt",
+        OptimizeConfig::default(),
+        IngestMode::PerMessage,
+        rounds,
+    );
+    let (optimized, opt_msgs) = timed_config(
+        "optimized fused/batched",
+        OptimizeConfig::enabled(),
+        IngestMode::Batched { max_burst: 64 },
+        rounds,
+    );
+    let speedup = baseline.as_secs_f64() / optimized.as_secs_f64().max(1e-9);
+    println!(
+        "  speedup: {speedup:.2}x (target >= 1.5x) | scheduler<->worker messages: \
+         {base_msgs} -> {opt_msgs} ({:.0}% drop)",
+        (1.0 - opt_msgs as f64 / base_msgs.max(1) as f64) * 100.0
+    );
+
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("baseline", "per_message"), |bench| {
+        let cluster = make_cluster(OptimizeConfig::default(), IngestMode::PerMessage);
+        let mut round = 0u64;
+        bench.iter(|| {
+            round += 1;
+            black_box(run_round(&cluster, round))
+        });
+    });
+    group.bench_function(BenchmarkId::new("optimized", "fused_batched"), |bench| {
+        let cluster = make_cluster(
+            OptimizeConfig::enabled(),
+            IngestMode::Batched { max_burst: 64 },
+        );
+        let mut round = 0u64;
+        bench.iter(|| {
+            round += 1;
+            black_box(run_round(&cluster, round))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_throughput);
+criterion_main!(benches);

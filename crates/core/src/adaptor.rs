@@ -237,6 +237,85 @@ mod tests {
         assert_eq!(analytics.join().unwrap(), expect);
     }
 
+    /// The same end-to-end contract workflow on a cluster with the graph
+    /// optimizer and batched scheduler ingestion enabled: contract-registered
+    /// external keys must be protected from cull/fuse, so the bridge's
+    /// published blocks still unblock the analytics graph and the result is
+    /// unchanged.
+    #[test]
+    fn contract_externals_survive_graph_optimizer() {
+        let cluster = Cluster::with_config(dtask::ClusterConfig {
+            n_workers: 2,
+            optimize: dtask::OptimizeConfig::enabled(),
+            ingest: dtask::IngestMode::Batched { max_burst: 64 },
+            ..Default::default()
+        });
+        darray::register_array_ops(cluster.registry());
+        let n_ranks = 4usize;
+        let t_max = 3usize;
+
+        let analytics = {
+            let client = cluster.client();
+            std::thread::spawn(move || {
+                let adaptor = Adaptor::new(client);
+                let mut arrays = adaptor.get_deisa_arrays().unwrap();
+                let gt = arrays
+                    .select(
+                        "G_temp",
+                        Selection::all(arrays.descriptor("G_temp").unwrap()),
+                    )
+                    .unwrap();
+                arrays.validate_contract().unwrap();
+                // Every selected block (t_max steps × n_ranks blocks) is now
+                // a protected external key on this client.
+                assert_eq!(
+                    adaptor.client().external_keys().len(),
+                    t_max * n_ranks,
+                    "contract must register one external key per block"
+                );
+                let mut g = darray::Graph::new("an");
+                let total_key = gt.sum_all(&mut g);
+                g.mark_output(&total_key);
+                g.submit(adaptor.client());
+                adaptor
+                    .client()
+                    .future(total_key)
+                    .result()
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
+        };
+
+        let mut handles = Vec::new();
+        for rank in 0..n_ranks {
+            let client = cluster.client_with_heartbeat(DeisaVersion::Deisa3.heartbeat());
+            handles.push(std::thread::spawn(move || {
+                let mut bridge = Bridge::init(client, rank, vec![varr(3)]).unwrap();
+                for t in 0..t_max {
+                    let block = NDArray::full(&[1, 2, 3], (rank + t) as f64);
+                    assert!(bridge.publish("G_temp", t, rank, block).unwrap());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect: f64 = (0..t_max)
+            .flat_map(|t| (0..n_ranks).map(move |r| 6.0 * (r + t) as f64))
+            .sum();
+        assert_eq!(analytics.join().unwrap(), expect);
+        // The optimizer ran, and every external block arrived exactly once —
+        // the extended-scatter accounting is bit-identical to the
+        // unoptimized protocol.
+        let stats = cluster.stats();
+        assert!(stats.optimize_tasks_in() > 0);
+        assert_eq!(
+            stats.count(dtask::MsgClass::UpdateDataExternal),
+            (t_max * n_ranks) as u64
+        );
+    }
+
     #[test]
     fn contract_filters_unselected_blocks() {
         let cluster = Cluster::new(2);

@@ -12,6 +12,7 @@ pub struct Graph {
     prefix: String,
     counter: usize,
     specs: Vec<TaskSpec>,
+    outputs: Vec<Key>,
 }
 
 impl Graph {
@@ -21,6 +22,7 @@ impl Graph {
             prefix: prefix.into(),
             counter: 0,
             specs: Vec::new(),
+            outputs: Vec::new(),
         }
     }
 
@@ -46,12 +48,30 @@ impl Graph {
         self.specs.is_empty()
     }
 
+    /// Declare `key` a requested output of this graph. When the client runs
+    /// with the graph optimizer enabled, tasks not reachable from any marked
+    /// output (or from externally registered keys) are culled and marked
+    /// outputs are never swallowed into fused chains. Graphs with no marked
+    /// outputs are submitted unoptimized-for-culling (every task is kept),
+    /// so callers that fetch intermediate keys keep working.
+    pub fn mark_output(&mut self, key: &Key) {
+        if !self.outputs.contains(key) {
+            self.outputs.push(key.clone());
+        }
+    }
+
+    /// Keys marked via [`Graph::mark_output`].
+    pub fn outputs(&self) -> &[Key] {
+        &self.outputs
+    }
+
     /// Submit everything to the cluster as one graph (one scheduler message,
-    /// like one `client.compute(...)` call).
+    /// like one `client.compute(...)` call). Marked outputs are passed to the
+    /// client so the optimizer can cull dead branches and protect the results.
     pub fn submit(self, client: &Client) -> usize {
         let n = self.specs.len();
         if n > 0 {
-            client.submit(self.specs);
+            client.submit_with_outputs(self.specs, &self.outputs);
         }
         n
     }
@@ -85,5 +105,14 @@ mod tests {
         g.add(TaskSpec::new(k, "const", Datum::Null, vec![]));
         assert_eq!(g.len(), 1);
         assert_eq!(g.into_specs().len(), 1);
+    }
+
+    #[test]
+    fn mark_output_dedups() {
+        let mut g = Graph::new("o");
+        let k = g.fresh_key("t");
+        g.mark_output(&k);
+        g.mark_output(&k);
+        assert_eq!(g.outputs(), &[k]);
     }
 }

@@ -139,8 +139,9 @@ pub fn register_array_ops(registry: &OpRegistry) {
     registry.register("da.matmul2d", |_p, deps| {
         let a = arr(deps.first().ok_or("da.matmul2d: two inputs")?)?;
         let b = arr(deps.get(1).ok_or("da.matmul2d: two inputs")?)?;
-        let ma = Matrix::from_ndarray((**a).clone()).map_err(|e| e.to_string())?;
-        let mb = Matrix::from_ndarray((**b).clone()).map_err(|e| e.to_string())?;
+        // Views over the shared blocks: only the product is allocated.
+        let ma = Matrix::from_ndarray_ref(a).map_err(|e| e.to_string())?;
+        let mb = Matrix::from_ndarray_ref(b).map_err(|e| e.to_string())?;
         ma.matmul(&mb)
             .map(|m| Datum::from(m.into_ndarray()))
             .map_err(|e| e.to_string())
@@ -188,7 +189,7 @@ pub fn register_array_ops(registry: &OpRegistry) {
 
     registry.register("da.transpose2d", |_p, deps| {
         let a = arr(deps.first().ok_or("da.transpose2d: input required")?)?;
-        let m = Matrix::from_ndarray((**a).clone()).map_err(|e| e.to_string())?;
+        let m = Matrix::from_ndarray_ref(a).map_err(|e| e.to_string())?;
         Ok(Datum::from(m.transpose().into_ndarray()))
     });
 }

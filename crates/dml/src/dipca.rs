@@ -122,8 +122,9 @@ pub fn register_ml_ops(registry: &OpRegistry) {
             .and_then(|d| d.as_array())
             .ok_or("ml.project: missing batch array")?;
         let model = decode_state(state)?;
-        let x = Matrix::from_ndarray((**batch).clone()).map_err(|e| e.to_string())?;
-        let z = model.transform(&x).map_err(|e| e.to_string())?;
+        // Borrow the shared batch block — only the projection is allocated.
+        let x = Matrix::from_ndarray_ref(batch).map_err(|e| e.to_string())?;
+        let z = model.transform_view(x).map_err(|e| e.to_string())?;
         Ok(Datum::from(z.into_ndarray()))
     });
 
@@ -141,8 +142,8 @@ pub fn register_ml_ops(registry: &OpRegistry) {
             ));
         }
         let mut model = decode_state(state)?;
-        let x = Matrix::from_ndarray((**batch).clone()).map_err(|e| e.to_string())?;
-        model.partial_fit(&x).map_err(|e| e.to_string())?;
+        let x = Matrix::from_ndarray_ref(batch).map_err(|e| e.to_string())?;
+        model.partial_fit_view(x).map_err(|e| e.to_string())?;
         Ok(encode_state(&model))
     });
 }
@@ -219,6 +220,10 @@ impl InSituIncrementalPCA {
             ));
             state = next;
         }
+        // The final state is the product a caller fetches: protect it from
+        // the graph optimizer (cull keeps its whole chain; fuse never
+        // swallows it as an interior stage).
+        graph.mark_output(&state);
         FittedIpca {
             state_key: state,
             n_batches: batches.len(),
@@ -263,6 +268,9 @@ impl InSituIncrementalPCA {
                     Datum::Null,
                     vec![state_key.clone(), b.clone()],
                 ));
+                // Compressed outputs are fetched by the analytics client —
+                // keep them visible to the optimizer as requested results.
+                graph.mark_output(&out);
                 out
             })
             .collect()
@@ -500,6 +508,43 @@ mod tests {
             local.partial_fit(&b).unwrap();
         }
         assert!(model.components.max_abs_diff(&local.components).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn whole_graph_fit_with_optimizer_and_batching_matches() {
+        // Same computation as `whole_graph_fit_matches_local_ipca`, but on a
+        // cluster with the graph optimizer and batched ingestion enabled —
+        // the fused/culled/coalesced path must be numerically identical.
+        let c = dtask::Cluster::with_config(dtask::ClusterConfig {
+            n_workers: 3,
+            optimize: dtask::OptimizeConfig::enabled(),
+            ingest: dtask::IngestMode::Batched { max_burst: 64 },
+            ..Default::default()
+        });
+        register_array_ops(c.registry());
+        register_ml_ops(c.registry());
+        let client = c.client();
+        let (t, x, y) = (4usize, 3usize, 5usize);
+        let mut g = Graph::new("setup");
+        let a = DArray::linear(&mut g, &[t, x, y], &[1, x.div_ceil(2), y.div_ceil(2)]).unwrap();
+        g.submit(&client);
+        let gt = LabeledArray::new(a, &["t", "X", "Y"]).unwrap();
+
+        let ipca = InSituIncrementalPCA::new(2, SvdSolver::Full);
+        let mut g = Graph::new("fit");
+        let fitted = ipca.fit(&mut g, &gt, "t", &["Y"], &["X"]).unwrap();
+        g.submit(&client);
+        let model = fitted.fetch(&client).unwrap();
+
+        let mut local = IncrementalPca::new(2, SvdSolver::Full);
+        for tt in 0..t {
+            let b = Matrix::from_fn(y, x, |yy, xx| ((tt * x + xx) * y + yy) as f64);
+            local.partial_fit(&b).unwrap();
+        }
+        assert_eq!(model.n_samples_seen, local.n_samples_seen);
+        assert!(model.components.max_abs_diff(&local.components).unwrap() < 1e-9);
+        // The optimizer actually ran over the submitted graphs.
+        assert!(c.stats().optimize_tasks_in() > 0);
     }
 
     #[test]

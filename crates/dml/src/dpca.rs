@@ -18,7 +18,7 @@
 use crate::pca::sign_flip_rows;
 use darray::{DArray, Graph};
 use dtask::{Client, Datum, Key, OpRegistry, TaskSpec};
-use linalg::{householder_qr, jacobi_svd, Matrix, NDArray};
+use linalg::{householder_qr_owned, jacobi_svd, Matrix, MatrixView, NDArray};
 
 /// Register the `ml.pca_*` kernels (called from [`crate::register_ml_ops`]).
 pub(crate) fn register_dpca_ops(registry: &OpRegistry) {
@@ -116,21 +116,23 @@ pub(crate) fn register_dpca_ops(registry: &OpRegistry) {
             .first()
             .and_then(|d| d.as_array())
             .ok_or("ml.pca_r_of: block input")?;
-        let m = Matrix::from_ndarray((**a).clone()).map_err(|e| e.to_string())?;
-        let qr = householder_qr(&m).map_err(|e| e.to_string())?;
+        // One working copy total: the view borrows the shared block and the
+        // owned QR factorizes its copy in place.
+        let m = Matrix::from_ndarray_ref(a).map_err(|e| e.to_string())?;
+        let qr = householder_qr_owned(m.to_matrix()).map_err(|e| e.to_string())?;
         Ok(Datum::from(qr.r.into_ndarray()))
     });
 
     // Merge R factors: stack vertically, QR, keep R (the TSQR tree node).
     registry.register("ml.pca_r_merge", |_p, deps| {
-        let mut parts = Vec::with_capacity(deps.len());
+        let mut views = Vec::with_capacity(deps.len());
         for d in deps {
             let a = d.as_array().ok_or("ml.pca_r_merge: array inputs")?;
-            parts.push(Matrix::from_ndarray((**a).clone()).map_err(|e| e.to_string())?);
+            views.push(Matrix::from_ndarray_ref(a).map_err(|e| e.to_string())?);
         }
-        let refs: Vec<&Matrix> = parts.iter().collect();
-        let stacked = Matrix::vstack(&refs).map_err(|e| e.to_string())?;
-        let qr = householder_qr(&stacked).map_err(|e| e.to_string())?;
+        // Stack straight from the borrowed buffers; QR works in place on it.
+        let stacked = MatrixView::vstack(&views).map_err(|e| e.to_string())?;
+        let qr = householder_qr_owned(stacked).map_err(|e| e.to_string())?;
         Ok(Datum::from(qr.r.into_ndarray()))
     });
 
@@ -155,7 +157,9 @@ pub(crate) fn register_dpca_ops(registry: &OpRegistry) {
             .get(1)
             .and_then(|d| d.as_array())
             .ok_or("ml.pca_finish: mean input")?;
-        let rm = Matrix::from_ndarray((**r).clone()).map_err(|e| e.to_string())?;
+        let rm = Matrix::from_ndarray_ref(r)
+            .map_err(|e| e.to_string())?
+            .to_matrix();
         let svd = jacobi_svd(&rm).map_err(|e| e.to_string())?;
         if k == 0 || k > svd.s.len() {
             return Err(format!("ml.pca_finish: k={k} out of range"));

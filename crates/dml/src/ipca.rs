@@ -15,8 +15,8 @@
 //! task* in a chain, which external tasks let Dask schedule ahead of time.
 
 use crate::pca::sign_flip_rows;
-use linalg::stats::{center_columns, col_mean, col_var, RunningStats};
-use linalg::{jacobi_svd, randomized_svd, LinalgError, Matrix, Svd};
+use linalg::stats::{center_columns_view, col_mean_view, col_var_view, RunningStats};
+use linalg::{jacobi_svd, randomized_svd, LinalgError, Matrix, MatrixView, Svd};
 
 /// Which SVD backs `partial_fit`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +86,13 @@ impl IncrementalPca {
 
     /// Consume one batch (samples × features).
     pub fn partial_fit(&mut self, x: &Matrix) -> Result<(), LinalgError> {
+        self.partial_fit_view(x.as_view())
+    }
+
+    /// [`IncrementalPca::partial_fit`] over a borrowed [`MatrixView`] —
+    /// lets callers holding shared buffers (e.g. `Arc<NDArray>` blocks) feed
+    /// the model without deep-copying the batch first.
+    pub fn partial_fit_view(&mut self, x: MatrixView<'_>) -> Result<(), LinalgError> {
         let n_batch = x.rows() as u64;
         let n_features = x.cols();
         if n_batch == 0 {
@@ -113,8 +120,8 @@ impl IncrementalPca {
             });
         }
 
-        let batch_mean = col_mean(x);
-        let batch_var = col_var(x, &batch_mean);
+        let batch_mean = col_mean_view(x);
+        let batch_var = col_var_view(x, &batch_mean);
         let mut stats = RunningStats {
             count: self.n_samples_seen,
             mean: self.mean.clone(),
@@ -124,7 +131,7 @@ impl IncrementalPca {
         let n_total = stats.count;
 
         // Build the augmented matrix.
-        let centered = center_columns(x, &batch_mean)?;
+        let centered = center_columns_view(x, &batch_mean)?;
         let a = if self.n_samples_seen == 0 {
             centered
         } else {
@@ -173,12 +180,9 @@ impl IncrementalPca {
         let mut row = 0;
         while row < x.rows() {
             let h = batch_rows.min(x.rows() - row);
-            let chunk = Matrix::from_vec(
-                h,
-                x.cols(),
-                x.data()[row * x.cols()..(row + h) * x.cols()].to_vec(),
-            )?;
-            self.partial_fit(&chunk)?;
+            let chunk =
+                MatrixView::new(h, x.cols(), &x.data()[row * x.cols()..(row + h) * x.cols()])?;
+            self.partial_fit_view(chunk)?;
             row += h;
         }
         Ok(())
@@ -186,7 +190,12 @@ impl IncrementalPca {
 
     /// Project samples onto the fitted axes.
     pub fn transform(&self, x: &Matrix) -> Result<Matrix, LinalgError> {
-        let centered = center_columns(x, &self.mean)?;
+        self.transform_view(x.as_view())
+    }
+
+    /// [`IncrementalPca::transform`] over a borrowed [`MatrixView`].
+    pub fn transform_view(&self, x: MatrixView<'_>) -> Result<Matrix, LinalgError> {
+        let centered = center_columns_view(x, &self.mean)?;
         centered.matmul(&self.components.transpose())
     }
 }

@@ -3,11 +3,12 @@
 use crate::datum::Datum;
 use crate::key::Key;
 use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
+use crate::optimize::{optimize, OptimizeConfig};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,6 +38,10 @@ pub struct Client {
     pub(crate) pending: RefCell<VecDeque<ClientMsg>>,
     pub(crate) stats: Arc<SchedulerStats>,
     pub(crate) scatter_cursor: AtomicUsize,
+    pub(crate) optimize: OptimizeConfig,
+    /// Keys this client registered as external tasks: the optimizer must
+    /// never cull them or swallow them into a fused chain.
+    pub(crate) external_keys: RefCell<HashSet<Key>>,
     pub(crate) _heartbeat: Option<HeartbeatHandle>,
 }
 
@@ -70,7 +75,27 @@ impl Client {
 
     /// Submit a task graph. Returns immediately; use [`Client::future`] to
     /// wait on results.
+    ///
+    /// With the cluster's [`OptimizeConfig`] active, the graph is optimized
+    /// first with *no declared outputs*: culling is skipped and only fusion
+    /// runs (sinks always survive as stored keys; see
+    /// [`Client::submit_with_outputs`] to declare outputs and enable
+    /// culling).
     pub fn submit(&self, specs: Vec<TaskSpec>) {
+        self.submit_with_outputs(specs, &[]);
+    }
+
+    /// Submit a task graph declaring which keys will actually be consumed.
+    /// The ahead-of-time optimizer (when enabled in the cluster config)
+    /// culls tasks unreachable from `outputs` and fuses strictly linear op
+    /// chains; externally registered keys are always protected.
+    pub fn submit_with_outputs(&self, mut specs: Vec<TaskSpec>, outputs: &[Key]) {
+        if self.optimize.is_active() {
+            let protected = self.external_keys.borrow();
+            let (optimized, report) = optimize(specs, outputs, &protected, &self.optimize);
+            specs = optimized;
+            self.stats.record_optimize(&report);
+        }
         let _ = self.sched_tx.send(SchedMsg::SubmitGraph {
             client: self.id,
             specs,
@@ -89,10 +114,19 @@ impl Client {
     /// environment will push later. Graphs depending on these keys may be
     /// submitted immediately afterwards — before any data exists.
     pub fn register_external(&self, keys: Vec<Key>) {
+        self.external_keys.borrow_mut().extend(keys.iter().cloned());
         let _ = self.sched_tx.send(SchedMsg::RegisterExternal {
             client: self.id,
             keys,
         });
+    }
+
+    /// Keys this client has registered as external tasks (sorted, for
+    /// deterministic inspection). The optimizer treats these as protected.
+    pub fn external_keys(&self) -> Vec<Key> {
+        let mut v: Vec<Key> = self.external_keys.borrow().iter().cloned().collect();
+        v.sort();
+        v
     }
 
     /// Classic Dask scatter: place data on workers, then tell the scheduler.

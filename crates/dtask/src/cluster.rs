@@ -2,7 +2,8 @@
 
 use crate::client::{Client, HeartbeatHandle};
 use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg};
-use crate::scheduler::Scheduler;
+use crate::optimize::OptimizeConfig;
+use crate::scheduler::{IngestMode, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
 use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
@@ -47,6 +48,16 @@ pub struct ClusterConfig {
     /// [`Cluster::client`] (override per client with
     /// [`Cluster::client_with_heartbeat`]).
     pub default_heartbeat: HeartbeatInterval,
+    /// Ahead-of-time graph optimization applied by clients at submit time
+    /// (cull + linear-chain fusion). Disabled by default: fusing hides
+    /// intermediate keys, which is only safe when callers consume declared
+    /// outputs. Enable with [`OptimizeConfig::enabled`] for whole-graph
+    /// workloads.
+    pub optimize: OptimizeConfig,
+    /// Scheduler inbox drain strategy (default: bursts of up to 64 with
+    /// per-worker assignment batching; [`IngestMode::PerMessage`] restores
+    /// the classic loop for A/B comparison).
+    pub ingest: IngestMode,
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +67,8 @@ impl Default for ClusterConfig {
             slots_per_worker: 0,
             gather_mode: GatherMode::Concurrent,
             default_heartbeat: HeartbeatInterval::Infinite,
+            optimize: OptimizeConfig::default(),
+            ingest: IngestMode::default(),
         }
     }
 }
@@ -83,6 +96,7 @@ pub struct Cluster {
     stats: Arc<SchedulerStats>,
     next_client: AtomicUsize,
     default_heartbeat: HeartbeatInterval,
+    optimize: OptimizeConfig,
     slots_per_worker: usize,
     threads: Vec<JoinHandle<()>>,
     down: bool,
@@ -128,7 +142,7 @@ impl Cluster {
                 .cloned()
                 .zip(worker_exec.iter().cloned())
                 .collect();
-            let sched = Scheduler::new(sched_rx, pairs, slots, Arc::clone(&stats));
+            let sched = Scheduler::new(sched_rx, pairs, slots, config.ingest, Arc::clone(&stats));
             threads.push(
                 std::thread::Builder::new()
                     .name("dtask-scheduler".into())
@@ -151,6 +165,7 @@ impl Cluster {
                     id,
                     store: Arc::clone(&stores[id]),
                     rx: exec_rx.clone(),
+                    exec_tx: worker_exec[id].clone(),
                     sched_tx: sched_tx.clone(),
                     peer_data: worker_data.clone(),
                     registry: registry.clone(),
@@ -174,6 +189,7 @@ impl Cluster {
             stats,
             next_client: AtomicUsize::new(0),
             default_heartbeat: config.default_heartbeat,
+            optimize: config.optimize,
             slots_per_worker: slots,
             threads,
             down: false,
@@ -270,6 +286,8 @@ impl Cluster {
             pending: Default::default(),
             stats: Arc::clone(&self.stats),
             scatter_cursor: AtomicUsize::new(id), // stagger placement across clients
+            optimize: self.optimize.clone(),
+            external_keys: Default::default(),
             _heartbeat: hb,
         }
     }
@@ -847,6 +865,139 @@ mod tests {
         };
         let cluster = Cluster::with_config(config);
         assert!(cluster.slots_per_worker() >= 2);
+    }
+
+    #[test]
+    fn per_message_ingest_still_works() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            ingest: IngestMode::PerMessage,
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        client.submit(vec![
+            TaskSpec::new("a", "const", Datum::F64(2.0), vec![]),
+            TaskSpec::new("b", "identity", Datum::Null, vec!["a".into()]),
+        ]);
+        assert_eq!(client.future("b").result().unwrap().as_f64(), Some(2.0));
+        // Per-message mode: one assignment message per task.
+        assert_eq!(cluster.stats().assign_tasks(), 2);
+        assert_eq!(cluster.stats().assign_messages(), 2);
+    }
+
+    #[test]
+    fn bursts_are_recorded_in_batched_mode() {
+        let cluster = Cluster::new(2);
+        let client = cluster.client();
+        let specs: Vec<TaskSpec> = (0..16)
+            .map(|i| TaskSpec::new(format!("b{i}"), "const", Datum::F64(i as f64), vec![]))
+            .collect();
+        client.submit(specs);
+        let keys: Vec<Key> = (0..16).map(|i| Key::new(format!("b{i}"))).collect();
+        client.gather_many(&keys).unwrap();
+        assert!(cluster.stats().ingest_bursts() >= 1);
+        assert!(cluster.stats().ingest_msgs() >= cluster.stats().ingest_bursts());
+        assert!(cluster.stats().assign_passes() >= 1);
+    }
+
+    #[test]
+    fn fused_chain_executes_with_optimizer_enabled() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            optimize: OptimizeConfig::enabled(),
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        // root -> m1 -> m2 -> out is strictly linear and fuses to one task.
+        client.submit(vec![
+            TaskSpec::new("root", "const", Datum::F64(4.0), vec![]),
+            TaskSpec::new("m1", "identity", Datum::Null, vec!["root".into()]),
+            TaskSpec::new("m2", "identity", Datum::Null, vec!["m1".into()]),
+            TaskSpec::new(
+                "out",
+                "sum_scalars",
+                Datum::Null,
+                vec!["m2".into(), "m2".into()],
+            ),
+        ]);
+        assert_eq!(client.future("out").result().unwrap().as_f64(), Some(8.0));
+        assert_eq!(cluster.stats().optimize_tasks_in(), 4);
+        assert_eq!(cluster.stats().optimize_tasks_out(), 4, "stages preserved");
+        assert_eq!(cluster.stats().fused_chains(), 1);
+        // The scheduler saw one spec, ran one task, got one report.
+        assert_eq!(
+            cluster.stats().count(crate::stats::MsgClass::TaskSubmitted),
+            1
+        );
+        assert_eq!(cluster.stats().count(crate::stats::MsgClass::TaskReport), 1);
+    }
+
+    #[test]
+    fn fused_chain_error_names_origin_stage() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 1,
+            optimize: OptimizeConfig::enabled(),
+            ..ClusterConfig::default()
+        });
+        cluster
+            .registry()
+            .register("boom", |_, _| Err("kaboom".into()));
+        let client = cluster.client();
+        client.submit(vec![
+            TaskSpec::new("ok", "const", Datum::F64(1.0), vec![]),
+            TaskSpec::new("bad", "boom", Datum::Null, vec!["ok".into()]),
+            TaskSpec::new("child", "identity", Datum::Null, vec!["bad".into()]),
+        ]);
+        let err = client.future("child").result().unwrap_err();
+        assert_eq!(err.key.as_str(), "bad", "error attribution survives fusion");
+        assert!(err.message.contains("kaboom"));
+    }
+
+    #[test]
+    fn optimizer_protects_externally_registered_keys() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            optimize: OptimizeConfig::enabled(),
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        client.register_external(vec![Key::new("blk")]);
+        // blk -> step -> out would fuse; blk is external (no in-graph spec)
+        // so it must stay a dependency of the fused task.
+        client.submit(vec![
+            TaskSpec::new("step", "identity", Datum::Null, vec!["blk".into()]),
+            TaskSpec::new("out", "identity", Datum::Null, vec!["step".into()]),
+        ]);
+        std::thread::sleep(Duration::from_millis(20));
+        let bridge = cluster.client();
+        bridge.scatter_external(vec![(Key::new("blk"), Datum::F64(6.0))], Some(0));
+        assert_eq!(client.future("out").result().unwrap().as_f64(), Some(6.0));
+        assert_eq!(client.external_keys(), vec![Key::new("blk")]);
+    }
+
+    #[test]
+    fn submit_with_outputs_culls_dead_branches() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 1,
+            optimize: OptimizeConfig::enabled(),
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        client.submit_with_outputs(
+            vec![
+                TaskSpec::new("src", "const", Datum::F64(1.0), vec![]),
+                TaskSpec::new("want", "identity", Datum::Null, vec!["src".into()]),
+                TaskSpec::new("dead", "identity", Datum::Null, vec!["src".into()]),
+            ],
+            &[Key::new("want")],
+        );
+        assert_eq!(client.future("want").result().unwrap().as_f64(), Some(1.0));
+        assert_eq!(cluster.stats().optimize_culled(), 1);
+        // The culled task never reached the scheduler.
+        assert!(client
+            .future("dead")
+            .result_timeout(Duration::from_millis(40))
+            .is_err());
     }
 
     #[test]

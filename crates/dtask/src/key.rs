@@ -1,6 +1,7 @@
 //! Task keys.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A task key: globally unique name of a task/data item, cheap to clone.
@@ -8,30 +9,83 @@ use std::sync::Arc;
 /// DEISA's naming scheme (paper §2.4.1) builds keys like
 /// `deisa-temp@(1,3,5)` — prefix, field name, and spatiotemporal block
 /// position; see `deisa-core::naming`.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Key(Arc<str>);
+///
+/// The hash of the text is computed once at construction and cached, so the
+/// scheduler's hot maps (`tasks`, `who_has`, waiter sets) never rehash the
+/// full string on lookup.
+#[derive(Clone)]
+pub struct Key {
+    text: Arc<str>,
+    hash: u64,
+}
+
+/// FNV-1a over the key bytes; stable and cheap for short task names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 impl Key {
     /// Create a key from any string-like value.
     pub fn new(s: impl AsRef<str>) -> Self {
-        Key(Arc::from(s.as_ref()))
+        let text: Arc<str> = Arc::from(s.as_ref());
+        let hash = fnv1a(text.as_bytes());
+        Key { text, hash }
     }
 
     /// The key text.
     pub fn as_str(&self) -> &str {
-        &self.0
+        &self.text
+    }
+
+    /// The precomputed hash (exposed for tests and diagnostics).
+    pub fn cached_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash first: a cheap u64 compare rejects almost all mismatches
+        // before touching the string bytes. Clones share the allocation, so
+        // the pointer check settles the common equal case for free.
+        self.hash == other.hash && (Arc::ptr_eq(&self.text, &other.text) || self.text == other.text)
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.text.cmp(&other.text)
     }
 }
 
 impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.text)
     }
 }
 
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Key({})", self.0)
+        write!(f, "Key({})", self.text)
     }
 }
 
@@ -43,7 +97,7 @@ impl From<&str> for Key {
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Key(Arc::from(s))
+        Key::new(s)
     }
 }
 
@@ -70,6 +124,22 @@ mod tests {
         let a = Key::new("shared");
         let b = a.clone();
         assert_eq!(a.as_str().as_ptr(), b.as_str().as_ptr());
+    }
+
+    #[test]
+    fn cached_hash_matches_across_constructions() {
+        let a = Key::new("deisa-temp@(1,3,5)");
+        let b = Key::from("deisa-temp@(1,3,5)");
+        assert_eq!(a.cached_hash(), b.cached_hash());
+        assert_ne!(a.cached_hash(), Key::new("other").cached_hash());
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        let mut v = [Key::new("b"), Key::new("a"), Key::new("c")];
+        v.sort();
+        let s: Vec<&str> = v.iter().map(|k| k.as_str()).collect();
+        assert_eq!(s, vec!["a", "b", "c"]);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod cluster;
 pub mod datum;
 pub mod key;
 pub mod msg;
+pub mod optimize;
 pub mod scheduler;
 pub mod spec;
 pub mod stats;
@@ -56,6 +57,8 @@ pub use cluster::{Cluster, ClusterConfig, HeartbeatInterval};
 pub use datum::Datum;
 pub use key::Key;
 pub use msg::TaskError;
+pub use optimize::{optimize, OptimizeConfig, OptimizeReport};
+pub use scheduler::IngestMode;
 pub use spec::{OpRegistry, TaskSpec};
 pub use stats::{MsgClass, SchedulerStats};
 pub use worker::GatherMode;

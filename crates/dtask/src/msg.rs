@@ -88,14 +88,16 @@ pub enum SchedMsg {
         /// `(key, nbytes)` of each newly cached block.
         entries: Vec<(Key, u64)>,
     },
-    /// Worker reports a task failed.
+    /// Worker reports a task failed. `stored_key` is the key the scheduler
+    /// tracks (the spec key); `error.key` is the originating task, which for
+    /// a fused chain may be an interior stage.
     TaskErred {
         /// Executing worker.
         worker: WorkerId,
-        /// Failing task.
-        key: Key,
-        /// Failure description.
-        error: String,
+        /// Key of the spec that failed (what the scheduler tracks).
+        stored_key: Key,
+        /// Origin and description of the failure.
+        error: TaskError,
     },
     /// Client wants a notification when `key` completes (or errs).
     WantResult {
@@ -153,6 +155,10 @@ pub enum SchedMsg {
     Shutdown,
 }
 
+/// One scheduler→worker assignment: the task plus the placement of each
+/// dependency that needs a remote fetch.
+pub type Assignment = (Arc<TaskSpec>, Vec<(Key, Vec<WorkerId>)>);
+
 /// Messages a worker's *executor slots* handle (one shared inbox per worker,
 /// drained by every slot thread).
 pub enum ExecMsg {
@@ -164,6 +170,13 @@ pub enum ExecMsg {
         spec: Arc<TaskSpec>,
         /// Placement of each dependency that needs a remote fetch.
         dep_locations: Vec<(Key, Vec<WorkerId>)>,
+    },
+    /// A burst of assignments coalesced by the batched scheduler loop. The
+    /// receiving slot runs the first task inline and re-enqueues the rest on
+    /// the shared inbox so sibling slots pick them up concurrently.
+    ExecuteBatch {
+        /// `(spec, dep_locations)` per task, in assignment order.
+        tasks: Vec<Assignment>,
     },
     /// Stop one executor slot thread.
     Shutdown,

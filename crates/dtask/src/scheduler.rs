@@ -25,6 +25,29 @@ use crate::stats::{MsgClass, SchedulerStats};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// How the scheduler loop drains its inbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// One message per iteration, `assign_ready` after each — the classic
+    /// Dask-style loop (and the A/B baseline).
+    PerMessage,
+    /// Drain up to `max_burst` queued messages per iteration (`recv` then
+    /// bounded `try_recv`), coalesce `AddReplica`/heartbeat bookkeeping
+    /// within the burst, run `assign_ready` once at the end, and send each
+    /// worker one `ExecMsg::ExecuteBatch` instead of one message per task.
+    Batched {
+        /// Upper bound on messages absorbed per burst (≥ 1).
+        max_burst: usize,
+    },
+}
+
+impl Default for IngestMode {
+    fn default() -> Self {
+        IngestMode::Batched { max_burst: 64 }
+    }
+}
 
 /// Scheduler-side task states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +138,11 @@ pub struct Scheduler {
     stats: Arc<SchedulerStats>,
     /// Round-robin cursor for dependency-free task placement.
     rr_cursor: usize,
+    /// Inbox drain strategy.
+    ingest: IngestMode,
+    /// Set by handlers that may have produced ready tasks; the run loop
+    /// drains the ready queue once per burst instead of once per message.
+    pending_schedule: bool,
 }
 
 impl Scheduler {
@@ -125,6 +153,7 @@ impl Scheduler {
         rx: Receiver<SchedMsg>,
         workers: Vec<(Sender<DataMsg>, Sender<crate::msg::ExecMsg>)>,
         slots_per_worker: usize,
+        ingest: IngestMode,
         stats: Arc<SchedulerStats>,
     ) -> Self {
         let slots = slots_per_worker.max(1);
@@ -147,14 +176,73 @@ impl Scheduler {
             queues: HashMap::new(),
             stats,
             rr_cursor: 0,
+            ingest,
+            pending_schedule: false,
         }
     }
 
     /// Run until `Shutdown`.
+    ///
+    /// Each iteration blocks for one message, then (in batched mode) drains
+    /// up to `max_burst - 1` more without blocking. Within a burst,
+    /// `AddReplica` entries are merged per worker and heartbeats are counted
+    /// in one shot; everything else is handled in arrival order. The ready
+    /// queue is drained **once** per burst, so a burst carrying `k` task
+    /// completions pays one placement pass instead of `k`.
     pub fn run(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            if !self.handle(msg) {
+        let max_burst = match self.ingest {
+            IngestMode::PerMessage => 1,
+            IngestMode::Batched { max_burst } => max_burst.max(1),
+        };
+        let mut burst: Vec<SchedMsg> = Vec::with_capacity(max_burst);
+        'outer: loop {
+            let Ok(first) = self.rx.recv() else {
                 break;
+            };
+            burst.push(first);
+            while burst.len() < max_burst {
+                match self.rx.try_recv() {
+                    Ok(msg) => burst.push(msg),
+                    Err(_) => break,
+                }
+            }
+            self.stats.record_burst(burst.len() as u64);
+            let mut replicas: HashMap<WorkerId, Vec<(Key, u64)>> = HashMap::new();
+            let mut heartbeats = 0u64;
+            let mut shutdown = false;
+            for msg in burst.drain(..) {
+                match msg {
+                    SchedMsg::AddReplica { worker, entries } if max_burst > 1 => {
+                        // Coalesce: one map update pass per worker per burst.
+                        // Replicas only ever *add* placement options, so
+                        // applying them at burst end is order-safe.
+                        self.stats.record(MsgClass::AddReplica, 0);
+                        replicas.entry(worker).or_default().extend(entries);
+                    }
+                    SchedMsg::Heartbeat { .. } if max_burst > 1 => heartbeats += 1,
+                    msg => {
+                        if !self.handle(msg) {
+                            shutdown = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if heartbeats > 0 {
+                self.stats.record_n(MsgClass::Heartbeat, heartbeats, 0);
+            }
+            for (worker, entries) in replicas.drain() {
+                self.apply_replicas(worker, entries);
+            }
+            if self.pending_schedule {
+                self.pending_schedule = false;
+                let assign_from = Instant::now();
+                self.schedule();
+                self.stats
+                    .record_assign_pass(assign_from.elapsed().as_nanos() as u64);
+            }
+            if shutdown {
+                break 'outer;
             }
         }
     }
@@ -202,7 +290,7 @@ impl Scheduler {
                 for (key, worker, nbytes) in entries {
                     self.handle_update_data(key, worker, nbytes, external);
                 }
-                self.schedule();
+                self.pending_schedule = true;
             }
             SchedMsg::TaskFinished {
                 worker,
@@ -212,33 +300,25 @@ impl Scheduler {
                 self.stats.record(MsgClass::TaskReport, 0);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
                 self.handle_task_finished(key, worker, nbytes);
-                self.schedule();
+                self.pending_schedule = true;
             }
             SchedMsg::AddReplica { worker, entries } => {
+                // Per-message path (batched bursts intercept this upstream).
                 self.stats.record(MsgClass::AddReplica, 0);
-                for (key, nbytes) in entries {
-                    if let Some(entry) = self.tasks.get_mut(&key) {
-                        // Only record replicas of keys still in memory — a
-                        // released key may still be reported by an in-flight
-                        // gather and must stay forgotten.
-                        if entry.state == TaskState::Memory && !entry.who_has.contains(&worker) {
-                            entry.who_has.push(worker);
-                            if entry.nbytes == 0 {
-                                entry.nbytes = nbytes;
-                            }
-                        }
-                    }
-                }
+                self.apply_replicas(worker, entries);
             }
-            SchedMsg::TaskErred { worker, key, error } => {
+            SchedMsg::TaskErred {
+                worker,
+                stored_key,
+                error,
+            } => {
                 self.stats.record(MsgClass::TaskReport, 0);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
-                let err = TaskError {
-                    key: key.clone(),
-                    message: error,
-                };
-                self.mark_erred(key, err);
-                self.schedule();
+                // `error.key` names the originating task (an interior fused
+                // stage, possibly); the scheduler entry to fail is the spec
+                // key it tracks.
+                self.mark_erred(stored_key, error);
+                self.pending_schedule = true;
             }
             SchedMsg::WantResult { client, key } => {
                 self.stats.record(MsgClass::WantResult, 0);
@@ -475,7 +555,23 @@ impl Scheduler {
             }
         }
         self.ready.extend(newly_ready);
-        self.schedule();
+        self.pending_schedule = true;
+    }
+
+    /// Record replica placements reported by a worker's dependency gather.
+    /// Only keys still in memory count — a released key may still be
+    /// reported by an in-flight gather and must stay forgotten.
+    fn apply_replicas(&mut self, worker: WorkerId, entries: Vec<(Key, u64)>) {
+        for (key, nbytes) in entries {
+            if let Some(entry) = self.tasks.get_mut(&key) {
+                if entry.state == TaskState::Memory && !entry.who_has.contains(&worker) {
+                    entry.who_has.push(worker);
+                    if entry.nbytes == 0 {
+                        entry.nbytes = nbytes;
+                    }
+                }
+            }
+        }
     }
 
     /// Classic-scatter or external-task data arrival.
@@ -631,8 +727,14 @@ impl Scheduler {
         best
     }
 
-    /// Drain the ready queue, assigning tasks to workers.
+    /// Drain the ready queue, assigning tasks to workers. In batched ingest
+    /// mode, assignments are coalesced into one `ExecMsg::ExecuteBatch` per
+    /// worker (the receiving slot fans the tail back out to its siblings);
+    /// per-message mode keeps the classic one-`Execute`-per-task protocol.
     fn schedule(&mut self) {
+        let batch_assign = !matches!(self.ingest, IngestMode::PerMessage);
+        let mut per_worker: Vec<Vec<crate::msg::Assignment>> = vec![Vec::new(); self.workers.len()];
+        let mut n_assigned = 0u64;
         while let Some(key) = self.ready.pop_front() {
             let Some(entry) = self.tasks.get(&key) else {
                 continue;
@@ -664,12 +766,43 @@ impl Scheduler {
             let entry = self.tasks.get_mut(&key).expect("checked above");
             entry.state = TaskState::Processing;
             self.workers[worker].processing += 1;
-            let _ = self.workers[worker]
-                .exec_tx
-                .send(crate::msg::ExecMsg::Execute {
-                    spec,
-                    dep_locations,
-                });
+            n_assigned += 1;
+            if batch_assign {
+                per_worker[worker].push((spec, dep_locations));
+            } else {
+                let _ = self.workers[worker]
+                    .exec_tx
+                    .send(crate::msg::ExecMsg::Execute {
+                        spec,
+                        dep_locations,
+                    });
+            }
+        }
+        if batch_assign {
+            let mut n_messages = 0u64;
+            for (worker, mut tasks) in per_worker.into_iter().enumerate() {
+                match tasks.len() {
+                    0 => continue,
+                    1 => {
+                        let (spec, dep_locations) = tasks.pop().expect("len checked");
+                        let _ = self.workers[worker]
+                            .exec_tx
+                            .send(crate::msg::ExecMsg::Execute {
+                                spec,
+                                dep_locations,
+                            });
+                    }
+                    _ => {
+                        let _ = self.workers[worker]
+                            .exec_tx
+                            .send(crate::msg::ExecMsg::ExecuteBatch { tasks });
+                    }
+                }
+                n_messages += 1;
+            }
+            self.stats.record_assign(n_assigned, n_messages);
+        } else {
+            self.stats.record_assign(n_assigned, n_assigned);
         }
     }
 }

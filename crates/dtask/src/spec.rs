@@ -17,39 +17,113 @@ use std::sync::Arc;
 /// -> result or error text`.
 pub type OpFn = dyn Fn(&Datum, &[Datum]) -> Result<Datum, String> + Send + Sync;
 
+/// Where one input of a fused stage comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FusedInput {
+    /// Index into the fused spec's `deps` (an outside-the-chain dependency).
+    Dep(usize),
+    /// Result of an earlier stage in the same fused spec.
+    Stage(usize),
+}
+
+/// One original task folded into a fused chain.
+#[derive(Clone)]
+pub struct FusedStage {
+    /// The original task key (kept for error attribution).
+    pub key: Key,
+    /// Registered op name.
+    pub op: String,
+    /// Op parameters.
+    pub params: Datum,
+    /// Where each argument comes from, in argument order.
+    pub inputs: Vec<FusedInput>,
+}
+
+/// What a task computes: a single registered op, or a fused chain of ops
+/// produced by the graph optimizer (`dtask::optimize`). A fused chain runs
+/// inline on one executor slot; only the final stage's result is stored,
+/// under the spec's key.
+#[derive(Clone)]
+pub enum Value {
+    /// One registered op call.
+    Op {
+        /// Registered op name.
+        op: String,
+        /// Op parameters (available to the function besides dep values).
+        params: Datum,
+    },
+    /// A linear chain of ops collapsed into one task. The last stage's key
+    /// equals the spec key.
+    Fused {
+        /// Stages in execution order.
+        stages: Vec<FusedStage>,
+    },
+}
+
 /// Description of one task in a graph.
 #[derive(Clone)]
 pub struct TaskSpec {
     /// Key under which the result is stored.
     pub key: Key,
-    /// Registered op name.
-    pub op: String,
-    /// Op parameters (available to the function besides dep values).
-    pub params: Datum,
-    /// Keys of tasks whose outputs this task consumes, in argument order.
+    /// What to compute.
+    pub value: Value,
+    /// Keys of tasks whose outputs this task consumes, in argument order
+    /// (for fused specs: the deduplicated union of outside-chain deps).
     pub deps: Vec<Key>,
 }
 
 impl std::fmt::Debug for TaskSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "TaskSpec({} = {}({} deps))",
-            self.key,
-            self.op,
-            self.deps.len()
-        )
+        match &self.value {
+            Value::Op { op, .. } => write!(
+                f,
+                "TaskSpec({} = {}({} deps))",
+                self.key,
+                op,
+                self.deps.len()
+            ),
+            Value::Fused { stages } => write!(
+                f,
+                "TaskSpec({} = fused[{}]({} deps))",
+                self.key,
+                stages
+                    .iter()
+                    .map(|s| s.op.as_str())
+                    .collect::<Vec<_>>()
+                    .join("|"),
+                self.deps.len()
+            ),
+        }
     }
 }
 
 impl TaskSpec {
-    /// Convenience constructor.
+    /// Convenience constructor for a single-op task.
     pub fn new(key: impl Into<Key>, op: impl Into<String>, params: Datum, deps: Vec<Key>) -> Self {
         TaskSpec {
             key: key.into(),
-            op: op.into(),
-            params,
+            value: Value::Op {
+                op: op.into(),
+                params,
+            },
             deps,
+        }
+    }
+
+    /// Constructor for a fused chain (used by the optimizer).
+    pub fn fused(key: impl Into<Key>, stages: Vec<FusedStage>, deps: Vec<Key>) -> Self {
+        TaskSpec {
+            key: key.into(),
+            value: Value::Fused { stages },
+            deps,
+        }
+    }
+
+    /// Number of original tasks this spec stands for (1 unless fused).
+    pub fn n_stages(&self) -> usize {
+        match &self.value {
+            Value::Op { .. } => 1,
+            Value::Fused { stages } => stages.len(),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! startup. These counters make those formulas measurable in the real
 //! runtime (integration tests assert them) and calibrate the DES models.
 
+use crate::optimize::OptimizeReport;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Classes of messages arriving at the scheduler, plus data-plane traffic.
@@ -79,7 +80,51 @@ pub struct SchedulerStats {
     exec_busy_ns: AtomicU64,
     /// Wall time executor slots spent blocked on an empty inbox.
     exec_idle_ns: AtomicU64,
+    /// Tasks in client-submitted graphs before optimization.
+    optimize_tasks_in: AtomicU64,
+    /// Specs actually sent to the scheduler after cull + fuse.
+    optimize_tasks_out: AtomicU64,
+    /// Tasks dropped by the cull pass.
+    optimize_culled: AtomicU64,
+    /// Fused chains produced.
+    fused_chains: AtomicU64,
+    /// Original tasks absorbed into fused chains.
+    fused_stages: AtomicU64,
+    /// Fused-chain length histogram, bucketed by [`size_bucket`].
+    fused_chain_hist: [AtomicU64; N_SIZE_BUCKETS],
+    /// Scheduler inbox bursts drained.
+    ingest_bursts: AtomicU64,
+    /// Messages absorbed across all bursts.
+    ingest_msgs: AtomicU64,
+    /// Burst-size histogram, bucketed by [`size_bucket`].
+    burst_hist: [AtomicU64; N_SIZE_BUCKETS],
+    /// Placement passes run (once per burst in batched mode).
+    assign_passes: AtomicU64,
+    /// Wall time spent inside placement passes.
+    assign_pass_ns: AtomicU64,
+    /// Tasks assigned to workers.
+    assign_tasks: AtomicU64,
+    /// `Execute`/`ExecuteBatch` messages sent to workers.
+    assign_messages: AtomicU64,
 }
+
+/// Histogram bucket count shared by the fused-chain and burst histograms.
+pub const N_SIZE_BUCKETS: usize = 6;
+
+/// Bucket a size into `[≤1, 2, 3–4, 5–8, 9–16, >16]`.
+pub fn size_bucket(n: u64) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
+/// Human-readable labels for [`size_bucket`] (reports and bench output).
+pub const SIZE_BUCKET_LABELS: [&str; N_SIZE_BUCKETS] = ["<=1", "2", "3-4", "5-8", "9-16", ">16"];
 
 impl SchedulerStats {
     /// Fresh zeroed counters.
@@ -150,6 +195,106 @@ impl SchedulerStats {
     /// Total nanoseconds executor slots spent blocked on an empty inbox.
     pub fn exec_idle_ns(&self) -> u64 {
         self.exec_idle_ns.load(Ordering::Relaxed)
+    }
+
+    /// Fold one graph-optimizer report into the counters.
+    pub fn record_optimize(&self, report: &OptimizeReport) {
+        self.optimize_tasks_in
+            .fetch_add(report.tasks_in as u64, Ordering::Relaxed);
+        self.optimize_tasks_out
+            .fetch_add(report.tasks_out as u64, Ordering::Relaxed);
+        self.optimize_culled
+            .fetch_add(report.culled as u64, Ordering::Relaxed);
+        self.fused_chains
+            .fetch_add(report.fused_chain_lengths.len() as u64, Ordering::Relaxed);
+        for &len in &report.fused_chain_lengths {
+            self.fused_stages.fetch_add(len as u64, Ordering::Relaxed);
+            self.fused_chain_hist[size_bucket(len as u64)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one scheduler inbox burst of `n` messages.
+    pub fn record_burst(&self, n: u64) {
+        self.ingest_bursts.fetch_add(1, Ordering::Relaxed);
+        self.ingest_msgs.fetch_add(n, Ordering::Relaxed);
+        self.burst_hist[size_bucket(n)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one placement pass taking `ns` wall time.
+    pub fn record_assign_pass(&self, ns: u64) {
+        self.assign_passes.fetch_add(1, Ordering::Relaxed);
+        self.assign_pass_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record `tasks` assignments shipped in `messages` worker messages.
+    pub fn record_assign(&self, tasks: u64, messages: u64) {
+        self.assign_tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.assign_messages.fetch_add(messages, Ordering::Relaxed);
+    }
+
+    /// Tasks in submitted graphs before optimization.
+    pub fn optimize_tasks_in(&self) -> u64 {
+        self.optimize_tasks_in.load(Ordering::Relaxed)
+    }
+
+    /// Specs sent to the scheduler after optimization.
+    pub fn optimize_tasks_out(&self) -> u64 {
+        self.optimize_tasks_out.load(Ordering::Relaxed)
+    }
+
+    /// Tasks dropped by the cull pass.
+    pub fn optimize_culled(&self) -> u64 {
+        self.optimize_culled.load(Ordering::Relaxed)
+    }
+
+    /// Fused chains produced across all submissions.
+    pub fn fused_chains(&self) -> u64 {
+        self.fused_chains.load(Ordering::Relaxed)
+    }
+
+    /// Original tasks absorbed into fused chains (chain lengths summed).
+    pub fn fused_stages(&self) -> u64 {
+        self.fused_stages.load(Ordering::Relaxed)
+    }
+
+    /// Fused-chain length histogram (see [`SIZE_BUCKET_LABELS`]).
+    pub fn fused_chain_hist(&self) -> [u64; N_SIZE_BUCKETS] {
+        std::array::from_fn(|i| self.fused_chain_hist[i].load(Ordering::Relaxed))
+    }
+
+    /// Scheduler inbox bursts drained.
+    pub fn ingest_bursts(&self) -> u64 {
+        self.ingest_bursts.load(Ordering::Relaxed)
+    }
+
+    /// Messages absorbed across all bursts.
+    pub fn ingest_msgs(&self) -> u64 {
+        self.ingest_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Burst-size histogram (see [`SIZE_BUCKET_LABELS`]).
+    pub fn burst_hist(&self) -> [u64; N_SIZE_BUCKETS] {
+        std::array::from_fn(|i| self.burst_hist[i].load(Ordering::Relaxed))
+    }
+
+    /// Placement passes run.
+    pub fn assign_passes(&self) -> u64 {
+        self.assign_passes.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent inside placement passes.
+    pub fn assign_pass_ns(&self) -> u64 {
+        self.assign_pass_ns.load(Ordering::Relaxed)
+    }
+
+    /// Tasks assigned to workers.
+    pub fn assign_tasks(&self) -> u64 {
+        self.assign_tasks.load(Ordering::Relaxed)
+    }
+
+    /// `Execute`/`ExecuteBatch` messages sent to workers.
+    pub fn assign_messages(&self) -> u64 {
+        self.assign_messages.load(Ordering::Relaxed)
     }
 
     /// Fraction of executor-slot wall time spent busy, in `[0, 1]`.

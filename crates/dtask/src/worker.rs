@@ -20,8 +20,8 @@
 
 use crate::datum::Datum;
 use crate::key::Key;
-use crate::msg::{DataMsg, ExecMsg, SchedMsg, WorkerId};
-use crate::spec::{OpRegistry, TaskSpec};
+use crate::msg::{DataMsg, ExecMsg, SchedMsg, TaskError, WorkerId};
+use crate::spec::{FusedInput, OpRegistry, TaskSpec, Value};
 use crate::stats::{MsgClass, SchedulerStats};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -94,6 +94,10 @@ pub struct Executor {
     pub store: WorkerStore,
     /// Inbox of execution requests (shared by all slots of this worker).
     pub rx: Receiver<ExecMsg>,
+    /// Loopback sender onto the shared inbox: a slot receiving an
+    /// `ExecuteBatch` re-enqueues the tail here so sibling slots run it
+    /// concurrently instead of the whole batch serializing on one slot.
+    pub exec_tx: Sender<ExecMsg>,
     /// Scheduler channel for completion and replica reports.
     pub sched_tx: Sender<SchedMsg>,
     /// Data channels of every worker (peer fetches).
@@ -121,34 +125,53 @@ impl Executor {
                 ExecMsg::Execute {
                     spec,
                     dep_locations,
-                } => {
-                    let busy_from = Instant::now();
-                    let key = spec.key.clone();
-                    let outcome = self.execute(&spec, &dep_locations);
-                    match outcome {
-                        Ok(result) => {
-                            let nbytes = result.nbytes();
-                            self.store.lock().insert(key.clone(), result);
-                            let _ = self.sched_tx.send(SchedMsg::TaskFinished {
-                                worker: self.id,
-                                key,
-                                nbytes,
+                } => self.run_one(spec, dep_locations),
+                ExecMsg::ExecuteBatch { tasks } => {
+                    // Run the head inline; fan the tail back onto the shared
+                    // inbox so idle sibling slots pick it up immediately.
+                    let mut it = tasks.into_iter();
+                    if let Some((spec, dep_locations)) = it.next() {
+                        for (spec, dep_locations) in it {
+                            let _ = self.exec_tx.send(ExecMsg::Execute {
+                                spec,
+                                dep_locations,
                             });
                         }
-                        Err(error) => {
-                            let _ = self.sched_tx.send(SchedMsg::TaskErred {
-                                worker: self.id,
-                                key,
-                                error,
-                            });
-                        }
+                        self.run_one(spec, dep_locations);
                     }
-                    self.stats
-                        .record_exec_busy(busy_from.elapsed().as_nanos() as u64);
                 }
                 ExecMsg::Shutdown => break,
             }
         }
+    }
+
+    /// Execute one task and report the outcome to the scheduler.
+    fn run_one(&self, spec: Arc<TaskSpec>, dep_locations: Vec<(Key, Vec<WorkerId>)>) {
+        let busy_from = Instant::now();
+        let key = spec.key.clone();
+        match self.execute(&spec, &dep_locations) {
+            Ok(result) => {
+                let nbytes = result.nbytes();
+                self.store.lock().insert(key.clone(), result);
+                let _ = self.sched_tx.send(SchedMsg::TaskFinished {
+                    worker: self.id,
+                    key,
+                    nbytes,
+                });
+            }
+            Err((origin, message)) => {
+                let _ = self.sched_tx.send(SchedMsg::TaskErred {
+                    worker: self.id,
+                    stored_key: key,
+                    error: TaskError {
+                        key: origin,
+                        message,
+                    },
+                });
+            }
+        }
+        self.stats
+            .record_exec_busy(busy_from.elapsed().as_nanos() as u64);
     }
 
     /// Ask `peer` for `key`; returns the reply channel of the request.
@@ -305,15 +328,31 @@ impl Executor {
             .collect())
     }
 
+    /// Run one registered op under a panic guard.
+    fn run_op(&self, op_name: &str, params: &Datum, inputs: &[Datum]) -> Result<Datum, String> {
+        let op = self
+            .registry
+            .get(op_name)
+            .ok_or_else(|| format!("unknown op '{op_name}'"))?;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(params, inputs)))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<panic>".into());
+                Err(format!("op '{op_name}' panicked: {msg}"))
+            })
+    }
+
+    /// Run a task. Errors carry the key of the *originating* computation —
+    /// for a fused chain that is the failing interior stage, not the spec
+    /// key, so error attribution matches the unfused graph exactly.
     fn execute(
         &self,
         spec: &TaskSpec,
         dep_locations: &[(Key, Vec<WorkerId>)],
-    ) -> Result<Datum, String> {
-        let op = self
-            .registry
-            .get(&spec.op)
-            .ok_or_else(|| format!("unknown op '{}'", spec.op))?;
+    ) -> Result<Datum, (Key, String)> {
         let mut replicas = Vec::new();
         let gathered = self.gather_deps(spec, dep_locations, &mut replicas);
         // Report new replicas even if some other dependency failed: the
@@ -324,16 +363,33 @@ impl Executor {
                 entries: replicas,
             });
         }
-        let inputs = gathered?;
-        let params = &spec.params;
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(params, &inputs)))
-            .unwrap_or_else(|p| {
-                let msg = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "<panic>".into());
-                Err(format!("op '{}' panicked: {msg}", spec.op))
-            })
+        let inputs = gathered.map_err(|m| (spec.key.clone(), m))?;
+        match &spec.value {
+            Value::Op { op, params } => self
+                .run_op(op, params, &inputs)
+                .map_err(|m| (spec.key.clone(), m)),
+            Value::Fused { stages } => {
+                // Evaluate the chain inline; intermediate results live only
+                // on this slot's stack — one store insert, one TaskFinished.
+                let mut results: Vec<Datum> = Vec::with_capacity(stages.len());
+                for stage in stages {
+                    let stage_inputs: Vec<Datum> = stage
+                        .inputs
+                        .iter()
+                        .map(|input| match *input {
+                            FusedInput::Dep(i) => inputs[i].clone(),
+                            FusedInput::Stage(s) => results[s].clone(),
+                        })
+                        .collect();
+                    let r = self
+                        .run_op(&stage.op, &stage.params, &stage_inputs)
+                        .map_err(|m| (stage.key.clone(), m))?;
+                    results.push(r);
+                }
+                results
+                    .pop()
+                    .ok_or_else(|| (spec.key.clone(), "fused spec with zero stages".to_string()))
+            }
+        }
     }
 }

@@ -20,9 +20,9 @@ pub mod rsvd;
 pub mod stats;
 pub mod svd;
 
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixView};
 pub use ndarray::NDArray;
-pub use qr::{householder_qr, tsqr};
+pub use qr::{householder_qr, householder_qr_owned, tsqr};
 pub use rsvd::randomized_svd;
 pub use svd::{jacobi_svd, Svd};
 

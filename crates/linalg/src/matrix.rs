@@ -75,6 +75,136 @@ fn matmul_band(a: &[f64], b: &[f64], out: &mut [f64], row0: usize, k: usize, n: 
     }
 }
 
+/// Borrowed row-major matrix over an existing `f64` buffer.
+///
+/// Kernels that receive their operands as shared [`NDArray`]s (the worker
+/// hands blocks around as `Arc<NDArray>`) can wrap the buffer in a view via
+/// [`Matrix::from_ndarray_ref`] and multiply/transpose/stack without first
+/// deep-copying into an owned [`Matrix`]. The only copy is the output.
+#[derive(Clone, Copy)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f64],
+}
+
+impl std::fmt::Debug for MatrixView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MatrixView({}x{})", self.rows, self.cols)
+    }
+}
+
+/// Shared band-parallel multiply over raw row-major buffers; `threads` is
+/// clamped to `[1, m]`. Both [`Matrix::matmul_par`] and
+/// [`MatrixView::matmul`] bottom out here.
+fn matmul_slices(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        matmul_band(a, b, &mut out.data, 0, k, n);
+    } else {
+        let band = m.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (t, chunk) in out.data.chunks_mut(band * n).enumerate() {
+                s.spawn(move || matmul_band(a, b, chunk, t * band, k, n));
+            }
+        });
+    }
+    out
+}
+
+impl<'a> MatrixView<'a> {
+    /// View `data` as a `rows × cols` row-major matrix.
+    pub fn new(rows: usize, cols: usize, data: &'a [f64]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!(
+                    "{rows}x{cols} view wants {} elements, got {}",
+                    rows * cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(MatrixView { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy into an owned [`Matrix`] (the one explicit copy).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.to_vec(),
+        }
+    }
+
+    /// Transposed copy, straight from the borrowed buffer.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Cache-blocked, band-parallel `self * rhs` without owning either
+    /// operand. Same threading policy as [`Matrix::matmul`].
+    pub fn matmul(&self, rhs: &MatrixView<'_>) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let threads = par_threads(self.rows, self.rows * self.cols * rhs.cols);
+        Ok(matmul_slices(
+            self.data, rhs.data, self.rows, self.cols, rhs.cols, threads,
+        ))
+    }
+
+    /// Stack views vertically into an owned matrix (single output copy).
+    pub fn vstack(parts: &[MatrixView<'_>]) -> Result<Matrix> {
+        let first = parts.first().ok_or_else(|| LinalgError::InvalidArgument {
+            what: "vstack of zero matrices".into(),
+        })?;
+        let cols = first.cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            if p.cols != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    what: format!("vstack: {} cols vs {} cols", p.cols, cols),
+                });
+            }
+            data.extend_from_slice(p.data);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -128,6 +258,26 @@ impl Matrix {
         }
         let (r, c) = (a.shape()[0], a.shape()[1]);
         Matrix::from_vec(r, c, a.into_vec())
+    }
+
+    /// Borrow a 2-D [`NDArray`] as a [`MatrixView`] — no copy at all, unlike
+    /// [`Matrix::from_ndarray`] which needs ownership of the buffer.
+    pub fn from_ndarray_ref(a: &NDArray) -> Result<MatrixView<'_>> {
+        if a.ndim() != 2 {
+            return Err(LinalgError::ShapeMismatch {
+                what: format!("expected 2-D array, got {:?}", a.shape()),
+            });
+        }
+        MatrixView::new(a.shape()[0], a.shape()[1], a.data())
+    }
+
+    /// Borrow this matrix as a [`MatrixView`].
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
     }
 
     /// Convert into a 2-D [`NDArray`].
@@ -192,24 +342,9 @@ impl Matrix {
                 what: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
             });
         }
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        if m == 0 || n == 0 || k == 0 {
-            return Ok(out);
-        }
-        let threads = threads.clamp(1, m);
-        if threads == 1 {
-            matmul_band(&self.data, &rhs.data, &mut out.data, 0, k, n);
-        } else {
-            let band = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, chunk) in out.data.chunks_mut(band * n).enumerate() {
-                    let (a, b) = (&self.data, &rhs.data);
-                    s.spawn(move || matmul_band(a, b, chunk, t * band, k, n));
-                }
-            });
-        }
-        Ok(out)
+        Ok(matmul_slices(
+            &self.data, &rhs.data, self.rows, self.cols, rhs.cols, threads,
+        ))
     }
 
     /// `self^T * rhs` without materializing the transpose.
@@ -427,6 +562,48 @@ mod tests {
         assert!(a.take_cols(4).is_err());
         assert!(a.take_rows(3).is_err());
         assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn view_matmul_transpose_vstack_match_owned() {
+        let a = Matrix::from_fn(9, 6, |i, j| ((i * 11 + j * 5) % 7) as f64 - 3.0);
+        let b = Matrix::from_fn(6, 4, |i, j| ((i * 3 + j) % 5) as f64 * 0.5);
+        let owned = a.matmul(&b).unwrap();
+        let via_view = a.as_view().matmul(&b.as_view()).unwrap();
+        assert_eq!(via_view.max_abs_diff(&owned).unwrap(), 0.0);
+        assert_eq!(
+            a.as_view()
+                .transpose()
+                .max_abs_diff(&a.transpose())
+                .unwrap(),
+            0.0
+        );
+        let stacked = MatrixView::vstack(&[a.as_view(), a.as_view()]).unwrap();
+        assert_eq!(stacked.rows(), 18);
+        assert_eq!(stacked.take_rows(9).unwrap().max_abs_diff(&a).unwrap(), 0.0);
+        assert_eq!(a.as_view().to_matrix().max_abs_diff(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn view_shape_errors() {
+        assert!(MatrixView::new(2, 3, &[0.0; 5]).is_err());
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.as_view().matmul(&b.as_view()).is_err());
+        assert!(MatrixView::vstack(&[a.as_view(), Matrix::zeros(1, 2).as_view()]).is_err());
+        assert!(MatrixView::vstack(&[]).is_err());
+        let nd3 = NDArray::zeros(&[2, 2, 2]);
+        assert!(Matrix::from_ndarray_ref(&nd3).is_err());
+    }
+
+    #[test]
+    fn from_ndarray_ref_borrows_without_copy() {
+        let nd = NDArray::from_vec(&[2, 3], (0..6).map(|v| v as f64).collect()).unwrap();
+        let v = Matrix::from_ndarray_ref(&nd).unwrap();
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.cols(), 3);
+        assert!(std::ptr::eq(v.data().as_ptr(), nd.data().as_ptr()));
+        assert_eq!(v.row(1), &[3.0, 4.0, 5.0]);
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct Qr {
 ///
 /// Numerically stable for any `m >= 1`, `n >= 1`. Cost `O(m n^2)`.
 pub fn householder_qr(a: &Matrix) -> Result<Qr> {
+    householder_qr_owned(a.clone())
+}
+
+/// [`householder_qr`] taking ownership of `a` and factorizing in place —
+/// callers that already hold a throwaway copy (e.g. one assembled from a
+/// [`crate::matrix::MatrixView`]) skip the internal working-copy clone.
+pub fn householder_qr_owned(a: Matrix) -> Result<Qr> {
     let m = a.rows();
     let n = a.cols();
     if m == 0 || n == 0 {
@@ -116,7 +123,7 @@ pub fn householder_qr(a: &Matrix) -> Result<Qr> {
         });
     }
     let k = m.min(n);
-    let mut r = a.clone();
+    let mut r = a;
     // Store Householder vectors; v[j] has length m - j.
     let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
     for j in 0..k {

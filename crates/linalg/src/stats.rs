@@ -4,16 +4,21 @@
 //! per-column means/variances of a batch and the Chan et al. pooled update
 //! that merges batch statistics into running statistics.
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, MatrixView};
 use crate::{LinalgError, Result};
 
 /// Per-column mean of a samples×features matrix.
 pub fn col_mean(x: &Matrix) -> Vec<f64> {
+    col_mean_view(x.as_view())
+}
+
+/// [`col_mean`] over a borrowed [`MatrixView`].
+pub fn col_mean_view(x: MatrixView<'_>) -> Vec<f64> {
     let n = x.rows() as f64;
     let mut mean = vec![0.0; x.cols()];
     for i in 0..x.rows() {
-        for (j, m) in mean.iter_mut().enumerate() {
-            *m += x[(i, j)];
+        for (m, v) in mean.iter_mut().zip(x.row(i)) {
+            *m += v;
         }
     }
     for m in &mut mean {
@@ -24,11 +29,17 @@ pub fn col_mean(x: &Matrix) -> Vec<f64> {
 
 /// Per-column population variance (divisor `n`).
 pub fn col_var(x: &Matrix, mean: &[f64]) -> Vec<f64> {
+    col_var_view(x.as_view(), mean)
+}
+
+/// [`col_var`] over a borrowed [`MatrixView`].
+pub fn col_var_view(x: MatrixView<'_>, mean: &[f64]) -> Vec<f64> {
     let n = x.rows() as f64;
     let mut var = vec![0.0; x.cols()];
     for i in 0..x.rows() {
+        let row = x.row(i);
         for (j, v) in var.iter_mut().enumerate() {
-            let d = x[(i, j)] - mean[j];
+            let d = row[j] - mean[j];
             *v += d * d;
         }
     }
@@ -40,19 +51,24 @@ pub fn col_var(x: &Matrix, mean: &[f64]) -> Vec<f64> {
 
 /// Subtract a per-column mean from every row, returning the centered matrix.
 pub fn center_columns(x: &Matrix, mean: &[f64]) -> Result<Matrix> {
+    center_columns_view(x.as_view(), mean)
+}
+
+/// [`center_columns`] over a borrowed [`MatrixView`] — the output matrix is
+/// the only allocation; the source buffer is never copied first.
+pub fn center_columns_view(x: MatrixView<'_>, mean: &[f64]) -> Result<Matrix> {
     if mean.len() != x.cols() {
         return Err(LinalgError::ShapeMismatch {
             what: format!("mean len {} vs {} cols", mean.len(), x.cols()),
         });
     }
-    let mut out = x.clone();
-    for i in 0..out.rows() {
-        let row = out.row_mut(i);
-        for (j, r) in row.iter_mut().enumerate() {
-            *r -= mean[j];
+    let mut data = Vec::with_capacity(x.rows() * x.cols());
+    for i in 0..x.rows() {
+        for (j, v) in x.row(i).iter().enumerate() {
+            data.push(v - mean[j]);
         }
     }
-    Ok(out)
+    Matrix::from_vec(x.rows(), x.cols(), data)
 }
 
 /// Running (count, mean, unnormalized variance `M2 = var*count`) per column.

@@ -4,7 +4,7 @@
 use deisa_repro::darray::{self, Graph};
 use deisa_repro::deisa::deisa1::{Adaptor1, Bridge1};
 use deisa_repro::deisa::{Adaptor, Bridge, DeisaVersion, Selection, VirtualArray};
-use deisa_repro::dtask::{Cluster, MsgClass};
+use deisa_repro::dtask::{Cluster, ClusterConfig, IngestMode, MsgClass, OptimizeConfig};
 use deisa_repro::linalg::NDArray;
 
 const STEPS: usize = 5;
@@ -15,7 +15,24 @@ fn varray() -> VirtualArray {
 }
 
 fn run_version(version: DeisaVersion) -> Cluster {
-    let cluster = Cluster::new(2);
+    run_version_on(version, Cluster::new(2))
+}
+
+/// Same workflow on a cluster with the graph optimizer and batched scheduler
+/// ingestion enabled — the configuration the paper's formulas must survive.
+fn run_version_optimized(version: DeisaVersion) -> Cluster {
+    run_version_on(
+        version,
+        Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            optimize: OptimizeConfig::enabled(),
+            ingest: IngestMode::Batched { max_burst: 64 },
+            ..ClusterConfig::default()
+        }),
+    )
+}
+
+fn run_version_on(version: DeisaVersion, cluster: Cluster) -> Cluster {
     darray::register_array_ops(cluster.registry());
     if version.uses_external_tasks() {
         let analytics = {
@@ -119,6 +136,66 @@ fn deisa3_metadata_matches_1_plus_r_formula() {
     assert_eq!(stats.count(MsgClass::GraphSubmit), 1);
     // One external registration.
     assert_eq!(stats.count(MsgClass::RegisterExternal), 1);
+}
+
+/// The `1 + R` contract-message formula is a property of the protocol, not
+/// of the scheduler configuration: with cull+fusion and batched ingestion
+/// enabled, every DEISA3 metadata count must be exactly what the unoptimized
+/// run produces — external tasks are never fused or culled away.
+#[test]
+fn deisa3_formula_survives_optimizer_and_batching() {
+    let cluster = run_version_optimized(DeisaVersion::Deisa3);
+    let stats = cluster.stats();
+    assert_eq!(stats.count(MsgClass::UpdateData), 0);
+    assert_eq!(stats.count(MsgClass::Queue), 0);
+    assert_eq!(stats.count(MsgClass::Heartbeat), 0);
+    assert_eq!(stats.count(MsgClass::Variable) as usize, 3 + RANKS);
+    assert_eq!(
+        stats.count(MsgClass::UpdateDataExternal) as usize,
+        STEPS * RANKS
+    );
+    assert_eq!(stats.count(MsgClass::GraphSubmit), 1);
+    assert_eq!(stats.count(MsgClass::RegisterExternal), 1);
+    // And the optimizer genuinely ran over the analytics graph.
+    assert!(stats.optimize_tasks_in() > 0);
+}
+
+/// DEISA1 (per-step queues + classic scatter) under the optimized scheduler:
+/// the `2·T·R` bridge-metadata shape is likewise untouched.
+#[test]
+fn deisa1_formula_survives_optimizer_and_batching() {
+    let cluster = run_version_optimized(DeisaVersion::Deisa1);
+    let stats = cluster.stats();
+    assert_eq!(stats.count(MsgClass::UpdateData) as usize, STEPS * RANKS);
+    assert_eq!(stats.count(MsgClass::UpdateDataExternal), 0);
+    assert_eq!(stats.count(MsgClass::Queue) as usize, 2 * STEPS * RANKS);
+    assert!(stats.bridge_metadata_messages() as usize >= 2 * STEPS * RANKS);
+    assert_eq!(stats.count(MsgClass::GraphSubmit) as usize, STEPS);
+    assert_eq!(stats.count(MsgClass::Variable), 0);
+}
+
+/// External-task traffic — completions, registrations, and payload bytes —
+/// is bit-identical with and without the optimizer.
+#[test]
+fn external_task_counts_identical_pre_post_optimize() {
+    let plain = run_version(DeisaVersion::Deisa3);
+    let optimized = run_version_optimized(DeisaVersion::Deisa3);
+    let (p, o) = (plain.stats(), optimized.stats());
+    assert_eq!(
+        p.count(MsgClass::UpdateDataExternal),
+        o.count(MsgClass::UpdateDataExternal)
+    );
+    assert_eq!(
+        p.count(MsgClass::RegisterExternal),
+        o.count(MsgClass::RegisterExternal)
+    );
+    assert_eq!(
+        p.bytes(MsgClass::ScatterData),
+        o.bytes(MsgClass::ScatterData)
+    );
+    // The optimized run got there with fewer scheduler->worker assignment
+    // messages (per-worker coalescing), never more.
+    assert!(o.assign_messages() <= o.assign_tasks());
 }
 
 #[test]
