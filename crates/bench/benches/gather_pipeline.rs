@@ -16,7 +16,9 @@
 //! both configurations.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dtask::{Cluster, ClusterConfig, Datum, GatherMode, HeartbeatInterval, Key, TaskSpec};
+use dtask::{
+    Cluster, ClusterConfig, Datum, GatherMode, HeartbeatInterval, HistSnapshot, Key, TaskSpec,
+};
 use std::time::{Duration, Instant};
 
 const N_WORKERS: usize = 4;
@@ -99,6 +101,16 @@ fn timed_config(label: &str, slots: usize, mode: GatherMode, rounds: u64) -> Dur
         stats.gather_deps(),
         stats.gather_wait_ns() as f64 / batches as f64 / 1e6,
         stats.executor_utilization() * 100.0,
+    );
+    let gather = HistSnapshot::capture(stats.gather_wait_hist());
+    let queue = HistSnapshot::capture(stats.queue_delay_hist());
+    println!(
+        "  {:<28} gather wait p50 {:.2} ms / p99 {:.2} ms | queue delay p50 {:.2} ms / p99 {:.2} ms",
+        "",
+        gather.p50_ns as f64 / 1e6,
+        gather.p99_ns as f64 / 1e6,
+        queue.p50_ns as f64 / 1e6,
+        queue.p99_ns as f64 / 1e6,
     );
     elapsed
 }

@@ -19,7 +19,10 @@
 //! Target: >= 1.5x on this scheduling-bound workload.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dtask::{Cluster, ClusterConfig, Datum, IngestMode, Key, MsgClass, OptimizeConfig, TaskSpec};
+use dtask::{
+    Cluster, ClusterConfig, Datum, IngestMode, Json, Key, MsgClass, OptimizeConfig, StatsSnapshot,
+    TaskSpec, TraceConfig,
+};
 use std::time::{Duration, Instant};
 
 const N_WORKERS: usize = 4;
@@ -27,11 +30,12 @@ const CHAINS: usize = 64;
 const CHAIN_LEN: usize = 8;
 const DEAD_TASKS: usize = 32;
 
-fn make_cluster(optimize: OptimizeConfig, ingest: IngestMode) -> Cluster {
+fn make_cluster(optimize: OptimizeConfig, ingest: IngestMode, trace: TraceConfig) -> Cluster {
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: N_WORKERS,
         optimize,
         ingest,
+        trace,
         ..ClusterConfig::default()
     });
     // Chain stage: scalar increment — cheap on purpose, so scheduling
@@ -47,9 +51,10 @@ fn make_cluster(optimize: OptimizeConfig, ingest: IngestMode) -> Cluster {
 }
 
 /// One ahead-of-time round: submit the whole graph, scatter the external
-/// blocks, await the sink. Returns the sink value.
-fn run_round(cluster: &Cluster, round: u64) -> f64 {
-    let client = cluster.client();
+/// blocks, await the sink. Returns the sink value. Takes a long-lived
+/// client — connect cost (inbox, trace ring) must not pollute the
+/// scheduler-path timing.
+fn run_round(client: &dtask::Client, round: u64) -> f64 {
     let ext_keys: Vec<Key> = (0..CHAINS)
         .map(|c| Key::new(format!("ext-{round}-{c}")))
         .collect();
@@ -102,17 +107,20 @@ fn expected_sink() -> f64 {
 }
 
 /// Run `rounds` workloads on a fresh cluster; print the scheduler telemetry;
-/// return total wall time.
+/// return total wall time plus the full stats snapshot (the same schema
+/// runtime snapshots use, so `results/BENCH_scheduler.json` and live metrics
+/// stay diffable).
 fn timed_config(
     label: &str,
     optimize: OptimizeConfig,
     ingest: IngestMode,
     rounds: u64,
-) -> (Duration, u64) {
-    let cluster = make_cluster(optimize, ingest);
+) -> (Duration, u64, StatsSnapshot) {
+    let cluster = make_cluster(optimize, ingest, TraceConfig::default());
+    let client = cluster.client();
     let started = Instant::now();
     for round in 0..rounds {
-        assert_eq!(run_round(&cluster, round), expected_sink());
+        assert_eq!(run_round(&client, round), expected_sink());
     }
     let elapsed = started.elapsed();
     let stats = cluster.stats();
@@ -131,7 +139,13 @@ fn timed_config(
         stats.ingest_msgs() as f64 / bursts as f64,
         stats.count(MsgClass::TaskReport),
     );
-    (elapsed, sched_to_worker + stats.count(MsgClass::TaskReport))
+    let msgs = sched_to_worker + stats.count(MsgClass::TaskReport);
+    (elapsed, msgs, StatsSnapshot::capture(stats))
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
 }
 
 fn bench_scheduler_throughput(c: &mut Criterion) {
@@ -140,13 +154,13 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
          {N_WORKERS} workers, graph submitted before data"
     );
     let rounds = 5;
-    let (baseline, base_msgs) = timed_config(
+    let (baseline, base_msgs, base_snap) = timed_config(
         "baseline per-message/no-opt",
         OptimizeConfig::default(),
         IngestMode::PerMessage,
         rounds,
     );
-    let (optimized, opt_msgs) = timed_config(
+    let (optimized, opt_msgs, opt_snap) = timed_config(
         "optimized fused/batched",
         OptimizeConfig::enabled(),
         IngestMode::Batched { max_burst: 64 },
@@ -159,25 +173,101 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         (1.0 - opt_msgs as f64 / base_msgs.max(1) as f64) * 100.0
     );
 
+    // Tracing overhead A/B on the optimized config: a disabled TraceConfig
+    // must be free (no clock reads, no allocation on the hot path), and even
+    // full recording should stay in the low single digits.
+    // Rounds are interleaved between the two clusters so machine-load drift
+    // during the run lands on both configurations equally; medians keep one
+    // noisy round from faking a regression.
+    let trace_rounds = 25;
+    let off_cluster = make_cluster(
+        OptimizeConfig::enabled(),
+        IngestMode::Batched { max_burst: 64 },
+        TraceConfig::default(),
+    );
+    let on_cluster = make_cluster(
+        OptimizeConfig::enabled(),
+        IngestMode::Batched { max_burst: 64 },
+        TraceConfig::enabled(),
+    );
+    let off_client = off_cluster.client();
+    let on_client = on_cluster.client();
+    let mut off_samples = Vec::with_capacity(trace_rounds);
+    let mut on_samples = Vec::with_capacity(trace_rounds);
+    for round in 0..trace_rounds as u64 {
+        let t0 = Instant::now();
+        assert_eq!(run_round(&off_client, round), expected_sink());
+        off_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        assert_eq!(run_round(&on_client, round), expected_sink());
+        on_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let off = median_ms(off_samples);
+    let on = median_ms(on_samples);
+    let overhead_pct = (on / off.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "  tracing A/B (median round): off {off:.2} ms, on {on:.2} ms \
+         ({overhead_pct:+.1}% — disabled recorder must stay < 2%)"
+    );
+
+    // Emit the machine-readable record through the shared StatsSnapshot
+    // schema (one format for bench output and runtime snapshots).
+    let doc = Json::obj()
+        .set(
+            "workload",
+            format!(
+                "{CHAINS} external-rooted linear chains x {CHAIN_LEN} ops + {DEAD_TASKS} dead \
+                 tasks + 1 sum sink, {N_WORKERS} workers, whole graph submitted before data \
+                 ({rounds} rounds for the telemetry pass)"
+            ),
+        )
+        .set("target", ">= 1.5x submit-to-last-result")
+        .set("baseline_wall_ms", baseline.as_secs_f64() * 1e3)
+        .set("optimized_wall_ms", optimized.as_secs_f64() * 1e3)
+        .set("speedup", speedup)
+        .set("scheduler_worker_messages_baseline", base_msgs)
+        .set("scheduler_worker_messages_optimized", opt_msgs)
+        .set("trace_off_median_round_ms", off)
+        .set("trace_on_median_round_ms", on)
+        .set("trace_overhead_pct", overhead_pct)
+        .set("baseline_stats", base_snap.to_json())
+        .set("optimized_stats", opt_snap.to_json());
+    // Write at the workspace root regardless of the bench's cwd.
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(out_dir).ok();
+    let out = format!("{out_dir}/BENCH_scheduler.json");
+    if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
+        println!("  (could not write {out}: {e})");
+    } else {
+        println!("  wrote results/BENCH_scheduler.json");
+    }
+
     let mut group = c.benchmark_group("scheduler_throughput");
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("baseline", "per_message"), |bench| {
-        let cluster = make_cluster(OptimizeConfig::default(), IngestMode::PerMessage);
+        let cluster = make_cluster(
+            OptimizeConfig::default(),
+            IngestMode::PerMessage,
+            TraceConfig::default(),
+        );
+        let client = cluster.client();
         let mut round = 0u64;
         bench.iter(|| {
             round += 1;
-            black_box(run_round(&cluster, round))
+            black_box(run_round(&client, round))
         });
     });
     group.bench_function(BenchmarkId::new("optimized", "fused_batched"), |bench| {
         let cluster = make_cluster(
             OptimizeConfig::enabled(),
             IngestMode::Batched { max_burst: 64 },
+            TraceConfig::default(),
         );
+        let client = cluster.client();
         let mut round = 0u64;
         bench.iter(|| {
             round += 1;
-            black_box(run_round(&cluster, round))
+            black_box(run_round(&client, round))
         });
     });
     group.finish();

@@ -15,7 +15,7 @@ use crate::bridge::{ARRAYS_VAR, CONTRACT_VAR};
 use crate::contract::{Contract, Selection};
 use crate::varray::VirtualArray;
 use darray::{ChunkGrid, DArray, LabeledArray};
-use dtask::{Client, Key};
+use dtask::{Client, EventKind, Key};
 
 /// The adaptor: wraps the analytics client's connection to DEISA.
 pub struct Adaptor {
@@ -36,10 +36,15 @@ impl Adaptor {
     /// Wait for the simulation's rank-0 bridge to publish the virtual array
     /// descriptors, then return the selection handle.
     pub fn get_deisa_arrays(&self) -> Result<DeisaArrays<'_>, String> {
+        self.client.tracer().set_label("adaptor".to_string());
+        let setup_t0 = self.client.tracer().start();
         let datum = self
             .client
             .var_get(ARRAYS_VAR)
             .map_err(|e| format!("adaptor: waiting for descriptors: {e}"))?;
+        self.client
+            .tracer()
+            .span(EventKind::ContractSetup, setup_t0, None, 0);
         let list = datum.as_list().ok_or("adaptor: descriptor list expected")?;
         let varrays = list
             .iter()
@@ -134,6 +139,7 @@ impl DeisaArrays<'_> {
         if self.validated {
             return Err("contract already validated".into());
         }
+        let setup_t0 = self.adaptor.client.tracer().start();
         // Register external tasks for all selected blocks, all timesteps.
         let mut external: Vec<Key> = Vec::new();
         for varray in &self.varrays {
@@ -151,10 +157,15 @@ impl DeisaArrays<'_> {
                 external.push(crate::naming::block_key(&varray.name, &position));
             }
         }
+        let n_external = external.len() as u64;
         self.adaptor.client.register_external(external);
         self.adaptor
             .client
             .var_set(CONTRACT_VAR, self.contract.to_datum());
+        self.adaptor
+            .client
+            .tracer()
+            .span(EventKind::ContractSetup, setup_t0, None, n_external);
         self.validated = true;
         Ok(())
     }

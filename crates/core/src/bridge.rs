@@ -14,7 +14,7 @@
 use crate::contract::Contract;
 use crate::naming::preselect_worker;
 use crate::varray::VirtualArray;
-use dtask::{Client, Datum};
+use dtask::{Client, Datum, EventKind};
 use linalg::NDArray;
 
 /// Variable carrying the virtual-array descriptors (rank 0 → adaptor).
@@ -40,6 +40,8 @@ impl Bridge {
     /// created with the heartbeat interval of the [`crate::DeisaVersion`]
     /// under test.
     pub fn init(client: Client, rank: usize, varrays: Vec<VirtualArray>) -> Result<Bridge, String> {
+        client.tracer().set_label(format!("bridge-rank{rank}"));
+        let setup_t0 = client.tracer().start();
         if rank == 0 {
             let descriptors = Datum::List(varrays.iter().map(|v| v.to_datum()).collect());
             client.var_set(ARRAYS_VAR, descriptors);
@@ -48,6 +50,9 @@ impl Bridge {
         let contract_datum = client
             .var_get(CONTRACT_VAR)
             .map_err(|e| format!("bridge {rank}: waiting for contract: {e}"))?;
+        client
+            .tracer()
+            .span(EventKind::ContractSetup, setup_t0, None, rank as u64);
         let contract = Contract::from_datum(&contract_datum)?;
         Ok(Bridge {
             client,
@@ -109,10 +114,14 @@ impl Bridge {
             self.filtered_blocks += 1;
             return Ok(false);
         }
+        let publish_t0 = self.client.tracer().start();
         let worker = preselect_worker(spatial_linear, self.client.n_workers());
         let key = varray.key(t, spatial_linear);
         self.client
-            .scatter_external(vec![(key, Datum::from(block))], Some(worker));
+            .scatter_external(vec![(key.clone(), Datum::from(block))], Some(worker));
+        self.client
+            .tracer()
+            .span(EventKind::Publish, publish_t0, Some(&key), t as u64);
         self.sent_blocks += 1;
         Ok(true)
     }

@@ -16,7 +16,7 @@
 use crate::naming::{block_key, preselect_worker};
 use crate::varray::VirtualArray;
 use darray::{ChunkGrid, DArray};
-use dtask::{Client, Datum, Key};
+use dtask::{Client, Datum, EventKind, Key};
 use linalg::NDArray;
 
 /// Name of the metadata queue of one rank.
@@ -36,6 +36,7 @@ pub struct Bridge1 {
 impl Bridge1 {
     /// Connect. DEISA1 has no contract phase, so this never blocks.
     pub fn init(client: Client, rank: usize, varrays: Vec<VirtualArray>) -> Bridge1 {
+        client.tracer().set_label(format!("bridge1-rank{rank}"));
         Bridge1 {
             client,
             rank,
@@ -69,6 +70,7 @@ impl Bridge1 {
         }
         let position = varray.block_position(t, spatial_linear);
         let key = block_key(name, &position);
+        let publish_t0 = self.client.tracer().start();
         let worker = preselect_worker(spatial_linear, self.client.n_workers());
         // Classic scatter: data to worker + update_data to scheduler.
         self.client
@@ -83,6 +85,9 @@ impl Bridge1 {
                 Datum::I64(spatial_linear as i64),
             ]),
         );
+        self.client
+            .tracer()
+            .span(EventKind::Publish, publish_t0, Some(&key), t as u64);
         self.sent_blocks += 1;
         Ok(())
     }

@@ -6,6 +6,7 @@ use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
 use crate::optimize::{optimize, OptimizeConfig};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
+use crate::trace::{EventKind, TraceHandle};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
@@ -42,6 +43,9 @@ pub struct Client {
     /// Keys this client registered as external tasks: the optimizer must
     /// never cull them or swallow them into a fused chain.
     pub(crate) external_keys: RefCell<HashSet<Key>>,
+    /// Lifecycle event recorder (empty handle when tracing is off). Bridges
+    /// relabel their trace row via [`TraceHandle::set_label`].
+    pub(crate) tracer: TraceHandle,
     pub(crate) _heartbeat: Option<HeartbeatHandle>,
 }
 
@@ -73,6 +77,12 @@ impl Client {
         &self.stats
     }
 
+    /// This client's trace handle (empty when tracing is off). Bridges use
+    /// it to record contract-setup/publish spans and to label their row.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
+    }
+
     /// Submit a task graph. Returns immediately; use [`Client::future`] to
     /// wait on results.
     ///
@@ -91,11 +101,16 @@ impl Client {
     /// chains; externally registered keys are always protected.
     pub fn submit_with_outputs(&self, mut specs: Vec<TaskSpec>, outputs: &[Key]) {
         if self.optimize.is_active() {
+            let opt_t0 = self.tracer.start();
             let protected = self.external_keys.borrow();
             let (optimized, report) = optimize(specs, outputs, &protected, &self.optimize);
             specs = optimized;
+            self.tracer
+                .span(EventKind::Optimize, opt_t0, None, report.tasks_out as u64);
             self.stats.record_optimize(&report);
         }
+        self.tracer
+            .instant(EventKind::Submit, None, specs.len() as u64);
         let _ = self.sched_tx.send(SchedMsg::SubmitGraph {
             client: self.id,
             specs,
@@ -115,6 +130,8 @@ impl Client {
     /// submitted immediately afterwards — before any data exists.
     pub fn register_external(&self, keys: Vec<Key>) {
         self.external_keys.borrow_mut().extend(keys.iter().cloned());
+        self.tracer
+            .instant(EventKind::RegisterExternal, None, keys.len() as u64);
         let _ = self.sched_tx.send(SchedMsg::RegisterExternal {
             client: self.id,
             keys,
@@ -152,6 +169,9 @@ impl Client {
         worker: Option<WorkerId>,
         external: bool,
     ) -> Vec<WorkerId> {
+        let scatter_t0 = self.tracer.start();
+        let first_key = items.first().map(|(k, _)| k.clone());
+        let mut total_bytes = 0u64;
         let mut placements = Vec::with_capacity(items.len());
         let mut entries = Vec::with_capacity(items.len());
         for (key, value) in items {
@@ -159,6 +179,7 @@ impl Client {
                 self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.worker_data.len()
             });
             let nbytes = value.nbytes();
+            total_bytes += nbytes;
             self.stats.record(MsgClass::ScatterData, nbytes);
             let (ack_tx, ack_rx) = bounded(1);
             let _ = self.worker_data[w].send(DataMsg::Put {
@@ -178,6 +199,13 @@ impl Client {
             entries,
             external,
         });
+        let kind = if external {
+            EventKind::ScatterExternal
+        } else {
+            EventKind::Scatter
+        };
+        self.tracer
+            .span(kind, scatter_t0, first_key.as_ref(), total_bytes);
         placements
     }
 
@@ -262,6 +290,7 @@ impl Client {
 
     /// Fetch a key's value from a worker (data plane).
     fn gather_from(&self, worker: WorkerId, key: &Key) -> Result<Datum, TaskError> {
+        let gather_t0 = self.tracer.start();
         let (reply_tx, reply_rx) = bounded(1);
         let _ = self.worker_data[worker].send(DataMsg::Get {
             key: key.clone(),
@@ -270,6 +299,12 @@ impl Client {
         match reply_rx.recv() {
             Ok(Ok(value)) => {
                 self.stats.record(MsgClass::GatherData, value.nbytes());
+                self.tracer.span(
+                    EventKind::GatherToClient,
+                    gather_t0,
+                    Some(key),
+                    value.nbytes(),
+                );
                 Ok(value)
             }
             Ok(Err(m)) => Err(TaskError {
@@ -346,6 +381,7 @@ impl Client {
 
     /// Push onto a named distributed queue.
     pub fn q_push(&self, name: &str, value: Datum) {
+        self.tracer.instant(EventKind::QueueOp, None, 0);
         let _ = self.sched_tx.send(SchedMsg::QueuePush {
             name: name.to_string(),
             value,
@@ -354,6 +390,7 @@ impl Client {
 
     /// Blocking pop from a named queue.
     pub fn q_pop(&self, name: &str) -> Result<Datum, WaitError> {
+        self.tracer.instant(EventKind::QueueOp, None, 1);
         let _ = self.sched_tx.send(SchedMsg::QueuePop {
             client: self.id,
             name: name.to_string(),

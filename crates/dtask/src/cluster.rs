@@ -6,6 +6,7 @@ use crate::optimize::OptimizeConfig;
 use crate::scheduler::{IngestMode, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
+use crate::trace::{TraceActor, TraceConfig, TraceRecorder};
 use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -58,6 +59,10 @@ pub struct ClusterConfig {
     /// per-worker assignment batching; [`IngestMode::PerMessage`] restores
     /// the classic loop for A/B comparison).
     pub ingest: IngestMode,
+    /// Task-lifecycle tracing (default: off — disabled handles never touch
+    /// the clock or allocate). Enable with [`TraceConfig::enabled`] and read
+    /// the log back via [`Cluster::tracer`].
+    pub trace: TraceConfig,
 }
 
 impl Default for ClusterConfig {
@@ -69,6 +74,7 @@ impl Default for ClusterConfig {
             default_heartbeat: HeartbeatInterval::Infinite,
             optimize: OptimizeConfig::default(),
             ingest: IngestMode::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -94,6 +100,7 @@ pub struct Cluster {
     worker_exec: Vec<Sender<ExecMsg>>,
     registry: OpRegistry,
     stats: Arc<SchedulerStats>,
+    tracer: Arc<TraceRecorder>,
     next_client: AtomicUsize,
     default_heartbeat: HeartbeatInterval,
     optimize: OptimizeConfig,
@@ -117,6 +124,7 @@ impl Cluster {
         let slots = config.resolved_slots();
         let registry = OpRegistry::with_std_ops();
         let stats = Arc::new(SchedulerStats::new());
+        let tracer = Arc::new(TraceRecorder::new(config.trace));
         let (sched_tx, sched_rx) = unbounded();
 
         let mut worker_data = Vec::with_capacity(config.n_workers);
@@ -142,7 +150,14 @@ impl Cluster {
                 .cloned()
                 .zip(worker_exec.iter().cloned())
                 .collect();
-            let sched = Scheduler::new(sched_rx, pairs, slots, config.ingest, Arc::clone(&stats));
+            let sched = Scheduler::new(
+                sched_rx,
+                pairs,
+                slots,
+                config.ingest,
+                Arc::clone(&stats),
+                tracer.register(TraceActor::Scheduler),
+            );
             threads.push(
                 std::thread::Builder::new()
                     .name("dtask-scheduler".into())
@@ -171,6 +186,7 @@ impl Cluster {
                     registry: registry.clone(),
                     stats: Arc::clone(&stats),
                     gather_mode: config.gather_mode,
+                    tracer: tracer.register(TraceActor::WorkerSlot { worker: id, slot }),
                 };
                 threads.push(
                     std::thread::Builder::new()
@@ -187,6 +203,7 @@ impl Cluster {
             worker_exec,
             registry,
             stats,
+            tracer,
             next_client: AtomicUsize::new(0),
             default_heartbeat: config.default_heartbeat,
             optimize: config.optimize,
@@ -205,6 +222,13 @@ impl Cluster {
     /// Shared message counters.
     pub fn stats(&self) -> &Arc<SchedulerStats> {
         &self.stats
+    }
+
+    /// The cluster-wide trace recorder. Inert unless the cluster was built
+    /// with [`TraceConfig::enabled`]; call
+    /// [`TraceRecorder::collect`] after a run to drain the event log.
+    pub fn tracer(&self) -> &Arc<TraceRecorder> {
+        &self.tracer
     }
 
     /// Number of workers.
@@ -288,6 +312,7 @@ impl Cluster {
             scatter_cursor: AtomicUsize::new(id), // stagger placement across clients
             optimize: self.optimize.clone(),
             external_keys: Default::default(),
+            tracer: self.tracer.register(TraceActor::Client { id }),
             _heartbeat: hb,
         }
     }

@@ -44,21 +44,30 @@
 pub mod client;
 pub mod cluster;
 pub mod datum;
+pub mod json;
 pub mod key;
 pub mod msg;
 pub mod optimize;
 pub mod scheduler;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
+pub mod trace;
 pub mod worker;
 
 pub use client::{Client, DFuture, DQueue, Variable};
 pub use cluster::{Cluster, ClusterConfig, HeartbeatInterval};
 pub use datum::Datum;
+pub use json::Json;
 pub use key::Key;
 pub use msg::TaskError;
 pub use optimize::{optimize, OptimizeConfig, OptimizeReport};
 pub use scheduler::IngestMode;
+pub use snapshot::{HistSnapshot, StatsSnapshot};
 pub use spec::{OpRegistry, TaskSpec};
-pub use stats::{MsgClass, SchedulerStats};
+pub use stats::{LatencyHist, MsgClass, SchedulerStats};
+pub use trace::{
+    EventKind, PhaseReport, TraceActor, TraceConfig, TraceEvent, TraceHandle, TraceLog,
+    TraceRecorder,
+};
 pub use worker::GatherMode;

@@ -155,27 +155,30 @@ pub enum SchedMsg {
     Shutdown,
 }
 
-/// One scheduler→worker assignment: the task plus the placement of each
-/// dependency that needs a remote fetch.
-pub type Assignment = (Arc<TaskSpec>, Vec<(Key, Vec<WorkerId>)>);
+/// One scheduler→worker assignment: the task, the placement of each
+/// dependency that needs a remote fetch, and the assignment timestamp (the
+/// executor measures queue delay — assign → slot dequeue — against it).
+pub struct Assignment {
+    /// The task (shared with the scheduler's entry — no deep copy).
+    pub spec: Arc<TaskSpec>,
+    /// Placement of each dependency the scheduler believes is *not* already
+    /// on the target worker (local deps resolve from its store and are
+    /// omitted here).
+    pub dep_locations: Vec<(Key, Vec<WorkerId>)>,
+    /// When the scheduler's placement pass shipped this task.
+    pub assigned_at: std::time::Instant,
+}
 
 /// Messages a worker's *executor slots* handle (one shared inbox per worker,
 /// drained by every slot thread).
 pub enum ExecMsg {
-    /// Run a task; `dep_locations` says which workers hold each dependency
-    /// the scheduler believes is *not* already on the target worker (deps
-    /// local to the worker are resolved from its store and omitted here).
-    Execute {
-        /// The task (shared with the scheduler's entry — no deep copy).
-        spec: Arc<TaskSpec>,
-        /// Placement of each dependency that needs a remote fetch.
-        dep_locations: Vec<(Key, Vec<WorkerId>)>,
-    },
+    /// Run one assigned task.
+    Execute(Assignment),
     /// A burst of assignments coalesced by the batched scheduler loop. The
     /// receiving slot runs the first task inline and re-enqueues the rest on
     /// the shared inbox so sibling slots pick them up concurrently.
     ExecuteBatch {
-        /// `(spec, dep_locations)` per task, in assignment order.
+        /// Assignments in placement order.
         tasks: Vec<Assignment>,
     },
     /// Stop one executor slot thread.

@@ -22,6 +22,7 @@ use crate::key::Key;
 use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
+use crate::trace::{EventKind, TraceHandle};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -136,6 +137,8 @@ pub struct Scheduler {
     var_waiters: HashMap<String, Vec<ClientId>>,
     queues: HashMap<String, QueueEntry>,
     stats: Arc<SchedulerStats>,
+    /// Lifecycle event recorder (empty handle when tracing is off).
+    tracer: TraceHandle,
     /// Round-robin cursor for dependency-free task placement.
     rr_cursor: usize,
     /// Inbox drain strategy.
@@ -155,6 +158,7 @@ impl Scheduler {
         slots_per_worker: usize,
         ingest: IngestMode,
         stats: Arc<SchedulerStats>,
+        tracer: TraceHandle,
     ) -> Self {
         let slots = slots_per_worker.max(1);
         Scheduler {
@@ -175,6 +179,7 @@ impl Scheduler {
             var_waiters: HashMap::new(),
             queues: HashMap::new(),
             stats,
+            tracer,
             rr_cursor: 0,
             ingest,
             pending_schedule: false,
@@ -207,6 +212,8 @@ impl Scheduler {
                 }
             }
             self.stats.record_burst(burst.len() as u64);
+            let burst_len = burst.len() as u64;
+            let ingest_t0 = self.tracer.start();
             let mut replicas: HashMap<WorkerId, Vec<(Key, u64)>> = HashMap::new();
             let mut heartbeats = 0u64;
             let mut shutdown = false;
@@ -234,10 +241,15 @@ impl Scheduler {
             for (worker, entries) in replicas.drain() {
                 self.apply_replicas(worker, entries);
             }
+            self.tracer
+                .span(EventKind::Ingest, ingest_t0, None, burst_len);
             if self.pending_schedule {
                 self.pending_schedule = false;
                 let assign_from = Instant::now();
-                self.schedule();
+                let pass_t0 = self.tracer.start();
+                let n_assigned = self.schedule();
+                self.tracer
+                    .span(EventKind::AssignPass, pass_t0, None, n_assigned);
                 self.stats
                     .record_assign_pass(assign_from.elapsed().as_nanos() as u64);
             }
@@ -298,6 +310,8 @@ impl Scheduler {
                 nbytes,
             } => {
                 self.stats.record(MsgClass::TaskReport, 0);
+                self.tracer
+                    .instant(EventKind::Report, Some(&key), worker as u64);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
                 self.handle_task_finished(key, worker, nbytes);
                 self.pending_schedule = true;
@@ -313,6 +327,8 @@ impl Scheduler {
                 error,
             } => {
                 self.stats.record(MsgClass::TaskReport, 0);
+                self.tracer
+                    .instant(EventKind::Report, Some(&stored_key), worker as u64);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
                 // `error.key` names the originating task (an interior fused
                 // stage, possibly); the scheduler entry to fail is the spec
@@ -551,6 +567,8 @@ impl Scheduler {
             entry.n_waiting = n_waiting;
             if n_waiting == 0 {
                 entry.state = TaskState::Ready;
+                self.tracer
+                    .instant(EventKind::TaskReady, Some(&spec.key), 0);
                 newly_ready.push(spec.key.clone());
             }
         }
@@ -640,6 +658,7 @@ impl Scheduler {
                     dep_entry.n_waiting = dep_entry.n_waiting.saturating_sub(1);
                     if dep_entry.n_waiting == 0 {
                         dep_entry.state = TaskState::Ready;
+                        self.tracer.instant(EventKind::TaskReady, Some(&dep_key), 0);
                         self.ready.push_back(dep_key);
                     }
                 }
@@ -731,10 +750,15 @@ impl Scheduler {
     /// mode, assignments are coalesced into one `ExecMsg::ExecuteBatch` per
     /// worker (the receiving slot fans the tail back out to its siblings);
     /// per-message mode keeps the classic one-`Execute`-per-task protocol.
-    fn schedule(&mut self) {
+    /// Returns the number of tasks assigned this pass.
+    fn schedule(&mut self) -> u64 {
         let batch_assign = !matches!(self.ingest, IngestMode::PerMessage);
-        let mut per_worker: Vec<Vec<crate::msg::Assignment>> = vec![Vec::new(); self.workers.len()];
+        let mut per_worker: Vec<Vec<crate::msg::Assignment>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
         let mut n_assigned = 0u64;
+        // One timestamp per pass: every assignment in the pass shares it, so
+        // queue-delay measurement costs one clock read per pass, not per task.
+        let assigned_at = Instant::now();
         while let Some(key) = self.ready.pop_front() {
             let Some(entry) = self.tasks.get(&key) else {
                 continue;
@@ -767,15 +791,19 @@ impl Scheduler {
             entry.state = TaskState::Processing;
             self.workers[worker].processing += 1;
             n_assigned += 1;
+            self.tracer
+                .instant(EventKind::Assign, Some(&key), worker as u64);
+            let assignment = crate::msg::Assignment {
+                spec,
+                dep_locations,
+                assigned_at,
+            };
             if batch_assign {
-                per_worker[worker].push((spec, dep_locations));
+                per_worker[worker].push(assignment);
             } else {
                 let _ = self.workers[worker]
                     .exec_tx
-                    .send(crate::msg::ExecMsg::Execute {
-                        spec,
-                        dep_locations,
-                    });
+                    .send(crate::msg::ExecMsg::Execute(assignment));
             }
         }
         if batch_assign {
@@ -784,13 +812,10 @@ impl Scheduler {
                 match tasks.len() {
                     0 => continue,
                     1 => {
-                        let (spec, dep_locations) = tasks.pop().expect("len checked");
+                        let assignment = tasks.pop().expect("len checked");
                         let _ = self.workers[worker]
                             .exec_tx
-                            .send(crate::msg::ExecMsg::Execute {
-                                spec,
-                                dep_locations,
-                            });
+                            .send(crate::msg::ExecMsg::Execute(assignment));
                     }
                     _ => {
                         let _ = self.workers[worker]
@@ -804,5 +829,6 @@ impl Scheduler {
         } else {
             self.stats.record_assign(n_assigned, n_assigned);
         }
+        n_assigned
     }
 }

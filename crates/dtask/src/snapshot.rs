@@ -1,0 +1,432 @@
+//! Serializable point-in-time snapshot of [`SchedulerStats`].
+//!
+//! [`StatsSnapshot::capture`] freezes every counter and latency histogram
+//! into plain data, serializable to JSON (via [`crate::json`], the
+//! workspace's serde stand-in) and to a Prometheus-style text exposition.
+//! The benches, the examples, and runtime snapshots all serialize through
+//! this one type, so `results/BENCH_*.json` and live metrics share a schema.
+
+use crate::json::Json;
+use crate::stats::{
+    LatencyHist, MsgClass, SchedulerStats, N_LAT_BUCKETS, N_SIZE_BUCKETS, SIZE_BUCKET_LABELS,
+};
+
+/// Frozen view of one [`LatencyHist`].
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub sum_ns: u64,
+    /// Mean sample (ns); `0.0` when empty.
+    pub mean_ns: f64,
+    /// Approximate median (bucket upper bound, ns).
+    pub p50_ns: u64,
+    /// Approximate 99th percentile (bucket upper bound, ns).
+    pub p99_ns: u64,
+    /// Raw log₂ bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    pub buckets: [u64; N_LAT_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Freeze one histogram.
+    pub fn capture(hist: &LatencyHist) -> Self {
+        HistSnapshot {
+            count: hist.count(),
+            sum_ns: hist.sum_ns(),
+            mean_ns: hist.mean_ns(),
+            p50_ns: hist.quantile_ns(0.5),
+            p99_ns: hist.quantile_ns(0.99),
+            buckets: hist.buckets(),
+        }
+    }
+
+    /// JSON rendering. Empty trailing buckets are trimmed to keep documents
+    /// small; absent buckets are zero.
+    pub fn to_json(&self) -> Json {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map_or(0, |i| i + 1);
+        Json::obj()
+            .set("count", self.count)
+            .set("sum_ns", self.sum_ns)
+            .set("mean_ns", self.mean_ns)
+            .set("p50_ns", self.p50_ns)
+            .set("p99_ns", self.p99_ns)
+            .set(
+                "buckets",
+                Json::Arr(
+                    self.buckets[..last]
+                        .iter()
+                        .map(|&b| Json::from(b))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Per-[`MsgClass`] count and byte volume.
+#[derive(Debug, Clone)]
+pub struct ClassSnapshot {
+    /// Stable snake_case class name.
+    pub name: &'static str,
+    /// Messages recorded.
+    pub count: u64,
+    /// Payload bytes recorded.
+    pub bytes: u64,
+}
+
+/// Point-in-time copy of every scheduler counter plus the four latency
+/// histograms. Plain data — safe to hold across cluster shutdown, compare
+/// between runs, and serialize.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Per-message-class counts/bytes, in [`MsgClass::ALL`] order.
+    pub classes: Vec<ClassSnapshot>,
+    /// Control-plane messages that hit the scheduler (the paper's metric).
+    pub scheduler_control_messages: u64,
+    /// Bridge/client metadata messages per the paper's §2.1 accounting.
+    pub bridge_metadata_messages: u64,
+    /// Gather pipeline: batches that needed ≥1 remote fetch.
+    pub gather_batches: u64,
+    /// Remote dependencies fetched across all gathers.
+    pub gather_deps: u64,
+    /// Total wall time waiting on gathers (ns).
+    pub gather_wait_ns: u64,
+    /// Total executor busy time (ns).
+    pub exec_busy_ns: u64,
+    /// Total executor idle time (ns).
+    pub exec_idle_ns: u64,
+    /// Busy / (busy + idle); `0.0` on an idle cluster.
+    pub executor_utilization: f64,
+    /// Optimizer: tasks in submitted graphs before optimization.
+    pub optimize_tasks_in: u64,
+    /// Optimizer: specs sent to the scheduler after cull + fuse.
+    pub optimize_tasks_out: u64,
+    /// Optimizer: tasks dropped by the cull pass.
+    pub optimize_culled: u64,
+    /// Optimizer: fused chains produced.
+    pub fused_chains: u64,
+    /// Optimizer: original tasks absorbed into fused chains.
+    pub fused_stages: u64,
+    /// Fused-chain length histogram ([`SIZE_BUCKET_LABELS`] buckets).
+    pub fused_chain_hist: [u64; N_SIZE_BUCKETS],
+    /// Scheduler inbox bursts drained.
+    pub ingest_bursts: u64,
+    /// Messages absorbed across all bursts.
+    pub ingest_msgs: u64,
+    /// Mean messages per burst; `0.0` before any burst.
+    pub avg_msgs_per_burst: f64,
+    /// Burst-size histogram ([`SIZE_BUCKET_LABELS`] buckets).
+    pub burst_hist: [u64; N_SIZE_BUCKETS],
+    /// Placement passes run.
+    pub assign_passes: u64,
+    /// Total time inside placement passes (ns).
+    pub assign_pass_ns: u64,
+    /// Tasks assigned to workers.
+    pub assign_tasks: u64,
+    /// `Execute`/`ExecuteBatch` messages sent to workers.
+    pub assign_messages: u64,
+    /// Mean tasks per scheduler→worker message; `0.0` when idle.
+    pub avg_tasks_per_assign_message: f64,
+    /// Gather-wait latency histogram.
+    pub gather_wait_hist: HistSnapshot,
+    /// Task-execution latency histogram.
+    pub exec_hist: HistSnapshot,
+    /// Queue-delay (assign → dequeue) latency histogram.
+    pub queue_delay_hist: HistSnapshot,
+    /// Placement-pass latency histogram.
+    pub assign_pass_hist: HistSnapshot,
+}
+
+impl StatsSnapshot {
+    /// Freeze the live counters. Safe on a completely idle cluster: every
+    /// derived ratio is `0.0`, never NaN.
+    pub fn capture(stats: &SchedulerStats) -> Self {
+        StatsSnapshot {
+            classes: MsgClass::ALL
+                .iter()
+                .map(|&c| ClassSnapshot {
+                    name: c.name(),
+                    count: stats.count(c),
+                    bytes: stats.bytes(c),
+                })
+                .collect(),
+            scheduler_control_messages: stats.scheduler_control_messages(),
+            bridge_metadata_messages: stats.bridge_metadata_messages(),
+            gather_batches: stats.gather_batches(),
+            gather_deps: stats.gather_deps(),
+            gather_wait_ns: stats.gather_wait_ns(),
+            exec_busy_ns: stats.exec_busy_ns(),
+            exec_idle_ns: stats.exec_idle_ns(),
+            executor_utilization: stats.executor_utilization(),
+            optimize_tasks_in: stats.optimize_tasks_in(),
+            optimize_tasks_out: stats.optimize_tasks_out(),
+            optimize_culled: stats.optimize_culled(),
+            fused_chains: stats.fused_chains(),
+            fused_stages: stats.fused_stages(),
+            fused_chain_hist: stats.fused_chain_hist(),
+            ingest_bursts: stats.ingest_bursts(),
+            ingest_msgs: stats.ingest_msgs(),
+            avg_msgs_per_burst: stats.avg_msgs_per_burst(),
+            burst_hist: stats.burst_hist(),
+            assign_passes: stats.assign_passes(),
+            assign_pass_ns: stats.assign_pass_ns(),
+            assign_tasks: stats.assign_tasks(),
+            assign_messages: stats.assign_messages(),
+            avg_tasks_per_assign_message: stats.avg_tasks_per_assign_message(),
+            gather_wait_hist: HistSnapshot::capture(stats.gather_wait_hist()),
+            exec_hist: HistSnapshot::capture(stats.exec_hist()),
+            queue_delay_hist: HistSnapshot::capture(stats.queue_delay_hist()),
+            assign_pass_hist: HistSnapshot::capture(stats.assign_pass_hist()),
+        }
+    }
+
+    /// Serialize to the shared JSON schema.
+    pub fn to_json(&self) -> Json {
+        let mut classes = Json::obj();
+        for c in &self.classes {
+            classes = classes.set(
+                c.name,
+                Json::obj().set("count", c.count).set("bytes", c.bytes),
+            );
+        }
+        let size_hist = |hist: &[u64; N_SIZE_BUCKETS]| {
+            let mut obj = Json::obj();
+            for (label, &n) in SIZE_BUCKET_LABELS.iter().zip(hist.iter()) {
+                obj = obj.set(label, n);
+            }
+            obj
+        };
+        Json::obj()
+            .set("messages", classes)
+            .set(
+                "paper_metrics",
+                Json::obj()
+                    .set(
+                        "scheduler_control_messages",
+                        self.scheduler_control_messages,
+                    )
+                    .set("bridge_metadata_messages", self.bridge_metadata_messages),
+            )
+            .set(
+                "gather",
+                Json::obj()
+                    .set("batches", self.gather_batches)
+                    .set("remote_deps", self.gather_deps)
+                    .set("wait_ns", self.gather_wait_ns)
+                    .set("wait_hist", self.gather_wait_hist.to_json()),
+            )
+            .set(
+                "executors",
+                Json::obj()
+                    .set("busy_ns", self.exec_busy_ns)
+                    .set("idle_ns", self.exec_idle_ns)
+                    .set("utilization", self.executor_utilization)
+                    .set("exec_hist", self.exec_hist.to_json())
+                    .set("queue_delay_hist", self.queue_delay_hist.to_json()),
+            )
+            .set(
+                "optimizer",
+                Json::obj()
+                    .set("tasks_in", self.optimize_tasks_in)
+                    .set("tasks_out", self.optimize_tasks_out)
+                    .set("culled", self.optimize_culled)
+                    .set("fused_chains", self.fused_chains)
+                    .set("fused_stages", self.fused_stages)
+                    .set("chain_hist", size_hist(&self.fused_chain_hist)),
+            )
+            .set(
+                "ingest",
+                Json::obj()
+                    .set("bursts", self.ingest_bursts)
+                    .set("messages", self.ingest_msgs)
+                    .set("avg_msgs_per_burst", self.avg_msgs_per_burst)
+                    .set("burst_hist", size_hist(&self.burst_hist)),
+            )
+            .set(
+                "assign",
+                Json::obj()
+                    .set("passes", self.assign_passes)
+                    .set("pass_ns", self.assign_pass_ns)
+                    .set("tasks", self.assign_tasks)
+                    .set("messages", self.assign_messages)
+                    .set("avg_tasks_per_message", self.avg_tasks_per_assign_message)
+                    .set("pass_hist", self.assign_pass_hist.to_json()),
+            )
+    }
+
+    /// Pretty JSON document (what the benches write under `results/`).
+    pub fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Prometheus-style text exposition (`# TYPE` headers, snake_case
+    /// metric names, histogram `_bucket`/`_sum`/`_count` triples with
+    /// cumulative `le` labels in seconds).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE dtask_messages_total counter\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "dtask_messages_total{{class=\"{}\"}} {}\n",
+                c.name, c.count
+            ));
+        }
+        out.push_str("# TYPE dtask_message_bytes_total counter\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "dtask_message_bytes_total{{class=\"{}\"}} {}\n",
+                c.name, c.bytes
+            ));
+        }
+        out.push_str("# TYPE dtask_scheduler_control_messages_total counter\n");
+        out.push_str(&format!(
+            "dtask_scheduler_control_messages_total {}\n",
+            self.scheduler_control_messages
+        ));
+        out.push_str("# TYPE dtask_bridge_metadata_messages_total counter\n");
+        out.push_str(&format!(
+            "dtask_bridge_metadata_messages_total {}\n",
+            self.bridge_metadata_messages
+        ));
+        out.push_str("# TYPE dtask_executor_utilization gauge\n");
+        out.push_str(&format!(
+            "dtask_executor_utilization {}\n",
+            self.executor_utilization
+        ));
+        for (name, count) in [
+            ("dtask_gather_batches_total", self.gather_batches),
+            ("dtask_gather_remote_deps_total", self.gather_deps),
+            ("dtask_ingest_bursts_total", self.ingest_bursts),
+            ("dtask_ingest_messages_total", self.ingest_msgs),
+            ("dtask_assign_passes_total", self.assign_passes),
+            ("dtask_assign_tasks_total", self.assign_tasks),
+            ("dtask_assign_messages_total", self.assign_messages),
+            ("dtask_optimize_tasks_in_total", self.optimize_tasks_in),
+            ("dtask_optimize_tasks_out_total", self.optimize_tasks_out),
+            ("dtask_optimize_culled_total", self.optimize_culled),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {count}\n"));
+        }
+        for (name, hist) in [
+            ("dtask_gather_wait_seconds", &self.gather_wait_hist),
+            ("dtask_exec_seconds", &self.exec_hist),
+            ("dtask_queue_delay_seconds", &self.queue_delay_hist),
+            ("dtask_assign_pass_seconds", &self.assign_pass_hist),
+        ] {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &b) in hist.buckets.iter().enumerate() {
+                cumulative += b;
+                if b == 0 {
+                    continue; // sparse exposition: only non-empty buckets
+                }
+                let le = (1u64 << (i + 1)) as f64 / 1e9;
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                hist.count,
+                hist.sum_ns as f64 / 1e9,
+                hist.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_cluster_snapshot_is_all_zero_and_finite() {
+        // Satellite (b): snapshot on a cluster that never did any work must
+        // produce defined values everywhere — 0 / 0.0, never NaN.
+        let stats = SchedulerStats::new();
+        let snap = StatsSnapshot::capture(&stats);
+        assert_eq!(snap.classes.len(), MsgClass::ALL.len());
+        assert!(snap.classes.iter().all(|c| c.count == 0 && c.bytes == 0));
+        assert_eq!(snap.executor_utilization, 0.0);
+        assert_eq!(snap.avg_msgs_per_burst, 0.0);
+        assert_eq!(snap.avg_tasks_per_assign_message, 0.0);
+        assert_eq!(snap.exec_hist.count, 0);
+        assert_eq!(snap.exec_hist.mean_ns, 0.0);
+        assert_eq!(snap.exec_hist.p99_ns, 0);
+        let text = snap.to_json_string_pretty();
+        assert!(!text.contains("NaN"), "JSON must stay parseable");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("dtask_executor_utilization 0"));
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_activity() {
+        let stats = SchedulerStats::new();
+        stats.record(MsgClass::Heartbeat, 8);
+        stats.record_n(MsgClass::UpdateData, 4, 400);
+        stats.record_gather(3, 9_000);
+        stats.record_exec_busy(20_000);
+        stats.record_exec_idle(20_000);
+        stats.record_queue_delay(1_500);
+        stats.record_assign_pass(800);
+        stats.record_burst(6);
+        stats.record_assign(6, 2);
+        let snap = StatsSnapshot::capture(&stats);
+        let hb = snap.classes.iter().find(|c| c.name == "heartbeat").unwrap();
+        assert_eq!(hb.count, 1);
+        assert_eq!(snap.gather_batches, 1);
+        assert_eq!(snap.gather_deps, 3);
+        assert!((snap.executor_utilization - 0.5).abs() < 1e-12);
+        assert_eq!(snap.avg_msgs_per_burst, 6.0);
+        assert_eq!(snap.avg_tasks_per_assign_message, 3.0);
+        assert_eq!(snap.queue_delay_hist.count, 1);
+        assert_eq!(snap.queue_delay_hist.sum_ns, 1_500);
+    }
+
+    #[test]
+    fn json_document_has_the_shared_schema_sections() {
+        let stats = SchedulerStats::new();
+        stats.record(MsgClass::GraphSubmit, 64);
+        let doc = StatsSnapshot::capture(&stats).to_json();
+        for section in [
+            "messages",
+            "paper_metrics",
+            "gather",
+            "executors",
+            "optimizer",
+            "ingest",
+            "assign",
+        ] {
+            assert!(doc.get(section).is_some(), "missing section {section}");
+        }
+        assert_eq!(
+            doc.get("messages")
+                .and_then(|m| m.get("graph_submit"))
+                .and_then(|g| g.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let stats = SchedulerStats::new();
+        stats.record_exec_busy(100); // bucket 6 ([64,128))
+        stats.record_exec_busy(100);
+        stats.record_exec_busy(100_000); // higher bucket
+        let prom = StatsSnapshot::capture(&stats).to_prometheus();
+        // The higher bucket's cumulative count includes the lower one.
+        assert!(prom.contains("dtask_exec_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("dtask_exec_seconds_count 3"));
+        let lines: Vec<&str> = prom
+            .lines()
+            .filter(|l| l.starts_with("dtask_exec_seconds_bucket{le=\"") && !l.contains("+Inf"))
+            .collect();
+        assert_eq!(lines.len(), 2, "two non-empty buckets");
+        assert!(lines[0].ends_with(" 2"));
+        assert!(lines[1].ends_with(" 3"));
+    }
+}

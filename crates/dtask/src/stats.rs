@@ -46,6 +46,128 @@ pub enum MsgClass {
 
 const N_CLASSES: usize = 14;
 
+impl MsgClass {
+    /// Every class, in a stable order (snapshot serialization iterates this).
+    pub const ALL: [MsgClass; N_CLASSES] = [
+        MsgClass::GraphSubmit,
+        MsgClass::TaskSubmitted,
+        MsgClass::RegisterExternal,
+        MsgClass::UpdateData,
+        MsgClass::UpdateDataExternal,
+        MsgClass::TaskReport,
+        MsgClass::WantResult,
+        MsgClass::Variable,
+        MsgClass::Queue,
+        MsgClass::Heartbeat,
+        MsgClass::ScatterData,
+        MsgClass::GatherData,
+        MsgClass::PeerFetch,
+        MsgClass::AddReplica,
+    ];
+
+    /// Stable snake_case name (snapshot / Prometheus label).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgClass::GraphSubmit => "graph_submit",
+            MsgClass::TaskSubmitted => "task_submitted",
+            MsgClass::RegisterExternal => "register_external",
+            MsgClass::UpdateData => "update_data",
+            MsgClass::UpdateDataExternal => "update_data_external",
+            MsgClass::TaskReport => "task_report",
+            MsgClass::WantResult => "want_result",
+            MsgClass::Variable => "variable",
+            MsgClass::Queue => "queue",
+            MsgClass::Heartbeat => "heartbeat",
+            MsgClass::ScatterData => "scatter_data",
+            MsgClass::GatherData => "gather_data",
+            MsgClass::PeerFetch => "peer_fetch",
+            MsgClass::AddReplica => "add_replica",
+        }
+    }
+}
+
+/// Buckets of one [`LatencyHist`]: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also takes 0 ns); the last bucket
+/// absorbs everything from ~34 s up.
+pub const N_LAT_BUCKETS: usize = 36;
+
+/// A log₂-bucketed latency histogram over nanosecond samples. Recording is a
+/// couple of relaxed `fetch_add`s — the same cost class as the message
+/// counters, so the histograms stay on even when event tracing is off.
+#[derive(Debug)]
+pub struct LatencyHist {
+    buckets: [AtomicU64; N_LAT_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of one nanosecond sample.
+fn lat_bucket(ns: u64) -> usize {
+    (63 - (ns | 1).leading_zeros() as usize).min(N_LAT_BUCKETS - 1)
+}
+
+impl LatencyHist {
+    /// Record one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[lat_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample in nanoseconds; `0.0` for an empty histogram (never NaN).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): upper bound of the bucket holding
+    /// the q-th sample. `0` for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << N_LAT_BUCKETS
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> [u64; N_LAT_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
 fn idx(class: MsgClass) -> usize {
     match class {
         MsgClass::GraphSubmit => 0,
@@ -106,6 +228,14 @@ pub struct SchedulerStats {
     assign_tasks: AtomicU64,
     /// `Execute`/`ExecuteBatch` messages sent to workers.
     assign_messages: AtomicU64,
+    /// Latency of each dependency-gather batch (wall wait per batch).
+    gather_wait_hist: LatencyHist,
+    /// Latency of each task execution (op/fused-chain compute time).
+    exec_hist: LatencyHist,
+    /// Queue delay: scheduler assignment → executor slot dequeue, per task.
+    queue_delay_hist: LatencyHist,
+    /// Latency of each placement pass.
+    assign_pass_hist: LatencyHist,
 }
 
 /// Histogram bucket count shared by the fused-chain and burst histograms.
@@ -160,11 +290,18 @@ impl SchedulerStats {
         self.gather_batches.fetch_add(1, Ordering::Relaxed);
         self.gather_deps.fetch_add(deps, Ordering::Relaxed);
         self.gather_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.gather_wait_hist.record(wait_ns);
     }
 
     /// Record time an executor slot spent running a task.
     pub fn record_exec_busy(&self, ns: u64) {
         self.exec_busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.exec_hist.record(ns);
+    }
+
+    /// Record one task's queue delay: scheduler assignment → slot dequeue.
+    pub fn record_queue_delay(&self, ns: u64) {
+        self.queue_delay_hist.record(ns);
     }
 
     /// Record time an executor slot spent waiting for work.
@@ -224,6 +361,7 @@ impl SchedulerStats {
     pub fn record_assign_pass(&self, ns: u64) {
         self.assign_passes.fetch_add(1, Ordering::Relaxed);
         self.assign_pass_ns.fetch_add(ns, Ordering::Relaxed);
+        self.assign_pass_hist.record(ns);
     }
 
     /// Record `tasks` assignments shipped in `messages` worker messages.
@@ -297,7 +435,28 @@ impl SchedulerStats {
         self.assign_messages.load(Ordering::Relaxed)
     }
 
+    /// Gather-wait latency histogram (one sample per gather batch).
+    pub fn gather_wait_hist(&self) -> &LatencyHist {
+        &self.gather_wait_hist
+    }
+
+    /// Task-execution latency histogram.
+    pub fn exec_hist(&self) -> &LatencyHist {
+        &self.exec_hist
+    }
+
+    /// Queue-delay (assign → dequeue) latency histogram.
+    pub fn queue_delay_hist(&self) -> &LatencyHist {
+        &self.queue_delay_hist
+    }
+
+    /// Placement-pass latency histogram.
+    pub fn assign_pass_hist(&self) -> &LatencyHist {
+        &self.assign_pass_hist
+    }
+
     /// Fraction of executor-slot wall time spent busy, in `[0, 1]`.
+    /// An idle cluster (no slot activity yet) reports `0.0`, never NaN.
     pub fn executor_utilization(&self) -> f64 {
         let busy = self.exec_busy_ns() as f64;
         let idle = self.exec_idle_ns() as f64;
@@ -306,6 +465,40 @@ impl SchedulerStats {
         } else {
             busy / (busy + idle)
         }
+    }
+
+    /// `a / b` with an empty-run guard: `0.0` when `b == 0`, never NaN.
+    fn ratio(a: u64, b: u64) -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            a as f64 / b as f64
+        }
+    }
+
+    /// Mean messages absorbed per inbox burst (`0.0` before any burst).
+    pub fn avg_msgs_per_burst(&self) -> f64 {
+        Self::ratio(self.ingest_msgs(), self.ingest_bursts())
+    }
+
+    /// Mean remote dependencies per gather batch (`0.0` with no gathers).
+    pub fn avg_gather_deps(&self) -> f64 {
+        Self::ratio(self.gather_deps(), self.gather_batches())
+    }
+
+    /// Mean gather wait per batch in ns (`0.0` with no gathers).
+    pub fn avg_gather_wait_ns(&self) -> f64 {
+        Self::ratio(self.gather_wait_ns(), self.gather_batches())
+    }
+
+    /// Mean placement-pass time in ns (`0.0` with no passes).
+    pub fn avg_assign_pass_ns(&self) -> f64 {
+        Self::ratio(self.assign_pass_ns(), self.assign_passes())
+    }
+
+    /// Mean tasks shipped per scheduler→worker message (`0.0` when idle).
+    pub fn avg_tasks_per_assign_message(&self) -> f64 {
+        Self::ratio(self.assign_tasks(), self.assign_messages())
     }
 
     /// Total *control-plane* messages that hit the scheduler (everything
@@ -373,6 +566,72 @@ mod tests {
         assert_eq!(s.exec_busy_ns(), 300);
         assert_eq!(s.exec_idle_ns(), 100);
         assert!((s.executor_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_hist_buckets_and_quantiles() {
+        let h = LatencyHist::default();
+        // Empty histogram: every derived value is defined and finite.
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        h.record(0);
+        h.record(1);
+        h.record(1_000); // bucket 9 ([512, 1024))
+        h.record(1_000_000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 1_001_001);
+        assert!((h.mean_ns() - 250_250.25).abs() < 1e-6);
+        // Rank 2 of 4 is still in bucket 0 (upper bound 2 ns); rank 3 is the
+        // 1_000 ns sample, reported as its bucket's upper bound.
+        assert_eq!(h.quantile_ns(0.5), 2);
+        assert_eq!(h.quantile_ns(0.75), 1 << 10);
+        assert!(h.quantile_ns(1.0) >= 1 << 20);
+        let buckets = h.buckets();
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+        assert_eq!(buckets[0], 2, "0 and 1 ns share bucket 0");
+    }
+
+    #[test]
+    fn huge_latency_lands_in_last_bucket() {
+        let h = LatencyHist::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[N_LAT_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn zero_denominator_ratios_are_zero_not_nan() {
+        let s = SchedulerStats::new();
+        for v in [
+            s.executor_utilization(),
+            s.avg_msgs_per_burst(),
+            s.avg_gather_deps(),
+            s.avg_gather_wait_ns(),
+            s.avg_assign_pass_ns(),
+            s.avg_tasks_per_assign_message(),
+        ] {
+            assert_eq!(v, 0.0, "idle-cluster ratio must be exactly 0.0");
+        }
+    }
+
+    #[test]
+    fn hists_track_their_recorders() {
+        let s = SchedulerStats::new();
+        s.record_gather(2, 5_000);
+        s.record_exec_busy(10_000);
+        s.record_queue_delay(700);
+        s.record_assign_pass(300);
+        assert_eq!(s.gather_wait_hist().count(), 1);
+        assert_eq!(s.exec_hist().count(), 1);
+        assert_eq!(s.queue_delay_hist().count(), 1);
+        assert_eq!(s.assign_pass_hist().count(), 1);
+        assert_eq!(s.queue_delay_hist().sum_ns(), 700);
+    }
+
+    #[test]
+    fn msg_class_names_are_unique() {
+        let names: std::collections::HashSet<_> = MsgClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), MsgClass::ALL.len());
     }
 
     #[test]

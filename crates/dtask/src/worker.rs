@@ -20,9 +20,10 @@
 
 use crate::datum::Datum;
 use crate::key::Key;
-use crate::msg::{DataMsg, ExecMsg, SchedMsg, TaskError, WorkerId};
+use crate::msg::{Assignment, DataMsg, ExecMsg, SchedMsg, TaskError, WorkerId};
 use crate::spec::{FusedInput, OpRegistry, TaskSpec, Value};
 use crate::stats::{MsgClass, SchedulerStats};
+use crate::trace::{EventKind, TraceHandle};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -83,6 +84,8 @@ struct PendingFetch<'a> {
     asked: usize,
     /// Reply channel of the outstanding request.
     reply_rx: Receiver<Result<Datum, String>>,
+    /// Trace span start of this fetch (request launch), when tracing is on.
+    trace_t0: Option<Instant>,
 }
 
 /// One executor slot: runs tasks, fetching dependencies from peers as needed.
@@ -108,6 +111,8 @@ pub struct Executor {
     pub stats: Arc<SchedulerStats>,
     /// Dependency gather strategy.
     pub gather_mode: GatherMode,
+    /// Lifecycle event recorder for this slot (empty when tracing is off).
+    pub tracer: TraceHandle,
 }
 
 impl Executor {
@@ -122,22 +127,16 @@ impl Executor {
             self.stats
                 .record_exec_idle(idle_from.elapsed().as_nanos() as u64);
             match msg {
-                ExecMsg::Execute {
-                    spec,
-                    dep_locations,
-                } => self.run_one(spec, dep_locations),
+                ExecMsg::Execute(assignment) => self.run_one(assignment),
                 ExecMsg::ExecuteBatch { tasks } => {
                     // Run the head inline; fan the tail back onto the shared
                     // inbox so idle sibling slots pick it up immediately.
                     let mut it = tasks.into_iter();
-                    if let Some((spec, dep_locations)) = it.next() {
-                        for (spec, dep_locations) in it {
-                            let _ = self.exec_tx.send(ExecMsg::Execute {
-                                spec,
-                                dep_locations,
-                            });
+                    if let Some(head) = it.next() {
+                        for assignment in it {
+                            let _ = self.exec_tx.send(ExecMsg::Execute(assignment));
                         }
-                        self.run_one(spec, dep_locations);
+                        self.run_one(head);
                     }
                 }
                 ExecMsg::Shutdown => break,
@@ -146,7 +145,15 @@ impl Executor {
     }
 
     /// Execute one task and report the outcome to the scheduler.
-    fn run_one(&self, spec: Arc<TaskSpec>, dep_locations: Vec<(Key, Vec<WorkerId>)>) {
+    fn run_one(&self, assignment: Assignment) {
+        // Queue delay: scheduler placement → this slot picking the task up.
+        self.stats
+            .record_queue_delay(assignment.assigned_at.elapsed().as_nanos() as u64);
+        let Assignment {
+            spec,
+            dep_locations,
+            ..
+        } = assignment;
         let busy_from = Instant::now();
         let key = spec.key.clone();
         match self.execute(&spec, &dep_locations) {
@@ -215,11 +222,14 @@ impl Executor {
             if i < skip {
                 continue;
             }
+            let t0 = self.tracer.start();
             let Some(reply_rx) = self.request_from_peer(peer, key) else {
                 continue;
             };
             match reply_rx.recv() {
                 Ok(Ok(value)) => {
+                    self.tracer
+                        .span(EventKind::GatherDep, t0, Some(key), peer as u64);
                     self.cache_replica(key, &value, replicas);
                     return Ok(value);
                 }
@@ -254,6 +264,7 @@ impl Executor {
         }
         if !missing.is_empty() {
             let gather_from = Instant::now();
+            let batch_t0 = self.tracer.start();
             let n_remote = missing.len() as u64;
             let candidates_of = |key: &Key| -> Vec<WorkerId> {
                 dep_locations
@@ -275,6 +286,7 @@ impl Executor {
                     let mut pending: Vec<PendingFetch> = Vec::with_capacity(missing.len());
                     for (slot, key) in missing {
                         let candidates = candidates_of(key);
+                        let trace_t0 = self.tracer.start();
                         let mut launched = None;
                         for (i, &peer) in candidates.iter().enumerate() {
                             if let Some(reply_rx) = self.request_from_peer(peer, key) {
@@ -289,6 +301,7 @@ impl Executor {
                                 candidates,
                                 asked,
                                 reply_rx,
+                                trace_t0,
                             }),
                             // No reachable candidate: the serial path below
                             // re-checks the local store (a scatter may have
@@ -304,6 +317,12 @@ impl Executor {
                     for fetch in pending {
                         match fetch.reply_rx.recv() {
                             Ok(Ok(value)) => {
+                                self.tracer.span(
+                                    EventKind::GatherDep,
+                                    fetch.trace_t0,
+                                    Some(fetch.key),
+                                    fetch.candidates[fetch.asked] as u64,
+                                );
                                 self.cache_replica(fetch.key, &value, replicas);
                                 inputs[fetch.slot] = Some(value);
                             }
@@ -319,6 +338,8 @@ impl Executor {
                     }
                 }
             }
+            self.tracer
+                .span(EventKind::GatherBatch, batch_t0, Some(&spec.key), n_remote);
             self.stats
                 .record_gather(n_remote, gather_from.elapsed().as_nanos() as u64);
         }
@@ -364,7 +385,10 @@ impl Executor {
             });
         }
         let inputs = gathered.map_err(|m| (spec.key.clone(), m))?;
-        match &spec.value {
+        // The exec span covers op computation only — the gather above records
+        // its own spans, keeping the lifecycle phases distinct in the trace.
+        let exec_t0 = self.tracer.start();
+        let result = match &spec.value {
             Value::Op { op, params } => self
                 .run_op(op, params, &inputs)
                 .map_err(|m| (spec.key.clone(), m)),
@@ -390,6 +414,9 @@ impl Executor {
                     .pop()
                     .ok_or_else(|| (spec.key.clone(), "fused spec with zero stages".to_string()))
             }
-        }
+        };
+        self.tracer
+            .span(EventKind::Exec, exec_t0, Some(&spec.key), self.id as u64);
+        result
     }
 }

@@ -12,7 +12,7 @@ use deisa_repro::darray;
 use deisa_repro::deisa::plugin::DeisaPlugin;
 use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
-use deisa_repro::dtask::Cluster;
+use deisa_repro::dtask::{Cluster, ClusterConfig, TraceConfig};
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
 use deisa_repro::pdi::{parse_yaml, Pdi};
@@ -47,7 +47,11 @@ plugins:
 "#;
 
 fn main() {
-    let cluster = Cluster::new(4);
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 4,
+        trace: TraceConfig::enabled(),
+        ..ClusterConfig::default()
+    });
     darray::register_array_ops(cluster.registry());
     dml::register_ml_ops(cluster.registry());
     let cfg = HeatConfig::new((16, 16), (2, 2), 6).unwrap();
@@ -123,6 +127,28 @@ fn main() {
         stats.scheduler_control_messages(),
         stats.count(deisa_repro::dtask::MsgClass::Variable),
         stats.count(deisa_repro::dtask::MsgClass::Heartbeat),
+    );
+
+    // Where did the makespan go? Export the lifecycle trace (load
+    // results/TRACE_insitu_ipca.json in https://ui.perfetto.dev) and print
+    // the critical-path phase attribution.
+    let log = cluster.tracer().collect();
+    std::fs::create_dir_all("results").unwrap();
+    log.write_chrome("results/TRACE_insitu_ipca.json").unwrap();
+    let report = log.phase_report();
+    println!("{}", report.to_table());
+    println!(
+        "trace: results/TRACE_insitu_ipca.json ({} events across {} tracks)",
+        log.n_events(),
+        log.tracks.len()
+    );
+    // The phase attribution is an exact partition of the makespan; fail
+    // loudly if it ever drifts past 5%.
+    let total = report.phases_total_ns() as f64;
+    let makespan = report.makespan_ns as f64;
+    assert!(
+        makespan > 0.0 && (total - makespan).abs() <= 0.05 * makespan,
+        "phase totals ({total} ns) diverge from makespan ({makespan} ns)"
     );
     println!("insitu_ipca OK");
 }

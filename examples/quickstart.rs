@@ -11,12 +11,17 @@
 //! Run: `cargo run --example quickstart`
 
 use deisa_repro::darray::{self, DArray, Graph};
-use deisa_repro::dtask::{Cluster, Datum, Key};
+use deisa_repro::dtask::{Cluster, ClusterConfig, Datum, EventKind, Key, TraceActor, TraceConfig};
 use deisa_repro::linalg::NDArray;
 
 fn main() {
-    // A cluster: 1 scheduler thread + 3 workers, in this process.
-    let cluster = Cluster::new(3);
+    // A cluster: 1 scheduler thread + 3 workers, in this process — with
+    // task-lifecycle tracing on so the run leaves a Perfetto-loadable log.
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 3,
+        trace: TraceConfig::enabled(),
+        ..ClusterConfig::default()
+    });
     darray::register_array_ops(cluster.registry());
     let client = cluster.client();
 
@@ -45,5 +50,30 @@ fn main() {
     let total = client.future(total_key).result().unwrap().as_f64().unwrap();
     println!("sum over all external blocks = {total}");
     assert_eq!(total, 64.0 * (1.0 + 2.0 + 3.0 + 4.0));
+
+    // 5. Drain the trace: export a Chrome/Perfetto trace and print where
+    //    the run's wall-clock went.
+    let log = cluster.tracer().collect();
+    std::fs::create_dir_all("results").unwrap();
+    log.write_chrome("results/TRACE_quickstart.json").unwrap();
+    let mut execs_per_worker = std::collections::BTreeMap::new();
+    for track in &log.tracks {
+        if let TraceActor::WorkerSlot { worker, .. } = track.actor {
+            let n = track
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Exec)
+                .count();
+            *execs_per_worker.entry(worker).or_insert(0usize) += n;
+        }
+    }
+    for (worker, n) in &execs_per_worker {
+        println!("worker {worker}: {n} exec spans");
+    }
+    println!("{}", log.phase_report().to_table());
+    println!(
+        "trace: results/TRACE_quickstart.json ({} events)",
+        log.n_events()
+    );
     println!("quickstart OK");
 }
