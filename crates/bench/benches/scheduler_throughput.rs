@@ -21,7 +21,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtask::{
     Cluster, ClusterConfig, Datum, IngestMode, Json, Key, MsgClass, OptimizeConfig, StatsSnapshot,
-    TaskSpec, TraceConfig,
+    TaskSpec, TraceConfig, TransportConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -31,11 +31,21 @@ const CHAIN_LEN: usize = 8;
 const DEAD_TASKS: usize = 32;
 
 fn make_cluster(optimize: OptimizeConfig, ingest: IngestMode, trace: TraceConfig) -> Cluster {
+    make_transport_cluster(optimize, ingest, trace, TransportConfig::InProc)
+}
+
+fn make_transport_cluster(
+    optimize: OptimizeConfig,
+    ingest: IngestMode,
+    trace: TraceConfig,
+    transport: TransportConfig,
+) -> Cluster {
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: N_WORKERS,
         optimize,
         ingest,
         trace,
+        transport,
         ..ClusterConfig::default()
     });
     // Chain stage: scalar increment — cheap on purpose, so scheduling
@@ -210,6 +220,51 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
          ({overhead_pct:+.1}% — disabled recorder must stay < 2%)"
     );
 
+    // Transport A/B on the optimized config: InProc (references over
+    // channels) against Framed (every message through the versioned wire
+    // codec). Interleaved rounds again; the Framed run's per-lane byte
+    // counters are the real serialized message sizes of the workload.
+    let transport_rounds = 25;
+    let inproc_cluster = make_transport_cluster(
+        OptimizeConfig::enabled(),
+        IngestMode::Batched { max_burst: 64 },
+        TraceConfig::default(),
+        TransportConfig::InProc,
+    );
+    let framed_cluster = make_transport_cluster(
+        OptimizeConfig::enabled(),
+        IngestMode::Batched { max_burst: 64 },
+        TraceConfig::default(),
+        TransportConfig::Framed,
+    );
+    let inproc_client = inproc_cluster.client();
+    let framed_client = framed_cluster.client();
+    let mut inproc_samples = Vec::with_capacity(transport_rounds);
+    let mut framed_samples = Vec::with_capacity(transport_rounds);
+    for round in 0..transport_rounds as u64 {
+        let t0 = Instant::now();
+        assert_eq!(run_round(&inproc_client, round), expected_sink());
+        inproc_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        assert_eq!(run_round(&framed_client, round), expected_sink());
+        framed_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let inproc_ms = median_ms(inproc_samples);
+    let framed_ms = median_ms(framed_samples);
+    let framed_overhead_pct = (framed_ms / inproc_ms.max(1e-9) - 1.0) * 100.0;
+    let framed_snap = StatsSnapshot::capture(framed_cluster.stats());
+    println!(
+        "  transport A/B (median round): inproc {inproc_ms:.2} ms, framed {framed_ms:.2} ms \
+         ({framed_overhead_pct:+.1}%) | {} wire msgs, {} wire bytes",
+        framed_snap.wire_total_messages, framed_snap.wire_total_bytes
+    );
+    for lane in &framed_snap.wire_lanes {
+        println!(
+            "    lane {:<10} {:>7} msgs {:>10} bytes",
+            lane.name, lane.messages, lane.bytes
+        );
+    }
+
     // Emit the machine-readable record through the shared StatsSnapshot
     // schema (one format for bench output and runtime snapshots).
     let doc = Json::obj()
@@ -230,8 +285,12 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         .set("trace_off_median_round_ms", off)
         .set("trace_on_median_round_ms", on)
         .set("trace_overhead_pct", overhead_pct)
+        .set("transport_inproc_median_round_ms", inproc_ms)
+        .set("transport_framed_median_round_ms", framed_ms)
+        .set("transport_framed_overhead_pct", framed_overhead_pct)
         .set("baseline_stats", base_snap.to_json())
-        .set("optimized_stats", opt_snap.to_json());
+        .set("optimized_stats", opt_snap.to_json())
+        .set("framed_stats", framed_snap.to_json());
     // Write at the workspace root regardless of the bench's cwd.
     let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(out_dir).ok();
@@ -262,6 +321,20 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
             OptimizeConfig::enabled(),
             IngestMode::Batched { max_burst: 64 },
             TraceConfig::default(),
+        );
+        let client = cluster.client();
+        let mut round = 0u64;
+        bench.iter(|| {
+            round += 1;
+            black_box(run_round(&client, round))
+        });
+    });
+    group.bench_function(BenchmarkId::new("optimized", "framed_wire"), |bench| {
+        let cluster = make_transport_cluster(
+            OptimizeConfig::enabled(),
+            IngestMode::Batched { max_burst: 64 },
+            TraceConfig::default(),
+            TransportConfig::Framed,
         );
         let client = cluster.client();
         let mut round = 0u64;

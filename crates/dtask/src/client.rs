@@ -7,34 +7,20 @@ use crate::optimize::{optimize, OptimizeConfig};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
 use crate::trace::{EventKind, TraceHandle};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::transport::{DataReply, Endpoint};
+use crossbeam::channel::Receiver;
 use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Heartbeat controller handle (stops the pinger thread on drop).
-pub(crate) struct HeartbeatHandle {
-    pub stop: Arc<AtomicBool>,
-    pub thread: Option<std::thread::JoinHandle<()>>,
-}
-
-impl Drop for HeartbeatHandle {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
 /// A connected client. Owns its notification inbox, so use one `Client` per
 /// thread (clone-by-reconnect via [`crate::Cluster::client`]).
 pub struct Client {
     pub(crate) id: ClientId,
-    pub(crate) sched_tx: Sender<SchedMsg>,
-    pub(crate) worker_data: Vec<Sender<DataMsg>>,
+    /// Outbound route to the scheduler and worker data servers.
+    pub(crate) endpoint: Endpoint,
     pub(crate) rx: Receiver<ClientMsg>,
     pub(crate) pending: RefCell<VecDeque<ClientMsg>>,
     pub(crate) stats: Arc<SchedulerStats>,
@@ -46,7 +32,10 @@ pub struct Client {
     /// Lifecycle event recorder (empty handle when tracing is off). Bridges
     /// relabel their trace row via [`TraceHandle::set_label`].
     pub(crate) tracer: TraceHandle,
-    pub(crate) _heartbeat: Option<HeartbeatHandle>,
+    /// Stop flag of this client's heartbeat pinger, when one is running. The
+    /// thread itself is owned (and joined) by the cluster — satellite of the
+    /// shutdown-ordering fix — so drop only signals it to stop.
+    pub(crate) heartbeat_stop: Option<Arc<AtomicBool>>,
 }
 
 /// A handle to one (eventual) task result.
@@ -69,7 +58,7 @@ impl Client {
 
     /// Number of workers in the cluster.
     pub fn n_workers(&self) -> usize {
-        self.worker_data.len()
+        self.endpoint.n_workers()
     }
 
     /// Shared statistics counters.
@@ -111,7 +100,7 @@ impl Client {
         }
         self.tracer
             .instant(EventKind::Submit, None, specs.len() as u64);
-        let _ = self.sched_tx.send(SchedMsg::SubmitGraph {
+        self.endpoint.send_sched(SchedMsg::SubmitGraph {
             client: self.id,
             specs,
         });
@@ -132,7 +121,7 @@ impl Client {
         self.external_keys.borrow_mut().extend(keys.iter().cloned());
         self.tracer
             .instant(EventKind::RegisterExternal, None, keys.len() as u64);
-        let _ = self.sched_tx.send(SchedMsg::RegisterExternal {
+        self.endpoint.send_sched(SchedMsg::RegisterExternal {
             client: self.id,
             keys,
         });
@@ -176,17 +165,20 @@ impl Client {
         let mut entries = Vec::with_capacity(items.len());
         for (key, value) in items {
             let w = worker.unwrap_or_else(|| {
-                self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.worker_data.len()
+                self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.endpoint.n_workers()
             });
             let nbytes = value.nbytes();
             total_bytes += nbytes;
             self.stats.record(MsgClass::ScatterData, nbytes);
-            let (ack_tx, ack_rx) = bounded(1);
-            let _ = self.worker_data[w].send(DataMsg::Put {
-                key: key.clone(),
-                value,
-                ack: ack_tx,
-            });
+            let (ack, ack_rx) = self.endpoint.reply_slot();
+            self.endpoint.send_data(
+                w,
+                DataMsg::Put {
+                    key: key.clone(),
+                    value,
+                    ack,
+                },
+            );
             // Wait for the worker to own the data before informing the
             // scheduler (otherwise a dependent task could be scheduled and
             // fetch-miss).
@@ -194,7 +186,7 @@ impl Client {
             entries.push((key, w, nbytes));
             placements.push(w);
         }
-        let _ = self.sched_tx.send(SchedMsg::UpdateData {
+        self.endpoint.send_sched(SchedMsg::UpdateData {
             client: self.id,
             entries,
             external,
@@ -214,7 +206,7 @@ impl Client {
     /// registrations go out before any wait begins.
     pub fn gather_many(&self, keys: &[Key]) -> Result<Vec<Datum>, TaskError> {
         for key in keys {
-            let _ = self.sched_tx.send(SchedMsg::WantResult {
+            self.endpoint.send_sched(SchedMsg::WantResult {
                 client: self.id,
                 key: key.clone(),
             });
@@ -227,10 +219,7 @@ impl Client {
                     ClientMsg::KeyReady { key, location } if *key == k => Some(location.clone()),
                     _ => None,
                 })
-                .map_err(|we| TaskError {
-                    key: key.clone(),
-                    message: we.to_string(),
-                })??;
+                .map_err(|we| TaskError::new(key.clone(), we.to_string()))??;
             locations.push(loc);
         }
         keys.iter()
@@ -241,12 +230,13 @@ impl Client {
 
     /// Release keys cluster-wide (scheduler state + worker memory).
     pub fn release(&self, keys: Vec<Key>) {
-        let _ = self.sched_tx.send(SchedMsg::ReleaseKeys { keys });
+        self.endpoint.send_sched(SchedMsg::ReleaseKeys { keys });
     }
 
     /// Send one heartbeat now (the automatic pinger uses the same path).
     pub fn heartbeat(&self) {
-        let _ = self.sched_tx.send(SchedMsg::Heartbeat { client: self.id });
+        self.endpoint
+            .send_sched(SchedMsg::Heartbeat { client: self.id });
     }
 
     // ---- notification plumbing -------------------------------------------
@@ -291,12 +281,15 @@ impl Client {
     /// Fetch a key's value from a worker (data plane).
     fn gather_from(&self, worker: WorkerId, key: &Key) -> Result<Datum, TaskError> {
         let gather_t0 = self.tracer.start();
-        let (reply_tx, reply_rx) = bounded(1);
-        let _ = self.worker_data[worker].send(DataMsg::Get {
-            key: key.clone(),
-            reply: reply_tx,
-        });
-        match reply_rx.recv() {
+        let (reply, reply_rx) = self.endpoint.reply_slot();
+        self.endpoint.send_data(
+            worker,
+            DataMsg::Get {
+                key: key.clone(),
+                reply,
+            },
+        );
+        match reply_rx.recv().map(DataReply::into_value) {
             Ok(Ok(value)) => {
                 self.stats.record(MsgClass::GatherData, value.nbytes());
                 self.tracer.span(
@@ -307,14 +300,8 @@ impl Client {
                 );
                 Ok(value)
             }
-            Ok(Err(m)) => Err(TaskError {
-                key: key.clone(),
-                message: m,
-            }),
-            Err(_) => Err(TaskError {
-                key: key.clone(),
-                message: "worker hung up".into(),
-            }),
+            Ok(Err(m)) => Err(TaskError::new(key.clone(), m)),
+            Err(_) => Err(TaskError::new(key.clone(), "worker hung up")),
         }
     }
 
@@ -322,7 +309,7 @@ impl Client {
 
     /// Set a distributed variable.
     pub fn var_set(&self, name: &str, value: Datum) {
-        let _ = self.sched_tx.send(SchedMsg::VariableSet {
+        self.endpoint.send_sched(SchedMsg::VariableSet {
             name: name.to_string(),
             value,
         });
@@ -330,7 +317,7 @@ impl Client {
 
     /// Blocking read of a variable (waits for it to be set).
     pub fn var_get(&self, name: &str) -> Result<Datum, WaitError> {
-        let _ = self.sched_tx.send(SchedMsg::VariableGet {
+        self.endpoint.send_sched(SchedMsg::VariableGet {
             client: self.id,
             name: name.to_string(),
             wait: true,
@@ -347,7 +334,7 @@ impl Client {
 
     /// Non-blocking read of a variable.
     pub fn var_try_get(&self, name: &str) -> Result<Option<Datum>, WaitError> {
-        let _ = self.sched_tx.send(SchedMsg::VariableGet {
+        self.endpoint.send_sched(SchedMsg::VariableGet {
             client: self.id,
             name: name.to_string(),
             wait: false,
@@ -364,7 +351,7 @@ impl Client {
 
     /// Delete a variable.
     pub fn var_del(&self, name: &str) {
-        let _ = self.sched_tx.send(SchedMsg::VariableDel {
+        self.endpoint.send_sched(SchedMsg::VariableDel {
             name: name.to_string(),
         });
     }
@@ -382,7 +369,7 @@ impl Client {
     /// Push onto a named distributed queue.
     pub fn q_push(&self, name: &str, value: Datum) {
         self.tracer.instant(EventKind::QueueOp, None, 0);
-        let _ = self.sched_tx.send(SchedMsg::QueuePush {
+        self.endpoint.send_sched(SchedMsg::QueuePush {
             name: name.to_string(),
             value,
         });
@@ -391,7 +378,7 @@ impl Client {
     /// Blocking pop from a named queue.
     pub fn q_pop(&self, name: &str) -> Result<Datum, WaitError> {
         self.tracer.instant(EventKind::QueueOp, None, 1);
-        let _ = self.sched_tx.send(SchedMsg::QueuePop {
+        self.endpoint.send_sched(SchedMsg::QueuePop {
             client: self.id,
             name: name.to_string(),
         });
@@ -412,9 +399,12 @@ impl Client {
 
 impl Drop for Client {
     fn drop(&mut self) {
-        let _ = self
-            .sched_tx
-            .send(SchedMsg::ClientDisconnect { client: self.id });
+        if let Some(stop) = &self.heartbeat_stop {
+            stop.store(true, Ordering::SeqCst);
+        }
+        self.endpoint
+            .send_sched(SchedMsg::ClientDisconnect { client: self.id });
+        self.endpoint.unregister_client(self.id);
     }
 }
 
@@ -461,7 +451,7 @@ impl DFuture<'_> {
     }
 
     fn wait_impl(&self, timeout: Option<Duration>) -> Result<WorkerId, TaskError> {
-        let _ = self.client.sched_tx.send(SchedMsg::WantResult {
+        self.client.endpoint.send_sched(SchedMsg::WantResult {
             client: self.client.id,
             key: self.key.clone(),
         });
@@ -472,10 +462,7 @@ impl DFuture<'_> {
         }) {
             Ok(Ok(worker)) => Ok(worker),
             Ok(Err(e)) => Err(e),
-            Err(we) => Err(TaskError {
-                key: self.key.clone(),
-                message: we.to_string(),
-            }),
+            Err(we) => Err(TaskError::new(self.key.clone(), we.to_string())),
         }
     }
 

@@ -1,14 +1,15 @@
 //! Cluster bootstrap: spawn scheduler + workers, hand out clients.
 
-use crate::client::{Client, HeartbeatHandle};
+use crate::client::Client;
 use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg};
 use crate::optimize::OptimizeConfig;
 use crate::scheduler::{IngestMode, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
 use crate::trace::{TraceActor, TraceConfig, TraceRecorder};
+use crate::transport::{Addr, DataReply, Router, TransportConfig};
 use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::unbounded;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +64,13 @@ pub struct ClusterConfig {
     /// the clock or allocate). Enable with [`TraceConfig::enabled`] and read
     /// the log back via [`Cluster::tracer`].
     pub trace: TraceConfig,
+    /// Inter-actor transport backend (default:
+    /// [`TransportConfig::InProc`] — plain channels, zero overhead).
+    /// [`TransportConfig::Framed`] runs every message through the versioned
+    /// wire format and counts real serialized bytes;
+    /// [`TransportConfig::SimNet`] additionally injects netsim fat-tree
+    /// latency/bandwidth delays.
+    pub transport: TransportConfig,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +83,7 @@ impl Default for ClusterConfig {
             optimize: OptimizeConfig::default(),
             ingest: IngestMode::default(),
             trace: TraceConfig::default(),
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -92,12 +101,11 @@ impl ClusterConfig {
     }
 }
 
-/// A running in-process cluster: one scheduler thread, `n` workers (two
-/// threads each: executor + data server).
+/// A running in-process cluster: one scheduler thread, `n` workers (data
+/// server + executor slots each), all talking through one transport
+/// [`Router`].
 pub struct Cluster {
-    sched_tx: Sender<SchedMsg>,
-    worker_data: Vec<Sender<DataMsg>>,
-    worker_exec: Vec<Sender<ExecMsg>>,
+    router: Arc<Router>,
     registry: OpRegistry,
     stats: Arc<SchedulerStats>,
     tracer: Arc<TraceRecorder>,
@@ -105,7 +113,14 @@ pub struct Cluster {
     default_heartbeat: HeartbeatInterval,
     optimize: OptimizeConfig,
     slots_per_worker: usize,
-    threads: Vec<JoinHandle<()>>,
+    // Thread handles are kept per role so shutdown can retire them in
+    // dependency order: heartbeats first (they write into the scheduler),
+    // then executors (they write into scheduler + data servers), then data
+    // servers, then the scheduler itself.
+    sched_thread: Option<JoinHandle<()>>,
+    data_threads: Vec<JoinHandle<()>>,
+    exec_threads: Vec<JoinHandle<()>>,
+    heartbeats: parking_lot::Mutex<Vec<(Arc<AtomicBool>, JoinHandle<()>)>>,
     down: bool,
 }
 
@@ -142,37 +157,44 @@ impl Cluster {
             stores.push(Arc::new(parking_lot::Mutex::new(Default::default())));
         }
 
-        let mut threads = Vec::new();
+        // One router fronts every inter-actor channel; actors only ever see
+        // `Endpoint`s derived from it.
+        let router = Router::new(
+            &config.transport,
+            config.n_workers,
+            sched_tx,
+            worker_data,
+            worker_exec.clone(),
+            Arc::clone(&stats),
+            tracer.register(TraceActor::Transport),
+        );
+
         // Scheduler thread.
-        {
-            let pairs: Vec<_> = worker_data
-                .iter()
-                .cloned()
-                .zip(worker_exec.iter().cloned())
-                .collect();
-            let sched = Scheduler::new(
-                sched_rx,
-                pairs,
-                slots,
-                config.ingest,
-                Arc::clone(&stats),
-                tracer.register(TraceActor::Scheduler),
-            );
-            threads.push(
-                std::thread::Builder::new()
-                    .name("dtask-scheduler".into())
-                    .spawn(move || sched.run())
-                    .expect("spawn scheduler"),
-            );
-        }
+        let sched = Scheduler::new(
+            sched_rx,
+            router.endpoint(Addr::Scheduler),
+            slots,
+            config.ingest,
+            Arc::clone(&stats),
+            tracer.register(TraceActor::Scheduler),
+        );
+        let sched_thread = Some(
+            std::thread::Builder::new()
+                .name("dtask-scheduler".into())
+                .spawn(move || sched.run())
+                .expect("spawn scheduler"),
+        );
         // Worker threads: one data server + `slots` executor slots each, the
         // slots draining one shared (cloned) inbox.
+        let mut data_threads = Vec::with_capacity(config.n_workers);
+        let mut exec_threads = Vec::with_capacity(config.n_workers * slots);
         for (id, (data_rx, exec_rx)) in data_rxs.into_iter().zip(exec_rxs).enumerate() {
             let store = Arc::clone(&stores[id]);
-            threads.push(
+            let data_endpoint = router.endpoint(Addr::WorkerData(id));
+            data_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dtask-worker-{id}-data"))
-                    .spawn(move || run_data_server(store, data_rx))
+                    .spawn(move || run_data_server(store, data_rx, data_endpoint))
                     .expect("spawn data server"),
             );
             for slot in 0..slots {
@@ -181,14 +203,13 @@ impl Cluster {
                     store: Arc::clone(&stores[id]),
                     rx: exec_rx.clone(),
                     exec_tx: worker_exec[id].clone(),
-                    sched_tx: sched_tx.clone(),
-                    peer_data: worker_data.clone(),
+                    endpoint: router.endpoint(Addr::WorkerExec(id)),
                     registry: registry.clone(),
                     stats: Arc::clone(&stats),
                     gather_mode: config.gather_mode,
                     tracer: tracer.register(TraceActor::WorkerSlot { worker: id, slot }),
                 };
-                threads.push(
+                exec_threads.push(
                     std::thread::Builder::new()
                         .name(format!("dtask-worker-{id}-exec-{slot}"))
                         .spawn(move || exec.run())
@@ -198,9 +219,7 @@ impl Cluster {
         }
 
         Cluster {
-            sched_tx,
-            worker_data,
-            worker_exec,
+            router,
             registry,
             stats,
             tracer,
@@ -208,7 +227,10 @@ impl Cluster {
             default_heartbeat: config.default_heartbeat,
             optimize: config.optimize,
             slots_per_worker: slots,
-            threads,
+            sched_thread,
+            data_threads,
+            exec_threads,
+            heartbeats: parking_lot::Mutex::new(Vec::new()),
             down: false,
         }
     }
@@ -233,7 +255,7 @@ impl Cluster {
 
     /// Number of workers.
     pub fn n_workers(&self) -> usize {
-        self.worker_data.len()
+        self.router.n_workers()
     }
 
     /// Executor slots each worker runs (after `0 = auto` resolution).
@@ -244,14 +266,15 @@ impl Cluster {
     /// Per-worker `(stored keys, stored bytes)` snapshot — how Dask's
     /// dashboard reports worker memory; used by the load-balance tests.
     pub fn worker_memory(&self) -> Vec<(usize, u64)> {
-        self.worker_data
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-                if tx.send(DataMsg::Stats { reply: reply_tx }).is_err() {
-                    return (0, 0);
+        let endpoint = self.router.endpoint(Addr::Control);
+        (0..self.n_workers())
+            .map(|w| {
+                let (reply, reply_rx) = endpoint.reply_slot();
+                endpoint.send_data(w, DataMsg::Stats { reply });
+                match reply_rx.recv() {
+                    Ok(DataReply::Stats { keys, bytes }) => (keys as usize, bytes),
+                    _ => (0, 0),
                 }
-                reply_rx.recv().unwrap_or((0, 0))
             })
             .collect()
     }
@@ -265,27 +288,30 @@ impl Cluster {
     pub fn client_with_heartbeat(&self, heartbeat: HeartbeatInterval) -> Client {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded::<ClientMsg>();
-        let _ = self.sched_tx.send(SchedMsg::ClientConnect {
-            client: id,
-            sender: tx,
-        });
-        let hb = match heartbeat {
+        // Register the notification route BEFORE announcing the client: the
+        // connect message and any subsequent notification travel the same
+        // transport, so ordering here guarantees no notification can ever
+        // beat its route.
+        self.router.register_client(id, tx);
+        let endpoint = self.router.endpoint(Addr::Client(id));
+        endpoint.send_sched(SchedMsg::ClientConnect { client: id });
+        let heartbeat_stop = match heartbeat {
             HeartbeatInterval::Infinite => None,
             HeartbeatInterval::Every(period) => {
                 let stop = Arc::new(AtomicBool::new(false));
                 let stop2 = Arc::clone(&stop);
-                let sched_tx = self.sched_tx.clone();
+                let hb_endpoint = endpoint.clone();
                 let thread = std::thread::Builder::new()
                     .name(format!("dtask-heartbeat-{id}"))
                     .spawn(move || {
-                        // Sleep in small slices so drop is prompt, but only
+                        // Sleep in small slices so stop is prompt, but only
                         // ping at the configured period.
                         while !stop2.load(Ordering::SeqCst) {
                             std::thread::sleep(period.min(Duration::from_millis(20)));
                             if stop2.load(Ordering::SeqCst) {
                                 break;
                             }
-                            let _ = sched_tx.send(SchedMsg::Heartbeat { client: id });
+                            hb_endpoint.send_sched(SchedMsg::Heartbeat { client: id });
                             // For periods longer than the slice, sleep out the rest.
                             let mut remaining = period.saturating_sub(Duration::from_millis(20));
                             while remaining > Duration::ZERO && !stop2.load(Ordering::SeqCst) {
@@ -296,16 +322,16 @@ impl Cluster {
                         }
                     })
                     .expect("spawn heartbeat");
-                Some(HeartbeatHandle {
-                    stop,
-                    thread: Some(thread),
-                })
+                // The cluster owns (and joins) the pinger thread so shutdown
+                // can retire it before any scheduler channel goes away; the
+                // client keeps only the stop flag.
+                self.heartbeats.lock().push((Arc::clone(&stop), thread));
+                Some(stop)
             }
         };
         Client {
             id,
-            sched_tx: self.sched_tx.clone(),
-            worker_data: self.worker_data.clone(),
+            endpoint,
             rx,
             pending: Default::default(),
             stats: Arc::clone(&self.stats),
@@ -313,7 +339,7 @@ impl Cluster {
             optimize: self.optimize.clone(),
             external_keys: Default::default(),
             tracer: self.tracer.register(TraceActor::Client { id }),
-            _heartbeat: hb,
+            heartbeat_stop,
         }
     }
 
@@ -322,23 +348,44 @@ impl Cluster {
         self.shutdown_inner();
     }
 
+    /// Retire threads in dependency order, so nothing ever writes into an
+    /// actor that is already gone:
+    ///
+    /// 1. heartbeat pingers (they write into the scheduler),
+    /// 2. executor slots (they write into the scheduler and data servers),
+    /// 3. data servers (executors are gone, no more peer fetches),
+    /// 4. the scheduler itself.
+    ///
+    /// The old ordering shut the scheduler down first, racing in-flight
+    /// heartbeats and task reports against a closing inbox.
     fn shutdown_inner(&mut self) {
         if self.down {
             return;
         }
         self.down = true;
-        let _ = self.sched_tx.send(SchedMsg::Shutdown);
-        for tx in &self.worker_exec {
+        let endpoint = self.router.endpoint(Addr::Control);
+        for (stop, thread) in self.heartbeats.lock().drain(..) {
+            stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
+        for w in 0..self.n_workers() {
             // One shutdown message per slot: each slot thread consumes
             // exactly one and exits.
             for _ in 0..self.slots_per_worker {
-                let _ = tx.send(ExecMsg::Shutdown);
+                endpoint.send_exec(w, ExecMsg::Shutdown);
             }
         }
-        for tx in &self.worker_data {
-            let _ = tx.send(DataMsg::Shutdown);
+        for t in self.exec_threads.drain(..) {
+            let _ = t.join();
         }
-        for t in self.threads.drain(..) {
+        for w in 0..self.n_workers() {
+            endpoint.send_data(w, DataMsg::Shutdown);
+        }
+        for t in self.data_threads.drain(..) {
+            let _ = t.join();
+        }
+        endpoint.send_sched(SchedMsg::Shutdown);
+        if let Some(t) = self.sched_thread.take() {
             let _ = t.join();
         }
     }

@@ -30,13 +30,14 @@ pub enum Datum {
 
 impl Datum {
     /// Approximate in-memory payload size in bytes, used for bandwidth and
-    /// data-locality accounting (Dask's `nbytes`).
+    /// data-locality accounting (Dask's `nbytes`). Dense-block sizing is
+    /// shared with the DES cost models via [`netsim::sizing`].
     pub fn nbytes(&self) -> u64 {
         match self {
-            Datum::F64(_) | Datum::I64(_) => 8,
+            Datum::F64(_) | Datum::I64(_) => netsim::sizing::F64_BYTES,
             Datum::Bool(_) => 1,
             Datum::Str(s) => s.len() as u64,
-            Datum::Array(a) => (a.len() * 8) as u64,
+            Datum::Array(a) => netsim::sizing::f64_block_bytes(a.len()),
             Datum::List(items) => items.iter().map(Datum::nbytes).sum(),
             Datum::Bytes(b) => b.len() as u64,
             Datum::Null => 0,

@@ -53,6 +53,8 @@ pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod trace;
+pub mod transport;
+pub mod wire;
 pub mod worker;
 
 pub use client::{Client, DFuture, DQueue, Variable};
@@ -60,14 +62,16 @@ pub use cluster::{Cluster, ClusterConfig, HeartbeatInterval};
 pub use datum::Datum;
 pub use json::Json;
 pub use key::Key;
-pub use msg::TaskError;
+pub use msg::{ErrorCause, TaskError};
 pub use optimize::{optimize, OptimizeConfig, OptimizeReport};
 pub use scheduler::IngestMode;
-pub use snapshot::{HistSnapshot, StatsSnapshot};
+pub use snapshot::{HistSnapshot, StatsSnapshot, WireLaneSnapshot};
 pub use spec::{OpRegistry, TaskSpec};
-pub use stats::{LatencyHist, MsgClass, SchedulerStats};
+pub use stats::{LatencyHist, MsgClass, SchedulerStats, WireLane};
 pub use trace::{
     EventKind, PhaseReport, TraceActor, TraceConfig, TraceEvent, TraceHandle, TraceLog,
     TraceRecorder,
 };
+pub use transport::{Addr, DataReply, Endpoint, ReplyRx, ReplyTo, SimNetConfig, TransportConfig};
+pub use wire::{WireError, WIRE_VERSION};
 pub use worker::GatherMode;

@@ -1,9 +1,14 @@
 //! Message types exchanged between clients, the scheduler, and workers.
+//!
+//! No variant carries a live channel handle: replies are id-routed through
+//! the transport layer via [`ReplyTo`] tokens (see [`crate::transport`]), so
+//! every message can be serialized by the Framed/SimNet backends without
+//! special-casing.
 
 use crate::datum::Datum;
 use crate::key::Key;
 use crate::spec::TaskSpec;
-use crossbeam::channel::Sender;
+use crate::transport::ReplyTo;
 use std::sync::Arc;
 
 /// Worker identifier (index into the cluster's worker table).
@@ -12,6 +17,31 @@ pub type WorkerId = usize;
 /// Client identifier assigned at connect time.
 pub type ClientId = usize;
 
+/// Where a [`TaskError`] came from, relative to the task it is attached to.
+///
+/// The error's `key` always names the *originally failing* task; the cause
+/// records how the failure reached the current task, so fused-chain
+/// per-stage attribution and dependency cascades stay distinguishable after
+/// a wire round-trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCause {
+    /// The task named by `key` failed while executing.
+    Direct,
+    /// An interior stage of a fused chain failed; `stored_key` is the spec
+    /// key the scheduler tracks (the chain tail), while `key` names the
+    /// failing stage.
+    FusedStage {
+        /// The fused spec's key (what the scheduler tracks).
+        stored_key: Key,
+    },
+    /// The failure propagated through a dependency edge; `via` is the
+    /// direct dependency that delivered it.
+    Propagated {
+        /// The dependency the error arrived through.
+        via: Key,
+    },
+}
+
 /// A task failure, delivered to futures and propagated to dependents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskError {
@@ -19,6 +49,40 @@ pub struct TaskError {
     pub key: Key,
     /// Failure description.
     pub message: String,
+    /// How the failure relates to the task it is attached to.
+    pub cause: ErrorCause,
+}
+
+impl TaskError {
+    /// An error originating at `key` itself.
+    pub fn new(key: impl Into<Key>, message: impl Into<String>) -> Self {
+        TaskError {
+            key: key.into(),
+            message: message.into(),
+            cause: ErrorCause::Direct,
+        }
+    }
+
+    /// Same error with an explicit cause.
+    pub fn with_cause(mut self, cause: ErrorCause) -> Self {
+        self.cause = cause;
+        self
+    }
+
+    /// This same failure as seen one dependency edge further downstream.
+    pub fn propagated_via(&self, via: Key) -> Self {
+        TaskError {
+            key: self.key.clone(),
+            message: self.message.clone(),
+            cause: ErrorCause::Propagated { via },
+        }
+    }
+
+    /// Did this failure originate somewhere other than the task it is
+    /// attached to?
+    pub fn is_propagated(&self) -> bool {
+        matches!(self.cause, ErrorCause::Propagated { .. })
+    }
 }
 
 impl std::fmt::Display for TaskError {
@@ -30,13 +94,14 @@ impl std::fmt::Display for TaskError {
 impl std::error::Error for TaskError {}
 
 /// Messages into the scheduler.
+#[derive(Clone)]
 pub enum SchedMsg {
-    /// A new client connected; the scheduler records its notification channel.
+    /// A new client connected; its notification route is registered with the
+    /// transport router before this message is sent, so the scheduler only
+    /// records the id.
     ClientConnect {
         /// Client id (assigned by the cluster).
         client: ClientId,
-        /// Channel for notifications back to this client.
-        sender: Sender<ClientMsg>,
     },
     /// A client disconnected; pending waiters are dropped.
     ClientDisconnect {
@@ -158,6 +223,7 @@ pub enum SchedMsg {
 /// One scheduler→worker assignment: the task, the placement of each
 /// dependency that needs a remote fetch, and the assignment timestamp (the
 /// executor measures queue delay — assign → slot dequeue — against it).
+#[derive(Clone)]
 pub struct Assignment {
     /// The task (shared with the scheduler's entry — no deep copy).
     pub spec: Arc<TaskSpec>,
@@ -165,12 +231,15 @@ pub struct Assignment {
     /// on the target worker (local deps resolve from its store and are
     /// omitted here).
     pub dep_locations: Vec<(Key, Vec<WorkerId>)>,
-    /// When the scheduler's placement pass shipped this task.
+    /// When the scheduler's placement pass shipped this task. Not part of
+    /// the wire format: the Framed/SimNet decoder re-stamps it at delivery,
+    /// so queue delay measures slot wait, not transport latency.
     pub assigned_at: std::time::Instant,
 }
 
 /// Messages a worker's *executor slots* handle (one shared inbox per worker,
 /// drained by every slot thread).
+#[derive(Clone)]
 pub enum ExecMsg {
     /// Run one assigned task.
     Execute(Assignment),
@@ -187,23 +256,24 @@ pub enum ExecMsg {
 
 /// Messages a worker's *data server* handles (always responsive; this is the
 /// comm half of the worker, so dependency fetches can never deadlock).
+#[derive(Clone)]
 pub enum DataMsg {
-    /// Store a value (scatter landing). `ack` fires after the store, so the
-    /// sender can safely tell the scheduler the data exists.
+    /// Store a value (scatter landing). The ack fires after the store, so
+    /// the sender can safely tell the scheduler the data exists.
     Put {
         /// Key to store under.
         key: Key,
         /// The value.
         value: Datum,
-        /// Ack channel.
-        ack: Sender<()>,
+        /// Where to route the [`crate::transport::DataReply::PutAck`].
+        ack: ReplyTo,
     },
     /// Fetch a value (peer dependency fetch or client gather).
     Get {
         /// Requested key.
         key: Key,
-        /// Reply channel; `Err` if the key is not here.
-        reply: Sender<Result<Datum, String>>,
+        /// Where to route the value (or the miss error).
+        reply: ReplyTo,
     },
     /// Drop stored values.
     Delete {
@@ -212,8 +282,8 @@ pub enum DataMsg {
     },
     /// Report store statistics (introspection / load-balance checks).
     Stats {
-        /// Reply channel: `(stored keys, stored bytes)`.
-        reply: Sender<(usize, u64)>,
+        /// Where to route the `(stored keys, stored bytes)` reply.
+        reply: ReplyTo,
     },
     /// Stop the data-server thread.
     Shutdown,

@@ -23,8 +23,9 @@ use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
 use crate::trace::{EventKind, TraceHandle};
-use crossbeam::channel::{Receiver, Sender};
-use std::collections::{HashMap, VecDeque};
+use crate::transport::Endpoint;
+use crossbeam::channel::Receiver;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -99,8 +100,6 @@ impl TaskEntry {
 }
 
 struct WorkerEntry {
-    data_tx: Sender<DataMsg>,
-    exec_tx: Sender<crate::msg::ExecMsg>,
     /// Tasks currently assigned and not yet reported done.
     processing: usize,
     /// Executor slots this worker runs; load comparisons use the
@@ -128,10 +127,15 @@ struct QueueEntry {
 /// The scheduler loop state.
 pub struct Scheduler {
     rx: Receiver<SchedMsg>,
+    /// Outbound route to every other actor (worker exec/data inboxes and
+    /// client notification queues), via whichever transport backend the
+    /// cluster was built with.
+    endpoint: Endpoint,
     tasks: HashMap<Key, TaskEntry>,
     ready: VecDeque<Key>,
     workers: Vec<WorkerEntry>,
-    clients: HashMap<ClientId, Sender<ClientMsg>>,
+    /// Connected clients; notifications to unknown ids are dropped.
+    clients: HashSet<ClientId>,
     variables: HashMap<String, Datum>,
     /// Clients blocked in `VariableGet { wait: true }` per variable.
     var_waiters: HashMap<String, Vec<ClientId>>,
@@ -149,32 +153,32 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Build a scheduler over its inbox and the worker channel table.
+    /// Build a scheduler over its inbox and its transport endpoint (the
+    /// worker table size comes from the endpoint's router).
     /// `slots_per_worker` is the executor-slot count of each worker (≥1),
     /// used to weight load comparisons during placement.
     pub fn new(
         rx: Receiver<SchedMsg>,
-        workers: Vec<(Sender<DataMsg>, Sender<crate::msg::ExecMsg>)>,
+        endpoint: Endpoint,
         slots_per_worker: usize,
         ingest: IngestMode,
         stats: Arc<SchedulerStats>,
         tracer: TraceHandle,
     ) -> Self {
         let slots = slots_per_worker.max(1);
+        let n_workers = endpoint.n_workers();
         Scheduler {
             rx,
+            endpoint,
             tasks: HashMap::new(),
             ready: VecDeque::new(),
-            workers: workers
-                .into_iter()
-                .map(|(data_tx, exec_tx)| WorkerEntry {
-                    data_tx,
-                    exec_tx,
+            workers: (0..n_workers)
+                .map(|_| WorkerEntry {
                     processing: 0,
                     slots,
                 })
                 .collect(),
-            clients: HashMap::new(),
+            clients: HashSet::new(),
             variables: HashMap::new(),
             var_waiters: HashMap::new(),
             queues: HashMap::new(),
@@ -200,10 +204,7 @@ impl Scheduler {
             IngestMode::Batched { max_burst } => max_burst.max(1),
         };
         let mut burst: Vec<SchedMsg> = Vec::with_capacity(max_burst);
-        'outer: loop {
-            let Ok(first) = self.rx.recv() else {
-                break;
-            };
+        'outer: while let Ok(first) = self.rx.recv() {
             burst.push(first);
             while burst.len() < max_burst {
                 match self.rx.try_recv() {
@@ -260,15 +261,15 @@ impl Scheduler {
     }
 
     fn notify(&self, client: ClientId, msg: ClientMsg) {
-        if let Some(tx) = self.clients.get(&client) {
-            let _ = tx.send(msg);
+        if self.clients.contains(&client) {
+            self.endpoint.send_client(client, msg);
         }
     }
 
     fn handle(&mut self, msg: SchedMsg) -> bool {
         match msg {
-            SchedMsg::ClientConnect { client, sender } => {
-                self.clients.insert(client, sender);
+            SchedMsg::ClientConnect { client } => {
+                self.clients.insert(client);
             }
             SchedMsg::ClientDisconnect { client } => {
                 self.clients.remove(&client);
@@ -371,10 +372,7 @@ impl Scheduler {
                             client,
                             ClientMsg::KeyReady {
                                 key: key.clone(),
-                                location: Err(TaskError {
-                                    key,
-                                    message: "unknown key".into(),
-                                }),
+                                location: Err(TaskError::new(key, "unknown key")),
                             },
                         );
                     }
@@ -400,10 +398,10 @@ impl Scheduler {
                                 if d.state == TaskState::Waiting {
                                     orphans.push((
                                         dependent.clone(),
-                                        TaskError {
-                                            key: key.clone(),
-                                            message: format!("dependency {key} was released"),
-                                        },
+                                        TaskError::new(
+                                            key.clone(),
+                                            format!("dependency {key} was released"),
+                                        ),
                                     ));
                                 }
                             }
@@ -417,7 +415,7 @@ impl Scheduler {
                     self.mark_erred(key, err);
                 }
                 for (w, keys) in per_worker {
-                    let _ = self.workers[w].data_tx.send(DataMsg::Delete { keys });
+                    self.endpoint.send_data(w, DataMsg::Delete { keys });
                 }
             }
             SchedMsg::VariableSet { name, value } => {
@@ -547,13 +545,11 @@ impl Scheduler {
                 match dep_entry.state {
                     TaskState::Memory => {}
                     TaskState::Erred => {
-                        missing = Some(TaskError {
-                            key: dep.clone(),
-                            message: dep_entry
-                                .error
-                                .clone()
-                                .map(|e| e.message)
-                                .unwrap_or_else(|| "upstream error".into()),
+                        // Carry the upstream origin forward and record which
+                        // dependency edge delivered it.
+                        missing = Some(match dep_entry.error.clone() {
+                            Some(e) => e.propagated_via(dep.clone()),
+                            None => TaskError::new(dep.clone(), "upstream error"),
                         });
                     }
                     _ => n_waiting += 1,
@@ -690,13 +686,9 @@ impl Scheduler {
                 );
             }
             for dep in dependents {
-                stack.push((
-                    dep.clone(),
-                    TaskError {
-                        key: error.key.clone(),
-                        message: error.message.clone(),
-                    },
-                ));
+                // Dependents see the same origin, one propagation edge
+                // further downstream (`via` names the direct dependency).
+                stack.push((dep.clone(), error.propagated_via(key.clone())));
             }
         }
     }
@@ -801,9 +793,8 @@ impl Scheduler {
             if batch_assign {
                 per_worker[worker].push(assignment);
             } else {
-                let _ = self.workers[worker]
-                    .exec_tx
-                    .send(crate::msg::ExecMsg::Execute(assignment));
+                self.endpoint
+                    .send_exec(worker, crate::msg::ExecMsg::Execute(assignment));
             }
         }
         if batch_assign {
@@ -813,14 +804,12 @@ impl Scheduler {
                     0 => continue,
                     1 => {
                         let assignment = tasks.pop().expect("len checked");
-                        let _ = self.workers[worker]
-                            .exec_tx
-                            .send(crate::msg::ExecMsg::Execute(assignment));
+                        self.endpoint
+                            .send_exec(worker, crate::msg::ExecMsg::Execute(assignment));
                     }
                     _ => {
-                        let _ = self.workers[worker]
-                            .exec_tx
-                            .send(crate::msg::ExecMsg::ExecuteBatch { tasks });
+                        self.endpoint
+                            .send_exec(worker, crate::msg::ExecMsg::ExecuteBatch { tasks });
                     }
                 }
                 n_messages += 1;

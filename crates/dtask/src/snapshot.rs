@@ -8,7 +8,8 @@
 
 use crate::json::Json;
 use crate::stats::{
-    LatencyHist, MsgClass, SchedulerStats, N_LAT_BUCKETS, N_SIZE_BUCKETS, SIZE_BUCKET_LABELS,
+    LatencyHist, MsgClass, SchedulerStats, WireLane, N_LAT_BUCKETS, N_SIZE_BUCKETS,
+    SIZE_BUCKET_LABELS,
 };
 
 /// Frozen view of one [`LatencyHist`].
@@ -78,6 +79,18 @@ pub struct ClassSnapshot {
     pub bytes: u64,
 }
 
+/// Per-[`WireLane`] transport traffic (real serialized sizes; all zero under
+/// the InProc backend).
+#[derive(Debug, Clone)]
+pub struct WireLaneSnapshot {
+    /// Stable snake_case lane name.
+    pub name: &'static str,
+    /// Messages encoded onto this lane.
+    pub messages: u64,
+    /// Serialized bytes-on-the-wire for this lane.
+    pub bytes: u64,
+}
+
 /// Point-in-time copy of every scheduler counter plus the four latency
 /// histograms. Plain data — safe to hold across cluster shutdown, compare
 /// between runs, and serialize.
@@ -131,6 +144,13 @@ pub struct StatsSnapshot {
     pub assign_messages: u64,
     /// Mean tasks per scheduler→worker message; `0.0` when idle.
     pub avg_tasks_per_assign_message: f64,
+    /// Per-lane transport traffic, in [`WireLane::ALL`] order (all zero
+    /// under the InProc backend).
+    pub wire_lanes: Vec<WireLaneSnapshot>,
+    /// Messages encoded by the Framed/SimNet transport, all lanes.
+    pub wire_total_messages: u64,
+    /// Serialized bytes-on-the-wire, all lanes.
+    pub wire_total_bytes: u64,
     /// Gather-wait latency histogram.
     pub gather_wait_hist: HistSnapshot,
     /// Task-execution latency histogram.
@@ -177,6 +197,16 @@ impl StatsSnapshot {
             assign_tasks: stats.assign_tasks(),
             assign_messages: stats.assign_messages(),
             avg_tasks_per_assign_message: stats.avg_tasks_per_assign_message(),
+            wire_lanes: WireLane::ALL
+                .iter()
+                .map(|&lane| WireLaneSnapshot {
+                    name: lane.name(),
+                    messages: stats.wire_messages(lane),
+                    bytes: stats.wire_bytes(lane),
+                })
+                .collect(),
+            wire_total_messages: stats.wire_total_messages(),
+            wire_total_bytes: stats.wire_total_bytes(),
             gather_wait_hist: HistSnapshot::capture(stats.gather_wait_hist()),
             exec_hist: HistSnapshot::capture(stats.exec_hist()),
             queue_delay_hist: HistSnapshot::capture(stats.queue_delay_hist()),
@@ -256,6 +286,21 @@ impl StatsSnapshot {
                     .set("avg_tasks_per_message", self.avg_tasks_per_assign_message)
                     .set("pass_hist", self.assign_pass_hist.to_json()),
             )
+            .set("wire", {
+                let mut lanes = Json::obj();
+                for lane in &self.wire_lanes {
+                    lanes = lanes.set(
+                        lane.name,
+                        Json::obj()
+                            .set("messages", lane.messages)
+                            .set("bytes", lane.bytes),
+                    );
+                }
+                Json::obj()
+                    .set("lanes", lanes)
+                    .set("total_messages", self.wire_total_messages)
+                    .set("total_bytes", self.wire_total_bytes)
+            })
     }
 
     /// Pretty JSON document (what the benches write under `results/`).
@@ -292,6 +337,20 @@ impl StatsSnapshot {
             "dtask_bridge_metadata_messages_total {}\n",
             self.bridge_metadata_messages
         ));
+        out.push_str("# TYPE dtask_wire_messages_total counter\n");
+        for lane in &self.wire_lanes {
+            out.push_str(&format!(
+                "dtask_wire_messages_total{{lane=\"{}\"}} {}\n",
+                lane.name, lane.messages
+            ));
+        }
+        out.push_str("# TYPE dtask_wire_bytes_total counter\n");
+        for lane in &self.wire_lanes {
+            out.push_str(&format!(
+                "dtask_wire_bytes_total{{lane=\"{}\"}} {}\n",
+                lane.name, lane.bytes
+            ));
+        }
         out.push_str("# TYPE dtask_executor_utilization gauge\n");
         out.push_str(&format!(
             "dtask_executor_utilization {}\n",
@@ -399,6 +458,7 @@ mod tests {
             "optimizer",
             "ingest",
             "assign",
+            "wire",
         ] {
             assert!(doc.get(section).is_some(), "missing section {section}");
         }

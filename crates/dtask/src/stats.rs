@@ -86,6 +86,59 @@ impl MsgClass {
     }
 }
 
+/// Destination lanes of the framed transport backends. One lane per
+/// payload family, so "scheduler inbound" — the paper's bottleneck — is a
+/// single counter read. Only the Framed/SimNet backends record here;
+/// InProc stays at zero by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireLane {
+    /// Messages into the scheduler (the centralized bottleneck).
+    SchedIn,
+    /// Assignments into worker executor inboxes.
+    ExecIn,
+    /// Requests into worker data servers.
+    DataIn,
+    /// Notifications into client inboxes.
+    ClientIn,
+    /// Correlated replies (acks, gather payloads, stats).
+    ReplyIn,
+}
+
+/// Number of [`WireLane`]s.
+pub const N_WIRE_LANES: usize = 5;
+
+impl WireLane {
+    /// Every lane, in a stable order (snapshot serialization iterates this).
+    pub const ALL: [WireLane; N_WIRE_LANES] = [
+        WireLane::SchedIn,
+        WireLane::ExecIn,
+        WireLane::DataIn,
+        WireLane::ClientIn,
+        WireLane::ReplyIn,
+    ];
+
+    /// Stable snake_case name (snapshot / Prometheus label).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireLane::SchedIn => "sched_in",
+            WireLane::ExecIn => "exec_in",
+            WireLane::DataIn => "data_in",
+            WireLane::ClientIn => "client_in",
+            WireLane::ReplyIn => "reply_in",
+        }
+    }
+}
+
+fn lane_idx(lane: WireLane) -> usize {
+    match lane {
+        WireLane::SchedIn => 0,
+        WireLane::ExecIn => 1,
+        WireLane::DataIn => 2,
+        WireLane::ClientIn => 3,
+        WireLane::ReplyIn => 4,
+    }
+}
+
 /// Buckets of one [`LatencyHist`]: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also takes 0 ns); the last bucket
 /// absorbs everything from ~34 s up.
@@ -192,6 +245,10 @@ fn idx(class: MsgClass) -> usize {
 pub struct SchedulerStats {
     counts: [AtomicU64; N_CLASSES],
     bytes: [AtomicU64; N_CLASSES],
+    /// Framed/SimNet transport: messages per destination lane.
+    wire_msgs: [AtomicU64; N_WIRE_LANES],
+    /// Framed/SimNet transport: real serialized bytes per destination lane.
+    wire_bytes: [AtomicU64; N_WIRE_LANES],
     /// Dependency-gather batches that needed ≥1 remote fetch.
     gather_batches: AtomicU64,
     /// Remote dependencies fetched across all gathers.
@@ -523,6 +580,32 @@ impl SchedulerStats {
         .sum()
     }
 
+    /// Record one framed transport message of `bytes` serialized size.
+    pub fn record_wire(&self, lane: WireLane, bytes: u64) {
+        self.wire_msgs[lane_idx(lane)].fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes[lane_idx(lane)].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Framed messages sent on one lane.
+    pub fn wire_messages(&self, lane: WireLane) -> u64 {
+        self.wire_msgs[lane_idx(lane)].load(Ordering::Relaxed)
+    }
+
+    /// Serialized bytes sent on one lane.
+    pub fn wire_bytes(&self, lane: WireLane) -> u64 {
+        self.wire_bytes[lane_idx(lane)].load(Ordering::Relaxed)
+    }
+
+    /// Framed messages across all lanes (`0` under InProc).
+    pub fn wire_total_messages(&self) -> u64 {
+        WireLane::ALL.iter().map(|&l| self.wire_messages(l)).sum()
+    }
+
+    /// Serialized bytes across all lanes (`0` under InProc).
+    pub fn wire_total_bytes(&self) -> u64 {
+        WireLane::ALL.iter().map(|&l| self.wire_bytes(l)).sum()
+    }
+
     /// Metadata messages *originating at bridges/clients* per the paper's
     /// accounting (§2.1): classic-scatter metadata + queue ops + variable
     /// ops + heartbeats. External-task completion notifications are data
@@ -626,6 +709,22 @@ mod tests {
         assert_eq!(s.queue_delay_hist().count(), 1);
         assert_eq!(s.assign_pass_hist().count(), 1);
         assert_eq!(s.queue_delay_hist().sum_ns(), 700);
+    }
+
+    #[test]
+    fn wire_lanes_accumulate_independently() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.wire_total_messages(), 0);
+        s.record_wire(WireLane::SchedIn, 64);
+        s.record_wire(WireLane::SchedIn, 36);
+        s.record_wire(WireLane::ReplyIn, 12);
+        assert_eq!(s.wire_messages(WireLane::SchedIn), 2);
+        assert_eq!(s.wire_bytes(WireLane::SchedIn), 100);
+        assert_eq!(s.wire_messages(WireLane::ExecIn), 0);
+        assert_eq!(s.wire_total_messages(), 3);
+        assert_eq!(s.wire_total_bytes(), 112);
+        let names: std::collections::HashSet<_> = WireLane::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), N_WIRE_LANES);
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub enum TraceActor {
         /// Client id.
         id: usize,
     },
+    /// The transport router (Framed/SimNet backends record per-message
+    /// wire sizes here; senders on any thread share this one track).
+    Transport,
 }
 
 /// Task/block lifecycle event kinds.
@@ -133,6 +136,9 @@ pub enum EventKind {
     Publish,
     /// Distributed queue op (instant; arg = 0 push / 1 pop).
     QueueOp,
+    /// One framed transport message sent (instant; arg = serialized
+    /// bytes-on-the-wire). Only the Framed/SimNet backends emit these.
+    WireSend,
 }
 
 impl EventKind {
@@ -156,6 +162,7 @@ impl EventKind {
             EventKind::ContractSetup => "contract_setup",
             EventKind::Publish => "publish",
             EventKind::QueueOp => "queue_op",
+            EventKind::WireSend => "wire_send",
         }
     }
 
@@ -175,6 +182,7 @@ impl EventKind {
             EventKind::ContractSetup => "rank",
             EventKind::Publish => "timestep",
             EventKind::QueueOp => "pop",
+            EventKind::WireSend => "bytes",
         }
     }
 }
@@ -514,6 +522,7 @@ impl TraceTrack {
             TraceActor::Scheduler => "scheduler".into(),
             TraceActor::WorkerSlot { worker, slot } => format!("w{worker}/slot{slot}"),
             TraceActor::Client { id } => format!("client-{id}"),
+            TraceActor::Transport => "transport".into(),
         }
     }
 }
@@ -523,6 +532,7 @@ impl TraceTrack {
 const PID_SCHEDULER: u64 = 1;
 const PID_WORKERS: u64 = 2;
 const PID_CLIENTS: u64 = 3;
+const PID_TRANSPORT: u64 = 4;
 
 fn chrome_ids(actor: TraceActor) -> (u64, u64) {
     match actor {
@@ -531,6 +541,7 @@ fn chrome_ids(actor: TraceActor) -> (u64, u64) {
             (PID_WORKERS, ((worker as u64) << 8) | slot as u64)
         }
         TraceActor::Client { id } => (PID_CLIENTS, id as u64),
+        TraceActor::Transport => (PID_TRANSPORT, 0),
     }
 }
 

@@ -1,0 +1,673 @@
+//! Pluggable transport layer: every inter-actor message crosses an
+//! [`Endpoint`], and replies are id-routed — no live channel handle ever
+//! travels inside a message enum.
+//!
+//! Three backends, selected per cluster via [`TransportConfig`]:
+//!
+//! | backend  | encoding | delay | purpose |
+//! |----------|----------|-------|---------|
+//! | `InProc` | none     | none  | zero-overhead default (plain channels)  |
+//! | `Framed` | [`crate::wire`] round-trip per message | none | real bytes-on-the-wire accounting + serialization-tax measurement |
+//! | `SimNet` | [`crate::wire`] for sizes | fat-tree latency/bandwidth via [`netsim`] | the DES network model injected into *live* cluster runs |
+//!
+//! Framed and SimNet record per-lane message/byte counters into
+//! [`crate::stats::SchedulerStats`] (`WireLane`), which surface through
+//! `StatsSnapshot` and the trace layer; InProc deliberately records nothing
+//! so the default path stays allocation- and codec-free.
+
+use crate::msg::{ClientId, ClientMsg, DataMsg, ExecMsg, SchedMsg, WorkerId};
+use crate::stats::{SchedulerStats, WireLane};
+use crate::trace::{EventKind, TraceHandle};
+use crate::wire;
+use crate::Datum;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which transport backend a cluster's actors communicate over.
+#[derive(Debug, Clone, Default)]
+pub enum TransportConfig {
+    /// Plain in-process channels — the zero-overhead default.
+    #[default]
+    InProc,
+    /// Every message is encoded and decoded through the versioned wire
+    /// format, so byte counters are real serialized sizes and round-trip
+    /// fidelity is exercised on every send.
+    Framed,
+    /// Framed sizing plus fat-tree latency/bandwidth delays from the
+    /// [`netsim`] network model, injected into the live run.
+    SimNet(SimNetConfig),
+}
+
+impl TransportConfig {
+    /// Does this backend push messages through the wire codec?
+    pub fn is_framed(&self) -> bool {
+        !matches!(self, TransportConfig::InProc)
+    }
+}
+
+/// Parameters for the [`TransportConfig::SimNet`] backend.
+#[derive(Debug, Clone)]
+pub struct SimNetConfig {
+    /// Fat-tree parameters. `nodes: 0` auto-sizes to scheduler + workers +
+    /// a small pool of client nodes when the cluster is built.
+    pub network: netsim::NetworkConfig,
+    /// Simulated nanoseconds per real nanosecond: injected delays are the
+    /// model's transfer times divided by this factor, so tests can keep the
+    /// model's *relative* contention while compressing wall-clock. `1`
+    /// means real-time emulation.
+    pub time_scale: u64,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> Self {
+        SimNetConfig {
+            network: netsim::NetworkConfig {
+                nodes: 0,
+                ..netsim::NetworkConfig::default()
+            },
+            time_scale: 1_000,
+        }
+    }
+}
+
+/// Number of extra fat-tree nodes client actors are spread over when the
+/// SimNet node count is auto-sized.
+const SIMNET_CLIENT_NODES: usize = 4;
+
+/// Transport-level address of an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// The scheduler loop.
+    Scheduler,
+    /// Worker `w`'s data server.
+    WorkerData(WorkerId),
+    /// Worker `w`'s executor-slot inbox.
+    WorkerExec(WorkerId),
+    /// A connected client (or bridge).
+    Client(ClientId),
+    /// The cluster handle itself (introspection such as `worker_memory`).
+    Control,
+}
+
+/// A serializable reply token: *where* to route a [`DataReply`] and the
+/// correlation id identifying the waiting request. This is what replaced
+/// the `Sender` handles that used to live inside [`DataMsg`] variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyTo {
+    /// The requester's address (used for SimNet path costing).
+    pub addr: Addr,
+    /// Correlation id minted by [`Endpoint::reply_slot`].
+    pub corr: u64,
+}
+
+/// Response to a [`DataMsg`] request, routed by correlation id.
+#[derive(Debug, Clone)]
+pub enum DataReply {
+    /// A `Put` landed.
+    PutAck,
+    /// A `Get` result: the value, or why the key is not here.
+    Value(Result<Datum, String>),
+    /// Store statistics: `(stored keys, stored bytes)`.
+    Stats {
+        /// Number of stored keys.
+        keys: u64,
+        /// Sum of stored payload bytes.
+        bytes: u64,
+    },
+}
+
+impl DataReply {
+    /// Interpret this reply as a `Get` result.
+    pub fn into_value(self) -> Result<Datum, String> {
+        match self {
+            DataReply::Value(r) => r,
+            other => Err(format!("protocol mismatch: expected value, got {other:?}")),
+        }
+    }
+}
+
+/// One routed message: what is being delivered, minus the destination
+/// (which travels alongside). Public so the wire codec and tests can
+/// construct and inspect transport frames.
+#[derive(Clone)]
+pub enum Payload {
+    /// Into the scheduler.
+    Sched(SchedMsg),
+    /// Into a worker's executor inbox.
+    Exec(ExecMsg),
+    /// Into a worker's data server.
+    Data(DataMsg),
+    /// Into a client inbox.
+    Client(ClientMsg),
+    /// A correlated [`DataReply`].
+    Reply {
+        /// Correlation id from the originating [`ReplyTo`].
+        corr: u64,
+        /// The response.
+        reply: DataReply,
+    },
+}
+
+impl Payload {
+    fn lane(&self) -> WireLane {
+        match self {
+            Payload::Sched(_) => WireLane::SchedIn,
+            Payload::Exec(_) => WireLane::ExecIn,
+            Payload::Data(_) => WireLane::DataIn,
+            Payload::Client(_) => WireLane::ClientIn,
+            Payload::Reply { .. } => WireLane::ReplyIn,
+        }
+    }
+}
+
+// ---- delivery fabric -------------------------------------------------------
+
+/// The raw channel ends every backend ultimately delivers into.
+struct Fabric {
+    sched_tx: Sender<SchedMsg>,
+    data_txs: Vec<Sender<DataMsg>>,
+    exec_txs: Vec<Sender<ExecMsg>>,
+    clients: Mutex<HashMap<ClientId, Sender<ClientMsg>>>,
+    replies: Mutex<HashMap<u64, Sender<DataReply>>>,
+}
+
+impl Fabric {
+    /// Hand a decoded payload to its destination channel. Channel-closed
+    /// errors are swallowed (teardown races), except that a data request
+    /// whose server is gone gets its reply slot cancelled so the requester
+    /// unblocks with a disconnect instead of waiting forever.
+    fn deliver(&self, to: Addr, payload: Payload) {
+        match payload {
+            Payload::Sched(m) => {
+                let _ = self.sched_tx.send(m);
+            }
+            Payload::Exec(m) => {
+                if let Some(tx) = worker_tx(&self.exec_txs, to_worker(to)) {
+                    let _ = tx.send(m);
+                }
+            }
+            Payload::Data(m) => {
+                let cancel = match worker_tx(&self.data_txs, to_worker(to)) {
+                    Some(tx) => tx.send(m).err().map(|e| e.0),
+                    None => Some(m),
+                };
+                // Dead data server: drop the waiting reply slot so the
+                // requester sees "worker hung up", not a hang.
+                if let Some(
+                    DataMsg::Put { ack: r, .. }
+                    | DataMsg::Get { reply: r, .. }
+                    | DataMsg::Stats { reply: r },
+                ) = cancel
+                {
+                    self.replies.lock().remove(&r.corr);
+                }
+            }
+            Payload::Client(m) => {
+                let tx = match to {
+                    Addr::Client(id) => self.clients.lock().get(&id).cloned(),
+                    _ => None,
+                };
+                if let Some(tx) = tx {
+                    let _ = tx.send(m);
+                }
+            }
+            Payload::Reply { corr, reply } => {
+                if let Some(tx) = self.replies.lock().remove(&corr) {
+                    let _ = tx.send(reply);
+                }
+            }
+        }
+    }
+}
+
+fn to_worker(to: Addr) -> Option<WorkerId> {
+    match to {
+        Addr::WorkerData(w) | Addr::WorkerExec(w) => Some(w),
+        _ => None,
+    }
+}
+
+fn worker_tx<T>(txs: &[Sender<T>], w: Option<WorkerId>) -> Option<&Sender<T>> {
+    w.and_then(|w| txs.get(w))
+}
+
+// ---- SimNet backend --------------------------------------------------------
+
+struct PumpJob {
+    due: Instant,
+    seq: u64,
+    to: Addr,
+    payload: Payload,
+}
+
+impl PartialEq for PumpJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for PumpJob {}
+impl PartialOrd for PumpJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PumpJob {
+    // Reversed: BinaryHeap pops the *earliest* due time; the send sequence
+    // number breaks ties so simultaneous arrivals keep send order.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct SimNetState {
+    net: Mutex<netsim::Network>,
+    epoch: Instant,
+    time_scale: u64,
+    n_workers: usize,
+    client_nodes: usize,
+    seq: AtomicU64,
+    pump_tx: Sender<PumpJob>,
+}
+
+impl SimNetState {
+    fn node_of(&self, a: Addr) -> usize {
+        match a {
+            Addr::Scheduler | Addr::Control => 0,
+            Addr::WorkerData(w) | Addr::WorkerExec(w) => 1 + w.min(self.n_workers - 1),
+            Addr::Client(c) => 1 + self.n_workers + (c % self.client_nodes),
+        }
+    }
+
+    /// Run the message through the fat-tree model; returns when (in real
+    /// time, after scaling) it should be delivered.
+    fn arrival(&self, from: Addr, to: Addr, bytes: u64) -> (Instant, u64) {
+        let scale = self.time_scale.max(1);
+        let now = Instant::now();
+        let sim_now =
+            (now.saturating_duration_since(self.epoch).as_nanos() as u64).saturating_mul(scale);
+        let sim_arrival =
+            self.net
+                .lock()
+                .send(sim_now, self.node_of(from), self.node_of(to), bytes);
+        let delay = Duration::from_nanos(sim_arrival.saturating_sub(sim_now) / scale);
+        (now + delay, self.seq.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Delivery pump: holds delayed messages until their simulated arrival
+/// time, then hands them to the fabric. Exits once the router (the only
+/// job sender) is gone and the backlog has drained.
+fn pump_loop(rx: Receiver<PumpJob>, fabric: Arc<Fabric>) {
+    let mut heap: BinaryHeap<PumpJob> = BinaryHeap::new();
+    let mut open = true;
+    while open || !heap.is_empty() {
+        // Deliver everything due.
+        while heap.peek().is_some_and(|j| j.due <= Instant::now()) {
+            let job = heap.pop().expect("peeked");
+            fabric.deliver(job.to, job.payload);
+        }
+        let next = match heap.peek() {
+            Some(job) => job.due.saturating_duration_since(Instant::now()),
+            // Idle with a closed inlet: done.
+            None if !open => break,
+            None => Duration::from_secs(3600),
+        };
+        match rx.recv_timeout(next) {
+            Ok(job) => heap.push(job),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => open = false,
+        }
+    }
+}
+
+// ---- router ----------------------------------------------------------------
+
+enum Backend {
+    InProc,
+    Framed,
+    SimNet(SimNetState),
+}
+
+/// Shared message router for one cluster: owns the backend, the delivery
+/// fabric, and the reply-correlation table. Actors talk to it through
+/// per-actor [`Endpoint`]s.
+pub struct Router {
+    fabric: Arc<Fabric>,
+    backend: Backend,
+    stats: Arc<SchedulerStats>,
+    trace: TraceHandle,
+    next_corr: AtomicU64,
+    n_workers: usize,
+}
+
+impl Router {
+    /// Build the router for a cluster's channel set. For SimNet this also
+    /// spawns the delivery pump (a daemon thread that drains once the
+    /// router is dropped).
+    pub(crate) fn new(
+        config: &TransportConfig,
+        n_workers: usize,
+        sched_tx: Sender<SchedMsg>,
+        data_txs: Vec<Sender<DataMsg>>,
+        exec_txs: Vec<Sender<ExecMsg>>,
+        stats: Arc<SchedulerStats>,
+        trace: TraceHandle,
+    ) -> Arc<Router> {
+        let fabric = Arc::new(Fabric {
+            sched_tx,
+            data_txs,
+            exec_txs,
+            clients: Mutex::new(HashMap::new()),
+            replies: Mutex::new(HashMap::new()),
+        });
+        let backend = match config {
+            TransportConfig::InProc => Backend::InProc,
+            TransportConfig::Framed => Backend::Framed,
+            TransportConfig::SimNet(sim) => {
+                let mut net_cfg = sim.network.clone();
+                let min_nodes = 1 + n_workers + SIMNET_CLIENT_NODES;
+                if net_cfg.nodes < min_nodes {
+                    net_cfg.nodes = min_nodes;
+                }
+                let client_nodes = (net_cfg.nodes - 1 - n_workers).max(1);
+                let (pump_tx, pump_rx) = unbounded();
+                let pump_fabric = Arc::clone(&fabric);
+                std::thread::Builder::new()
+                    .name("dtask-simnet-pump".into())
+                    .spawn(move || pump_loop(pump_rx, pump_fabric))
+                    .expect("spawn simnet pump");
+                Backend::SimNet(SimNetState {
+                    net: Mutex::new(netsim::Network::new(net_cfg)),
+                    epoch: Instant::now(),
+                    time_scale: sim.time_scale,
+                    n_workers: n_workers.max(1),
+                    client_nodes,
+                    seq: AtomicU64::new(0),
+                    pump_tx,
+                })
+            }
+        };
+        Arc::new(Router {
+            fabric,
+            backend,
+            stats,
+            trace,
+            next_corr: AtomicU64::new(1),
+            n_workers,
+        })
+    }
+
+    /// An endpoint speaking as `from`.
+    pub fn endpoint(self: &Arc<Self>, from: Addr) -> Endpoint {
+        Endpoint {
+            from,
+            router: Arc::clone(self),
+        }
+    }
+
+    /// Number of workers behind this router.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Register a client inbox route. Must happen before the client's
+    /// `ClientConnect` is sent so notifications can never outrun the route.
+    pub(crate) fn register_client(&self, id: ClientId, tx: Sender<ClientMsg>) {
+        self.fabric.clients.lock().insert(id, tx);
+    }
+
+    /// Remove a client inbox route (client drop).
+    pub(crate) fn unregister_client(&self, id: ClientId) {
+        self.fabric.clients.lock().remove(&id);
+    }
+
+    fn dispatch(&self, from: Addr, to: Addr, payload: Payload) {
+        match &self.backend {
+            Backend::InProc => self.fabric.deliver(to, payload),
+            Backend::Framed => {
+                let bytes = wire::encode(&payload);
+                self.account(payload.lane(), bytes.len() as u64);
+                // Deliver the *decoded* frame: every Framed message proves
+                // round-trip fidelity, and any codec drift fails loudly.
+                let decoded = wire::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("framed transport: wire round-trip failed: {e}"));
+                self.fabric.deliver(to, decoded);
+            }
+            Backend::SimNet(sim) => {
+                let bytes = wire::encode(&payload);
+                self.account(payload.lane(), bytes.len() as u64);
+                let decoded = wire::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("simnet transport: wire round-trip failed: {e}"));
+                let (due, seq) = sim.arrival(from, to, bytes.len() as u64);
+                let _ = sim.pump_tx.send(PumpJob {
+                    due,
+                    seq,
+                    to,
+                    payload: decoded,
+                });
+            }
+        }
+    }
+
+    fn account(&self, lane: WireLane, bytes: u64) {
+        self.stats.record_wire(lane, bytes);
+        self.trace.instant(EventKind::WireSend, None, bytes);
+    }
+}
+
+// ---- endpoint --------------------------------------------------------------
+
+/// A cluster actor's handle on the transport: all sends carry this actor's
+/// [`Addr`] as the source (the SimNet backend costs paths with it).
+#[derive(Clone)]
+pub struct Endpoint {
+    from: Addr,
+    router: Arc<Router>,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.from
+    }
+
+    /// Number of workers reachable through this transport.
+    pub fn n_workers(&self) -> usize {
+        self.router.n_workers()
+    }
+
+    /// A sibling endpoint speaking as a different actor (used by the
+    /// cluster when constructing actors that share one router).
+    pub fn for_addr(&self, from: Addr) -> Endpoint {
+        Endpoint {
+            from,
+            router: Arc::clone(&self.router),
+        }
+    }
+
+    /// Remove a client inbox route (called by `Client::drop`).
+    pub(crate) fn unregister_client(&self, id: ClientId) {
+        self.router.unregister_client(id);
+    }
+
+    /// Send into the scheduler.
+    pub fn send_sched(&self, msg: SchedMsg) {
+        self.router
+            .dispatch(self.from, Addr::Scheduler, Payload::Sched(msg));
+    }
+
+    /// Send to worker `w`'s executor inbox.
+    pub fn send_exec(&self, w: WorkerId, msg: ExecMsg) {
+        self.router
+            .dispatch(self.from, Addr::WorkerExec(w), Payload::Exec(msg));
+    }
+
+    /// Send to worker `w`'s data server.
+    pub fn send_data(&self, w: WorkerId, msg: DataMsg) {
+        self.router
+            .dispatch(self.from, Addr::WorkerData(w), Payload::Data(msg));
+    }
+
+    /// Notify a client.
+    pub fn send_client(&self, client: ClientId, msg: ClientMsg) {
+        self.router
+            .dispatch(self.from, Addr::Client(client), Payload::Client(msg));
+    }
+
+    /// Route a reply for a previously received request token.
+    pub fn reply(&self, to: ReplyTo, reply: DataReply) {
+        self.router.dispatch(
+            self.from,
+            to.addr,
+            Payload::Reply {
+                corr: to.corr,
+                reply,
+            },
+        );
+    }
+
+    /// Open a one-shot reply slot: the returned token travels inside a
+    /// request message; the returned receiver yields the correlated
+    /// response. Dropping the receiver cancels the slot.
+    pub fn reply_slot(&self) -> (ReplyTo, ReplyRx) {
+        let corr = self.router.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.router.fabric.replies.lock().insert(corr, tx);
+        (
+            ReplyTo {
+                addr: self.from,
+                corr,
+            },
+            ReplyRx {
+                corr,
+                rx,
+                fabric: Arc::clone(&self.router.fabric),
+            },
+        )
+    }
+}
+
+/// Receiving half of a one-shot reply slot (see [`Endpoint::reply_slot`]).
+pub struct ReplyRx {
+    corr: u64,
+    rx: Receiver<DataReply>,
+    fabric: Arc<Fabric>,
+}
+
+impl ReplyRx {
+    /// Block until the reply arrives. Errors if the responder died (its
+    /// side of the slot was cancelled).
+    pub fn recv(&self) -> Result<DataReply, RecvError> {
+        self.rx.recv()
+    }
+}
+
+impl Drop for ReplyRx {
+    fn drop(&mut self) {
+        self.fabric.replies.lock().remove(&self.corr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    fn test_router(config: TransportConfig) -> (Arc<Router>, Receiver<SchedMsg>) {
+        let (sched_tx, sched_rx) = unbounded();
+        let router = Router::new(
+            &config,
+            2,
+            sched_tx,
+            Vec::new(),
+            Vec::new(),
+            Arc::new(SchedulerStats::default()),
+            TraceHandle::disabled(),
+        );
+        (router, sched_rx)
+    }
+
+    #[test]
+    fn inproc_records_no_wire_traffic() {
+        let (router, rx) = test_router(TransportConfig::InProc);
+        let ep = router.endpoint(Addr::Client(0));
+        ep.send_sched(SchedMsg::Heartbeat { client: 0 });
+        assert!(matches!(rx.recv().unwrap(), SchedMsg::Heartbeat { .. }));
+        assert_eq!(router.stats.wire_total_messages(), 0);
+        assert_eq!(router.stats.wire_total_bytes(), 0);
+    }
+
+    #[test]
+    fn framed_counts_real_encoded_sizes() {
+        let (router, rx) = test_router(TransportConfig::Framed);
+        let ep = router.endpoint(Addr::Client(3));
+        let msg = SchedMsg::WantResult {
+            client: 3,
+            key: Key::new("result-key"),
+        };
+        let expected = wire::encode(&Payload::Sched(msg.clone())).len() as u64;
+        ep.send_sched(msg);
+        match rx.recv().unwrap() {
+            SchedMsg::WantResult { client, key } => {
+                assert_eq!(client, 3);
+                assert_eq!(key.as_str(), "result-key");
+            }
+            _ => panic!("wrong message"),
+        }
+        assert_eq!(router.stats.wire_messages(WireLane::SchedIn), 1);
+        assert_eq!(router.stats.wire_bytes(WireLane::SchedIn), expected);
+    }
+
+    #[test]
+    fn simnet_delivers_with_delay_and_accounts_bytes() {
+        let (router, rx) = test_router(TransportConfig::SimNet(SimNetConfig::default()));
+        let ep = router.endpoint(Addr::Client(0));
+        ep.send_sched(SchedMsg::Heartbeat { client: 0 });
+        // Arrives after a (scaled) network delay, not necessarily
+        // immediately — allow a generous wait.
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(got, SchedMsg::Heartbeat { .. }));
+        assert_eq!(router.stats.wire_messages(WireLane::SchedIn), 1);
+        assert!(router.stats.wire_bytes(WireLane::SchedIn) > 0);
+    }
+
+    #[test]
+    fn reply_slots_cancel_when_server_is_gone() {
+        // No data servers registered at all: a Get must cancel its slot so
+        // the requester unblocks instead of hanging.
+        let (router, _rx) = test_router(TransportConfig::InProc);
+        let ep = router.endpoint(Addr::Client(0));
+        let (token, reply_rx) = ep.reply_slot();
+        ep.send_data(
+            5,
+            DataMsg::Get {
+                key: Key::new("x"),
+                reply: token,
+            },
+        );
+        assert!(reply_rx.recv().is_err(), "slot must be cancelled");
+    }
+
+    #[test]
+    fn reply_round_trip_over_framed() {
+        let (router, _rx) = test_router(TransportConfig::Framed);
+        let requester = router.endpoint(Addr::Control);
+        let responder = router.endpoint(Addr::WorkerData(0));
+        let (token, reply_rx) = requester.reply_slot();
+        responder.reply(token, DataReply::Stats { keys: 2, bytes: 96 });
+        match reply_rx.recv().unwrap() {
+            DataReply::Stats { keys, bytes } => {
+                assert_eq!((keys, bytes), (2, 96));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert_eq!(router.stats.wire_messages(WireLane::ReplyIn), 1);
+    }
+}

@@ -20,11 +20,13 @@
 
 use crate::datum::Datum;
 use crate::key::Key;
+use crate::msg::ErrorCause;
 use crate::msg::{Assignment, DataMsg, ExecMsg, SchedMsg, TaskError, WorkerId};
 use crate::spec::{FusedInput, OpRegistry, TaskSpec, Value};
 use crate::stats::{MsgClass, SchedulerStats};
 use crate::trace::{EventKind, TraceHandle};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::transport::{DataReply, Endpoint, ReplyRx};
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,16 +46,23 @@ pub enum GatherMode {
 }
 
 /// The data-server half: serves `Put`/`Get`/`Delete` until shutdown.
-pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>) {
+/// Replies are routed back through the transport via the [`ReplyTo`] token
+/// carried by each request, so requesters never hand us a live channel.
+///
+/// [`ReplyTo`]: crate::transport::ReplyTo
+pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>, endpoint: Endpoint) {
     while let Ok(msg) = rx.recv() {
         match msg {
             DataMsg::Put { key, value, ack } => {
                 store.lock().insert(key, value);
-                let _ = ack.send(());
+                endpoint.reply(ack, DataReply::PutAck);
             }
             DataMsg::Get { key, reply } => {
                 let value = store.lock().get(&key).cloned();
-                let _ = reply.send(value.ok_or_else(|| format!("key {key} not on this worker")));
+                endpoint.reply(
+                    reply,
+                    DataReply::Value(value.ok_or_else(|| format!("key {key} not on this worker"))),
+                );
             }
             DataMsg::Delete { keys } => {
                 let mut guard = store.lock();
@@ -63,9 +72,9 @@ pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>) {
             }
             DataMsg::Stats { reply } => {
                 let guard = store.lock();
-                let keys = guard.len();
+                let keys = guard.len() as u64;
                 let bytes = guard.values().map(|d| d.nbytes()).sum();
-                let _ = reply.send((keys, bytes));
+                endpoint.reply(reply, DataReply::Stats { keys, bytes });
             }
             DataMsg::Shutdown => break,
         }
@@ -82,8 +91,8 @@ struct PendingFetch<'a> {
     candidates: Vec<WorkerId>,
     /// Position in `candidates` of the peer already asked.
     asked: usize,
-    /// Reply channel of the outstanding request.
-    reply_rx: Receiver<Result<Datum, String>>,
+    /// Reply slot of the outstanding request.
+    reply_rx: ReplyRx,
     /// Trace span start of this fetch (request launch), when tracing is on.
     trace_t0: Option<Instant>,
 }
@@ -100,11 +109,13 @@ pub struct Executor {
     /// Loopback sender onto the shared inbox: a slot receiving an
     /// `ExecuteBatch` re-enqueues the tail here so sibling slots run it
     /// concurrently instead of the whole batch serializing on one slot.
+    /// Deliberately bypasses the transport — batch fan-out is intra-worker
+    /// requeueing, not traffic between actors, so it must not count as
+    /// bytes-on-the-wire.
     pub exec_tx: Sender<ExecMsg>,
-    /// Scheduler channel for completion and replica reports.
-    pub sched_tx: Sender<SchedMsg>,
-    /// Data channels of every worker (peer fetches).
-    pub peer_data: Vec<Sender<DataMsg>>,
+    /// Outbound route to the scheduler (completion/replica reports) and to
+    /// peer data servers (dependency fetches).
+    pub endpoint: Endpoint,
     /// Shared op registry.
     pub registry: OpRegistry,
     /// Shared counters.
@@ -160,20 +171,26 @@ impl Executor {
             Ok(result) => {
                 let nbytes = result.nbytes();
                 self.store.lock().insert(key.clone(), result);
-                let _ = self.sched_tx.send(SchedMsg::TaskFinished {
+                self.endpoint.send_sched(SchedMsg::TaskFinished {
                     worker: self.id,
                     key,
                     nbytes,
                 });
             }
             Err((origin, message)) => {
-                let _ = self.sched_tx.send(SchedMsg::TaskErred {
+                // An origin differing from the spec key means an interior
+                // fused stage failed — record which spec carried it.
+                let cause = if origin == key {
+                    ErrorCause::Direct
+                } else {
+                    ErrorCause::FusedStage {
+                        stored_key: key.clone(),
+                    }
+                };
+                self.endpoint.send_sched(SchedMsg::TaskErred {
                     worker: self.id,
                     stored_key: key,
-                    error: TaskError {
-                        key: origin,
-                        message,
-                    },
+                    error: TaskError::new(origin, message).with_cause(cause),
                 });
             }
         }
@@ -181,20 +198,19 @@ impl Executor {
             .record_exec_busy(busy_from.elapsed().as_nanos() as u64);
     }
 
-    /// Ask `peer` for `key`; returns the reply channel of the request.
-    fn request_from_peer(
-        &self,
-        peer: WorkerId,
-        key: &Key,
-    ) -> Option<Receiver<Result<Datum, String>>> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.peer_data[peer]
-            .send(DataMsg::Get {
+    /// Ask `peer` for `key`; returns the reply slot of the request. A dead
+    /// peer surfaces as a recv error on the slot (the transport cancels it),
+    /// never as a hang.
+    fn request_from_peer(&self, peer: WorkerId, key: &Key) -> ReplyRx {
+        let (reply, reply_rx) = self.endpoint.reply_slot();
+        self.endpoint.send_data(
+            peer,
+            DataMsg::Get {
                 key: key.clone(),
-                reply: reply_tx,
-            })
-            .ok()
-            .map(|_| reply_rx)
+                reply,
+            },
+        );
+        reply_rx
     }
 
     /// Cache a fetched block locally (a replica, like Dask's dependency
@@ -223,10 +239,8 @@ impl Executor {
                 continue;
             }
             let t0 = self.tracer.start();
-            let Some(reply_rx) = self.request_from_peer(peer, key) else {
-                continue;
-            };
-            match reply_rx.recv() {
+            let reply_rx = self.request_from_peer(peer, key);
+            match reply_rx.recv().map(DataReply::into_value) {
                 Ok(Ok(value)) => {
                     self.tracer
                         .span(EventKind::GatherDep, t0, Some(key), peer as u64);
@@ -287,23 +301,22 @@ impl Executor {
                     for (slot, key) in missing {
                         let candidates = candidates_of(key);
                         let trace_t0 = self.tracer.start();
-                        let mut launched = None;
-                        for (i, &peer) in candidates.iter().enumerate() {
-                            if let Some(reply_rx) = self.request_from_peer(peer, key) {
-                                launched = Some((i, reply_rx));
-                                break;
+                        match candidates.first() {
+                            // A dead first candidate answers with a recv
+                            // error on the slot (the transport cancels it),
+                            // which phase 2's fallback handles like a miss.
+                            Some(&peer) => {
+                                let reply_rx = self.request_from_peer(peer, key);
+                                pending.push(PendingFetch {
+                                    slot,
+                                    key,
+                                    candidates,
+                                    asked: 0,
+                                    reply_rx,
+                                    trace_t0,
+                                });
                             }
-                        }
-                        match launched {
-                            Some((asked, reply_rx)) => pending.push(PendingFetch {
-                                slot,
-                                key,
-                                candidates,
-                                asked,
-                                reply_rx,
-                                trace_t0,
-                            }),
-                            // No reachable candidate: the serial path below
+                            // No candidate at all: the serial path below
                             // re-checks the local store (a scatter may have
                             // landed meanwhile) before giving up.
                             None => {
@@ -315,7 +328,7 @@ impl Executor {
                     // Phase 2: collect replies; a failed fetch falls back to
                     // the remaining candidates serially.
                     for fetch in pending {
-                        match fetch.reply_rx.recv() {
+                        match fetch.reply_rx.recv().map(DataReply::into_value) {
                             Ok(Ok(value)) => {
                                 self.tracer.span(
                                     EventKind::GatherDep,
@@ -379,7 +392,7 @@ impl Executor {
         // Report new replicas even if some other dependency failed: the
         // cached blocks exist either way and placement should know.
         if !replicas.is_empty() {
-            let _ = self.sched_tx.send(SchedMsg::AddReplica {
+            self.endpoint.send_sched(SchedMsg::AddReplica {
                 worker: self.id,
                 entries: replicas,
             });

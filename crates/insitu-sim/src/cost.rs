@@ -79,7 +79,7 @@ impl Default for CostModel {
             sched_update_ns: 500 * US,
             sched_meta_ns: 10 * MS,
             sched_task_ns: MS,
-            ctrl_bytes: 2_048,
+            ctrl_bytes: netsim::sizing::CTRL_MSG_BYTES,
             pfs_bw: 2_000_000_000,
             pfs_latency: 500 * US,
             pfs_create_ns: 800 * MS,

@@ -20,6 +20,7 @@
 pub mod engine;
 pub mod network;
 pub mod resources;
+pub mod sizing;
 
 pub use engine::{Engine, SimTime};
 pub use network::{Network, NetworkConfig};

@@ -1,0 +1,41 @@
+//! Shared byte-size estimation, used by both sides of the repo.
+//!
+//! The real runtime (`dtask`) and the DES models (`insitu-sim`) both need to
+//! turn "a block of `n` f64s" or "one control message" into a byte count —
+//! for `nbytes` plumbing in `UpdateData`/`TaskFinished` on one side and
+//! [`crate::transfer_ns`] costing on the other. Before this module each call
+//! site did its own arithmetic; now the constants live in exactly one place,
+//! so the runtime's accounting and the simulator's costing cannot drift.
+
+/// Size of one `f64` element on the wire and in worker stores.
+pub const F64_BYTES: u64 = 8;
+
+/// Payload bytes of a dense block of `elems` f64 values (shape metadata is
+/// charged to the control-message budget, not the payload).
+pub fn f64_block_bytes(elems: usize) -> u64 {
+    elems as u64 * F64_BYTES
+}
+
+/// Nominal size of one scheduler control message (task-finished reports,
+/// metadata updates, heartbeats) as charged by the DES cost models.
+///
+/// Calibrated against `dtask`'s Framed wire format: a typical
+/// `UpdateData`/`TaskFinished`/heartbeat control message encodes to a few
+/// hundred bytes up to ~2 KiB once keys, replica lists, and the envelope
+/// header are included; the DES charges the upper envelope so simulated
+/// scheduler load is not optimistic. `dtask`'s tests assert real framed
+/// control messages stay under this bound.
+pub const CTRL_MSG_BYTES: u64 = 2_048;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sizes() {
+        assert_eq!(f64_block_bytes(0), 0);
+        assert_eq!(f64_block_bytes(16), 128);
+        // 1 GiB block = 2^27 elements.
+        assert_eq!(f64_block_bytes(1 << 27), 1 << 30);
+    }
+}

@@ -9,17 +9,32 @@
 //! 4. watch the pre-submitted graph complete.
 //!
 //! Run: `cargo run --example quickstart`
+//!
+//! Set `QUICKSTART_TRANSPORT=framed` (or `simnet`) to push every message
+//! through the versioned wire format — the result must be identical, and the
+//! run additionally reports real bytes-on-the-wire per transport lane.
 
 use deisa_repro::darray::{self, DArray, Graph};
-use deisa_repro::dtask::{Cluster, ClusterConfig, Datum, EventKind, Key, TraceActor, TraceConfig};
+use deisa_repro::dtask::{
+    Cluster, ClusterConfig, Datum, EventKind, Key, SimNetConfig, TraceActor, TraceConfig,
+    TransportConfig, WireLane,
+};
 use deisa_repro::linalg::NDArray;
 
 fn main() {
+    let transport = match std::env::var("QUICKSTART_TRANSPORT").as_deref() {
+        Ok("framed") => TransportConfig::Framed,
+        Ok("simnet") => TransportConfig::SimNet(SimNetConfig::default()),
+        Ok("inproc") | Err(_) => TransportConfig::InProc,
+        Ok(other) => panic!("QUICKSTART_TRANSPORT={other}? use inproc | framed | simnet"),
+    };
+    println!("transport: {transport:?}");
     // A cluster: 1 scheduler thread + 3 workers, in this process — with
     // task-lifecycle tracing on so the run leaves a Perfetto-loadable log.
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 3,
         trace: TraceConfig::enabled(),
+        transport,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());
@@ -75,5 +90,24 @@ fn main() {
         "trace: results/TRACE_quickstart.json ({} events)",
         log.n_events()
     );
+
+    // 6. Under the Framed/SimNet backends, every message above crossed the
+    //    wire format; report the real serialized traffic per lane.
+    let stats = cluster.stats();
+    if stats.wire_total_messages() > 0 {
+        for lane in WireLane::ALL {
+            println!(
+                "wire lane {}: {} msgs, {} bytes",
+                lane.name(),
+                stats.wire_messages(lane),
+                stats.wire_bytes(lane)
+            );
+        }
+        println!(
+            "wire total: {} msgs, {} bytes",
+            stats.wire_total_messages(),
+            stats.wire_total_bytes()
+        );
+    }
     println!("quickstart OK");
 }

@@ -1,0 +1,242 @@
+//! Property-style round-trip tests for the transport wire format
+//! (`dtask::wire`). Arbitrary `Key`s, `Datum`s, `TaskSpec`s, and
+//! `TaskError`s — drawn from fixed seeds so runs are deterministic and
+//! fully offline — must survive encode → decode bit-exactly. Any drift
+//! here silently corrupts every Framed/SimNet cluster, so the generators
+//! deliberately cover the nasty corners: NaN/∞ floats, empty strings,
+//! unicode keys, deep nesting, and all three `ErrorCause` shapes.
+
+use deisa_repro::dtask::msg::ErrorCause;
+use deisa_repro::dtask::spec::{FusedInput, FusedStage, TaskSpec, Value};
+use deisa_repro::dtask::wire::{
+    decode_datum, decode_error, decode_key, decode_spec, encode_datum, encode_error, encode_key,
+    encode_spec,
+};
+use deisa_repro::dtask::{Datum, Key, TaskError};
+use deisa_repro::linalg::NDArray;
+use rand::prelude::*;
+
+const CASES: usize = 128;
+
+// ---------- generators ----------------------------------------------------
+
+/// Arbitrary key text: empty to 24 chars, mixing ascii, digits, separators
+/// used by the DEISA naming scheme, and a few multi-byte code points.
+fn arb_key(rng: &mut SmallRng) -> Key {
+    let alphabet: Vec<char> = ('a'..='z')
+        .chain('0'..='9')
+        .chain("-_@(),.é∑".chars())
+        .collect();
+    let len = rng.gen_range(0usize..25);
+    let text: String = (0..len)
+        .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())])
+        .collect();
+    Key::new(text)
+}
+
+/// Arbitrary f64 including the values most likely to break a codec.
+fn arb_f64(rng: &mut SmallRng) -> f64 {
+    match rng.gen_range(0u32..8) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => f64::MIN_POSITIVE,
+        _ => rng.gen_range(-1e12..1e12),
+    }
+}
+
+/// Arbitrary datum with bounded recursion for lists.
+fn arb_datum(rng: &mut SmallRng, depth: usize) -> Datum {
+    let top = if depth == 0 { 7 } else { 8 };
+    match rng.gen_range(0u32..top) {
+        0 => Datum::Null,
+        1 => Datum::Bool(rng.gen()),
+        2 => Datum::I64(rng.gen::<u64>() as i64),
+        3 => Datum::F64(arb_f64(rng)),
+        4 => {
+            let len = rng.gen_range(0usize..20);
+            Datum::Str(
+                (0..len)
+                    .map(|_| char::from(b'!' + rng.gen_range(0u32..90) as u8))
+                    .collect(),
+            )
+        }
+        5 => {
+            let len = rng.gen_range(0usize..64);
+            let raw: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+            Datum::Bytes(bytes::Bytes::from(raw))
+        }
+        6 => {
+            let ndim = rng.gen_range(1usize..4);
+            let shape: Vec<usize> = (0..ndim).map(|_| rng.gen_range(1usize..5)).collect();
+            let n = shape.iter().product::<usize>();
+            let data: Vec<f64> = (0..n).map(|_| arb_f64(rng)).collect();
+            Datum::from(NDArray::from_vec(&shape, data).unwrap())
+        }
+        _ => {
+            let len = rng.gen_range(0usize..5);
+            Datum::List((0..len).map(|_| arb_datum(rng, depth - 1)).collect())
+        }
+    }
+}
+
+fn arb_spec(rng: &mut SmallRng) -> TaskSpec {
+    let deps: Vec<Key> = (0..rng.gen_range(0usize..5))
+        .map(|_| arb_key(rng))
+        .collect();
+    let value = if rng.gen() {
+        Value::Op {
+            op: format!("op{}", rng.gen_range(0u32..100)),
+            params: arb_datum(rng, 2),
+        }
+    } else {
+        let n_stages = rng.gen_range(1usize..4);
+        let stages = (0..n_stages)
+            .map(|s| FusedStage {
+                key: arb_key(rng),
+                op: format!("stage{s}"),
+                params: arb_datum(rng, 1),
+                inputs: (0..rng.gen_range(0usize..4))
+                    .map(|_| {
+                        if s > 0 && rng.gen() {
+                            FusedInput::Stage(rng.gen_range(0usize..s))
+                        } else if deps.is_empty() {
+                            FusedInput::Stage(0)
+                        } else {
+                            FusedInput::Dep(rng.gen_range(0usize..deps.len()))
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Value::Fused { stages }
+    };
+    TaskSpec {
+        key: arb_key(rng),
+        value,
+        deps,
+    }
+}
+
+fn arb_error(rng: &mut SmallRng) -> TaskError {
+    let cause = match rng.gen_range(0u32..3) {
+        0 => ErrorCause::Direct,
+        1 => ErrorCause::FusedStage {
+            stored_key: arb_key(rng),
+        },
+        _ => ErrorCause::Propagated { via: arb_key(rng) },
+    };
+    TaskError::new(arb_key(rng), format!("boom #{}", rng.gen_range(0u32..1000))).with_cause(cause)
+}
+
+// ---------- structural equality -------------------------------------------
+
+/// Bit-exact datum equality (f64 compared via `to_bits` so NaN counts).
+fn datum_eq(a: &Datum, b: &Datum) -> bool {
+    match (a, b) {
+        (Datum::Null, Datum::Null) => true,
+        (Datum::Bool(x), Datum::Bool(y)) => x == y,
+        (Datum::I64(x), Datum::I64(y)) => x == y,
+        (Datum::F64(x), Datum::F64(y)) => x.to_bits() == y.to_bits(),
+        (Datum::Str(x), Datum::Str(y)) => x == y,
+        (Datum::Bytes(x), Datum::Bytes(y)) => x == y,
+        (Datum::Array(x), Datum::Array(y)) => {
+            x.shape() == y.shape()
+                && x.data()
+                    .iter()
+                    .zip(y.data())
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        (Datum::List(x), Datum::List(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| datum_eq(p, q))
+        }
+        _ => false,
+    }
+}
+
+fn spec_eq(a: &TaskSpec, b: &TaskSpec) -> bool {
+    if a.key != b.key || a.deps != b.deps {
+        return false;
+    }
+    match (&a.value, &b.value) {
+        (Value::Op { op: oa, params: pa }, Value::Op { op: ob, params: pb }) => {
+            oa == ob && datum_eq(pa, pb)
+        }
+        (Value::Fused { stages: sa }, Value::Fused { stages: sb }) => {
+            sa.len() == sb.len()
+                && sa.iter().zip(sb).all(|(x, y)| {
+                    x.key == y.key
+                        && x.op == y.op
+                        && x.inputs == y.inputs
+                        && datum_eq(&x.params, &y.params)
+                })
+        }
+        _ => false,
+    }
+}
+
+// ---------- round-trips ----------------------------------------------------
+
+#[test]
+fn key_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x4B45);
+    for _ in 0..CASES {
+        let key = arb_key(&mut rng);
+        let back = decode_key(&encode_key(&key)).unwrap();
+        assert_eq!(back, key);
+        assert_eq!(back.as_str(), key.as_str());
+        // The cached hash is recomputed at decode, never trusted from the wire.
+        assert_eq!(back.cached_hash(), key.cached_hash());
+    }
+}
+
+#[test]
+fn datum_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xDA70);
+    for _ in 0..CASES {
+        let datum = arb_datum(&mut rng, 3);
+        let back = decode_datum(&encode_datum(&datum)).unwrap();
+        assert!(
+            datum_eq(&back, &datum),
+            "datum drifted: {datum:?} vs {back:?}"
+        );
+        // Sizing must agree too: nbytes feeds locality decisions on both ends.
+        assert_eq!(back.nbytes(), datum.nbytes());
+    }
+}
+
+#[test]
+fn spec_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x53EC);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let back = decode_spec(&encode_spec(&spec)).unwrap();
+        assert!(spec_eq(&back, &spec), "spec drifted for key {:?}", spec.key);
+    }
+}
+
+#[test]
+fn error_roundtrip_preserves_cause() {
+    let mut rng = SmallRng::seed_from_u64(0xE440);
+    for _ in 0..CASES {
+        let err = arb_error(&mut rng);
+        let back = decode_error(&encode_error(&err)).unwrap();
+        assert_eq!(back, err);
+        assert_eq!(back.is_propagated(), err.is_propagated());
+    }
+}
+
+#[test]
+fn truncated_frames_never_panic() {
+    // Every prefix of a valid frame must fail cleanly, not panic or
+    // misdecode: a cut-off TCP read maps to exactly this input shape.
+    let mut rng = SmallRng::seed_from_u64(0x7C47);
+    for _ in 0..32 {
+        let datum = arb_datum(&mut rng, 2);
+        let frame = encode_datum(&datum);
+        for cut in 0..frame.len() {
+            assert!(decode_datum(&frame[..cut]).is_err());
+        }
+    }
+}
