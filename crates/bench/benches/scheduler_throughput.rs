@@ -20,8 +20,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtask::{
-    Cluster, ClusterConfig, Datum, IngestMode, Json, Key, MsgClass, OptimizeConfig, StatsSnapshot,
-    TaskSpec, TraceConfig, TransportConfig,
+    Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, IngestMode, Json, Key, MsgClass,
+    OptimizeConfig, StatsSnapshot, TaskSpec, TraceConfig, TransportConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -153,6 +153,88 @@ fn timed_config(
     (elapsed, msgs, StatsSnapshot::capture(stats))
 }
 
+const CHAOS_WORKERS: usize = 4;
+const CHAOS_BLOCKS: usize = 8;
+
+/// One fault-tolerant round: `CHAOS_BLOCKS` external blocks, each replicated
+/// onto two workers, through a 20 ms stage each into a sum sink. With `kill`
+/// set, one worker dies after the stages finish but before the sink runs, so
+/// the sink's gathers hit a dead data server and every stage result that
+/// lived only there must be recomputed from the surviving block replicas.
+/// Returns the submit-to-result wall time and the cluster's stats snapshot.
+fn chaos_round(kill: bool) -> (f64, StatsSnapshot) {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: CHAOS_WORKERS,
+        slots_per_worker: 1,
+        fault: FaultConfig {
+            heartbeat_timeout: Some(Duration::from_millis(100)),
+            worker_heartbeat: HeartbeatInterval::Every(Duration::from_millis(15)),
+            max_retries: 5,
+            retry_backoff: Duration::from_millis(5),
+            ..FaultConfig::default()
+        },
+        ..ClusterConfig::default()
+    });
+    cluster.registry().register("stage", |_params, inputs| {
+        std::thread::sleep(Duration::from_millis(20));
+        inputs
+            .first()
+            .cloned()
+            .ok_or_else(|| "stage: input required".to_string())
+    });
+    let client = cluster.client();
+    let started = Instant::now();
+    for b in 0..CHAOS_BLOCKS {
+        let key = Key::new(format!("cblk-{b}"));
+        let datum = Datum::F64((b + 1) as f64);
+        client.scatter_external(vec![(key.clone(), datum.clone())], Some(b % CHAOS_WORKERS));
+        client.scatter_external(vec![(key, datum)], Some((b + 1) % CHAOS_WORKERS));
+    }
+    let specs: Vec<TaskSpec> = (0..CHAOS_BLOCKS)
+        .map(|b| {
+            TaskSpec::new(
+                format!("cstage-{b}"),
+                "stage",
+                Datum::Null,
+                vec![Key::new(format!("cblk-{b}"))],
+            )
+        })
+        .collect();
+    client.submit(specs);
+    // Stage results are spread across all workers — and, unlike the blocks,
+    // not replicated. Wait for the last one so the kill below cannot race
+    // with stage execution.
+    for b in 0..CHAOS_BLOCKS {
+        client
+            .future(format!("cstage-{b}"))
+            .result()
+            .expect("stage result");
+    }
+    if kill {
+        // kill_worker returns only after the worker's threads are joined:
+        // from here on its stage results exist nowhere.
+        cluster.kill_worker(1);
+    }
+    client.submit(vec![TaskSpec::new(
+        "csink",
+        "sum_scalars",
+        Datum::Null,
+        (0..CHAOS_BLOCKS)
+            .map(|b| Key::new(format!("cstage-{b}")))
+            .collect(),
+    )]);
+    let sink = client
+        .future("csink")
+        .result()
+        .expect("chaos sink result")
+        .as_f64()
+        .expect("scalar sink");
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let expected: f64 = (1..=CHAOS_BLOCKS).map(|b| b as f64).sum();
+    assert_eq!(sink, expected, "recovery must not change the result");
+    (elapsed_ms, StatsSnapshot::capture(cluster.stats()))
+}
+
 fn median_ms(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     samples[samples.len() / 2]
@@ -265,6 +347,24 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         );
     }
 
+    // Chaos A/B: the same replicated workload with and without one worker
+    // killed mid-run. The delta is the recovery makespan — heartbeat-silence
+    // detection plus resubmission of the stranded tasks onto survivors.
+    let chaos_baseline_ms = chaos_round(false).0;
+    let (chaos_killed_ms, chaos_snap) = chaos_round(true);
+    assert!(chaos_snap.peers_lost >= 1, "kill must be detected");
+    assert!(
+        chaos_snap.tasks_resubmitted + chaos_snap.recomputes >= 1,
+        "recovery must have done work"
+    );
+    let recovery_overhead_ms = chaos_killed_ms - chaos_baseline_ms;
+    println!(
+        "  chaos A/B: undisturbed {chaos_baseline_ms:.1} ms, 1-of-{CHAOS_WORKERS} workers \
+         killed {chaos_killed_ms:.1} ms (recovery makespan {recovery_overhead_ms:+.1} ms) | \
+         {} peers lost, {} tasks resubmitted, {} recomputes",
+        chaos_snap.peers_lost, chaos_snap.tasks_resubmitted, chaos_snap.recomputes
+    );
+
     // Emit the machine-readable record through the shared StatsSnapshot
     // schema (one format for bench output and runtime snapshots).
     let doc = Json::obj()
@@ -288,6 +388,10 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         .set("transport_inproc_median_round_ms", inproc_ms)
         .set("transport_framed_median_round_ms", framed_ms)
         .set("transport_framed_overhead_pct", framed_overhead_pct)
+        .set("chaos_baseline_wall_ms", chaos_baseline_ms)
+        .set("chaos_killed_wall_ms", chaos_killed_ms)
+        .set("chaos_recovery_makespan_ms", recovery_overhead_ms)
+        .set("chaos_stats", chaos_snap.to_json())
         .set("baseline_stats", base_snap.to_json())
         .set("optimized_stats", opt_snap.to_json())
         .set("framed_stats", framed_snap.to_json());

@@ -301,7 +301,11 @@ impl Client {
                 Ok(value)
             }
             Ok(Err(m)) => Err(TaskError::new(key.clone(), m)),
-            Err(_) => Err(TaskError::new(key.clone(), "worker hung up")),
+            // A dropped reply slot means the worker's data server died while
+            // we were waiting: attribute the loss so callers can distinguish
+            // it from an ordinary task failure.
+            Err(_) => Err(TaskError::new(key.clone(), "worker hung up")
+                .with_cause(crate::msg::ErrorCause::PeerLost)),
         }
     }
 

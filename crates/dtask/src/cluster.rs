@@ -1,19 +1,23 @@
 //! Cluster bootstrap: spawn scheduler + workers, hand out clients.
 
 use crate::client::Client;
-use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg};
+use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg, WorkerId};
 use crate::optimize::OptimizeConfig;
-use crate::scheduler::{IngestMode, Scheduler};
+use crate::scheduler::{IngestMode, LivenessConfig, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
 use crate::trace::{TraceActor, TraceConfig, TraceRecorder};
-use crate::transport::{Addr, DataReply, Router, TransportConfig};
+use crate::transport::{Addr, ClusterChannels, DataReply, FaultPlan, Router, TransportConfig};
 use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
 use crossbeam::channel::unbounded;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A periodic background thread (heartbeat pinger) plus the flag that stops
+/// its loop before the join.
+type StoppableThread = (Arc<AtomicBool>, JoinHandle<()>);
 
 /// How often a client pings the scheduler.
 ///
@@ -31,6 +35,57 @@ pub enum HeartbeatInterval {
 impl HeartbeatInterval {
     /// Dask's default 5-second interval (DEISA1).
     pub const DASK_DEFAULT: HeartbeatInterval = HeartbeatInterval::Every(Duration::from_secs(5));
+}
+
+/// Fault-tolerance knobs: liveness detection, retry policy, worker
+/// heartbeats, and the (test/bench-facing) fault-injection plan.
+///
+/// Everything defaults *off* so the fault machinery costs nothing — and
+/// changes no message counts — unless explicitly enabled.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Scheduler-side liveness: declare a worker or heartbeating client
+    /// dead after this long without a ping. `None` (default, DEISA3
+    /// semantics) disables failure detection.
+    pub heartbeat_timeout: Option<Duration>,
+    /// How often each worker pings the scheduler
+    /// ([`SchedMsg::WorkerHeartbeat`]). `Infinite` by default; enable
+    /// together with `heartbeat_timeout` for worker failure detection.
+    /// The first ping is sent immediately at startup so a worker killed
+    /// before its first interval is still detectable.
+    pub worker_heartbeat: HeartbeatInterval,
+    /// Resubmission budget per task after peer losses.
+    pub max_retries: u32,
+    /// Base of the exponential resubmission backoff.
+    pub retry_backoff: Duration,
+    /// Injected faults: lane drops and heartbeat delays act inside the
+    /// transport; a scheduled worker kill is consumed by workload drivers
+    /// via [`Cluster::fault_kill_due`].
+    pub plan: FaultPlan,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        let liveness = LivenessConfig::default();
+        FaultConfig {
+            heartbeat_timeout: liveness.heartbeat_timeout,
+            worker_heartbeat: HeartbeatInterval::Infinite,
+            max_retries: liveness.max_retries,
+            retry_backoff: liveness.retry_backoff,
+            plan: FaultPlan::default(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The scheduler-side slice of this config.
+    fn liveness(&self) -> LivenessConfig {
+        LivenessConfig {
+            heartbeat_timeout: self.heartbeat_timeout,
+            max_retries: self.max_retries,
+            retry_backoff: self.retry_backoff,
+        }
+    }
 }
 
 /// Cluster construction options.
@@ -71,6 +126,8 @@ pub struct ClusterConfig {
     /// [`TransportConfig::SimNet`] additionally injects netsim fat-tree
     /// latency/bandwidth delays.
     pub transport: TransportConfig,
+    /// Fault tolerance and fault injection (default: everything off).
+    pub fault: FaultConfig,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +141,7 @@ impl Default for ClusterConfig {
             ingest: IngestMode::default(),
             trace: TraceConfig::default(),
             transport: TransportConfig::default(),
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -116,11 +174,17 @@ pub struct Cluster {
     // Thread handles are kept per role so shutdown can retire them in
     // dependency order: heartbeats first (they write into the scheduler),
     // then executors (they write into scheduler + data servers), then data
-    // servers, then the scheduler itself.
+    // servers, then the scheduler itself. Worker threads are stored per
+    // worker (behind a mutex) so `kill_worker` can retire one worker's
+    // threads while the rest keep running.
     sched_thread: Option<JoinHandle<()>>,
-    data_threads: Vec<JoinHandle<()>>,
-    exec_threads: Vec<JoinHandle<()>>,
-    heartbeats: parking_lot::Mutex<Vec<(Arc<AtomicBool>, JoinHandle<()>)>>,
+    data_threads: parking_lot::Mutex<Vec<Option<JoinHandle<()>>>>,
+    exec_threads: parking_lot::Mutex<Vec<Vec<JoinHandle<()>>>>,
+    worker_pingers: parking_lot::Mutex<Vec<Option<StoppableThread>>>,
+    heartbeats: parking_lot::Mutex<Vec<StoppableThread>>,
+    /// Pending scheduled kill from [`FaultPlan::kill_worker`], consumed by
+    /// [`Cluster::fault_kill_due`].
+    kill_at: parking_lot::Mutex<Option<(WorkerId, u64)>>,
     down: bool,
 }
 
@@ -133,8 +197,17 @@ impl Cluster {
         })
     }
 
-    /// Start a cluster from a config.
+    /// Start a cluster from a config, panicking on thread-spawn failure
+    /// (the common case; see [`Cluster::try_with_config`] for the fallible
+    /// variant).
     pub fn with_config(config: ClusterConfig) -> Self {
+        Cluster::try_with_config(config).expect("cluster startup")
+    }
+
+    /// Start a cluster from a config. On a thread-spawn failure every
+    /// already-spawned actor is torn down in shutdown dependency order
+    /// before the error is returned, so a failed startup leaks nothing.
+    pub fn try_with_config(config: ClusterConfig) -> std::io::Result<Self> {
         assert!(config.n_workers > 0, "cluster needs at least one worker");
         let slots = config.resolved_slots();
         let registry = OpRegistry::with_std_ops();
@@ -162,63 +235,20 @@ impl Cluster {
         let router = Router::new(
             &config.transport,
             config.n_workers,
-            sched_tx,
-            worker_data,
-            worker_exec.clone(),
+            ClusterChannels {
+                sched_tx,
+                data_txs: worker_data,
+                exec_txs: worker_exec.clone(),
+            },
             Arc::clone(&stats),
             tracer.register(TraceActor::Transport),
+            config.fault.plan.clone(),
         );
 
-        // Scheduler thread.
-        let sched = Scheduler::new(
-            sched_rx,
-            router.endpoint(Addr::Scheduler),
-            slots,
-            config.ingest,
-            Arc::clone(&stats),
-            tracer.register(TraceActor::Scheduler),
-        );
-        let sched_thread = Some(
-            std::thread::Builder::new()
-                .name("dtask-scheduler".into())
-                .spawn(move || sched.run())
-                .expect("spawn scheduler"),
-        );
-        // Worker threads: one data server + `slots` executor slots each, the
-        // slots draining one shared (cloned) inbox.
-        let mut data_threads = Vec::with_capacity(config.n_workers);
-        let mut exec_threads = Vec::with_capacity(config.n_workers * slots);
-        for (id, (data_rx, exec_rx)) in data_rxs.into_iter().zip(exec_rxs).enumerate() {
-            let store = Arc::clone(&stores[id]);
-            let data_endpoint = router.endpoint(Addr::WorkerData(id));
-            data_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("dtask-worker-{id}-data"))
-                    .spawn(move || run_data_server(store, data_rx, data_endpoint))
-                    .expect("spawn data server"),
-            );
-            for slot in 0..slots {
-                let exec = Executor {
-                    id,
-                    store: Arc::clone(&stores[id]),
-                    rx: exec_rx.clone(),
-                    exec_tx: worker_exec[id].clone(),
-                    endpoint: router.endpoint(Addr::WorkerExec(id)),
-                    registry: registry.clone(),
-                    stats: Arc::clone(&stats),
-                    gather_mode: config.gather_mode,
-                    tracer: tracer.register(TraceActor::WorkerSlot { worker: id, slot }),
-                };
-                exec_threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("dtask-worker-{id}-exec-{slot}"))
-                        .spawn(move || exec.run())
-                        .expect("spawn executor"),
-                );
-            }
-        }
-
-        Cluster {
+        // Build the (thread-less) cluster first: a spawn failure below can
+        // then reuse `shutdown_inner`, which retires exactly the threads
+        // recorded so far in dependency order.
+        let mut cluster = Cluster {
             router,
             registry,
             stats,
@@ -227,12 +257,111 @@ impl Cluster {
             default_heartbeat: config.default_heartbeat,
             optimize: config.optimize,
             slots_per_worker: slots,
-            sched_thread,
-            data_threads,
-            exec_threads,
+            sched_thread: None,
+            data_threads: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
+            exec_threads: parking_lot::Mutex::new(
+                (0..config.n_workers).map(|_| Vec::new()).collect(),
+            ),
+            worker_pingers: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
             heartbeats: parking_lot::Mutex::new(Vec::new()),
+            kill_at: parking_lot::Mutex::new(config.fault.plan.kill_worker),
             down: false,
+        };
+
+        // Scheduler thread.
+        let sched = Scheduler::new(
+            sched_rx,
+            cluster.router.endpoint(Addr::Scheduler),
+            slots,
+            config.ingest,
+            config.fault.liveness(),
+            Arc::clone(&cluster.stats),
+            cluster.tracer.register(TraceActor::Scheduler),
+        );
+        match std::thread::Builder::new()
+            .name("dtask-scheduler".into())
+            .spawn(move || sched.run())
+        {
+            Ok(handle) => cluster.sched_thread = Some(handle),
+            Err(e) => {
+                cluster.shutdown_inner();
+                return Err(e);
+            }
         }
+        // Worker threads: one data server + `slots` executor slots each, the
+        // slots draining one shared (cloned) inbox.
+        for (id, (data_rx, exec_rx)) in data_rxs.into_iter().zip(exec_rxs).enumerate() {
+            let store = Arc::clone(&stores[id]);
+            let data_endpoint = cluster.router.endpoint(Addr::WorkerData(id));
+            match std::thread::Builder::new()
+                .name(format!("dtask-worker-{id}-data"))
+                .spawn(move || run_data_server(store, data_rx, data_endpoint))
+            {
+                Ok(handle) => cluster.data_threads.get_mut()[id] = Some(handle),
+                Err(e) => {
+                    cluster.shutdown_inner();
+                    return Err(e);
+                }
+            }
+            for slot in 0..slots {
+                let exec = Executor {
+                    id,
+                    store: Arc::clone(&stores[id]),
+                    rx: exec_rx.clone(),
+                    exec_tx: worker_exec[id].clone(),
+                    endpoint: cluster.router.endpoint(Addr::WorkerExec(id)),
+                    registry: cluster.registry.clone(),
+                    stats: Arc::clone(&cluster.stats),
+                    gather_mode: config.gather_mode,
+                    tracer: cluster
+                        .tracer
+                        .register(TraceActor::WorkerSlot { worker: id, slot }),
+                };
+                match std::thread::Builder::new()
+                    .name(format!("dtask-worker-{id}-exec-{slot}"))
+                    .spawn(move || exec.run())
+                {
+                    Ok(handle) => cluster.exec_threads.get_mut()[id].push(handle),
+                    Err(e) => {
+                        cluster.shutdown_inner();
+                        return Err(e);
+                    }
+                }
+            }
+            if let HeartbeatInterval::Every(period) = config.fault.worker_heartbeat {
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop2 = Arc::clone(&stop);
+                let hb_endpoint = cluster.router.endpoint(Addr::WorkerExec(id));
+                match std::thread::Builder::new()
+                    .name(format!("dtask-worker-{id}-ping"))
+                    .spawn(move || {
+                        // First ping immediately: liveness tracks this worker
+                        // from startup, so a kill before the first interval
+                        // is still detected.
+                        hb_endpoint.send_sched(SchedMsg::WorkerHeartbeat { worker: id });
+                        while !stop2.load(Ordering::SeqCst) {
+                            // Sleep in small slices so stop is prompt.
+                            let mut remaining = period;
+                            while remaining > Duration::ZERO && !stop2.load(Ordering::SeqCst) {
+                                let nap = remaining.min(Duration::from_millis(20));
+                                std::thread::sleep(nap);
+                                remaining = remaining.saturating_sub(nap);
+                            }
+                            if stop2.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            hb_endpoint.send_sched(SchedMsg::WorkerHeartbeat { worker: id });
+                        }
+                    }) {
+                    Ok(handle) => cluster.worker_pingers.get_mut()[id] = Some((stop, handle)),
+                    Err(e) => {
+                        cluster.shutdown_inner();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(cluster)
     }
 
     /// The shared op registry; register application ops here before
@@ -277,6 +406,53 @@ impl Cluster {
                 }
             })
             .collect()
+    }
+
+    /// Kill one worker: stop its heartbeat pinger, retire its executor
+    /// slots and data server, and join their threads. From the rest of the
+    /// cluster's point of view the worker silently vanishes — in-flight
+    /// fetches against it error out (the transport cancels their reply
+    /// slots), its heartbeats stop, and with liveness enabled the scheduler
+    /// declares it dead and recovers. This is the fault-injection "kill"
+    /// primitive; it does not tell the scheduler anything.
+    pub fn kill_worker(&self, worker: WorkerId) {
+        assert!(worker < self.n_workers(), "no such worker");
+        if let Some((stop, thread)) = self.worker_pingers.lock()[worker].take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
+        let endpoint = self.router.endpoint(Addr::Control);
+        // Data plane first: once the data server is down, every result this
+        // worker holds (including those its exec slots finish below, straight
+        // into the shared store) is unreachable — the death is observable to
+        // any peer immediately, not only after the exec slots drain.
+        if let Some(t) = self.data_threads.lock()[worker].take() {
+            endpoint.send_data(worker, DataMsg::Shutdown);
+            let _ = t.join();
+        }
+        let exec_threads = std::mem::take(&mut self.exec_threads.lock()[worker]);
+        for _ in 0..exec_threads.len() {
+            endpoint.send_exec(worker, ExecMsg::Shutdown);
+        }
+        for t in exec_threads {
+            let _ = t.join();
+        }
+        self.stats.record_injected_kill();
+    }
+
+    /// Consume the scheduled kill from [`FaultPlan::kill_worker`] if its
+    /// step has arrived. Workload drivers call this once per step and kill
+    /// the returned worker; `None` means nothing (or nothing anymore) is
+    /// scheduled.
+    pub fn fault_kill_due(&self, step: u64) -> Option<WorkerId> {
+        let mut guard = self.kill_at.lock();
+        match *guard {
+            Some((worker, at)) if step >= at => {
+                *guard = None;
+                Some(worker)
+            }
+            _ => None,
+        }
     }
 
     /// Connect a new client with the cluster-default heartbeat.
@@ -368,22 +544,40 @@ impl Cluster {
             stop.store(true, Ordering::SeqCst);
             let _ = thread.join();
         }
-        for w in 0..self.n_workers() {
-            // One shutdown message per slot: each slot thread consumes
-            // exactly one and exits.
-            for _ in 0..self.slots_per_worker {
+        for pinger in self.worker_pingers.lock().iter_mut() {
+            if let Some((stop, thread)) = pinger.take() {
+                stop.store(true, Ordering::SeqCst);
+                let _ = thread.join();
+            }
+        }
+        // Per-worker storage: killed (or never-spawned) workers simply have
+        // nothing left to retire here.
+        let mut exec_threads = self.exec_threads.lock();
+        for (w, threads) in exec_threads.iter().enumerate() {
+            // One shutdown message per spawned slot: each slot thread
+            // consumes exactly one and exits.
+            for _ in 0..threads.len() {
                 endpoint.send_exec(w, ExecMsg::Shutdown);
             }
         }
-        for t in self.exec_threads.drain(..) {
-            let _ = t.join();
+        for threads in exec_threads.iter_mut() {
+            for t in threads.drain(..) {
+                let _ = t.join();
+            }
         }
-        for w in 0..self.n_workers() {
-            endpoint.send_data(w, DataMsg::Shutdown);
+        drop(exec_threads);
+        let mut data_threads = self.data_threads.lock();
+        for (w, slot) in data_threads.iter().enumerate() {
+            if slot.is_some() {
+                endpoint.send_data(w, DataMsg::Shutdown);
+            }
         }
-        for t in self.data_threads.drain(..) {
-            let _ = t.join();
+        for slot in data_threads.iter_mut() {
+            if let Some(t) = slot.take() {
+                let _ = t.join();
+            }
         }
+        drop(data_threads);
         endpoint.send_sched(SchedMsg::Shutdown);
         if let Some(t) = self.sched_thread.take() {
             let _ = t.join();

@@ -58,13 +58,13 @@ pub mod wire;
 pub mod worker;
 
 pub use client::{Client, DFuture, DQueue, Variable};
-pub use cluster::{Cluster, ClusterConfig, HeartbeatInterval};
+pub use cluster::{Cluster, ClusterConfig, FaultConfig, HeartbeatInterval};
 pub use datum::Datum;
 pub use json::Json;
 pub use key::Key;
 pub use msg::{ErrorCause, TaskError};
 pub use optimize::{optimize, OptimizeConfig, OptimizeReport};
-pub use scheduler::IngestMode;
+pub use scheduler::{IngestMode, LivenessConfig};
 pub use snapshot::{HistSnapshot, StatsSnapshot, WireLaneSnapshot};
 pub use spec::{OpRegistry, TaskSpec};
 pub use stats::{LatencyHist, MsgClass, SchedulerStats, WireLane};
@@ -72,6 +72,8 @@ pub use trace::{
     EventKind, PhaseReport, TraceActor, TraceConfig, TraceEvent, TraceHandle, TraceLog,
     TraceRecorder,
 };
-pub use transport::{Addr, DataReply, Endpoint, ReplyRx, ReplyTo, SimNetConfig, TransportConfig};
+pub use transport::{
+    Addr, DataReply, Endpoint, FaultPlan, LaneDrop, ReplyRx, ReplyTo, SimNetConfig, TransportConfig,
+};
 pub use wire::{WireError, WIRE_VERSION};
 pub use worker::GatherMode;

@@ -40,6 +40,12 @@ pub enum ErrorCause {
         /// The dependency the error arrived through.
         via: Key,
     },
+    /// The data (or the worker computing it) was lost with a dead peer and
+    /// could not be recovered: an unreplicated external block vanished, or
+    /// the bounded resubmission budget ran out. Unlike `Propagated`, this
+    /// cause survives dependency-edge propagation unchanged, so the client
+    /// at the bottom of the downstream cone still sees the loss attribution.
+    PeerLost,
 }
 
 /// A task failure, delivered to futures and propagated to dependents.
@@ -70,11 +76,16 @@ impl TaskError {
     }
 
     /// This same failure as seen one dependency edge further downstream.
+    /// A `PeerLost` cause is sticky: the loss attribution must reach the
+    /// client even through a long dependent cone.
     pub fn propagated_via(&self, via: Key) -> Self {
         TaskError {
             key: self.key.clone(),
             message: self.message.clone(),
-            cause: ErrorCause::Propagated { via },
+            cause: match self.cause {
+                ErrorCause::PeerLost => ErrorCause::PeerLost,
+                _ => ErrorCause::Propagated { via },
+            },
         }
     }
 
@@ -87,7 +98,13 @@ impl TaskError {
 
 impl std::fmt::Display for TaskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task {} failed: {}", self.key, self.message)
+        write!(f, "task {} failed: {}", self.key, self.message)?;
+        // Keep the loss attribution visible through stringly-typed layers
+        // (e.g. model-fetch helpers that map errors to `String`).
+        if self.cause == ErrorCause::PeerLost {
+            write!(f, " [peer lost]")?;
+        }
+        Ok(())
     }
 }
 
@@ -163,6 +180,11 @@ pub enum SchedMsg {
         stored_key: Key,
         /// Origin and description of the failure.
         error: TaskError,
+        /// Peer whose data connection hung up mid-gather, if that is what
+        /// failed the task. Direct evidence of that peer's death — the
+        /// scheduler acts on it immediately instead of waiting out the
+        /// heartbeat timeout.
+        failed_peer: Option<WorkerId>,
     },
     /// Client wants a notification when `key` completes (or errs).
     WantResult {
@@ -215,6 +237,14 @@ pub enum SchedMsg {
     Heartbeat {
         /// Pinging client.
         client: ClientId,
+    },
+    /// Periodic liveness ping from a worker. Off by default
+    /// ([`crate::cluster::FaultConfig::worker_heartbeat`] is `Infinite`);
+    /// when enabled the scheduler tracks per-worker `last_seen` and declares
+    /// a worker dead after the configured `heartbeat_timeout`.
+    WorkerHeartbeat {
+        /// Pinging worker.
+        worker: WorkerId,
     },
     /// Stop the scheduler loop.
     Shutdown,

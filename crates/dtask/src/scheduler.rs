@@ -19,15 +19,15 @@
 
 use crate::datum::Datum;
 use crate::key::Key;
-use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
+use crate::msg::{ClientId, ClientMsg, DataMsg, ErrorCause, SchedMsg, TaskError, WorkerId};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::Endpoint;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the scheduler loop drains its inbox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +48,36 @@ pub enum IngestMode {
 impl Default for IngestMode {
     fn default() -> Self {
         IngestMode::Batched { max_burst: 64 }
+    }
+}
+
+/// Failure-detection and recovery parameters for the scheduler loop.
+///
+/// The paper's DEISA variants map onto `heartbeat_timeout` directly:
+/// DEISA1 pings every 5 s and DEISA2 every 60 s, so a finite timeout of a
+/// few intervals detects their silence; DEISA3 sends no heartbeats at all —
+/// `None` (the default) reproduces that trade of fault tolerance for the
+/// `1 + R` message count, and the liveness sweep never runs.
+#[derive(Debug, Clone)]
+pub struct LivenessConfig {
+    /// Declare a peer (worker or heartbeating client) dead after this long
+    /// without a heartbeat. `None` disables failure detection entirely.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Bounded resubmission budget per task; once exceeded the task errs
+    /// with [`ErrorCause::PeerLost`].
+    pub max_retries: u32,
+    /// Base of the exponential backoff between resubmissions (the n-th
+    /// retry waits `base · 2^(n-1)`).
+    pub retry_backoff: Duration,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            heartbeat_timeout: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(10),
+        }
     }
 }
 
@@ -81,6 +111,12 @@ struct TaskEntry {
     error: Option<TaskError>,
     /// Clients to notify on completion.
     waiters: Vec<ClientId>,
+    /// Worker this task is processing on (recovery needs to know which
+    /// in-flight tasks died with a worker).
+    assigned_to: Option<WorkerId>,
+    /// Resubmissions consumed after peer losses (bounded by
+    /// [`LivenessConfig::max_retries`]; reset on success).
+    retries: u32,
 }
 
 impl TaskEntry {
@@ -95,6 +131,8 @@ impl TaskEntry {
             nbytes: 0,
             error: None,
             waiters: Vec::new(),
+            assigned_to: None,
+            retries: 0,
         }
     }
 }
@@ -106,6 +144,12 @@ struct WorkerEntry {
     /// `processing / slots` ratio so a 4-slot worker with 2 running tasks
     /// counts as less loaded than a 1-slot worker with 1.
     slots: usize,
+    /// Cleared when the liveness sweep declares this worker dead; dead
+    /// workers never receive assignments and their reports are ignored.
+    alive: bool,
+    /// Last worker heartbeat, `None` until the first one arrives (a worker
+    /// that never heartbeats — liveness off — is never declared dead).
+    last_seen: Option<Instant>,
 }
 
 impl WorkerEntry {
@@ -150,6 +194,16 @@ pub struct Scheduler {
     /// Set by handlers that may have produced ready tasks; the run loop
     /// drains the ready queue once per burst instead of once per message.
     pending_schedule: bool,
+    /// Failure-detection and retry policy.
+    liveness: LivenessConfig,
+    /// Last heartbeat per client (only clients that heartbeat are tracked,
+    /// and only they can be declared dead).
+    client_last_seen: HashMap<ClientId, Instant>,
+    /// Tasks parked between a peer loss and their resubmission, with the
+    /// instant each becomes due (unordered: the set stays tiny).
+    backoff: Vec<(Instant, Key)>,
+    /// When the liveness sweep last ran.
+    last_sweep: Instant,
 }
 
 impl Scheduler {
@@ -162,6 +216,7 @@ impl Scheduler {
         endpoint: Endpoint,
         slots_per_worker: usize,
         ingest: IngestMode,
+        liveness: LivenessConfig,
         stats: Arc<SchedulerStats>,
         tracer: TraceHandle,
     ) -> Self {
@@ -176,6 +231,8 @@ impl Scheduler {
                 .map(|_| WorkerEntry {
                     processing: 0,
                     slots,
+                    alive: true,
+                    last_seen: None,
                 })
                 .collect(),
             clients: HashSet::new(),
@@ -187,6 +244,10 @@ impl Scheduler {
             rr_cursor: 0,
             ingest,
             pending_schedule: false,
+            liveness,
+            client_last_seen: HashMap::new(),
+            backoff: Vec::new(),
+            last_sweep: Instant::now(),
         }
     }
 
@@ -195,7 +256,8 @@ impl Scheduler {
     /// Each iteration blocks for one message, then (in batched mode) drains
     /// up to `max_burst - 1` more without blocking. Within a burst,
     /// `AddReplica` entries are merged per worker and heartbeats are counted
-    /// in one shot; everything else is handled in arrival order. The ready
+    /// inline without a full handler pass; everything else is handled in
+    /// arrival order. The ready
     /// queue is drained **once** per burst, so a burst carrying `k` task
     /// completions pays one placement pass instead of `k`.
     pub fn run(mut self) {
@@ -204,46 +266,72 @@ impl Scheduler {
             IngestMode::Batched { max_burst } => max_burst.max(1),
         };
         let mut burst: Vec<SchedMsg> = Vec::with_capacity(max_burst);
-        'outer: while let Ok(first) = self.rx.recv() {
-            burst.push(first);
-            while burst.len() < max_burst {
-                match self.rx.try_recv() {
-                    Ok(msg) => burst.push(msg),
+        loop {
+            // With liveness off and no parked retries this is a plain
+            // blocking `recv` — the fast path pays nothing for the fault
+            // machinery. Otherwise block only until the next sweep/backoff
+            // deadline so failures are detected even on an idle inbox.
+            let first = match self.wakeup_deadline() {
+                None => match self.rx.recv() {
+                    Ok(msg) => Some(msg),
                     Err(_) => break,
-                }
-            }
-            self.stats.record_burst(burst.len() as u64);
-            let burst_len = burst.len() as u64;
-            let ingest_t0 = self.tracer.start();
-            let mut replicas: HashMap<WorkerId, Vec<(Key, u64)>> = HashMap::new();
-            let mut heartbeats = 0u64;
-            let mut shutdown = false;
-            for msg in burst.drain(..) {
-                match msg {
-                    SchedMsg::AddReplica { worker, entries } if max_burst > 1 => {
-                        // Coalesce: one map update pass per worker per burst.
-                        // Replicas only ever *add* placement options, so
-                        // applying them at burst end is order-safe.
-                        self.stats.record(MsgClass::AddReplica, 0);
-                        replicas.entry(worker).or_default().extend(entries);
+                },
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(wait) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
-                    SchedMsg::Heartbeat { .. } if max_burst > 1 => heartbeats += 1,
-                    msg => {
-                        if !self.handle(msg) {
-                            shutdown = true;
-                            break;
+                }
+            };
+            let mut shutdown = false;
+            if let Some(first) = first {
+                burst.push(first);
+                while burst.len() < max_burst {
+                    match self.rx.try_recv() {
+                        Ok(msg) => burst.push(msg),
+                        Err(_) => break,
+                    }
+                }
+                self.stats.record_burst(burst.len() as u64);
+                let burst_len = burst.len() as u64;
+                let ingest_t0 = self.tracer.start();
+                let mut replicas: HashMap<WorkerId, Vec<(Key, u64)>> = HashMap::new();
+                for msg in burst.drain(..) {
+                    match msg {
+                        SchedMsg::AddReplica { worker, entries } if max_burst > 1 => {
+                            // Coalesce: one map update pass per worker per burst.
+                            // Replicas only ever *add* placement options, so
+                            // applying them at burst end is order-safe.
+                            self.stats.record(MsgClass::AddReplica, 0);
+                            replicas.entry(worker).or_default().extend(entries);
+                        }
+                        SchedMsg::Heartbeat { client } if max_burst > 1 => {
+                            // Counted here, not deferred to burst end: a
+                            // synchronous reply handled later in this same
+                            // burst (e.g. a variable get) must not let the
+                            // client observe a stale heartbeat count. This
+                            // arm is the only counter in batched mode — the
+                            // per-message handler never sees these.
+                            self.stats.record(MsgClass::Heartbeat, 0);
+                            self.note_client_heartbeat(client);
+                        }
+                        msg => {
+                            if !self.handle(msg) {
+                                shutdown = true;
+                                break;
+                            }
                         }
                     }
                 }
+                for (worker, entries) in replicas.drain() {
+                    self.apply_replicas(worker, entries);
+                }
+                self.tracer
+                    .span(EventKind::Ingest, ingest_t0, None, burst_len);
             }
-            if heartbeats > 0 {
-                self.stats.record_n(MsgClass::Heartbeat, heartbeats, 0);
-            }
-            for (worker, entries) in replicas.drain() {
-                self.apply_replicas(worker, entries);
-            }
-            self.tracer
-                .span(EventKind::Ingest, ingest_t0, None, burst_len);
+            self.tick_faults();
             if self.pending_schedule {
                 self.pending_schedule = false;
                 let assign_from = Instant::now();
@@ -255,7 +343,41 @@ impl Scheduler {
                     .record_assign_pass(assign_from.elapsed().as_nanos() as u64);
             }
             if shutdown {
-                break 'outer;
+                break;
+            }
+        }
+    }
+
+    /// Next instant the loop must wake even if the inbox stays empty:
+    /// the earliest parked resubmission, or the next liveness sweep.
+    /// `None` (the default configuration) means "block forever".
+    fn wakeup_deadline(&self) -> Option<Instant> {
+        let backoff_due = self.backoff.iter().map(|(due, _)| *due).min();
+        let sweep_due = self
+            .liveness
+            .heartbeat_timeout
+            .map(|t| self.last_sweep + Self::sweep_every(t));
+        match (backoff_due, sweep_due) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Sweep cadence: a quarter of the timeout keeps detection latency
+    /// within ~1.25× the configured timeout without busy-waking.
+    fn sweep_every(timeout: Duration) -> Duration {
+        (timeout / 4).max(Duration::from_millis(1))
+    }
+
+    /// Run the periodic fault work: due resubmissions, then the liveness
+    /// sweep. No-ops (without reading the clock for the sweep) when the
+    /// fault machinery is idle.
+    fn tick_faults(&mut self) {
+        self.drain_backoff();
+        if let Some(timeout) = self.liveness.heartbeat_timeout {
+            if self.last_sweep.elapsed() >= Self::sweep_every(timeout) {
+                self.last_sweep = Instant::now();
+                self.sweep_liveness(timeout);
             }
         }
     }
@@ -273,6 +395,7 @@ impl Scheduler {
             }
             SchedMsg::ClientDisconnect { client } => {
                 self.clients.remove(&client);
+                self.client_last_seen.remove(&client);
             }
             SchedMsg::SubmitGraph { client: _, specs } => {
                 self.stats.record(MsgClass::GraphSubmit, 0);
@@ -311,6 +434,12 @@ impl Scheduler {
                 nbytes,
             } => {
                 self.stats.record(MsgClass::TaskReport, 0);
+                if !self.worker_alive(worker) {
+                    // Stale report from a declared-dead worker: its data is
+                    // unreachable, so recording the replica would route
+                    // future gathers into a black hole.
+                    return true;
+                }
                 self.tracer
                     .instant(EventKind::Report, Some(&key), worker as u64);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
@@ -320,21 +449,49 @@ impl Scheduler {
             SchedMsg::AddReplica { worker, entries } => {
                 // Per-message path (batched bursts intercept this upstream).
                 self.stats.record(MsgClass::AddReplica, 0);
-                self.apply_replicas(worker, entries);
+                if self.worker_alive(worker) {
+                    self.apply_replicas(worker, entries);
+                }
             }
             SchedMsg::TaskErred {
                 worker,
                 stored_key,
                 error,
+                failed_peer,
             } => {
                 self.stats.record(MsgClass::TaskReport, 0);
+                if !self.worker_alive(worker) {
+                    return true;
+                }
                 self.tracer
                     .instant(EventKind::Report, Some(&stored_key), worker as u64);
                 self.workers[worker].processing = self.workers[worker].processing.saturating_sub(1);
-                // `error.key` names the originating task (an interior fused
-                // stage, possibly); the scheduler entry to fail is the spec
-                // key it tracks.
-                self.mark_erred(stored_key, error);
+                // A hung-up data connection is direct evidence of that peer's
+                // death: run the full loss recovery now rather than burning
+                // this task's retry budget waiting out the heartbeat timeout.
+                // Valid even with liveness off — the evidence is the
+                // transport's, not a missed heartbeat.
+                if let Some(peer) = failed_peer {
+                    if peer != worker && self.worker_alive(peer) {
+                        self.on_worker_lost(peer);
+                    }
+                }
+                if matches!(error.cause, ErrorCause::PeerLost)
+                    && self
+                        .tasks
+                        .get(&stored_key)
+                        .is_some_and(|e| e.state == TaskState::Processing)
+                {
+                    // A gather hit a dead peer mid-fetch: environmental, not
+                    // deterministic — resubmit to a survivor instead of
+                    // failing the downstream cone.
+                    self.retry_or_fail(stored_key);
+                } else {
+                    // `error.key` names the originating task (an interior
+                    // fused stage, possibly); the scheduler entry to fail is
+                    // the spec key it tracks.
+                    self.mark_erred(stored_key, error);
+                }
                 self.pending_schedule = true;
             }
             SchedMsg::WantResult { client, key } => {
@@ -481,8 +638,13 @@ impl Scheduler {
                     q.poppers.push_back(client);
                 }
             }
-            SchedMsg::Heartbeat { client: _ } => {
+            SchedMsg::Heartbeat { client } => {
                 self.stats.record(MsgClass::Heartbeat, 0);
+                self.note_client_heartbeat(client);
+            }
+            SchedMsg::WorkerHeartbeat { worker } => {
+                self.stats.record(MsgClass::WorkerHeartbeat, 0);
+                self.note_worker_heartbeat(worker);
             }
             SchedMsg::Shutdown => return false,
         }
@@ -590,6 +752,25 @@ impl Scheduler {
 
     /// Classic-scatter or external-task data arrival.
     fn handle_update_data(&mut self, key: Key, worker: WorkerId, nbytes: u64, external: bool) {
+        if !self.worker_alive(worker) {
+            // The announced holder is already declared dead: the data there
+            // is unreachable. With a surviving live replica this is just a
+            // stale announcement — drop it; with none, the key (and its
+            // cone) is lost with the peer.
+            let has_live_replica = self.tasks.get(&key).is_some_and(|e| {
+                e.state == TaskState::Memory && e.who_has.iter().any(|&w| self.worker_alive(w))
+            });
+            if has_live_replica {
+                return;
+            }
+            self.stats.record_external_block_lost();
+            self.mark_erred(
+                key.clone(),
+                TaskError::new(key, format!("data landed on dead worker {worker}"))
+                    .with_cause(ErrorCause::PeerLost),
+            );
+            return;
+        }
         let state = self.tasks.get(&key).map(|e| e.state);
         match state {
             Some(TaskState::Memory) => {
@@ -636,6 +817,8 @@ impl Scheduler {
             entry.who_has.push(worker);
         }
         entry.nbytes = nbytes;
+        entry.assigned_to = None;
+        entry.retries = 0;
         let waiters = std::mem::take(&mut entry.waiters);
         let dependents = entry.dependents.clone();
         for client in waiters {
@@ -664,12 +847,19 @@ impl Scheduler {
 
     /// Mark a task and (transitively) its dependents as erred.
     fn mark_erred(&mut self, key: Key, error: TaskError) {
-        let mut stack = vec![(key, error)];
-        while let Some((key, error)) = stack.pop() {
+        let mut stack = vec![(key, error, true)];
+        while let Some((key, error, is_root)) = stack.pop() {
             let Some(entry) = self.tasks.get_mut(&key) else {
                 continue;
             };
             if entry.state == TaskState::Erred {
+                continue;
+            }
+            if !is_root && entry.state == TaskState::Memory {
+                // A dependent that already computed holds a valid result; a
+                // late upstream failure (e.g. a lost replica of an input)
+                // must not destroy it. Only the root of a cascade may
+                // transition out of Memory.
                 continue;
             }
             entry.state = TaskState::Erred;
@@ -688,54 +878,329 @@ impl Scheduler {
             for dep in dependents {
                 // Dependents see the same origin, one propagation edge
                 // further downstream (`via` names the direct dependency).
-                stack.push((dep.clone(), error.propagated_via(key.clone())));
+                stack.push((dep.clone(), error.propagated_via(key.clone()), false));
             }
+        }
+    }
+
+    fn worker_alive(&self, worker: WorkerId) -> bool {
+        self.workers.get(worker).is_some_and(|w| w.alive)
+    }
+
+    /// Liveness bookkeeping for a client ping (both ingest paths call this,
+    /// so `last_seen` is identical under `PerMessage` and `Batched`).
+    fn note_client_heartbeat(&mut self, client: ClientId) {
+        if self
+            .client_last_seen
+            .insert(client, Instant::now())
+            .is_none()
+        {
+            self.stats.record_peer_tracked();
+        }
+    }
+
+    /// Liveness bookkeeping for a worker ping. Heartbeats from a worker
+    /// already declared dead are ignored: its replica map and in-flight
+    /// assignments were already torn down, so there is no safe resurrection.
+    fn note_worker_heartbeat(&mut self, worker: WorkerId) {
+        let Some(entry) = self.workers.get_mut(worker) else {
+            return;
+        };
+        if !entry.alive {
+            return;
+        }
+        if entry.last_seen.is_none() {
+            self.stats.record_peer_tracked();
+        }
+        entry.last_seen = Some(Instant::now());
+    }
+
+    /// Move due parked tasks back into the ready queue.
+    fn drain_backoff(&mut self) {
+        if self.backoff.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let (due, parked): (Vec<_>, Vec<_>) = std::mem::take(&mut self.backoff)
+            .into_iter()
+            .partition(|(at, _)| *at <= now);
+        self.backoff = parked;
+        for (_, key) in due {
+            let Some(entry) = self.tasks.get(&key) else {
+                continue;
+            };
+            // Only still-Ready tasks resubmit; anything released or failed
+            // in the meantime just drops off the backoff list.
+            if entry.state != TaskState::Ready {
+                continue;
+            }
+            self.stats.record_task_resubmitted();
+            self.tracer
+                .instant(EventKind::Resubmit, Some(&key), entry.retries as u64);
+            self.ready.push_back(key);
+            self.pending_schedule = true;
+        }
+    }
+
+    /// Declare workers and heartbeating clients dead when their last
+    /// heartbeat is older than `timeout`.
+    fn sweep_liveness(&mut self, timeout: Duration) {
+        let now = Instant::now();
+        for worker in 0..self.workers.len() {
+            let w = &self.workers[worker];
+            // A worker that never heartbeat is not tracked (liveness may be
+            // on while worker pings are off); silence alone is not death.
+            let dead = w.alive
+                && w.last_seen
+                    .is_some_and(|seen| now.duration_since(seen) > timeout);
+            if dead {
+                self.on_worker_lost(worker);
+            }
+        }
+        let lost_clients: Vec<ClientId> = self
+            .client_last_seen
+            .iter()
+            .filter(|(_, seen)| now.duration_since(**seen) > timeout)
+            .map(|(c, _)| *c)
+            .collect();
+        for client in lost_clients {
+            self.client_last_seen.remove(&client);
+            if self.clients.remove(&client) {
+                self.stats.record_peer_lost();
+                // Client ids share the worker arg space in trace events;
+                // they live at the top of the u64 range to stay distinct.
+                self.tracer
+                    .instant(EventKind::PeerLost, None, u64::MAX - client as u64);
+            }
+        }
+    }
+
+    /// Tear down a dead worker: purge its replicas, then recover every task
+    /// it took down — in-flight assignments resubmit (bounded retries) and
+    /// results whose only replica it held either recompute (spec known) or
+    /// fail their downstream cone with a `PeerLost` attribution.
+    fn on_worker_lost(&mut self, worker: WorkerId) {
+        self.workers[worker].alive = false;
+        self.workers[worker].processing = 0;
+        self.stats.record_peer_lost();
+        self.tracer
+            .instant(EventKind::PeerLost, None, worker as u64);
+        let mut lost_inflight = Vec::new();
+        let mut lost_results = Vec::new();
+        for (key, entry) in self.tasks.iter_mut() {
+            entry.who_has.retain(|&w| w != worker);
+            match entry.state {
+                TaskState::Processing if entry.assigned_to == Some(worker) => {
+                    lost_inflight.push(key.clone());
+                }
+                TaskState::Memory if entry.who_has.is_empty() => {
+                    lost_results.push(key.clone());
+                }
+                _ => {}
+            }
+        }
+        for key in lost_inflight {
+            self.retry_or_fail(key);
+        }
+        for key in lost_results {
+            self.recover_lost_result(key, worker);
+        }
+        self.pending_schedule = true;
+    }
+
+    /// Resubmit a task whose assignment (or gather) died with a peer, with
+    /// exponential backoff; past the retry budget it errs with `PeerLost`.
+    fn retry_or_fail(&mut self, key: Key) {
+        let Some(entry) = self.tasks.get_mut(&key) else {
+            return;
+        };
+        entry.retries += 1;
+        entry.assigned_to = None;
+        let retries = entry.retries;
+        if retries > self.liveness.max_retries {
+            self.stats.record_retries_exhausted();
+            let error = TaskError::new(
+                key.clone(),
+                format!(
+                    "peer lost; {} resubmission(s) exhausted",
+                    self.liveness.max_retries
+                ),
+            )
+            .with_cause(ErrorCause::PeerLost);
+            self.mark_erred(key, error);
+            return;
+        }
+        // Re-derive readiness: the loss that killed this attempt may also
+        // have taken an input out of Memory (recompute in progress), and a
+        // resubmission without it would fail hard. Non-Memory deps park the
+        // task as Waiting instead — the recompute cascade re-readies it.
+        let deps = entry.deps.clone();
+        let mut seen: HashSet<&Key> = HashSet::new();
+        let n_waiting = deps
+            .iter()
+            .filter(|d| seen.insert(d))
+            .filter(|d| {
+                self.tasks
+                    .get(*d)
+                    .is_none_or(|e| e.state != TaskState::Memory)
+            })
+            .count();
+        let entry = self.tasks.get_mut(&key).expect("present above");
+        if n_waiting > 0 {
+            entry.state = TaskState::Waiting;
+            entry.n_waiting = n_waiting;
+            return;
+        }
+        // Park as Ready but *outside* the ready queue — `schedule` only
+        // drains the queue, so the task cannot run before its backoff is
+        // due. `drain_backoff` re-queues it.
+        entry.state = TaskState::Ready;
+        let delay = self.liveness.retry_backoff * 2u32.saturating_pow(retries.saturating_sub(1));
+        self.backoff.push((Instant::now() + delay, key));
+    }
+
+    /// A Memory result lost its last replica. Prefer recompute when the
+    /// spec is known (who_has refetch is moot — there is nowhere left to
+    /// fetch from); external blocks have no recipe and must fail.
+    fn recover_lost_result(&mut self, key: Key, worker: WorkerId) {
+        let entry = self.tasks.get(&key).expect("caller checked presence");
+        if entry.spec.is_none() {
+            // External (or scattered) block: the environment produced it,
+            // only the dead worker held it. Unrecoverable by design.
+            self.stats.record_external_block_lost();
+            self.mark_erred(
+                key.clone(),
+                TaskError::new(
+                    key,
+                    format!("external block lost with worker {worker}; no surviving replica"),
+                )
+                .with_cause(ErrorCause::PeerLost),
+            );
+            return;
+        }
+        self.stats.record_recompute();
+        // Dependents that already consumed this result must wait for the
+        // recompute (only those not yet running; in-flight ones that trip
+        // on the missing input come back through the retry path).
+        let dependents = self.tasks[&key].dependents.clone();
+        for d in dependents {
+            if let Some(de) = self.tasks.get_mut(&d) {
+                match de.state {
+                    TaskState::Waiting => de.n_waiting += 1,
+                    TaskState::Ready => {
+                        // Possibly still in the ready queue; the demotion
+                        // makes `schedule` skip that stale entry.
+                        de.state = TaskState::Waiting;
+                        de.n_waiting = 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Re-derive readiness from the surviving dependency states. If this
+        // task's own inputs were also lost, their `recover_lost_result`
+        // pass re-demotes us via the dependent loop above — order within
+        // the lost set does not matter.
+        let deps = self.tasks[&key].deps.clone();
+        let mut seen: HashSet<&Key> = HashSet::new();
+        let mut n_waiting = 0usize;
+        let mut upstream_err = None;
+        for dep in &deps {
+            if !seen.insert(dep) {
+                continue;
+            }
+            match self.tasks.get(dep) {
+                Some(de) if de.state == TaskState::Memory => {}
+                Some(de) if de.state == TaskState::Erred => {
+                    upstream_err = Some(match de.error.clone() {
+                        Some(e) => e.propagated_via(dep.clone()),
+                        None => TaskError::new(dep.clone(), "upstream error"),
+                    });
+                }
+                Some(_) => n_waiting += 1,
+                None => {
+                    upstream_err = Some(
+                        TaskError::new(
+                            dep.clone(),
+                            format!("dependency {dep} released; cannot recompute"),
+                        )
+                        .with_cause(ErrorCause::PeerLost),
+                    );
+                }
+            }
+        }
+        if let Some(err) = upstream_err {
+            self.mark_erred(key, err);
+            return;
+        }
+        let entry = self.tasks.get_mut(&key).expect("checked above");
+        entry.n_waiting = n_waiting;
+        entry.assigned_to = None;
+        entry.error = None;
+        if n_waiting == 0 {
+            entry.state = TaskState::Ready;
+            self.tracer.instant(EventKind::TaskReady, Some(&key), 0);
+            self.ready.push_back(key);
+        } else {
+            entry.state = TaskState::Waiting;
         }
     }
 
     /// Placement: data-gravity first (most dependency bytes), then lowest
     /// load *ratio* (`processing / slots`, so multi-slot workers absorb
-    /// proportionally more tasks), then round-robin.
-    fn decide_worker(&mut self, spec: &TaskSpec) -> WorkerId {
+    /// proportionally more tasks), then round-robin. Dead workers are never
+    /// candidates; `None` means no live worker remains.
+    fn decide_worker(&mut self, spec: &TaskSpec) -> Option<WorkerId> {
         if self.workers.len() == 1 {
-            return 0;
+            return self.workers[0].alive.then_some(0);
         }
         let mut byte_share = vec![0u64; self.workers.len()];
         let mut any_deps = false;
         for dep in &spec.deps {
             if let Some(e) = self.tasks.get(dep) {
                 for &w in &e.who_has {
-                    byte_share[w] += e.nbytes.max(1);
-                    any_deps = true;
+                    if self.workers[w].alive {
+                        byte_share[w] += e.nbytes.max(1);
+                        any_deps = true;
+                    }
                 }
             }
         }
         if any_deps {
             let best = (0..self.workers.len())
+                .filter(|&w| self.workers[w].alive)
                 .max_by(|&a, &b| {
                     byte_share[a].cmp(&byte_share[b]).then_with(|| {
                         // Equal bytes: prefer the lower load ratio (reverse
                         // the comparison, `max_by` keeps the smaller load).
                         WorkerEntry::load_cmp(&self.workers[b], &self.workers[a])
                     })
-                })
-                .expect("non-empty worker table");
-            if byte_share[best] > 0 {
-                return best;
+                });
+            if let Some(best) = best {
+                if byte_share[best] > 0 {
+                    return Some(best);
+                }
             }
         }
-        // No placed deps: lowest load ratio, breaking ties round-robin
-        // (strict `<` keeps the first minimum in round-robin order).
+        // No placed deps: lowest load ratio among live workers, breaking
+        // ties round-robin (strict `<` keeps the first minimum in
+        // round-robin order).
         let n = self.workers.len();
-        let mut best = self.rr_cursor % n;
-        for off in 1..n {
+        let mut best: Option<usize> = None;
+        for off in 0..n {
             let w = (self.rr_cursor + off) % n;
-            if WorkerEntry::load_cmp(&self.workers[w], &self.workers[best]).is_lt() {
-                best = w;
+            if !self.workers[w].alive {
+                continue;
             }
+            best = Some(match best {
+                None => w,
+                Some(b) if WorkerEntry::load_cmp(&self.workers[w], &self.workers[b]).is_lt() => w,
+                Some(b) => b,
+            });
         }
+        let best = best?;
         self.rr_cursor = (best + 1) % n;
-        best
+        Some(best)
     }
 
     /// Drain the ready queue, assigning tasks to workers. In batched ingest
@@ -764,10 +1229,19 @@ impl Scheduler {
                     .as_ref()
                     .expect("ready tasks have specs (external tasks are never ready)"),
             );
-            let worker = self.decide_worker(&spec);
+            let Some(worker) = self.decide_worker(&spec) else {
+                // Every worker is gone: nothing can ever run this.
+                self.stats.record_retries_exhausted();
+                self.mark_erred(
+                    key.clone(),
+                    TaskError::new(key, "no live workers remain").with_cause(ErrorCause::PeerLost),
+                );
+                continue;
+            };
             // Ship locations only for deps the target worker does not hold:
             // local deps resolve from its store, so cloning their (possibly
-            // long) `who_has` lists here would be pure overhead.
+            // long) `who_has` lists here would be pure overhead. Dead
+            // workers are filtered so gathers never try a known black hole.
             let dep_locations: Vec<(Key, Vec<WorkerId>)> = spec
                 .deps
                 .iter()
@@ -776,11 +1250,19 @@ impl Scheduler {
                     if e.who_has.contains(&worker) {
                         return None;
                     }
-                    Some((d.clone(), e.who_has.clone()))
+                    Some((
+                        d.clone(),
+                        e.who_has
+                            .iter()
+                            .copied()
+                            .filter(|&w| self.workers[w].alive)
+                            .collect(),
+                    ))
                 })
                 .collect();
             let entry = self.tasks.get_mut(&key).expect("checked above");
             entry.state = TaskState::Processing;
+            entry.assigned_to = Some(worker);
             self.workers[worker].processing += 1;
             n_assigned += 1;
             self.tracer

@@ -151,6 +151,22 @@ pub struct StatsSnapshot {
     pub wire_total_messages: u64,
     /// Serialized bytes-on-the-wire, all lanes.
     pub wire_total_bytes: u64,
+    /// Fault tolerance: peers declared dead by the liveness sweep.
+    pub peers_lost: u64,
+    /// Fault tolerance: distinct peers whose heartbeats were tracked.
+    pub peers_tracked: u64,
+    /// Fault tolerance: tasks re-queued after a peer loss.
+    pub tasks_resubmitted: u64,
+    /// Fault tolerance: tasks failed after exhausting their retry budget.
+    pub retries_exhausted: u64,
+    /// Fault tolerance: external blocks lost beyond recovery.
+    pub external_blocks_lost: u64,
+    /// Fault tolerance: lost results re-queued for recompute.
+    pub recomputes: u64,
+    /// Fault injection: messages dropped by the active `FaultPlan`.
+    pub injected_drops: u64,
+    /// Fault injection: workers killed.
+    pub injected_kills: u64,
     /// Gather-wait latency histogram.
     pub gather_wait_hist: HistSnapshot,
     /// Task-execution latency histogram.
@@ -207,6 +223,14 @@ impl StatsSnapshot {
                 .collect(),
             wire_total_messages: stats.wire_total_messages(),
             wire_total_bytes: stats.wire_total_bytes(),
+            peers_lost: stats.peers_lost(),
+            peers_tracked: stats.peers_tracked(),
+            tasks_resubmitted: stats.tasks_resubmitted(),
+            retries_exhausted: stats.retries_exhausted(),
+            external_blocks_lost: stats.external_blocks_lost(),
+            recomputes: stats.recomputes(),
+            injected_drops: stats.injected_drops(),
+            injected_kills: stats.injected_kills(),
             gather_wait_hist: HistSnapshot::capture(stats.gather_wait_hist()),
             exec_hist: HistSnapshot::capture(stats.exec_hist()),
             queue_delay_hist: HistSnapshot::capture(stats.queue_delay_hist()),
@@ -301,6 +325,18 @@ impl StatsSnapshot {
                     .set("total_messages", self.wire_total_messages)
                     .set("total_bytes", self.wire_total_bytes)
             })
+            .set(
+                "fault",
+                Json::obj()
+                    .set("peers_lost", self.peers_lost)
+                    .set("peers_tracked", self.peers_tracked)
+                    .set("tasks_resubmitted", self.tasks_resubmitted)
+                    .set("retries_exhausted", self.retries_exhausted)
+                    .set("external_blocks_lost", self.external_blocks_lost)
+                    .set("recomputes", self.recomputes)
+                    .set("injected_drops", self.injected_drops)
+                    .set("injected_kills", self.injected_kills),
+            )
     }
 
     /// Pretty JSON document (what the benches write under `results/`).
@@ -367,6 +403,23 @@ impl StatsSnapshot {
             ("dtask_optimize_tasks_in_total", self.optimize_tasks_in),
             ("dtask_optimize_tasks_out_total", self.optimize_tasks_out),
             ("dtask_optimize_culled_total", self.optimize_culled),
+            ("dtask_fault_peers_lost_total", self.peers_lost),
+            ("dtask_fault_peers_tracked_total", self.peers_tracked),
+            (
+                "dtask_fault_tasks_resubmitted_total",
+                self.tasks_resubmitted,
+            ),
+            (
+                "dtask_fault_retries_exhausted_total",
+                self.retries_exhausted,
+            ),
+            (
+                "dtask_fault_external_blocks_lost_total",
+                self.external_blocks_lost,
+            ),
+            ("dtask_fault_recomputes_total", self.recomputes),
+            ("dtask_fault_injected_drops_total", self.injected_drops),
+            ("dtask_fault_injected_kills_total", self.injected_kills),
         ] {
             out.push_str(&format!("# TYPE {name} counter\n{name} {count}\n"));
         }
@@ -459,6 +512,7 @@ mod tests {
             "ingest",
             "assign",
             "wire",
+            "fault",
         ] {
             assert!(doc.get(section).is_some(), "missing section {section}");
         }
@@ -469,6 +523,29 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn fault_section_reflects_recovery_counters() {
+        let stats = SchedulerStats::new();
+        stats.record_peer_lost();
+        stats.record_task_resubmitted();
+        stats.record_task_resubmitted();
+        stats.record_external_block_lost();
+        let snap = StatsSnapshot::capture(&stats);
+        assert_eq!(snap.peers_lost, 1);
+        assert_eq!(snap.tasks_resubmitted, 2);
+        assert_eq!(snap.external_blocks_lost, 1);
+        let doc = snap.to_json();
+        assert_eq!(
+            doc.get("fault")
+                .and_then(|f| f.get("peers_lost"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("dtask_fault_peers_lost_total 1"));
+        assert!(prom.contains("dtask_fault_tasks_resubmitted_total 2"));
     }
 
     #[test]

@@ -42,9 +42,12 @@ pub enum MsgClass {
     PeerFetch,
     /// `AddReplica` reports from workers that cached remote blocks.
     AddReplica,
+    /// Worker liveness pings (off unless failure detection is enabled; never
+    /// part of the paper's bridge-metadata accounting).
+    WorkerHeartbeat,
 }
 
-const N_CLASSES: usize = 14;
+const N_CLASSES: usize = 15;
 
 impl MsgClass {
     /// Every class, in a stable order (snapshot serialization iterates this).
@@ -63,6 +66,7 @@ impl MsgClass {
         MsgClass::GatherData,
         MsgClass::PeerFetch,
         MsgClass::AddReplica,
+        MsgClass::WorkerHeartbeat,
     ];
 
     /// Stable snake_case name (snapshot / Prometheus label).
@@ -82,6 +86,7 @@ impl MsgClass {
             MsgClass::GatherData => "gather_data",
             MsgClass::PeerFetch => "peer_fetch",
             MsgClass::AddReplica => "add_replica",
+            MsgClass::WorkerHeartbeat => "worker_heartbeat",
         }
     }
 }
@@ -237,6 +242,7 @@ fn idx(class: MsgClass) -> usize {
         MsgClass::GatherData => 10,
         MsgClass::PeerFetch => 11,
         MsgClass::AddReplica => 13,
+        MsgClass::WorkerHeartbeat => 14,
     }
 }
 
@@ -293,6 +299,22 @@ pub struct SchedulerStats {
     queue_delay_hist: LatencyHist,
     /// Latency of each placement pass.
     assign_pass_hist: LatencyHist,
+    /// Peers (workers or clients) declared dead by the liveness sweep.
+    fault_peers_lost: AtomicU64,
+    /// Distinct peers whose heartbeats the scheduler has tracked.
+    fault_peers_tracked: AtomicU64,
+    /// Tasks re-queued after their worker died or a gather hit a dead peer.
+    fault_tasks_resubmitted: AtomicU64,
+    /// Tasks that ran out of their bounded retry budget and erred.
+    fault_retries_exhausted: AtomicU64,
+    /// External blocks lost with their only replica (unrecoverable).
+    fault_external_blocks_lost: AtomicU64,
+    /// Memory results whose spec allowed a recompute after data loss.
+    fault_recomputes: AtomicU64,
+    /// Messages dropped by an injected [`FaultPlan`](crate::transport::FaultPlan).
+    fault_injected_drops: AtomicU64,
+    /// Workers killed by fault injection.
+    fault_injected_kills: AtomicU64,
 }
 
 /// Histogram bucket count shared by the fused-chain and burst histograms.
@@ -574,6 +596,7 @@ impl SchedulerStats {
             Variable,
             Queue,
             Heartbeat,
+            WorkerHeartbeat,
         ]
         .into_iter()
         .map(|c| self.count(c))
@@ -616,6 +639,89 @@ impl SchedulerStats {
             .into_iter()
             .map(|c| self.count(c))
             .sum()
+    }
+
+    // ---- fault tolerance ---------------------------------------------------
+
+    /// Record one peer declared dead by the liveness sweep.
+    pub fn record_peer_lost(&self) {
+        self.fault_peers_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the first heartbeat seen from a previously untracked peer.
+    pub fn record_peer_tracked(&self) {
+        self.fault_peers_tracked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one task re-queued for a surviving worker.
+    pub fn record_task_resubmitted(&self) {
+        self.fault_tasks_resubmitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one task whose bounded retry budget ran out.
+    pub fn record_retries_exhausted(&self) {
+        self.fault_retries_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one unreplicated external block lost with a dead worker.
+    pub fn record_external_block_lost(&self) {
+        self.fault_external_blocks_lost
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one lost result re-queued for recompute from its spec.
+    pub fn record_recompute(&self) {
+        self.fault_recomputes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one message dropped by fault injection.
+    pub fn record_injected_drop(&self) {
+        self.fault_injected_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one worker killed by fault injection.
+    pub fn record_injected_kill(&self) {
+        self.fault_injected_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Peers declared dead.
+    pub fn peers_lost(&self) -> u64 {
+        self.fault_peers_lost.load(Ordering::Relaxed)
+    }
+
+    /// Distinct peers whose heartbeats have been tracked.
+    pub fn peers_tracked(&self) -> u64 {
+        self.fault_peers_tracked.load(Ordering::Relaxed)
+    }
+
+    /// Tasks re-queued after a peer loss.
+    pub fn tasks_resubmitted(&self) -> u64 {
+        self.fault_tasks_resubmitted.load(Ordering::Relaxed)
+    }
+
+    /// Tasks failed after exhausting their retry budget.
+    pub fn retries_exhausted(&self) -> u64 {
+        self.fault_retries_exhausted.load(Ordering::Relaxed)
+    }
+
+    /// External blocks lost beyond recovery.
+    pub fn external_blocks_lost(&self) -> u64 {
+        self.fault_external_blocks_lost.load(Ordering::Relaxed)
+    }
+
+    /// Lost results re-queued for recompute.
+    pub fn recomputes(&self) -> u64 {
+        self.fault_recomputes.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by fault injection.
+    pub fn injected_drops(&self) -> u64 {
+        self.fault_injected_drops.load(Ordering::Relaxed)
+    }
+
+    /// Workers killed by fault injection.
+    pub fn injected_kills(&self) -> u64 {
+        self.fault_injected_kills.load(Ordering::Relaxed)
     }
 }
 
@@ -731,6 +837,39 @@ mod tests {
     fn msg_class_names_are_unique() {
         let names: std::collections::HashSet<_> = MsgClass::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), MsgClass::ALL.len());
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_start_zero() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.peers_lost(), 0);
+        assert_eq!(s.tasks_resubmitted(), 0);
+        assert_eq!(s.injected_drops(), 0);
+        s.record_peer_tracked();
+        s.record_peer_lost();
+        s.record_task_resubmitted();
+        s.record_task_resubmitted();
+        s.record_retries_exhausted();
+        s.record_external_block_lost();
+        s.record_recompute();
+        s.record_injected_drop();
+        s.record_injected_kill();
+        assert_eq!(s.peers_tracked(), 1);
+        assert_eq!(s.peers_lost(), 1);
+        assert_eq!(s.tasks_resubmitted(), 2);
+        assert_eq!(s.retries_exhausted(), 1);
+        assert_eq!(s.external_blocks_lost(), 1);
+        assert_eq!(s.recomputes(), 1);
+        assert_eq!(s.injected_drops(), 1);
+        assert_eq!(s.injected_kills(), 1);
+    }
+
+    #[test]
+    fn worker_heartbeats_stay_out_of_bridge_metadata() {
+        let s = SchedulerStats::new();
+        s.record(MsgClass::WorkerHeartbeat, 0);
+        assert_eq!(s.bridge_metadata_messages(), 0);
+        assert_eq!(s.scheduler_control_messages(), 1);
     }
 
     #[test]

@@ -139,6 +139,12 @@ pub enum EventKind {
     /// One framed transport message sent (instant; arg = serialized
     /// bytes-on-the-wire). Only the Framed/SimNet backends emit these.
     WireSend,
+    /// The liveness sweep declared a peer dead (instant; arg = worker id,
+    /// or `u64::MAX - client id` for client peers).
+    PeerLost,
+    /// A task was re-queued after a peer loss (instant; key = task,
+    /// arg = retry attempt number).
+    Resubmit,
 }
 
 impl EventKind {
@@ -163,6 +169,8 @@ impl EventKind {
             EventKind::Publish => "publish",
             EventKind::QueueOp => "queue_op",
             EventKind::WireSend => "wire_send",
+            EventKind::PeerLost => "peer_lost",
+            EventKind::Resubmit => "resubmit",
         }
     }
 
@@ -183,6 +191,8 @@ impl EventKind {
             EventKind::Publish => "timestep",
             EventKind::QueueOp => "pop",
             EventKind::WireSend => "bytes",
+            EventKind::PeerLost => "peer",
+            EventKind::Resubmit => "retry",
         }
     }
 }

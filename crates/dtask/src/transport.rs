@@ -78,6 +78,89 @@ impl Default for SimNetConfig {
 /// SimNet node count is auto-sized.
 const SIMNET_CLIENT_NODES: usize = 4;
 
+// ---- fault injection -------------------------------------------------------
+
+/// Drop a deterministic fraction of the messages on one [`WireLane`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneDrop {
+    /// Lane whose traffic is sampled.
+    pub lane: WireLane,
+    /// Fraction in `[0, 1]` of messages to drop (Bresenham-spread, so a
+    /// fraction of `0.5` drops exactly every second message — deterministic
+    /// and seed-free).
+    pub fraction: f64,
+}
+
+/// A chaos-testing plan pluggable into a cluster's transport (drops,
+/// heartbeat delays) and its lifecycle (worker kills).
+///
+/// All fields default to "no faults"; the plan is inert unless configured.
+/// Message drops apply to any backend; heartbeat delay needs the delivery
+/// pump of the [`TransportConfig::SimNet`] backend (the only backend with a
+/// notion of in-flight time) and is ignored elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Kill worker `.0` when the workload reaches step `.1`. The transport
+    /// does not act on this itself: workload drivers poll
+    /// [`crate::Cluster::fault_kill_due`] between steps and the cluster
+    /// performs the kill.
+    pub kill_worker: Option<(WorkerId, u64)>,
+    /// Per-lane message drop fractions.
+    pub drop: Vec<LaneDrop>,
+    /// Extra in-flight delay for heartbeat messages (client and worker),
+    /// applied by the SimNet delivery pump.
+    pub delay_heartbeats: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// Does this plan inject anything at all?
+    pub fn is_inert(&self) -> bool {
+        self.kill_worker.is_none() && self.drop.is_empty() && self.delay_heartbeats.is_none()
+    }
+}
+
+/// Runtime state of an active [`FaultPlan`]: per-lane send counters driving
+/// the deterministic drop pattern.
+struct FaultState {
+    plan: FaultPlan,
+    seen: [AtomicU64; crate::stats::N_WIRE_LANES],
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            seen: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Should the `n`-th message on this lane be dropped? Deterministic:
+    /// message `n` (1-based) drops iff `floor(n·p)` advanced past
+    /// `floor((n-1)·p)`, spreading drops evenly without randomness.
+    fn should_drop(&self, lane: WireLane) -> bool {
+        let Some(d) = self.plan.drop.iter().find(|d| d.lane == lane) else {
+            return false;
+        };
+        let p = d.fraction.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return false;
+        }
+        let idx = WireLane::ALL.iter().position(|&l| l == lane).expect("lane");
+        let n = self.seen[idx].fetch_add(1, Ordering::Relaxed) + 1;
+        (n as f64 * p).floor() > ((n - 1) as f64 * p).floor()
+    }
+
+    /// Extra in-flight delay for this payload (heartbeats only).
+    fn extra_delay(&self, payload: &Payload) -> Duration {
+        match payload {
+            Payload::Sched(SchedMsg::Heartbeat { .. } | SchedMsg::WorkerHeartbeat { .. }) => {
+                self.plan.delay_heartbeats.unwrap_or(Duration::ZERO)
+            }
+            _ => Duration::ZERO,
+        }
+    }
+}
+
 /// Transport-level address of an actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Addr {
@@ -165,6 +248,14 @@ impl Payload {
 }
 
 // ---- delivery fabric -------------------------------------------------------
+
+/// The scheduler/worker channel ends a cluster hands its router at
+/// construction (client and reply routes register dynamically).
+pub(crate) struct ClusterChannels {
+    pub(crate) sched_tx: Sender<SchedMsg>,
+    pub(crate) data_txs: Vec<Sender<DataMsg>>,
+    pub(crate) exec_txs: Vec<Sender<ExecMsg>>,
+}
 
 /// The raw channel ends every backend ultimately delivers into.
 struct Fabric {
@@ -345,6 +436,9 @@ pub struct Router {
     trace: TraceHandle,
     next_corr: AtomicU64,
     n_workers: usize,
+    /// Active fault-injection state; `None` when the plan is inert, so the
+    /// fault-free hot path pays one branch.
+    faults: Option<FaultState>,
 }
 
 impl Router {
@@ -354,16 +448,15 @@ impl Router {
     pub(crate) fn new(
         config: &TransportConfig,
         n_workers: usize,
-        sched_tx: Sender<SchedMsg>,
-        data_txs: Vec<Sender<DataMsg>>,
-        exec_txs: Vec<Sender<ExecMsg>>,
+        channels: ClusterChannels,
         stats: Arc<SchedulerStats>,
         trace: TraceHandle,
+        faults: FaultPlan,
     ) -> Arc<Router> {
         let fabric = Arc::new(Fabric {
-            sched_tx,
-            data_txs,
-            exec_txs,
+            sched_tx: channels.sched_tx,
+            data_txs: channels.data_txs,
+            exec_txs: channels.exec_txs,
             clients: Mutex::new(HashMap::new()),
             replies: Mutex::new(HashMap::new()),
         });
@@ -401,6 +494,7 @@ impl Router {
             trace,
             next_corr: AtomicU64::new(1),
             n_workers,
+            faults: (!faults.is_inert()).then(|| FaultState::new(faults)),
         })
     }
 
@@ -429,6 +523,14 @@ impl Router {
     }
 
     fn dispatch(&self, from: Addr, to: Addr, payload: Payload) {
+        if let Some(f) = &self.faults {
+            if f.should_drop(payload.lane()) {
+                // Lost "on the wire": never encoded, never delivered. The
+                // counter is the only evidence — exactly like a real loss.
+                self.stats.record_injected_drop();
+                return;
+            }
+        }
         match &self.backend {
             Backend::InProc => self.fabric.deliver(to, payload),
             Backend::Framed => {
@@ -445,7 +547,10 @@ impl Router {
                 self.account(payload.lane(), bytes.len() as u64);
                 let decoded = wire::decode(&bytes)
                     .unwrap_or_else(|e| panic!("simnet transport: wire round-trip failed: {e}"));
-                let (due, seq) = sim.arrival(from, to, bytes.len() as u64);
+                let (mut due, seq) = sim.arrival(from, to, bytes.len() as u64);
+                if let Some(f) = &self.faults {
+                    due += f.extra_delay(&decoded);
+                }
                 let _ = sim.pump_tx.send(PumpJob {
                     due,
                     seq,
@@ -581,15 +686,25 @@ mod tests {
     use crate::key::Key;
 
     fn test_router(config: TransportConfig) -> (Arc<Router>, Receiver<SchedMsg>) {
+        test_router_with_faults(config, FaultPlan::default())
+    }
+
+    fn test_router_with_faults(
+        config: TransportConfig,
+        faults: FaultPlan,
+    ) -> (Arc<Router>, Receiver<SchedMsg>) {
         let (sched_tx, sched_rx) = unbounded();
         let router = Router::new(
             &config,
             2,
-            sched_tx,
-            Vec::new(),
-            Vec::new(),
+            ClusterChannels {
+                sched_tx,
+                data_txs: Vec::new(),
+                exec_txs: Vec::new(),
+            },
             Arc::new(SchedulerStats::default()),
             TraceHandle::disabled(),
+            faults,
         );
         (router, sched_rx)
     }
@@ -653,6 +768,72 @@ mod tests {
             },
         );
         assert!(reply_rx.recv().is_err(), "slot must be cancelled");
+    }
+
+    #[test]
+    fn fault_plan_drops_deterministic_fraction_and_counts() {
+        let plan = FaultPlan {
+            drop: vec![LaneDrop {
+                lane: WireLane::SchedIn,
+                fraction: 0.5,
+            }],
+            ..FaultPlan::default()
+        };
+        let (router, rx) = test_router_with_faults(TransportConfig::Framed, plan);
+        let ep = router.endpoint(Addr::Client(0));
+        for _ in 0..10 {
+            ep.send_sched(SchedMsg::Heartbeat { client: 0 });
+        }
+        let mut delivered = 0;
+        while rx.try_recv().is_ok() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 5, "half the lane must be dropped");
+        assert_eq!(router.stats.injected_drops(), 5);
+        // Dropped frames never hit the wire counters.
+        assert_eq!(router.stats.wire_messages(WireLane::SchedIn), 5);
+    }
+
+    #[test]
+    fn fault_plan_leaves_other_lanes_alone() {
+        let plan = FaultPlan {
+            drop: vec![LaneDrop {
+                lane: WireLane::DataIn,
+                fraction: 1.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let (router, rx) = test_router_with_faults(TransportConfig::Framed, plan);
+        let ep = router.endpoint(Addr::Client(0));
+        ep.send_sched(SchedMsg::Heartbeat { client: 0 });
+        assert!(rx.try_recv().is_ok(), "sched lane must be untouched");
+        assert_eq!(router.stats.injected_drops(), 0);
+    }
+
+    #[test]
+    fn simnet_heartbeat_delay_is_injected() {
+        let plan = FaultPlan {
+            delay_heartbeats: Some(Duration::from_millis(80)),
+            ..FaultPlan::default()
+        };
+        let (router, rx) =
+            test_router_with_faults(TransportConfig::SimNet(SimNetConfig::default()), plan);
+        let ep = router.endpoint(Addr::Client(0));
+        let t0 = Instant::now();
+        ep.send_sched(SchedMsg::Heartbeat { client: 0 });
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(got, SchedMsg::Heartbeat { .. }));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(80),
+            "heartbeat must arrive late"
+        );
+        // Non-heartbeat traffic is not delayed by the heartbeat knob (it
+        // only pays the network model's own latency, which at the default
+        // time_scale is far under the injected 80 ms).
+        let t1 = Instant::now();
+        ep.send_sched(SchedMsg::ClientConnect { client: 0 });
+        let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(80));
     }
 
     #[test]

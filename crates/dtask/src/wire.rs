@@ -389,6 +389,7 @@ fn put_error(e: &mut Enc, err: &TaskError) {
             e.u8(2);
             put_key(e, via);
         }
+        ErrorCause::PeerLost => e.u8(3),
     }
 }
 
@@ -401,6 +402,7 @@ fn get_error(d: &mut Dec) -> Result<TaskError, WireError> {
             stored_key: get_key(d)?,
         },
         2 => ErrorCause::Propagated { via: get_key(d)? },
+        3 => ErrorCause::PeerLost,
         tag => {
             return Err(WireError::BadTag {
                 what: "error cause",
@@ -554,11 +556,19 @@ fn put_sched(e: &mut Enc, m: &SchedMsg) {
             worker,
             stored_key,
             error,
+            failed_peer,
         } => {
             e.u8(7);
             e.usize(*worker);
             put_key(e, stored_key);
             put_error(e, error);
+            match failed_peer {
+                None => e.u8(0),
+                Some(peer) => {
+                    e.u8(1);
+                    e.usize(*peer);
+                }
+            }
         }
         SchedMsg::WantResult { client, key } => {
             e.u8(8);
@@ -602,6 +612,10 @@ fn put_sched(e: &mut Enc, m: &SchedMsg) {
             e.usize(*client);
         }
         SchedMsg::Shutdown => e.u8(16),
+        SchedMsg::WorkerHeartbeat { worker } => {
+            e.u8(17);
+            e.usize(*worker);
+        }
     }
 }
 
@@ -664,6 +678,16 @@ fn get_sched(d: &mut Dec) -> Result<SchedMsg, WireError> {
             worker: d.usize()?,
             stored_key: get_key(d)?,
             error: get_error(d)?,
+            failed_peer: match d.u8()? {
+                0 => None,
+                1 => Some(d.usize()?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "failed_peer",
+                        tag,
+                    })
+                }
+            },
         },
         8 => SchedMsg::WantResult {
             client: d.usize()?,
@@ -697,6 +721,7 @@ fn get_sched(d: &mut Dec) -> Result<SchedMsg, WireError> {
         },
         15 => SchedMsg::Heartbeat { client: d.usize()? },
         16 => SchedMsg::Shutdown,
+        17 => SchedMsg::WorkerHeartbeat { worker: d.usize()? },
         tag => {
             return Err(WireError::BadTag {
                 what: "sched msg",
@@ -1115,11 +1140,21 @@ mod tests {
             ErrorCause::Propagated {
                 via: Key::new("mid"),
             },
+            ErrorCause::PeerLost,
         ] {
             let err = TaskError::new("origin", "kaboom").with_cause(cause.clone());
             let back = decode_error(&encode_error(&err)).unwrap();
             assert_eq!(back, err);
             assert_eq!(back.cause, cause);
+        }
+    }
+
+    #[test]
+    fn worker_heartbeat_round_trips() {
+        let bytes = encode(&Payload::Sched(SchedMsg::WorkerHeartbeat { worker: 3 }));
+        match decode(&bytes).unwrap() {
+            Payload::Sched(SchedMsg::WorkerHeartbeat { worker }) => assert_eq!(worker, 3),
+            _ => panic!("wrong payload"),
         }
     }
 

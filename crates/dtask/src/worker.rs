@@ -81,6 +81,27 @@ pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>, endpoint: Endp
     }
 }
 
+/// A failed dependency resolution, with the signal recovery needs: which
+/// candidate (if any) *hung up* mid-request (the transport cancels the reply
+/// slot when a data server dies) as opposed to merely not holding the key.
+/// The scheduler resubmits hung-up gathers — and treats the hung peer's id as
+/// direct evidence of death, ahead of the heartbeat timeout; plain misses
+/// stay hard errors.
+struct GatherError {
+    message: String,
+    /// First peer that hung up mid-request, if any.
+    hung_peer: Option<WorkerId>,
+}
+
+/// A task failure as reported to the scheduler: the originating key (an
+/// interior fused stage, possibly), the message, and — when a dead peer
+/// rather than the computation itself is to blame — the peer that hung up.
+struct TaskFailure {
+    origin: Key,
+    message: String,
+    hung_peer: Option<WorkerId>,
+}
+
 /// One in-flight peer fetch of the concurrent gather.
 struct PendingFetch<'a> {
     /// Index into the task's input vector.
@@ -177,10 +198,14 @@ impl Executor {
                     nbytes,
                 });
             }
-            Err((origin, message)) => {
-                // An origin differing from the spec key means an interior
-                // fused stage failed — record which spec carried it.
-                let cause = if origin == key {
+            Err(failure) => {
+                // Peer loss outranks the other attributions — it tells the
+                // scheduler the failure is environmental (retryable), not a
+                // property of the task. Otherwise an origin differing from
+                // the spec key means an interior fused stage failed.
+                let cause = if failure.hung_peer.is_some() {
+                    ErrorCause::PeerLost
+                } else if failure.origin == key {
                     ErrorCause::Direct
                 } else {
                     ErrorCause::FusedStage {
@@ -190,7 +215,8 @@ impl Executor {
                 self.endpoint.send_sched(SchedMsg::TaskErred {
                     worker: self.id,
                     stored_key: key,
-                    error: TaskError::new(origin, message).with_cause(cause),
+                    error: TaskError::new(failure.origin, failure.message).with_cause(cause),
+                    failed_peer: failure.hung_peer,
                 });
             }
         }
@@ -230,10 +256,11 @@ impl Executor {
         candidates: &[WorkerId],
         skip: usize,
         replicas: &mut Vec<(Key, u64)>,
-    ) -> Result<Datum, String> {
+    ) -> Result<Datum, GatherError> {
         if let Some(v) = self.store.lock().get(key).cloned() {
             return Ok(v);
         }
+        let mut hung_peer = None;
         for (i, &peer) in candidates.iter().enumerate() {
             if i < skip {
                 continue;
@@ -247,13 +274,28 @@ impl Executor {
                     self.cache_replica(key, &value, replicas);
                     return Ok(value);
                 }
-                Ok(Err(_)) | Err(_) => continue,
+                // The peer answered "don't have it": a routing miss.
+                Ok(Err(_)) => continue,
+                // The peer hung up mid-request (reply slot cancelled): it
+                // died holding our dependency.
+                Err(_) => {
+                    hung_peer.get_or_insert(peer);
+                    continue;
+                }
             }
         }
-        Err(format!(
-            "dependency {key} unavailable (tried {} peers)",
-            candidates.len()
-        ))
+        Err(GatherError {
+            message: format!(
+                "dependency {key} unavailable (tried {} peers{})",
+                candidates.len(),
+                if hung_peer.is_some() {
+                    ", ≥1 hung up"
+                } else {
+                    ""
+                }
+            ),
+            hung_peer,
+        })
     }
 
     /// Resolve every dependency of `spec`. Local blocks come straight from
@@ -264,7 +306,7 @@ impl Executor {
         spec: &TaskSpec,
         dep_locations: &[(Key, Vec<WorkerId>)],
         replicas: &mut Vec<(Key, u64)>,
-    ) -> Result<Vec<Datum>, String> {
+    ) -> Result<Vec<Datum>, GatherError> {
         let mut inputs: Vec<Option<Datum>> = vec![None; spec.deps.len()];
         let mut missing: Vec<(usize, &Key)> = Vec::new();
         {
@@ -339,13 +381,26 @@ impl Executor {
                                 self.cache_replica(fetch.key, &value, replicas);
                                 inputs[fetch.slot] = Some(value);
                             }
-                            Ok(Err(_)) | Err(_) => {
-                                inputs[fetch.slot] = Some(self.fetch_dep_serial(
-                                    fetch.key,
-                                    &fetch.candidates,
-                                    fetch.asked + 1,
-                                    replicas,
-                                )?);
+                            outcome => {
+                                // A recv error (vs. a "don't have it" reply)
+                                // means the asked peer hung up — keep that
+                                // attribution even if the serial fallback
+                                // fails for a different reason.
+                                let hung = outcome.is_err().then(|| fetch.candidates[fetch.asked]);
+                                inputs[fetch.slot] = Some(
+                                    self.fetch_dep_serial(
+                                        fetch.key,
+                                        &fetch.candidates,
+                                        fetch.asked + 1,
+                                        replicas,
+                                    )
+                                    .map_err(|mut e| {
+                                        if e.hung_peer.is_none() {
+                                            e.hung_peer = hung;
+                                        }
+                                        e
+                                    })?,
+                                );
                             }
                         }
                     }
@@ -386,7 +441,7 @@ impl Executor {
         &self,
         spec: &TaskSpec,
         dep_locations: &[(Key, Vec<WorkerId>)],
-    ) -> Result<Datum, (Key, String)> {
+    ) -> Result<Datum, TaskFailure> {
         let mut replicas = Vec::new();
         let gathered = self.gather_deps(spec, dep_locations, &mut replicas);
         // Report new replicas even if some other dependency failed: the
@@ -397,14 +452,23 @@ impl Executor {
                 entries: replicas,
             });
         }
-        let inputs = gathered.map_err(|m| (spec.key.clone(), m))?;
+        let inputs = gathered.map_err(|e| TaskFailure {
+            origin: spec.key.clone(),
+            message: e.message,
+            hung_peer: e.hung_peer,
+        })?;
         // The exec span covers op computation only — the gather above records
         // its own spans, keeping the lifecycle phases distinct in the trace.
         let exec_t0 = self.tracer.start();
+        let fail = |origin: &Key, message: String| TaskFailure {
+            origin: origin.clone(),
+            message,
+            hung_peer: None,
+        };
         let result = match &spec.value {
             Value::Op { op, params } => self
                 .run_op(op, params, &inputs)
-                .map_err(|m| (spec.key.clone(), m)),
+                .map_err(|m| fail(&spec.key, m)),
             Value::Fused { stages } => {
                 // Evaluate the chain inline; intermediate results live only
                 // on this slot's stack — one store insert, one TaskFinished.
@@ -420,12 +484,12 @@ impl Executor {
                         .collect();
                     let r = self
                         .run_op(&stage.op, &stage.params, &stage_inputs)
-                        .map_err(|m| (stage.key.clone(), m))?;
+                        .map_err(|m| fail(&stage.key, m))?;
                     results.push(r);
                 }
                 results
                     .pop()
-                    .ok_or_else(|| (spec.key.clone(), "fused spec with zero stages".to_string()))
+                    .ok_or_else(|| fail(&spec.key, "fused spec with zero stages".to_string()))
             }
         };
         self.tracer

@@ -7,15 +7,23 @@
 //! once, and fetches the fitted model when the simulation finishes.
 //!
 //! Run: `cargo run --example insitu_ipca`
+//!
+//! Set `IPCA_CHAOS=kill` for the fault-injected variant: liveness tracking
+//! is switched on, a worker is killed after the last timestep, and the run
+//! must end either with the fitted model (recovered) or with a clean
+//! `[peer lost]`-attributed error — never a hang, never a bogus model.
 
 use deisa_repro::darray;
 use deisa_repro::deisa::plugin::DeisaPlugin;
 use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
-use deisa_repro::dtask::{Cluster, ClusterConfig, TraceConfig};
+use deisa_repro::dtask::{
+    Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, TraceConfig,
+};
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
 use deisa_repro::pdi::{parse_yaml, Pdi};
+use std::time::Duration;
 
 /// The deisa plugin configuration — the Rust-side rendition of Listing 1.
 const CONFIG: &str = r#"
@@ -47,9 +55,28 @@ plugins:
 "#;
 
 fn main() {
+    let chaos = match std::env::var("IPCA_CHAOS").as_deref() {
+        Ok("kill") => true,
+        Err(_) | Ok("") | Ok("off") => false,
+        Ok(other) => panic!("IPCA_CHAOS={other}? use kill | off"),
+    };
+    // DEISA3 semantics by default: no heartbeats, liveness off. Chaos mode
+    // turns on fast worker pings and a short detection timeout.
+    let fault = if chaos {
+        FaultConfig {
+            heartbeat_timeout: Some(Duration::from_millis(150)),
+            worker_heartbeat: HeartbeatInterval::Every(Duration::from_millis(20)),
+            max_retries: 5,
+            retry_backoff: Duration::from_millis(5),
+            ..FaultConfig::default()
+        }
+    } else {
+        FaultConfig::default()
+    };
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 4,
         trace: TraceConfig::enabled(),
+        fault,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());
@@ -79,28 +106,47 @@ fn main() {
             let fitted = ipca.fit(&mut g, &gt, "t", &["Y"], &["X"]).unwrap();
             let n = g.submit(adaptor.client());
             println!("analytics: submitted the whole {n}-task IPCA graph ahead of time");
-            let model = fitted.fetch(adaptor.client()).unwrap();
-            println!(
-                "analytics: singular values  = {:?}",
-                model
-                    .singular_values
-                    .iter()
-                    .map(|v| (v * 100.0).round() / 100.0)
-                    .collect::<Vec<_>>()
-            );
-            println!(
-                "analytics: explained var    = {:?}",
-                model
-                    .explained_variance
-                    .iter()
-                    .map(|v| (v * 100.0).round() / 100.0)
-                    .collect::<Vec<_>>()
-            );
-            println!(
-                "analytics: samples consumed = {} ({} steps × Y={})",
-                model.n_samples_seen, v.shape[0], v.shape[2]
-            );
-            model
+            if chaos {
+                // Hold the fetch until the driver has injected the kill, so
+                // the model gather always runs against a degraded cluster.
+                adaptor.client().var_get("chaos-go").unwrap();
+            }
+            match fitted.fetch(adaptor.client()) {
+                Ok(model) => {
+                    println!(
+                        "analytics: singular values  = {:?}",
+                        model
+                            .singular_values
+                            .iter()
+                            .map(|v| (v * 100.0).round() / 100.0)
+                            .collect::<Vec<_>>()
+                    );
+                    println!(
+                        "analytics: explained var    = {:?}",
+                        model
+                            .explained_variance
+                            .iter()
+                            .map(|v| (v * 100.0).round() / 100.0)
+                            .collect::<Vec<_>>()
+                    );
+                    println!(
+                        "analytics: samples consumed = {} ({} steps × Y={})",
+                        model.n_samples_seen, v.shape[0], v.shape[2]
+                    );
+                    Some(model)
+                }
+                Err(e) => {
+                    // The unrecoverable path: a clean, attributed error —
+                    // never a hang, never a silently wrong model.
+                    assert!(chaos, "fetch may only fail under fault injection: {e}");
+                    assert!(
+                        e.contains("[peer lost]"),
+                        "the failure must carry the loss attribution: {e}"
+                    );
+                    println!("analytics: model lost with the killed worker: {e}");
+                    None
+                }
+            }
         })
     };
 
@@ -117,8 +163,15 @@ fn main() {
     .unwrap();
     println!("simulation: all ranks finished");
 
+    if chaos {
+        println!("chaos: killing worker 1 with the fitted model still on the cluster");
+        cluster.kill_worker(1);
+        cluster.client().var_set("chaos-go", Datum::Null);
+    }
     let model = analytics.join().unwrap();
-    assert_eq!(model.n_samples_seen, 6 * 16);
+    if let Some(model) = &model {
+        assert_eq!(model.n_samples_seen, 6 * 16);
+    }
     // Control-message accounting (paper §2.1): contract setup is 1 message
     // from rank 0 plus one wait per rank — no per-timestep metadata.
     let stats = cluster.stats();
@@ -150,5 +203,24 @@ fn main() {
         makespan > 0.0 && (total - makespan).abs() <= 0.05 * makespan,
         "phase totals ({total} ns) diverge from makespan ({makespan} ns)"
     );
+    if chaos {
+        // Give the liveness sweep time to attribute the kill before checking.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while stats.peers_lost() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(stats.injected_kills(), 1);
+        assert_eq!(stats.peers_lost(), 1, "the kill must be attributed");
+        println!(
+            "chaos: {} peer lost, {} external blocks lost, model {}",
+            stats.peers_lost(),
+            stats.external_blocks_lost(),
+            if model.is_some() {
+                "recovered"
+            } else {
+                "lost (clean error)"
+            }
+        );
+    }
     println!("insitu_ipca OK");
 }

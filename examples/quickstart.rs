@@ -13,13 +13,22 @@
 //! Set `QUICKSTART_TRANSPORT=framed` (or `simnet`) to push every message
 //! through the versioned wire format — the result must be identical, and the
 //! run additionally reports real bytes-on-the-wire per transport lane.
+//!
+//! Set `QUICKSTART_CHAOS=kill` to turn on heartbeat-driven failure detection,
+//! replicate every external block onto two workers, and kill one of the three
+//! workers mid-run. The result must STILL be identical — the scheduler
+//! notices the silence, resubmits the stranded tasks, and recomputes from the
+//! surviving replicas — and the run exports its stats snapshot (including the
+//! `fault` section with exactly one lost peer) to
+//! `results/CHAOS_quickstart.json`.
 
 use deisa_repro::darray::{self, DArray, Graph};
 use deisa_repro::dtask::{
-    Cluster, ClusterConfig, Datum, EventKind, Key, SimNetConfig, TraceActor, TraceConfig,
-    TransportConfig, WireLane,
+    Cluster, ClusterConfig, Datum, EventKind, FaultConfig, HeartbeatInterval, Key, SimNetConfig,
+    StatsSnapshot, TraceActor, TraceConfig, TransportConfig, WireLane,
 };
 use deisa_repro::linalg::NDArray;
+use std::time::{Duration, Instant};
 
 fn main() {
     let transport = match std::env::var("QUICKSTART_TRANSPORT").as_deref() {
@@ -28,13 +37,32 @@ fn main() {
         Ok("inproc") | Err(_) => TransportConfig::InProc,
         Ok(other) => panic!("QUICKSTART_TRANSPORT={other}? use inproc | framed | simnet"),
     };
-    println!("transport: {transport:?}");
+    let chaos = match std::env::var("QUICKSTART_CHAOS").as_deref() {
+        Ok("kill") => true,
+        Err(_) | Ok("") | Ok("off") => false,
+        Ok(other) => panic!("QUICKSTART_CHAOS={other}? use kill | off"),
+    };
+    println!("transport: {transport:?}, chaos: {chaos}");
+    // Liveness is off by default (DEISA3 semantics: no heartbeats at all);
+    // chaos mode turns on fast worker pings and a short detection timeout.
+    let fault = if chaos {
+        FaultConfig {
+            heartbeat_timeout: Some(Duration::from_millis(150)),
+            worker_heartbeat: HeartbeatInterval::Every(Duration::from_millis(20)),
+            max_retries: 5,
+            retry_backoff: Duration::from_millis(5),
+            ..FaultConfig::default()
+        }
+    } else {
+        FaultConfig::default()
+    };
     // A cluster: 1 scheduler thread + 3 workers, in this process — with
     // task-lifecycle tracing on so the run leaves a Perfetto-loadable log.
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 3,
         trace: TraceConfig::enabled(),
         transport,
+        fault,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());
@@ -52,12 +80,24 @@ fn main() {
     let n_tasks = graph.submit(&client);
     println!("submitted {n_tasks} tasks before any data existed");
 
-    // 3. The external environment produces the blocks, one at a time.
+    // 3. The external environment produces the blocks, one at a time. In
+    //    chaos mode each block lands on TWO workers (any single death is
+    //    survivable), and worker 1 is killed while the graph is mid-flight.
     let producer = cluster.client();
     for (i, key) in keys.iter().enumerate() {
         let block = NDArray::full(&[8, 8], (i + 1) as f64);
-        producer.scatter_external(vec![(key.clone(), Datum::from(block))], None);
+        if chaos {
+            let datum = Datum::from(block);
+            producer.scatter_external(vec![(key.clone(), datum.clone())], Some(i % 3));
+            producer.scatter_external(vec![(key.clone(), datum)], Some((i + 1) % 3));
+        } else {
+            producer.scatter_external(vec![(key.clone(), Datum::from(block))], None);
+        }
         println!("producer pushed {key}");
+        if chaos && i == 1 {
+            println!("chaos: killing worker 1 with two blocks still unpublished");
+            cluster.kill_worker(1);
+        }
     }
 
     // 4. The graph, submitted ahead of time, has been computing as data
@@ -107,6 +147,33 @@ fn main() {
             "wire total: {} msgs, {} bytes",
             stats.wire_total_messages(),
             stats.wire_total_bytes()
+        );
+    }
+    // 7. In chaos mode, wait for the liveness sweep to attribute the kill
+    //    (the result can arrive before the heartbeat timeout expires), then
+    //    export the stats snapshot — the `fault` section must report exactly
+    //    the one injected kill and one lost peer.
+    if chaos {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while stats.peers_lost() < 1 {
+            assert!(
+                Instant::now() < deadline,
+                "liveness sweep never declared the killed worker dead"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let snap = StatsSnapshot::capture(stats);
+        assert_eq!(snap.injected_kills, 1);
+        assert_eq!(snap.peers_lost, 1);
+        std::fs::write(
+            "results/CHAOS_quickstart.json",
+            snap.to_json().to_string_pretty(),
+        )
+        .unwrap();
+        println!(
+            "chaos: {} peer lost, {} tasks resubmitted, {} recomputes -> \
+             results/CHAOS_quickstart.json",
+            snap.peers_lost, snap.tasks_resubmitted, snap.recomputes
         );
     }
     println!("quickstart OK");

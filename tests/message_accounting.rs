@@ -352,6 +352,50 @@ fn deisa3_window_has_zero_heartbeats() {
     );
 }
 
+// ---- exactly-once heartbeat accounting --------------------------------------
+//
+// The batched scheduler drains heartbeats with a dedicated burst counter
+// while single messages go through the per-message handler. Both paths must
+// count each `MsgClass::Heartbeat` exactly once (and track the client's
+// `last_seen` in both), or the §2.1 `2·T·R + heartbeats` budget drifts.
+
+fn heartbeats_counted_exactly_once(ingest: IngestMode) {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 1,
+        ingest,
+        ..ClusterConfig::default()
+    });
+    let client = cluster.client();
+    const N: usize = 25;
+    for _ in 0..N {
+        client.heartbeat();
+    }
+    // A synchronous round-trip: the scheduler has consumed everything this
+    // client sent before it answers the variable get.
+    client.var_set("sync", deisa_repro::dtask::Datum::F64(1.0));
+    client.var_get("sync").unwrap();
+    let stats = cluster.stats();
+    assert_eq!(
+        stats.count(MsgClass::Heartbeat) as usize,
+        N,
+        "each heartbeat must be counted exactly once"
+    );
+    // Liveness bookkeeping saw the same stream: the pinging client is
+    // tracked (once), regardless of which ingest path drained it.
+    assert_eq!(stats.peers_tracked(), 1);
+    assert_eq!(stats.peers_lost(), 0);
+}
+
+#[test]
+fn heartbeats_counted_exactly_once_per_message() {
+    heartbeats_counted_exactly_once(IngestMode::PerMessage);
+}
+
+#[test]
+fn heartbeats_counted_exactly_once_batched() {
+    heartbeats_counted_exactly_once(IngestMode::Batched { max_burst: 64 });
+}
+
 #[test]
 fn scatter_bytes_track_payloads() {
     let cluster = run_version(DeisaVersion::Deisa3);
