@@ -21,8 +21,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtask::{
     Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, IngestMode, Json, Key, MsgClass,
-    OptimizeConfig, StatsSnapshot, TaskSpec, TraceConfig, TransportConfig,
+    OptimizeConfig, StatsSnapshot, StoreConfig, TaskSpec, TraceConfig, TransportConfig, WireLane,
 };
+use linalg::NDArray;
 use std::time::{Duration, Instant};
 
 const N_WORKERS: usize = 4;
@@ -235,6 +236,40 @@ fn chaos_round(kill: bool) -> (f64, StatsSnapshot) {
     (elapsed_ms, StatsSnapshot::capture(cluster.stats()))
 }
 
+const PROXY_STEPS: usize = 20;
+const PROXY_SIDE: usize = 128;
+
+/// Out-of-band data-plane A/B: a variable-feedback loop (producer publishes
+/// a `PROXY_SIDE`² block per step, consumer reads it back) over the framed
+/// transport, with bulk payloads inline on the control path vs proxied
+/// through the per-node object stores. Returns wall time, scheduler-lane
+/// wire bytes, and the checksum of everything the consumer read.
+fn proxy_round(store: StoreConfig) -> (f64, u64, u64, f64) {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: N_WORKERS,
+        transport: TransportConfig::Framed,
+        store,
+        ..ClusterConfig::default()
+    });
+    let producer = cluster.client();
+    let consumer = cluster.client();
+    let started = Instant::now();
+    let mut checksum = 0.0;
+    for t in 0..PROXY_STEPS {
+        let field = NDArray::from_fn(&[PROXY_SIDE, PROXY_SIDE], |i| {
+            (t * PROXY_SIDE * PROXY_SIDE + i[0] * PROXY_SIDE + i[1]) as f64 * 0.25
+        });
+        producer.var_set(&format!("pfield{t}"), Datum::from(field));
+        let got = consumer.var_get(&format!("pfield{t}")).expect("field");
+        checksum += got.as_array().expect("array").data().iter().sum::<f64>();
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = cluster.stats();
+    let sched_bytes = stats.wire_bytes(WireLane::SchedIn);
+    let data_bytes = stats.wire_bytes(WireLane::DataIn) + stats.wire_bytes(WireLane::ReplyIn);
+    (elapsed_ms, sched_bytes, data_bytes, checksum)
+}
+
 fn median_ms(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     samples[samples.len() / 2]
@@ -347,6 +382,31 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         );
     }
 
+    // Proxy-plane A/B: the same framed feedback workload with payloads
+    // inline on the control path vs proxied through the object stores. The
+    // scheduler-lane byte drop is the paper-motivating number: bulk data no
+    // longer squeezes through the scheduler.
+    let (inline_ms, inline_sched_b, inline_data_b, inline_sum) =
+        proxy_round(StoreConfig::default());
+    let (proxy_ms, proxy_sched_b, proxy_data_b, proxy_sum) = proxy_round(StoreConfig::proxies());
+    assert_eq!(
+        inline_sum.to_bits(),
+        proxy_sum.to_bits(),
+        "proxy plane must not change results"
+    );
+    assert!(
+        proxy_sched_b < inline_sched_b / 10,
+        "proxied scheduler lane ({proxy_sched_b} B) must be a fraction of inline \
+         ({inline_sched_b} B)"
+    );
+    println!(
+        "  proxy-plane A/B ({PROXY_STEPS} steps of {PROXY_SIDE}x{PROXY_SIDE} f64): \
+         inline {inline_ms:.1} ms / {inline_sched_b} sched B, \
+         proxied {proxy_ms:.1} ms / {proxy_sched_b} sched B \
+         ({:.1}x scheduler-lane reduction; data lane {inline_data_b} -> {proxy_data_b} B)",
+        inline_sched_b as f64 / proxy_sched_b.max(1) as f64
+    );
+
     // Chaos A/B: the same replicated workload with and without one worker
     // killed mid-run. The delta is the recovery makespan — heartbeat-silence
     // detection plus resubmission of the stranded tasks onto survivors.
@@ -388,6 +448,27 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         .set("transport_inproc_median_round_ms", inproc_ms)
         .set("transport_framed_median_round_ms", framed_ms)
         .set("transport_framed_overhead_pct", framed_overhead_pct)
+        .set(
+            "proxy_plane",
+            Json::obj()
+                .set(
+                    "workload",
+                    format!(
+                        "{PROXY_STEPS} steps of {PROXY_SIDE}x{PROXY_SIDE} f64 variable \
+                         feedback over the framed transport"
+                    ),
+                )
+                .set("inline_wall_ms", inline_ms)
+                .set("proxied_wall_ms", proxy_ms)
+                .set("inline_sched_lane_bytes", inline_sched_b)
+                .set("proxied_sched_lane_bytes", proxy_sched_b)
+                .set("inline_data_lane_bytes", inline_data_b)
+                .set("proxied_data_lane_bytes", proxy_data_b)
+                .set(
+                    "sched_lane_reduction",
+                    inline_sched_b as f64 / proxy_sched_b.max(1) as f64,
+                ),
+        )
         .set("chaos_baseline_wall_ms", chaos_baseline_ms)
         .set("chaos_killed_wall_ms", chaos_killed_ms)
         .set("chaos_recovery_makespan_ms", recovery_overhead_ms)

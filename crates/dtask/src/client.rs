@@ -1,11 +1,12 @@
 //! Client handle: graph submission, futures, scatter, variables, queues.
 
-use crate::datum::Datum;
+use crate::datum::{Datum, DatumRef};
 use crate::key::Key;
 use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
 use crate::optimize::{optimize, OptimizeConfig};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
+use crate::store::StoreConfig;
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::{DataReply, Endpoint};
 use crossbeam::channel::Receiver;
@@ -36,6 +37,13 @@ pub struct Client {
     /// thread itself is owned (and joined) by the cluster — satellite of the
     /// shutdown-ordering fix — so drop only signals it to stop.
     pub(crate) heartbeat_stop: Option<Arc<AtomicBool>>,
+    /// Out-of-band data plane config (the cluster's [`StoreConfig`]). With
+    /// `proxies` on, large array values bound for the control path
+    /// (variables, queue items) are published to a worker store instead and
+    /// replaced by a [`DatumRef`] handle.
+    pub(crate) store: StoreConfig,
+    /// Monotonic per-client sequence for proxy keys (also the handle epoch).
+    pub(crate) proxy_seq: AtomicUsize,
 }
 
 /// A handle to one (eventual) task result.
@@ -309,18 +317,115 @@ impl Client {
         }
     }
 
+    // ---- out-of-band proxy plane -------------------------------------------
+
+    /// Publish `value` out-of-band if the store config says so: put the
+    /// payload on a worker's object store (data lane) and return a
+    /// [`DatumRef`] handle for the control path. Values the config keeps
+    /// inline (proxies off, scalars, small arrays) come back unchanged.
+    fn publish_proxy(&self, value: Datum) -> Datum {
+        if self.store.keep_inline(&value) {
+            return value;
+        }
+        let Datum::Array(array) = &value else {
+            unreachable!("keep_inline admits only arrays to the proxy plane");
+        };
+        let seq = self.proxy_seq.fetch_add(1, Ordering::Relaxed);
+        let key = Key::new(format!("proxy:c{}:{}", self.id, seq));
+        let holder =
+            self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.endpoint.n_workers();
+        let shape = array.shape().to_vec();
+        let nbytes = value.nbytes();
+        let (ack, ack_rx) = self.endpoint.reply_slot();
+        self.endpoint.send_data(
+            holder,
+            DataMsg::Put {
+                key: key.clone(),
+                value,
+                ack,
+            },
+        );
+        // Wait for the store to own the payload before the handle travels the
+        // control path: a consumer must never resolve a handle into a miss.
+        let _ = ack_rx.recv();
+        self.stats.record_proxy_put(nbytes);
+        Datum::Ref(DatumRef {
+            key,
+            shape,
+            nbytes,
+            holder,
+            epoch: seq as u64,
+        })
+    }
+
+    /// Resolve any [`DatumRef`] handles inside `value` (lists recurse) by
+    /// fetching the payloads from their holders over the data lane. A holder
+    /// that hangs up mid-fetch surfaces as [`WaitError::PeerLost`], never as
+    /// a hang (the transport cancels the reply slot).
+    fn resolve_proxies(&self, value: Datum) -> Result<Datum, WaitError> {
+        match value {
+            Datum::Ref(handle) => {
+                let t0 = self.tracer.start();
+                let (reply, reply_rx) = self.endpoint.reply_slot();
+                self.endpoint.send_data(
+                    handle.holder,
+                    DataMsg::Fetch {
+                        key: handle.key.clone(),
+                        reply,
+                    },
+                );
+                match reply_rx.recv().map(DataReply::into_value) {
+                    Ok(Ok(payload)) => {
+                        self.stats.record_proxy_fetch(payload.nbytes());
+                        self.tracer.span(
+                            EventKind::ProxyFetch,
+                            t0,
+                            Some(&handle.key),
+                            payload.nbytes(),
+                        );
+                        Ok(payload)
+                    }
+                    // The holder answered but no longer has the payload: the
+                    // entry was deleted under us (or never landed) — treat it
+                    // like the holder being gone, the data is lost either way.
+                    Ok(Err(_)) | Err(_) => Err(WaitError::PeerLost),
+                }
+            }
+            Datum::List(items) => Ok(Datum::List(
+                items
+                    .into_iter()
+                    .map(|d| self.resolve_proxies(d))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            other => Ok(other),
+        }
+    }
+
     // ---- variables ---------------------------------------------------------
 
-    /// Set a distributed variable.
+    /// Set a distributed variable. With proxies enabled in the cluster's
+    /// [`StoreConfig`], large array values are published to a worker store
+    /// and only a handle rides the scheduler lane.
     pub fn var_set(&self, name: &str, value: Datum) {
+        let value = self.publish_proxy(value);
         self.endpoint.send_sched(SchedMsg::VariableSet {
             name: name.to_string(),
             value,
         });
     }
 
-    /// Blocking read of a variable (waits for it to be set).
+    /// Blocking read of a variable (waits for it to be set). Proxy handles
+    /// resolve transparently to their payloads.
     pub fn var_get(&self, name: &str) -> Result<Datum, WaitError> {
+        let value = self.var_get_raw(name)?;
+        self.resolve_proxies(value)
+    }
+
+    /// Blocking read of a variable *without* proxy resolution: a proxied
+    /// variable comes back as its [`DatumRef`] handle. This is what actually
+    /// travelled the control path — introspection and tests use it to see
+    /// handles (and their holders) directly.
+    pub fn var_get_raw(&self, name: &str) -> Result<Datum, WaitError> {
         self.endpoint.send_sched(SchedMsg::VariableGet {
             client: self.id,
             name: name.to_string(),
@@ -336,21 +441,22 @@ impl Client {
         })
     }
 
-    /// Non-blocking read of a variable.
+    /// Non-blocking read of a variable. Proxy handles resolve transparently.
     pub fn var_try_get(&self, name: &str) -> Result<Option<Datum>, WaitError> {
         self.endpoint.send_sched(SchedMsg::VariableGet {
             client: self.id,
             name: name.to_string(),
             wait: false,
         });
-        self.wait_msg(None, |m| match m {
+        let value = self.wait_msg(None, |m| match m {
             ClientMsg::VariableValue {
                 name: n,
                 value,
                 found,
             } if n == name => Some(found.then(|| value.clone())),
             _ => None,
-        })
+        })?;
+        value.map(|v| self.resolve_proxies(v)).transpose()
     }
 
     /// Delete a variable.
@@ -370,26 +476,41 @@ impl Client {
 
     // ---- queues -------------------------------------------------------------
 
-    /// Push onto a named distributed queue.
+    /// Push onto a named distributed queue. With proxies enabled, large
+    /// array items are published out-of-band and only a handle is queued.
     pub fn q_push(&self, name: &str, value: Datum) {
         self.tracer.instant(EventKind::QueueOp, None, 0);
+        let value = self.publish_proxy(value);
         self.endpoint.send_sched(SchedMsg::QueuePush {
             name: name.to_string(),
             value,
         });
     }
 
-    /// Blocking pop from a named queue.
+    /// Blocking pop from a named queue. A popped proxy handle resolves to
+    /// its payload, then the store entry is deleted: queue items are
+    /// consumed exactly once, so the pop owns the payload.
     pub fn q_pop(&self, name: &str) -> Result<Datum, WaitError> {
         self.tracer.instant(EventKind::QueueOp, None, 1);
         self.endpoint.send_sched(SchedMsg::QueuePop {
             client: self.id,
             name: name.to_string(),
         });
-        self.wait_msg(None, |m| match m {
+        let value = self.wait_msg(None, |m| match m {
             ClientMsg::QueueItem { name: n, value } if n == name => Some(value.clone()),
             _ => None,
-        })
+        })?;
+        if let Datum::Ref(handle) = &value {
+            let resolved = self.resolve_proxies(value.clone())?;
+            self.endpoint.send_data(
+                handle.holder,
+                DataMsg::Delete {
+                    keys: vec![handle.key.clone()],
+                },
+            );
+            return Ok(resolved);
+        }
+        self.resolve_proxies(value)
     }
 
     /// Handle for a named distributed queue.
@@ -419,6 +540,9 @@ pub enum WaitError {
     Disconnected,
     /// The caller-provided timeout elapsed.
     Timeout,
+    /// A proxied payload could not be resolved: its holder died (or the
+    /// entry was deleted) between publication and this read.
+    PeerLost,
 }
 
 impl std::fmt::Display for WaitError {
@@ -426,6 +550,7 @@ impl std::fmt::Display for WaitError {
         match self {
             WaitError::Disconnected => write!(f, "cluster disconnected"),
             WaitError::Timeout => write!(f, "timed out"),
+            WaitError::PeerLost => write!(f, "proxy holder hung up [peer lost]"),
         }
     }
 }

@@ -6,6 +6,7 @@ use crate::optimize::OptimizeConfig;
 use crate::scheduler::{IngestMode, LivenessConfig, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
+use crate::store::{ObjectStore, StoreConfig};
 use crate::trace::{TraceActor, TraceConfig, TraceRecorder};
 use crate::transport::{Addr, ClusterChannels, DataReply, FaultPlan, Router, TransportConfig};
 use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
@@ -128,6 +129,10 @@ pub struct ClusterConfig {
     pub transport: TransportConfig,
     /// Fault tolerance and fault injection (default: everything off).
     pub fault: FaultConfig,
+    /// Out-of-band data plane: per-worker object stores (spill budget) and
+    /// proxy-handle publication (default: proxies off, no budget — behavior
+    /// and message counts identical to a cluster without the store).
+    pub store: StoreConfig,
 }
 
 impl Default for ClusterConfig {
@@ -142,6 +147,7 @@ impl Default for ClusterConfig {
             trace: TraceConfig::default(),
             transport: TransportConfig::default(),
             fault: FaultConfig::default(),
+            store: StoreConfig::default(),
         }
     }
 }
@@ -170,6 +176,7 @@ pub struct Cluster {
     next_client: AtomicUsize,
     default_heartbeat: HeartbeatInterval,
     optimize: OptimizeConfig,
+    store_config: StoreConfig,
     slots_per_worker: usize,
     // Thread handles are kept per role so shutdown can retire them in
     // dependency order: heartbeats first (they write into the scheduler),
@@ -220,14 +227,19 @@ impl Cluster {
         let mut stores: Vec<WorkerStore> = Vec::with_capacity(config.n_workers);
         let mut data_rxs = Vec::with_capacity(config.n_workers);
         let mut exec_rxs = Vec::with_capacity(config.n_workers);
-        for _ in 0..config.n_workers {
+        for id in 0..config.n_workers {
             let (dtx, drx) = unbounded();
             let (etx, erx) = unbounded();
             worker_data.push(dtx);
             worker_exec.push(etx);
             data_rxs.push(drx);
             exec_rxs.push(erx);
-            stores.push(Arc::new(parking_lot::Mutex::new(Default::default())));
+            stores.push(Arc::new(ObjectStore::new(
+                config.store.clone(),
+                id,
+                Arc::clone(&stats),
+                tracer.register(TraceActor::Store { worker: id }),
+            )));
         }
 
         // One router fronts every inter-actor channel; actors only ever see
@@ -256,6 +268,7 @@ impl Cluster {
             next_client: AtomicUsize::new(0),
             default_heartbeat: config.default_heartbeat,
             optimize: config.optimize,
+            store_config: config.store.clone(),
             slots_per_worker: slots,
             sched_thread: None,
             data_threads: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
@@ -516,6 +529,8 @@ impl Cluster {
             external_keys: Default::default(),
             tracer: self.tracer.register(TraceActor::Client { id }),
             heartbeat_stop,
+            store: self.store_config.clone(),
+            proxy_seq: AtomicUsize::new(0),
         }
     }
 

@@ -4,8 +4,32 @@
 //! `Arc`-shared so moving a block from a worker store into a task execution
 //! never copies the buffer within the process.
 
+use crate::key::Key;
+use crate::msg::WorkerId;
 use linalg::NDArray;
 use std::sync::Arc;
+
+/// A pass-by-reference **handle** to a payload resident in a worker's object
+/// store (the paper's out-of-band data plane). A `DatumRef` travels over the
+/// control path in place of the bulk value; consumers resolve it lazily with
+/// a data-lane `Fetch` to `holder` (or a local store lookup). The handle
+/// carries enough metadata — shape, payload size, and the holder's location
+/// epoch — for scheduling and accounting decisions without touching the
+/// payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatumRef {
+    /// Store key of the payload on the holder.
+    pub key: Key,
+    /// Shape of the referenced array (empty for non-array payloads).
+    pub shape: Vec<usize>,
+    /// Payload size in bytes (what resolving this handle will transfer).
+    pub nbytes: u64,
+    /// Worker whose object store holds the payload.
+    pub holder: WorkerId,
+    /// Location epoch: bumped each time the payload is (re)published, so a
+    /// stale handle can be told apart from the current placement.
+    pub epoch: u64,
+}
 
 /// A value produced or consumed by tasks.
 #[derive(Debug, Clone)]
@@ -24,6 +48,8 @@ pub enum Datum {
     List(Vec<Datum>),
     /// Raw bytes (opaque payloads).
     Bytes(bytes::Bytes),
+    /// Proxy handle to a store-resident payload (see [`DatumRef`]).
+    Ref(DatumRef),
     /// Absent/unit value.
     Null,
 }
@@ -36,10 +62,13 @@ impl Datum {
         match self {
             Datum::F64(_) | Datum::I64(_) => netsim::sizing::F64_BYTES,
             Datum::Bool(_) => 1,
-            Datum::Str(s) => s.len() as u64,
+            Datum::Str(s) => netsim::sizing::str_nbytes(s.len()),
             Datum::Array(a) => netsim::sizing::f64_block_bytes(a.len()),
-            Datum::List(items) => items.iter().map(Datum::nbytes).sum(),
+            Datum::List(items) => {
+                netsim::sizing::list_nbytes(items.iter().map(Datum::nbytes).sum())
+            }
             Datum::Bytes(b) => b.len() as u64,
+            Datum::Ref(r) => netsim::sizing::ref_handle_bytes(r.key.as_str().len(), r.shape.len()),
             Datum::Null => 0,
         }
     }
@@ -82,6 +111,24 @@ impl Datum {
         match self {
             Datum::Str(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// Proxy-handle view, if this datum is a [`DatumRef`].
+    pub fn as_ref_handle(&self) -> Option<&DatumRef> {
+        match self {
+            Datum::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this datum (or, for lists, any nested child) is a proxy
+    /// handle that a consumer would need to resolve before use.
+    pub fn contains_ref(&self) -> bool {
+        match self {
+            Datum::Ref(_) => true,
+            Datum::List(items) => items.iter().any(Datum::contains_ref),
+            _ => false,
         }
     }
 }
@@ -130,11 +177,42 @@ mod tests {
     fn nbytes_accounting() {
         assert_eq!(Datum::F64(1.0).nbytes(), 8);
         assert_eq!(Datum::from(NDArray::zeros(&[4, 4])).nbytes(), 128);
+        // Containers charge the shared netsim::sizing envelope: the string is
+        // 8 (envelope) + 3 (bytes), the list wraps its children in one more.
+        assert_eq!(Datum::Str("abc".into()).nbytes(), 11);
         assert_eq!(
             Datum::List(vec![Datum::I64(1), Datum::Str("abc".into())]).nbytes(),
-            11
+            27
         );
         assert_eq!(Datum::Null.nbytes(), 0);
+    }
+
+    #[test]
+    fn ref_handle_nbytes_is_payload_independent() {
+        // The handle for a 1 GiB block weighs the same as for a 1 KiB block:
+        // key + dims + fixed metadata, never the payload.
+        let small = Datum::Ref(DatumRef {
+            key: Key::new("blk"),
+            shape: vec![4, 4],
+            nbytes: 128,
+            holder: 0,
+            epoch: 1,
+        });
+        let huge = Datum::Ref(DatumRef {
+            key: Key::new("blk"),
+            shape: vec![4, 4],
+            nbytes: 1 << 30,
+            holder: 2,
+            epoch: 7,
+        });
+        assert_eq!(small.nbytes(), huge.nbytes());
+        assert_eq!(
+            small.nbytes(),
+            netsim::sizing::ref_handle_bytes("blk".len(), 2)
+        );
+        assert!(small.contains_ref());
+        assert!(Datum::List(vec![Datum::F64(0.0), huge]).contains_ref());
+        assert!(!Datum::List(vec![Datum::F64(0.0)]).contains_ref());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod scheduler;
 pub mod snapshot;
 pub mod spec;
 pub mod stats;
+pub mod store;
 pub mod trace;
 pub mod transport;
 pub mod wire;
@@ -59,7 +60,7 @@ pub mod worker;
 
 pub use client::{Client, DFuture, DQueue, Variable};
 pub use cluster::{Cluster, ClusterConfig, FaultConfig, HeartbeatInterval};
-pub use datum::Datum;
+pub use datum::{Datum, DatumRef};
 pub use json::Json;
 pub use key::Key;
 pub use msg::{ErrorCause, TaskError};
@@ -68,6 +69,7 @@ pub use scheduler::{IngestMode, LivenessConfig};
 pub use snapshot::{HistSnapshot, StatsSnapshot, WireLaneSnapshot};
 pub use spec::{OpRegistry, TaskSpec};
 pub use stats::{LatencyHist, MsgClass, SchedulerStats, WireLane};
+pub use store::{ObjectStore, StoreConfig};
 pub use trace::{
     EventKind, PhaseReport, TraceActor, TraceConfig, TraceEvent, TraceHandle, TraceLog,
     TraceRecorder,

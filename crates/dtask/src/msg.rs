@@ -315,6 +315,17 @@ pub enum DataMsg {
         /// Where to route the `(stored keys, stored bytes)` reply.
         reply: ReplyTo,
     },
+    /// Resolve a proxy handle: fetch a store entry published out-of-band
+    /// behind a [`crate::datum::DatumRef`]. Semantically a `Get`, but kept
+    /// as its own variant so requester-side accounting can tell proxy
+    /// resolution (`proxy_fetch_bytes`) apart from dependency gathers, and
+    /// so the wire format can evolve the two independently.
+    Fetch {
+        /// Key of the store entry the handle points at.
+        key: Key,
+        /// Where to route the value (or the miss error).
+        reply: ReplyTo,
+    },
     /// Stop the data-server thread.
     Shutdown,
 }

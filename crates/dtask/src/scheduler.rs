@@ -388,6 +388,26 @@ impl Scheduler {
         }
     }
 
+    /// Drop the out-of-band payloads behind any proxy handles inside
+    /// `value`: a deleted or overwritten control-path value is the last
+    /// reference to its store entries.
+    fn release_proxied(&self, value: &Datum) {
+        match value {
+            Datum::Ref(handle) => self.endpoint.send_data(
+                handle.holder,
+                DataMsg::Delete {
+                    keys: vec![handle.key.clone()],
+                },
+            ),
+            Datum::List(items) => {
+                for item in items {
+                    self.release_proxied(item);
+                }
+            }
+            _ => {}
+        }
+    }
+
     fn handle(&mut self, msg: SchedMsg) -> bool {
         match msg {
             SchedMsg::ClientConnect { client } => {
@@ -577,6 +597,11 @@ impl Scheduler {
             }
             SchedMsg::VariableSet { name, value } => {
                 self.stats.record(MsgClass::Variable, value.nbytes());
+                // Overwriting a proxied variable orphans its out-of-band
+                // payload: tell the holder's store to drop it.
+                if let Some(old) = self.variables.get(&name) {
+                    self.release_proxied(old);
+                }
                 // Wake waiters.
                 if let Some(waiters) = self.var_waiters.remove(&name) {
                     for client in waiters {
@@ -618,7 +643,9 @@ impl Scheduler {
             }
             SchedMsg::VariableDel { name } => {
                 self.stats.record(MsgClass::Variable, 0);
-                self.variables.remove(&name);
+                if let Some(old) = self.variables.remove(&name) {
+                    self.release_proxied(&old);
+                }
             }
             SchedMsg::QueuePush { name, value } => {
                 self.stats.record(MsgClass::Queue, value.nbytes());

@@ -167,6 +167,24 @@ pub struct StatsSnapshot {
     pub injected_drops: u64,
     /// Fault injection: workers killed.
     pub injected_kills: u64,
+    /// Object store: lookups answered from memory (or after a restore).
+    pub store_hits: u64,
+    /// Object store: lookups that found nothing.
+    pub store_misses: u64,
+    /// Object store: entries spilled to disk under memory pressure.
+    pub store_spills: u64,
+    /// Object store: spilled entries restored on access.
+    pub store_restores: u64,
+    /// Object store: payload bytes written by spills.
+    pub store_spill_bytes: u64,
+    /// Proxy plane: payloads published out-of-band behind handles.
+    pub proxy_puts: u64,
+    /// Proxy plane: payload bytes published out-of-band.
+    pub proxy_put_bytes: u64,
+    /// Proxy plane: handles resolved by fetching from a holder.
+    pub proxy_fetches: u64,
+    /// Proxy plane: payload bytes moved by handle resolution.
+    pub proxy_fetch_bytes: u64,
     /// Gather-wait latency histogram.
     pub gather_wait_hist: HistSnapshot,
     /// Task-execution latency histogram.
@@ -231,6 +249,15 @@ impl StatsSnapshot {
             recomputes: stats.recomputes(),
             injected_drops: stats.injected_drops(),
             injected_kills: stats.injected_kills(),
+            store_hits: stats.store_hits(),
+            store_misses: stats.store_misses(),
+            store_spills: stats.store_spills(),
+            store_restores: stats.store_restores(),
+            store_spill_bytes: stats.store_spill_bytes(),
+            proxy_puts: stats.proxy_puts(),
+            proxy_put_bytes: stats.proxy_put_bytes(),
+            proxy_fetches: stats.proxy_fetches(),
+            proxy_fetch_bytes: stats.proxy_fetch_bytes(),
             gather_wait_hist: HistSnapshot::capture(stats.gather_wait_hist()),
             exec_hist: HistSnapshot::capture(stats.exec_hist()),
             queue_delay_hist: HistSnapshot::capture(stats.queue_delay_hist()),
@@ -337,6 +364,19 @@ impl StatsSnapshot {
                     .set("injected_drops", self.injected_drops)
                     .set("injected_kills", self.injected_kills),
             )
+            .set(
+                "store",
+                Json::obj()
+                    .set("hits", self.store_hits)
+                    .set("misses", self.store_misses)
+                    .set("spills", self.store_spills)
+                    .set("restores", self.store_restores)
+                    .set("spill_bytes", self.store_spill_bytes)
+                    .set("proxy_puts", self.proxy_puts)
+                    .set("proxy_put_bytes", self.proxy_put_bytes)
+                    .set("proxy_fetches", self.proxy_fetches)
+                    .set("proxy_fetch_bytes", self.proxy_fetch_bytes),
+            )
     }
 
     /// Pretty JSON document (what the benches write under `results/`).
@@ -420,6 +460,15 @@ impl StatsSnapshot {
             ("dtask_fault_recomputes_total", self.recomputes),
             ("dtask_fault_injected_drops_total", self.injected_drops),
             ("dtask_fault_injected_kills_total", self.injected_kills),
+            ("dtask_store_hits_total", self.store_hits),
+            ("dtask_store_misses_total", self.store_misses),
+            ("dtask_store_spills_total", self.store_spills),
+            ("dtask_store_restores_total", self.store_restores),
+            ("dtask_store_spill_bytes_total", self.store_spill_bytes),
+            ("dtask_proxy_puts_total", self.proxy_puts),
+            ("dtask_proxy_put_bytes_total", self.proxy_put_bytes),
+            ("dtask_proxy_fetches_total", self.proxy_fetches),
+            ("dtask_proxy_fetch_bytes_total", self.proxy_fetch_bytes),
         ] {
             out.push_str(&format!("# TYPE {name} counter\n{name} {count}\n"));
         }
@@ -513,6 +562,7 @@ mod tests {
             "assign",
             "wire",
             "fault",
+            "store",
         ] {
             assert!(doc.get(section).is_some(), "missing section {section}");
         }
@@ -546,6 +596,37 @@ mod tests {
         let prom = snap.to_prometheus();
         assert!(prom.contains("dtask_fault_peers_lost_total 1"));
         assert!(prom.contains("dtask_fault_tasks_resubmitted_total 2"));
+    }
+
+    #[test]
+    fn store_section_reflects_data_plane_counters() {
+        let stats = SchedulerStats::new();
+        stats.record_store_hit();
+        stats.record_store_spill(4096);
+        stats.record_proxy_put(8192);
+        stats.record_proxy_fetch(8192);
+        let snap = StatsSnapshot::capture(&stats);
+        assert_eq!(snap.store_hits, 1);
+        assert_eq!(snap.store_spills, 1);
+        assert_eq!(snap.store_spill_bytes, 4096);
+        assert_eq!(snap.proxy_put_bytes, 8192);
+        assert_eq!(snap.proxy_fetches, 1);
+        let doc = snap.to_json();
+        assert_eq!(
+            doc.get("store")
+                .and_then(|s| s.get("spills"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("store")
+                .and_then(|s| s.get("proxy_fetch_bytes"))
+                .and_then(Json::as_f64),
+            Some(8192.0)
+        );
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("dtask_store_spills_total 1"));
+        assert!(prom.contains("dtask_proxy_fetch_bytes_total 8192"));
     }
 
     #[test]

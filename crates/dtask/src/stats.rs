@@ -315,6 +315,24 @@ pub struct SchedulerStats {
     fault_injected_drops: AtomicU64,
     /// Workers killed by fault injection.
     fault_injected_kills: AtomicU64,
+    /// Object-store gets served from memory.
+    store_hits: AtomicU64,
+    /// Object-store gets of absent keys.
+    store_misses: AtomicU64,
+    /// Entries evicted from memory to disk under the store budget.
+    store_spills: AtomicU64,
+    /// Spilled entries restored back into memory on access.
+    store_restores: AtomicU64,
+    /// Payload bytes written to spill files.
+    store_spill_bytes: AtomicU64,
+    /// Payloads published out-of-band in place of inline control values.
+    proxy_puts: AtomicU64,
+    /// Payload bytes published out-of-band (kept off the control path).
+    proxy_put_bytes: AtomicU64,
+    /// Proxy handles resolved via a data-lane `Fetch` to the holder.
+    proxy_fetches: AtomicU64,
+    /// Payload bytes moved by proxy resolution on the data lane.
+    proxy_fetch_bytes: AtomicU64,
 }
 
 /// Histogram bucket count shared by the fused-chain and burst histograms.
@@ -723,6 +741,86 @@ impl SchedulerStats {
     pub fn injected_kills(&self) -> u64 {
         self.fault_injected_kills.load(Ordering::Relaxed)
     }
+
+    // ---- object store / proxy data plane -----------------------------------
+
+    /// Record one store get served from memory.
+    pub fn record_store_hit(&self) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one store get of an absent key.
+    pub fn record_store_miss(&self) {
+        self.store_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one entry spilled to disk (`bytes` of payload written).
+    pub fn record_store_spill(&self, bytes: u64) {
+        self.store_spills.fetch_add(1, Ordering::Relaxed);
+        self.store_spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one spilled entry restored into memory.
+    pub fn record_store_restore(&self) {
+        self.store_restores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one payload published out-of-band (proxy put).
+    pub fn record_proxy_put(&self, bytes: u64) {
+        self.proxy_puts.fetch_add(1, Ordering::Relaxed);
+        self.proxy_put_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one proxy handle resolved via a data-lane fetch.
+    pub fn record_proxy_fetch(&self, bytes: u64) {
+        self.proxy_fetches.fetch_add(1, Ordering::Relaxed);
+        self.proxy_fetch_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Store gets served from memory.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Store gets of absent keys.
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries spilled to disk under the memory budget.
+    pub fn store_spills(&self) -> u64 {
+        self.store_spills.load(Ordering::Relaxed)
+    }
+
+    /// Spilled entries restored back into memory.
+    pub fn store_restores(&self) -> u64 {
+        self.store_restores.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes written to spill files.
+    pub fn store_spill_bytes(&self) -> u64 {
+        self.store_spill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Payloads published out-of-band.
+    pub fn proxy_puts(&self) -> u64 {
+        self.proxy_puts.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes published out-of-band.
+    pub fn proxy_put_bytes(&self) -> u64 {
+        self.proxy_put_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Proxy handles resolved via data-lane fetches.
+    pub fn proxy_fetches(&self) -> u64 {
+        self.proxy_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes moved by proxy resolution.
+    pub fn proxy_fetch_bytes(&self) -> u64 {
+        self.proxy_fetch_bytes.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -862,6 +960,36 @@ mod tests {
         assert_eq!(s.recomputes(), 1);
         assert_eq!(s.injected_drops(), 1);
         assert_eq!(s.injected_kills(), 1);
+    }
+
+    #[test]
+    fn store_counters_accumulate_and_start_zero() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.store_hits(), 0);
+        assert_eq!(s.store_spills(), 0);
+        assert_eq!(s.proxy_fetch_bytes(), 0);
+        s.record_store_hit();
+        s.record_store_hit();
+        s.record_store_miss();
+        s.record_store_spill(512);
+        s.record_store_spill(256);
+        s.record_store_restore();
+        s.record_proxy_put(1024);
+        s.record_proxy_fetch(1024);
+        s.record_proxy_fetch(2048);
+        assert_eq!(s.store_hits(), 2);
+        assert_eq!(s.store_misses(), 1);
+        assert_eq!(s.store_spills(), 2);
+        assert_eq!(s.store_spill_bytes(), 768);
+        assert_eq!(s.store_restores(), 1);
+        assert_eq!(s.proxy_puts(), 1);
+        assert_eq!(s.proxy_put_bytes(), 1024);
+        assert_eq!(s.proxy_fetches(), 2);
+        assert_eq!(s.proxy_fetch_bytes(), 3072);
+        // Store traffic is data plane: it never shows up in the paper's
+        // control-message accounting.
+        assert_eq!(s.scheduler_control_messages(), 0);
+        assert_eq!(s.bridge_metadata_messages(), 0);
     }
 
     #[test]

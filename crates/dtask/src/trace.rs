@@ -91,6 +91,12 @@ pub enum TraceActor {
     /// The transport router (Framed/SimNet backends record per-message
     /// wire sizes here; senders on any thread share this one track).
     Transport,
+    /// One worker's object store (the data server thread records store
+    /// hit/miss/spill/fetch events here).
+    Store {
+        /// Worker id.
+        worker: usize,
+    },
 }
 
 /// Task/block lifecycle event kinds.
@@ -145,6 +151,20 @@ pub enum EventKind {
     /// A task was re-queued after a peer loss (instant; key = task,
     /// arg = retry attempt number).
     Resubmit,
+    /// Object store evicted an entry to disk under its memory budget
+    /// (span; key = entry, arg = payload bytes written).
+    StoreSpill,
+    /// Object store restored a spilled entry into memory on access
+    /// (span; key = entry, arg = payload bytes read).
+    StoreRestore,
+    /// Object store get of an absent key (instant; key).
+    StoreMiss,
+    /// A data server answered a peer/client `Fetch` of a store entry
+    /// (instant; key = entry, arg = payload bytes served).
+    StoreFetch,
+    /// A consumer resolved a proxy handle via a data-lane fetch to its
+    /// holder (span; key = entry, arg = payload bytes received).
+    ProxyFetch,
 }
 
 impl EventKind {
@@ -171,6 +191,11 @@ impl EventKind {
             EventKind::WireSend => "wire_send",
             EventKind::PeerLost => "peer_lost",
             EventKind::Resubmit => "resubmit",
+            EventKind::StoreSpill => "store_spill",
+            EventKind::StoreRestore => "store_restore",
+            EventKind::StoreMiss => "store_miss",
+            EventKind::StoreFetch => "store_fetch",
+            EventKind::ProxyFetch => "proxy_fetch",
         }
     }
 
@@ -193,6 +218,11 @@ impl EventKind {
             EventKind::WireSend => "bytes",
             EventKind::PeerLost => "peer",
             EventKind::Resubmit => "retry",
+            EventKind::StoreSpill
+            | EventKind::StoreRestore
+            | EventKind::StoreFetch
+            | EventKind::ProxyFetch => "bytes",
+            EventKind::StoreMiss => "seq",
         }
     }
 }
@@ -533,6 +563,7 @@ impl TraceTrack {
             TraceActor::WorkerSlot { worker, slot } => format!("w{worker}/slot{slot}"),
             TraceActor::Client { id } => format!("client-{id}"),
             TraceActor::Transport => "transport".into(),
+            TraceActor::Store { worker } => format!("w{worker}/store"),
         }
     }
 }
@@ -552,6 +583,9 @@ fn chrome_ids(actor: TraceActor) -> (u64, u64) {
         }
         TraceActor::Client { id } => (PID_CLIENTS, id as u64),
         TraceActor::Transport => (PID_TRANSPORT, 0),
+        // Store tracks live in the workers lane, below every slot of their
+        // worker (slot tids are small; 0xFF keeps the row distinct).
+        TraceActor::Store { worker } => (PID_WORKERS, ((worker as u64) << 8) | 0xFF),
     }
 }
 

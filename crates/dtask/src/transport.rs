@@ -291,6 +291,7 @@ impl Fabric {
                 if let Some(
                     DataMsg::Put { ack: r, .. }
                     | DataMsg::Get { reply: r, .. }
+                    | DataMsg::Fetch { reply: r, .. }
                     | DataMsg::Stats { reply: r },
                 ) = cancel
                 {
@@ -768,6 +769,23 @@ mod tests {
             },
         );
         assert!(reply_rx.recv().is_err(), "slot must be cancelled");
+    }
+
+    #[test]
+    fn proxy_fetch_slots_cancel_when_holder_is_gone() {
+        // A proxy resolution aimed at a dead holder must unblock the
+        // requester the same way a Get does — PeerLost, never a hang.
+        let (router, _rx) = test_router(TransportConfig::InProc);
+        let ep = router.endpoint(Addr::Client(0));
+        let (token, reply_rx) = ep.reply_slot();
+        ep.send_data(
+            5,
+            DataMsg::Fetch {
+                key: Key::new("proxy:c0:0"),
+                reply: token,
+            },
+        );
+        assert!(reply_rx.recv().is_err(), "fetch slot must be cancelled");
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! pattern, so numeric payloads round-trip bit-exactly (the CI quickstart
 //! A/B relies on this).
 
-use crate::datum::Datum;
+use crate::datum::{Datum, DatumRef};
 use crate::key::Key;
 use crate::msg::{Assignment, ClientMsg, DataMsg, ErrorCause, ExecMsg, SchedMsg, TaskError};
 use crate::spec::{FusedInput, FusedStage, TaskSpec, Value};
@@ -247,6 +247,17 @@ fn put_datum(e: &mut Enc, v: &Datum) {
             e.bytes(b);
         }
         Datum::Null => e.u8(7),
+        Datum::Ref(r) => {
+            e.u8(8);
+            put_key(e, &r.key);
+            e.len(r.shape.len());
+            for dim in &r.shape {
+                e.usize(*dim);
+            }
+            e.u64(r.nbytes);
+            e.usize(r.holder);
+            e.u64(r.epoch);
+        }
     }
 }
 
@@ -287,6 +298,21 @@ fn get_datum(d: &mut Dec) -> Result<Datum, WireError> {
         }
         6 => Datum::Bytes(d.byte_vec()?.into()),
         7 => Datum::Null,
+        8 => {
+            let key = get_key(d)?;
+            let ndim = d.len()?;
+            let mut shape = Vec::with_capacity(ndim.min(d.buf.len() - d.pos));
+            for _ in 0..ndim {
+                shape.push(d.usize()?);
+            }
+            Datum::Ref(DatumRef {
+                key,
+                shape,
+                nbytes: d.u64()?,
+                holder: d.usize()?,
+                epoch: d.u64()?,
+            })
+        }
         tag => return Err(WireError::BadTag { what: "datum", tag }),
     })
 }
@@ -794,6 +820,11 @@ fn put_data(e: &mut Enc, m: &DataMsg) {
             put_reply_to(e, reply);
         }
         DataMsg::Shutdown => e.u8(4),
+        DataMsg::Fetch { key, reply } => {
+            e.u8(5);
+            put_key(e, key);
+            put_reply_to(e, reply);
+        }
     }
 }
 
@@ -820,6 +851,10 @@ fn get_data(d: &mut Dec) -> Result<DataMsg, WireError> {
             reply: get_reply_to(d)?,
         },
         4 => DataMsg::Shutdown,
+        5 => DataMsg::Fetch {
+            key: get_key(d)?,
+            reply: get_reply_to(d)?,
+        },
         tag => {
             return Err(WireError::BadTag {
                 what: "data msg",
@@ -1190,6 +1225,54 @@ mod tests {
             vec![FusedInput::Stage(0), FusedInput::Dep(1)]
         );
         assert_eq!(encode_spec(&back), encode_spec(&spec));
+    }
+
+    #[test]
+    fn ref_handle_and_fetch_round_trip() {
+        // Tag 8: a proxy handle nested in a list — exactly how it rides in
+        // VariableSet / task params.
+        let handle = DatumRef {
+            key: Key::new("proxy:c3:17"),
+            shape: vec![160, 160],
+            nbytes: 160 * 160 * 8,
+            holder: 2,
+            epoch: 17,
+        };
+        let v = Datum::List(vec![Datum::Ref(handle.clone()), Datum::F64(1.5)]);
+        let bytes = encode_datum(&v);
+        let back = decode_datum(&bytes).unwrap();
+        assert_eq!(encode_datum(&back), bytes);
+        assert_eq!(back.as_list().unwrap()[0].as_ref_handle(), Some(&handle));
+        // The handle is control-path small regardless of the payload size.
+        assert!(
+            (bytes.len() as u64) < handle.nbytes / 100,
+            "handle must be tiny next to its payload"
+        );
+        for cut in 0..bytes.len() {
+            assert!(decode_datum(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+
+        // Tag 5 on the data lane: the resolution request.
+        let msg = Payload::Data(DataMsg::Fetch {
+            key: Key::new("proxy:c3:17"),
+            reply: ReplyTo {
+                addr: Addr::WorkerData(1),
+                corr: 99,
+            },
+        });
+        let framed = encode(&msg);
+        match decode(&framed).unwrap() {
+            Payload::Data(DataMsg::Fetch { key, reply }) => {
+                assert_eq!(key.as_str(), "proxy:c3:17");
+                assert_eq!(reply.addr, Addr::WorkerData(1));
+                assert_eq!(reply.corr, 99);
+            }
+            _ => panic!("wrong payload"),
+        }
+        assert!(
+            (framed.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES,
+            "fetch requests are control-sized"
+        );
     }
 
     #[test]

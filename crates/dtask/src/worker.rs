@@ -18,22 +18,22 @@
 //!    the scheduler ([`SchedMsg::AddReplica`]) so later placement decisions
 //!    see the new copies and stop re-fetching.
 
-use crate::datum::Datum;
+use crate::datum::{Datum, DatumRef};
 use crate::key::Key;
 use crate::msg::ErrorCause;
 use crate::msg::{Assignment, DataMsg, ExecMsg, SchedMsg, TaskError, WorkerId};
 use crate::spec::{FusedInput, OpRegistry, TaskSpec, Value};
 use crate::stats::{MsgClass, SchedulerStats};
+use crate::store::ObjectStore;
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::{DataReply, Endpoint, ReplyRx};
 use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Shared key→value store of one worker.
-pub type WorkerStore = Arc<Mutex<HashMap<Key, Datum>>>;
+/// Shared object store of one worker (data server + every executor slot).
+pub type WorkerStore = Arc<ObjectStore>;
 
 /// How an executor resolves a task's missing dependencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,27 +54,43 @@ pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>, endpoint: Endp
     while let Ok(msg) = rx.recv() {
         match msg {
             DataMsg::Put { key, value, ack } => {
-                store.lock().insert(key, value);
+                store.insert(key, value);
                 endpoint.reply(ack, DataReply::PutAck);
             }
             DataMsg::Get { key, reply } => {
-                let value = store.lock().get(&key).cloned();
+                let value = store.get(&key);
                 endpoint.reply(
                     reply,
                     DataReply::Value(value.ok_or_else(|| format!("key {key} not on this worker"))),
                 );
             }
-            DataMsg::Delete { keys } => {
-                let mut guard = store.lock();
-                for key in keys {
-                    guard.remove(&key);
+            DataMsg::Fetch { key, reply } => {
+                // Proxy-handle resolution: the same store lookup as `Get`
+                // (spilled entries restore transparently), but served and
+                // traced as data-plane traffic.
+                let value = store.get(&key);
+                if let Some(v) = &value {
+                    store.note_fetch_served(&key, v.nbytes());
                 }
+                endpoint.reply(
+                    reply,
+                    DataReply::Value(
+                        value.ok_or_else(|| format!("proxied key {key} not on this worker")),
+                    ),
+                );
+            }
+            DataMsg::Delete { keys } => {
+                store.remove(&keys);
             }
             DataMsg::Stats { reply } => {
-                let guard = store.lock();
-                let keys = guard.len() as u64;
-                let bytes = guard.values().map(|d| d.nbytes()).sum();
-                endpoint.reply(reply, DataReply::Stats { keys, bytes });
+                let (keys, bytes) = store.report();
+                endpoint.reply(
+                    reply,
+                    DataReply::Stats {
+                        keys: keys as u64,
+                        bytes,
+                    },
+                );
             }
             DataMsg::Shutdown => break,
         }
@@ -191,7 +207,7 @@ impl Executor {
         match self.execute(&spec, &dep_locations) {
             Ok(result) => {
                 let nbytes = result.nbytes();
-                self.store.lock().insert(key.clone(), result);
+                self.store.insert(key.clone(), result);
                 self.endpoint.send_sched(SchedMsg::TaskFinished {
                     worker: self.id,
                     key,
@@ -243,7 +259,7 @@ impl Executor {
     /// gather) and account for the transfer.
     fn cache_replica(&self, key: &Key, value: &Datum, replicas: &mut Vec<(Key, u64)>) {
         self.stats.record(MsgClass::PeerFetch, value.nbytes());
-        self.store.lock().insert(key.clone(), value.clone());
+        self.store.insert(key.clone(), value.clone());
         replicas.push((key.clone(), value.nbytes()));
     }
 
@@ -257,7 +273,7 @@ impl Executor {
         skip: usize,
         replicas: &mut Vec<(Key, u64)>,
     ) -> Result<Datum, GatherError> {
-        if let Some(v) = self.store.lock().get(key).cloned() {
+        if let Some(v) = self.store.get(key) {
             return Ok(v);
         }
         let mut hung_peer = None;
@@ -309,13 +325,10 @@ impl Executor {
     ) -> Result<Vec<Datum>, GatherError> {
         let mut inputs: Vec<Option<Datum>> = vec![None; spec.deps.len()];
         let mut missing: Vec<(usize, &Key)> = Vec::new();
-        {
-            let store = self.store.lock();
-            for (i, dep) in spec.deps.iter().enumerate() {
-                match store.get(dep) {
-                    Some(v) => inputs[i] = Some(v.clone()),
-                    None => missing.push((i, dep)),
-                }
+        for (i, dep) in spec.deps.iter().enumerate() {
+            match self.store.get(dep) {
+                Some(v) => inputs[i] = Some(v),
+                None => missing.push((i, dep)),
             }
         }
         if !missing.is_empty() {
@@ -417,6 +430,68 @@ impl Executor {
             .collect())
     }
 
+    /// Resolve every [`DatumRef`] handle inside `value` (recursing into
+    /// lists) to its payload: the local store first (zero-copy on the
+    /// holder), then a concurrent [`DataMsg::Fetch`] fan-out to the holders.
+    /// A holder that hangs up mid-fetch is reported like a hung gather peer,
+    /// so the scheduler gets the same direct death evidence.
+    fn resolve_params(&self, params: &Datum) -> Result<Datum, GatherError> {
+        if !params.contains_ref() {
+            return Ok(params.clone());
+        }
+        let mut handles: Vec<DatumRef> = Vec::new();
+        collect_refs(params, &mut handles);
+        let mut resolved: HashMap<Key, Datum> = HashMap::new();
+        let mut pending: Vec<(DatumRef, ReplyRx, Option<Instant>)> = Vec::new();
+        for handle in handles {
+            if let Some(v) = self.store.get(&handle.key) {
+                resolved.insert(handle.key.clone(), v);
+                continue;
+            }
+            let t0 = self.tracer.start();
+            let (reply, reply_rx) = self.endpoint.reply_slot();
+            self.endpoint.send_data(
+                handle.holder,
+                DataMsg::Fetch {
+                    key: handle.key.clone(),
+                    reply,
+                },
+            );
+            pending.push((handle, reply_rx, t0));
+        }
+        for (handle, reply_rx, t0) in pending {
+            match reply_rx.recv().map(DataReply::into_value) {
+                Ok(Ok(value)) => {
+                    self.stats.record_proxy_fetch(value.nbytes());
+                    self.tracer
+                        .span(EventKind::ProxyFetch, t0, Some(&handle.key), value.nbytes());
+                    resolved.insert(handle.key.clone(), value);
+                }
+                Ok(Err(miss)) => {
+                    return Err(GatherError {
+                        message: format!(
+                            "proxy {} unresolvable at worker {}: {miss}",
+                            handle.key, handle.holder
+                        ),
+                        hung_peer: None,
+                    });
+                }
+                // The holder hung up mid-fetch (reply slot cancelled): it
+                // died holding the payload.
+                Err(_) => {
+                    return Err(GatherError {
+                        message: format!(
+                            "proxy {} lost: holder worker {} hung up",
+                            handle.key, handle.holder
+                        ),
+                        hung_peer: Some(handle.holder),
+                    });
+                }
+            }
+        }
+        Ok(substitute_refs(params, &resolved))
+    }
+
     /// Run one registered op under a panic guard.
     fn run_op(&self, op_name: &str, params: &Datum, inputs: &[Datum]) -> Result<Datum, String> {
         let op = self
@@ -457,6 +532,24 @@ impl Executor {
             message: e.message,
             hung_peer: e.hung_peer,
         })?;
+        // Proxy-handle parameters resolve out-of-band *before* the exec span
+        // starts: the fetches are data movement, not computation. One
+        // resolved datum per op — `[params]` for a plain op, one per stage
+        // for a fused chain.
+        let stage_params: Vec<Datum> = match &spec.value {
+            Value::Op { params, .. } => vec![self.resolve_params(params)],
+            Value::Fused { stages } => stages
+                .iter()
+                .map(|stage| self.resolve_params(&stage.params))
+                .collect(),
+        }
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(|e| TaskFailure {
+            origin: spec.key.clone(),
+            message: e.message,
+            hung_peer: e.hung_peer,
+        })?;
         // The exec span covers op computation only — the gather above records
         // its own spans, keeping the lifecycle phases distinct in the trace.
         let exec_t0 = self.tracer.start();
@@ -466,14 +559,14 @@ impl Executor {
             hung_peer: None,
         };
         let result = match &spec.value {
-            Value::Op { op, params } => self
-                .run_op(op, params, &inputs)
+            Value::Op { op, .. } => self
+                .run_op(op, &stage_params[0], &inputs)
                 .map_err(|m| fail(&spec.key, m)),
             Value::Fused { stages } => {
                 // Evaluate the chain inline; intermediate results live only
                 // on this slot's stack — one store insert, one TaskFinished.
                 let mut results: Vec<Datum> = Vec::with_capacity(stages.len());
-                for stage in stages {
+                for (s_idx, stage) in stages.iter().enumerate() {
                     let stage_inputs: Vec<Datum> = stage
                         .inputs
                         .iter()
@@ -483,7 +576,7 @@ impl Executor {
                         })
                         .collect();
                     let r = self
-                        .run_op(&stage.op, &stage.params, &stage_inputs)
+                        .run_op(&stage.op, &stage_params[s_idx], &stage_inputs)
                         .map_err(|m| fail(&stage.key, m))?;
                     results.push(r);
                 }
@@ -495,5 +588,32 @@ impl Executor {
         self.tracer
             .span(EventKind::Exec, exec_t0, Some(&spec.key), self.id as u64);
         result
+    }
+}
+
+/// Collect the distinct [`DatumRef`] handles inside `value` (lists recurse).
+fn collect_refs(value: &Datum, out: &mut Vec<DatumRef>) {
+    match value {
+        Datum::Ref(r) if !out.iter().any(|h| h.key == r.key) => out.push(r.clone()),
+        Datum::List(items) => {
+            for item in items {
+                collect_refs(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rebuild `value` with every handle replaced by its resolved payload.
+fn substitute_refs(value: &Datum, resolved: &HashMap<Key, Datum>) -> Datum {
+    match value {
+        Datum::Ref(r) => resolved
+            .get(&r.key)
+            .expect("resolve_params resolved every handle")
+            .clone(),
+        Datum::List(items) => {
+            Datum::List(items.iter().map(|d| substitute_refs(d, resolved)).collect())
+        }
+        other => other.clone(),
     }
 }

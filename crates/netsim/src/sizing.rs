@@ -16,6 +16,35 @@ pub fn f64_block_bytes(elems: usize) -> u64 {
     elems as u64 * F64_BYTES
 }
 
+/// Container envelope charged per variable-length value (strings, lists,
+/// byte blobs, proxy handles): one length prefix plus one tag byte, rounded
+/// to the codec's 8-byte alignment. Runtime `Datum::nbytes` accounting and
+/// the DES cost models both charge this same constant, so store budgets and
+/// simulated transfer costs cannot drift apart.
+pub const CONTAINER_OVERHEAD_BYTES: u64 = 8;
+
+/// Payload bytes of a UTF-8 string of `len` bytes including its container
+/// envelope (length prefix + tag).
+pub fn str_nbytes(len: usize) -> u64 {
+    CONTAINER_OVERHEAD_BYTES + len as u64
+}
+
+/// Payload bytes of a heterogeneous list whose children sum to
+/// `children_bytes`: the children plus one container envelope for the list
+/// itself (each child already carries its own envelope where applicable).
+pub fn list_nbytes(children_bytes: u64) -> u64 {
+    CONTAINER_OVERHEAD_BYTES + children_bytes
+}
+
+/// Bytes of one proxy **handle** (a `DatumRef`) on the control path: the
+/// referenced key, the shape dims, and the fixed metadata fields
+/// (nbytes + holder + location epoch, 8 bytes each) under one container
+/// envelope. This is what a proxied block "weighs" on the scheduler lane —
+/// independent of the payload size, which stays on the data plane.
+pub fn ref_handle_bytes(key_len: usize, ndim: usize) -> u64 {
+    CONTAINER_OVERHEAD_BYTES + key_len as u64 + F64_BYTES * ndim as u64 + 3 * F64_BYTES
+}
+
 /// Nominal size of one scheduler control message (task-finished reports,
 /// metadata updates, heartbeats) as charged by the DES cost models.
 ///

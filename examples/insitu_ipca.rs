@@ -12,13 +12,18 @@
 //! is switched on, a worker is killed after the last timestep, and the run
 //! must end either with the fitted model (recovered) or with a clean
 //! `[peer lost]`-attributed error — never a hang, never a bogus model.
+//!
+//! Set `IPCA_STORE=on` to route large control-path values through proxy
+//! handles + the per-node object stores, or `IPCA_STORE=spill` to also cap
+//! each store's memory so timestep blocks spill to disk — the fitted model
+//! must be identical either way.
 
 use deisa_repro::darray;
 use deisa_repro::deisa::plugin::DeisaPlugin;
 use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
 use deisa_repro::dtask::{
-    Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, TraceConfig,
+    Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, StoreConfig, TraceConfig,
 };
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
@@ -73,10 +78,23 @@ fn main() {
     } else {
         FaultConfig::default()
     };
+    // Out-of-band data plane: `spill` caps each per-node store well below a
+    // full 16x16 timestep (2048 B), so resident blocks spill to disk under
+    // pressure and restore on access — the fitted model must not change.
+    let store = match std::env::var("IPCA_STORE").as_deref() {
+        Ok("spill") => StoreConfig {
+            mem_budget: Some(1500),
+            ..StoreConfig::proxies()
+        },
+        Ok("on") => StoreConfig::proxies(),
+        Err(_) | Ok("") | Ok("off") => StoreConfig::default(),
+        Ok(other) => panic!("IPCA_STORE={other}? use on | spill | off"),
+    };
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 4,
         trace: TraceConfig::enabled(),
         fault,
+        store,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());

@@ -14,6 +14,13 @@
 //! through the versioned wire format — the result must be identical, and the
 //! run additionally reports real bytes-on-the-wire per transport lane.
 //!
+//! Set `QUICKSTART_STORE=on` to publish large values as proxy handles through
+//! the per-node object stores, or `QUICKSTART_STORE=spill` to additionally
+//! squeeze every store under a 600-byte memory budget — blocks LRU-spill to
+//! disk and restore transparently, the result is STILL identical, and the
+//! run exports its stats snapshot (with the `store` section counting the
+//! spills and restores) to `results/STORE_quickstart.json`.
+//!
 //! Set `QUICKSTART_CHAOS=kill` to turn on heartbeat-driven failure detection,
 //! replicate every external block onto two workers, and kill one of the three
 //! workers mid-run. The result must STILL be identical — the scheduler
@@ -25,7 +32,7 @@
 use deisa_repro::darray::{self, DArray, Graph};
 use deisa_repro::dtask::{
     Cluster, ClusterConfig, Datum, EventKind, FaultConfig, HeartbeatInterval, Key, SimNetConfig,
-    StatsSnapshot, TraceActor, TraceConfig, TransportConfig, WireLane,
+    StatsSnapshot, StoreConfig, TraceActor, TraceConfig, TransportConfig, WireLane,
 };
 use deisa_repro::linalg::NDArray;
 use std::time::{Duration, Instant};
@@ -42,7 +49,23 @@ fn main() {
         Err(_) | Ok("") | Ok("off") => false,
         Ok(other) => panic!("QUICKSTART_CHAOS={other}? use kill | off"),
     };
-    println!("transport: {transport:?}, chaos: {chaos}");
+    // The out-of-band data plane: `on` publishes large values as proxy
+    // handles; `spill` additionally caps every per-node store at 600 bytes,
+    // so the four 512-byte blocks cannot all stay resident — at least one
+    // worker holds two and must spill to disk (and restore on access).
+    let (store, spill_mode) = match std::env::var("QUICKSTART_STORE").as_deref() {
+        Ok("spill") => (
+            StoreConfig {
+                mem_budget: Some(600),
+                ..StoreConfig::proxies()
+            },
+            true,
+        ),
+        Ok("on") => (StoreConfig::proxies(), false),
+        Err(_) | Ok("") | Ok("off") => (StoreConfig::default(), false),
+        Ok(other) => panic!("QUICKSTART_STORE={other}? use on | spill | off"),
+    };
+    println!("transport: {transport:?}, chaos: {chaos}, store: {store:?}");
     // Liveness is off by default (DEISA3 semantics: no heartbeats at all);
     // chaos mode turns on fast worker pings and a short detection timeout.
     let fault = if chaos {
@@ -63,6 +86,7 @@ fn main() {
         trace: TraceConfig::enabled(),
         transport,
         fault,
+        store,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());
@@ -149,7 +173,27 @@ fn main() {
             stats.wire_total_bytes()
         );
     }
-    // 7. In chaos mode, wait for the liveness sweep to attribute the kill
+    // 7. In spill mode, the memory budget must have pushed at least one
+    //    block to disk — and the identical result above proves the restores
+    //    were bit-exact. Export the snapshot with its `store` section.
+    if spill_mode {
+        let snap = StatsSnapshot::capture(stats);
+        assert!(
+            snap.store_spills >= 1,
+            "a 600 B budget with four 512 B blocks must spill at least once"
+        );
+        std::fs::write(
+            "results/STORE_quickstart.json",
+            snap.to_json().to_string_pretty(),
+        )
+        .unwrap();
+        println!(
+            "store: {} spills ({} B), {} restores, {} hits -> \
+             results/STORE_quickstart.json",
+            snap.store_spills, snap.store_spill_bytes, snap.store_restores, snap.store_hits
+        );
+    }
+    // 8. In chaos mode, wait for the liveness sweep to attribute the kill
     //    (the result can arrive before the heartbeat timeout expires), then
     //    export the stats snapshot — the `fault` section must report exactly
     //    the one injected kill and one lost peer.

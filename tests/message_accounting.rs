@@ -5,9 +5,11 @@ use deisa_repro::darray::{self, Graph};
 use deisa_repro::deisa::deisa1::{Adaptor1, Bridge1};
 use deisa_repro::deisa::{Adaptor, Bridge, DeisaVersion, Selection, VirtualArray};
 use deisa_repro::dtask::{
-    Cluster, ClusterConfig, HeartbeatInterval, IngestMode, MsgClass, OptimizeConfig,
+    Cluster, ClusterConfig, Datum, HeartbeatInterval, IngestMode, MsgClass, OptimizeConfig,
+    StoreConfig, TransportConfig, WireLane,
 };
 use deisa_repro::linalg::NDArray;
+use deisa_repro::netsim::sizing::f64_block_bytes;
 use std::time::Duration;
 
 const STEPS: usize = 5;
@@ -394,6 +396,109 @@ fn heartbeats_counted_exactly_once_per_message() {
 #[test]
 fn heartbeats_counted_exactly_once_batched() {
     heartbeats_counted_exactly_once(IngestMode::Batched { max_burst: 64 });
+}
+
+// ---- out-of-band data plane: scheduler-lane bytes under growing blocks ----
+//
+// The proxy-handle plane (ISSUE 6) moves bulk variable payloads off the
+// control path: the scheduler stores a fixed-size `DatumRef` while the
+// payload rides the data lane between client and worker object stores. The
+// §2.1 byte budget therefore splits — with proxies on, the scheduler-bound
+// wire lane must stay inside a constant envelope while block sizes grow
+// 100×; with proxies off, today's exact per-class byte counts reproduce.
+
+/// A DEISA3-shaped feedback loop over the framed transport: each step a
+/// producer publishes a `side`×`side` derived field as a variable and a
+/// consumer reads it back. Returns the cluster plus the checksum of every
+/// payload the consumer observed (for bit-exact identity across configs).
+fn feedback_workload(side: usize, store: StoreConfig) -> (Cluster, f64) {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 2,
+        transport: TransportConfig::Framed,
+        store,
+        ..ClusterConfig::default()
+    });
+    let producer = cluster.client();
+    let consumer = cluster.client();
+    let mut checksum = 0.0;
+    for t in 0..STEPS {
+        let field = NDArray::from_fn(&[side, side], |i| {
+            (t * 1_000_000 + i[0] * side + i[1]) as f64 * 0.5
+        });
+        producer.var_set(&format!("field{t}"), Datum::from(field));
+        let got = consumer.var_get(&format!("field{t}")).unwrap();
+        checksum += got.as_array().unwrap().data().iter().sum::<f64>();
+    }
+    (cluster, checksum)
+}
+
+#[test]
+fn proxies_keep_scheduler_lane_flat_as_blocks_grow_100x() {
+    let (small, _) = feedback_workload(16, StoreConfig::proxies());
+    let (large, _) = feedback_workload(160, StoreConfig::proxies());
+    let (s, l) = (small.stats(), large.stats());
+    // 100× more payload, same scheduler-lane traffic (±10% envelope: the
+    // handles are fixed-size, only varint widths may wiggle).
+    let (sched_s, sched_l) = (
+        s.wire_bytes(WireLane::SchedIn),
+        l.wire_bytes(WireLane::SchedIn),
+    );
+    assert!(
+        sched_l as f64 <= sched_s as f64 * 1.10 && sched_l as f64 >= sched_s as f64 * 0.90,
+        "scheduler lane must stay flat: {sched_s} B at 16x16 vs {sched_l} B at 160x160"
+    );
+    // Variable-class bytes on the scheduler are handle-sized, not
+    // payload-sized — identical across the sweep.
+    assert_eq!(s.bytes(MsgClass::Variable), l.bytes(MsgClass::Variable));
+    assert!(s.bytes(MsgClass::Variable) < f64_block_bytes(16 * 16) * STEPS as u64);
+    // The growth went to the data plane: store puts + fetch replies.
+    let data = |st: &deisa_repro::dtask::SchedulerStats| {
+        st.wire_bytes(WireLane::DataIn) + st.wire_bytes(WireLane::ReplyIn)
+    };
+    assert!(
+        data(l) >= 50 * data(s),
+        "data lane must carry the 100x growth: {} B vs {} B",
+        data(s),
+        data(l)
+    );
+    // And the payload accounting matches the published volume exactly.
+    assert_eq!(
+        l.proxy_put_bytes(),
+        STEPS as u64 * f64_block_bytes(160 * 160)
+    );
+    assert_eq!(
+        l.proxy_fetch_bytes(),
+        STEPS as u64 * f64_block_bytes(160 * 160)
+    );
+}
+
+#[test]
+fn proxies_off_reproduces_exact_control_path_byte_counts() {
+    for side in [16, 160] {
+        let (cluster, _) = feedback_workload(side, StoreConfig::default());
+        let stats = cluster.stats();
+        // Today's behavior, untouched: every set carries the full block over
+        // the control path, every get is a zero-byte request.
+        assert_eq!(stats.count(MsgClass::Variable) as usize, 2 * STEPS);
+        assert_eq!(
+            stats.bytes(MsgClass::Variable),
+            STEPS as u64 * f64_block_bytes(side * side)
+        );
+        assert_eq!(stats.proxy_puts(), 0);
+        assert_eq!(stats.proxy_fetches(), 0);
+        assert_eq!(stats.store_spills(), 0);
+    }
+}
+
+#[test]
+fn proxy_plane_results_are_bit_identical_to_inline_results() {
+    let (_on, sum_on) = feedback_workload(160, StoreConfig::proxies());
+    let (_off, sum_off) = feedback_workload(160, StoreConfig::default());
+    assert_eq!(
+        sum_on.to_bits(),
+        sum_off.to_bits(),
+        "proxy plane must not change a single bit of the results"
+    );
 }
 
 #[test]
