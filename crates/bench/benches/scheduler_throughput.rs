@@ -21,8 +21,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtask::{
     Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, IngestMode, Json, Key, MsgClass,
-    OptimizeConfig, StatsSnapshot, StoreConfig, TaskSpec, TraceConfig, TransportConfig, WireLane,
+    OptimizeConfig, PolicyConfig, StatsSnapshot, StoreConfig, TaskSpec, TraceConfig,
+    TransportConfig, WireLane,
 };
+use insitu_sim::schedlab;
 use linalg::NDArray;
 use std::time::{Duration, Instant};
 
@@ -275,6 +277,174 @@ fn median_ms(mut samples: Vec<f64>) -> f64 {
     samples[samples.len() / 2]
 }
 
+// ---- scheduling-policy x workload matrix ------------------------------------
+
+const POLICY_SLOTS: usize = 2;
+const POLICY_ROUNDS: usize = 3;
+
+/// A cluster pinned to one scheduling policy, with the matrix's ops
+/// registered: the cheap `bump` chain stage and `pause_sum` (sleep the
+/// parameter in microseconds, then sum the scalar inputs) for compute-bound
+/// rounds.
+fn policy_cluster(policy: PolicyConfig) -> Cluster {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: N_WORKERS,
+        slots_per_worker: POLICY_SLOTS,
+        policy,
+        ..ClusterConfig::default()
+    });
+    cluster.registry().register("bump", |_params, inputs| {
+        let x = inputs
+            .first()
+            .and_then(|d| d.as_f64())
+            .ok_or_else(|| "bump: scalar input required".to_string())?;
+        Ok(Datum::F64(x + 1.0))
+    });
+    cluster.registry().register("pause_sum", |params, inputs| {
+        let us = params.as_i64().unwrap_or(0) as u64;
+        std::thread::sleep(Duration::from_micros(us));
+        let mut total = 0.0;
+        for d in inputs {
+            total += d
+                .as_f64()
+                .ok_or_else(|| "pause_sum: scalar inputs required".to_string())?;
+        }
+        Ok(Datum::F64(total))
+    });
+    cluster
+}
+
+/// Wide fan-out over one hot block pinned on worker 0: byte gravity herds
+/// every task onto the holder, so this is the round where work-distributing
+/// policies should win. Returns submit-to-last-result wall ms.
+fn live_wide_fanout(client: &dtask::Client, round: u64) -> f64 {
+    let n = 96;
+    let blk = Key::new(format!("hot-{round}"));
+    client.scatter(vec![(blk.clone(), Datum::F64(1.0))], Some(0));
+    let specs: Vec<TaskSpec> = (0..n)
+        .map(|i| {
+            TaskSpec::new(
+                format!("fan-{round}-{i}"),
+                "pause_sum",
+                Datum::I64(2_000),
+                vec![blk.clone()],
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    client.submit(specs);
+    let keys: Vec<Key> = (0..n)
+        .map(|i| Key::new(format!("fan-{round}-{i}")))
+        .collect();
+    let vals = client.gather_many(&keys).expect("fan-out results");
+    assert!(vals.iter().all(|v| v.as_f64() == Some(1.0)));
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Independent compute chains rooted at blocks spread round-robin: the
+/// chain-affinity round locality is built for.
+fn live_deep_chains(client: &dtask::Client, round: u64) -> f64 {
+    let chains = 12;
+    let depth = 8;
+    for c in 0..chains {
+        client.scatter(
+            vec![(Key::new(format!("croot-{round}-{c}")), Datum::F64(c as f64))],
+            Some(c % N_WORKERS),
+        );
+    }
+    let mut specs = Vec::with_capacity(chains * depth);
+    let mut tails = Vec::with_capacity(chains);
+    for c in 0..chains {
+        let mut prev = Key::new(format!("croot-{round}-{c}"));
+        for l in 0..depth {
+            let key = Key::new(format!("clink-{round}-{c}-{l}"));
+            specs.push(TaskSpec::new(
+                key.clone(),
+                "pause_sum",
+                Datum::I64(1_000),
+                vec![prev],
+            ));
+            prev = key;
+        }
+        tails.push(prev);
+    }
+    let t0 = Instant::now();
+    client.submit(specs);
+    let vals = client.gather_many(&tails).expect("chain tails");
+    for (c, v) in vals.iter().enumerate() {
+        assert_eq!(v.as_f64(), Some(c as f64));
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// The external-rooted IPCA-shaped round (the bench's main workload):
+/// scheduling-bound, so this measures policy overhead on the hot path.
+fn live_ipca(client: &dtask::Client, round: u64) -> f64 {
+    let t0 = Instant::now();
+    assert_eq!(run_round(client, round), expected_sink());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// One machine-readable row of the live matrix.
+struct LiveRow {
+    policy: &'static str,
+    workload: &'static str,
+    median_ms: f64,
+    steal_requests: u64,
+    tasks_stolen: u64,
+}
+
+/// A named live workload: submits a graph, blocks on the result, returns it.
+type LiveWorkload = (&'static str, fn(&dtask::Client, u64) -> f64);
+
+/// Run the live policy x workload matrix: every policy on a fresh cluster,
+/// every workload `POLICY_ROUNDS` rounds, medians + steal telemetry out.
+fn live_policy_matrix() -> Vec<LiveRow> {
+    let configs = [
+        PolicyConfig::locality(),
+        PolicyConfig::b_level(),
+        PolicyConfig::random_stealing(),
+        PolicyConfig::min_eft(),
+    ];
+    let workloads: [LiveWorkload; 3] = [
+        ("wide-fanout", live_wide_fanout),
+        ("deep-chains", live_deep_chains),
+        ("ipca", live_ipca),
+    ];
+    let mut rows = Vec::new();
+    for config in &configs {
+        for &(wname, runner) in &workloads {
+            let cluster = policy_cluster(config.clone());
+            let client = cluster.client();
+            let samples: Vec<f64> = (0..POLICY_ROUNDS)
+                .map(|r| runner(&client, r as u64))
+                .collect();
+            let stats = cluster.stats();
+            rows.push(LiveRow {
+                policy: config.kind.name(),
+                workload: wname,
+                median_ms: median_ms(samples),
+                steal_requests: stats.steal_requests(),
+                tasks_stolen: stats.tasks_stolen(),
+            });
+        }
+    }
+    rows
+}
+
+fn outcome_json(o: &schedlab::Outcome) -> Json {
+    Json::obj()
+        .set("policy", o.policy.name())
+        .set("workload", o.workload.clone())
+        .set("workers", o.workers as u64)
+        .set("slots", o.slots as u64)
+        .set("tasks", o.tasks as u64)
+        .set("makespan_ms", o.makespan_ns as f64 / 1e6)
+        .set("tasks_stolen", o.tasks_stolen)
+        .set("transfer_ms", o.transfer_ns as f64 / 1e6)
+        .set("utilization", o.utilization)
+}
+
 fn bench_scheduler_throughput(c: &mut Criterion) {
     println!(
         "scheduler_throughput: {CHAINS} chains x {CHAIN_LEN} ops + {DEAD_TASKS} dead tasks, \
@@ -425,6 +595,86 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         chaos_snap.peers_lost, chaos_snap.tasks_resubmitted, chaos_snap.recomputes
     );
 
+    // Scheduling-policy matrix, live: every policy on a real cluster over
+    // three workload shapes (compute-bound skewed fan-out, chain affinity,
+    // the scheduling-bound IPCA graph).
+    println!(
+        "  policy matrix, live ({N_WORKERS} workers x {POLICY_SLOTS} slots, \
+         median of {POLICY_ROUNDS} rounds):"
+    );
+    let live_rows = live_policy_matrix();
+    for row in &live_rows {
+        println!(
+            "    {:<16} {:<12} {:>8.1} ms | {} steal reqs, {} stolen",
+            row.policy, row.workload, row.median_ms, row.steal_requests, row.tasks_stolen
+        );
+    }
+
+    // The same matrix at DES scale: the schedlab list-scheduling simulator
+    // replays the four disciplines at 100 workers x 1e5 tasks, plus two
+    // scale points (1000 workers; 1e6 tasks). Deterministic, so the JSON
+    // record is diffable across commits.
+    let des_workers = 100;
+    let mut des_outcomes: Vec<schedlab::Outcome> = Vec::new();
+    println!("  policy matrix, DES ({des_workers} workers x {POLICY_SLOTS} slots, 1e5 tasks):");
+    for w in schedlab::workloads(100_000, 42) {
+        let runs = schedlab::run_matrix(&w, des_workers, POLICY_SLOTS);
+        let loc = runs
+            .iter()
+            .find(|o| o.policy == schedlab::Policy::Locality)
+            .expect("locality run")
+            .makespan_ns;
+        for o in &runs {
+            println!(
+                "    {:<16} {:<12} makespan {:>9.1} ms ({:+.1}% vs locality) | \
+                 util {:.2} | {} stolen",
+                o.policy.name(),
+                o.workload,
+                o.makespan_ns as f64 / 1e6,
+                (o.makespan_ns as f64 / loc as f64 - 1.0) * 100.0,
+                o.utilization,
+                o.tasks_stolen
+            );
+        }
+        des_outcomes.extend(runs);
+    }
+    // Acceptance gate: on the skewed fan-out at least one policy must beat
+    // the locality default outright.
+    {
+        let fanout: Vec<_> = des_outcomes
+            .iter()
+            .filter(|o| o.workload == "wide-fanout")
+            .collect();
+        let loc = fanout
+            .iter()
+            .find(|o| o.policy == schedlab::Policy::Locality)
+            .expect("locality fan-out")
+            .makespan_ns;
+        assert!(
+            fanout.iter().any(|o| o.makespan_ns < loc),
+            "no policy beat locality on the skewed fan-out"
+        );
+    }
+    println!("  policy matrix, DES scale points:");
+    let scale_runs: Vec<schedlab::Outcome> = {
+        let wide = schedlab::wide_fanout(200_000, 42);
+        let chains = schedlab::deep_chains(50_000, 20, 7); // 1e6 tasks
+        let mut runs = schedlab::run_matrix(&wide, 1000, POLICY_SLOTS);
+        runs.extend(schedlab::run_matrix(&chains, des_workers, POLICY_SLOTS));
+        runs
+    };
+    for o in &scale_runs {
+        println!(
+            "    {:<16} {:<12} {} workers, {} tasks: makespan {:>9.1} ms, util {:.2}",
+            o.policy.name(),
+            o.workload,
+            o.workers,
+            o.tasks,
+            o.makespan_ns as f64 / 1e6,
+            o.utilization
+        );
+    }
+
     // Emit the machine-readable record through the shared StatsSnapshot
     // schema (one format for bench output and runtime snapshots).
     let doc = Json::obj()
@@ -467,6 +717,36 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
                 .set(
                     "sched_lane_reduction",
                     inline_sched_b as f64 / proxy_sched_b.max(1) as f64,
+                ),
+        )
+        .set(
+            "policy_matrix",
+            Json::obj()
+                .set(
+                    "live",
+                    Json::Arr(
+                        live_rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj()
+                                    .set("policy", r.policy)
+                                    .set("workload", r.workload)
+                                    .set("workers", N_WORKERS as u64)
+                                    .set("slots", POLICY_SLOTS as u64)
+                                    .set("median_ms", r.median_ms)
+                                    .set("steal_requests", r.steal_requests)
+                                    .set("tasks_stolen", r.tasks_stolen)
+                            })
+                            .collect(),
+                    ),
+                )
+                .set(
+                    "des",
+                    Json::Arr(des_outcomes.iter().map(outcome_json).collect()),
+                )
+                .set(
+                    "des_scale",
+                    Json::Arr(scale_runs.iter().map(outcome_json).collect()),
                 ),
         )
         .set("chaos_baseline_wall_ms", chaos_baseline_ms)

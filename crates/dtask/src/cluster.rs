@@ -3,6 +3,7 @@
 use crate::client::Client;
 use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg, WorkerId};
 use crate::optimize::OptimizeConfig;
+use crate::policy::PolicyConfig;
 use crate::scheduler::{IngestMode, LivenessConfig, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
@@ -133,6 +134,11 @@ pub struct ClusterConfig {
     /// proxy-handle publication (default: proxies off, no budget — behavior
     /// and message counts identical to a cluster without the store).
     pub store: StoreConfig,
+    /// Scheduling policy: which placement/queue strategy the scheduler runs
+    /// and whether idle workers steal queued assignments from loaded peers
+    /// (default: [`PolicyConfig::locality`], no stealing — behavior and
+    /// message counts identical to the pre-policy scheduler).
+    pub policy: PolicyConfig,
 }
 
 impl Default for ClusterConfig {
@@ -148,6 +154,7 @@ impl Default for ClusterConfig {
             transport: TransportConfig::default(),
             fault: FaultConfig::default(),
             store: StoreConfig::default(),
+            policy: PolicyConfig::default(),
         }
     }
 }
@@ -224,16 +231,21 @@ impl Cluster {
 
         let mut worker_data = Vec::with_capacity(config.n_workers);
         let mut worker_exec = Vec::with_capacity(config.n_workers);
+        let mut worker_steal = Vec::with_capacity(config.n_workers);
         let mut stores: Vec<WorkerStore> = Vec::with_capacity(config.n_workers);
         let mut data_rxs = Vec::with_capacity(config.n_workers);
         let mut exec_rxs = Vec::with_capacity(config.n_workers);
+        let mut steal_rxs = Vec::with_capacity(config.n_workers);
         for id in 0..config.n_workers {
             let (dtx, drx) = unbounded();
             let (etx, erx) = unbounded();
+            let (stx, srx) = unbounded();
             worker_data.push(dtx);
             worker_exec.push(etx);
+            worker_steal.push(stx);
             data_rxs.push(drx);
             exec_rxs.push(erx);
+            steal_rxs.push(srx);
             stores.push(Arc::new(ObjectStore::new(
                 config.store.clone(),
                 id,
@@ -251,6 +263,7 @@ impl Cluster {
                 sched_tx,
                 data_txs: worker_data,
                 exec_txs: worker_exec.clone(),
+                steal_txs: worker_steal,
             },
             Arc::clone(&stats),
             tracer.register(TraceActor::Transport),
@@ -288,6 +301,7 @@ impl Cluster {
             slots,
             config.ingest,
             config.fault.liveness(),
+            config.policy.clone(),
             Arc::clone(&cluster.stats),
             cluster.tracer.register(TraceActor::Scheduler),
         );
@@ -303,7 +317,12 @@ impl Cluster {
         }
         // Worker threads: one data server + `slots` executor slots each, the
         // slots draining one shared (cloned) inbox.
-        for (id, (data_rx, exec_rx)) in data_rxs.into_iter().zip(exec_rxs).enumerate() {
+        for (id, ((data_rx, exec_rx), steal_rx)) in data_rxs
+            .into_iter()
+            .zip(exec_rxs)
+            .zip(steal_rxs)
+            .enumerate()
+        {
             let store = Arc::clone(&stores[id]);
             let data_endpoint = cluster.router.endpoint(Addr::WorkerData(id));
             match std::thread::Builder::new()
@@ -326,6 +345,8 @@ impl Cluster {
                     registry: cluster.registry.clone(),
                     stats: Arc::clone(&cluster.stats),
                     gather_mode: config.gather_mode,
+                    steal_poll: config.policy.steal_poll,
+                    steal_rx: steal_rx.clone(),
                     tracer: cluster
                         .tracer
                         .register(TraceActor::WorkerSlot { worker: id, slot }),

@@ -48,6 +48,7 @@ pub mod json;
 pub mod key;
 pub mod msg;
 pub mod optimize;
+pub mod policy;
 pub mod scheduler;
 pub mod snapshot;
 pub mod spec;
@@ -65,6 +66,7 @@ pub use json::Json;
 pub use key::Key;
 pub use msg::{ErrorCause, TaskError};
 pub use optimize::{optimize, OptimizeConfig, OptimizeReport};
+pub use policy::{PolicyConfig, PolicyKind, SchedulingPolicy, WorkerState};
 pub use scheduler::{IngestMode, LivenessConfig};
 pub use snapshot::{HistSnapshot, StatsSnapshot, WireLaneSnapshot};
 pub use spec::{OpRegistry, TaskSpec};

@@ -246,6 +246,26 @@ pub enum SchedMsg {
         /// Pinging worker.
         worker: WorkerId,
     },
+    /// An idle executor slot asks for work: the scheduler picks the most
+    /// loaded live peer and tells it (via [`ExecMsg::Steal`]) to hand
+    /// queued-but-unstarted assignments to this worker. Sent only when
+    /// [`crate::policy::PolicyConfig::steal_poll`] is set.
+    StealRequest {
+        /// The idle (would-be thief) worker.
+        worker: WorkerId,
+    },
+    /// A victim reports which queued assignments it forwarded to a thief.
+    /// Empty `keys` means the victim had nothing unstarted to give (a steal
+    /// miss). The scheduler re-points `assigned_to` for each key so loss
+    /// recovery and load accounting follow the task to its new worker.
+    Stolen {
+        /// Worker the assignments were taken from.
+        victim: WorkerId,
+        /// Worker that received them.
+        thief: WorkerId,
+        /// Keys of the forwarded assignments.
+        keys: Vec<Key>,
+    },
     /// Stop the scheduler loop.
     Shutdown,
 }
@@ -279,6 +299,17 @@ pub enum ExecMsg {
     ExecuteBatch {
         /// Assignments in placement order.
         tasks: Vec<Assignment>,
+    },
+    /// The scheduler (answering a [`SchedMsg::StealRequest`]) tells this
+    /// worker to forward up to `max` queued-but-unstarted assignments from
+    /// its shared inbox to `thief`. The receiving slot drains its inbox,
+    /// re-enqueues what it keeps, reports the forwarded keys with
+    /// [`SchedMsg::Stolen`], and ships the assignments to the thief's inbox.
+    Steal {
+        /// Worker to forward the assignments to.
+        thief: WorkerId,
+        /// Upper bound on assignments to hand over.
+        max: usize,
     },
     /// Stop one executor slot thread.
     Shutdown,

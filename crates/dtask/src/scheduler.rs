@@ -20,6 +20,7 @@
 use crate::datum::Datum;
 use crate::key::Key;
 use crate::msg::{ClientId, ClientMsg, DataMsg, ErrorCause, SchedMsg, TaskError, WorkerId};
+use crate::policy::{PolicyConfig, SchedulingPolicy, WorkerState};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
 use crate::trace::{EventKind, TraceHandle};
@@ -137,31 +138,6 @@ impl TaskEntry {
     }
 }
 
-struct WorkerEntry {
-    /// Tasks currently assigned and not yet reported done.
-    processing: usize,
-    /// Executor slots this worker runs; load comparisons use the
-    /// `processing / slots` ratio so a 4-slot worker with 2 running tasks
-    /// counts as less loaded than a 1-slot worker with 1.
-    slots: usize,
-    /// Cleared when the liveness sweep declares this worker dead; dead
-    /// workers never receive assignments and their reports are ignored.
-    alive: bool,
-    /// Last worker heartbeat, `None` until the first one arrives (a worker
-    /// that never heartbeats — liveness off — is never declared dead).
-    last_seen: Option<Instant>,
-}
-
-impl WorkerEntry {
-    /// Compare load ratios `a.processing/a.slots` vs `b.processing/b.slots`
-    /// without division (cross-multiplied, exact in u64).
-    fn load_cmp(a: &WorkerEntry, b: &WorkerEntry) -> std::cmp::Ordering {
-        let la = a.processing as u64 * b.slots as u64;
-        let lb = b.processing as u64 * a.slots as u64;
-        la.cmp(&lb)
-    }
-}
-
 #[derive(Default)]
 struct QueueEntry {
     items: VecDeque<Datum>,
@@ -176,8 +152,19 @@ pub struct Scheduler {
     /// cluster was built with.
     endpoint: Endpoint,
     tasks: HashMap<Key, TaskEntry>,
-    ready: VecDeque<Key>,
-    workers: Vec<WorkerEntry>,
+    /// Placement policy: owns the ready queue (ordering) and the per-task
+    /// worker decision. See [`crate::policy`].
+    policy: Box<dyn SchedulingPolicy>,
+    /// Worker-side stealing on? When set, assignments carry the *full*
+    /// dependency placement (including deps the target already holds), so a
+    /// stolen task can still locate every input from its new worker.
+    steal_enabled: bool,
+    /// Per-worker flag: a [`crate::msg::ExecMsg::Steal`] probe is in flight
+    /// against this victim and has not been answered with `Stolen` yet. An
+    /// idle thief polls faster than a victim finishes a task; without the
+    /// guard every poll would queue another redundant probe.
+    steal_inflight: Vec<bool>,
+    workers: Vec<WorkerState>,
     /// Connected clients; notifications to unknown ids are dropped.
     clients: HashSet<ClientId>,
     variables: HashMap<String, Datum>,
@@ -187,8 +174,6 @@ pub struct Scheduler {
     stats: Arc<SchedulerStats>,
     /// Lifecycle event recorder (empty handle when tracing is off).
     tracer: TraceHandle,
-    /// Round-robin cursor for dependency-free task placement.
-    rr_cursor: usize,
     /// Inbox drain strategy.
     ingest: IngestMode,
     /// Set by handlers that may have produced ready tasks; the run loop
@@ -211,12 +196,14 @@ impl Scheduler {
     /// worker table size comes from the endpoint's router).
     /// `slots_per_worker` is the executor-slot count of each worker (≥1),
     /// used to weight load comparisons during placement.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         rx: Receiver<SchedMsg>,
         endpoint: Endpoint,
         slots_per_worker: usize,
         ingest: IngestMode,
         liveness: LivenessConfig,
+        policy: PolicyConfig,
         stats: Arc<SchedulerStats>,
         tracer: TraceHandle,
     ) -> Self {
@@ -226,9 +213,11 @@ impl Scheduler {
             rx,
             endpoint,
             tasks: HashMap::new(),
-            ready: VecDeque::new(),
+            steal_enabled: policy.steal_enabled(),
+            steal_inflight: vec![false; n_workers],
+            policy: policy.build(),
             workers: (0..n_workers)
-                .map(|_| WorkerEntry {
+                .map(|_| WorkerState {
                     processing: 0,
                     slots,
                     alive: true,
@@ -241,7 +230,6 @@ impl Scheduler {
             queues: HashMap::new(),
             stats,
             tracer,
-            rr_cursor: 0,
             ingest,
             pending_schedule: false,
             liveness,
@@ -673,6 +661,16 @@ impl Scheduler {
                 self.stats.record(MsgClass::WorkerHeartbeat, 0);
                 self.note_worker_heartbeat(worker);
             }
+            SchedMsg::StealRequest { worker } => {
+                self.handle_steal_request(worker);
+            }
+            SchedMsg::Stolen {
+                victim,
+                thief,
+                keys,
+            } => {
+                self.handle_stolen(victim, thief, keys);
+            }
             SchedMsg::Shutdown => return false,
         }
         true
@@ -682,6 +680,9 @@ impl Scheduler {
     fn submit_graph(&mut self, specs: Vec<TaskSpec>) {
         // Specs are shared (scheduler entry + execute message), not copied.
         let specs: Vec<Arc<TaskSpec>> = specs.into_iter().map(Arc::new).collect();
+        // Priority policies derive per-graph ranks (e.g. b-levels) before any
+        // of these keys can reach the ready queue.
+        self.policy.graph_submitted(&specs);
         // First pass: create entries for every spec key (so intra-graph deps
         // resolve regardless of order).
         for spec in &specs {
@@ -757,7 +758,9 @@ impl Scheduler {
                 newly_ready.push(spec.key.clone());
             }
         }
-        self.ready.extend(newly_ready);
+        for key in newly_ready {
+            self.policy.push(key);
+        }
         self.pending_schedule = true;
     }
 
@@ -865,7 +868,7 @@ impl Scheduler {
                     if dep_entry.n_waiting == 0 {
                         dep_entry.state = TaskState::Ready;
                         self.tracer.instant(EventKind::TaskReady, Some(&dep_key), 0);
-                        self.ready.push_back(dep_key);
+                        self.policy.push(dep_key);
                     }
                 }
             }
@@ -964,7 +967,9 @@ impl Scheduler {
             self.stats.record_task_resubmitted();
             self.tracer
                 .instant(EventKind::Resubmit, Some(&key), entry.retries as u64);
-            self.ready.push_back(key);
+            // Through the policy queue, not a raw FIFO append: a priority
+            // policy must rank resubmissions like any other ready task.
+            self.policy.push(key);
             self.pending_schedule = true;
         }
     }
@@ -1167,67 +1172,74 @@ impl Scheduler {
         if n_waiting == 0 {
             entry.state = TaskState::Ready;
             self.tracer.instant(EventKind::TaskReady, Some(&key), 0);
-            self.ready.push_back(key);
+            self.policy.push(key);
         } else {
             entry.state = TaskState::Waiting;
         }
     }
 
-    /// Placement: data-gravity first (most dependency bytes), then lowest
-    /// load *ratio* (`processing / slots`, so multi-slot workers absorb
-    /// proportionally more tasks), then round-robin. Dead workers are never
-    /// candidates; `None` means no live worker remains.
-    fn decide_worker(&mut self, spec: &TaskSpec) -> Option<WorkerId> {
-        if self.workers.len() == 1 {
-            return self.workers[0].alive.then_some(0);
+    /// An idle worker asked for work: point the most-loaded live peer that
+    /// has more assignments than slots (i.e. queued-but-unstarted work) at
+    /// it via [`crate::msg::ExecMsg::Steal`]. The victim answers with
+    /// `Stolen`; no peer with surplus is an immediate miss.
+    fn handle_steal_request(&mut self, thief: WorkerId) {
+        self.stats.record_steal_request();
+        if !self.worker_alive(thief) {
+            return;
         }
-        let mut byte_share = vec![0u64; self.workers.len()];
-        let mut any_deps = false;
-        for dep in &spec.deps {
-            if let Some(e) = self.tasks.get(dep) {
-                for &w in &e.who_has {
-                    if self.workers[w].alive {
-                        byte_share[w] += e.nbytes.max(1);
-                        any_deps = true;
-                    }
-                }
-            }
+        let victim = (0..self.workers.len())
+            .filter(|&w| w != thief && self.workers[w].alive && !self.steal_inflight[w])
+            .filter(|&w| self.workers[w].processing > self.workers[w].slots)
+            .max_by(|&a, &b| WorkerState::load_cmp(&self.workers[a], &self.workers[b]));
+        let Some(victim) = victim else {
+            self.stats.record_steal_miss();
+            return;
+        };
+        // Take half the surplus: enough to matter, and the victim keeps its
+        // slots busy even if its queue estimate was stale.
+        let surplus = self.workers[victim].processing - self.workers[victim].slots;
+        let max = (surplus / 2).max(1);
+        self.steal_inflight[victim] = true;
+        self.endpoint
+            .send_exec(victim, crate::msg::ExecMsg::Steal { thief, max });
+    }
+
+    /// A victim reported the assignments it forwarded. Re-point each task
+    /// that is still in flight on the victim; anything that completed,
+    /// erred, or was recovered while the steal raced stays untouched (the
+    /// thief's duplicate completion report is deduplicated like a replica).
+    fn handle_stolen(&mut self, victim: WorkerId, thief: WorkerId, keys: Vec<Key>) {
+        if victim >= self.workers.len() || thief >= self.workers.len() {
+            return;
         }
-        if any_deps {
-            let best = (0..self.workers.len())
-                .filter(|&w| self.workers[w].alive)
-                .max_by(|&a, &b| {
-                    byte_share[a].cmp(&byte_share[b]).then_with(|| {
-                        // Equal bytes: prefer the lower load ratio (reverse
-                        // the comparison, `max_by` keeps the smaller load).
-                        WorkerEntry::load_cmp(&self.workers[b], &self.workers[a])
-                    })
-                });
-            if let Some(best) = best {
-                if byte_share[best] > 0 {
-                    return Some(best);
-                }
-            }
+        self.steal_inflight[victim] = false;
+        if keys.is_empty() {
+            self.stats.record_steal_miss();
+            return;
         }
-        // No placed deps: lowest load ratio among live workers, breaking
-        // ties round-robin (strict `<` keeps the first minimum in
-        // round-robin order).
-        let n = self.workers.len();
-        let mut best: Option<usize> = None;
-        for off in 0..n {
-            let w = (self.rr_cursor + off) % n;
-            if !self.workers[w].alive {
+        let thief_alive = self.worker_alive(thief);
+        for key in keys {
+            let Some(entry) = self.tasks.get_mut(&key) else {
+                continue;
+            };
+            if entry.state != TaskState::Processing || entry.assigned_to != Some(victim) {
                 continue;
             }
-            best = Some(match best {
-                None => w,
-                Some(b) if WorkerEntry::load_cmp(&self.workers[w], &self.workers[b]).is_lt() => w,
-                Some(b) => b,
-            });
+            self.workers[victim].processing = self.workers[victim].processing.saturating_sub(1);
+            if !thief_alive {
+                // The thief died between asking and receiving: the forwarded
+                // assignment went into a black hole. Recover like any other
+                // in-flight loss.
+                self.retry_or_fail(key);
+                self.pending_schedule = true;
+                continue;
+            }
+            entry.assigned_to = Some(thief);
+            self.workers[thief].processing += 1;
+            self.stats.record_task_stolen();
+            self.tracer
+                .instant(EventKind::Steal, Some(&key), thief as u64);
         }
-        let best = best?;
-        self.rr_cursor = (best + 1) % n;
-        Some(best)
     }
 
     /// Drain the ready queue, assigning tasks to workers. In batched ingest
@@ -1243,7 +1255,7 @@ impl Scheduler {
         // One timestamp per pass: every assignment in the pass shares it, so
         // queue-delay measurement costs one clock read per pass, not per task.
         let assigned_at = Instant::now();
-        while let Some(key) = self.ready.pop_front() {
+        while let Some(key) = self.policy.pop() {
             let Some(entry) = self.tasks.get(&key) else {
                 continue;
             };
@@ -1256,7 +1268,23 @@ impl Scheduler {
                     .as_ref()
                     .expect("ready tasks have specs (external tasks are never ready)"),
             );
-            let Some(worker) = self.decide_worker(&spec) else {
+            // Split the borrow: the policy mutates itself while reading the
+            // task table and worker states through shared references.
+            let worker = {
+                let Self {
+                    ref mut policy,
+                    ref tasks,
+                    ref workers,
+                    ..
+                } = *self;
+                let lookup = |dep: &Key, f: &mut dyn FnMut(u64, &[WorkerId])| {
+                    if let Some(e) = tasks.get(dep) {
+                        f(e.nbytes, &e.who_has);
+                    }
+                };
+                policy.decide_worker(&spec, workers, &lookup)
+            };
+            let Some(worker) = worker else {
                 // Every worker is gone: nothing can ever run this.
                 self.stats.record_retries_exhausted();
                 self.mark_erred(
@@ -1269,12 +1297,15 @@ impl Scheduler {
             // local deps resolve from its store, so cloning their (possibly
             // long) `who_has` lists here would be pure overhead. Dead
             // workers are filtered so gathers never try a known black hole.
+            // With stealing on, *every* dep location ships — a stolen task
+            // must locate inputs the original target held locally.
+            let steal_enabled = self.steal_enabled;
             let dep_locations: Vec<(Key, Vec<WorkerId>)> = spec
                 .deps
                 .iter()
                 .filter_map(|d| {
                     let e = self.tasks.get(d)?;
-                    if e.who_has.contains(&worker) {
+                    if !steal_enabled && e.who_has.contains(&worker) {
                         return None;
                     }
                     Some((

@@ -167,6 +167,12 @@ pub struct StatsSnapshot {
     pub injected_drops: u64,
     /// Fault injection: workers killed.
     pub injected_kills: u64,
+    /// Work stealing: `StealRequest` messages from idle workers.
+    pub steal_requests: u64,
+    /// Work stealing: steal attempts that found nothing to take.
+    pub steal_misses: u64,
+    /// Work stealing: assignments re-pointed from a victim to a thief.
+    pub tasks_stolen: u64,
     /// Object store: lookups answered from memory (or after a restore).
     pub store_hits: u64,
     /// Object store: lookups that found nothing.
@@ -249,6 +255,9 @@ impl StatsSnapshot {
             recomputes: stats.recomputes(),
             injected_drops: stats.injected_drops(),
             injected_kills: stats.injected_kills(),
+            steal_requests: stats.steal_requests(),
+            steal_misses: stats.steal_misses(),
+            tasks_stolen: stats.tasks_stolen(),
             store_hits: stats.store_hits(),
             store_misses: stats.store_misses(),
             store_spills: stats.store_spills(),
@@ -365,6 +374,13 @@ impl StatsSnapshot {
                     .set("injected_kills", self.injected_kills),
             )
             .set(
+                "steal",
+                Json::obj()
+                    .set("requests", self.steal_requests)
+                    .set("misses", self.steal_misses)
+                    .set("tasks_stolen", self.tasks_stolen),
+            )
+            .set(
                 "store",
                 Json::obj()
                     .set("hits", self.store_hits)
@@ -460,6 +476,9 @@ impl StatsSnapshot {
             ("dtask_fault_recomputes_total", self.recomputes),
             ("dtask_fault_injected_drops_total", self.injected_drops),
             ("dtask_fault_injected_kills_total", self.injected_kills),
+            ("dtask_steal_requests_total", self.steal_requests),
+            ("dtask_steal_misses_total", self.steal_misses),
+            ("dtask_tasks_stolen_total", self.tasks_stolen),
             ("dtask_store_hits_total", self.store_hits),
             ("dtask_store_misses_total", self.store_misses),
             ("dtask_store_spills_total", self.store_spills),
@@ -562,6 +581,7 @@ mod tests {
             "assign",
             "wire",
             "fault",
+            "steal",
             "store",
         ] {
             assert!(doc.get(section).is_some(), "missing section {section}");
@@ -596,6 +616,29 @@ mod tests {
         let prom = snap.to_prometheus();
         assert!(prom.contains("dtask_fault_peers_lost_total 1"));
         assert!(prom.contains("dtask_fault_tasks_resubmitted_total 2"));
+    }
+
+    #[test]
+    fn steal_section_reflects_stealing_counters() {
+        let stats = SchedulerStats::new();
+        stats.record_steal_request();
+        stats.record_steal_miss();
+        stats.record_task_stolen();
+        stats.record_task_stolen();
+        let snap = StatsSnapshot::capture(&stats);
+        assert_eq!(snap.steal_requests, 1);
+        assert_eq!(snap.steal_misses, 1);
+        assert_eq!(snap.tasks_stolen, 2);
+        let doc = snap.to_json();
+        assert_eq!(
+            doc.get("steal")
+                .and_then(|s| s.get("tasks_stolen"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("dtask_steal_requests_total 1"));
+        assert!(prom.contains("dtask_tasks_stolen_total 2"));
     }
 
     #[test]

@@ -315,6 +315,13 @@ pub struct SchedulerStats {
     fault_injected_drops: AtomicU64,
     /// Workers killed by fault injection.
     fault_injected_kills: AtomicU64,
+    /// `StealRequest` messages from idle workers.
+    steal_requests: AtomicU64,
+    /// Steal attempts that found nothing to take (no loaded peer, or the
+    /// victim's queue drained before the steal arrived).
+    steal_misses: AtomicU64,
+    /// Assignments successfully re-pointed from a victim to a thief.
+    tasks_stolen: AtomicU64,
     /// Object-store gets served from memory.
     store_hits: AtomicU64,
     /// Object-store gets of absent keys.
@@ -742,6 +749,38 @@ impl SchedulerStats {
         self.fault_injected_kills.load(Ordering::Relaxed)
     }
 
+    // ---- work stealing ------------------------------------------------------
+
+    /// Record one `StealRequest` received from an idle worker.
+    pub fn record_steal_request(&self) {
+        self.steal_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one steal attempt that found nothing to take.
+    pub fn record_steal_miss(&self) {
+        self.steal_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one assignment re-pointed from a victim to a thief.
+    pub fn record_task_stolen(&self) {
+        self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Steal requests received from idle workers.
+    pub fn steal_requests(&self) -> u64 {
+        self.steal_requests.load(Ordering::Relaxed)
+    }
+
+    /// Steal attempts that came up empty.
+    pub fn steal_misses(&self) -> u64 {
+        self.steal_misses.load(Ordering::Relaxed)
+    }
+
+    /// Assignments successfully stolen.
+    pub fn tasks_stolen(&self) -> u64 {
+        self.tasks_stolen.load(Ordering::Relaxed)
+    }
+
     // ---- object store / proxy data plane -----------------------------------
 
     /// Record one store get served from memory.
@@ -960,6 +999,28 @@ mod tests {
         assert_eq!(s.recomputes(), 1);
         assert_eq!(s.injected_drops(), 1);
         assert_eq!(s.injected_kills(), 1);
+    }
+
+    #[test]
+    fn steal_counters_accumulate_and_stay_out_of_control_accounting() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.steal_requests(), 0);
+        assert_eq!(s.steal_misses(), 0);
+        assert_eq!(s.tasks_stolen(), 0);
+        s.record_steal_request();
+        s.record_steal_request();
+        s.record_steal_miss();
+        s.record_task_stolen();
+        s.record_task_stolen();
+        s.record_task_stolen();
+        assert_eq!(s.steal_requests(), 2);
+        assert_eq!(s.steal_misses(), 1);
+        assert_eq!(s.tasks_stolen(), 3);
+        // Steal bookkeeping lives outside MsgClass: the paper's control and
+        // metadata message accounting must be byte-identical to the seed when
+        // stealing is off, and unpolluted by these counters when it is on.
+        assert_eq!(s.scheduler_control_messages(), 0);
+        assert_eq!(s.bridge_metadata_messages(), 0);
     }
 
     #[test]

@@ -165,6 +165,9 @@ pub enum EventKind {
     /// A consumer resolved a proxy handle via a data-lane fetch to its
     /// holder (span; key = entry, arg = payload bytes received).
     ProxyFetch,
+    /// A queued assignment was re-pointed from a loaded victim to an idle
+    /// thief (instant; key = task, arg = thief worker id).
+    Steal,
 }
 
 impl EventKind {
@@ -196,6 +199,7 @@ impl EventKind {
             EventKind::StoreMiss => "store_miss",
             EventKind::StoreFetch => "store_fetch",
             EventKind::ProxyFetch => "proxy_fetch",
+            EventKind::Steal => "steal",
         }
     }
 
@@ -206,7 +210,7 @@ impl EventKind {
             EventKind::Optimize => "tasks_out",
             EventKind::RegisterExternal => "keys",
             EventKind::TaskReady => "seq",
-            EventKind::Assign | EventKind::Exec | EventKind::Report => "worker",
+            EventKind::Assign | EventKind::Exec | EventKind::Report | EventKind::Steal => "worker",
             EventKind::AssignPass => "assigned",
             EventKind::Ingest => "messages",
             EventKind::GatherDep => "peer",

@@ -255,6 +255,10 @@ pub(crate) struct ClusterChannels {
     pub(crate) sched_tx: Sender<SchedMsg>,
     pub(crate) data_txs: Vec<Sender<DataMsg>>,
     pub(crate) exec_txs: Vec<Sender<ExecMsg>>,
+    /// Urgent per-worker lane for [`ExecMsg::Steal`]: a steal probe must
+    /// overtake the very backlog it wants to drain, so it cannot share the
+    /// FIFO executor inbox with `Execute` traffic.
+    pub(crate) steal_txs: Vec<Sender<ExecMsg>>,
 }
 
 /// The raw channel ends every backend ultimately delivers into.
@@ -262,6 +266,7 @@ struct Fabric {
     sched_tx: Sender<SchedMsg>,
     data_txs: Vec<Sender<DataMsg>>,
     exec_txs: Vec<Sender<ExecMsg>>,
+    steal_txs: Vec<Sender<ExecMsg>>,
     clients: Mutex<HashMap<ClientId, Sender<ClientMsg>>>,
     replies: Mutex<HashMap<u64, Sender<DataReply>>>,
 }
@@ -277,7 +282,14 @@ impl Fabric {
                 let _ = self.sched_tx.send(m);
             }
             Payload::Exec(m) => {
-                if let Some(tx) = worker_tx(&self.exec_txs, to_worker(to)) {
+                // Steal probes ride the urgent lane: a victim answers after
+                // its current task, not after its whole queued backlog.
+                let txs = if matches!(m, ExecMsg::Steal { .. }) {
+                    &self.steal_txs
+                } else {
+                    &self.exec_txs
+                };
+                if let Some(tx) = worker_tx(txs, to_worker(to)) {
                     let _ = tx.send(m);
                 }
             }
@@ -458,6 +470,7 @@ impl Router {
             sched_tx: channels.sched_tx,
             data_txs: channels.data_txs,
             exec_txs: channels.exec_txs,
+            steal_txs: channels.steal_txs,
             clients: Mutex::new(HashMap::new()),
             replies: Mutex::new(HashMap::new()),
         });
@@ -702,6 +715,7 @@ mod tests {
                 sched_tx,
                 data_txs: Vec::new(),
                 exec_txs: Vec::new(),
+                steal_txs: Vec::new(),
             },
             Arc::new(SchedulerStats::default()),
             TraceHandle::disabled(),

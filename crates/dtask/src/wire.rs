@@ -642,6 +642,23 @@ fn put_sched(e: &mut Enc, m: &SchedMsg) {
             e.u8(17);
             e.usize(*worker);
         }
+        SchedMsg::StealRequest { worker } => {
+            e.u8(18);
+            e.usize(*worker);
+        }
+        SchedMsg::Stolen {
+            victim,
+            thief,
+            keys,
+        } => {
+            e.u8(19);
+            e.usize(*victim);
+            e.usize(*thief);
+            e.len(keys.len());
+            for k in keys {
+                put_key(e, k);
+            }
+        }
     }
 }
 
@@ -748,6 +765,21 @@ fn get_sched(d: &mut Dec) -> Result<SchedMsg, WireError> {
         15 => SchedMsg::Heartbeat { client: d.usize()? },
         16 => SchedMsg::Shutdown,
         17 => SchedMsg::WorkerHeartbeat { worker: d.usize()? },
+        18 => SchedMsg::StealRequest { worker: d.usize()? },
+        19 => {
+            let victim = d.usize()?;
+            let thief = d.usize()?;
+            let n = d.len()?;
+            let mut keys = Vec::with_capacity(n.min(d.buf.len() - d.pos));
+            for _ in 0..n {
+                keys.push(get_key(d)?);
+            }
+            SchedMsg::Stolen {
+                victim,
+                thief,
+                keys,
+            }
+        }
         tag => {
             return Err(WireError::BadTag {
                 what: "sched msg",
@@ -771,6 +803,11 @@ fn put_exec(e: &mut Enc, m: &ExecMsg) {
             }
         }
         ExecMsg::Shutdown => e.u8(2),
+        ExecMsg::Steal { thief, max } => {
+            e.u8(3);
+            e.usize(*thief);
+            e.usize(*max);
+        }
     }
 }
 
@@ -786,6 +823,10 @@ fn get_exec(d: &mut Dec) -> Result<ExecMsg, WireError> {
             ExecMsg::ExecuteBatch { tasks }
         }
         2 => ExecMsg::Shutdown,
+        3 => ExecMsg::Steal {
+            thief: d.usize()?,
+            max: d.usize()?,
+        },
         tag => {
             return Err(WireError::BadTag {
                 what: "exec msg",
@@ -1191,6 +1232,47 @@ mod tests {
             Payload::Sched(SchedMsg::WorkerHeartbeat { worker }) => assert_eq!(worker, 3),
             _ => panic!("wrong payload"),
         }
+    }
+
+    #[test]
+    fn steal_messages_round_trip_and_stay_control_sized() {
+        let bytes = encode(&Payload::Sched(SchedMsg::StealRequest { worker: 5 }));
+        match decode(&bytes).unwrap() {
+            Payload::Sched(SchedMsg::StealRequest { worker }) => assert_eq!(worker, 5),
+            _ => panic!("wrong payload"),
+        }
+
+        let stolen = Payload::Sched(SchedMsg::Stolen {
+            victim: 2,
+            thief: 7,
+            keys: (0..8)
+                .map(|i| Key::new(format!("block-{i}-step-42")))
+                .collect(),
+        });
+        let bytes = encode(&stolen);
+        match decode(&bytes).unwrap() {
+            Payload::Sched(SchedMsg::Stolen {
+                victim,
+                thief,
+                keys,
+            }) => {
+                assert_eq!((victim, thief), (2, 7));
+                assert_eq!(keys.len(), 8);
+                assert_eq!(keys[3].as_str(), "block-3-step-42");
+            }
+            _ => panic!("wrong payload"),
+        }
+        assert!(
+            (bytes.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES,
+            "steal reports are control-sized"
+        );
+
+        let bytes = encode(&Payload::Exec(ExecMsg::Steal { thief: 1, max: 4 }));
+        match decode(&bytes).unwrap() {
+            Payload::Exec(ExecMsg::Steal { thief, max }) => assert_eq!((thief, max), (1, 4)),
+            _ => panic!("wrong payload"),
+        }
+        assert!((bytes.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES);
     }
 
     #[test]

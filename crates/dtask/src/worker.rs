@@ -27,10 +27,10 @@ use crate::stats::{MsgClass, SchedulerStats};
 use crate::store::ObjectStore;
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::{DataReply, Endpoint, ReplyRx};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Shared object store of one worker (data server + every executor slot).
 pub type WorkerStore = Arc<ObjectStore>;
@@ -159,6 +159,16 @@ pub struct Executor {
     pub stats: Arc<SchedulerStats>,
     /// Dependency gather strategy.
     pub gather_mode: GatherMode,
+    /// Work-stealing idle poll: with `Some(poll)`, a slot that waits `poll`
+    /// without receiving work sends a [`SchedMsg::StealRequest`] and keeps
+    /// waiting. `None` (the default) keeps the loop on a plain blocking
+    /// `recv` — zero overhead, identical to the pre-stealing runtime.
+    pub steal_poll: Option<Duration>,
+    /// Urgent lane carrying [`ExecMsg::Steal`] probes. Shared (cloned)
+    /// across this worker's slots like the main inbox, but drained with
+    /// priority between tasks: a probe queued behind a deep backlog on the
+    /// FIFO inbox would only ever find an empty queue.
+    pub steal_rx: Receiver<ExecMsg>,
     /// Lifecycle event recorder for this slot (empty when tracing is off).
     pub tracer: TraceHandle,
 }
@@ -166,11 +176,30 @@ pub struct Executor {
 impl Executor {
     /// Run until `Shutdown`.
     pub fn run(self) {
-        loop {
+        'outer: loop {
+            // Answer pending steal probes before picking up the next task:
+            // this is what lets a thief drain a victim that is busy for the
+            // length of its whole backlog.
+            self.drain_steals();
             let idle_from = Instant::now();
-            let msg = match self.rx.recv() {
-                Ok(msg) => msg,
-                Err(_) => break,
+            let msg = match self.steal_poll {
+                None => match self.rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                },
+                Some(poll) => loop {
+                    // Idle for a full poll interval: ask the scheduler to
+                    // route a loaded peer's queued work here, keep waiting.
+                    match self.rx.recv_timeout(poll) {
+                        Ok(msg) => break msg,
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.drain_steals();
+                            self.endpoint
+                                .send_sched(SchedMsg::StealRequest { worker: self.id });
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break 'outer,
+                    }
+                },
             };
             self.stats
                 .record_exec_idle(idle_from.elapsed().as_nanos() as u64);
@@ -187,7 +216,78 @@ impl Executor {
                         self.run_one(head);
                     }
                 }
+                ExecMsg::Steal { thief, max } => self.forward_stolen(thief, max),
                 ExecMsg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Answer every steal probe waiting on the urgent lane. The first one
+    /// takes whatever the inbox holds; later probes naturally report empty
+    /// `Stolen` replies, which the scheduler books as misses.
+    fn drain_steals(&self) {
+        while let Ok(msg) = self.steal_rx.try_recv() {
+            if let ExecMsg::Steal { thief, max } = msg {
+                self.forward_stolen(thief, max);
+            }
+        }
+    }
+
+    /// Victim half of the steal protocol: drain queued-but-unstarted
+    /// assignments from this worker's shared inbox, hand up to `max` of
+    /// them to `thief`, and re-enqueue everything else. The forwarded keys
+    /// are reported to the scheduler first ([`SchedMsg::Stolen`]) so
+    /// `assigned_to` re-points before the thief can report completion.
+    fn forward_stolen(&self, thief: WorkerId, max: usize) {
+        let mut stolen: Vec<Assignment> = Vec::new();
+        let mut keep: Vec<ExecMsg> = Vec::new();
+        while stolen.len() < max {
+            match self.rx.try_recv() {
+                Ok(ExecMsg::Execute(a)) => stolen.push(a),
+                Ok(ExecMsg::ExecuteBatch { mut tasks }) => {
+                    let need = max - stolen.len();
+                    if tasks.len() > need {
+                        let rest = tasks.split_off(need);
+                        keep.push(ExecMsg::ExecuteBatch { tasks: rest });
+                    }
+                    stolen.extend(tasks);
+                }
+                Ok(ExecMsg::Steal { thief: other, .. }) => {
+                    // A second concurrent steal aimed at this worker: what
+                    // was available is already going to the first thief.
+                    // Answer the miss so the scheduler's books balance.
+                    self.endpoint.send_sched(SchedMsg::Stolen {
+                        victim: self.id,
+                        thief: other,
+                        keys: Vec::new(),
+                    });
+                }
+                Ok(msg @ ExecMsg::Shutdown) => {
+                    // Keep the slot-count invariant: the shutdown must still
+                    // reach a sibling (or come back to us).
+                    keep.push(msg);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        for msg in keep {
+            let _ = self.exec_tx.send(msg);
+        }
+        self.endpoint.send_sched(SchedMsg::Stolen {
+            victim: self.id,
+            thief,
+            keys: stolen.iter().map(|a| a.spec.key.clone()).collect(),
+        });
+        match stolen.len() {
+            0 => {}
+            1 => {
+                let assignment = stolen.pop().expect("len checked");
+                self.endpoint.send_exec(thief, ExecMsg::Execute(assignment));
+            }
+            _ => {
+                self.endpoint
+                    .send_exec(thief, ExecMsg::ExecuteBatch { tasks: stolen });
             }
         }
     }

@@ -19,13 +19,17 @@
 //! * [`analytics`] — the consumer-side timelines: in-transit IPCA (old and
 //!   new) chained on data arrival, post-hoc IPCA chained on PFS reads,
 //! * [`figures`] — one function per paper figure, returning plot-ready
-//!   series.
+//!   series,
+//! * [`schedlab`] — the scheduling-policy lab: the four `dtask` placement
+//!   policies replayed as a fast list-scheduling simulation at 100–1000
+//!   workers and 1e5–1e6 tasks.
 
 pub mod ablations;
 pub mod analytics;
 pub mod cost;
 pub mod figures;
 pub mod scenario;
+pub mod schedlab;
 pub mod simside;
 pub mod stats_util;
 

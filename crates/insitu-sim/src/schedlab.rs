@@ -1,0 +1,703 @@
+//! `schedlab` — scheduling-policy A/B at discrete-event scale.
+//!
+//! The live `dtask` cluster benches the four scheduling policies at laptop
+//! scale (a handful of workers, thousands of tasks). This module replays the
+//! same placement and queueing disciplines as a fast list-scheduling
+//! simulation, so the policy×workload matrix extends to paper scale —
+//! hundreds to a thousand workers, 1e5–1e6 tasks — without spawning a
+//! thread per worker.
+//!
+//! The disciplines mirror `dtask::policy` rule for rule:
+//!
+//! * **locality** — byte-gravity placement (most dependency bytes wins,
+//!   least-loaded tie-break, round-robin for dependency-free tasks), FIFO
+//!   ready order;
+//! * **blevel** — same placement, but ready tasks pop in descending
+//!   bottom-level (critical-path length) order, FIFO within a rank;
+//! * **random-stealing** — uniform random placement; a worker whose local
+//!   queue drains while it has a free slot steals half the most-loaded
+//!   peer's queued surplus;
+//! * **mineft** — per-worker expected finish time: queue depth in units of a
+//!   nominal task, plus [`netsim::transfer_ns`] for every dependency the
+//!   candidate does not hold; first minimum wins.
+//!
+//! As in the live scheduler, ready tasks are pushed *eagerly* to the chosen
+//! worker's local FIFO (per-worker queues can exceed the slot count), a task
+//! pays the transfer cost of each dependency its worker does not hold at
+//! execution start, and fetched dependencies replicate onto the fetching
+//! worker (the `AddReplica` feedback that makes locality sticky).
+
+use netsim::transfer_ns;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Fabric bandwidth for dependency transfers (EDR InfiniBand, matching both
+/// [`crate::cost::CostModel`] and the live mineft policy's constant).
+pub const NIC_BW: u64 = 12_500_000_000;
+
+/// Nominal per-task service time the mineft queue term uses (the live
+/// policy's `NOMINAL_TASK_NS`).
+pub const NOMINAL_TASK_NS: u64 = netsim::MS;
+
+/// The four disciplines under test (names match `dtask::PolicyKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Byte-gravity placement, FIFO ready order (the live default).
+    Locality,
+    /// Byte-gravity placement, critical-path-first ready order.
+    BLevel,
+    /// Uniform random placement with idle-worker stealing.
+    RandomStealing,
+    /// Min expected finish time (queue depth + transfer costs).
+    MinEft,
+}
+
+impl Policy {
+    /// Every policy, in bench-matrix order.
+    pub const ALL: [Policy; 4] = [
+        Policy::Locality,
+        Policy::BLevel,
+        Policy::RandomStealing,
+        Policy::MinEft,
+    ];
+
+    /// Stable name (matches `dtask::PolicyKind::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Locality => "locality",
+            Policy::BLevel => "blevel",
+            Policy::RandomStealing => "random-stealing",
+            Policy::MinEft => "mineft",
+        }
+    }
+}
+
+/// One task of a simulated graph.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// In-graph dependencies (indices into `Workload::tasks`).
+    pub deps: Vec<u32>,
+    /// Pre-placed input blocks this task reads (indices into
+    /// `Workload::blocks`) — the DES stand-in for external/scattered data.
+    pub blocks: Vec<u32>,
+    /// Pure compute time.
+    pub compute_ns: u64,
+    /// Output payload size (what dependents may have to transfer).
+    pub out_bytes: u64,
+}
+
+/// A generated task graph plus its pre-placed input data.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload family name (bench matrix key).
+    pub name: String,
+    /// Input blocks as `(bytes, home worker)`; homes wrap modulo the
+    /// simulated worker count at run time.
+    pub blocks: Vec<(u64, u32)>,
+    /// The tasks, topologically constructible (deps point backwards).
+    pub tasks: Vec<SimTask>,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Policy that ran.
+    pub policy: Policy,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated workers.
+    pub workers: usize,
+    /// Executor slots per worker.
+    pub slots: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// First placement → last completion.
+    pub makespan_ns: u64,
+    /// Queued assignments moved by stealing (random-stealing only).
+    pub tasks_stolen: u64,
+    /// Total dependency-transfer time paid across all task starts.
+    pub transfer_ns: u64,
+    /// Busy time / (makespan × workers × slots).
+    pub utilization: f64,
+}
+
+// ---- deterministic RNG (no global entropy: runs must replay exactly) -------
+
+/// xorshift64* — same generator the live random policy uses.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator; `seed` is decorrelated and forced non-zero.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: (seed ^ 0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+// ---- workload generators ---------------------------------------------------
+
+/// Jittered around `base_ns` by ±12.5 % so no two runs tie artificially.
+fn jitter(rng: &mut XorShift64, base_ns: u64) -> u64 {
+    let span = base_ns / 4;
+    base_ns - span / 2 + rng.below(span.max(1))
+}
+
+/// Wide fan-out over *skewed* input data: `n_tasks` independent tasks, each
+/// reading one of a handful of large blocks that all live on the first few
+/// workers. Byte gravity herds every task onto the block holders, so this is
+/// the workload where work distribution (random-stealing, mineft) beats the
+/// locality default.
+pub fn wide_fanout(n_tasks: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64::new(seed);
+    let n_blocks = 4u32;
+    let block_bytes = 8 << 20; // 8 MiB: ~0.67 ms transfer vs ~1 ms compute
+    let blocks = (0..n_blocks).map(|h| (block_bytes, h)).collect();
+    let tasks = (0..n_tasks)
+        .map(|_| SimTask {
+            deps: vec![],
+            blocks: vec![rng.below(n_blocks as u64) as u32],
+            compute_ns: jitter(&mut rng, netsim::MS),
+            out_bytes: 1 << 10,
+        })
+        .collect();
+    Workload {
+        name: "wide-fanout".into(),
+        blocks,
+        tasks,
+    }
+}
+
+/// Independent linear chains: `n_chains` chains of `depth` tasks, each chain
+/// seeded by its own input block spread round-robin. Locality keeps every
+/// chain on one worker (zero transfers); random placement pays a transfer on
+/// almost every hop.
+pub fn deep_chains(n_chains: usize, depth: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64::new(seed);
+    let blocks = (0..n_chains)
+        .map(|c| (1u64 << 20, c as u32))
+        .collect::<Vec<_>>();
+    let mut tasks = Vec::with_capacity(n_chains * depth);
+    for c in 0..n_chains {
+        for d in 0..depth {
+            let deps = if d == 0 {
+                vec![]
+            } else {
+                vec![(tasks.len() - 1) as u32]
+            };
+            let blocks = if d == 0 { vec![c as u32] } else { vec![] };
+            tasks.push(SimTask {
+                deps,
+                blocks,
+                compute_ns: jitter(&mut rng, netsim::MS),
+                out_bytes: 1 << 20,
+            });
+        }
+    }
+    Workload {
+        name: "deep-chains".into(),
+        blocks,
+        tasks,
+    }
+}
+
+/// The paper's in-transit IPCA shape: per timestep, one external block per
+/// rank (round-robin homes), a preprocess task per rank, and a reduce task
+/// that folds all ranks into the running PCA state (which chains across
+/// timesteps).
+pub fn ipca(timesteps: usize, ranks: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64::new(seed);
+    let mut blocks = Vec::with_capacity(timesteps * ranks);
+    let mut tasks: Vec<SimTask> = Vec::with_capacity(timesteps * (ranks + 1));
+    let mut prev_reduce: Option<u32> = None;
+    for t in 0..timesteps {
+        let mut pre_ids = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            blocks.push((4u64 << 20, r as u32));
+            let block_id = (t * ranks + r) as u32;
+            pre_ids.push(tasks.len() as u32);
+            tasks.push(SimTask {
+                deps: vec![],
+                blocks: vec![block_id],
+                compute_ns: jitter(&mut rng, netsim::MS),
+                out_bytes: 256 << 10,
+            });
+        }
+        let mut deps = pre_ids;
+        if let Some(prev) = prev_reduce {
+            deps.push(prev);
+        }
+        prev_reduce = Some(tasks.len() as u32);
+        tasks.push(SimTask {
+            deps,
+            blocks: vec![],
+            compute_ns: jitter(&mut rng, 2 * netsim::MS),
+            out_bytes: 64 << 10,
+        });
+    }
+    Workload {
+        name: "ipca".into(),
+        blocks,
+        tasks,
+    }
+}
+
+/// Skewed fan-out feeding per-task chains — both failure modes at once:
+/// gravity herding on the fan-out stage and chain affinity afterwards.
+pub fn mixed(n_roots: usize, depth: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64::new(seed);
+    let n_blocks = 4u32;
+    let blocks = (0..n_blocks).map(|h| (8u64 << 20, h)).collect();
+    let mut tasks = Vec::with_capacity(n_roots * depth);
+    for _ in 0..n_roots {
+        for d in 0..depth {
+            let (deps, blks) = if d == 0 {
+                (vec![], vec![rng.below(n_blocks as u64) as u32])
+            } else {
+                (vec![(tasks.len() - 1) as u32], vec![])
+            };
+            tasks.push(SimTask {
+                deps,
+                blocks: blks,
+                compute_ns: jitter(&mut rng, netsim::MS),
+                out_bytes: 256 << 10,
+            });
+        }
+    }
+    Workload {
+        name: "mixed".into(),
+        blocks,
+        tasks,
+    }
+}
+
+/// The bench matrix's four workload families, sized to roughly `n_tasks`
+/// tasks each.
+pub fn workloads(n_tasks: usize, seed: u64) -> Vec<Workload> {
+    let chains_depth = 20;
+    vec![
+        wide_fanout(n_tasks, seed),
+        deep_chains(n_tasks / chains_depth, chains_depth, seed ^ 1),
+        ipca(n_tasks / 17, 16, seed ^ 2),
+        mixed(n_tasks / 8, 8, seed ^ 3),
+    ]
+}
+
+// ---- bottom levels ---------------------------------------------------------
+
+/// Bottom level of every task: sinks rank 1, each task one above its highest
+/// dependent (the same Kahn walk the live b-level policy runs).
+pub fn b_levels(tasks: &[SimTask]) -> Vec<u64> {
+    let n = tasks.len();
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut out_deg = vec![0u32; n];
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            dependents[d as usize].push(i as u32);
+            out_deg[d as usize] += 1;
+        }
+    }
+    let mut rank = vec![1u64; n];
+    let mut stack: Vec<u32> = (0..n as u32)
+        .filter(|&i| out_deg[i as usize] == 0)
+        .collect();
+    while let Some(i) = stack.pop() {
+        for &d in &tasks[i as usize].deps {
+            let d = d as usize;
+            rank[d] = rank[d].max(rank[i as usize] + 1);
+            out_deg[d] -= 1;
+            if out_deg[d] == 0 {
+                stack.push(d as u32);
+            }
+        }
+    }
+    // `dependents` only existed to size out_deg consistently; the walk runs
+    // over deps so duplicate edges need no dedup (out_deg counts them too).
+    drop(dependents);
+    rank
+}
+
+// ---- the simulator ---------------------------------------------------------
+
+struct SimWorker {
+    queue: VecDeque<u32>,
+    busy: u32,
+}
+
+impl SimWorker {
+    fn load(&self) -> u64 {
+        self.queue.len() as u64 + self.busy as u64
+    }
+}
+
+/// Central ready queue in the policy's pop order.
+enum ReadyQueue {
+    Fifo(VecDeque<u32>),
+    Ranked {
+        ranks: Vec<u64>,
+        heap: BinaryHeap<(u64, Reverse<u64>, u32)>,
+        seq: u64,
+    },
+}
+
+impl ReadyQueue {
+    fn push(&mut self, task: u32) {
+        match self {
+            ReadyQueue::Fifo(q) => q.push_back(task),
+            ReadyQueue::Ranked { ranks, heap, seq } => {
+                heap.push((ranks[task as usize], Reverse(*seq), task));
+                *seq += 1;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        match self {
+            ReadyQueue::Fifo(q) => q.pop_front(),
+            ReadyQueue::Ranked { heap, .. } => heap.pop().map(|(_, _, t)| t),
+        }
+    }
+}
+
+/// Run one workload under one policy on `workers`×`slots` simulated
+/// executors. Deterministic: the same inputs replay the same makespan.
+pub fn run(workload: &Workload, workers: usize, slots: usize, policy: Policy) -> Outcome {
+    assert!(workers > 0 && slots > 0);
+    let n = workload.tasks.len();
+    let mut rng = XorShift64::new(0xC0FF_EE00 ^ workers as u64);
+    let mut ready = match policy {
+        Policy::BLevel => ReadyQueue::Ranked {
+            ranks: b_levels(&workload.tasks),
+            heap: BinaryHeap::new(),
+            seq: 0,
+        },
+        _ => ReadyQueue::Fifo(VecDeque::new()),
+    };
+
+    // Data placement: block holders seeded from homes, task holders filled
+    // at completion; fetches replicate (AddReplica feedback).
+    let mut block_holders: Vec<Vec<u32>> = workload
+        .blocks
+        .iter()
+        .map(|&(_, home)| vec![home % workers as u32])
+        .collect();
+    let mut task_holders: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let mut pending: Vec<u32> = workload.tasks.iter().map(|t| t.deps.len() as u32).collect();
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, t) in workload.tasks.iter().enumerate() {
+        for &d in &t.deps {
+            dependents[d as usize].push(i as u32);
+        }
+    }
+    for (i, &p) in pending.iter().enumerate() {
+        if p == 0 {
+            ready.push(i as u32);
+        }
+    }
+
+    let mut ws: Vec<SimWorker> = (0..workers)
+        .map(|_| SimWorker {
+            queue: VecDeque::new(),
+            busy: 0,
+        })
+        .collect();
+    let mut rr_cursor = 0usize;
+    let mut now = 0u64;
+    let mut makespan = 0u64;
+    let mut busy_ns = 0u64;
+    let mut transfer_total = 0u64;
+    let mut tasks_stolen = 0u64;
+    let mut done = 0usize;
+    // Completion events: (time, task, worker), min-heap.
+    let mut events: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+
+    // Byte share per candidate worker for one task (holders only — the
+    // locality fast path the live policy takes via its score map).
+    let share = |task: &SimTask,
+                 block_holders: &[Vec<u32>],
+                 task_holders: &[Vec<u32>]|
+     -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = Vec::new();
+        let mut add = |w: u32, bytes: u64| match out.iter_mut().find(|(ow, _)| *ow == w) {
+            Some((_, b)) => *b += bytes,
+            None => out.push((w, bytes)),
+        };
+        for &b in &task.blocks {
+            let bytes = workload.blocks[b as usize].0.max(1);
+            for &w in &block_holders[b as usize] {
+                add(w, bytes);
+            }
+        }
+        for &d in &task.deps {
+            let bytes = workload.tasks[d as usize].out_bytes.max(1);
+            for &w in &task_holders[d as usize] {
+                add(w, bytes);
+            }
+        }
+        out
+    };
+
+    // Start as many queued tasks on `w` as it has free slots.
+    macro_rules! try_start {
+        ($w:expr) => {{
+            let w = $w;
+            while ws[w].busy < slots as u32 {
+                let Some(t) = ws[w].queue.pop_front() else {
+                    break;
+                };
+                let spec = &workload.tasks[t as usize];
+                let mut dur = spec.compute_ns;
+                for &b in &spec.blocks {
+                    if !block_holders[b as usize].contains(&(w as u32)) {
+                        let tx = transfer_ns(workload.blocks[b as usize].0, NIC_BW);
+                        dur += tx;
+                        transfer_total += tx;
+                        block_holders[b as usize].push(w as u32);
+                    }
+                }
+                for &d in &spec.deps {
+                    if !task_holders[d as usize].contains(&(w as u32)) {
+                        let tx = transfer_ns(workload.tasks[d as usize].out_bytes, NIC_BW);
+                        dur += tx;
+                        transfer_total += tx;
+                        task_holders[d as usize].push(w as u32);
+                    }
+                }
+                busy_ns += dur;
+                ws[w].busy += 1;
+                events.push(Reverse((now + dur, t, w as u32)));
+            }
+        }};
+    }
+
+    // Drain the ready queue: place each task per the policy and enqueue it
+    // at its worker (eager push, like the live schedule() pass).
+    macro_rules! place_ready {
+        () => {{
+            while let Some(t) = ready.pop() {
+                let spec = &workload.tasks[t as usize];
+                let w = match policy {
+                    Policy::RandomStealing => rng.below(workers as u64) as usize,
+                    Policy::MinEft => {
+                        let shares = share(spec, &block_holders, &task_holders);
+                        let total_tx: u64 = spec
+                            .blocks
+                            .iter()
+                            .map(|&b| transfer_ns(workload.blocks[b as usize].0, NIC_BW))
+                            .chain(spec.deps.iter().map(|&d| {
+                                transfer_ns(workload.tasks[d as usize].out_bytes, NIC_BW)
+                            }))
+                            .sum();
+                        let mut best: Option<(u64, usize)> = None;
+                        for (w, worker) in ws.iter().enumerate() {
+                            let rounds = (worker.load() + slots as u64) / slots as u64;
+                            let held: u64 = shares
+                                .iter()
+                                .filter(|&&(hw, _)| hw == w as u32)
+                                .map(|&(_, b)| transfer_ns(b, NIC_BW))
+                                .sum();
+                            let eft = rounds * NOMINAL_TASK_NS + total_tx.saturating_sub(held);
+                            best = match best {
+                                Some(b) if b.0 <= eft => Some(b),
+                                _ => Some((eft, w)),
+                            };
+                        }
+                        best.map(|(_, w)| w).unwrap_or(0)
+                    }
+                    Policy::Locality | Policy::BLevel => {
+                        let shares = share(spec, &block_holders, &task_holders);
+                        let best = shares
+                            .iter()
+                            .max_by(|a, b| {
+                                a.1.cmp(&b.1).then_with(|| {
+                                    // Tie → less-loaded wins (reversed).
+                                    ws[b.0 as usize].load().cmp(&ws[a.0 as usize].load())
+                                })
+                            })
+                            .copied();
+                        match best {
+                            Some((w, bytes)) if bytes > 0 => w as usize,
+                            _ => {
+                                // Round-robin scan for the least loaded.
+                                let mut pick = rr_cursor % workers;
+                                let mut min = u64::MAX;
+                                for i in 0..workers {
+                                    let w = (rr_cursor + i) % workers;
+                                    if ws[w].load() < min {
+                                        min = ws[w].load();
+                                        pick = w;
+                                    }
+                                }
+                                rr_cursor = (pick + 1) % workers;
+                                pick
+                            }
+                        }
+                    }
+                };
+                ws[w].queue.push_back(t);
+                try_start!(w);
+            }
+        }};
+    }
+
+    place_ready!();
+    while let Some(Reverse((t_ns, task, w))) = events.pop() {
+        now = t_ns;
+        makespan = makespan.max(now);
+        let w = w as usize;
+        ws[w].busy -= 1;
+        task_holders[task as usize].push(w as u32);
+        done += 1;
+        for &dep in &dependents[task as usize] {
+            pending[dep as usize] -= 1;
+            if pending[dep as usize] == 0 {
+                ready.push(dep);
+            }
+        }
+        place_ready!();
+        try_start!(w);
+        if policy == Policy::RandomStealing && ws[w].queue.is_empty() && ws[w].busy < slots as u32 {
+            // Idle thief: take half the most-loaded peer's queued surplus
+            // (the live victim drains up to (surplus/2).max(1)).
+            let victim = (0..workers)
+                .filter(|&v| v != w && !ws[v].queue.is_empty())
+                .max_by_key(|&v| ws[v].load());
+            if let Some(v) = victim {
+                let surplus = ws[v].load().saturating_sub(slots as u64);
+                let take = (surplus / 2).max(1).min(ws[v].queue.len() as u64);
+                for _ in 0..take {
+                    if let Some(t) = ws[v].queue.pop_back() {
+                        ws[w].queue.push_back(t);
+                        tasks_stolen += 1;
+                    }
+                }
+                try_start!(w);
+            }
+        }
+    }
+
+    assert_eq!(done, n, "every task must run exactly once");
+    let capacity_ns = makespan as u128 * (workers * slots) as u128;
+    Outcome {
+        policy,
+        workload: workload.name.clone(),
+        workers,
+        slots,
+        tasks: n,
+        makespan_ns: makespan,
+        tasks_stolen,
+        transfer_ns: transfer_total,
+        utilization: if capacity_ns == 0 {
+            0.0
+        } else {
+            busy_ns as f64 / capacity_ns as f64
+        },
+    }
+}
+
+/// Run every policy over one workload.
+pub fn run_matrix(workload: &Workload, workers: usize, slots: usize) -> Vec<Outcome> {
+    Policy::ALL
+        .iter()
+        .map(|&p| run(workload, workers, slots, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_levels_rank_roots_above_sinks() {
+        // chain 0 -> 1 -> 2 (task 1 deps on 0, 2 deps on 1).
+        let w = deep_chains(1, 3, 7);
+        let r = b_levels(&w.tasks);
+        assert_eq!(r, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = wide_fanout(2_000, 42);
+        for p in Policy::ALL {
+            let a = run(&w, 32, 2, p);
+            let b = run(&w, 32, 2, p);
+            assert_eq!(a.makespan_ns, b.makespan_ns, "{}", p.name());
+            assert_eq!(a.tasks_stolen, b.tasks_stolen);
+        }
+    }
+
+    #[test]
+    fn skewed_fanout_punishes_locality() {
+        // All bytes on 4 of 50 workers: gravity herds the fan-out onto them
+        // while work distribution spreads it. Both stealing and mineft must
+        // beat the locality default on makespan.
+        let w = wide_fanout(5_000, 42);
+        let loc = run(&w, 50, 2, Policy::Locality);
+        let steal = run(&w, 50, 2, Policy::RandomStealing);
+        let eft = run(&w, 50, 2, Policy::MinEft);
+        assert!(
+            steal.makespan_ns < loc.makespan_ns,
+            "stealing {} !< locality {}",
+            steal.makespan_ns,
+            loc.makespan_ns
+        );
+        assert!(
+            eft.makespan_ns < loc.makespan_ns,
+            "mineft {} !< locality {}",
+            eft.makespan_ns,
+            loc.makespan_ns
+        );
+        assert!(steal.tasks_stolen > 0, "the thief must actually steal");
+    }
+
+    #[test]
+    fn chains_favor_locality_over_random() {
+        // Chain affinity: locality pays zero transfers, random placement
+        // pays one per hop.
+        let w = deep_chains(200, 20, 7);
+        let loc = run(&w, 50, 2, Policy::Locality);
+        let rand = run(&w, 50, 2, Policy::RandomStealing);
+        assert!(loc.transfer_ns < rand.transfer_ns);
+        assert!(loc.makespan_ns <= rand.makespan_ns);
+    }
+
+    #[test]
+    fn every_policy_completes_every_workload() {
+        for w in workloads(2_000, 11) {
+            for o in run_matrix(&w, 16, 2) {
+                assert_eq!(o.tasks, w.tasks.len(), "{}/{}", w.name, o.policy.name());
+                assert!(o.makespan_ns > 0);
+                assert!(o.utilization > 0.0 && o.utilization <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_many_workers_and_tasks() {
+        // A smoke-sized version of the bench's scale point: 200 workers,
+        // tens of thousands of tasks, still exact and fast.
+        let w = wide_fanout(40_000, 3);
+        let o = run(&w, 200, 2, Policy::MinEft);
+        assert_eq!(o.tasks, 40_000);
+        assert!(o.makespan_ns > 0);
+    }
+}

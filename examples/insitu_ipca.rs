@@ -17,13 +17,17 @@
 //! handles + the per-node object stores, or `IPCA_STORE=spill` to also cap
 //! each store's memory so timestep blocks spill to disk — the fitted model
 //! must be identical either way.
+//!
+//! Set `IPCA_POLICY=locality | blevel | random-stealing | mineft` to pick
+//! the scheduling policy; the fitted model is identical under every one.
 
 use deisa_repro::darray;
 use deisa_repro::deisa::plugin::DeisaPlugin;
 use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
 use deisa_repro::dtask::{
-    Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, StoreConfig, TraceConfig,
+    Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, PolicyConfig, StoreConfig,
+    TraceConfig,
 };
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
@@ -90,11 +94,22 @@ fn main() {
         Err(_) | Ok("") | Ok("off") => StoreConfig::default(),
         Ok(other) => panic!("IPCA_STORE={other}? use on | spill | off"),
     };
+    // Scheduling policy: `IPCA_POLICY=locality | blevel | random-stealing |
+    // mineft` (default locality). The fitted model is identical under every
+    // policy — only placement moves.
+    let policy = match std::env::var("IPCA_POLICY").as_deref() {
+        Err(_) | Ok("") => PolicyConfig::default(),
+        Ok(name) => PolicyConfig::from_name(name).unwrap_or_else(|| {
+            panic!("IPCA_POLICY={name}? use locality | blevel | random-stealing | mineft")
+        }),
+    };
+    println!("policy: {}", policy.kind.name());
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 4,
         trace: TraceConfig::enabled(),
         fault,
         store,
+        policy,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());

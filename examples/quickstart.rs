@@ -21,6 +21,13 @@
 //! run exports its stats snapshot (with the `store` section counting the
 //! spills and restores) to `results/STORE_quickstart.json`.
 //!
+//! Set `QUICKSTART_POLICY=locality | blevel | random-stealing | mineft` to
+//! pick the scheduling policy (default: locality). The result is identical
+//! under every policy — placement moves, values don't. Under
+//! `random-stealing` the run additionally demonstrates worker-side work
+//! stealing on a deliberately skewed queue and asserts that at least one
+//! task was stolen (printed as `steal: ...` for CI to grep).
+//!
 //! Set `QUICKSTART_CHAOS=kill` to turn on heartbeat-driven failure detection,
 //! replicate every external block onto two workers, and kill one of the three
 //! workers mid-run. The result must STILL be identical — the scheduler
@@ -31,8 +38,8 @@
 
 use deisa_repro::darray::{self, DArray, Graph};
 use deisa_repro::dtask::{
-    Cluster, ClusterConfig, Datum, EventKind, FaultConfig, HeartbeatInterval, Key, SimNetConfig,
-    StatsSnapshot, StoreConfig, TraceActor, TraceConfig, TransportConfig, WireLane,
+    Cluster, ClusterConfig, Datum, EventKind, FaultConfig, HeartbeatInterval, Key, PolicyConfig,
+    SimNetConfig, StatsSnapshot, StoreConfig, TraceActor, TraceConfig, TransportConfig, WireLane,
 };
 use deisa_repro::linalg::NDArray;
 use std::time::{Duration, Instant};
@@ -65,7 +72,16 @@ fn main() {
         Err(_) | Ok("") | Ok("off") => (StoreConfig::default(), false),
         Ok(other) => panic!("QUICKSTART_STORE={other}? use on | spill | off"),
     };
-    println!("transport: {transport:?}, chaos: {chaos}, store: {store:?}");
+    let policy = match std::env::var("QUICKSTART_POLICY").as_deref() {
+        Err(_) | Ok("") => PolicyConfig::default(),
+        Ok(name) => PolicyConfig::from_name(name).unwrap_or_else(|| {
+            panic!("QUICKSTART_POLICY={name}? use locality | blevel | random-stealing | mineft")
+        }),
+    };
+    println!(
+        "transport: {transport:?}, chaos: {chaos}, store: {store:?}, policy: {}",
+        policy.kind.name()
+    );
     // Liveness is off by default (DEISA3 semantics: no heartbeats at all);
     // chaos mode turns on fast worker pings and a short detection timeout.
     let fault = if chaos {
@@ -87,6 +103,7 @@ fn main() {
         transport,
         fault,
         store,
+        policy: policy.clone(),
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());
@@ -218,6 +235,56 @@ fn main() {
             "chaos: {} peer lost, {} tasks resubmitted, {} recomputes -> \
              results/CHAOS_quickstart.json",
             snap.peers_lost, snap.tasks_resubmitted, snap.recomputes
+        );
+    }
+    // 9. Under a stealing policy, demonstrate the steal path on a cluster
+    //    sized to make it observable (two workers, one slot each): sixteen
+    //    slow tasks land wherever the policy puts them, and whichever worker
+    //    goes idle first pulls queued work from the loaded peer.
+    if policy.steal_enabled() {
+        let lab = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            slots_per_worker: 1,
+            policy: policy.clone(),
+            ..ClusterConfig::default()
+        });
+        lab.registry().register("slow_id", |_, inputs| {
+            std::thread::sleep(Duration::from_millis(20));
+            Ok(inputs[0].clone())
+        });
+        let c = lab.client();
+        c.scatter_external(vec![(Key::new("hot"), Datum::F64(7.0))], Some(0));
+        c.submit(
+            (0..16)
+                .map(|i| {
+                    deisa_repro::dtask::TaskSpec::new(
+                        format!("steal-demo-{i}"),
+                        "slow_id",
+                        Datum::Null,
+                        vec!["hot".into()],
+                    )
+                })
+                .collect(),
+        );
+        for i in 0..16 {
+            let v = c
+                .future(format!("steal-demo-{i}"))
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert_eq!(v, 7.0, "stolen tasks must compute the same value");
+        }
+        let lab_stats = lab.stats();
+        assert!(
+            lab_stats.tasks_stolen() >= 1,
+            "a skewed queue under a stealing policy must steal at least once"
+        );
+        println!(
+            "steal: requests={} misses={} stolen={}",
+            lab_stats.steal_requests(),
+            lab_stats.steal_misses(),
+            lab_stats.tasks_stolen()
         );
     }
     println!("quickstart OK");

@@ -501,6 +501,57 @@ fn proxy_plane_results_are_bit_identical_to_inline_results() {
     );
 }
 
+// ---- scheduling policies must not perturb the protocol accounting --------
+//
+// ISSUE 7 factors placement behind `PolicyConfig`; the default locality
+// policy is required to be byte-identical to the pre-policy scheduler. The
+// protocol-deterministic message classes (everything the §2.1 formulas
+// count — placement-dependent classes like `PeerFetch` are excluded) must
+// match between an implicit default config and an explicitly selected
+// locality policy, and no steal traffic may appear.
+
+#[test]
+fn explicit_locality_policy_reproduces_seed_counts() {
+    use deisa_repro::dtask::PolicyConfig;
+    let implicit = run_version(DeisaVersion::Deisa3);
+    let explicit = run_version_on(
+        DeisaVersion::Deisa3,
+        Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            policy: PolicyConfig::locality(),
+            ..ClusterConfig::default()
+        }),
+    );
+    let (i, e) = (implicit.stats(), explicit.stats());
+    for class in [
+        MsgClass::UpdateData,
+        MsgClass::UpdateDataExternal,
+        MsgClass::Queue,
+        MsgClass::Variable,
+        MsgClass::GraphSubmit,
+        MsgClass::RegisterExternal,
+        MsgClass::Heartbeat,
+        MsgClass::ScatterData,
+    ] {
+        assert_eq!(i.count(class), e.count(class), "count drifted: {class:?}");
+        assert_eq!(i.bytes(class), e.bytes(class), "bytes drifted: {class:?}");
+    }
+    // The seed formulas hold verbatim under the explicit policy…
+    assert_eq!(e.count(MsgClass::Variable) as usize, 3 + RANKS);
+    assert_eq!(
+        e.count(MsgClass::UpdateDataExternal) as usize,
+        STEPS * RANKS
+    );
+    assert_eq!(e.count(MsgClass::GraphSubmit), 1);
+    assert_eq!(e.bytes(MsgClass::ScatterData) as usize, STEPS * RANKS * 32);
+    // …and the default policy generates zero steal traffic on either side.
+    for stats in [i, e] {
+        assert_eq!(stats.steal_requests(), 0);
+        assert_eq!(stats.steal_misses(), 0);
+        assert_eq!(stats.tasks_stolen(), 0);
+    }
+}
+
 #[test]
 fn scatter_bytes_track_payloads() {
     let cluster = run_version(DeisaVersion::Deisa3);
