@@ -21,8 +21,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtask::{
     Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, IngestMode, Json, Key, MsgClass,
-    OptimizeConfig, PolicyConfig, StatsSnapshot, StoreConfig, TaskSpec, TraceConfig,
-    TransportConfig, WireLane,
+    OptimizeConfig, PolicyConfig, StatsSnapshot, StoreConfig, TaskSpec, TelemetryConfig,
+    TraceConfig, TransportConfig, WireLane,
 };
 use insitu_sim::schedlab;
 use linalg::NDArray;
@@ -53,6 +53,26 @@ fn make_transport_cluster(
     });
     // Chain stage: scalar increment — cheap on purpose, so scheduling
     // overhead (not kernel time) dominates the round.
+    cluster.registry().register("bump", |_params, inputs| {
+        let x = inputs
+            .first()
+            .and_then(|d| d.as_f64())
+            .ok_or_else(|| "bump: scalar input required".to_string())?;
+        Ok(Datum::F64(x + 1.0))
+    });
+    cluster
+}
+
+/// The optimized configuration with an explicit telemetry plane — for the
+/// telemetry on/off A/B.
+fn make_telemetry_cluster(telemetry: TelemetryConfig) -> Cluster {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: N_WORKERS,
+        optimize: OptimizeConfig::enabled(),
+        ingest: IngestMode::Batched { max_burst: 64 },
+        telemetry,
+        ..ClusterConfig::default()
+    });
     cluster.registry().register("bump", |_params, inputs| {
         let x = inputs
             .first()
@@ -507,6 +527,39 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
          ({overhead_pct:+.1}% — disabled recorder must stay < 2%)"
     );
 
+    // Telemetry A/B on the same optimized config: the full live plane
+    // (flight-recorder sampler at the default 25 ms interval, HTTP exporter
+    // bound and accepting, straggler detector timing every exec) against
+    // telemetry off. Interleaved rounds, medians — same discipline as the
+    // tracing A/B above.
+    let telemetry_rounds = 25;
+    let tel_off_cluster = make_telemetry_cluster(TelemetryConfig::default());
+    let tel_on_cluster = make_telemetry_cluster(TelemetryConfig::enabled());
+    let tel_off_client = tel_off_cluster.client();
+    let tel_on_client = tel_on_cluster.client();
+    let mut tel_off_samples = Vec::with_capacity(telemetry_rounds);
+    let mut tel_on_samples = Vec::with_capacity(telemetry_rounds);
+    for round in 0..telemetry_rounds as u64 {
+        let t0 = Instant::now();
+        assert_eq!(run_round(&tel_off_client, round), expected_sink());
+        tel_off_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        assert_eq!(run_round(&tel_on_client, round), expected_sink());
+        tel_on_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let tel_off_ms = median_ms(tel_off_samples);
+    let tel_on_ms = median_ms(tel_on_samples);
+    let telemetry_overhead_pct = (tel_on_ms / tel_off_ms.max(1e-9) - 1.0) * 100.0;
+    let tel_hub = tel_on_cluster.telemetry().expect("telemetry on");
+    let tel_flight_samples = tel_hub.flight().len();
+    let tel_sample_every_ms = tel_hub.config().sample_every.as_millis() as u64;
+    let tel_stragglers = tel_on_cluster.stats().stragglers_flagged();
+    println!(
+        "  telemetry A/B (median round): off {tel_off_ms:.2} ms, on {tel_on_ms:.2} ms \
+         ({telemetry_overhead_pct:+.1}% — target <= 5%) | {tel_flight_samples} flight samples \
+         every {tel_sample_every_ms} ms, {tel_stragglers} stragglers flagged"
+    );
+
     // Transport A/B on the optimized config: InProc (references over
     // channels) against Framed (every message through the versioned wire
     // codec). Interleaved rounds again; the Framed run's per-lane byte
@@ -695,6 +748,16 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         .set("trace_off_median_round_ms", off)
         .set("trace_on_median_round_ms", on)
         .set("trace_overhead_pct", overhead_pct)
+        .set(
+            "telemetry",
+            Json::obj()
+                .set("off_median_round_ms", tel_off_ms)
+                .set("on_median_round_ms", tel_on_ms)
+                .set("overhead_pct", telemetry_overhead_pct)
+                .set("sample_every_ms", tel_sample_every_ms)
+                .set("flight_samples", tel_flight_samples as u64)
+                .set("stragglers_flagged", tel_stragglers),
+        )
         .set("transport_inproc_median_round_ms", inproc_ms)
         .set("transport_framed_median_round_ms", framed_ms)
         .set("transport_framed_overhead_pct", framed_overhead_pct)

@@ -8,10 +8,12 @@ use crate::scheduler::{IngestMode, LivenessConfig, Scheduler};
 use crate::spec::OpRegistry;
 use crate::stats::SchedulerStats;
 use crate::store::{ObjectStore, StoreConfig};
+use crate::telemetry::{self, TelemetryConfig, TelemetryHub};
 use crate::trace::{TraceActor, TraceConfig, TraceRecorder};
 use crate::transport::{Addr, ClusterChannels, DataReply, FaultPlan, Router, TransportConfig};
 use crate::worker::{run_data_server, Executor, GatherMode, WorkerStore};
 use crossbeam::channel::unbounded;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -139,6 +141,12 @@ pub struct ClusterConfig {
     /// (default: [`PolicyConfig::locality`], no stealing — behavior and
     /// message counts identical to the pre-policy scheduler).
     pub policy: PolicyConfig,
+    /// Live telemetry plane: flight-recorder sampler, HTTP `/metrics`
+    /// exporter, and online straggler detection (default: off — no hub is
+    /// built, no threads spawn, and the scheduler/executor hot paths take
+    /// a single never-true branch). Enable with [`TelemetryConfig::enabled`]
+    /// and read back via [`Cluster::telemetry`] / [`Cluster::telemetry_addr`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ClusterConfig {
@@ -155,6 +163,7 @@ impl Default for ClusterConfig {
             fault: FaultConfig::default(),
             store: StoreConfig::default(),
             policy: PolicyConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -196,6 +205,15 @@ pub struct Cluster {
     exec_threads: parking_lot::Mutex<Vec<Vec<JoinHandle<()>>>>,
     worker_pingers: parking_lot::Mutex<Vec<Option<StoppableThread>>>,
     heartbeats: parking_lot::Mutex<Vec<StoppableThread>>,
+    /// Telemetry hub (gauges, flight ring, straggler baselines, alerts);
+    /// `None` unless the cluster was built with [`TelemetryConfig::enabled`].
+    telemetry: Option<Arc<TelemetryHub>>,
+    /// Sampler + HTTP exporter threads. Retired *first* at shutdown: they
+    /// only read shared state, so stopping them before the actors keeps the
+    /// final flight sample and scrape consistent with a live cluster.
+    telemetry_threads: parking_lot::Mutex<Vec<StoppableThread>>,
+    /// Bound address of the HTTP exporter, if one is serving.
+    telemetry_addr: Option<SocketAddr>,
     /// Pending scheduled kill from [`FaultPlan::kill_worker`], consumed by
     /// [`Cluster::fault_kill_due`].
     kill_at: parking_lot::Mutex<Option<(WorkerId, u64)>>,
@@ -227,6 +245,10 @@ impl Cluster {
         let registry = OpRegistry::with_std_ops();
         let stats = Arc::new(SchedulerStats::new());
         let tracer = Arc::new(TraceRecorder::new(config.trace));
+        let hub = config
+            .telemetry
+            .enabled
+            .then(|| Arc::new(TelemetryHub::new(config.telemetry, Arc::clone(&stats))));
         let (sched_tx, sched_rx) = unbounded();
 
         let mut worker_data = Vec::with_capacity(config.n_workers);
@@ -290,9 +312,62 @@ impl Cluster {
             ),
             worker_pingers: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
             heartbeats: parking_lot::Mutex::new(Vec::new()),
+            telemetry: hub,
+            telemetry_threads: parking_lot::Mutex::new(Vec::new()),
+            telemetry_addr: None,
             kill_at: parking_lot::Mutex::new(config.fault.plan.kill_worker),
             down: false,
         };
+
+        // Telemetry plane: flight-recorder sampler and (optionally) the HTTP
+        // exporter. Spawned before the actors so the first samples cover the
+        // whole run; both threads only *read* shared state.
+        if let Some(hub) = cluster.telemetry.clone() {
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let sampler_hub = Arc::clone(&hub);
+            match std::thread::Builder::new()
+                .name("dtask-telemetry-sampler".into())
+                .spawn(move || telemetry::run_sampler(sampler_hub, stop2))
+            {
+                Ok(handle) => cluster.telemetry_threads.get_mut().push((stop, handle)),
+                Err(e) => {
+                    cluster.shutdown_inner();
+                    return Err(e);
+                }
+            }
+            if hub.config().serve_http {
+                let (listener, addr) = match telemetry::bind_exporter(hub.config().http_port) {
+                    Ok(bound) => bound,
+                    Err(e) => {
+                        cluster.shutdown_inner();
+                        return Err(e);
+                    }
+                };
+                cluster.telemetry_addr = Some(addr);
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop2 = Arc::clone(&stop);
+                let exporter_stats = Arc::clone(&cluster.stats);
+                let exporter_tracer = Arc::clone(&cluster.tracer);
+                match std::thread::Builder::new()
+                    .name("dtask-telemetry-http".into())
+                    .spawn(move || {
+                        telemetry::run_exporter(
+                            listener,
+                            hub,
+                            exporter_stats,
+                            exporter_tracer,
+                            stop2,
+                        )
+                    }) {
+                    Ok(handle) => cluster.telemetry_threads.get_mut().push((stop, handle)),
+                    Err(e) => {
+                        cluster.shutdown_inner();
+                        return Err(e);
+                    }
+                }
+            }
+        }
 
         // Scheduler thread.
         let sched = Scheduler::new(
@@ -304,6 +379,7 @@ impl Cluster {
             config.policy.clone(),
             Arc::clone(&cluster.stats),
             cluster.tracer.register(TraceActor::Scheduler),
+            cluster.telemetry.clone(),
         );
         match std::thread::Builder::new()
             .name("dtask-scheduler".into())
@@ -350,6 +426,7 @@ impl Cluster {
                     tracer: cluster
                         .tracer
                         .register(TraceActor::WorkerSlot { worker: id, slot }),
+                    telemetry: cluster.telemetry.clone(),
                 };
                 match std::thread::Builder::new()
                     .name(format!("dtask-worker-{id}-exec-{slot}"))
@@ -414,6 +491,19 @@ impl Cluster {
     /// [`TraceRecorder::collect`] after a run to drain the event log.
     pub fn tracer(&self) -> &Arc<TraceRecorder> {
         &self.tracer
+    }
+
+    /// The telemetry hub (flight recorder, straggler baselines, alerts).
+    /// `None` unless the cluster was built with [`TelemetryConfig::enabled`].
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Where the HTTP exporter is listening (`GET /metrics`,
+    /// `/snapshot.json`, `/flight.json`, `/alerts.json`, `/health`).
+    /// `None` unless telemetry is enabled with `serve_http`.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_addr
     }
 
     /// Number of workers.
@@ -576,6 +666,13 @@ impl Cluster {
         }
         self.down = true;
         let endpoint = self.router.endpoint(Addr::Control);
+        // Telemetry first (step 0): the sampler and exporter only read, so
+        // they must go before any of the state they read starts tearing down;
+        // the sampler takes one final sample on stop.
+        for (stop, thread) in self.telemetry_threads.lock().drain(..) {
+            stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
         for (stop, thread) in self.heartbeats.lock().drain(..) {
             stop.store(true, Ordering::SeqCst);
             let _ = thread.join();
@@ -1300,6 +1397,207 @@ mod tests {
             .future("dead")
             .result_timeout(Duration::from_millis(40))
             .is_err());
+    }
+
+    // ---- telemetry plane ----------------------------------------------------
+
+    /// Config for telemetry tests that do not exercise the HTTP exporter.
+    fn telemetry_quiet() -> crate::telemetry::TelemetryConfig {
+        crate::telemetry::TelemetryConfig {
+            serve_http: false,
+            sample_every: Duration::from_millis(5),
+            ..crate::telemetry::TelemetryConfig::enabled()
+        }
+    }
+
+    #[test]
+    fn telemetry_flight_records_live_run() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            slots_per_worker: 1,
+            telemetry: telemetry_quiet(),
+            ..ClusterConfig::default()
+        });
+        register_slow_sum(&cluster);
+        let hub = Arc::clone(cluster.telemetry().expect("telemetry enabled"));
+        let client = cluster.client();
+        // A sustained workload: enough 5 ms tasks to span several sampling
+        // intervals, gathered round by round so task completions spread out.
+        for round in 0..6 {
+            client.submit(
+                (0..4)
+                    .map(|i| {
+                        TaskSpec::new(format!("r{round}-{i}"), "slow_sum", Datum::I64(5), vec![])
+                    })
+                    .collect(),
+            );
+            for i in 0..4 {
+                client.future(format!("r{round}-{i}")).result().unwrap();
+            }
+        }
+        cluster.shutdown();
+        let flight = hub.flight();
+        assert!(
+            flight.len() >= 3,
+            "flight recorder captured {} samples, want >= 3",
+            flight.len()
+        );
+        assert!(
+            flight.iter().any(|s| s.tasks_per_s > 0.0),
+            "no sample saw a non-zero task rate"
+        );
+        assert!(
+            flight.iter().any(|s| s.workers_alive == 2),
+            "no sample saw both workers alive"
+        );
+        // Timestamps are monotone: the ring preserves capture order.
+        assert!(flight.windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+
+    #[test]
+    fn telemetry_live_http_scrape_during_run() {
+        use std::io::{Read as _, Write as _};
+
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            slots_per_worker: 1,
+            telemetry: crate::telemetry::TelemetryConfig {
+                sample_every: Duration::from_millis(5),
+                ..crate::telemetry::TelemetryConfig::enabled()
+            },
+            ..ClusterConfig::default()
+        });
+        register_slow_sum(&cluster);
+        let addr = cluster.telemetry_addr().expect("exporter bound");
+        let scrape = |path: &str| -> String {
+            let mut conn = std::net::TcpStream::connect(addr).expect("connect exporter");
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            body
+        };
+        let client = cluster.client();
+        // Scrape while tasks are genuinely in flight.
+        client.submit(
+            (0..8)
+                .map(|i| TaskSpec::new(format!("t{i}"), "slow_sum", Datum::I64(20), vec![]))
+                .collect(),
+        );
+        let metrics = scrape("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("dtask_messages_total"));
+        assert!(metrics.contains("# HELP dtask_wire_bytes_total"));
+        for i in 0..8 {
+            client.future(format!("t{i}")).result().unwrap();
+        }
+        // Let the sampler observe the completed work, then read the flight.
+        std::thread::sleep(Duration::from_millis(15));
+        let flight = scrape("/flight.json");
+        assert!(flight.starts_with("HTTP/1.1 200 OK"), "{flight}");
+        let json_body = &flight[flight.find("\r\n\r\n").unwrap() + 4..];
+        let doc = crate::json::Json::parse(json_body).expect("valid flight JSON");
+        assert!(
+            doc.get("samples").is_some(),
+            "flight JSON has samples array"
+        );
+        assert!(scrape("/health").starts_with("HTTP/1.1 200 OK"));
+        assert!(scrape("/nope").starts_with("HTTP/1.1 404"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn telemetry_flags_injected_straggler_deterministically() {
+        // 8 fast executions build the slow_sum baseline, then one 100 ms
+        // outlier runs. The 20 ms absolute floor makes this deterministic:
+        // no fast task can ever be flagged (even under wild scheduler
+        // jitter), and the outlier always clears both floor and k×median.
+        let cluster = Cluster::with_config(ClusterConfig {
+            n_workers: 1,
+            slots_per_worker: 1,
+            trace: TraceConfig::enabled(),
+            telemetry: crate::telemetry::TelemetryConfig {
+                straggler_min_samples: 4,
+                straggler_min_ns: 20_000_000,
+                ..telemetry_quiet()
+            },
+            ..ClusterConfig::default()
+        });
+        register_slow_sum(&cluster);
+        let hub = Arc::clone(cluster.telemetry().unwrap());
+        let client = cluster.client();
+        client.submit(
+            (0..8)
+                .map(|i| TaskSpec::new(format!("fast{i}"), "slow_sum", Datum::I64(1), vec![]))
+                .collect(),
+        );
+        for i in 0..8 {
+            client.future(format!("fast{i}")).result().unwrap();
+        }
+        client.submit(vec![TaskSpec::new(
+            "outlier",
+            "slow_sum",
+            Datum::I64(100),
+            vec![],
+        )]);
+        client.future("outlier").result().unwrap();
+        assert_eq!(cluster.stats().stragglers_flagged(), 1);
+        let alerts = hub.alerts();
+        assert_eq!(alerts.len(), 1, "exactly one alert: {alerts:?}");
+        assert_eq!(alerts[0].kind, crate::telemetry::AlertKind::Straggler);
+        assert_eq!(alerts[0].key.as_deref(), Some("outlier"));
+        assert!(alerts[0].value >= 100.0, "flagged ms is the outlier's");
+        let log = cluster.tracer().collect();
+        let stragglers: Vec<_> = log.events_of(crate::trace::EventKind::Straggler).collect();
+        assert_eq!(stragglers.len(), 1, "one Straggler trace instant");
+        let (_, ev) = stragglers[0];
+        assert_eq!(ev.key.as_ref().map(|k| k.as_str()), Some("outlier"));
+        assert!(ev.arg >= 100_000_000, "instant arg carries the duration");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn telemetry_off_changes_no_messages_or_wire_bytes() {
+        // The same deterministic workload over the real wire format, with
+        // telemetry off (seed behavior) and on: every message-class count
+        // and every per-lane wire byte total must be identical — the
+        // telemetry plane is strictly out-of-band.
+        let run = |telemetry: crate::telemetry::TelemetryConfig| {
+            let cluster = Cluster::with_config(ClusterConfig {
+                n_workers: 1,
+                slots_per_worker: 1,
+                transport: crate::transport::TransportConfig::Framed,
+                telemetry,
+                ..ClusterConfig::default()
+            });
+            let client = cluster.client();
+            client.scatter(vec![(Key::new("x"), Datum::F64(4.0))], Some(0));
+            client.submit(vec![
+                TaskSpec::new("a", "const", Datum::F64(1.0), vec![]),
+                TaskSpec::new(
+                    "b",
+                    "sum_scalars",
+                    Datum::Null,
+                    vec!["a".into(), "x".into()],
+                ),
+                TaskSpec::new("c", "identity", Datum::Null, vec!["b".into()]),
+            ]);
+            assert_eq!(client.future("c").result().unwrap().as_f64(), Some(5.0));
+            let counts: Vec<u64> = crate::stats::MsgClass::ALL
+                .iter()
+                .map(|&m| cluster.stats().count(m))
+                .collect();
+            let bytes: Vec<u64> = crate::stats::WireLane::ALL
+                .iter()
+                .map(|&l| cluster.stats().wire_bytes(l))
+                .collect();
+            cluster.shutdown();
+            (counts, bytes)
+        };
+        let off = run(crate::telemetry::TelemetryConfig::default());
+        let on = run(telemetry_quiet());
+        assert_eq!(off, on, "telemetry must not perturb the message plane");
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod store;
+pub mod telemetry;
 pub mod trace;
 pub mod transport;
 pub mod wire;
@@ -72,6 +73,7 @@ pub use snapshot::{HistSnapshot, StatsSnapshot, WireLaneSnapshot};
 pub use spec::{OpRegistry, TaskSpec};
 pub use stats::{LatencyHist, MsgClass, SchedulerStats, WireLane};
 pub use store::{ObjectStore, StoreConfig};
+pub use telemetry::{Alert, AlertKind, FlightSample, TelemetryConfig, TelemetryHub};
 pub use trace::{
     EventKind, PhaseReport, TraceActor, TraceConfig, TraceEvent, TraceHandle, TraceLog,
     TraceRecorder,

@@ -23,6 +23,7 @@ use crate::msg::{ClientId, ClientMsg, DataMsg, ErrorCause, SchedMsg, TaskError, 
 use crate::policy::{PolicyConfig, SchedulingPolicy, WorkerState};
 use crate::spec::TaskSpec;
 use crate::stats::{MsgClass, SchedulerStats};
+use crate::telemetry::TelemetryHub;
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::Endpoint;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -189,6 +190,10 @@ pub struct Scheduler {
     backoff: Vec<(Instant, Key)>,
     /// When the liveness sweep last ran.
     last_sweep: Instant,
+    /// Live-telemetry hub to publish gauges into (ready-queue depth, live
+    /// workers, heartbeat gap ages), once per loop iteration. `None` when
+    /// telemetry is off — the loop then pays a single branch.
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Scheduler {
@@ -206,6 +211,7 @@ impl Scheduler {
         policy: PolicyConfig,
         stats: Arc<SchedulerStats>,
         tracer: TraceHandle,
+        telemetry: Option<Arc<TelemetryHub>>,
     ) -> Self {
         let slots = slots_per_worker.max(1);
         let n_workers = endpoint.n_workers();
@@ -236,6 +242,7 @@ impl Scheduler {
             client_last_seen: HashMap::new(),
             backoff: Vec::new(),
             last_sweep: Instant::now(),
+            telemetry,
         }
     }
 
@@ -330,10 +337,42 @@ impl Scheduler {
                 self.stats
                     .record_assign_pass(assign_from.elapsed().as_nanos() as u64);
             }
+            self.publish_telemetry();
             if shutdown {
                 break;
             }
         }
+    }
+
+    /// Refresh the telemetry gauges: ready-queue depth, live-worker count,
+    /// and the oldest worker/client heartbeat ages. One branch when
+    /// telemetry is off; a few Relaxed stores when on.
+    fn publish_telemetry(&self) {
+        let Some(hub) = &self.telemetry else {
+            return;
+        };
+        let now = Instant::now();
+        let gap_ns = |seen: Instant| now.saturating_duration_since(seen).as_nanos() as u64;
+        let workers_alive = self.workers.iter().filter(|w| w.alive).count() as u64;
+        let worker_gap = self
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .filter_map(|w| w.last_seen.map(gap_ns))
+            .max()
+            .unwrap_or(0);
+        let client_gap = self
+            .client_last_seen
+            .values()
+            .map(|&seen| gap_ns(seen))
+            .max()
+            .unwrap_or(0);
+        hub.publish_scheduler(
+            self.policy.len() as u64,
+            workers_alive,
+            worker_gap,
+            client_gap,
+        );
     }
 
     /// Next instant the loop must wake even if the inbox stays empty:

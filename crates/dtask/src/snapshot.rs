@@ -11,6 +11,7 @@ use crate::stats::{
     LatencyHist, MsgClass, SchedulerStats, WireLane, N_LAT_BUCKETS, N_SIZE_BUCKETS,
     SIZE_BUCKET_LABELS,
 };
+use crate::trace::TraceRecorder;
 
 /// Frozen view of one [`LatencyHist`].
 #[derive(Debug, Clone)]
@@ -191,6 +192,11 @@ pub struct StatsSnapshot {
     pub proxy_fetches: u64,
     /// Proxy plane: payload bytes moved by handle resolution.
     pub proxy_fetch_bytes: u64,
+    /// Trace events lost to full rings (`0` from plain [`StatsSnapshot::capture`];
+    /// populated by [`StatsSnapshot::capture_with_tracer`]).
+    pub trace_dropped: u64,
+    /// Telemetry: task executions flagged as stragglers.
+    pub stragglers_flagged: u64,
     /// Gather-wait latency histogram.
     pub gather_wait_hist: HistSnapshot,
     /// Task-execution latency histogram.
@@ -267,11 +273,22 @@ impl StatsSnapshot {
             proxy_put_bytes: stats.proxy_put_bytes(),
             proxy_fetches: stats.proxy_fetches(),
             proxy_fetch_bytes: stats.proxy_fetch_bytes(),
+            trace_dropped: 0,
+            stragglers_flagged: stats.stragglers_flagged(),
             gather_wait_hist: HistSnapshot::capture(stats.gather_wait_hist()),
             exec_hist: HistSnapshot::capture(stats.exec_hist()),
             queue_delay_hist: HistSnapshot::capture(stats.queue_delay_hist()),
             assign_pass_hist: HistSnapshot::capture(stats.assign_pass_hist()),
         }
+    }
+
+    /// [`StatsSnapshot::capture`] plus the trace recorder's drop counts, so
+    /// consumers can tell a complete trace from a clipped one. Non-draining:
+    /// the rings keep their events.
+    pub fn capture_with_tracer(stats: &SchedulerStats, tracer: &TraceRecorder) -> Self {
+        let mut snap = StatsSnapshot::capture(stats);
+        snap.trace_dropped = tracer.dropped_total();
+        snap
     }
 
     /// Serialize to the shared JSON schema.
@@ -393,6 +410,11 @@ impl StatsSnapshot {
                     .set("proxy_fetches", self.proxy_fetches)
                     .set("proxy_fetch_bytes", self.proxy_fetch_bytes),
             )
+            .set("trace", Json::obj().set("dropped", self.trace_dropped))
+            .set(
+                "telemetry",
+                Json::obj().set("stragglers_flagged", self.stragglers_flagged),
+            )
     }
 
     /// Pretty JSON document (what the benches write under `results/`).
@@ -400,104 +422,281 @@ impl StatsSnapshot {
         self.to_json().to_string_pretty()
     }
 
-    /// Prometheus-style text exposition (`# TYPE` headers, snake_case
-    /// metric names, histogram `_bucket`/`_sum`/`_count` triples with
-    /// cumulative `le` labels in seconds).
+    /// Prometheus text exposition (format 0.0.4): every metric family gets a
+    /// `# HELP` and `# TYPE` header, counters end in `_total`, histograms
+    /// emit `_bucket`/`_sum`/`_count` triples with cumulative `le` labels in
+    /// seconds, and the document ends with a newline.
     pub fn to_prometheus(&self) -> String {
+        fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
         let mut out = String::new();
-        out.push_str("# TYPE dtask_messages_total counter\n");
+        family(
+            &mut out,
+            "dtask_messages_total",
+            "Messages recorded at the scheduler by class.",
+            "counter",
+        );
         for c in &self.classes {
             out.push_str(&format!(
                 "dtask_messages_total{{class=\"{}\"}} {}\n",
                 c.name, c.count
             ));
         }
-        out.push_str("# TYPE dtask_message_bytes_total counter\n");
+        family(
+            &mut out,
+            "dtask_message_bytes_total",
+            "Payload bytes recorded at the scheduler by class.",
+            "counter",
+        );
         for c in &self.classes {
             out.push_str(&format!(
                 "dtask_message_bytes_total{{class=\"{}\"}} {}\n",
                 c.name, c.bytes
             ));
         }
-        out.push_str("# TYPE dtask_scheduler_control_messages_total counter\n");
+        family(
+            &mut out,
+            "dtask_scheduler_control_messages_total",
+            "Control-plane messages that hit the scheduler (the paper's bottleneck metric).",
+            "counter",
+        );
         out.push_str(&format!(
             "dtask_scheduler_control_messages_total {}\n",
             self.scheduler_control_messages
         ));
-        out.push_str("# TYPE dtask_bridge_metadata_messages_total counter\n");
+        family(
+            &mut out,
+            "dtask_bridge_metadata_messages_total",
+            "Bridge/client metadata messages per the paper's section 2.1 accounting.",
+            "counter",
+        );
         out.push_str(&format!(
             "dtask_bridge_metadata_messages_total {}\n",
             self.bridge_metadata_messages
         ));
-        out.push_str("# TYPE dtask_wire_messages_total counter\n");
+        family(
+            &mut out,
+            "dtask_wire_messages_total",
+            "Framed transport messages encoded, by destination lane.",
+            "counter",
+        );
         for lane in &self.wire_lanes {
             out.push_str(&format!(
                 "dtask_wire_messages_total{{lane=\"{}\"}} {}\n",
                 lane.name, lane.messages
             ));
         }
-        out.push_str("# TYPE dtask_wire_bytes_total counter\n");
+        family(
+            &mut out,
+            "dtask_wire_bytes_total",
+            "Serialized bytes-on-the-wire, by destination lane.",
+            "counter",
+        );
         for lane in &self.wire_lanes {
             out.push_str(&format!(
                 "dtask_wire_bytes_total{{lane=\"{}\"}} {}\n",
                 lane.name, lane.bytes
             ));
         }
-        out.push_str("# TYPE dtask_executor_utilization gauge\n");
+        family(
+            &mut out,
+            "dtask_executor_utilization",
+            "Executor busy time over busy plus idle time.",
+            "gauge",
+        );
         out.push_str(&format!(
             "dtask_executor_utilization {}\n",
             self.executor_utilization
         ));
-        for (name, count) in [
-            ("dtask_gather_batches_total", self.gather_batches),
-            ("dtask_gather_remote_deps_total", self.gather_deps),
-            ("dtask_ingest_bursts_total", self.ingest_bursts),
-            ("dtask_ingest_messages_total", self.ingest_msgs),
-            ("dtask_assign_passes_total", self.assign_passes),
-            ("dtask_assign_tasks_total", self.assign_tasks),
-            ("dtask_assign_messages_total", self.assign_messages),
-            ("dtask_optimize_tasks_in_total", self.optimize_tasks_in),
-            ("dtask_optimize_tasks_out_total", self.optimize_tasks_out),
-            ("dtask_optimize_culled_total", self.optimize_culled),
-            ("dtask_fault_peers_lost_total", self.peers_lost),
-            ("dtask_fault_peers_tracked_total", self.peers_tracked),
+        for (name, help, count) in [
+            (
+                "dtask_gather_batches_total",
+                "Dependency gathers that needed at least one remote fetch.",
+                self.gather_batches,
+            ),
+            (
+                "dtask_gather_remote_deps_total",
+                "Remote dependencies fetched across all gathers.",
+                self.gather_deps,
+            ),
+            (
+                "dtask_ingest_bursts_total",
+                "Scheduler inbox bursts drained.",
+                self.ingest_bursts,
+            ),
+            (
+                "dtask_ingest_messages_total",
+                "Messages absorbed across all inbox bursts.",
+                self.ingest_msgs,
+            ),
+            (
+                "dtask_assign_passes_total",
+                "Scheduler placement passes run.",
+                self.assign_passes,
+            ),
+            (
+                "dtask_assign_tasks_total",
+                "Tasks assigned to workers.",
+                self.assign_tasks,
+            ),
+            (
+                "dtask_assign_messages_total",
+                "Execute/ExecuteBatch messages sent to workers.",
+                self.assign_messages,
+            ),
+            (
+                "dtask_optimize_tasks_in_total",
+                "Tasks in submitted graphs before optimization.",
+                self.optimize_tasks_in,
+            ),
+            (
+                "dtask_optimize_tasks_out_total",
+                "Specs sent to the scheduler after cull and fuse.",
+                self.optimize_tasks_out,
+            ),
+            (
+                "dtask_optimize_culled_total",
+                "Tasks dropped by the optimizer cull pass.",
+                self.optimize_culled,
+            ),
+            (
+                "dtask_fault_peers_lost_total",
+                "Peers declared dead by the liveness sweep.",
+                self.peers_lost,
+            ),
+            (
+                "dtask_fault_peers_tracked_total",
+                "Distinct peers whose heartbeats were tracked.",
+                self.peers_tracked,
+            ),
             (
                 "dtask_fault_tasks_resubmitted_total",
+                "Tasks re-queued after a peer loss.",
                 self.tasks_resubmitted,
             ),
             (
                 "dtask_fault_retries_exhausted_total",
+                "Tasks failed after exhausting their retry budget.",
                 self.retries_exhausted,
             ),
             (
                 "dtask_fault_external_blocks_lost_total",
+                "External blocks lost beyond recovery.",
                 self.external_blocks_lost,
             ),
-            ("dtask_fault_recomputes_total", self.recomputes),
-            ("dtask_fault_injected_drops_total", self.injected_drops),
-            ("dtask_fault_injected_kills_total", self.injected_kills),
-            ("dtask_steal_requests_total", self.steal_requests),
-            ("dtask_steal_misses_total", self.steal_misses),
-            ("dtask_tasks_stolen_total", self.tasks_stolen),
-            ("dtask_store_hits_total", self.store_hits),
-            ("dtask_store_misses_total", self.store_misses),
-            ("dtask_store_spills_total", self.store_spills),
-            ("dtask_store_restores_total", self.store_restores),
-            ("dtask_store_spill_bytes_total", self.store_spill_bytes),
-            ("dtask_proxy_puts_total", self.proxy_puts),
-            ("dtask_proxy_put_bytes_total", self.proxy_put_bytes),
-            ("dtask_proxy_fetches_total", self.proxy_fetches),
-            ("dtask_proxy_fetch_bytes_total", self.proxy_fetch_bytes),
+            (
+                "dtask_fault_recomputes_total",
+                "Lost results re-queued for recompute.",
+                self.recomputes,
+            ),
+            (
+                "dtask_fault_injected_drops_total",
+                "Messages dropped by the active fault-injection plan.",
+                self.injected_drops,
+            ),
+            (
+                "dtask_fault_injected_kills_total",
+                "Workers killed by fault injection.",
+                self.injected_kills,
+            ),
+            (
+                "dtask_steal_requests_total",
+                "StealRequest messages from idle workers.",
+                self.steal_requests,
+            ),
+            (
+                "dtask_steal_misses_total",
+                "Steal attempts that found nothing to take.",
+                self.steal_misses,
+            ),
+            (
+                "dtask_steal_tasks_stolen_total",
+                "Assignments re-pointed from a victim to a thief.",
+                self.tasks_stolen,
+            ),
+            (
+                "dtask_store_hits_total",
+                "Object-store lookups answered from memory.",
+                self.store_hits,
+            ),
+            (
+                "dtask_store_misses_total",
+                "Object-store lookups that found nothing.",
+                self.store_misses,
+            ),
+            (
+                "dtask_store_spills_total",
+                "Store entries spilled to disk under memory pressure.",
+                self.store_spills,
+            ),
+            (
+                "dtask_store_restores_total",
+                "Spilled store entries restored on access.",
+                self.store_restores,
+            ),
+            (
+                "dtask_store_spill_bytes_total",
+                "Payload bytes written by store spills.",
+                self.store_spill_bytes,
+            ),
+            (
+                "dtask_proxy_puts_total",
+                "Payloads published out-of-band behind proxy handles.",
+                self.proxy_puts,
+            ),
+            (
+                "dtask_proxy_put_bytes_total",
+                "Payload bytes published out-of-band.",
+                self.proxy_put_bytes,
+            ),
+            (
+                "dtask_proxy_fetches_total",
+                "Proxy handles resolved by fetching from a holder.",
+                self.proxy_fetches,
+            ),
+            (
+                "dtask_proxy_fetch_bytes_total",
+                "Payload bytes moved by proxy-handle resolution.",
+                self.proxy_fetch_bytes,
+            ),
+            (
+                "dtask_trace_dropped_total",
+                "Trace events lost to full per-actor rings.",
+                self.trace_dropped,
+            ),
+            (
+                "dtask_stragglers_flagged_total",
+                "Task executions flagged as stragglers by the online detector.",
+                self.stragglers_flagged,
+            ),
         ] {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {count}\n"));
+            family(&mut out, name, help, "counter");
+            out.push_str(&format!("{name} {count}\n"));
         }
-        for (name, hist) in [
-            ("dtask_gather_wait_seconds", &self.gather_wait_hist),
-            ("dtask_exec_seconds", &self.exec_hist),
-            ("dtask_queue_delay_seconds", &self.queue_delay_hist),
-            ("dtask_assign_pass_seconds", &self.assign_pass_hist),
+        for (name, help, hist) in [
+            (
+                "dtask_gather_wait_seconds",
+                "Wall time spent waiting on dependency gathers.",
+                &self.gather_wait_hist,
+            ),
+            (
+                "dtask_exec_seconds",
+                "Task op or fused-chain execution time.",
+                &self.exec_hist,
+            ),
+            (
+                "dtask_queue_delay_seconds",
+                "Delay between scheduler assignment and slot dequeue.",
+                &self.queue_delay_hist,
+            ),
+            (
+                "dtask_assign_pass_seconds",
+                "Wall time of one scheduler placement pass.",
+                &self.assign_pass_hist,
+            ),
         ] {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            family(&mut out, name, help, "histogram");
             let mut cumulative = 0u64;
             for (i, &b) in hist.buckets.iter().enumerate() {
                 cumulative += b;
@@ -583,6 +782,8 @@ mod tests {
             "fault",
             "steal",
             "store",
+            "trace",
+            "telemetry",
         ] {
             assert!(doc.get(section).is_some(), "missing section {section}");
         }
@@ -638,7 +839,7 @@ mod tests {
         );
         let prom = snap.to_prometheus();
         assert!(prom.contains("dtask_steal_requests_total 1"));
-        assert!(prom.contains("dtask_tasks_stolen_total 2"));
+        assert!(prom.contains("dtask_steal_tasks_stolen_total 2"));
     }
 
     #[test]
@@ -670,6 +871,190 @@ mod tests {
         let prom = snap.to_prometheus();
         assert!(prom.contains("dtask_store_spills_total 1"));
         assert!(prom.contains("dtask_proxy_fetch_bytes_total 8192"));
+    }
+
+    #[test]
+    fn trace_section_reflects_ring_drops() {
+        use crate::trace::{EventKind, TraceActor, TraceConfig};
+        let stats = SchedulerStats::new();
+        let tracer = TraceRecorder::new(TraceConfig {
+            enabled: true,
+            capacity_per_actor: 2,
+        });
+        let h = tracer.register(TraceActor::Scheduler);
+        for i in 0..6u64 {
+            h.instant(EventKind::Submit, None, i);
+        }
+        let snap = StatsSnapshot::capture_with_tracer(&stats, &tracer);
+        assert_eq!(snap.trace_dropped, 4);
+        let doc = snap.to_json();
+        assert_eq!(
+            doc.get("trace")
+                .and_then(|t| t.get("dropped"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert!(snap.to_prometheus().contains("dtask_trace_dropped_total 4"));
+        // Plain capture leaves the field zero.
+        assert_eq!(StatsSnapshot::capture(&stats).trace_dropped, 0);
+    }
+
+    #[test]
+    fn telemetry_section_reflects_straggler_counter() {
+        let stats = SchedulerStats::new();
+        stats.record_straggler();
+        let snap = StatsSnapshot::capture(&stats);
+        assert_eq!(snap.stragglers_flagged, 1);
+        let doc = snap.to_json();
+        assert_eq!(
+            doc.get("telemetry")
+                .and_then(|t| t.get("stragglers_flagged"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(snap
+            .to_prometheus()
+            .contains("dtask_stragglers_flagged_total 1"));
+    }
+
+    /// Satellite: golden schema round-trip. Activity is recorded into every
+    /// counter section; the JSON document must survive a writer → parser
+    /// round trip unchanged, and each section must also be represented in
+    /// the Prometheus exposition.
+    #[test]
+    fn schema_sections_round_trip_through_json_and_prometheus() {
+        use crate::trace::{EventKind, TraceActor, TraceConfig};
+        let stats = SchedulerStats::new();
+        stats.record(MsgClass::GraphSubmit, 64); // messages
+        stats.record_wire(WireLane::SchedIn, 128); // wire
+        stats.record_steal_request(); // steal
+        stats.record_task_stolen();
+        stats.record_store_spill(4096); // store
+        stats.record_peer_lost(); // fault
+        stats.record_straggler(); // telemetry
+        stats.record_exec_busy(50_000);
+        let tracer = TraceRecorder::new(TraceConfig {
+            enabled: true,
+            capacity_per_actor: 2,
+        });
+        let h = tracer.register(TraceActor::Scheduler);
+        for _ in 0..3 {
+            h.instant(EventKind::Submit, None, 0); // trace: 1 drop
+        }
+        let snap = StatsSnapshot::capture_with_tracer(&stats, &tracer);
+
+        let doc = snap.to_json();
+        for rendering in [doc.to_string_compact(), doc.to_string_pretty()] {
+            let parsed = Json::parse(&rendering).expect("snapshot JSON must parse");
+            assert_eq!(parsed, doc, "writer -> parser round trip must be lossless");
+        }
+
+        let prom = snap.to_prometheus();
+        for (section, json_probe, prom_probe) in [
+            (
+                "messages",
+                "graph_submit",
+                "dtask_messages_total{class=\"graph_submit\"} 1",
+            ),
+            (
+                "wire",
+                "lanes",
+                "dtask_wire_bytes_total{lane=\"sched_in\"} 128",
+            ),
+            ("steal", "tasks_stolen", "dtask_steal_tasks_stolen_total 1"),
+            ("store", "spill_bytes", "dtask_store_spill_bytes_total 4096"),
+            ("fault", "peers_lost", "dtask_fault_peers_lost_total 1"),
+            ("trace", "dropped", "dtask_trace_dropped_total 1"),
+            (
+                "telemetry",
+                "stragglers_flagged",
+                "dtask_stragglers_flagged_total 1",
+            ),
+        ] {
+            let sec = doc.get(section).unwrap_or_else(|| panic!("no {section}"));
+            assert!(sec.get(json_probe).is_some(), "{section}.{json_probe}");
+            assert!(prom.contains(prom_probe), "prometheus missing {prom_probe}");
+        }
+    }
+
+    /// Satellite: exposition format lint. Checks the whole document against
+    /// the text-format rules a Prometheus scraper enforces: HELP+TYPE per
+    /// family, `_total` counter names, legal metric-name characters, sample
+    /// names matching their family, and a trailing newline.
+    #[test]
+    fn prometheus_exposition_format_lint() {
+        let stats = SchedulerStats::new();
+        stats.record(MsgClass::TaskReport, 10);
+        stats.record_exec_busy(12_345);
+        stats.record_wire(WireLane::ReplyIn, 99);
+        let prom = StatsSnapshot::capture(&stats).to_prometheus();
+        assert!(prom.ends_with('\n'), "exposition must end with a newline");
+
+        let valid_name = |name: &str| {
+            !name.is_empty()
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut family: Option<(String, String)> = None; // (name, kind)
+        let mut seen_families = std::collections::HashSet::new();
+        let mut pending_help: Option<String> = None;
+        for line in prom.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                assert!(valid_name(name), "bad HELP name {name:?}");
+                assert!(
+                    rest.len() > name.len() + 1,
+                    "HELP for {name} must carry text"
+                );
+                pending_help = Some(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                assert!(valid_name(name), "bad TYPE name {name:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown type {kind:?} for {name}"
+                );
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(name),
+                    "TYPE for {name} must directly follow its HELP"
+                );
+                assert!(
+                    seen_families.insert(name.to_string()),
+                    "family {name} declared twice"
+                );
+                if kind == "counter" {
+                    assert!(name.ends_with("_total"), "counter {name} must end _total");
+                }
+                family = Some((name.to_string(), kind.to_string()));
+            } else {
+                let sample_name = line.split(['{', ' ']).next().unwrap_or_default();
+                assert!(valid_name(sample_name), "bad sample name in {line:?}");
+                let (fam_name, fam_kind) = family.as_ref().expect("sample before any family");
+                let belongs = match fam_kind.as_str() {
+                    "histogram" => {
+                        sample_name == format!("{fam_name}_bucket")
+                            || sample_name == format!("{fam_name}_sum")
+                            || sample_name == format!("{fam_name}_count")
+                    }
+                    _ => sample_name == *fam_name,
+                };
+                assert!(belongs, "sample {sample_name} outside family {fam_name}");
+                let value = line.rsplit(' ').next().unwrap_or("");
+                assert!(
+                    value.parse::<f64>().is_ok(),
+                    "unparseable sample value in {line:?}"
+                );
+            }
+        }
+        assert!(pending_help.is_none(), "dangling HELP without TYPE");
     }
 
     #[test]

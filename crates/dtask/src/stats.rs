@@ -340,6 +340,9 @@ pub struct SchedulerStats {
     proxy_fetches: AtomicU64,
     /// Payload bytes moved by proxy resolution on the data lane.
     proxy_fetch_bytes: AtomicU64,
+    /// Task executions flagged as stragglers by the online detector
+    /// (exec duration > k× the robust per-op baseline).
+    stragglers_flagged: AtomicU64,
 }
 
 /// Histogram bucket count shared by the fused-chain and burst histograms.
@@ -860,6 +863,18 @@ impl SchedulerStats {
     pub fn proxy_fetch_bytes(&self) -> u64 {
         self.proxy_fetch_bytes.load(Ordering::Relaxed)
     }
+
+    // ---- telemetry / anomaly detection --------------------------------------
+
+    /// Record one task execution flagged as a straggler.
+    pub fn record_straggler(&self) {
+        self.stragglers_flagged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Task executions flagged as stragglers.
+    pub fn stragglers_flagged(&self) -> u64 {
+        self.stragglers_flagged.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -1049,6 +1064,19 @@ mod tests {
         assert_eq!(s.proxy_fetch_bytes(), 3072);
         // Store traffic is data plane: it never shows up in the paper's
         // control-message accounting.
+        assert_eq!(s.scheduler_control_messages(), 0);
+        assert_eq!(s.bridge_metadata_messages(), 0);
+    }
+
+    #[test]
+    fn straggler_counter_accumulates_and_stays_out_of_control_accounting() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.stragglers_flagged(), 0);
+        s.record_straggler();
+        s.record_straggler();
+        assert_eq!(s.stragglers_flagged(), 2);
+        // Telemetry flags are observability metadata, never paper-accounted
+        // control or bridge messages.
         assert_eq!(s.scheduler_control_messages(), 0);
         assert_eq!(s.bridge_metadata_messages(), 0);
     }

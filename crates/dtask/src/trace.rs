@@ -168,6 +168,10 @@ pub enum EventKind {
     /// A queued assignment was re-pointed from a loaded victim to an idle
     /// thief (instant; key = task, arg = thief worker id).
     Steal,
+    /// The online anomaly detector flagged a task execution as a straggler —
+    /// its exec duration exceeded k× the robust per-op baseline (instant;
+    /// key = task, arg = exec duration in nanoseconds).
+    Straggler,
 }
 
 impl EventKind {
@@ -200,6 +204,7 @@ impl EventKind {
             EventKind::StoreFetch => "store_fetch",
             EventKind::ProxyFetch => "proxy_fetch",
             EventKind::Steal => "steal",
+            EventKind::Straggler => "straggler",
         }
     }
 
@@ -227,6 +232,7 @@ impl EventKind {
             | EventKind::StoreFetch
             | EventKind::ProxyFetch => "bytes",
             EventKind::StoreMiss => "seq",
+            EventKind::Straggler => "dur_ns",
         }
     }
 }
@@ -438,6 +444,16 @@ impl TraceRecorder {
                 ring,
             }),
         }
+    }
+
+    /// Total events lost to full rings across every registered actor, without
+    /// draining anything. Snapshots surface this so a clipped trace is never
+    /// mistaken for a complete one.
+    pub fn dropped_total(&self) -> u64 {
+        let Some(shared) = &self.shared else {
+            return 0;
+        };
+        shared.rings.lock().iter().map(|r| r.ring.dropped()).sum()
     }
 
     /// Drain every ring into a [`TraceLog`] snapshot. Events recorded after
@@ -701,6 +717,7 @@ impl TraceLog {
             }
         };
 
+        let dropped: u64 = self.tracks.iter().map(|t| t.dropped).sum();
         let mut t_min = u64::MAX;
         let mut t_max = 0u64;
         let mut ext_deadline = 0u64; // last external block arrival
@@ -722,7 +739,11 @@ impl TraceLog {
             }
         }
         if t_min > t_max {
-            return PhaseReport::default(); // empty log
+            // Empty log — but dropped events still deserve the caveat.
+            return PhaseReport {
+                dropped,
+                ..PhaseReport::default()
+            };
         }
         // Segment boundaries: every span edge plus the external deadline, so
         // no segment straddles the external-wait cutoff.
@@ -738,6 +759,7 @@ impl TraceLog {
 
         let mut report = PhaseReport {
             makespan_ns: t_max - t_min,
+            dropped,
             ..PhaseReport::default()
         };
         let mut active = [0i64; 4];
@@ -788,6 +810,9 @@ pub struct PhaseReport {
     pub scheduler_ns: u64,
     /// Idle after the last external block (e.g. shutdown straggle).
     pub other_ns: u64,
+    /// Events lost to full rings across the drained tracks. When nonzero the
+    /// phase attribution under-counts whatever the dropped spans covered.
+    pub dropped: u64,
 }
 
 impl PhaseReport {
@@ -830,6 +855,12 @@ impl PhaseReport {
                 pct(ns)
             ));
         }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "  CAVEAT: {} trace event(s) dropped by full rings — phases under-counted\n",
+                self.dropped
+            ));
+        }
         out
     }
 
@@ -843,6 +874,7 @@ impl PhaseReport {
             .set("compute_ns", self.compute_ns)
             .set("scheduler_ns", self.scheduler_ns)
             .set("other_ns", self.other_ns)
+            .set("dropped", self.dropped)
     }
 }
 
@@ -995,5 +1027,41 @@ mod tests {
         let r = log.phase_report();
         assert_eq!(r.makespan_ns, 0);
         assert_eq!(r.phases_total_ns(), 0);
+    }
+
+    #[test]
+    fn dropped_total_counts_without_draining() {
+        let recorder = TraceRecorder::new(TraceConfig {
+            enabled: true,
+            capacity_per_actor: 2,
+        });
+        let h = recorder.register(TraceActor::Scheduler);
+        for i in 0..5u64 {
+            h.instant(EventKind::Submit, None, i);
+        }
+        assert_eq!(recorder.dropped_total(), 3);
+        // Non-draining: the ring still holds its 2 events.
+        let log = recorder.collect();
+        assert_eq!(log.n_events(), 2);
+        assert_eq!(log.phase_report().dropped, 3);
+        assert!(TraceRecorder::disabled().dropped_total() == 0);
+    }
+
+    #[test]
+    fn phase_table_warns_on_dropped_events() {
+        let log_with = |dropped: u64| TraceLog {
+            tracks: vec![TraceTrack {
+                actor: TraceActor::Scheduler,
+                label: None,
+                dropped,
+                events: vec![ev(EventKind::Exec, 0, 10)],
+            }],
+        };
+        assert!(!log_with(0).phase_report().to_table().contains("CAVEAT"));
+        let report = log_with(7).phase_report();
+        assert_eq!(report.dropped, 7);
+        let table = report.to_table();
+        assert!(table.contains("CAVEAT"));
+        assert!(table.contains('7'));
     }
 }

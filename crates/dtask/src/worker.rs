@@ -25,6 +25,7 @@ use crate::msg::{Assignment, DataMsg, ExecMsg, SchedMsg, TaskError, WorkerId};
 use crate::spec::{FusedInput, OpRegistry, TaskSpec, Value};
 use crate::stats::{MsgClass, SchedulerStats};
 use crate::store::ObjectStore;
+use crate::telemetry::TelemetryHub;
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::{DataReply, Endpoint, ReplyRx};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -171,6 +172,10 @@ pub struct Executor {
     pub steal_rx: Receiver<ExecMsg>,
     /// Lifecycle event recorder for this slot (empty when tracing is off).
     pub tracer: TraceHandle,
+    /// Live-telemetry hub: exec durations feed the online straggler
+    /// detector. `None` when telemetry is off — the exec path then pays a
+    /// single branch and never reads the clock for it.
+    pub telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Executor {
@@ -652,7 +657,10 @@ impl Executor {
         })?;
         // The exec span covers op computation only — the gather above records
         // its own spans, keeping the lifecycle phases distinct in the trace.
+        // The straggler detector times the same region with its own clock
+        // read: telemetry and tracing toggle independently.
         let exec_t0 = self.tracer.start();
+        let straggle_t0 = self.telemetry.as_ref().map(|_| Instant::now());
         let fail = |origin: &Key, message: String| TaskFailure {
             origin: origin.clone(),
             message,
@@ -687,6 +695,17 @@ impl Executor {
         };
         self.tracer
             .span(EventKind::Exec, exec_t0, Some(&spec.key), self.id as u64);
+        if let (Some(hub), Some(t0)) = (&self.telemetry, straggle_t0) {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            let op_kind = match &spec.value {
+                Value::Op { op, .. } => op.as_str(),
+                Value::Fused { .. } => "fused",
+            };
+            if hub.observe_exec(op_kind, &spec.key, self.id, dur_ns) {
+                self.tracer
+                    .instant(EventKind::Straggler, Some(&spec.key), dur_ns);
+            }
+        }
         result
     }
 }

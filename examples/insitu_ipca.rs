@@ -20,6 +20,11 @@
 //!
 //! Set `IPCA_POLICY=locality | blevel | random-stealing | mineft` to pick
 //! the scheduling policy; the fitted model is identical under every one.
+//!
+//! Set `IPCA_TELEMETRY=on` to run with the live telemetry plane: the flight
+//! recorder samples the whole in-transit run and the end-of-run summary
+//! reports the per-interval task/wire rates it captured (the fitted model,
+//! again, must not change).
 
 use deisa_repro::darray;
 use deisa_repro::deisa::plugin::DeisaPlugin;
@@ -27,7 +32,7 @@ use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
 use deisa_repro::dtask::{
     Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, PolicyConfig, StoreConfig,
-    TraceConfig,
+    TelemetryConfig, TraceConfig,
 };
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
@@ -103,6 +108,18 @@ fn main() {
             panic!("IPCA_POLICY={name}? use locality | blevel | random-stealing | mineft")
         }),
     };
+    // Live telemetry plane: sample fast enough that even this short run
+    // leaves a multi-sample flight; the exporter is off (the quickstart
+    // demonstrates the HTTP side, here we read the hub in-process).
+    let telemetry = match std::env::var("IPCA_TELEMETRY").as_deref() {
+        Ok("on") => TelemetryConfig {
+            sample_every: Duration::from_millis(5),
+            serve_http: false,
+            ..TelemetryConfig::enabled()
+        },
+        Err(_) | Ok("") | Ok("off") => TelemetryConfig::default(),
+        Ok(other) => panic!("IPCA_TELEMETRY={other}? use on | off"),
+    };
     println!("policy: {}", policy.kind.name());
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 4,
@@ -110,6 +127,7 @@ fn main() {
         fault,
         store,
         policy,
+        telemetry,
         ..ClusterConfig::default()
     });
     darray::register_array_ops(cluster.registry());
@@ -253,6 +271,28 @@ fn main() {
             } else {
                 "lost (clean error)"
             }
+        );
+    }
+    // Telemetry mode: the flight recorder watched the whole in-transit run
+    // from inside; summarize what it saw. The final sample is taken at
+    // shutdown, but the cluster is still live here — ask the hub directly.
+    if let Some(hub) = cluster.telemetry() {
+        let flight = hub.flight();
+        assert!(
+            flight.len() >= 3,
+            "a multi-timestep run must span several sampling intervals, got {}",
+            flight.len()
+        );
+        let peak_tasks = flight.iter().map(|s| s.tasks_per_s).fold(0.0, f64::max);
+        assert!(peak_tasks > 0.0, "the flight must have seen tasks complete");
+        let peak_queue = flight.iter().map(|s| s.queue_depth_peak).max().unwrap_or(0);
+        println!(
+            "telemetry: {} flight samples, peak {:.0} tasks/s, \
+             peak ready-queue depth {}, {} alerts",
+            flight.len(),
+            peak_tasks,
+            peak_queue,
+            hub.alerts_total()
         );
     }
     println!("insitu_ipca OK");

@@ -28,6 +28,18 @@
 //! stealing on a deliberately skewed queue and asserts that at least one
 //! task was stolen (printed as `steal: ...` for CI to grep).
 //!
+//! Set `QUICKSTART_TELEMETRY=on` to turn on the live telemetry plane: a
+//! flight-recorder thread samples the cluster every 10 ms and an HTTP
+//! exporter serves Prometheus `/metrics` (plus `/snapshot.json`,
+//! `/flight.json`, `/alerts.json`, `/health`) on a OS-assigned local port,
+//! printed as `telemetry: serving http://…` for CI to scrape mid-run. The
+//! run then demonstrates online straggler detection: a dozen 2 ms tasks
+//! build the op's latency baseline, one 80 ms outlier is injected, and the
+//! detector must flag *exactly that one* (printed as `stragglers: …`).
+//! `QUICKSTART_TELEMETRY_HOLD_MS=<n>` keeps the cluster busy with extra
+//! task rounds for `n` ms before the straggler so an external scraper has
+//! time to watch a live run.
+//!
 //! Set `QUICKSTART_CHAOS=kill` to turn on heartbeat-driven failure detection,
 //! replicate every external block onto two workers, and kill one of the three
 //! workers mid-run. The result must STILL be identical — the scheduler
@@ -39,7 +51,8 @@
 use deisa_repro::darray::{self, DArray, Graph};
 use deisa_repro::dtask::{
     Cluster, ClusterConfig, Datum, EventKind, FaultConfig, HeartbeatInterval, Key, PolicyConfig,
-    SimNetConfig, StatsSnapshot, StoreConfig, TraceActor, TraceConfig, TransportConfig, WireLane,
+    SimNetConfig, StatsSnapshot, StoreConfig, TaskSpec, TelemetryConfig, TraceActor, TraceConfig,
+    TransportConfig, WireLane,
 };
 use deisa_repro::linalg::NDArray;
 use std::time::{Duration, Instant};
@@ -71,6 +84,19 @@ fn main() {
         Ok("on") => (StoreConfig::proxies(), false),
         Err(_) | Ok("") | Ok("off") => (StoreConfig::default(), false),
         Ok(other) => panic!("QUICKSTART_STORE={other}? use on | spill | off"),
+    };
+    // The telemetry plane: a flight-recorder sampler plus HTTP exporter.
+    // The 20 ms straggler floor keeps the sub-millisecond array ops of the
+    // main run from ever flagging on jitter — only the injected 80 ms
+    // outlier below can cross it.
+    let telemetry = match std::env::var("QUICKSTART_TELEMETRY").as_deref() {
+        Ok("on") => TelemetryConfig {
+            sample_every: Duration::from_millis(10),
+            straggler_min_ns: 20_000_000,
+            ..TelemetryConfig::enabled()
+        },
+        Err(_) | Ok("") | Ok("off") => TelemetryConfig::default(),
+        Ok(other) => panic!("QUICKSTART_TELEMETRY={other}? use on | off"),
     };
     let policy = match std::env::var("QUICKSTART_POLICY").as_deref() {
         Err(_) | Ok("") => PolicyConfig::default(),
@@ -104,8 +130,16 @@ fn main() {
         fault,
         store,
         policy: policy.clone(),
+        telemetry,
         ..ClusterConfig::default()
     });
+    if let Some(addr) = cluster.telemetry_addr() {
+        // CI greps this line for the address and scrapes the live endpoints.
+        println!(
+            "telemetry: serving http://{addr}/metrics \
+             (also /snapshot.json /flight.json /alerts.json /health)"
+        );
+    }
     darray::register_array_ops(cluster.registry());
     let client = cluster.client();
 
@@ -285,6 +319,91 @@ fn main() {
             lab_stats.steal_requests(),
             lab_stats.steal_misses(),
             lab_stats.tasks_stolen()
+        );
+    }
+    // 10. Telemetry mode: demonstrate the flight recorder and the online
+    //     straggler detector. Twelve 2 ms tasks build the `demo_ms` latency
+    //     baseline (all below the 20 ms floor, so none can flag), then one
+    //     80 ms outlier runs — the detector must flag exactly that one.
+    if let Some(hub) = cluster.telemetry() {
+        cluster.registry().register("demo_ms", |params, _| {
+            std::thread::sleep(Duration::from_millis(params.as_i64().unwrap_or(0) as u64));
+            Ok(Datum::F64(1.0))
+        });
+        client.submit(
+            (0..12)
+                .map(|i| TaskSpec::new(format!("tl-fast-{i}"), "demo_ms", Datum::I64(2), vec![]))
+                .collect(),
+        );
+        for i in 0..12 {
+            client.future(format!("tl-fast-{i}")).result().unwrap();
+        }
+        // Optional hold: keep the cluster busy so an external scraper (CI
+        // curls /metrics and /flight.json) watches a genuinely live run.
+        let hold_ms: u64 = std::env::var("QUICKSTART_TELEMETRY_HOLD_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if hold_ms > 0 {
+            println!("telemetry: holding ~{hold_ms} ms under load for live scrapes");
+            let deadline = Instant::now() + Duration::from_millis(hold_ms);
+            let mut round = 0u64;
+            while Instant::now() < deadline {
+                client.submit(
+                    (0..4)
+                        .map(|i| {
+                            TaskSpec::new(
+                                format!("tl-hold-{round}-{i}"),
+                                "demo_ms",
+                                Datum::I64(5),
+                                vec![],
+                            )
+                        })
+                        .collect(),
+                );
+                for i in 0..4 {
+                    client
+                        .future(format!("tl-hold-{round}-{i}"))
+                        .result()
+                        .unwrap();
+                }
+                round += 1;
+            }
+        }
+        client.submit(vec![TaskSpec::new(
+            "tl-straggler",
+            "demo_ms",
+            Datum::I64(80),
+            vec![],
+        )]);
+        client.future("tl-straggler").result().unwrap();
+        assert_eq!(
+            stats.stragglers_flagged(),
+            1,
+            "the injected 80 ms outlier — and nothing else — must be flagged"
+        );
+        let alerts = hub.alerts();
+        assert_eq!(alerts.len(), 1, "exactly one alert: {alerts:?}");
+        assert_eq!(alerts[0].key.as_deref(), Some("tl-straggler"));
+        // Give the sampler one more interval to fold the straggler into the
+        // flight, then export the whole ring.
+        std::thread::sleep(hub.config().sample_every * 3);
+        let flight = hub.flight();
+        assert!(flight.len() >= 3, "flight has {} samples", flight.len());
+        assert!(flight.iter().any(|s| s.tasks_per_s > 0.0));
+        std::fs::write(
+            "results/TELEMETRY_quickstart.json",
+            hub.flight_json().to_string_pretty(),
+        )
+        .unwrap();
+        println!(
+            "stragglers: 1 flagged (key tl-straggler, {:.1} ms vs {:.1} ms threshold)",
+            alerts[0].value, alerts[0].threshold
+        );
+        println!(
+            "flight: {} samples every {} ms -> results/TELEMETRY_quickstart.json",
+            flight.len(),
+            hub.config().sample_every.as_millis()
         );
     }
     println!("quickstart OK");

@@ -1,0 +1,243 @@
+//! End-to-end checks of the live telemetry plane: the HTTP exporter serves
+//! valid Prometheus exposition and JSON mid-run, the flight recorder captures
+//! rate samples across a sustained workload, the straggler detector flags an
+//! injected outlier (and nothing else), and — the paper's invariant — none of
+//! it adds a single message to the control plane.
+
+use deisa_repro::dtask::{
+    AlertKind, Cluster, ClusterConfig, Datum, EventKind, Key, TaskSpec, TelemetryConfig,
+    TraceConfig,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn telemetry_cluster(telemetry: TelemetryConfig) -> Cluster {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 2,
+        slots_per_worker: 1,
+        telemetry,
+        ..ClusterConfig::default()
+    });
+    cluster.registry().register("pause_ms", |params, inputs| {
+        std::thread::sleep(Duration::from_millis(params.as_i64().unwrap_or(0) as u64));
+        let mut total = 0.0;
+        for d in inputs {
+            total += d.as_f64().ok_or_else(|| "scalar input".to_string())?;
+        }
+        Ok(Datum::F64(total))
+    });
+    cluster
+}
+
+/// Raw HTTP GET against the exporter; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect exporter");
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Drive a few rounds of short tasks so the sampler sees live completions.
+fn run_rounds(cluster: &Cluster, rounds: usize, label: &str) {
+    let client = cluster.client();
+    for round in 0..rounds {
+        client.submit(
+            (0..4)
+                .map(|i| {
+                    TaskSpec::new(
+                        format!("{label}-{round}-{i}"),
+                        "pause_ms",
+                        Datum::I64(5),
+                        vec![],
+                    )
+                })
+                .collect(),
+        );
+        for i in 0..4 {
+            client
+                .future(format!("{label}-{round}-{i}"))
+                .result()
+                .unwrap();
+        }
+    }
+}
+
+#[test]
+fn exporter_serves_valid_prometheus_mid_run() {
+    let cluster = telemetry_cluster(TelemetryConfig {
+        sample_every: Duration::from_millis(5),
+        ..TelemetryConfig::enabled()
+    });
+    let addr = cluster.telemetry_addr().expect("exporter bound");
+    run_rounds(&cluster, 2, "warm");
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    // Exposition-format spot checks (the full lint lives in the dtask unit
+    // suite): families come as HELP/TYPE pairs, samples parse, counters
+    // carry the _total suffix, and the body ends in exactly one newline.
+    assert!(body.ends_with('\n') && !body.ends_with("\n\n"));
+    let mut families = 0;
+    let mut last_help: Option<String> = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            last_help = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap();
+            let kind = it.next().unwrap();
+            assert_eq!(last_help.as_deref(), Some(name), "HELP precedes TYPE");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+            if kind == "counter" {
+                assert!(name.ends_with("_total"), "counter naming: {name}");
+            }
+            families += 1;
+        } else if !line.is_empty() {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable sample: {line}");
+        }
+    }
+    assert!(
+        families >= 10,
+        "expected a real metric corpus, got {families}"
+    );
+    // The run above completed tasks; the counters must already show them.
+    assert!(
+        body.lines()
+            .any(|l| l.starts_with("dtask_messages_total") && !l.ends_with(" 0")),
+        "mid-run scrape must see non-zero message counters"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn flight_endpoint_reports_live_task_rates() {
+    let cluster = telemetry_cluster(TelemetryConfig {
+        sample_every: Duration::from_millis(5),
+        ..TelemetryConfig::enabled()
+    });
+    let addr = cluster.telemetry_addr().unwrap();
+    run_rounds(&cluster, 4, "flight");
+    // One more interval so the last completions are folded in.
+    std::thread::sleep(Duration::from_millis(15));
+
+    let (status, body) = http_get(addr, "/flight.json");
+    assert!(status.contains("200"), "{status}");
+    let doc = deisa_repro::dtask::Json::parse(&body).expect("valid JSON");
+    let samples = doc
+        .get("samples")
+        .and_then(|s| s.as_arr())
+        .expect("samples array");
+    assert!(
+        samples.len() >= 3,
+        "want >= 3 samples, got {}",
+        samples.len()
+    );
+    let task_rates: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| s.get("tasks_per_s").and_then(|v| v.as_f64()))
+        .collect();
+    assert_eq!(task_rates.len(), samples.len());
+    assert!(
+        task_rates.iter().any(|&r| r > 0.0),
+        "a live run must show non-zero task rates: {task_rates:?}"
+    );
+
+    let (status, body) = http_get(addr, "/alerts.json");
+    assert!(status.contains("200"), "{status}");
+    deisa_repro::dtask::Json::parse(&body).expect("valid alerts JSON");
+    let (status, _) = http_get(addr, "/health");
+    assert!(status.contains("200"));
+    cluster.shutdown();
+}
+
+#[test]
+fn injected_straggler_is_flagged_exactly_once() {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 1,
+        slots_per_worker: 1,
+        trace: TraceConfig::enabled(),
+        telemetry: TelemetryConfig {
+            serve_http: false,
+            straggler_min_samples: 4,
+            straggler_min_ns: 20_000_000,
+            ..TelemetryConfig::enabled()
+        },
+        ..ClusterConfig::default()
+    });
+    cluster.registry().register("pause_ms", |params, _| {
+        std::thread::sleep(Duration::from_millis(params.as_i64().unwrap_or(0) as u64));
+        Ok(Datum::F64(0.0))
+    });
+    let client = cluster.client();
+    // Baseline: eight 1 ms executions, all under the 20 ms floor.
+    client.submit(
+        (0..8)
+            .map(|i| TaskSpec::new(format!("base-{i}"), "pause_ms", Datum::I64(1), vec![]))
+            .collect(),
+    );
+    for i in 0..8 {
+        client.future(format!("base-{i}")).result().unwrap();
+    }
+    client.submit(vec![TaskSpec::new(
+        "outlier",
+        "pause_ms",
+        Datum::I64(90),
+        vec![],
+    )]);
+    client.future("outlier").result().unwrap();
+
+    let hub = cluster.telemetry().unwrap();
+    let alerts = hub.alerts();
+    assert_eq!(cluster.stats().stragglers_flagged(), 1);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].kind, AlertKind::Straggler);
+    assert_eq!(alerts[0].key.as_deref(), Some("outlier"));
+    // The trace instant and the alert describe the same execution.
+    let log = cluster.tracer().collect();
+    let instants: Vec<_> = log.events_of(EventKind::Straggler).collect();
+    assert_eq!(instants.len(), 1);
+    assert_eq!(
+        instants[0].1.key.as_ref().map(|k| k.as_str()),
+        Some("outlier")
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn telemetry_adds_no_control_plane_messages() {
+    // The paper's message-count argument must survive observability: with
+    // the full telemetry plane on, scheduler control traffic is exactly what
+    // it was with telemetry off.
+    let run = |telemetry: TelemetryConfig| {
+        let cluster = telemetry_cluster(telemetry);
+        let client = cluster.client();
+        client.register_external(vec![Key::new("ext")]);
+        client.submit(vec![TaskSpec::new(
+            "y",
+            "pause_ms",
+            Datum::I64(1),
+            vec!["ext".into()],
+        )]);
+        client.scatter_external(vec![(Key::new("ext"), Datum::F64(2.0))], Some(0));
+        assert_eq!(client.future("y").result().unwrap().as_f64(), Some(2.0));
+        let control = cluster.stats().scheduler_control_messages();
+        let bridge = cluster.stats().bridge_metadata_messages();
+        cluster.shutdown();
+        (control, bridge)
+    };
+    let off = run(TelemetryConfig::default());
+    let on = run(TelemetryConfig {
+        sample_every: Duration::from_millis(2),
+        ..TelemetryConfig::enabled()
+    });
+    assert_eq!(off, on, "telemetry must stay off the control plane");
+}
