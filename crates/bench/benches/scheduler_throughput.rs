@@ -560,10 +560,11 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
          every {tel_sample_every_ms} ms, {tel_stragglers} stragglers flagged"
     );
 
-    // Transport A/B on the optimized config: InProc (references over
+    // Transport A/B/C on the optimized config: InProc (references over
     // channels) against Framed (every message through the versioned wire
-    // codec). Interleaved rounds again; the Framed run's per-lane byte
-    // counters are the real serialized message sizes of the workload.
+    // codec) against Tcp (the same frames over real sockets). Interleaved
+    // rounds again; the Framed/Tcp runs' per-lane byte counters are the
+    // real serialized message sizes of the workload.
     let transport_rounds = 25;
     let inproc_cluster = make_transport_cluster(
         OptimizeConfig::enabled(),
@@ -577,10 +578,18 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         TraceConfig::default(),
         TransportConfig::Framed,
     );
+    let tcp_cluster = make_transport_cluster(
+        OptimizeConfig::enabled(),
+        IngestMode::Batched { max_burst: 64 },
+        TraceConfig::default(),
+        TransportConfig::Tcp,
+    );
     let inproc_client = inproc_cluster.client();
     let framed_client = framed_cluster.client();
+    let tcp_client = tcp_cluster.client();
     let mut inproc_samples = Vec::with_capacity(transport_rounds);
     let mut framed_samples = Vec::with_capacity(transport_rounds);
+    let mut tcp_samples = Vec::with_capacity(transport_rounds);
     for round in 0..transport_rounds as u64 {
         let t0 = Instant::now();
         assert_eq!(run_round(&inproc_client, round), expected_sink());
@@ -588,15 +597,25 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         let t0 = Instant::now();
         assert_eq!(run_round(&framed_client, round), expected_sink());
         framed_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        assert_eq!(run_round(&tcp_client, round), expected_sink());
+        tcp_samples.push(t0.elapsed().as_secs_f64() * 1e3);
     }
     let inproc_ms = median_ms(inproc_samples);
     let framed_ms = median_ms(framed_samples);
+    let tcp_ms = median_ms(tcp_samples);
     let framed_overhead_pct = (framed_ms / inproc_ms.max(1e-9) - 1.0) * 100.0;
+    let tcp_overhead_pct = (tcp_ms / inproc_ms.max(1e-9) - 1.0) * 100.0;
     let framed_snap = StatsSnapshot::capture(framed_cluster.stats());
+    let tcp_snap = StatsSnapshot::capture(tcp_cluster.stats());
     println!(
         "  transport A/B (median round): inproc {inproc_ms:.2} ms, framed {framed_ms:.2} ms \
-         ({framed_overhead_pct:+.1}%) | {} wire msgs, {} wire bytes",
-        framed_snap.wire_total_messages, framed_snap.wire_total_bytes
+         ({framed_overhead_pct:+.1}%), tcp {tcp_ms:.2} ms ({tcp_overhead_pct:+.1}%) | \
+         framed {} wire msgs / {} wire bytes, tcp {} wire msgs / {} wire bytes",
+        framed_snap.wire_total_messages,
+        framed_snap.wire_total_bytes,
+        tcp_snap.wire_total_messages,
+        tcp_snap.wire_total_bytes
     );
     for lane in &framed_snap.wire_lanes {
         println!(
@@ -761,6 +780,8 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         .set("transport_inproc_median_round_ms", inproc_ms)
         .set("transport_framed_median_round_ms", framed_ms)
         .set("transport_framed_overhead_pct", framed_overhead_pct)
+        .set("transport_tcp_median_round_ms", tcp_ms)
+        .set("transport_tcp_overhead_pct", tcp_overhead_pct)
         .set(
             "proxy_plane",
             Json::obj()
@@ -818,7 +839,8 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         .set("chaos_stats", chaos_snap.to_json())
         .set("baseline_stats", base_snap.to_json())
         .set("optimized_stats", opt_snap.to_json())
-        .set("framed_stats", framed_snap.to_json());
+        .set("framed_stats", framed_snap.to_json())
+        .set("tcp_stats", tcp_snap.to_json());
     // Write at the workspace root regardless of the bench's cwd.
     let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(out_dir).ok();

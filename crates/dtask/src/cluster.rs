@@ -181,6 +181,29 @@ impl ClusterConfig {
     }
 }
 
+/// Deployment-layer options for [`Cluster::listen`]: where the hub accepts
+/// `dtask-node` worker processes and how patient the registration handshake
+/// is.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// Listen address, e.g. `"127.0.0.1:0"` (OS-assigned port, reported by
+    /// [`Cluster::deploy_addr`]) or `"0.0.0.0:7711"` for remote nodes.
+    pub bind: String,
+    /// How long one accepted connection may take to complete the
+    /// `Hello`/`Welcome` handshake before it is dropped (the accept loop
+    /// keeps serving either way).
+    pub handshake_timeout: Duration,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            bind: "127.0.0.1:0".into(),
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
 /// A running in-process cluster: one scheduler thread, `n` workers (data
 /// server + executor slots each), all talking through one transport
 /// [`Router`].
@@ -217,6 +240,10 @@ pub struct Cluster {
     /// Pending scheduled kill from [`FaultPlan::kill_worker`], consumed by
     /// [`Cluster::fault_kill_due`].
     kill_at: parking_lot::Mutex<Option<(WorkerId, u64)>>,
+    /// Built by [`Cluster::listen`]: workers are remote processes attached
+    /// over the deployment plane, not local threads. Shutdown then sends
+    /// `Goodbye` over the sockets instead of joining worker threads.
+    deploy: bool,
     down: bool,
 }
 
@@ -316,57 +343,16 @@ impl Cluster {
             telemetry_threads: parking_lot::Mutex::new(Vec::new()),
             telemetry_addr: None,
             kill_at: parking_lot::Mutex::new(config.fault.plan.kill_worker),
+            deploy: false,
             down: false,
         };
 
         // Telemetry plane: flight-recorder sampler and (optionally) the HTTP
         // exporter. Spawned before the actors so the first samples cover the
         // whole run; both threads only *read* shared state.
-        if let Some(hub) = cluster.telemetry.clone() {
-            let stop = Arc::new(AtomicBool::new(false));
-            let stop2 = Arc::clone(&stop);
-            let sampler_hub = Arc::clone(&hub);
-            match std::thread::Builder::new()
-                .name("dtask-telemetry-sampler".into())
-                .spawn(move || telemetry::run_sampler(sampler_hub, stop2))
-            {
-                Ok(handle) => cluster.telemetry_threads.get_mut().push((stop, handle)),
-                Err(e) => {
-                    cluster.shutdown_inner();
-                    return Err(e);
-                }
-            }
-            if hub.config().serve_http {
-                let (listener, addr) = match telemetry::bind_exporter(hub.config().http_port) {
-                    Ok(bound) => bound,
-                    Err(e) => {
-                        cluster.shutdown_inner();
-                        return Err(e);
-                    }
-                };
-                cluster.telemetry_addr = Some(addr);
-                let stop = Arc::new(AtomicBool::new(false));
-                let stop2 = Arc::clone(&stop);
-                let exporter_stats = Arc::clone(&cluster.stats);
-                let exporter_tracer = Arc::clone(&cluster.tracer);
-                match std::thread::Builder::new()
-                    .name("dtask-telemetry-http".into())
-                    .spawn(move || {
-                        telemetry::run_exporter(
-                            listener,
-                            hub,
-                            exporter_stats,
-                            exporter_tracer,
-                            stop2,
-                        )
-                    }) {
-                    Ok(handle) => cluster.telemetry_threads.get_mut().push((stop, handle)),
-                    Err(e) => {
-                        cluster.shutdown_inner();
-                        return Err(e);
-                    }
-                }
-            }
+        if let Err(e) = cluster.spawn_telemetry_threads() {
+            cluster.shutdown_inner();
+            return Err(e);
         }
 
         // Scheduler thread.
@@ -473,6 +459,204 @@ impl Cluster {
             }
         }
         Ok(cluster)
+    }
+
+    /// Spawn the telemetry sampler and (optionally) HTTP exporter threads.
+    /// No-op when telemetry is disabled; the caller tears the cluster down
+    /// on error.
+    fn spawn_telemetry_threads(&mut self) -> std::io::Result<()> {
+        let Some(hub) = self.telemetry.clone() else {
+            return Ok(());
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let sampler_hub = Arc::clone(&hub);
+        let handle = std::thread::Builder::new()
+            .name("dtask-telemetry-sampler".into())
+            .spawn(move || telemetry::run_sampler(sampler_hub, stop2))?;
+        self.telemetry_threads.get_mut().push((stop, handle));
+        if hub.config().serve_http {
+            let (listener, addr) =
+                telemetry::bind_exporter(hub.config().bind_addr, hub.config().http_port)?;
+            self.telemetry_addr = Some(addr);
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let exporter_stats = Arc::clone(&self.stats);
+            let exporter_tracer = Arc::clone(&self.tracer);
+            let handle = std::thread::Builder::new()
+                .name("dtask-telemetry-http".into())
+                .spawn(move || {
+                    telemetry::run_exporter(listener, hub, exporter_stats, exporter_tracer, stop2)
+                })?;
+            self.telemetry_threads.get_mut().push((stop, handle));
+        }
+        Ok(())
+    }
+
+    /// Start a *deployment hub*: the scheduler plus a listener for
+    /// `dtask-node` worker processes — no local worker threads at all.
+    ///
+    /// Each accepted process runs the versioned registration handshake
+    /// ([`crate::wire::NodeMsg::Hello`] → assigned worker id +
+    /// [`crate::wire::NodeMsg::Welcome`] with the cluster config), then
+    /// serves the normal `ExecMsg`/`DataMsg` loops over its socket. The
+    /// scheduler starts with every worker slot offline and brings slots
+    /// live as [`SchedMsg::RegisterWorker`] arrives; call
+    /// [`Cluster::await_workers`] before submitting if the workload needs
+    /// the full cluster. Everything else — clients, stats, tracing,
+    /// telemetry — works exactly as in-process.
+    pub fn listen(config: ClusterConfig, deploy: DeployConfig) -> std::io::Result<Self> {
+        assert!(config.n_workers > 0, "cluster needs at least one worker");
+        let slots = config.resolved_slots();
+        let registry = OpRegistry::with_std_ops();
+        let stats = Arc::new(SchedulerStats::new());
+        let tracer = Arc::new(TraceRecorder::new(config.trace));
+        let hub = config
+            .telemetry
+            .enabled
+            .then(|| Arc::new(TelemetryHub::new(config.telemetry, Arc::clone(&stats))));
+        let (sched_tx, sched_rx) = unbounded();
+        let register_tx = sched_tx.clone();
+
+        // Local worker channel ends exist only to satisfy the router's
+        // channel set; in hub mode every worker-bound message routes over
+        // the plane, so the receiving halves drop right here.
+        let mut worker_data = Vec::with_capacity(config.n_workers);
+        let mut worker_exec = Vec::with_capacity(config.n_workers);
+        let mut worker_steal = Vec::with_capacity(config.n_workers);
+        for _ in 0..config.n_workers {
+            worker_data.push(unbounded::<DataMsg>().0);
+            worker_exec.push(unbounded::<ExecMsg>().0);
+            worker_steal.push(unbounded::<ExecMsg>().0);
+        }
+
+        let heartbeat_ms = match config.fault.worker_heartbeat {
+            HeartbeatInterval::Every(period) => period.as_millis().max(1) as u64,
+            HeartbeatInterval::Infinite => 0,
+        };
+        let plane = crate::net::SocketPlane::hub(
+            &deploy.bind,
+            crate::net::HubParams {
+                n_workers: config.n_workers,
+                default_slots: slots,
+                heartbeat_ms,
+                mem_budget: config.store.mem_budget,
+                handshake_timeout: deploy.handshake_timeout,
+            },
+        )?;
+        let shared = plane.shared();
+        let router = Router::new_socket(
+            plane,
+            config.n_workers,
+            ClusterChannels {
+                sched_tx,
+                data_txs: worker_data,
+                exec_txs: worker_exec,
+                steal_txs: worker_steal,
+            },
+            Arc::clone(&stats),
+            tracer.register(TraceActor::Transport),
+            config.fault.plan.clone(),
+        );
+        // Registration rides the scheduler's raw inbox, and the attach flag
+        // flips only after this send — so once `await_workers` returns, the
+        // registration already precedes anything a client submits next.
+        shared.install_register(Box::new(move |worker, slots| {
+            let _ = register_tx.send(SchedMsg::RegisterWorker { worker, slots });
+        }));
+
+        let mut cluster = Cluster {
+            router,
+            registry,
+            stats,
+            tracer,
+            next_client: AtomicUsize::new(0),
+            default_heartbeat: config.default_heartbeat,
+            optimize: config.optimize,
+            store_config: config.store.clone(),
+            slots_per_worker: slots,
+            sched_thread: None,
+            data_threads: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
+            exec_threads: parking_lot::Mutex::new(
+                (0..config.n_workers).map(|_| Vec::new()).collect(),
+            ),
+            worker_pingers: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
+            heartbeats: parking_lot::Mutex::new(Vec::new()),
+            telemetry: hub,
+            telemetry_threads: parking_lot::Mutex::new(Vec::new()),
+            telemetry_addr: None,
+            kill_at: parking_lot::Mutex::new(config.fault.plan.kill_worker),
+            deploy: true,
+            down: false,
+        };
+        if let Err(e) = cluster.spawn_telemetry_threads() {
+            cluster.shutdown_inner();
+            return Err(e);
+        }
+        // Scheduler thread, every worker slot offline until its process
+        // attaches and registers.
+        let sched = Scheduler::new(
+            sched_rx,
+            cluster.router.endpoint(Addr::Scheduler),
+            slots,
+            config.ingest,
+            config.fault.liveness(),
+            config.policy.clone(),
+            Arc::clone(&cluster.stats),
+            cluster.tracer.register(TraceActor::Scheduler),
+            cluster.telemetry.clone(),
+        )
+        .with_offline_workers();
+        match std::thread::Builder::new()
+            .name("dtask-scheduler".into())
+            .spawn(move || sched.run())
+        {
+            Ok(handle) => cluster.sched_thread = Some(handle),
+            Err(e) => {
+                cluster.shutdown_inner();
+                return Err(e);
+            }
+        }
+        Ok(cluster)
+    }
+
+    /// Where the deployment hub accepts worker processes; `None` unless the
+    /// cluster was built with [`Cluster::listen`].
+    pub fn deploy_addr(&self) -> Option<SocketAddr> {
+        if self.deploy {
+            self.router.plane().and_then(|p| p.local_addr())
+        } else {
+            None
+        }
+    }
+
+    /// Deployment hub: block until every worker slot has a registered
+    /// process, or `timeout`. Returns whether the cluster is fully staffed.
+    /// In-process clusters are always fully staffed.
+    pub fn await_workers(&self, timeout: Duration) -> bool {
+        match self.router.plane() {
+            Some(plane) if self.deploy => plane.await_workers(timeout),
+            _ => true,
+        }
+    }
+
+    /// Deployment hub: how many worker processes are currently attached.
+    pub fn attached_workers(&self) -> usize {
+        match self.router.plane() {
+            Some(plane) if self.deploy => plane.attached_workers(),
+            _ => self.n_workers(),
+        }
+    }
+
+    /// Worker ids currently reachable. On a deployment hub this is the set
+    /// of worker processes whose sockets are alive — a killed process drops
+    /// out the moment its connection dies, so producers can steer external
+    /// data at survivors. In-process clusters report every worker.
+    pub fn live_workers(&self) -> Vec<usize> {
+        match self.router.plane() {
+            Some(plane) if self.deploy => plane.live_workers(),
+            _ => (0..self.n_workers()).collect(),
+        }
     }
 
     /// The shared op registry; register application ops here before
@@ -681,6 +865,15 @@ impl Cluster {
             if let Some((stop, thread)) = pinger.take() {
                 stop.store(true, Ordering::SeqCst);
                 let _ = thread.join();
+            }
+        }
+        // Deployment hub: tell every attached worker process to leave. A
+        // node that already exited (or was SIGKILLed) has a dead writer —
+        // the send is logged and skipped, never a panic or a stall, so the
+        // join sequence below always completes.
+        if self.deploy {
+            if let Some(plane) = self.router.plane() {
+                plane.goodbye_all("cluster shutdown");
             }
         }
         // Per-worker storage: killed (or never-spawned) workers simply have

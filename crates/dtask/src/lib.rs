@@ -47,6 +47,8 @@ pub mod datum;
 pub mod json;
 pub mod key;
 pub mod msg;
+pub mod net;
+pub mod node;
 pub mod optimize;
 pub mod policy;
 pub mod scheduler;
@@ -61,11 +63,15 @@ pub mod wire;
 pub mod worker;
 
 pub use client::{Client, DFuture, DQueue, Variable};
-pub use cluster::{Cluster, ClusterConfig, FaultConfig, HeartbeatInterval};
+pub use cluster::{Cluster, ClusterConfig, DeployConfig, FaultConfig, HeartbeatInterval};
 pub use datum::{Datum, DatumRef};
 pub use json::Json;
 pub use key::Key;
 pub use msg::{ErrorCause, TaskError};
+pub use net::{
+    Frame, FrameReader, NodeWelcome, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, PREAMBLE_BYTES,
+};
+pub use node::{run_node, NodeConfig, NodeReport};
 pub use optimize::{optimize, OptimizeConfig, OptimizeReport};
 pub use policy::{PolicyConfig, PolicyKind, SchedulingPolicy, WorkerState};
 pub use scheduler::{IngestMode, LivenessConfig};
@@ -81,5 +87,5 @@ pub use trace::{
 pub use transport::{
     Addr, DataReply, Endpoint, FaultPlan, LaneDrop, ReplyRx, ReplyTo, SimNetConfig, TransportConfig,
 };
-pub use wire::{WireError, WIRE_VERSION};
+pub use wire::{NodeMsg, WireError, WIRE_VERSION};
 pub use worker::GatherMode;

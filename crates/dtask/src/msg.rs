@@ -266,6 +266,16 @@ pub enum SchedMsg {
         /// Keys of the forwarded assignments.
         keys: Vec<Key>,
     },
+    /// A worker process attached through the deployment layer (see
+    /// [`crate::node`]): the hub completed the `Hello`/`Welcome` handshake
+    /// and tells the scheduler to treat this worker slot as live. In-process
+    /// clusters never send it — their workers are alive from construction.
+    RegisterWorker {
+        /// The id the hub assigned to the attaching process.
+        worker: WorkerId,
+        /// Executor slots the process announced.
+        slots: usize,
+    },
     /// Stop the scheduler loop.
     Shutdown,
 }

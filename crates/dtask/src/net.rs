@@ -1,0 +1,1253 @@
+//! Socket plane for the [`crate::TransportConfig::Tcp`] backend and the
+//! cross-process deployment layer.
+//!
+//! Every byte on a socket is a **routed frame**:
+//!
+//! | bytes   | field                                           |
+//! |---------|-------------------------------------------------|
+//! | 0       | destination [`Addr`] tag (same tags as the wire codec) |
+//! | 1..9    | destination index (worker/client id, LE; `0` otherwise) |
+//! | 9..     | a standard [`crate::wire`] envelope (header ‖ body)     |
+//!
+//! The 9-byte preamble is pure routing — per-lane byte accounting counts
+//! only the envelope, so a Tcp cluster reports byte totals identical to the
+//! Framed backend.
+//!
+//! Three plane shapes share this module:
+//!
+//! * **Loopback** — the `TransportConfig::Tcp` in-process backend: one
+//!   listener, one dialed connection per destination node, every message
+//!   crossing a real socket with partial-read reassembly.
+//! * **Hub** — the deployment listener inside [`crate::Cluster::listen`]:
+//!   accepts `dtask-node` worker processes, runs the `Hello`/`Welcome`
+//!   registration handshake, and star-routes worker↔worker traffic.
+//! * **Node** — the worker-process side (see [`crate::node`]): one
+//!   connection to the hub carrying everything.
+//!
+//! Reply-slot lifetimes across processes: the hub tracks every data request
+//! it forwards to a remote node as `(origin, corr) → target`. When a node
+//! dies, pending requests against it are cancelled — locally (dropping the
+//! reply sender, so the waiter unblocks with a disconnect) when the
+//! requester is hub-side, or with a [`NodeMsg::Cancel`] control frame when
+//! the requester is another node. That reproduces exactly the in-process
+//! dead-worker contract: a requester observes "peer hung up", never a hang.
+
+use crate::stats::WireLane;
+use crate::transport::Addr;
+use crate::wire::{self, NodeMsg, WireError, HEADER_BYTES, NODE_KIND, WIRE_VERSION};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard upper bound on one envelope's body length. A length field beyond
+/// this is treated as a malformed frame (protects against reading garbage
+/// or hostile lengths as a multi-gigabyte allocation).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Routing preamble size: destination tag byte + u64 index.
+pub const PREAMBLE_BYTES: usize = 9;
+
+/// Full frame header: routing preamble + envelope header.
+pub const FRAME_HEADER_BYTES: usize = PREAMBLE_BYTES + HEADER_BYTES;
+
+/// Socket read granularity and poll interval for stop-flag checks.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How often dial/accept loops nap when idle.
+const IDLE_NAP: Duration = Duration::from_millis(2);
+
+// ---- frame codec ------------------------------------------------------------
+
+fn addr_parts(a: Addr) -> (u8, u64) {
+    match a {
+        Addr::Scheduler => (0, 0),
+        Addr::WorkerData(w) => (1, w as u64),
+        Addr::WorkerExec(w) => (2, w as u64),
+        Addr::Client(c) => (3, c as u64),
+        Addr::Control => (4, 0),
+    }
+}
+
+fn addr_from(tag: u8, idx: u64) -> Option<Addr> {
+    Some(match tag {
+        0 => Addr::Scheduler,
+        1 => Addr::WorkerData(idx as usize),
+        2 => Addr::WorkerExec(idx as usize),
+        3 => Addr::Client(idx as usize),
+        4 => Addr::Control,
+        _ => return None,
+    })
+}
+
+/// Build one routed frame: preamble + envelope.
+pub fn frame(to: Addr, envelope: &[u8]) -> Vec<u8> {
+    let (tag, idx) = addr_parts(to);
+    let mut out = Vec::with_capacity(PREAMBLE_BYTES + envelope.len());
+    out.push(tag);
+    out.extend_from_slice(&idx.to_le_bytes());
+    out.extend_from_slice(envelope);
+    out
+}
+
+/// One parsed routed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Destination actor.
+    pub to: Addr,
+    /// The complete wire envelope (header ‖ body).
+    pub envelope: Vec<u8>,
+}
+
+/// Incremental frame parser with partial-read reassembly: push whatever a
+/// socket read produced, pull complete frames out. Header fields are
+/// validated as soon as their bytes arrive, so garbage is rejected with a
+/// structured [`WireError`] instead of being buffered until a bogus length
+/// "completes".
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append raw socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to parse the next complete frame. `Ok(None)` means "need more
+    /// bytes"; errors are structural and poison the stream (the caller
+    /// should drop the connection).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let n = self.buf.len();
+        if n == 0 {
+            return Ok(None);
+        }
+        // Validate header bytes as they become visible.
+        if self.buf[0] > 4 {
+            return Err(WireError::BadTag {
+                what: "socket addr",
+                tag: self.buf[0],
+            });
+        }
+        if n > PREAMBLE_BYTES && self.buf[PREAMBLE_BYTES] != wire::MAGIC[0] {
+            return Err(WireError::BadMagic);
+        }
+        if n > PREAMBLE_BYTES + 1 && self.buf[PREAMBLE_BYTES + 1] != wire::MAGIC[1] {
+            return Err(WireError::BadMagic);
+        }
+        if n > PREAMBLE_BYTES + 2 && self.buf[PREAMBLE_BYTES + 2] != WIRE_VERSION {
+            return Err(WireError::BadVersion(self.buf[PREAMBLE_BYTES + 2]));
+        }
+        if n > PREAMBLE_BYTES + 3 && self.buf[PREAMBLE_BYTES + 3] > NODE_KIND {
+            return Err(WireError::BadTag {
+                what: "payload kind",
+                tag: self.buf[PREAMBLE_BYTES + 3],
+            });
+        }
+        if n < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(
+            self.buf[PREAMBLE_BYTES + 4..FRAME_HEADER_BYTES]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        if body_len > MAX_FRAME_BYTES {
+            return Err(WireError::Malformed("oversized frame"));
+        }
+        let total = FRAME_HEADER_BYTES + body_len;
+        if n < total {
+            return Ok(None);
+        }
+        let idx = u64::from_le_bytes(self.buf[1..PREAMBLE_BYTES].try_into().unwrap());
+        let to = addr_from(self.buf[0], idx).expect("tag validated above");
+        let envelope = self.buf[PREAMBLE_BYTES..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Frame { to, envelope }))
+    }
+
+    /// The stream ended: a partially buffered frame is a truncation error,
+    /// a clean boundary is fine.
+    pub fn at_eof(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+/// Map an envelope kind byte onto its accounting lane (kinds `0..=4`).
+fn lane_of(kind: u8) -> Option<WireLane> {
+    Some(match kind {
+        0 => WireLane::SchedIn,
+        1 => WireLane::ExecIn,
+        2 => WireLane::DataIn,
+        3 => WireLane::ClientIn,
+        4 => WireLane::ReplyIn,
+        _ => return None,
+    })
+}
+
+/// Which plane node an actor address lives on: `0` is the hub process
+/// (scheduler, control handle, and every client/bridge), `1 + w` is worker
+/// `w`'s process.
+pub(crate) fn to_node(a: Addr) -> u64 {
+    match a {
+        Addr::Scheduler | Addr::Control | Addr::Client(_) => 0,
+        Addr::WorkerData(w) | Addr::WorkerExec(w) => 1 + w as u64,
+    }
+}
+
+/// Correlation id peeked out of a kind-4 (`Reply`) envelope without a full
+/// decode: the corr is the first body field.
+fn peek_reply_corr(envelope: &[u8]) -> Option<u64> {
+    envelope
+        .get(HEADER_BYTES..HEADER_BYTES + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// Correlation id of a kind-2 (`Data`) envelope, if the message is a
+/// request carrying a reply slot. Needs a full decode (the `ReplyTo`
+/// position varies per variant).
+fn data_request_corr(envelope: &[u8]) -> Option<u64> {
+    use crate::msg::DataMsg;
+    match wire::decode(envelope) {
+        Ok(crate::transport::Payload::Data(
+            DataMsg::Put { ack: r, .. }
+            | DataMsg::Get { reply: r, .. }
+            | DataMsg::Fetch { reply: r, .. }
+            | DataMsg::Stats { reply: r },
+        )) => Some(r.corr),
+        _ => None,
+    }
+}
+
+// ---- plane ------------------------------------------------------------------
+
+/// Envelope delivery callback installed by the router: decode and hand the
+/// frame to the in-process fabric at the given address.
+type DeliverFn = Box<dyn Fn(Addr, &[u8]) + Send + Sync>;
+
+/// Dispatch-side metadata the router attaches to a routed envelope so the
+/// plane can track cross-process reply lifetimes without re-decoding.
+pub(crate) enum RouteMeta {
+    /// No reply slot rides this message.
+    Plain,
+    /// A data request whose reply slot `corr` must be cancelled if the
+    /// target dies before answering.
+    Request {
+        /// The requester-side correlation id.
+        corr: u64,
+    },
+    /// A reply resolving `corr`.
+    Reply {
+        /// The correlation id being resolved.
+        corr: u64,
+    },
+}
+
+/// Outcome of routing one envelope.
+pub(crate) enum RouteOutcome {
+    /// Queued onto a live socket.
+    Sent,
+    /// Destination is this process: the caller must deliver locally.
+    Local,
+    /// Destination's process is gone: the caller must cancel any reply slot
+    /// riding the message (the dead-worker contract).
+    PeerGone,
+}
+
+enum FrameAction {
+    Continue,
+    Close,
+}
+
+/// Hub-side deployment state.
+struct HubState {
+    n_workers: usize,
+    /// Slot count imposed on nodes that announce `0`.
+    default_slots: usize,
+    /// Worker heartbeat interval pushed to nodes (`0` = off).
+    heartbeat_ms: u64,
+    /// Store budget pushed to nodes (`None` = keep node-local setting).
+    mem_budget: Option<u64>,
+    handshake_timeout: Duration,
+    /// Per-worker-id slot claims; an id is assigned once and never reused
+    /// (a dead worker's recovery story is resubmission, not resurrection).
+    /// Claimed at Hello, released only by pre-registration casualties.
+    claimed: Mutex<Vec<bool>>,
+    /// Per-worker-id attach flags, set strictly *after* the scheduler
+    /// registration is enqueued — `await_workers` returning must imply the
+    /// scheduler's inbox already carries every `RegisterWorker`.
+    attached: Mutex<Vec<bool>>,
+    /// Delivers a [`crate::msg::SchedMsg::RegisterWorker`] into the
+    /// scheduler; installed by the cluster right after router construction.
+    register: OnceLock<Box<dyn Fn(usize, usize) + Send + Sync>>,
+    /// Outstanding cross-process data requests: `(origin node, corr)` →
+    /// target node. Entries die with the reply that resolves them or with
+    /// either endpoint's process.
+    pending: Mutex<HashMap<(u64, u64), u64>>,
+}
+
+enum Mode {
+    Loopback,
+    Hub(HubState),
+    Node {
+        self_node: u64,
+        /// Teardown signal into [`crate::node::run_node`]: a `Goodbye`
+        /// reason, or a synthesized message when the hub connection drops.
+        goodbye_tx: Sender<String>,
+    },
+}
+
+/// State shared by every socket thread of one plane. The owning
+/// [`SocketPlane`] keeps the thread handles; threads keep only this.
+pub struct PlaneShared {
+    mode: Mode,
+    stop: AtomicBool,
+    /// Live outbound connections by destination node id. Dropping a sender
+    /// retires its writer thread.
+    writers: Mutex<HashMap<u64, Sender<Vec<u8>>>>,
+    /// Where the plane's listener is bound (loopback and hub modes).
+    listen_addr: Option<SocketAddr>,
+    /// Decode an envelope and hand it to the local delivery fabric.
+    /// Installed by the router (the fabric is transport-private).
+    deliver: OnceLock<DeliverFn>,
+    /// Cancel a local reply slot by correlation id.
+    cancel: OnceLock<Box<dyn Fn(u64) + Send + Sync>>,
+    /// Per-lane accounting for frames received by hub readers.
+    account: OnceLock<Box<dyn Fn(WireLane, u64) + Send + Sync>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PlaneShared {
+    fn new(mode: Mode, listen_addr: Option<SocketAddr>) -> Arc<Self> {
+        Arc::new(PlaneShared {
+            mode,
+            stop: AtomicBool::new(false),
+            writers: Mutex::new(HashMap::new()),
+            listen_addr,
+            deliver: OnceLock::new(),
+            cancel: OnceLock::new(),
+            account: OnceLock::new(),
+            threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Install the router-side callbacks. Called exactly once, before any
+    /// traffic is dispatched; reader threads wait for it.
+    pub(crate) fn install(
+        &self,
+        deliver: DeliverFn,
+        cancel: Box<dyn Fn(u64) + Send + Sync>,
+        account: Box<dyn Fn(WireLane, u64) + Send + Sync>,
+    ) {
+        let _ = self.deliver.set(deliver);
+        let _ = self.cancel.set(cancel);
+        let _ = self.account.set(account);
+    }
+
+    /// Hub only: install the scheduler-registration hook.
+    pub(crate) fn install_register(&self, register: Box<dyn Fn(usize, usize) + Send + Sync>) {
+        if let Mode::Hub(hub) = &self.mode {
+            let _ = hub.register.set(register);
+        }
+    }
+
+    /// Wait until the router installed its callbacks (or the plane is
+    /// stopping). Readers call this once before touching any frame.
+    fn wait_ready(&self) -> bool {
+        while self.deliver.get().is_none() {
+            if self.stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Where the listener is bound (loopback and hub planes).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listen_addr
+    }
+
+    /// Hub: how many worker processes have completed the handshake.
+    pub fn attached_workers(&self) -> usize {
+        match &self.mode {
+            Mode::Hub(hub) => hub.attached.lock().iter().filter(|a| **a).count(),
+            _ => 0,
+        }
+    }
+
+    /// Hub: worker ids whose node still holds a live connection — attached
+    /// and not seen disconnecting. A SIGKILLed worker process leaves this
+    /// set as soon as its socket dies, before any liveness verdict.
+    pub fn live_workers(&self) -> Vec<usize> {
+        match &self.mode {
+            Mode::Hub(_) => {
+                let mut ids: Vec<usize> = self
+                    .writers
+                    .lock()
+                    .keys()
+                    .filter(|&&node| node > 0)
+                    .map(|&node| (node - 1) as usize)
+                    .collect();
+                ids.sort_unstable();
+                ids
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Hub: block until every worker slot is attached, or `timeout`.
+    pub fn await_workers(&self, timeout: Duration) -> bool {
+        let Mode::Hub(hub) = &self.mode else {
+            return true;
+        };
+        let deadline = Instant::now() + timeout;
+        loop {
+            if hub.attached.lock().iter().all(|a| *a) {
+                return true;
+            }
+            if Instant::now() >= deadline || self.stopping() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Hub: announce orderly teardown to every attached node. Writes to
+    /// already-dead peers fail inside their writer threads, which log and
+    /// drain — the teardown sequence itself never blocks or panics.
+    pub fn goodbye_all(&self, reason: &str) {
+        let env = wire::encode_node(&NodeMsg::Goodbye {
+            reason: reason.to_string(),
+        });
+        let buf = frame(Addr::Control, &env);
+        for (node, tx) in self.writers.lock().iter() {
+            if *node == 0 {
+                continue;
+            }
+            if tx.send(buf.clone()).is_err() {
+                eprintln!("dtask-net: goodbye to node {node} skipped (writer already gone)");
+            }
+        }
+    }
+
+    /// Stop every plane thread: writers retire when their senders drop,
+    /// readers and accept loops observe the flag within one poll interval.
+    /// Joining happens in [`SocketPlane::drop`].
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.writers.lock().clear();
+    }
+
+    /// Route one dispatched envelope toward `to`.
+    pub(crate) fn route(
+        self: &Arc<Self>,
+        to: Addr,
+        envelope: &[u8],
+        meta: RouteMeta,
+    ) -> RouteOutcome {
+        let dest = to_node(to);
+        match &self.mode {
+            Mode::Loopback => {
+                let tx = match self.loopback_writer(dest) {
+                    Some(tx) => tx,
+                    // Plane is shutting down: deliver locally so teardown
+                    // messages still land.
+                    None => return RouteOutcome::Local,
+                };
+                if tx.send(frame(to, envelope)).is_err() {
+                    return RouteOutcome::Local;
+                }
+                RouteOutcome::Sent
+            }
+            Mode::Hub(hub) => {
+                if dest == 0 {
+                    if let RouteMeta::Reply { corr } = meta {
+                        // Hub-local reply to a hub-local requester: nothing
+                        // pending, but keep the invariant tidy.
+                        hub.pending.lock().remove(&(0, corr));
+                    }
+                    return RouteOutcome::Local;
+                }
+                if let RouteMeta::Reply { corr } = &meta {
+                    hub.pending.lock().remove(&(dest, *corr));
+                }
+                let tx = self.writers.lock().get(&dest).cloned();
+                let sent = match tx {
+                    Some(tx) => tx.send(frame(to, envelope)).is_ok(),
+                    None => false,
+                };
+                if sent {
+                    if let RouteMeta::Request { corr } = meta {
+                        hub.pending.lock().insert((0, corr), dest);
+                    }
+                    RouteOutcome::Sent
+                } else {
+                    // Unattached or dead worker process: same contract as a
+                    // closed in-process channel.
+                    RouteOutcome::PeerGone
+                }
+            }
+            Mode::Node { self_node, .. } => {
+                if dest == *self_node {
+                    return RouteOutcome::Local;
+                }
+                // Everything else — scheduler, clients, peer workers — rides
+                // the hub connection (star topology; the hub forwards).
+                let tx = self.writers.lock().get(&0).cloned();
+                match tx {
+                    Some(tx) if tx.send(frame(to, envelope)).is_ok() => RouteOutcome::Sent,
+                    _ => RouteOutcome::PeerGone,
+                }
+            }
+        }
+    }
+
+    /// Loopback: connection to destination node `dest`, dialing it (and
+    /// spawning its writer) on first use.
+    fn loopback_writer(self: &Arc<Self>, dest: u64) -> Option<Sender<Vec<u8>>> {
+        let mut writers = self.writers.lock();
+        if let Some(tx) = writers.get(&dest) {
+            return Some(tx.clone());
+        }
+        if self.stopping() {
+            return None;
+        }
+        let addr = self.listen_addr?;
+        let stream = TcpStream::connect(addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        let (tx, rx) = unbounded();
+        let label = format!("loopback node {dest}");
+        let handle = std::thread::Builder::new()
+            .name(format!("dtask-net-w{dest}"))
+            .spawn(move || writer_loop(stream, rx, label))
+            .ok()?;
+        self.threads.lock().push(handle);
+        writers.insert(dest, tx.clone());
+        Some(tx)
+    }
+
+    /// Handle one complete inbound frame. `peer` is the sending node when
+    /// known (hub readers; `None` on loopback).
+    fn handle_frame(self: &Arc<Self>, peer: Option<u64>, f: Frame) -> FrameAction {
+        let kind = f.envelope[3];
+        match &self.mode {
+            Mode::Loopback => {
+                if let Some(deliver) = self.deliver.get() {
+                    deliver(f.to, &f.envelope);
+                }
+                FrameAction::Continue
+            }
+            Mode::Hub(hub) => {
+                if kind == NODE_KIND {
+                    return match wire::decode_node(&f.envelope) {
+                        Ok(NodeMsg::Goodbye { reason }) => {
+                            eprintln!("dtask-net: node {} leaving: {reason}", peer.unwrap_or(0));
+                            FrameAction::Close
+                        }
+                        Ok(_) => FrameAction::Continue,
+                        Err(e) => {
+                            eprintln!("dtask-net: bad control frame: {e}");
+                            FrameAction::Close
+                        }
+                    };
+                }
+                if let (Some(account), Some(lane)) = (self.account.get(), lane_of(kind)) {
+                    account(lane, f.envelope.len() as u64);
+                }
+                let dest = to_node(f.to);
+                if dest == 0 {
+                    if kind == 4 {
+                        if let Some(corr) = peek_reply_corr(&f.envelope) {
+                            hub.pending.lock().remove(&(0, corr));
+                        }
+                    }
+                    if let Some(deliver) = self.deliver.get() {
+                        deliver(f.to, &f.envelope);
+                    }
+                    return FrameAction::Continue;
+                }
+                // Star forwarding: node → node via this hub.
+                if kind == 4 {
+                    if let Some(corr) = peek_reply_corr(&f.envelope) {
+                        hub.pending.lock().remove(&(dest, corr));
+                    }
+                }
+                let tx = self.writers.lock().get(&dest).cloned();
+                let sent = match tx {
+                    Some(tx) => tx.send(frame(f.to, &f.envelope)).is_ok(),
+                    None => false,
+                };
+                if sent {
+                    if kind == 2 {
+                        if let Some(corr) = data_request_corr(&f.envelope) {
+                            hub.pending.lock().insert((peer.unwrap_or(0), corr), dest);
+                        }
+                    }
+                } else if kind == 2 {
+                    // Request against a dead process: cancel at the origin.
+                    if let Some(corr) = data_request_corr(&f.envelope) {
+                        self.cancel_at(peer, corr);
+                    }
+                }
+                FrameAction::Continue
+            }
+            Mode::Node { goodbye_tx, .. } => {
+                if kind == NODE_KIND {
+                    return match wire::decode_node(&f.envelope) {
+                        Ok(NodeMsg::Cancel { corr }) => {
+                            if let Some(cancel) = self.cancel.get() {
+                                cancel(corr);
+                            }
+                            FrameAction::Continue
+                        }
+                        Ok(NodeMsg::Goodbye { reason }) => {
+                            // Retire the hub writer first: anything routed
+                            // after this fails fast as PeerGone instead of
+                            // queueing onto a connection that is going away.
+                            self.writers.lock().clear();
+                            let _ = goodbye_tx.send(reason);
+                            FrameAction::Close
+                        }
+                        Ok(_) => FrameAction::Continue,
+                        Err(e) => {
+                            eprintln!("dtask-net: bad control frame from hub: {e}");
+                            FrameAction::Close
+                        }
+                    };
+                }
+                if let Some(deliver) = self.deliver.get() {
+                    deliver(f.to, &f.envelope);
+                }
+                FrameAction::Continue
+            }
+        }
+    }
+
+    /// Cancel a pending request's reply slot where it lives: locally when
+    /// the requester is hub-side, with a control frame when it is a node.
+    fn cancel_at(&self, origin: Option<u64>, corr: u64) {
+        match origin {
+            None | Some(0) => {
+                if let Some(cancel) = self.cancel.get() {
+                    cancel(corr);
+                }
+            }
+            Some(o) => {
+                let env = wire::encode_node(&NodeMsg::Cancel { corr });
+                let tx = self.writers.lock().get(&o).cloned();
+                if let Some(tx) = tx {
+                    let _ = tx.send(frame(Addr::Control, &env));
+                }
+            }
+        }
+    }
+
+    /// Hub: a worker process's connection is gone. Retire its writer and
+    /// resolve every pending request that can no longer complete.
+    fn node_down(&self, node: u64) {
+        let Mode::Hub(hub) = &self.mode else {
+            return;
+        };
+        let had_writer = self.writers.lock().remove(&node).is_some();
+        if had_writer && !self.stopping() {
+            eprintln!("dtask-net: worker node {node} disconnected");
+        }
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        hub.pending.lock().retain(|&(origin, corr), &mut target| {
+            if target == node {
+                if origin == 0 {
+                    local.push(corr);
+                } else {
+                    remote.push((origin, corr));
+                }
+                false
+            } else {
+                // Requests *from* the dead node can never consume their
+                // reply; drop the bookkeeping.
+                origin != node
+            }
+        });
+        for corr in local {
+            if let Some(cancel) = self.cancel.get() {
+                cancel(corr);
+            }
+        }
+        for (origin, corr) in remote {
+            self.cancel_at(Some(origin), corr);
+        }
+    }
+}
+
+// ---- threads ----------------------------------------------------------------
+
+/// Per-connection writer: drains its queue onto the socket. A write error
+/// means the peer is gone — log once, then keep draining so no sender ever
+/// blocks on a corpse (the dependency-ordered teardown relies on this).
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>, label: String) {
+    let mut dead = false;
+    while let Ok(buf) = rx.recv() {
+        if dead {
+            continue;
+        }
+        if let Err(e) = stream.write_all(&buf) {
+            eprintln!("dtask-net: write to {label} failed ({e}); peer treated as gone");
+            dead = true;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Per-connection reader: reassemble frames, hand them to the plane. On
+/// EOF/error, run the mode's peer-death bookkeeping.
+fn reader_loop(
+    shared: Arc<PlaneShared>,
+    mut stream: TcpStream,
+    peer: Option<u64>,
+    mut fr: FrameReader,
+    label: String,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut graceful = false;
+    if shared.wait_ready() {
+        'outer: loop {
+            if shared.stopping() {
+                graceful = true;
+                break;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if let Err(e) = fr.at_eof() {
+                        eprintln!("dtask-net: {label}: stream ended mid-frame: {e}");
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    fr.push(&chunk[..n]);
+                    loop {
+                        match fr.next_frame() {
+                            Ok(Some(f)) => {
+                                if matches!(shared.handle_frame(peer, f), FrameAction::Close) {
+                                    graceful = true;
+                                    break 'outer;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                eprintln!("dtask-net: {label}: malformed frame: {e}");
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue;
+                }
+                Err(e) => {
+                    if !shared.stopping() {
+                        eprintln!("dtask-net: {label}: read failed: {e}");
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    match (&shared.mode, peer) {
+        (Mode::Hub(_), Some(node)) => shared.node_down(node),
+        (Mode::Node { goodbye_tx, .. }, _) => {
+            // Hub link is gone either way: retire the writer so later
+            // routes fail fast (PeerGone), then — if this was not an
+            // orderly Goodbye — wake the node runtime.
+            shared.writers.lock().clear();
+            if !graceful && !shared.stopping() {
+                let _ = goodbye_tx.send("connection to hub lost".into());
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Read exactly one frame with an overall deadline (handshake paths).
+fn read_one_frame(
+    stream: &mut TcpStream,
+    fr: &mut FrameReader,
+    timeout: Duration,
+) -> Result<Frame, String> {
+    let deadline = Instant::now() + timeout;
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(f) = fr.next_frame().map_err(|e| e.to_string())? {
+            return Ok(f);
+        }
+        if Instant::now() >= deadline {
+            return Err("handshake timed out".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(match fr.at_eof() {
+                    Err(e) => format!("peer closed mid-handshake: {e}"),
+                    Ok(()) => "peer closed during handshake".into(),
+                })
+            }
+            Ok(n) => fr.push(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) => return Err(format!("handshake read failed: {e}")),
+        }
+    }
+}
+
+/// Hub side of one accepted connection: registration handshake, then the
+/// normal reader loop. Any handshake failure logs a structured error and
+/// abandons only this connection — the accept loop keeps serving.
+fn hub_conn(shared: Arc<PlaneShared>, mut stream: TcpStream, peer_sock: SocketAddr) {
+    let Mode::Hub(hub) = &shared.mode else {
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let mut fr = FrameReader::new();
+    let first = match read_one_frame(&mut stream, &mut fr, hub.handshake_timeout) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dtask-net: handshake with {peer_sock} failed: {e}");
+            return;
+        }
+    };
+    let (slots_announced, _mem, capabilities) = match wire::decode_node(&first.envelope) {
+        Ok(NodeMsg::Hello {
+            slots,
+            mem_budget,
+            capabilities,
+        }) => (slots, mem_budget, capabilities),
+        Ok(other) => {
+            eprintln!("dtask-net: {peer_sock} sent {other:?} before Hello; dropping");
+            return;
+        }
+        Err(e) => {
+            eprintln!("dtask-net: handshake with {peer_sock} failed: {e}");
+            return;
+        }
+    };
+    let worker = {
+        let mut claimed = hub.claimed.lock();
+        match claimed.iter().position(|a| !*a) {
+            Some(w) => {
+                claimed[w] = true;
+                w
+            }
+            None => {
+                let env = wire::encode_node(&NodeMsg::Goodbye {
+                    reason: "no free worker slot".into(),
+                });
+                let _ = stream.write_all(&frame(Addr::Control, &env));
+                eprintln!("dtask-net: {peer_sock} rejected: no free worker slot");
+                return;
+            }
+        }
+    };
+    let slots = if slots_announced > 0 {
+        slots_announced
+    } else {
+        hub.default_slots
+    };
+    // Writer first, then the scheduler registration, then the Welcome and
+    // the attach flag — so `await_workers` returning implies the
+    // scheduler's inbox already carries the registration, and nothing the
+    // node sends after Welcome can outrace its own `RegisterWorker`.
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dtask-net: {peer_sock}: socket clone failed: {e}");
+            hub.claimed.lock()[worker] = false;
+            return;
+        }
+    };
+    let (tx, rx) = unbounded();
+    let node = 1 + worker as u64;
+    let label = format!("worker node {node}");
+    match std::thread::Builder::new()
+        .name(format!("dtask-net-w{node}"))
+        .spawn({
+            let label = label.clone();
+            move || writer_loop(write_stream, rx, label)
+        }) {
+        Ok(h) => shared.threads.lock().push(h),
+        Err(e) => {
+            eprintln!("dtask-net: {peer_sock}: writer spawn failed: {e}");
+            hub.claimed.lock()[worker] = false;
+            return;
+        }
+    }
+    shared.writers.lock().insert(node, tx.clone());
+    // The registration hook is installed by the cluster moments after the
+    // plane starts listening; wait it out rather than dropping an attach.
+    let register = loop {
+        if let Some(r) = hub.register.get() {
+            break r;
+        }
+        if shared.stopping() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    register(worker, slots);
+    let env = wire::encode_node(&NodeMsg::Welcome {
+        worker,
+        n_workers: hub.n_workers,
+        slots,
+        heartbeat_ms: hub.heartbeat_ms,
+        mem_budget: hub.mem_budget,
+    });
+    let _ = tx.send(frame(Addr::Control, &env));
+    hub.attached.lock()[worker] = true;
+    if capabilities.is_empty() {
+        eprintln!("dtask-net: worker {worker} attached from {peer_sock} ({slots} slots)");
+    } else {
+        eprintln!(
+            "dtask-net: worker {worker} attached from {peer_sock} ({slots} slots, caps: {})",
+            capabilities.join(",")
+        );
+    }
+    reader_loop(shared, stream, Some(node), fr, label);
+}
+
+/// Accept loop shared by loopback and hub planes.
+fn accept_loop(shared: Arc<PlaneShared>, listener: TcpListener) {
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer_sock)) => {
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("dtask-net-conn".into())
+                    .spawn(move || match conn_shared.mode {
+                        Mode::Loopback => {
+                            let _ = stream.set_nodelay(true);
+                            let label = format!("loopback peer {peer_sock}");
+                            reader_loop(conn_shared, stream, None, FrameReader::new(), label);
+                        }
+                        Mode::Hub(_) => hub_conn(conn_shared, stream, peer_sock),
+                        Mode::Node { .. } => {}
+                    });
+                match spawned {
+                    Ok(h) => shared.threads.lock().push(h),
+                    Err(e) => eprintln!("dtask-net: connection thread spawn failed: {e}"),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(IDLE_NAP),
+            Err(_) => std::thread::sleep(IDLE_NAP),
+        }
+    }
+}
+
+// ---- plane handles ----------------------------------------------------------
+
+/// Owning handle of one socket plane: shared state plus its threads.
+/// Dropping it stops and joins everything.
+pub struct SocketPlane {
+    shared: Arc<PlaneShared>,
+}
+
+/// Hub construction parameters (see [`crate::Cluster::listen`]).
+pub(crate) struct HubParams {
+    pub n_workers: usize,
+    pub default_slots: usize,
+    pub heartbeat_ms: u64,
+    pub mem_budget: Option<u64>,
+    pub handshake_timeout: Duration,
+}
+
+/// The cluster config a node receives in its `Welcome`.
+#[derive(Debug, Clone)]
+pub struct NodeWelcome {
+    /// Assigned worker id.
+    pub worker: usize,
+    /// Cluster-wide worker count.
+    pub n_workers: usize,
+    /// Executor slots this node must run.
+    pub slots: usize,
+    /// Worker heartbeat interval in ms (`0` = off).
+    pub heartbeat_ms: u64,
+    /// Store budget pushed by the hub (`None` = node-local default).
+    pub mem_budget: Option<u64>,
+}
+
+impl SocketPlane {
+    /// In-process loopback plane for `TransportConfig::Tcp`: everything a
+    /// router dispatches crosses a real 127.0.0.1 socket and is delivered
+    /// back into the local fabric by an accept-side reader.
+    pub(crate) fn loopback() -> std::io::Result<SocketPlane> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = PlaneShared::new(Mode::Loopback, Some(addr));
+        let accept_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("dtask-net-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))?;
+        shared.threads.lock().push(handle);
+        Ok(SocketPlane { shared })
+    }
+
+    /// Deployment hub plane: listen for `dtask-node` worker processes.
+    pub(crate) fn hub(bind: &str, params: HubParams) -> std::io::Result<SocketPlane> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = PlaneShared::new(
+            Mode::Hub(HubState {
+                n_workers: params.n_workers,
+                default_slots: params.default_slots,
+                heartbeat_ms: params.heartbeat_ms,
+                mem_budget: params.mem_budget,
+                handshake_timeout: params.handshake_timeout,
+                claimed: Mutex::new(vec![false; params.n_workers]),
+                attached: Mutex::new(vec![false; params.n_workers]),
+                register: OnceLock::new(),
+                pending: Mutex::new(HashMap::new()),
+            }),
+            Some(addr),
+        );
+        let accept_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("dtask-net-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))?;
+        shared.threads.lock().push(handle);
+        Ok(SocketPlane { shared })
+    }
+
+    /// Node plane: dial the hub (retrying while it comes up), run the
+    /// registration handshake, and return the plane plus the assigned
+    /// cluster config and the teardown signal channel.
+    pub(crate) fn connect_node(
+        connect: &str,
+        slots: usize,
+        mem_budget: Option<u64>,
+        capabilities: Vec<String>,
+        connect_timeout: Duration,
+        handshake_timeout: Duration,
+    ) -> Result<(SocketPlane, NodeWelcome, Receiver<String>), String> {
+        let deadline = Instant::now() + connect_timeout;
+        let mut stream = loop {
+            match TcpStream::connect(connect) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("connect to {connect} failed: {e}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let hello = wire::encode_node(&NodeMsg::Hello {
+            slots,
+            mem_budget,
+            capabilities,
+        });
+        stream
+            .write_all(&frame(Addr::Control, &hello))
+            .map_err(|e| format!("hello write failed: {e}"))?;
+        let mut fr = FrameReader::new();
+        let first = read_one_frame(&mut stream, &mut fr, handshake_timeout)?;
+        let welcome = match wire::decode_node(&first.envelope) {
+            Ok(NodeMsg::Welcome {
+                worker,
+                n_workers,
+                slots,
+                heartbeat_ms,
+                mem_budget,
+            }) => NodeWelcome {
+                worker,
+                n_workers,
+                slots,
+                heartbeat_ms,
+                mem_budget,
+            },
+            Ok(NodeMsg::Goodbye { reason }) => {
+                return Err(format!("hub rejected registration: {reason}"))
+            }
+            Ok(other) => return Err(format!("expected Welcome, got {other:?}")),
+            Err(e) => return Err(format!("bad Welcome frame: {e}")),
+        };
+        let (goodbye_tx, goodbye_rx) = unbounded();
+        let shared = PlaneShared::new(
+            Mode::Node {
+                self_node: 1 + welcome.worker as u64,
+                goodbye_tx,
+            },
+            None,
+        );
+        let write_stream = stream
+            .try_clone()
+            .map_err(|e| format!("socket clone failed: {e}"))?;
+        let (tx, rx) = unbounded();
+        shared.writers.lock().insert(0, tx);
+        let wh = std::thread::Builder::new()
+            .name("dtask-net-whub".into())
+            .spawn(move || writer_loop(write_stream, rx, "hub".into()))
+            .map_err(|e| format!("writer spawn failed: {e}"))?;
+        shared.threads.lock().push(wh);
+        let reader_shared = Arc::clone(&shared);
+        let rh = std::thread::Builder::new()
+            .name("dtask-net-rhub".into())
+            .spawn(move || reader_loop(reader_shared, stream, Some(0), fr, "hub".into()))
+            .map_err(|e| format!("reader spawn failed: {e}"))?;
+        shared.threads.lock().push(rh);
+        Ok((SocketPlane { shared }, welcome, goodbye_rx))
+    }
+
+    /// The plane's shared state (routing, deploy bookkeeping).
+    pub(crate) fn shared(&self) -> Arc<PlaneShared> {
+        Arc::clone(&self.shared)
+    }
+}
+
+impl Drop for SocketPlane {
+    fn drop(&mut self) {
+        self.shared.shutdown();
+        // Connection threads may still be registering handles while we
+        // drain; loop until the list stays empty.
+        loop {
+            let handles: Vec<_> = self.shared.threads.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_bytes() -> Vec<u8> {
+        wire::encode(&crate::transport::Payload::Sched(
+            crate::msg::SchedMsg::Heartbeat { client: 7 },
+        ))
+    }
+
+    #[test]
+    fn frame_reader_reassembles_across_every_split_point() {
+        let env = env_bytes();
+        let buf = frame(Addr::WorkerData(3), &env);
+        for split in 1..buf.len() {
+            let mut fr = FrameReader::new();
+            fr.push(&buf[..split]);
+            match fr.next_frame() {
+                Ok(None) => {}
+                other => panic!("split {split}: premature result {other:?}"),
+            }
+            fr.push(&buf[split..]);
+            let f = fr.next_frame().unwrap().expect("complete frame");
+            assert_eq!(f.to, Addr::WorkerData(3));
+            assert_eq!(f.envelope, env);
+            assert!(fr.next_frame().unwrap().is_none());
+            fr.at_eof().unwrap();
+        }
+    }
+
+    #[test]
+    fn frame_reader_rejects_bad_preamble_tag_immediately() {
+        let mut fr = FrameReader::new();
+        fr.push(&[9]);
+        assert_eq!(
+            fr.next_frame().err(),
+            Some(WireError::BadTag {
+                what: "socket addr",
+                tag: 9,
+            })
+        );
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_length() {
+        let env = env_bytes();
+        let mut buf = frame(Addr::Scheduler, &env);
+        let bad_len = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        buf[PREAMBLE_BYTES + 4..FRAME_HEADER_BYTES].copy_from_slice(&bad_len);
+        let mut fr = FrameReader::new();
+        fr.push(&buf);
+        assert_eq!(
+            fr.next_frame().err(),
+            Some(WireError::Malformed("oversized frame"))
+        );
+    }
+
+    #[test]
+    fn frame_reader_truncation_is_structured_at_eof() {
+        let env = env_bytes();
+        let buf = frame(Addr::Control, &env);
+        let mut fr = FrameReader::new();
+        fr.push(&buf[..buf.len() - 1]);
+        assert!(fr.next_frame().unwrap().is_none());
+        assert_eq!(fr.at_eof().err(), Some(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_reader_flags_bad_magic_and_version_early() {
+        let env = env_bytes();
+        let mut buf = frame(Addr::Scheduler, &env);
+        buf[PREAMBLE_BYTES] = 0x00;
+        let mut fr = FrameReader::new();
+        // Push only up to the first magic byte: the error must not wait for
+        // a complete header.
+        fr.push(&buf[..PREAMBLE_BYTES + 1]);
+        assert_eq!(fr.next_frame().err(), Some(WireError::BadMagic));
+
+        let mut buf = frame(Addr::Scheduler, &env);
+        buf[PREAMBLE_BYTES + 2] = WIRE_VERSION + 3;
+        let mut fr = FrameReader::new();
+        fr.push(&buf);
+        assert_eq!(
+            fr.next_frame().err(),
+            Some(WireError::BadVersion(WIRE_VERSION + 3))
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let env = env_bytes();
+        let mut stream_bytes = frame(Addr::Scheduler, &env);
+        stream_bytes.extend_from_slice(&frame(Addr::Client(2), &env));
+        let mut fr = FrameReader::new();
+        fr.push(&stream_bytes);
+        assert_eq!(fr.next_frame().unwrap().unwrap().to, Addr::Scheduler);
+        assert_eq!(fr.next_frame().unwrap().unwrap().to, Addr::Client(2));
+        assert!(fr.next_frame().unwrap().is_none());
+    }
+}

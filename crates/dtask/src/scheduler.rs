@@ -182,6 +182,9 @@ pub struct Scheduler {
     pending_schedule: bool,
     /// Failure-detection and retry policy.
     liveness: LivenessConfig,
+    /// Default executor-slot count per worker, kept for workers that
+    /// register dynamically without announcing a slot count.
+    default_slots: usize,
     /// Last heartbeat per client (only clients that heartbeat are tracked,
     /// and only they can be declared dead).
     client_last_seen: HashMap<ClientId, Instant>,
@@ -239,11 +242,24 @@ impl Scheduler {
             ingest,
             pending_schedule: false,
             liveness,
+            default_slots: slots,
             client_last_seen: HashMap::new(),
             backoff: Vec::new(),
             last_sweep: Instant::now(),
             telemetry,
         }
+    }
+
+    /// Deployment mode: start with every worker slot *offline* (not
+    /// schedulable) until a process attaches and registers through
+    /// [`SchedMsg::RegisterWorker`]. The liveness sweep never declares an
+    /// offline worker dead (it has no `last_seen`), so a slow-to-attach
+    /// node is simply "not yet here", not a failure.
+    pub fn with_offline_workers(mut self) -> Self {
+        for w in &mut self.workers {
+            w.alive = false;
+        }
+        self
     }
 
     /// Run until `Shutdown`.
@@ -710,6 +726,9 @@ impl Scheduler {
             } => {
                 self.handle_stolen(victim, thief, keys);
             }
+            SchedMsg::RegisterWorker { worker, slots } => {
+                self.register_worker(worker, slots);
+            }
             SchedMsg::Shutdown => return false,
         }
         true
@@ -982,6 +1001,32 @@ impl Scheduler {
             self.stats.record_peer_tracked();
         }
         entry.last_seen = Some(Instant::now());
+    }
+
+    /// A worker process attached through the deployment hub: bring its slot
+    /// online (growing the table if the id is past the configured count)
+    /// and record its announced capacity. Liveness tracking starts with the
+    /// worker's first heartbeat, exactly as for in-process workers — the
+    /// node sends one immediately after its handshake — so a registered
+    /// worker whose pings are disabled is never falsely swept dead.
+    fn register_worker(&mut self, worker: WorkerId, slots: usize) {
+        while self.workers.len() <= worker {
+            self.workers.push(WorkerState {
+                processing: 0,
+                slots: self.default_slots,
+                alive: false,
+                last_seen: None,
+            });
+            self.steal_inflight.push(false);
+        }
+        let entry = &mut self.workers[worker];
+        if slots > 0 {
+            entry.slots = slots;
+        }
+        entry.processing = 0;
+        entry.alive = true;
+        // Tasks queued while no worker was attached become placeable now.
+        self.pending_schedule = true;
     }
 
     /// Move due parked tasks back into the ready queue.

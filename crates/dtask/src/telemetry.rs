@@ -56,6 +56,10 @@ pub struct TelemetryConfig {
     /// TCP port for the exporter; `0` asks the OS for a free port
     /// ([`crate::Cluster::telemetry_addr`] reports what was bound).
     pub http_port: u16,
+    /// Address the exporter binds. Loopback by default; set `0.0.0.0` (or a
+    /// specific interface) so a remote scraper can reach a worker node's
+    /// `/metrics` in multi-process deployments.
+    pub bind_addr: std::net::IpAddr,
     /// Straggler threshold multiplier: flag an execution whose duration
     /// exceeds `max(k × median, median + 4×1.4826×MAD)` for its op kind.
     pub straggler_k: f64,
@@ -85,6 +89,7 @@ impl Default for TelemetryConfig {
             flight_capacity: 512,
             serve_http: true,
             http_port: 0,
+            bind_addr: std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
             straggler_k: 4.0,
             straggler_min_samples: 8,
             straggler_min_ns: 1_000_000,
@@ -585,8 +590,11 @@ pub fn run_sampler(hub: Arc<TelemetryHub>, stop: Arc<AtomicBool>) {
 /// Bind the exporter socket (nonblocking, so the serve loop can poll its
 /// stop flag). `port` 0 lets the OS choose; the bound address is returned
 /// for discovery.
-pub fn bind_exporter(port: u16) -> std::io::Result<(TcpListener, SocketAddr)> {
-    let listener = TcpListener::bind(("127.0.0.1", port))?;
+pub fn bind_exporter(
+    addr: std::net::IpAddr,
+    port: u16,
+) -> std::io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind((addr, port))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     Ok((listener, addr))
@@ -879,7 +887,8 @@ mod tests {
         let stats = Arc::clone(&hub.stats);
         let tracer = Arc::new(TraceRecorder::disabled());
         let stop = Arc::new(AtomicBool::new(false));
-        let (listener, addr) = bind_exporter(0).unwrap();
+        let (listener, addr) =
+            bind_exporter(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST), 0).unwrap();
         let server = {
             let (hub, stats, tracer, stop) = (
                 Arc::clone(&hub),

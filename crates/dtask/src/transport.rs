@@ -2,13 +2,14 @@
 //! [`Endpoint`], and replies are id-routed — no live channel handle ever
 //! travels inside a message enum.
 //!
-//! Three backends, selected per cluster via [`TransportConfig`]:
+//! Four backends, selected per cluster via [`TransportConfig`]:
 //!
 //! | backend  | encoding | delay | purpose |
 //! |----------|----------|-------|---------|
 //! | `InProc` | none     | none  | zero-overhead default (plain channels)  |
 //! | `Framed` | [`crate::wire`] round-trip per message | none | real bytes-on-the-wire accounting + serialization-tax measurement |
 //! | `SimNet` | [`crate::wire`] for sizes | fat-tree latency/bandwidth via [`netsim`] | the DES network model injected into *live* cluster runs |
+//! | `Tcp`    | [`crate::wire`] over real sockets ([`crate::net`]) | kernel loopback | every message crosses a nonblocking TCP socket with partial-read reassembly; same backend the multi-process deployment layer runs on |
 //!
 //! Framed and SimNet record per-lane message/byte counters into
 //! [`crate::stats::SchedulerStats`] (`WireLane`), which surface through
@@ -40,6 +41,13 @@ pub enum TransportConfig {
     /// Framed sizing plus fat-tree latency/bandwidth delays from the
     /// [`netsim`] network model, injected into the live run.
     SimNet(SimNetConfig),
+    /// Every message travels as a routed frame over a real TCP socket
+    /// (loopback listener, per-peer writer threads, partial-read
+    /// reassembly — see [`crate::net`]). Per-lane accounting counts the
+    /// same envelope bytes as `Framed`, so byte totals are directly
+    /// comparable; this is also the backend worker processes attached via
+    /// the deployment layer speak.
+    Tcp,
 }
 
 impl TransportConfig {
@@ -433,10 +441,48 @@ fn pump_loop(rx: Receiver<PumpJob>, fabric: Arc<Fabric>) {
 
 // ---- router ----------------------------------------------------------------
 
+/// Socket backend: the shared routing state plus the owning handle whose
+/// drop stops and joins the plane's threads alongside the router.
+struct TcpBackend {
+    shared: Arc<crate::net::PlaneShared>,
+    _plane: crate::net::SocketPlane,
+}
+
 enum Backend {
     InProc,
     Framed,
     SimNet(SimNetState),
+    Tcp(TcpBackend),
+}
+
+/// Wire the router-side callbacks into a socket plane: decode-and-deliver
+/// into the fabric, reply-slot cancellation, and per-lane accounting for
+/// hub-received frames.
+fn install_socket_callbacks(
+    shared: &crate::net::PlaneShared,
+    fabric: &Arc<Fabric>,
+    stats: &Arc<SchedulerStats>,
+    trace: &TraceHandle,
+) {
+    let deliver_fabric = Arc::clone(fabric);
+    let cancel_fabric = Arc::clone(fabric);
+    let stats = Arc::clone(stats);
+    let trace = trace.clone();
+    shared.install(
+        Box::new(move |to, envelope| match wire::decode(envelope) {
+            Ok(payload) => deliver_fabric.deliver(to, payload),
+            // A frame that framed/validated correctly but fails payload
+            // decode is a codec bug on the sending side; drop it loudly.
+            Err(e) => eprintln!("dtask-net: dropping undecodable envelope for {to:?}: {e}"),
+        }),
+        Box::new(move |corr| {
+            cancel_fabric.replies.lock().remove(&corr);
+        }),
+        Box::new(move |lane, bytes| {
+            stats.record_wire(lane, bytes);
+            trace.instant(EventKind::WireSend, None, bytes);
+        }),
+    );
 }
 
 /// Shared message router for one cluster: owns the backend, the delivery
@@ -500,6 +546,16 @@ impl Router {
                     pump_tx,
                 })
             }
+            TransportConfig::Tcp => {
+                let plane =
+                    crate::net::SocketPlane::loopback().expect("bind tcp loopback transport");
+                let shared = plane.shared();
+                install_socket_callbacks(&shared, &fabric, &stats, &trace);
+                Backend::Tcp(TcpBackend {
+                    shared,
+                    _plane: plane,
+                })
+            }
         };
         Arc::new(Router {
             fabric,
@@ -510,6 +566,53 @@ impl Router {
             n_workers,
             faults: (!faults.is_inert()).then(|| FaultState::new(faults)),
         })
+    }
+
+    /// Build a router on an already-constructed socket plane (deployment
+    /// hub or attached worker node — see [`crate::Cluster::listen`] and
+    /// [`crate::node`]). Same delivery fabric as [`Router::new`], but the
+    /// backend routes over the plane's live connections instead of a
+    /// private loopback listener.
+    pub(crate) fn new_socket(
+        plane: crate::net::SocketPlane,
+        n_workers: usize,
+        channels: ClusterChannels,
+        stats: Arc<SchedulerStats>,
+        trace: TraceHandle,
+        faults: FaultPlan,
+    ) -> Arc<Router> {
+        let fabric = Arc::new(Fabric {
+            sched_tx: channels.sched_tx,
+            data_txs: channels.data_txs,
+            exec_txs: channels.exec_txs,
+            steal_txs: channels.steal_txs,
+            clients: Mutex::new(HashMap::new()),
+            replies: Mutex::new(HashMap::new()),
+        });
+        let shared = plane.shared();
+        install_socket_callbacks(&shared, &fabric, &stats, &trace);
+        Arc::new(Router {
+            fabric,
+            backend: Backend::Tcp(TcpBackend {
+                shared,
+                _plane: plane,
+            }),
+            stats,
+            trace,
+            next_corr: AtomicU64::new(1),
+            n_workers,
+            faults: (!faults.is_inert()).then(|| FaultState::new(faults)),
+        })
+    }
+
+    /// The socket plane behind a `Tcp` backend (deploy bookkeeping:
+    /// `await_workers`, `goodbye_all`, registration hook). `None` for the
+    /// in-process backends.
+    pub(crate) fn plane(&self) -> Option<Arc<crate::net::PlaneShared>> {
+        match &self.backend {
+            Backend::Tcp(tcp) => Some(Arc::clone(&tcp.shared)),
+            _ => None,
+        }
     }
 
     /// An endpoint speaking as `from`.
@@ -523,6 +626,13 @@ impl Router {
     /// Number of workers behind this router.
     pub fn n_workers(&self) -> usize {
         self.n_workers
+    }
+
+    /// Drop every outstanding reply slot: each waiter unblocks with a
+    /// disconnect. Used by the node runtime when its hub link dies — any
+    /// in-flight cross-process request can no longer be answered.
+    pub(crate) fn cancel_all_replies(&self) {
+        self.fabric.replies.lock().clear();
     }
 
     /// Register a client inbox route. Must happen before the client's
@@ -571,6 +681,43 @@ impl Router {
                     to,
                     payload: decoded,
                 });
+            }
+            Backend::Tcp(tcp) => {
+                let bytes = wire::encode(&payload);
+                self.account(payload.lane(), bytes.len() as u64);
+                let meta = match &payload {
+                    Payload::Data(
+                        DataMsg::Put { ack: r, .. }
+                        | DataMsg::Get { reply: r, .. }
+                        | DataMsg::Fetch { reply: r, .. }
+                        | DataMsg::Stats { reply: r },
+                    ) => crate::net::RouteMeta::Request { corr: r.corr },
+                    Payload::Reply { corr, .. } => crate::net::RouteMeta::Reply { corr: *corr },
+                    _ => crate::net::RouteMeta::Plain,
+                };
+                match tcp.shared.route(to, &bytes, meta) {
+                    crate::net::RouteOutcome::Sent => {}
+                    crate::net::RouteOutcome::Local => {
+                        let decoded = wire::decode(&bytes).unwrap_or_else(|e| {
+                            panic!("tcp transport: wire round-trip failed: {e}")
+                        });
+                        self.fabric.deliver(to, decoded);
+                    }
+                    crate::net::RouteOutcome::PeerGone => {
+                        // The destination's process is gone: cancel any
+                        // reply slot riding the request, exactly like the
+                        // fabric does for a dead in-process data server.
+                        if let Payload::Data(
+                            DataMsg::Put { ack: r, .. }
+                            | DataMsg::Get { reply: r, .. }
+                            | DataMsg::Fetch { reply: r, .. }
+                            | DataMsg::Stats { reply: r },
+                        ) = &payload
+                        {
+                            self.fabric.replies.lock().remove(&r.corr);
+                        }
+                    }
+                }
             }
         }
     }
@@ -866,6 +1013,68 @@ mod tests {
         ep.send_sched(SchedMsg::ClientConnect { client: 0 });
         let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(t1.elapsed() < Duration::from_millis(80));
+    }
+
+    #[test]
+    fn tcp_delivers_over_real_sockets_and_matches_framed_bytes() {
+        let (framed, framed_rx) = test_router(TransportConfig::Framed);
+        let (tcp, tcp_rx) = test_router(TransportConfig::Tcp);
+        let msg = SchedMsg::WantResult {
+            client: 3,
+            key: Key::new("result-key"),
+        };
+        framed.endpoint(Addr::Client(3)).send_sched(msg.clone());
+        tcp.endpoint(Addr::Client(3)).send_sched(msg);
+        assert!(matches!(
+            framed_rx.recv().unwrap(),
+            SchedMsg::WantResult { .. }
+        ));
+        // Tcp delivery crosses a real loopback socket; block until the
+        // accept-side reader hands it back.
+        assert!(matches!(
+            tcp_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            SchedMsg::WantResult { client: 3, .. }
+        ));
+        // The 9-byte routing preamble is never accounted: per-lane byte
+        // totals are envelope bytes, identical to Framed.
+        assert_eq!(
+            tcp.stats.wire_bytes(WireLane::SchedIn),
+            framed.stats.wire_bytes(WireLane::SchedIn)
+        );
+        assert_eq!(tcp.stats.wire_messages(WireLane::SchedIn), 1);
+    }
+
+    #[test]
+    fn tcp_reply_slots_cancel_when_server_is_gone() {
+        // Same dead-peer contract as InProc/Framed, but the request now
+        // crosses a socket before the missing data server is discovered.
+        let (router, _rx) = test_router(TransportConfig::Tcp);
+        let ep = router.endpoint(Addr::Client(0));
+        let (token, reply_rx) = ep.reply_slot();
+        ep.send_data(
+            5,
+            DataMsg::Get {
+                key: Key::new("x"),
+                reply: token,
+            },
+        );
+        assert!(reply_rx.recv().is_err(), "slot must be cancelled");
+    }
+
+    #[test]
+    fn tcp_reply_round_trip() {
+        let (router, _rx) = test_router(TransportConfig::Tcp);
+        let requester = router.endpoint(Addr::Control);
+        let responder = router.endpoint(Addr::WorkerData(0));
+        let (token, reply_rx) = requester.reply_slot();
+        responder.reply(token, DataReply::Stats { keys: 2, bytes: 96 });
+        match reply_rx.recv().unwrap() {
+            DataReply::Stats { keys, bytes } => {
+                assert_eq!((keys, bytes), (2, 96));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert_eq!(router.stats.wire_messages(WireLane::ReplyIn), 1);
     }
 
     #[test]

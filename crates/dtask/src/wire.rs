@@ -47,7 +47,7 @@ pub const WIRE_VERSION: u8 = 1;
 /// Envelope header size in bytes.
 pub const HEADER_BYTES: usize = 8;
 
-const MAGIC: [u8; 2] = [0xD7, 0x4B];
+pub(crate) const MAGIC: [u8; 2] = [0xD7, 0x4B];
 
 /// A malformed or incompatible wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -659,6 +659,11 @@ fn put_sched(e: &mut Enc, m: &SchedMsg) {
                 put_key(e, k);
             }
         }
+        SchedMsg::RegisterWorker { worker, slots } => {
+            e.u8(20);
+            e.usize(*worker);
+            e.usize(*slots);
+        }
     }
 }
 
@@ -780,6 +785,10 @@ fn get_sched(d: &mut Dec) -> Result<SchedMsg, WireError> {
                 keys,
             }
         }
+        20 => SchedMsg::RegisterWorker {
+            worker: d.usize()?,
+            slots: d.usize()?,
+        },
         tag => {
             return Err(WireError::BadTag {
                 what: "sched msg",
@@ -1079,6 +1088,209 @@ pub fn decode(bytes: &[u8]) -> Result<Payload, WireError> {
     Ok(payload)
 }
 
+// ---- deployment control messages -------------------------------------------
+
+/// Envelope payload kind of [`NodeMsg`] control frames. Kinds `0..=4` carry
+/// the in-cluster [`Payload`] variants; kind `5` is deployment-plane control
+/// traffic (registration handshake, teardown, remote reply cancellation) and
+/// never reaches [`decode`] — socket readers peek the kind byte and route
+/// kind-5 envelopes to [`decode_node`] instead.
+pub const NODE_KIND: u8 = 5;
+
+/// Deployment-plane control messages exchanged between a worker process
+/// (`dtask-node`) and the cluster hub. These ride the same versioned
+/// envelope as [`Payload`] (kind [`NODE_KIND`]) so version/magic checking is
+/// uniform, but they are *not* part of the in-cluster message flow and are
+/// excluded from per-lane wire accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeMsg {
+    /// First frame a dialing worker process sends: announce capacity. The
+    /// hub answers with `Welcome` (assigning the worker id) or `Goodbye`.
+    Hello {
+        /// Executor slots this process will run.
+        slots: usize,
+        /// Store memory budget in bytes (`None` = unbounded).
+        mem_budget: Option<u64>,
+        /// Free-form capability strings (forward-compatible; the hub
+        /// currently records but does not interpret them).
+        capabilities: Vec<String>,
+    },
+    /// Hub → node: registration accepted; cluster config the node needs to
+    /// size its local runtime.
+    Welcome {
+        /// Assigned worker id.
+        worker: usize,
+        /// Total worker count in the cluster (sizes peer routing tables).
+        n_workers: usize,
+        /// Executor slots the node must run (hub may clamp the announced
+        /// value).
+        slots: usize,
+        /// Worker heartbeat interval in milliseconds; `0` disables pinging.
+        heartbeat_ms: u64,
+        /// Store memory budget the hub wants applied (`None` = keep the
+        /// node's own setting).
+        mem_budget: Option<u64>,
+    },
+    /// Either side announces orderly teardown (hub → node at cluster
+    /// shutdown; hub → node at handshake rejection).
+    Goodbye {
+        /// Human-readable reason, logged by the receiver.
+        reason: String,
+    },
+    /// Hub → node: a reply slot the node is waiting on can never be
+    /// fulfilled (the target process died). The node cancels the local
+    /// correlation so the waiter observes the standard hung-peer error.
+    Cancel {
+        /// Correlation id in the *receiving node's* reply space.
+        corr: u64,
+    },
+}
+
+/// Serialize one [`NodeMsg`] into a framed kind-5 envelope.
+pub fn encode_node(m: &NodeMsg) -> Vec<u8> {
+    let mut body = Enc::new();
+    match m {
+        NodeMsg::Hello {
+            slots,
+            mem_budget,
+            capabilities,
+        } => {
+            body.u8(0);
+            body.usize(*slots);
+            match mem_budget {
+                None => body.u8(0),
+                Some(b) => {
+                    body.u8(1);
+                    body.u64(*b);
+                }
+            }
+            body.len(capabilities.len());
+            for c in capabilities {
+                body.str(c);
+            }
+        }
+        NodeMsg::Welcome {
+            worker,
+            n_workers,
+            slots,
+            heartbeat_ms,
+            mem_budget,
+        } => {
+            body.u8(1);
+            body.usize(*worker);
+            body.usize(*n_workers);
+            body.usize(*slots);
+            body.u64(*heartbeat_ms);
+            match mem_budget {
+                None => body.u8(0),
+                Some(b) => {
+                    body.u8(1);
+                    body.u64(*b);
+                }
+            }
+        }
+        NodeMsg::Goodbye { reason } => {
+            body.u8(2);
+            body.str(reason);
+        }
+        NodeMsg::Cancel { corr } => {
+            body.u8(3);
+            body.u64(*corr);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_BYTES + body.buf.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(NODE_KIND);
+    out.extend_from_slice(&(body.buf.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body.buf);
+    out
+}
+
+/// Parse a framed kind-5 envelope back into a [`NodeMsg`].
+pub fn decode_node(bytes: &[u8]) -> Result<NodeMsg, WireError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[2] != WIRE_VERSION {
+        return Err(WireError::BadVersion(bytes[2]));
+    }
+    if bytes[3] != NODE_KIND {
+        return Err(WireError::BadTag {
+            what: "node payload kind",
+            tag: bytes[3],
+        });
+    }
+    let body_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    if bytes.len() != HEADER_BYTES + body_len {
+        return Err(WireError::Truncated);
+    }
+    let mut d = Dec::new(&bytes[HEADER_BYTES..]);
+    let msg = match d.u8()? {
+        0 => {
+            let slots = d.usize()?;
+            let mem_budget = match d.u8()? {
+                0 => None,
+                1 => Some(d.u64()?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "mem_budget",
+                        tag,
+                    })
+                }
+            };
+            let n = d.len()?;
+            let mut capabilities = Vec::with_capacity(n.min(d.buf.len() - d.pos));
+            for _ in 0..n {
+                capabilities.push(d.str()?);
+            }
+            NodeMsg::Hello {
+                slots,
+                mem_budget,
+                capabilities,
+            }
+        }
+        1 => {
+            let worker = d.usize()?;
+            let n_workers = d.usize()?;
+            let slots = d.usize()?;
+            let heartbeat_ms = d.u64()?;
+            let mem_budget = match d.u8()? {
+                0 => None,
+                1 => Some(d.u64()?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "mem_budget",
+                        tag,
+                    })
+                }
+            };
+            NodeMsg::Welcome {
+                worker,
+                n_workers,
+                slots,
+                heartbeat_ms,
+                mem_budget,
+            }
+        }
+        2 => NodeMsg::Goodbye { reason: d.str()? },
+        3 => NodeMsg::Cancel { corr: d.u64()? },
+        tag => {
+            return Err(WireError::BadTag {
+                what: "node msg",
+                tag,
+            })
+        }
+    };
+    if !d.done() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(msg)
+}
+
 // ---- standalone codecs (test surface) --------------------------------------
 
 /// Encode a bare [`Key`] (length-prefixed text).
@@ -1273,6 +1485,56 @@ mod tests {
             _ => panic!("wrong payload"),
         }
         assert!((bytes.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES);
+    }
+
+    #[test]
+    fn register_worker_round_trips() {
+        let bytes = encode(&Payload::Sched(SchedMsg::RegisterWorker {
+            worker: 4,
+            slots: 3,
+        }));
+        match decode(&bytes).unwrap() {
+            Payload::Sched(SchedMsg::RegisterWorker { worker, slots }) => {
+                assert_eq!((worker, slots), (4, 3));
+            }
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn node_msgs_round_trip_on_kind_5() {
+        let msgs = [
+            NodeMsg::Hello {
+                slots: 2,
+                mem_budget: Some(1 << 20),
+                capabilities: vec!["darray".into(), "h5".into()],
+            },
+            NodeMsg::Welcome {
+                worker: 1,
+                n_workers: 3,
+                slots: 2,
+                heartbeat_ms: 50,
+                mem_budget: None,
+            },
+            NodeMsg::Goodbye {
+                reason: "cluster shutdown".into(),
+            },
+            NodeMsg::Cancel { corr: 99 },
+        ];
+        for m in &msgs {
+            let bytes = encode_node(m);
+            assert_eq!(bytes[3], NODE_KIND);
+            assert_eq!(&decode_node(&bytes).unwrap(), m);
+            // Kind 5 is deployment-plane only: the in-cluster decoder must
+            // reject it rather than alias some Payload variant.
+            assert_eq!(
+                decode(&bytes).err(),
+                Some(WireError::BadTag {
+                    what: "payload kind",
+                    tag: NODE_KIND,
+                })
+            );
+        }
     }
 
     #[test]

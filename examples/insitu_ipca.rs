@@ -32,7 +32,7 @@ use deisa_repro::deisa::{Adaptor, DeisaVersion, Selection};
 use deisa_repro::dml::{self, InSituIncrementalPCA, SvdSolver};
 use deisa_repro::dtask::{
     Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, PolicyConfig, StoreConfig,
-    TelemetryConfig, TraceConfig,
+    TelemetryConfig, TraceConfig, TransportConfig,
 };
 use deisa_repro::heat2d::{run_rank, HeatConfig};
 use deisa_repro::mpisim::World;
@@ -69,6 +69,15 @@ plugins:
 "#;
 
 fn main() {
+    // Transport: `IPCA_TRANSPORT=framed | tcp` pushes every message through
+    // the versioned wire format (tcp additionally over real loopback
+    // sockets). The fitted model is identical on every backend.
+    let transport = match std::env::var("IPCA_TRANSPORT").as_deref() {
+        Ok("framed") => TransportConfig::Framed,
+        Ok("tcp") => TransportConfig::Tcp,
+        Ok("inproc") | Err(_) | Ok("") => TransportConfig::InProc,
+        Ok(other) => panic!("IPCA_TRANSPORT={other}? use inproc | framed | tcp"),
+    };
     let chaos = match std::env::var("IPCA_CHAOS").as_deref() {
         Ok("kill") => true,
         Err(_) | Ok("") | Ok("off") => false,
@@ -124,6 +133,7 @@ fn main() {
     let cluster = Cluster::with_config(ClusterConfig {
         n_workers: 4,
         trace: TraceConfig::enabled(),
+        transport,
         fault,
         store,
         policy,

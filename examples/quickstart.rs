@@ -61,8 +61,16 @@ fn main() {
     let transport = match std::env::var("QUICKSTART_TRANSPORT").as_deref() {
         Ok("framed") => TransportConfig::Framed,
         Ok("simnet") => TransportConfig::SimNet(SimNetConfig::default()),
+        Ok("tcp") => TransportConfig::Tcp,
         Ok("inproc") | Err(_) => TransportConfig::InProc,
-        Ok(other) => panic!("QUICKSTART_TRANSPORT={other}? use inproc | framed | simnet"),
+        Ok(other) => panic!("QUICKSTART_TRANSPORT={other}? use inproc | framed | simnet | tcp"),
+    };
+    // Multi-process deployment: `QUICKSTART_DEPLOY=HOST:PORT` binds a hub at
+    // that address instead of spawning in-process workers, then waits for
+    // three external `dtask-node` processes to attach (see README).
+    let deploy = match std::env::var("QUICKSTART_DEPLOY").as_deref() {
+        Err(_) | Ok("") | Ok("off") => None,
+        Ok(bind) => Some(bind.to_string()),
     };
     let chaos = match std::env::var("QUICKSTART_CHAOS").as_deref() {
         Ok("kill") => true,
@@ -121,9 +129,10 @@ fn main() {
     } else {
         FaultConfig::default()
     };
-    // A cluster: 1 scheduler thread + 3 workers, in this process — with
+    // A cluster: 1 scheduler thread + 3 workers — in this process, or (in
+    // deploy mode) served by external `dtask-node` worker processes — with
     // task-lifecycle tracing on so the run leaves a Perfetto-loadable log.
-    let cluster = Cluster::with_config(ClusterConfig {
+    let config = ClusterConfig {
         n_workers: 3,
         trace: TraceConfig::enabled(),
         transport,
@@ -132,7 +141,30 @@ fn main() {
         policy: policy.clone(),
         telemetry,
         ..ClusterConfig::default()
-    });
+    };
+    let cluster = if let Some(bind) = &deploy {
+        let cluster = Cluster::listen(
+            config,
+            deisa_repro::dtask::DeployConfig {
+                bind: bind.clone(),
+                ..deisa_repro::dtask::DeployConfig::default()
+            },
+        )
+        .expect("bind deploy hub");
+        // CI greps this line for the hub address before launching nodes.
+        println!(
+            "deploy: hub listening on {}, waiting for 3 dtask-node workers",
+            cluster.deploy_addr().unwrap()
+        );
+        assert!(
+            cluster.await_workers(Duration::from_secs(120)),
+            "dtask-node workers never attached"
+        );
+        println!("deploy: all 3 workers attached");
+        cluster
+    } else {
+        Cluster::with_config(config)
+    };
     if let Some(addr) = cluster.telemetry_addr() {
         // CI greps this line for the address and scrapes the live endpoints.
         println!(
@@ -162,16 +194,43 @@ fn main() {
     for (i, key) in keys.iter().enumerate() {
         let block = NDArray::full(&[8, 8], (i + 1) as f64);
         if chaos {
+            // Replicate onto two distinct workers, drawn from the *live*
+            // set: in deploy mode a SIGKILLed worker process must not be a
+            // block's first holder, or the key is lost on arrival. For an
+            // in-process cluster the live set is every worker, so this is
+            // exactly the i%3 / (i+1)%3 placement it always used.
+            let live = cluster.live_workers();
+            let first = live[i % live.len()];
+            let second = live[(i + 1) % live.len()];
             let datum = Datum::from(block);
-            producer.scatter_external(vec![(key.clone(), datum.clone())], Some(i % 3));
-            producer.scatter_external(vec![(key.clone(), datum)], Some((i + 1) % 3));
+            producer.scatter_external(vec![(key.clone(), datum.clone())], Some(first));
+            if second != first {
+                producer.scatter_external(vec![(key.clone(), datum)], Some(second));
+            }
         } else {
             producer.scatter_external(vec![(key.clone(), Datum::from(block))], None);
         }
         println!("producer pushed {key}");
         if chaos && i == 1 {
-            println!("chaos: killing worker 1 with two blocks still unpublished");
-            cluster.kill_worker(1);
+            if deploy.is_some() {
+                // Process-level chaos: the harness (CI) SIGKILLs one of the
+                // dtask-node processes when it sees this marker; all this
+                // side does is wait for the liveness verdict before pushing
+                // the remaining blocks onto the survivors' replicas.
+                println!("chaos: kill one dtask-node worker process now");
+                let deadline = Instant::now() + Duration::from_secs(60);
+                while cluster.stats().peers_lost() < 1 {
+                    assert!(
+                        Instant::now() < deadline,
+                        "no worker process died within the chaos window"
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                println!("chaos: scheduler detected the lost worker process");
+            } else {
+                println!("chaos: killing worker 1 with two blocks still unpublished");
+                cluster.kill_worker(1);
+            }
         }
     }
 
@@ -258,7 +317,10 @@ fn main() {
             std::thread::sleep(Duration::from_millis(10));
         }
         let snap = StatsSnapshot::capture(stats);
-        assert_eq!(snap.injected_kills, 1);
+        // In-process chaos injects the kill itself; deploy-mode chaos has a
+        // real SIGKILL from outside, so nothing is recorded as injected.
+        let expected_injected = if deploy.is_some() { 0 } else { 1 };
+        assert_eq!(snap.injected_kills, expected_injected);
         assert_eq!(snap.peers_lost, 1);
         std::fs::write(
             "results/CHAOS_quickstart.json",

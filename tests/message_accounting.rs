@@ -219,6 +219,47 @@ fn external_task_counts_identical_pre_post_optimize() {
     assert!(o.assign_messages() <= o.assign_tasks());
 }
 
+/// The §2.1 formulas measured with every frame crossing real TCP sockets:
+/// the protocol counts are transport-invariant, and the scheduler-inbound
+/// lane shows the same `2·T·R` vs `1 + R` gap in bytes that the Framed and
+/// SimNet backends account — sockets add framing, never messages.
+#[test]
+fn tcp_lane_bytes_reproduce_deisa_formulas() {
+    let tcp_cluster = || {
+        Cluster::with_config(ClusterConfig {
+            n_workers: 2,
+            transport: TransportConfig::Tcp,
+            ..ClusterConfig::default()
+        })
+    };
+    let c1 = run_version_on(DeisaVersion::Deisa1, tcp_cluster());
+    let c3 = run_version_on(DeisaVersion::Deisa3, tcp_cluster());
+    let (s1, s3) = (c1.stats(), c3.stats());
+
+    // Protocol shape, unchanged by the socket backend.
+    assert_eq!(s1.count(MsgClass::Queue) as usize, 2 * STEPS * RANKS);
+    assert_eq!(s1.count(MsgClass::UpdateData) as usize, STEPS * RANKS);
+    assert_eq!(s3.count(MsgClass::Queue), 0);
+    assert_eq!(s3.count(MsgClass::Variable) as usize, 3 + RANKS);
+    assert_eq!(s3.count(MsgClass::GraphSubmit), 1);
+
+    // And the lane accounting carries it in real serialized bytes.
+    let (m1, b1) = (
+        s1.wire_messages(WireLane::SchedIn),
+        s1.wire_bytes(WireLane::SchedIn),
+    );
+    let (m3, b3) = (
+        s3.wire_messages(WireLane::SchedIn),
+        s3.wire_bytes(WireLane::SchedIn),
+    );
+    assert!(m1 > 0 && m3 > 0, "TCP runs must account scheduler frames");
+    assert!(b1 > m1 && b3 > m3, "lane bytes must be real envelope sizes");
+    assert!(
+        m1 > m3 && b1 > b3,
+        "DEISA1 scheduler lane ({m1} msgs / {b1} B) must exceed DEISA3's ({m3} msgs / {b3} B)"
+    );
+}
+
 #[test]
 fn deisa3_scheduler_load_is_far_below_deisa1() {
     let c1 = run_version(DeisaVersion::Deisa1);

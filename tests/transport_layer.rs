@@ -166,6 +166,42 @@ fn framed_cluster_matches_inproc_results_and_accounts_bytes() {
     assert_eq!(pf.count(MsgClass::GraphSubmit), 1);
 }
 
+#[test]
+fn tcp_cluster_matches_inproc_results_and_accounts_bytes() {
+    let inproc = cluster_with(TransportConfig::InProc);
+    let tcp = cluster_with(TransportConfig::Tcp);
+    let a = run_deisa3_on(&inproc);
+    let b = run_deisa3_on(&tcp);
+    // Same workflow, same answer: every message survived real sockets —
+    // framing, partial-read reassembly, and the writer threads included.
+    assert_eq!(a, b);
+    assert_eq!(a, (STEPS * RANKS * 4) as f64);
+
+    // Every lane carried real serialized bytes over TCP, with the same
+    // envelope-only accounting shape Framed uses.
+    let pt = tcp.stats();
+    for lane in WireLane::ALL {
+        assert!(
+            pt.wire_messages(lane) > 0,
+            "lane {} saw no traffic",
+            lane.name()
+        );
+        assert!(
+            pt.wire_bytes(lane) > pt.wire_messages(lane),
+            "lane {} bytes must exceed one byte per message",
+            lane.name()
+        );
+    }
+    // Protocol-level accounting is transport-independent.
+    let pi = inproc.stats();
+    assert_eq!(pt.count(MsgClass::Variable), pi.count(MsgClass::Variable));
+    assert_eq!(
+        pt.count(MsgClass::UpdateDataExternal),
+        pi.count(MsgClass::UpdateDataExternal)
+    );
+    assert_eq!(pt.count(MsgClass::GraphSubmit), 1);
+}
+
 // ---- error causes over the wire -------------------------------------------
 
 #[test]
@@ -358,6 +394,57 @@ fn simnet_live_run_reproduces_deisa1_vs_deisa3_scheduler_gap() {
     assert!(
         b1 > b3,
         "DEISA1 scheduler-inbound bytes {b1} should exceed DEISA3's {b3}"
+    );
+}
+
+/// The same §2.1 gap with every frame crossing real TCP sockets — the
+/// acceptance bar for the socket backend: byte accounting identical in shape
+/// to Framed, measured on live runs.
+#[test]
+fn tcp_live_run_reproduces_deisa1_vs_deisa3_scheduler_gap() {
+    let c3 = cluster_with(TransportConfig::Tcp);
+    let total3 = run_deisa3_on(&c3);
+    assert_eq!(total3, (STEPS * RANKS * 4) as f64);
+
+    let c1 = cluster_with(TransportConfig::Tcp);
+    let total1 = run_deisa1_on(&c1);
+    assert_eq!(total1, (STEPS * RANKS * 4) as f64);
+
+    let (s1, s3) = (c1.stats(), c3.stats());
+    assert_eq!(s1.count(MsgClass::Queue) as usize, 2 * STEPS * RANKS);
+    assert_eq!(s3.count(MsgClass::Queue), 0);
+    assert_eq!(s3.count(MsgClass::Variable) as usize, 3 + RANKS);
+
+    let (m1, b1) = (
+        s1.wire_messages(WireLane::SchedIn),
+        s1.wire_bytes(WireLane::SchedIn),
+    );
+    let (m3, b3) = (
+        s3.wire_messages(WireLane::SchedIn),
+        s3.wire_bytes(WireLane::SchedIn),
+    );
+    assert!(m1 > 0 && m3 > 0, "TCP must account frames on both runs");
+
+    // Same metadata extraction as the SimNet acceptance test: strip the
+    // compute plane, leaving the §2.1 stream plus session setup.
+    let metadata = |s: &deisa_repro::dtask::SchedulerStats, lane_msgs: u64| {
+        lane_msgs
+            - s.count(MsgClass::TaskReport)
+            - s.count(MsgClass::AddReplica)
+            - s.count(MsgClass::UpdateDataExternal)
+    };
+    let meta1 = metadata(s1, m1) - s1.count(MsgClass::Heartbeat);
+    let meta3 = metadata(s3, m3);
+    let session = 2 * (RANKS + 1);
+    assert_eq!(meta1 as usize, 3 * STEPS * RANKS + 2 * STEPS + session);
+    assert_eq!(meta3 as usize, (3 + RANKS) + 3 + session);
+    assert!(
+        meta1 >= 3 * meta3,
+        "DEISA1 metadata frames {meta1} should dwarf DEISA3's {meta3} over TCP"
+    );
+    assert!(
+        b1 > b3,
+        "DEISA1 scheduler-inbound bytes {b1} should exceed DEISA3's {b3} over TCP"
     );
 }
 
