@@ -22,10 +22,12 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use dtask::{
     Cluster, ClusterConfig, Datum, FaultConfig, HeartbeatInterval, IngestMode, Json, Key, MsgClass,
     OptimizeConfig, PolicyConfig, StatsSnapshot, StoreConfig, TaskSpec, TelemetryConfig,
-    TraceConfig, TransportConfig, WireLane,
+    TenancyConfig, TraceConfig, TransportConfig, WireLane,
 };
 use insitu_sim::schedlab;
 use linalg::NDArray;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const N_WORKERS: usize = 4;
@@ -452,6 +454,82 @@ fn live_policy_matrix() -> Vec<LiveRow> {
     rows
 }
 
+// ---- multi-tenant Poisson serving -------------------------------------------
+
+const TENANT_SESSIONS: usize = 24;
+const TENANT_MEAN_ARRIVAL_MS: f64 = 6.0;
+const TENANT_CHAINS: usize = 8;
+const TENANT_CHAIN_LEN: usize = 4;
+
+/// Deterministic xorshift64* — the bench record must be reproducible across
+/// runs, so no OS entropy in the arrival clock.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1].
+    fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponentially distributed with the given mean — the inter-arrival
+    /// gaps of a Poisson session-arrival clock.
+    fn exp_ms(&mut self, mean_ms: f64) -> f64 {
+        -mean_ms * self.next_unit().ln()
+    }
+}
+
+/// One short tenant session: a scaled-down IPCA round (external-rooted
+/// chains into a sum sink). Key names deliberately repeat across sessions —
+/// the per-session namespaces keep them apart.
+fn run_tenant_session(client: &dtask::Client) -> f64 {
+    let ext_keys: Vec<Key> = (0..TENANT_CHAINS)
+        .map(|c| Key::new(format!("text-{c}")))
+        .collect();
+    client.register_external(ext_keys.clone());
+    let mut specs = Vec::with_capacity(TENANT_CHAINS * TENANT_CHAIN_LEN + 1);
+    let mut tails = Vec::with_capacity(TENANT_CHAINS);
+    for (c, ext) in ext_keys.iter().enumerate() {
+        let mut prev = ext.clone();
+        for l in 0..TENANT_CHAIN_LEN {
+            let key = Key::new(format!("tchain-{c}-{l}"));
+            specs.push(TaskSpec::new(key.clone(), "bump", Datum::Null, vec![prev]));
+            prev = key;
+        }
+        tails.push(prev);
+    }
+    let sink = Key::new("tsink");
+    specs.push(TaskSpec::new(
+        sink.clone(),
+        "sum_scalars",
+        Datum::Null,
+        tails,
+    ));
+    client.submit_with_outputs(specs, std::slice::from_ref(&sink));
+    for (c, key) in ext_keys.into_iter().enumerate() {
+        client.scatter_external(vec![(key, Datum::F64(c as f64))], None);
+    }
+    client
+        .future(sink)
+        .result()
+        .expect("tenant sink")
+        .as_f64()
+        .expect("scalar tenant sink")
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
 fn outcome_json(o: &schedlab::Outcome) -> Json {
     Json::obj()
         .set("policy", o.policy.name())
@@ -667,6 +745,86 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
         chaos_snap.peers_lost, chaos_snap.tasks_resubmitted, chaos_snap.recomputes
     );
 
+    // Multi-tenant Poisson serving: one sustained simulation session keeps
+    // the scheduler loaded with full IPCA rounds while short IPCA sessions
+    // arrive on a Poisson clock (deterministic xorshift exponential gaps),
+    // each in its own namespace under the fair-share dispatch wrapper.
+    // Session latency is arrival (client connect) to final sink result;
+    // each client drops on completion, so orderly teardown is part of the
+    // serving load too.
+    let tenant_cluster = Cluster::with_config(ClusterConfig {
+        n_workers: N_WORKERS,
+        optimize: OptimizeConfig::enabled(),
+        ingest: IngestMode::Batched { max_burst: 64 },
+        tenancy: TenancyConfig::enabled(),
+        policy: PolicyConfig::locality().with_fair_share(),
+        ..ClusterConfig::default()
+    });
+    tenant_cluster
+        .registry()
+        .register("bump", |_params, inputs| {
+            let x = inputs
+                .first()
+                .and_then(|d| d.as_f64())
+                .ok_or_else(|| "bump: scalar input required".to_string())?;
+            Ok(Datum::F64(x + 1.0))
+        });
+    let sustained_stop = Arc::new(AtomicBool::new(false));
+    let sustained = {
+        let client = tenant_cluster.client();
+        let stop = Arc::clone(&sustained_stop);
+        std::thread::spawn(move || {
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                assert_eq!(run_round(&client, rounds), expected_sink());
+                rounds += 1;
+            }
+            rounds
+        })
+    };
+    let expected_tenant_sink: f64 = (0..TENANT_CHAINS)
+        .map(|c| (c + TENANT_CHAIN_LEN) as f64)
+        .sum();
+    let mut rng = XorShift64(0x5EED_CAFE_D15C_0001);
+    let mut tenant_handles = Vec::with_capacity(TENANT_SESSIONS);
+    let poisson_t0 = Instant::now();
+    for _ in 0..TENANT_SESSIONS {
+        std::thread::sleep(Duration::from_secs_f64(
+            rng.exp_ms(TENANT_MEAN_ARRIVAL_MS) / 1e3,
+        ));
+        let arrived = Instant::now();
+        let client = tenant_cluster.client();
+        tenant_handles.push(std::thread::spawn(move || {
+            assert_eq!(run_tenant_session(&client), expected_tenant_sink);
+            drop(client);
+            arrived.elapsed().as_secs_f64() * 1e3
+        }));
+    }
+    let mut session_ms: Vec<f64> = tenant_handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant session"))
+        .collect();
+    let poisson_wall_ms = poisson_t0.elapsed().as_secs_f64() * 1e3;
+    sustained_stop.store(true, Ordering::SeqCst);
+    let sustained_rounds = sustained.join().expect("sustained session");
+    session_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let session_p50_ms = percentile_ms(&session_ms, 0.50);
+    let session_p99_ms = percentile_ms(&session_ms, 0.99);
+    assert_eq!(
+        tenant_cluster.stats().notifies_dropped(),
+        0,
+        "multi-tenant happy path drops no notifications"
+    );
+    let tenant_snap = StatsSnapshot::capture(tenant_cluster.stats());
+    println!(
+        "  multi-tenant Poisson serving: {TENANT_SESSIONS} short IPCA sessions \
+         (mean gap {TENANT_MEAN_ARRIVAL_MS} ms) vs 1 sustained simulation over \
+         {poisson_wall_ms:.0} ms | session latency p50 {session_p50_ms:.2} ms, \
+         p99 {session_p99_ms:.2} ms | sustained kept {sustained_rounds} full rounds, \
+         {} tenants accounted",
+        tenant_snap.tenants.len()
+    );
+
     // Scheduling-policy matrix, live: every policy on a real cluster over
     // three workload shapes (compute-bound skewed fan-out, chain affinity,
     // the scheduling-bound IPCA graph).
@@ -832,6 +990,27 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
                     "des_scale",
                     Json::Arr(scale_runs.iter().map(outcome_json).collect()),
                 ),
+        )
+        .set(
+            "multi_tenant",
+            Json::obj()
+                .set(
+                    "workload",
+                    format!(
+                        "{TENANT_SESSIONS} Poisson-arrival IPCA sessions \
+                         ({TENANT_CHAINS} chains x {TENANT_CHAIN_LEN} ops, mean \
+                         inter-arrival {TENANT_MEAN_ARRIVAL_MS} ms) against one \
+                         sustained simulation, fair-share dispatch, per-session \
+                         namespaces"
+                    ),
+                )
+                .set("sessions", TENANT_SESSIONS as u64)
+                .set("mean_interarrival_ms", TENANT_MEAN_ARRIVAL_MS)
+                .set("wall_ms", poisson_wall_ms)
+                .set("session_p50_ms", session_p50_ms)
+                .set("session_p99_ms", session_p99_ms)
+                .set("sustained_rounds", sustained_rounds)
+                .set("tenant_stats", tenant_snap.to_json()),
         )
         .set("chaos_baseline_wall_ms", chaos_baseline_ms)
         .set("chaos_killed_wall_ms", chaos_killed_ms)

@@ -1,7 +1,7 @@
 //! Client handle: graph submission, futures, scatter, variables, queues.
 
 use crate::datum::{Datum, DatumRef};
-use crate::key::Key;
+use crate::key::{Key, SessionId, DEFAULT_SESSION};
 use crate::msg::{ClientId, ClientMsg, DataMsg, SchedMsg, TaskError, WorkerId};
 use crate::optimize::{optimize, OptimizeConfig};
 use crate::spec::TaskSpec;
@@ -10,16 +10,23 @@ use crate::store::StoreConfig;
 use crate::trace::{EventKind, TraceHandle};
 use crate::transport::{DataReply, Endpoint};
 use crossbeam::channel::Receiver;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A connected client. Owns its notification inbox, so use one `Client` per
 /// thread (clone-by-reconnect via [`crate::Cluster::client`]).
 pub struct Client {
     pub(crate) id: ClientId,
+    /// This client's session namespace. [`DEFAULT_SESSION`] (the
+    /// single-tenant default) keeps every message byte-identical to the
+    /// pre-tenancy protocol; any other session scopes every key this
+    /// client creates and wraps every scheduler-bound message in
+    /// [`SchedMsg::Scoped`].
+    pub(crate) session: SessionId,
     /// Outbound route to the scheduler and worker data servers.
     pub(crate) endpoint: Endpoint,
     pub(crate) rx: Receiver<ClientMsg>,
@@ -33,10 +40,11 @@ pub struct Client {
     /// Lifecycle event recorder (empty handle when tracing is off). Bridges
     /// relabel their trace row via [`TraceHandle::set_label`].
     pub(crate) tracer: TraceHandle,
-    /// Stop flag of this client's heartbeat pinger, when one is running. The
-    /// thread itself is owned (and joined) by the cluster — satellite of the
-    /// shutdown-ordering fix — so drop only signals it to stop.
-    pub(crate) heartbeat_stop: Option<Arc<AtomicBool>>,
+    /// This client's heartbeat pinger (stop flag + thread), when one is
+    /// running. The client owns and joins it: drop stops the thread and
+    /// waits for it *before* sending the disconnect, so no ping can trail
+    /// the goodbye and re-arm liveness tracking for a gone client.
+    pub(crate) heartbeat: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
     /// Out-of-band data plane config (the cluster's [`StoreConfig`]). With
     /// `proxies` on, large array values bound for the control path
     /// (variables, queue items) are published to a worker store instead and
@@ -44,6 +52,12 @@ pub struct Client {
     pub(crate) store: StoreConfig,
     /// Monotonic per-client sequence for proxy keys (also the handle epoch).
     pub(crate) proxy_seq: AtomicUsize,
+    /// Whether the scheduler acks scoped graph submissions with
+    /// [`ClientMsg::SubmitOutcome`] (true only when tenancy is on *and* an
+    /// admission cap is configured).
+    pub(crate) await_submit_ack: bool,
+    /// Test hook ([`Client::simulate_death`]): drop without the goodbye.
+    pub(crate) dead: Cell<bool>,
 }
 
 /// A handle to one (eventual) task result.
@@ -62,6 +76,36 @@ impl Client {
     /// This client's id.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    /// This client's session namespace (0 = the implicit single-tenant
+    /// session).
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Scope a key into this client's session. The implicit session
+    /// leaves keys untouched (hash- and byte-identical to the seed).
+    fn scope(&self, key: Key) -> Key {
+        if self.session == DEFAULT_SESSION {
+            key
+        } else {
+            key.with_session(self.session)
+        }
+    }
+
+    /// Send a scheduler message, tagged with this client's session when
+    /// it has one. Single-tenant clients send the bare message — the wire
+    /// stays byte-identical to the pre-tenancy protocol.
+    fn send_sched(&self, msg: SchedMsg) {
+        if self.session == DEFAULT_SESSION {
+            self.endpoint.send_sched(msg);
+        } else {
+            self.endpoint.send_sched(SchedMsg::Scoped {
+                session: self.session,
+                inner: Box::new(msg),
+            });
+        }
     }
 
     /// Number of workers in the cluster.
@@ -96,7 +140,47 @@ impl Client {
     /// The ahead-of-time optimizer (when enabled in the cluster config)
     /// culls tasks unreachable from `outputs` and fuses strictly linear op
     /// chains; externally registered keys are always protected.
-    pub fn submit_with_outputs(&self, mut specs: Vec<TaskSpec>, outputs: &[Key]) {
+    ///
+    /// Panics if the scheduler rejects the graph under an admission cap;
+    /// use [`Client::try_submit_with_outputs`] to handle backpressure.
+    pub fn submit_with_outputs(&self, specs: Vec<TaskSpec>, outputs: &[Key]) {
+        if let Err(e) = self.try_submit_with_outputs(specs, outputs) {
+            panic!("graph submission failed: {e}");
+        }
+    }
+
+    /// Like [`Client::submit`], surfacing admission-control backpressure:
+    /// with tenancy and a per-session in-flight cap configured, a graph
+    /// that would exceed the cap is rejected whole and returned as
+    /// [`SubmitError::Rejected`] — retry after some in-flight work
+    /// completes. Without a cap this never fails (no ack round-trip).
+    pub fn try_submit(&self, specs: Vec<TaskSpec>) -> Result<(), SubmitError> {
+        self.try_submit_with_outputs(specs, &[])
+    }
+
+    /// [`Client::try_submit`] with declared outputs (enables culling).
+    pub fn try_submit_with_outputs(
+        &self,
+        mut specs: Vec<TaskSpec>,
+        outputs: &[Key],
+    ) -> Result<(), SubmitError> {
+        // Scope before optimizing, so the protected/external set (already
+        // scoped at registration) matches spec keys.
+        let scoped_outputs: Vec<Key>;
+        let mut outputs = outputs;
+        if self.session != DEFAULT_SESSION {
+            for spec in &mut specs {
+                spec.key = spec.key.with_session(self.session);
+                for dep in &mut spec.deps {
+                    *dep = dep.with_session(self.session);
+                }
+            }
+            scoped_outputs = outputs
+                .iter()
+                .map(|k| k.with_session(self.session))
+                .collect();
+            outputs = &scoped_outputs;
+        }
         if self.optimize.is_active() {
             let opt_t0 = self.tracer.start();
             let protected = self.external_keys.borrow();
@@ -108,17 +192,38 @@ impl Client {
         }
         self.tracer
             .instant(EventKind::Submit, None, specs.len() as u64);
-        self.endpoint.send_sched(SchedMsg::SubmitGraph {
+        self.send_sched(SchedMsg::SubmitGraph {
             client: self.id,
             specs,
         });
+        if !self.await_submit_ack {
+            return Ok(());
+        }
+        // One ack per scoped submission, in submission order on this
+        // client's own channel — the next SubmitOutcome is ours.
+        let outcome = self
+            .wait_msg(None, |m| match m {
+                ClientMsg::SubmitOutcome {
+                    accepted,
+                    inflight,
+                    cap,
+                } => Some((*accepted, *inflight, *cap)),
+                _ => None,
+            })
+            .map_err(SubmitError::Channel)?;
+        match outcome {
+            (true, _, _) => Ok(()),
+            (false, inflight, cap) => Err(SubmitError::Rejected { inflight, cap }),
+        }
     }
 
-    /// Future for any key (submitted, scattered, or external).
+    /// Future for any key (submitted, scattered, or external). The key is
+    /// scoped into this client's session — tenants can only ever watch
+    /// their own namespace.
     pub fn future(&self, key: impl Into<Key>) -> DFuture<'_> {
         DFuture {
             client: self,
-            key: key.into(),
+            key: self.scope(key.into()),
         }
     }
 
@@ -126,10 +231,11 @@ impl Client {
     /// environment will push later. Graphs depending on these keys may be
     /// submitted immediately afterwards — before any data exists.
     pub fn register_external(&self, keys: Vec<Key>) {
+        let keys: Vec<Key> = keys.into_iter().map(|k| self.scope(k)).collect();
         self.external_keys.borrow_mut().extend(keys.iter().cloned());
         self.tracer
             .instant(EventKind::RegisterExternal, None, keys.len() as u64);
-        self.endpoint.send_sched(SchedMsg::RegisterExternal {
+        self.send_sched(SchedMsg::RegisterExternal {
             client: self.id,
             keys,
         });
@@ -172,6 +278,7 @@ impl Client {
         let mut placements = Vec::with_capacity(items.len());
         let mut entries = Vec::with_capacity(items.len());
         for (key, value) in items {
+            let key = self.scope(key);
             let w = worker.unwrap_or_else(|| {
                 self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.endpoint.n_workers()
             });
@@ -194,7 +301,7 @@ impl Client {
             entries.push((key, w, nbytes));
             placements.push(w);
         }
-        self.endpoint.send_sched(SchedMsg::UpdateData {
+        self.send_sched(SchedMsg::UpdateData {
             client: self.id,
             entries,
             external,
@@ -213,8 +320,10 @@ impl Client {
     /// than sequential `future(..).result()` calls: all `WantResult`
     /// registrations go out before any wait begins.
     pub fn gather_many(&self, keys: &[Key]) -> Result<Vec<Datum>, TaskError> {
+        let keys: Vec<Key> = keys.iter().map(|k| self.scope(k.clone())).collect();
+        let keys = &keys[..];
         for key in keys {
-            self.endpoint.send_sched(SchedMsg::WantResult {
+            self.send_sched(SchedMsg::WantResult {
                 client: self.id,
                 key: key.clone(),
             });
@@ -238,7 +347,8 @@ impl Client {
 
     /// Release keys cluster-wide (scheduler state + worker memory).
     pub fn release(&self, keys: Vec<Key>) {
-        self.endpoint.send_sched(SchedMsg::ReleaseKeys { keys });
+        let keys = keys.into_iter().map(|k| self.scope(k)).collect();
+        self.send_sched(SchedMsg::ReleaseKeys { keys });
     }
 
     /// Send one heartbeat now (the automatic pinger uses the same path).
@@ -331,7 +441,7 @@ impl Client {
             unreachable!("keep_inline admits only arrays to the proxy plane");
         };
         let seq = self.proxy_seq.fetch_add(1, Ordering::Relaxed);
-        let key = Key::new(format!("proxy:c{}:{}", self.id, seq));
+        let key = self.scope(Key::new(format!("proxy:c{}:{}", self.id, seq)));
         let holder =
             self.scatter_cursor.fetch_add(1, Ordering::Relaxed) % self.endpoint.n_workers();
         let shape = array.shape().to_vec();
@@ -408,7 +518,7 @@ impl Client {
     /// and only a handle rides the scheduler lane.
     pub fn var_set(&self, name: &str, value: Datum) {
         let value = self.publish_proxy(value);
-        self.endpoint.send_sched(SchedMsg::VariableSet {
+        self.send_sched(SchedMsg::VariableSet {
             name: name.to_string(),
             value,
         });
@@ -426,7 +536,7 @@ impl Client {
     /// travelled the control path — introspection and tests use it to see
     /// handles (and their holders) directly.
     pub fn var_get_raw(&self, name: &str) -> Result<Datum, WaitError> {
-        self.endpoint.send_sched(SchedMsg::VariableGet {
+        self.send_sched(SchedMsg::VariableGet {
             client: self.id,
             name: name.to_string(),
             wait: true,
@@ -443,7 +553,7 @@ impl Client {
 
     /// Non-blocking read of a variable. Proxy handles resolve transparently.
     pub fn var_try_get(&self, name: &str) -> Result<Option<Datum>, WaitError> {
-        self.endpoint.send_sched(SchedMsg::VariableGet {
+        self.send_sched(SchedMsg::VariableGet {
             client: self.id,
             name: name.to_string(),
             wait: false,
@@ -461,7 +571,7 @@ impl Client {
 
     /// Delete a variable.
     pub fn var_del(&self, name: &str) {
-        self.endpoint.send_sched(SchedMsg::VariableDel {
+        self.send_sched(SchedMsg::VariableDel {
             name: name.to_string(),
         });
     }
@@ -481,7 +591,7 @@ impl Client {
     pub fn q_push(&self, name: &str, value: Datum) {
         self.tracer.instant(EventKind::QueueOp, None, 0);
         let value = self.publish_proxy(value);
-        self.endpoint.send_sched(SchedMsg::QueuePush {
+        self.send_sched(SchedMsg::QueuePush {
             name: name.to_string(),
             value,
         });
@@ -492,7 +602,7 @@ impl Client {
     /// consumed exactly once, so the pop owns the payload.
     pub fn q_pop(&self, name: &str) -> Result<Datum, WaitError> {
         self.tracer.instant(EventKind::QueueOp, None, 1);
-        self.endpoint.send_sched(SchedMsg::QueuePop {
+        self.send_sched(SchedMsg::QueuePop {
             client: self.id,
             name: name.to_string(),
         });
@@ -520,18 +630,59 @@ impl Client {
             name: name.to_string(),
         }
     }
+
+    /// Test hook: drop this client *without* the disconnect goodbye, as if
+    /// its process died. The heartbeat pinger still stops (a dead process
+    /// sends no pings), so the scheduler's liveness sweep — not an orderly
+    /// teardown — must reclaim everything the client left behind.
+    #[doc(hidden)]
+    pub fn simulate_death(self) {
+        self.dead.set(true);
+        drop(self);
+    }
 }
 
 impl Drop for Client {
     fn drop(&mut self) {
-        if let Some(stop) = &self.heartbeat_stop {
+        // Stop and *join* the pinger first: once drop returns, no thread is
+        // left pinging on behalf of a client that said goodbye (a trailing
+        // ping would re-arm liveness tracking until the timeout fired).
+        if let Some((stop, thread)) = self.heartbeat.take() {
             stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
         }
-        self.endpoint
-            .send_sched(SchedMsg::ClientDisconnect { client: self.id });
+        if !self.dead.get() {
+            self.send_sched(SchedMsg::ClientDisconnect { client: self.id });
+        }
         self.endpoint.unregister_client(self.id);
     }
 }
+
+/// Errors surfaced by [`Client::try_submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The scheduler's admission control rejected the graph: accepting it
+    /// would push this session past its in-flight task cap. `inflight` is
+    /// the session's in-flight count at rejection time; retry once some of
+    /// it completes.
+    Rejected { inflight: u64, cap: u64 },
+    /// The notification channel failed while waiting for the ack.
+    Channel(WaitError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected { inflight, cap } => write!(
+                f,
+                "admission rejected: session has {inflight} tasks in flight (cap {cap})"
+            ),
+            SubmitError::Channel(e) => write!(f, "submission ack failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Errors while waiting on cluster notifications.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -580,7 +731,7 @@ impl DFuture<'_> {
     }
 
     fn wait_impl(&self, timeout: Option<Duration>) -> Result<WorkerId, TaskError> {
-        self.client.endpoint.send_sched(SchedMsg::WantResult {
+        self.client.send_sched(SchedMsg::WantResult {
             client: self.client.id,
             key: self.key.clone(),
         });

@@ -1,6 +1,7 @@
 //! Cluster bootstrap: spawn scheduler + workers, hand out clients.
 
 use crate::client::Client;
+use crate::key::{SessionId, DEFAULT_SESSION};
 use crate::msg::{ClientMsg, DataMsg, ExecMsg, SchedMsg, WorkerId};
 use crate::optimize::OptimizeConfig;
 use crate::policy::PolicyConfig;
@@ -92,6 +93,44 @@ impl FaultConfig {
     }
 }
 
+/// Multi-tenant serving knobs.
+///
+/// Default **off**: every client runs in the implicit session
+/// ([`DEFAULT_SESSION`]) and the message plane is byte-identical to a
+/// single-tenant cluster — no `Scoped` wrapper ever travels the wire.
+/// Enabled, each client from [`Cluster::client`] gets its own session:
+/// task keys, variables, queues, and store payloads are namespaced per
+/// session, and a client's departure (orderly or swept dead) releases
+/// exactly its session's resources.
+#[derive(Debug, Clone, Default)]
+pub struct TenancyConfig {
+    /// Give each new client its own session namespace.
+    pub enabled: bool,
+    /// Per-session in-flight task cap. A scoped `SubmitGraph` that would
+    /// exceed it is rejected whole and the client told so
+    /// ([`crate::msg::ClientMsg::SubmitOutcome`]) — backpressure, not
+    /// silent queuing. `None` admits everything (and sends no acks).
+    pub max_inflight_tasks: Option<usize>,
+}
+
+impl TenancyConfig {
+    /// Per-client sessions, no admission cap.
+    pub fn enabled() -> Self {
+        TenancyConfig {
+            enabled: true,
+            max_inflight_tasks: None,
+        }
+    }
+
+    /// Per-client sessions with an in-flight task cap per session.
+    pub fn with_cap(cap: usize) -> Self {
+        TenancyConfig {
+            enabled: true,
+            max_inflight_tasks: Some(cap),
+        }
+    }
+}
+
 /// Cluster construction options.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -147,6 +186,10 @@ pub struct ClusterConfig {
     /// a single never-true branch). Enable with [`TelemetryConfig::enabled`]
     /// and read back via [`Cluster::telemetry`] / [`Cluster::telemetry_addr`].
     pub telemetry: TelemetryConfig,
+    /// Multi-tenant serving: per-client session namespaces, admission
+    /// control, and teardown-on-departure (default: off — single implicit
+    /// session, message plane identical to the pre-tenancy cluster).
+    pub tenancy: TenancyConfig,
 }
 
 impl Default for ClusterConfig {
@@ -164,6 +207,7 @@ impl Default for ClusterConfig {
             store: StoreConfig::default(),
             policy: PolicyConfig::default(),
             telemetry: TelemetryConfig::default(),
+            tenancy: TenancyConfig::default(),
         }
     }
 }
@@ -218,16 +262,16 @@ pub struct Cluster {
     store_config: StoreConfig,
     slots_per_worker: usize,
     // Thread handles are kept per role so shutdown can retire them in
-    // dependency order: heartbeats first (they write into the scheduler),
-    // then executors (they write into scheduler + data servers), then data
-    // servers, then the scheduler itself. Worker threads are stored per
+    // dependency order: worker pingers first (they write into the
+    // scheduler), then executors (they write into scheduler + data
+    // servers), then data servers, then the scheduler itself. Client
+    // heartbeat pingers are owned by their Client handles. Worker threads are stored per
     // worker (behind a mutex) so `kill_worker` can retire one worker's
     // threads while the rest keep running.
     sched_thread: Option<JoinHandle<()>>,
     data_threads: parking_lot::Mutex<Vec<Option<JoinHandle<()>>>>,
     exec_threads: parking_lot::Mutex<Vec<Vec<JoinHandle<()>>>>,
     worker_pingers: parking_lot::Mutex<Vec<Option<StoppableThread>>>,
-    heartbeats: parking_lot::Mutex<Vec<StoppableThread>>,
     /// Telemetry hub (gauges, flight ring, straggler baselines, alerts);
     /// `None` unless the cluster was built with [`TelemetryConfig::enabled`].
     telemetry: Option<Arc<TelemetryHub>>,
@@ -240,6 +284,9 @@ pub struct Cluster {
     /// Pending scheduled kill from [`FaultPlan::kill_worker`], consumed by
     /// [`Cluster::fault_kill_due`].
     kill_at: parking_lot::Mutex<Option<(WorkerId, u64)>>,
+    /// Multi-tenant serving knobs; governs the session each new client is
+    /// born into and whether the scheduler enforces an admission cap.
+    tenancy: TenancyConfig,
     /// Built by [`Cluster::listen`]: workers are remote processes attached
     /// over the deployment plane, not local threads. Shutdown then sends
     /// `Goodbye` over the sockets instead of joining worker threads.
@@ -338,11 +385,11 @@ impl Cluster {
                 (0..config.n_workers).map(|_| Vec::new()).collect(),
             ),
             worker_pingers: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
-            heartbeats: parking_lot::Mutex::new(Vec::new()),
             telemetry: hub,
             telemetry_threads: parking_lot::Mutex::new(Vec::new()),
             telemetry_addr: None,
             kill_at: parking_lot::Mutex::new(config.fault.plan.kill_worker),
+            tenancy: config.tenancy.clone(),
             deploy: false,
             down: false,
         };
@@ -366,6 +413,11 @@ impl Cluster {
             Arc::clone(&cluster.stats),
             cluster.tracer.register(TraceActor::Scheduler),
             cluster.telemetry.clone(),
+            cluster
+                .tenancy
+                .enabled
+                .then_some(cluster.tenancy.max_inflight_tasks)
+                .flatten(),
         );
         match std::thread::Builder::new()
             .name("dtask-scheduler".into())
@@ -581,11 +633,11 @@ impl Cluster {
                 (0..config.n_workers).map(|_| Vec::new()).collect(),
             ),
             worker_pingers: parking_lot::Mutex::new((0..config.n_workers).map(|_| None).collect()),
-            heartbeats: parking_lot::Mutex::new(Vec::new()),
             telemetry: hub,
             telemetry_threads: parking_lot::Mutex::new(Vec::new()),
             telemetry_addr: None,
             kill_at: parking_lot::Mutex::new(config.fault.plan.kill_worker),
+            tenancy: config.tenancy.clone(),
             deploy: true,
             down: false,
         };
@@ -605,6 +657,11 @@ impl Cluster {
             Arc::clone(&cluster.stats),
             cluster.tracer.register(TraceActor::Scheduler),
             cluster.telemetry.clone(),
+            cluster
+                .tenancy
+                .enabled
+                .then_some(cluster.tenancy.max_inflight_tasks)
+                .flatten(),
         )
         .with_offline_workers();
         match std::thread::Builder::new()
@@ -763,7 +820,10 @@ impl Cluster {
         }
     }
 
-    /// Connect a new client with the cluster-default heartbeat.
+    /// Connect a new client with the cluster-default heartbeat. With
+    /// [`TenancyConfig::enabled`], each client gets its own session
+    /// namespace (session `id + 1`; session 0 is the implicit
+    /// single-tenant one).
     pub fn client(&self) -> Client {
         self.client_with_heartbeat(self.default_heartbeat)
     }
@@ -771,6 +831,11 @@ impl Cluster {
     /// Connect a new client with an explicit heartbeat interval.
     pub fn client_with_heartbeat(&self, heartbeat: HeartbeatInterval) -> Client {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let session: SessionId = if self.tenancy.enabled {
+            id as SessionId + 1
+        } else {
+            DEFAULT_SESSION
+        };
         let (tx, rx) = unbounded::<ClientMsg>();
         // Register the notification route BEFORE announcing the client: the
         // connect message and any subsequent notification travel the same
@@ -778,8 +843,16 @@ impl Cluster {
         // beat its route.
         self.router.register_client(id, tx);
         let endpoint = self.router.endpoint(Addr::Client(id));
-        endpoint.send_sched(SchedMsg::ClientConnect { client: id });
-        let heartbeat_stop = match heartbeat {
+        let connect = SchedMsg::ClientConnect { client: id };
+        if session == DEFAULT_SESSION {
+            endpoint.send_sched(connect);
+        } else {
+            endpoint.send_sched(SchedMsg::Scoped {
+                session,
+                inner: Box::new(connect),
+            });
+        }
+        let heartbeat = match heartbeat {
             HeartbeatInterval::Infinite => None,
             HeartbeatInterval::Every(period) => {
                 let stop = Arc::new(AtomicBool::new(false));
@@ -806,15 +879,17 @@ impl Cluster {
                         }
                     })
                     .expect("spawn heartbeat");
-                // The cluster owns (and joins) the pinger thread so shutdown
-                // can retire it before any scheduler channel goes away; the
-                // client keeps only the stop flag.
-                self.heartbeats.lock().push((Arc::clone(&stop), thread));
-                Some(stop)
+                // The client owns (and joins) its pinger, so dropping the
+                // client retires the thread *before* its disconnect goes
+                // out — no ping can ever trail the goodbye and re-arm
+                // liveness tracking. Sends after cluster shutdown land on
+                // a closed channel and are dropped by the transport.
+                Some((stop, thread))
             }
         };
         Client {
             id,
+            session,
             endpoint,
             rx,
             pending: Default::default(),
@@ -823,9 +898,12 @@ impl Cluster {
             optimize: self.optimize.clone(),
             external_keys: Default::default(),
             tracer: self.tracer.register(TraceActor::Client { id }),
-            heartbeat_stop,
+            heartbeat,
             store: self.store_config.clone(),
             proxy_seq: AtomicUsize::new(0),
+            await_submit_ack: session != DEFAULT_SESSION
+                && self.tenancy.max_inflight_tasks.is_some(),
+            dead: std::cell::Cell::new(false),
         }
     }
 
@@ -857,10 +935,9 @@ impl Cluster {
             stop.store(true, Ordering::SeqCst);
             let _ = thread.join();
         }
-        for (stop, thread) in self.heartbeats.lock().drain(..) {
-            stop.store(true, Ordering::SeqCst);
-            let _ = thread.join();
-        }
+        // Client heartbeat pingers are owned (and joined) by their Client
+        // handles; a still-live client's pings after this point land on a
+        // closed scheduler channel and are dropped by the transport.
         for pinger in self.worker_pingers.lock().iter_mut() {
             if let Some((stop, thread)) = pinger.take() {
                 stop.store(true, Ordering::SeqCst);

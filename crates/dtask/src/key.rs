@@ -4,11 +4,24 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// Session (tenant) identifier. `0` is the implicit default session every
+/// key belongs to unless explicitly scoped — single-tenant clusters never
+/// see any other value, which keeps their hashing and wire bytes identical
+/// to the pre-tenancy runtime.
+pub type SessionId = u32;
+
+/// The implicit session id of unscoped keys.
+pub const DEFAULT_SESSION: SessionId = 0;
+
 /// A task key: globally unique name of a task/data item, cheap to clone.
 ///
 /// DEISA's naming scheme (paper §2.4.1) builds keys like
 /// `deisa-temp@(1,3,5)` — prefix, field name, and spatiotemporal block
 /// position; see `deisa-core::naming`.
+///
+/// Keys are namespaced by a [`SessionId`]: two tenants submitting the same
+/// key *text* produce distinct keys, so their graphs never collide in the
+/// scheduler's maps. Session 0 is the implicit single-tenant namespace.
 ///
 /// The hash of the text is computed once at construction and cached, so the
 /// scheduler's hot maps (`tasks`, `who_has`, waiter sets) never rehash the
@@ -17,6 +30,7 @@ use std::sync::Arc;
 pub struct Key {
     text: Arc<str>,
     hash: u64,
+    session: SessionId,
 }
 
 /// FNV-1a over the key bytes; stable and cheap for short task names.
@@ -30,16 +44,53 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl Key {
-    /// Create a key from any string-like value.
+    /// Create a key in the implicit default session.
     pub fn new(s: impl AsRef<str>) -> Self {
+        Key::scoped(DEFAULT_SESSION, s)
+    }
+
+    /// Create a key namespaced to `session`. Session 0 is byte- and
+    /// hash-identical to [`Key::new`].
+    pub fn scoped(session: SessionId, s: impl AsRef<str>) -> Self {
         let text: Arc<str> = Arc::from(s.as_ref());
-        let hash = fnv1a(text.as_bytes());
-        Key { text, hash }
+        let mut hash = fnv1a(text.as_bytes());
+        if session != DEFAULT_SESSION {
+            // Mix the session only when non-zero so default-session hashes
+            // stay exactly what they were before tenancy existed.
+            hash ^= (session as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        Key {
+            text,
+            hash,
+            session,
+        }
+    }
+
+    /// This key's text, re-scoped to another session.
+    pub fn with_session(&self, session: SessionId) -> Self {
+        if session == self.session {
+            self.clone()
+        } else {
+            let mut hash = fnv1a(self.text.as_bytes());
+            if session != DEFAULT_SESSION {
+                hash ^= (session as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            Key {
+                text: Arc::clone(&self.text),
+                hash,
+                session,
+            }
+        }
     }
 
     /// The key text.
     pub fn as_str(&self) -> &str {
         &self.text
+    }
+
+    /// The session this key belongs to (0 = implicit default).
+    pub fn session(&self) -> SessionId {
+        self.session
     }
 
     /// The precomputed hash (exposed for tests and diagnostics).
@@ -53,7 +104,9 @@ impl PartialEq for Key {
         // Hash first: a cheap u64 compare rejects almost all mismatches
         // before touching the string bytes. Clones share the allocation, so
         // the pointer check settles the common equal case for free.
-        self.hash == other.hash && (Arc::ptr_eq(&self.text, &other.text) || self.text == other.text)
+        self.hash == other.hash
+            && self.session == other.session
+            && (Arc::ptr_eq(&self.text, &other.text) || self.text == other.text)
     }
 }
 
@@ -73,7 +126,9 @@ impl PartialOrd for Key {
 
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.text.cmp(&other.text)
+        self.session
+            .cmp(&other.session)
+            .then_with(|| self.text.cmp(&other.text))
     }
 }
 
@@ -85,7 +140,11 @@ impl fmt::Display for Key {
 
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Key({})", self.text)
+        if self.session == DEFAULT_SESSION {
+            write!(f, "Key({})", self.text)
+        } else {
+            write!(f, "Key(s{}:{})", self.session, self.text)
+        }
     }
 }
 
@@ -148,5 +207,41 @@ mod tests {
             Key::new("deisa-temp@(1,3,5)").to_string(),
             "deisa-temp@(1,3,5)"
         );
+    }
+
+    #[test]
+    fn sessions_namespace_identical_text() {
+        let base = Key::new("sink");
+        let s1 = Key::scoped(1, "sink");
+        let s2 = Key::scoped(2, "sink");
+        assert_ne!(base, s1);
+        assert_ne!(s1, s2);
+        assert_eq!(s1, Key::scoped(1, "sink"));
+        assert_ne!(s1.cached_hash(), s2.cached_hash());
+        let mut set = HashSet::new();
+        set.insert(base.clone());
+        set.insert(s1.clone());
+        set.insert(s2.clone());
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&Key::scoped(1, "sink")));
+    }
+
+    #[test]
+    fn default_session_is_hash_identical_to_scoped_zero() {
+        let a = Key::new("x");
+        let b = Key::scoped(0, "x");
+        assert_eq!(a, b);
+        assert_eq!(a.cached_hash(), b.cached_hash());
+        assert_eq!(a.session(), 0);
+        assert_eq!(Key::scoped(7, "x").session(), 7);
+    }
+
+    #[test]
+    fn with_session_rescopes_text() {
+        let k = Key::new("block");
+        let scoped = k.with_session(3);
+        assert_eq!(scoped, Key::scoped(3, "block"));
+        assert_eq!(scoped.as_str(), "block");
+        assert_eq!(scoped.with_session(0), k);
     }
 }

@@ -62,11 +62,13 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use client::{Client, DFuture, DQueue, Variable};
-pub use cluster::{Cluster, ClusterConfig, DeployConfig, FaultConfig, HeartbeatInterval};
+pub use client::{Client, DFuture, DQueue, SubmitError, Variable, WaitError};
+pub use cluster::{
+    Cluster, ClusterConfig, DeployConfig, FaultConfig, HeartbeatInterval, TenancyConfig,
+};
 pub use datum::{Datum, DatumRef};
 pub use json::Json;
-pub use key::Key;
+pub use key::{Key, SessionId, DEFAULT_SESSION};
 pub use msg::{ErrorCause, TaskError};
 pub use net::{
     Frame, FrameReader, NodeWelcome, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, PREAMBLE_BYTES,

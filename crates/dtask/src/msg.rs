@@ -6,7 +6,7 @@
 //! special-casing.
 
 use crate::datum::Datum;
-use crate::key::Key;
+use crate::key::{Key, SessionId};
 use crate::spec::TaskSpec;
 use crate::transport::ReplyTo;
 use std::sync::Arc;
@@ -278,6 +278,17 @@ pub enum SchedMsg {
     },
     /// Stop the scheduler loop.
     Shutdown,
+    /// A tenant-scoped message: the scheduler handles `inner` inside the
+    /// named session's namespace (string-named variable/queue operations are
+    /// re-keyed per session; connect/disconnect bind the client to the
+    /// session). Single-tenant clusters never wrap, so their wire bytes stay
+    /// identical to the pre-tenancy format. Never nested.
+    Scoped {
+        /// The tenant session this message belongs to (never 0).
+        session: SessionId,
+        /// The wrapped message.
+        inner: Box<SchedMsg>,
+    },
 }
 
 /// One scheduler→worker assignment: the task, the placement of each
@@ -356,6 +367,13 @@ pub enum DataMsg {
         /// Where to route the `(stored keys, stored bytes)` reply.
         reply: ReplyTo,
     },
+    /// Drop every stored value belonging to one tenant session (teardown
+    /// broadcast; cheaper and race-free vs. enumerating keys scheduler-side,
+    /// since the store also holds proxy payloads the scheduler never saw).
+    Sweep {
+        /// The session whose entries are dropped.
+        session: SessionId,
+    },
     /// Resolve a proxy handle: fetch a store entry published out-of-band
     /// behind a [`crate::datum::DatumRef`]. Semantically a `Get`, but kept
     /// as its own variant so requester-side accounting can tell proxy
@@ -397,5 +415,17 @@ pub enum ClientMsg {
         name: String,
         /// Popped value.
         value: Datum,
+    },
+    /// Admission-control verdict for a scoped `SubmitGraph`. Sent only when
+    /// the cluster runs with a per-session in-flight cap; `accepted: false`
+    /// means the graph was rejected wholesale (backpressure — the client
+    /// surfaces the error instead of silently queuing).
+    SubmitOutcome {
+        /// Was the graph admitted?
+        accepted: bool,
+        /// The session's in-flight task count at decision time.
+        inflight: u64,
+        /// The configured per-session cap.
+        cap: u64,
     },
 }

@@ -31,7 +31,7 @@
 //! exactly `(nbytes, who_has)` per dependency — enough for cost models,
 //! nothing to mutate.
 
-use crate::key::Key;
+use crate::key::{Key, SessionId};
 use crate::msg::WorkerId;
 use crate::spec::TaskSpec;
 use std::cmp::Reverse;
@@ -139,6 +139,13 @@ pub struct PolicyConfig {
     /// Idle-poll interval before a worker asks to steal; `None` = no
     /// stealing (the default, and byte-identical to the pre-policy runtime).
     pub steal_poll: Option<Duration>,
+    /// Wrap the placement policy in [`FairSharePolicy`]: per-session ready
+    /// queues drained by weighted round-robin, so no tenant starves the
+    /// others. Off by default (one implicit session — behavior identical).
+    pub fair_share: bool,
+    /// Per-session weights for the fair-share wrapper; sessions not listed
+    /// get weight 1. Ignored unless `fair_share` is set.
+    pub fair_weights: Vec<(SessionId, u32)>,
 }
 
 impl Default for PolicyConfig {
@@ -153,6 +160,8 @@ impl PolicyConfig {
         PolicyConfig {
             kind: PolicyKind::Locality,
             steal_poll: None,
+            fair_share: false,
+            fair_weights: Vec::new(),
         }
     }
 
@@ -160,7 +169,7 @@ impl PolicyConfig {
     pub fn b_level() -> Self {
         PolicyConfig {
             kind: PolicyKind::BLevel,
-            steal_poll: None,
+            ..PolicyConfig::locality()
         }
     }
 
@@ -169,6 +178,7 @@ impl PolicyConfig {
         PolicyConfig {
             kind: PolicyKind::RandomStealing,
             steal_poll: Some(Duration::from_millis(1)),
+            ..PolicyConfig::locality()
         }
     }
 
@@ -176,14 +186,29 @@ impl PolicyConfig {
     pub fn min_eft() -> Self {
         PolicyConfig {
             kind: PolicyKind::MinEft,
-            steal_poll: None,
+            ..PolicyConfig::locality()
         }
     }
 
+    /// This config with the fair-share tenancy wrapper enabled.
+    pub fn with_fair_share(mut self) -> Self {
+        self.fair_share = true;
+        self
+    }
+
     /// Parse a policy name (as used by the example/CI env knobs). Accepts
-    /// the canonical names plus common spellings.
+    /// the canonical names plus common spellings. A `fair-` prefix enables
+    /// the fair-share wrapper around the named base policy (`fair` alone
+    /// wraps the locality default).
     pub fn from_name(name: &str) -> Option<Self> {
-        match name.trim().to_ascii_lowercase().as_str() {
+        let name = name.trim().to_ascii_lowercase();
+        if let Some(base) = name.strip_prefix("fair-").filter(|b| *b != "share") {
+            return PolicyConfig::from_name(base).map(PolicyConfig::with_fair_share);
+        }
+        match name.as_str() {
+            "fair" | "fair-share" | "fair_share" => {
+                Some(PolicyConfig::locality().with_fair_share())
+            }
             "locality" | "default" => Some(PolicyConfig::locality()),
             "blevel" | "b-level" | "b_level" => Some(PolicyConfig::b_level()),
             "random-stealing" | "random_stealing" | "random" | "stealing" => {
@@ -201,6 +226,9 @@ impl PolicyConfig {
 
     /// Instantiate the policy object for the scheduler thread.
     pub fn build(&self) -> Box<dyn SchedulingPolicy> {
+        if self.fair_share {
+            return Box::new(FairSharePolicy::new(self.clone()));
+        }
         match self.kind {
             PolicyKind::Locality => Box::new(LocalityPolicy::new()),
             PolicyKind::BLevel => Box::new(BLevelPolicy::new()),
@@ -593,6 +621,135 @@ impl SchedulingPolicy for MinEftPolicy {
     }
 }
 
+/// Fair-share tenancy wrapper: one instance of the configured base policy
+/// per session, drained by weighted round-robin so a tenant flooding the
+/// scheduler with ready tasks cannot starve the others. Placement decisions
+/// and graph-priority derivation route to the owning session's base policy,
+/// so fair-share composes with locality, b-level, stealing, and min-EFT
+/// unchanged. With a single session this degrades to exactly the base
+/// policy's order (the round-robin ring has one member).
+pub struct FairSharePolicy {
+    /// Base config each per-session queue is built from (`fair_share`
+    /// cleared, so `build()` never recurses).
+    base: PolicyConfig,
+    /// Session ring, in first-seen order.
+    sessions: Vec<SessionId>,
+    /// Per-session base-policy queues.
+    queues: HashMap<SessionId, Box<dyn SchedulingPolicy>>,
+    /// Ring position of the session currently being drained.
+    cursor: usize,
+    /// Pops left for the cursor session before the ring advances.
+    credit: u32,
+    /// Configured weights (sessions absent here get weight 1).
+    weights: HashMap<SessionId, u32>,
+}
+
+impl FairSharePolicy {
+    /// Wrap `config`'s base policy (its `fair_share` flag is ignored).
+    pub fn new(config: PolicyConfig) -> Self {
+        let weights = config
+            .fair_weights
+            .iter()
+            .map(|&(s, w)| (s, w.max(1)))
+            .collect();
+        let mut base = config;
+        base.fair_share = false;
+        FairSharePolicy {
+            base,
+            sessions: Vec::new(),
+            queues: HashMap::new(),
+            cursor: 0,
+            credit: 0,
+            weights,
+        }
+    }
+
+    fn weight_of(&self, session: SessionId) -> u32 {
+        self.weights.get(&session).copied().unwrap_or(1)
+    }
+
+    /// The base-policy queue of `session`, created on first use.
+    fn queue_mut(&mut self, session: SessionId) -> &mut Box<dyn SchedulingPolicy> {
+        if !self.queues.contains_key(&session) {
+            self.queues.insert(session, self.base.build());
+            self.sessions.push(session);
+            if self.sessions.len() == 1 {
+                self.credit = self.weight_of(session);
+            }
+        }
+        self.queues.get_mut(&session).unwrap()
+    }
+
+    /// Move the ring to the next session and refill its credit.
+    fn advance(&mut self) {
+        self.cursor = (self.cursor + 1) % self.sessions.len();
+        self.credit = self.weight_of(self.sessions[self.cursor]);
+    }
+}
+
+impl SchedulingPolicy for FairSharePolicy {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn push(&mut self, key: Key) {
+        let session = key.session();
+        self.queue_mut(session).push(key);
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        let n = self.sessions.len();
+        if n == 0 {
+            return None;
+        }
+        // At most one full lap plus the current partial credit window: every
+        // session gets inspected once before we conclude all queues are dry.
+        for _ in 0..=n {
+            let session = self.sessions[self.cursor];
+            if self.credit > 0 {
+                if let Some(key) = self.queues.get_mut(&session).unwrap().pop() {
+                    self.credit -= 1;
+                    if self.credit == 0 {
+                        self.advance();
+                    }
+                    return Some(key);
+                }
+            }
+            self.advance();
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    fn graph_submitted(&mut self, specs: &[Arc<TaskSpec>]) {
+        // Partition by session: priority derivation (b-levels) must only see
+        // each tenant's own graph.
+        let mut by_session: HashMap<SessionId, Vec<Arc<TaskSpec>>> = HashMap::new();
+        for spec in specs {
+            by_session
+                .entry(spec.key.session())
+                .or_default()
+                .push(Arc::clone(spec));
+        }
+        for (session, group) in by_session {
+            self.queue_mut(session).graph_submitted(&group);
+        }
+    }
+
+    fn decide_worker(
+        &mut self,
+        spec: &TaskSpec,
+        workers: &[WorkerState],
+        deps: &DepLookup<'_>,
+    ) -> Option<WorkerId> {
+        self.queue_mut(spec.key.session())
+            .decide_worker(spec, workers, deps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,6 +896,107 @@ mod tests {
             }
         };
         assert_eq!(p.decide_worker(&s, &ws, &lookup_small), Some(1));
+    }
+
+    #[test]
+    fn fair_share_round_robins_across_sessions() {
+        let mut p = FairSharePolicy::new(PolicyConfig::locality());
+        for i in 0..3 {
+            p.push(Key::scoped(1, format!("a{i}")));
+            p.push(Key::scoped(2, format!("b{i}")));
+        }
+        assert_eq!(p.len(), 6);
+        let order: Vec<String> = std::iter::from_fn(|| p.pop())
+            .map(|k| format!("s{}:{}", k.session(), k.as_str()))
+            .collect();
+        // Equal weights: strict alternation, FIFO within each session.
+        assert_eq!(
+            order,
+            ["s1:a0", "s2:b0", "s1:a1", "s2:b1", "s1:a2", "s2:b2"]
+        );
+        assert!(p.pop().is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fair_share_honors_weights_and_skips_dry_sessions() {
+        let mut cfg = PolicyConfig::locality().with_fair_share();
+        cfg.fair_weights = vec![(1, 2)];
+        let mut p = FairSharePolicy::new(cfg);
+        for i in 0..4 {
+            p.push(Key::scoped(1, format!("a{i}")));
+        }
+        for i in 0..2 {
+            p.push(Key::scoped(2, format!("b{i}")));
+        }
+        let order: Vec<String> = std::iter::from_fn(|| p.pop())
+            .map(|k| format!("s{}:{}", k.session(), k.as_str()))
+            .collect();
+        // Session 1 (weight 2) drains two per turn against session 2's one;
+        // once session 2 is dry, session 1 keeps draining unimpeded.
+        assert_eq!(
+            order,
+            ["s1:a0", "s1:a1", "s2:b0", "s1:a2", "s1:a3", "s2:b1"]
+        );
+    }
+
+    #[test]
+    fn fair_share_single_session_degrades_to_base_order() {
+        let mut fair = FairSharePolicy::new(PolicyConfig::locality());
+        let mut base = LocalityPolicy::new();
+        for i in 0..5 {
+            fair.push(Key::new(format!("t{i}")));
+            base.push(Key::new(format!("t{i}")));
+        }
+        loop {
+            let (f, b) = (fair.pop(), base.pop());
+            assert_eq!(f, b);
+            if f.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fair_share_composes_with_blevel_per_session() {
+        let mut p = FairSharePolicy::new(PolicyConfig::b_level());
+        let scoped = |s: SessionId, k: &str, deps: &[&str]| {
+            Arc::new(TaskSpec::new(
+                Key::scoped(s, k),
+                "identity",
+                Datum::Null,
+                deps.iter().map(|d| Key::scoped(s, *d)).collect(),
+            ))
+        };
+        // Session 1: deep chain; its b-level queue must pop deep before leaf.
+        p.graph_submitted(&[
+            scoped(1, "deep", &[]),
+            scoped(1, "mid", &["deep"]),
+            scoped(1, "sink", &["mid"]),
+            scoped(1, "leaf", &[]),
+        ]);
+        p.push(Key::scoped(1, "leaf"));
+        p.push(Key::scoped(1, "deep"));
+        assert_eq!(p.pop().unwrap().as_str(), "deep");
+        assert_eq!(p.pop().unwrap().as_str(), "leaf");
+    }
+
+    #[test]
+    fn fair_share_placement_routes_to_owning_session() {
+        let mut p = FairSharePolicy::new(PolicyConfig::locality());
+        let ws = workers(3);
+        let s = Arc::new(TaskSpec::new(
+            Key::scoped(4, "t"),
+            "identity",
+            Datum::Null,
+            vec![Key::scoped(4, "d")],
+        ));
+        let lookup = |k: &Key, f: &mut dyn FnMut(u64, &[WorkerId])| {
+            if k.as_str() == "d" {
+                f(2048, &[1]);
+            }
+        };
+        assert_eq!(p.decide_worker(&s, &ws, &lookup), Some(1));
     }
 
     #[test]

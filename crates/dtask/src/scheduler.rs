@@ -18,7 +18,7 @@
 //! so graphs submitted *before the data existed* start flowing.
 
 use crate::datum::Datum;
-use crate::key::Key;
+use crate::key::{Key, SessionId, DEFAULT_SESSION};
 use crate::msg::{ClientId, ClientMsg, DataMsg, ErrorCause, SchedMsg, TaskError, WorkerId};
 use crate::policy::{PolicyConfig, SchedulingPolicy, WorkerState};
 use crate::spec::TaskSpec;
@@ -145,6 +145,20 @@ struct QueueEntry {
     poppers: VecDeque<ClientId>,
 }
 
+/// Per-tenant scheduler state. Only sessions other than
+/// [`DEFAULT_SESSION`] get an entry — the single-tenant path never
+/// touches this map.
+#[derive(Default)]
+struct SessionState {
+    /// Every task key this session has submitted, registered, or
+    /// scattered; teardown releases exactly this set.
+    task_keys: HashSet<Key>,
+    /// Submitted task keys not yet Memory/Erred — the admission-control
+    /// denominator. A set, not a counter, so duplicate completion
+    /// reports cannot drift it.
+    inflight: HashSet<Key>,
+}
+
 /// The scheduler loop state.
 pub struct Scheduler {
     rx: Receiver<SchedMsg>,
@@ -166,12 +180,24 @@ pub struct Scheduler {
     /// guard every poll would queue another redundant probe.
     steal_inflight: Vec<bool>,
     workers: Vec<WorkerState>,
-    /// Connected clients; notifications to unknown ids are dropped.
+    /// Connected clients; notifications to unknown ids are dropped
+    /// (and counted — see [`SchedulerStats::notifies_dropped`]).
     clients: HashSet<ClientId>,
-    variables: HashMap<String, Datum>,
+    /// Variables, namespaced per session. Single-tenant traffic lives
+    /// entirely under [`DEFAULT_SESSION`], so tenants never observe
+    /// each other's names.
+    variables: HashMap<(SessionId, String), Datum>,
     /// Clients blocked in `VariableGet { wait: true }` per variable.
-    var_waiters: HashMap<String, Vec<ClientId>>,
-    queues: HashMap<String, QueueEntry>,
+    var_waiters: HashMap<(SessionId, String), Vec<ClientId>>,
+    queues: HashMap<(SessionId, String), QueueEntry>,
+    /// Per-tenant state; empty until a scoped client connects.
+    sessions: HashMap<SessionId, SessionState>,
+    /// Which session each scoped client belongs to. A session tears
+    /// down when its last client disconnects or is swept dead.
+    client_session: HashMap<ClientId, SessionId>,
+    /// Per-session in-flight task cap. `None` (default) admits
+    /// everything and never sends `SubmitOutcome` acks.
+    admission_cap: Option<usize>,
     stats: Arc<SchedulerStats>,
     /// Lifecycle event recorder (empty handle when tracing is off).
     tracer: TraceHandle,
@@ -215,6 +241,7 @@ impl Scheduler {
         stats: Arc<SchedulerStats>,
         tracer: TraceHandle,
         telemetry: Option<Arc<TelemetryHub>>,
+        admission_cap: Option<usize>,
     ) -> Self {
         let slots = slots_per_worker.max(1);
         let n_workers = endpoint.n_workers();
@@ -237,6 +264,9 @@ impl Scheduler {
             variables: HashMap::new(),
             var_waiters: HashMap::new(),
             queues: HashMap::new(),
+            sessions: HashMap::new(),
+            client_session: HashMap::new(),
+            admission_cap,
             stats,
             tracer,
             ingest,
@@ -386,6 +416,7 @@ impl Scheduler {
         hub.publish_scheduler(
             self.policy.len() as u64,
             workers_alive,
+            self.sessions.len() as u64,
             worker_gap,
             client_gap,
         );
@@ -428,6 +459,11 @@ impl Scheduler {
     fn notify(&self, client: ClientId, msg: ClientMsg) {
         if self.clients.contains(&client) {
             self.endpoint.send_client(client, msg);
+        } else {
+            // A silently vanished notification is indistinguishable from
+            // a hung client; count it so operators can tell the two
+            // apart from `/metrics`.
+            self.stats.record_notify_dropped();
         }
     }
 
@@ -451,23 +487,84 @@ impl Scheduler {
         }
     }
 
+    /// Route one inbox message: unwrap the session tag (if any) and
+    /// dispatch. Untagged messages — the entire single-tenant protocol —
+    /// run under [`DEFAULT_SESSION`], which takes none of the tenant
+    /// bookkeeping paths.
     fn handle(&mut self, msg: SchedMsg) -> bool {
         match msg {
+            SchedMsg::Scoped { session, inner } => self.handle_in(session, *inner),
+            msg => self.handle_in(DEFAULT_SESSION, msg),
+        }
+    }
+
+    fn handle_in(&mut self, session: SessionId, msg: SchedMsg) -> bool {
+        match msg {
+            SchedMsg::Scoped { session, inner } => {
+                // Never sent nested; unwrap defensively rather than drop.
+                return self.handle_in(session, *inner);
+            }
             SchedMsg::ClientConnect { client } => {
                 self.clients.insert(client);
+                if session != DEFAULT_SESSION {
+                    self.client_session.insert(client, session);
+                    self.sessions.entry(session).or_default();
+                }
             }
             SchedMsg::ClientDisconnect { client } => {
-                self.clients.remove(&client);
-                self.client_last_seen.remove(&client);
+                self.drop_client(client);
             }
-            SchedMsg::SubmitGraph { client: _, specs } => {
+            SchedMsg::SubmitGraph { client, specs } => {
                 self.stats.record(MsgClass::GraphSubmit, 0);
+                if session != DEFAULT_SESSION {
+                    if let Some(cap) = self.admission_cap {
+                        let inflight = self.sessions.entry(session).or_default().inflight.len();
+                        if inflight + specs.len() > cap {
+                            // Backpressure, not silent queuing: the graph
+                            // is dropped whole and the client told so.
+                            self.stats.record_admission_rejection(session);
+                            self.notify(
+                                client,
+                                ClientMsg::SubmitOutcome {
+                                    accepted: false,
+                                    inflight: inflight as u64,
+                                    cap: cap as u64,
+                                },
+                            );
+                            return true;
+                        }
+                    }
+                    let st = self.sessions.entry(session).or_default();
+                    for spec in &specs {
+                        st.task_keys.insert(spec.key.clone());
+                        st.inflight.insert(spec.key.clone());
+                    }
+                    let depth = st.inflight.len() as u64;
+                    self.stats.record_tenant_tasks(session, specs.len() as u64);
+                    self.stats.set_tenant_queue_depth(session, depth);
+                    if let Some(cap) = self.admission_cap {
+                        self.notify(
+                            client,
+                            ClientMsg::SubmitOutcome {
+                                accepted: true,
+                                inflight: depth,
+                                cap: cap as u64,
+                            },
+                        );
+                    }
+                }
                 self.stats
                     .record_n(MsgClass::TaskSubmitted, specs.len() as u64, 0);
                 self.submit_graph(specs);
             }
             SchedMsg::RegisterExternal { client: _, keys } => {
                 self.stats.record(MsgClass::RegisterExternal, 0);
+                if session != DEFAULT_SESSION {
+                    let st = self.sessions.entry(session).or_default();
+                    for key in &keys {
+                        st.task_keys.insert(key.clone());
+                    }
+                }
                 for key in keys {
                     self.tasks
                         .entry(key)
@@ -479,6 +576,12 @@ impl Scheduler {
                 entries,
                 external,
             } => {
+                if session != DEFAULT_SESSION {
+                    let st = self.sessions.entry(session).or_default();
+                    for (key, _, _) in &entries {
+                        st.task_keys.insert(key.clone());
+                    }
+                }
                 let nbytes: u64 = entries.iter().map(|(_, _, b)| *b).sum();
                 let class = if external {
                     MsgClass::UpdateDataExternal
@@ -599,70 +702,36 @@ impl Scheduler {
                 }
             }
             SchedMsg::ReleaseKeys { keys } => {
-                let mut per_worker: HashMap<WorkerId, Vec<Key>> = HashMap::new();
-                let mut orphans: Vec<(Key, TaskError)> = Vec::new();
-                for key in keys {
-                    if let Some(entry) = self.tasks.remove(&key) {
-                        // Unlink the edge from each dependency's dependents
-                        // list, so a later resubmission of this key does not
-                        // find (and double-wire) a stale edge.
-                        for dep in &entry.deps {
-                            if let Some(dep_entry) = self.tasks.get_mut(dep) {
-                                dep_entry.dependents.retain(|k| k != &key);
-                            }
-                        }
-                        // Dependents still waiting on this key can never run
-                        // now: fail them instead of leaving them hung.
-                        for dependent in entry.dependents {
-                            if let Some(d) = self.tasks.get(&dependent) {
-                                if d.state == TaskState::Waiting {
-                                    orphans.push((
-                                        dependent.clone(),
-                                        TaskError::new(
-                                            key.clone(),
-                                            format!("dependency {key} was released"),
-                                        ),
-                                    ));
-                                }
-                            }
-                        }
-                        for w in entry.who_has {
-                            per_worker.entry(w).or_default().push(key.clone());
-                        }
-                    }
-                }
-                for (key, err) in orphans {
-                    self.mark_erred(key, err);
-                }
-                for (w, keys) in per_worker {
-                    self.endpoint.send_data(w, DataMsg::Delete { keys });
-                }
+                self.release_keys(keys);
             }
             SchedMsg::VariableSet { name, value } => {
                 self.stats.record(MsgClass::Variable, value.nbytes());
+                let slot = (session, name);
                 // Overwriting a proxied variable orphans its out-of-band
                 // payload: tell the holder's store to drop it.
-                if let Some(old) = self.variables.get(&name) {
+                if let Some(old) = self.variables.get(&slot) {
                     self.release_proxied(old);
                 }
                 // Wake waiters.
-                if let Some(waiters) = self.var_waiters.remove(&name) {
+                if let Some(waiters) = self.var_waiters.remove(&slot) {
                     for client in waiters {
                         self.notify(
                             client,
                             ClientMsg::VariableValue {
-                                name: name.clone(),
+                                name: slot.1.clone(),
                                 value: value.clone(),
                                 found: true,
                             },
                         );
                     }
                 }
-                self.variables.insert(name, value);
+                self.variables.insert(slot, value);
             }
             SchedMsg::VariableGet { client, name, wait } => {
                 self.stats.record(MsgClass::Variable, 0);
-                match self.variables.get(&name) {
+                // Lookup is namespaced: another tenant's identically named
+                // variable is invisible — a miss here is a clean not-found.
+                match self.variables.get(&(session, name.clone())) {
                     Some(v) => self.notify(
                         client,
                         ClientMsg::VariableValue {
@@ -672,7 +741,10 @@ impl Scheduler {
                         },
                     ),
                     None if wait => {
-                        self.var_waiters.entry(name).or_default().push(client);
+                        self.var_waiters
+                            .entry((session, name))
+                            .or_default()
+                            .push(client);
                     }
                     None => self.notify(
                         client,
@@ -686,13 +758,13 @@ impl Scheduler {
             }
             SchedMsg::VariableDel { name } => {
                 self.stats.record(MsgClass::Variable, 0);
-                if let Some(old) = self.variables.remove(&name) {
+                if let Some(old) = self.variables.remove(&(session, name)) {
                     self.release_proxied(&old);
                 }
             }
             SchedMsg::QueuePush { name, value } => {
                 self.stats.record(MsgClass::Queue, value.nbytes());
-                let q = self.queues.entry(name.clone()).or_default();
+                let q = self.queues.entry((session, name.clone())).or_default();
                 if let Some(client) = q.poppers.pop_front() {
                     self.notify(client, ClientMsg::QueueItem { name, value });
                 } else {
@@ -701,7 +773,7 @@ impl Scheduler {
             }
             SchedMsg::QueuePop { client, name } => {
                 self.stats.record(MsgClass::Queue, 0);
-                let q = self.queues.entry(name.clone()).or_default();
+                let q = self.queues.entry((session, name.clone())).or_default();
                 if let Some(value) = q.items.pop_front() {
                     self.notify(client, ClientMsg::QueueItem { name, value });
                 } else {
@@ -732,6 +804,130 @@ impl Scheduler {
             SchedMsg::Shutdown => return false,
         }
         true
+    }
+
+    /// Forget a set of keys: unlink dependency edges, fail orphaned
+    /// dependents, and delete the payloads from every holding worker.
+    /// Shared by the explicit `ReleaseKeys` message and session teardown.
+    fn release_keys(&mut self, keys: Vec<Key>) {
+        let mut per_worker: HashMap<WorkerId, Vec<Key>> = HashMap::new();
+        let mut orphans: Vec<(Key, TaskError)> = Vec::new();
+        for key in keys {
+            if key.session() != DEFAULT_SESSION {
+                if let Some(st) = self.sessions.get_mut(&key.session()) {
+                    st.task_keys.remove(&key);
+                    st.inflight.remove(&key);
+                }
+            }
+            if let Some(entry) = self.tasks.remove(&key) {
+                // Unlink the edge from each dependency's dependents
+                // list, so a later resubmission of this key does not
+                // find (and double-wire) a stale edge.
+                for dep in &entry.deps {
+                    if let Some(dep_entry) = self.tasks.get_mut(dep) {
+                        dep_entry.dependents.retain(|k| k != &key);
+                    }
+                }
+                // Dependents still waiting on this key can never run
+                // now: fail them instead of leaving them hung.
+                for dependent in entry.dependents {
+                    if let Some(d) = self.tasks.get(&dependent) {
+                        if d.state == TaskState::Waiting {
+                            orphans.push((
+                                dependent.clone(),
+                                TaskError::new(
+                                    key.clone(),
+                                    format!("dependency {key} was released"),
+                                ),
+                            ));
+                        }
+                    }
+                }
+                for w in entry.who_has {
+                    per_worker.entry(w).or_default().push(key.clone());
+                }
+            }
+        }
+        for (key, err) in orphans {
+            self.mark_erred(key, err);
+        }
+        for (w, keys) in per_worker {
+            self.endpoint.send_data(w, DataMsg::Delete { keys });
+        }
+    }
+
+    /// Forget a client — connection set, liveness tracking, parked
+    /// variable/queue waiter slots — and, when it was the last client of
+    /// a scoped session, tear the whole session down. Shared by the
+    /// `ClientDisconnect` handler and the liveness sweep, so an orderly
+    /// departure and a detected death release exactly the same state.
+    fn drop_client(&mut self, client: ClientId) {
+        self.clients.remove(&client);
+        self.client_last_seen.remove(&client);
+        for waiters in self.var_waiters.values_mut() {
+            waiters.retain(|c| *c != client);
+        }
+        for q in self.queues.values_mut() {
+            q.poppers.retain(|c| *c != client);
+        }
+        if let Some(session) = self.client_session.remove(&client) {
+            if !self.client_session.values().any(|&s| s == session) {
+                self.teardown_session(session);
+            }
+        }
+    }
+
+    /// Release everything a session owns: its task entries (through the
+    /// same path as an explicit `ReleaseKeys`), variables, queue items,
+    /// backoff-parked retries, and the out-of-band payloads on every
+    /// worker's store. All of it is keyed by session, so other tenants
+    /// are untouched.
+    fn teardown_session(&mut self, session: SessionId) {
+        debug_assert_ne!(
+            session, DEFAULT_SESSION,
+            "the implicit session never tears down"
+        );
+        let st = self.sessions.remove(&session).unwrap_or_default();
+        self.release_keys(st.task_keys.into_iter().collect());
+        let doomed: Vec<(SessionId, String)> = self
+            .variables
+            .keys()
+            .filter(|(s, _)| *s == session)
+            .cloned()
+            .collect();
+        for slot in doomed {
+            if let Some(old) = self.variables.remove(&slot) {
+                self.release_proxied(&old);
+            }
+        }
+        self.var_waiters.retain(|(s, _), _| *s != session);
+        let dead_queues: Vec<(SessionId, String)> = self
+            .queues
+            .keys()
+            .filter(|(s, _)| *s == session)
+            .cloned()
+            .collect();
+        for slot in dead_queues {
+            if let Some(q) = self.queues.remove(&slot) {
+                for item in q.items {
+                    self.release_proxied(&item);
+                }
+            }
+        }
+        // Parked retries for released tasks would resurrect nothing
+        // (their entries are gone), but dropping them keeps the backoff
+        // list from waking the loop for a dead tenant.
+        self.backoff.retain(|(_, key)| key.session() != session);
+        self.stats.set_tenant_queue_depth(session, 0);
+        // Belt and braces on the data plane: the Delete fan-out above
+        // only reaches payloads the scheduler knew about; a sweep per
+        // worker also catches session-scoped strays (proxy payloads
+        // published out-of-band, spilled entries).
+        for worker in 0..self.workers.len() {
+            if self.workers[worker].alive {
+                self.endpoint.send_data(worker, DataMsg::Sweep { session });
+            }
+        }
     }
 
     /// Insert a graph: wire dependencies, count unfinished deps, queue roots.
@@ -888,6 +1084,15 @@ impl Scheduler {
     /// `handle_task_finished` from §2.2: update structures, then transition
     /// dependents.
     fn handle_task_finished(&mut self, key: Key, worker: WorkerId, nbytes: u64) {
+        if key.session() != DEFAULT_SESSION && !self.sessions.contains_key(&key.session()) {
+            // Completion report for a torn-down session: the tenant is
+            // gone, so the result is garbage. Scrub it from the worker
+            // instead of resurrecting a task entry the teardown already
+            // released.
+            self.endpoint
+                .send_data(worker, DataMsg::Delete { keys: vec![key] });
+            return;
+        }
         let entry = self
             .tasks
             .entry(key.clone())
@@ -909,6 +1114,14 @@ impl Scheduler {
         entry.retries = 0;
         let waiters = std::mem::take(&mut entry.waiters);
         let dependents = entry.dependents.clone();
+        if key.session() != DEFAULT_SESSION {
+            if let Some(st) = self.sessions.get_mut(&key.session()) {
+                st.inflight.remove(&key);
+                self.stats
+                    .set_tenant_queue_depth(key.session(), st.inflight.len() as u64);
+            }
+            self.stats.record_tenant_bytes(key.session(), nbytes);
+        }
         for client in waiters {
             self.notify(
                 client,
@@ -954,6 +1167,13 @@ impl Scheduler {
             entry.error = Some(error.clone());
             let waiters = std::mem::take(&mut entry.waiters);
             let dependents = entry.dependents.clone();
+            if key.session() != DEFAULT_SESSION {
+                if let Some(st) = self.sessions.get_mut(&key.session()) {
+                    st.inflight.remove(&key);
+                    self.stats
+                        .set_tenant_queue_depth(key.session(), st.inflight.len() as u64);
+                }
+            }
             for client in waiters {
                 self.notify(
                     client,
@@ -978,6 +1198,12 @@ impl Scheduler {
     /// Liveness bookkeeping for a client ping (both ingest paths call this,
     /// so `last_seen` is identical under `PerMessage` and `Batched`).
     fn note_client_heartbeat(&mut self, client: ClientId) {
+        // A ping from an already-departed client (its pinger racing the
+        // disconnect) must not resurrect liveness tracking — a stale
+        // `last_seen` entry would sit there until the sweep timeout.
+        if !self.clients.contains(&client) {
+            return;
+        }
         if self
             .client_last_seen
             .insert(client, Instant::now())
@@ -1080,14 +1306,17 @@ impl Scheduler {
             .map(|(c, _)| *c)
             .collect();
         for client in lost_clients {
-            self.client_last_seen.remove(&client);
-            if self.clients.remove(&client) {
+            if self.clients.contains(&client) {
                 self.stats.record_peer_lost();
                 // Client ids share the worker arg space in trace events;
                 // they live at the top of the u64 range to stay distinct.
                 self.tracer
                     .instant(EventKind::PeerLost, None, u64::MAX - client as u64);
             }
+            // Same teardown as an orderly disconnect: a death must not
+            // leak the variables, queues, or store payloads an explicit
+            // goodbye would have released.
+            self.drop_client(client);
         }
     }
 

@@ -7,8 +7,9 @@
 //! this one type, so `results/BENCH_*.json` and live metrics share a schema.
 
 use crate::json::Json;
+use crate::key::SessionId;
 use crate::stats::{
-    LatencyHist, MsgClass, SchedulerStats, WireLane, N_LAT_BUCKETS, N_SIZE_BUCKETS,
+    LatencyHist, MsgClass, SchedulerStats, TenantCounters, WireLane, N_LAT_BUCKETS, N_SIZE_BUCKETS,
     SIZE_BUCKET_LABELS,
 };
 use crate::trace::TraceRecorder;
@@ -197,6 +198,15 @@ pub struct StatsSnapshot {
     pub trace_dropped: u64,
     /// Telemetry: task executions flagged as stragglers.
     pub stragglers_flagged: u64,
+    /// Multi-tenant serving: client notifications dropped because the
+    /// client's channel was gone or full.
+    pub notifies_dropped: u64,
+    /// Multi-tenant serving: graphs rejected by per-session admission
+    /// control, all tenants.
+    pub admission_rejections: u64,
+    /// Per-tenant counters, sorted by session id. Empty on single-tenant
+    /// clusters (the implicit session records nothing here).
+    pub tenants: Vec<(SessionId, TenantCounters)>,
     /// Gather-wait latency histogram.
     pub gather_wait_hist: HistSnapshot,
     /// Task-execution latency histogram.
@@ -275,6 +285,9 @@ impl StatsSnapshot {
             proxy_fetch_bytes: stats.proxy_fetch_bytes(),
             trace_dropped: 0,
             stragglers_flagged: stats.stragglers_flagged(),
+            notifies_dropped: stats.notifies_dropped(),
+            admission_rejections: stats.admission_rejections(),
+            tenants: stats.tenant_snapshot(),
             gather_wait_hist: HistSnapshot::capture(stats.gather_wait_hist()),
             exec_hist: HistSnapshot::capture(stats.exec_hist()),
             queue_delay_hist: HistSnapshot::capture(stats.queue_delay_hist()),
@@ -415,6 +428,23 @@ impl StatsSnapshot {
                 "telemetry",
                 Json::obj().set("stragglers_flagged", self.stragglers_flagged),
             )
+            .set("tenancy", {
+                let mut sessions = Json::obj();
+                for (session, t) in &self.tenants {
+                    sessions = sessions.set(
+                        &session.to_string(),
+                        Json::obj()
+                            .set("tasks", t.tasks)
+                            .set("bytes", t.bytes)
+                            .set("queue_depth", t.queue_depth)
+                            .set("admission_rejections", t.admission_rejections),
+                    );
+                }
+                Json::obj()
+                    .set("notifies_dropped", self.notifies_dropped)
+                    .set("admission_rejections", self.admission_rejections)
+                    .set("sessions", sessions)
+            })
     }
 
     /// Pretty JSON document (what the benches write under `results/`).
@@ -670,9 +700,52 @@ impl StatsSnapshot {
                 "Task executions flagged as stragglers by the online detector.",
                 self.stragglers_flagged,
             ),
+            (
+                "dtask_sched_notifies_dropped_total",
+                "Client notifications dropped because the client channel was gone.",
+                self.notifies_dropped,
+            ),
+            (
+                "dtask_admission_rejections_total",
+                "Graphs rejected by per-session admission control, all tenants.",
+                self.admission_rejections,
+            ),
         ] {
             family(&mut out, name, help, "counter");
             out.push_str(&format!("{name} {count}\n"));
+        }
+        if !self.tenants.is_empty() {
+            for (name, help, kind, read) in [
+                (
+                    "dtask_tenant_tasks_total",
+                    "Tasks admitted per session.",
+                    "counter",
+                    (|t: &TenantCounters| t.tasks) as fn(&TenantCounters) -> u64,
+                ),
+                (
+                    "dtask_tenant_bytes_total",
+                    "Result payload bytes reported per session.",
+                    "counter",
+                    |t: &TenantCounters| t.bytes,
+                ),
+                (
+                    "dtask_tenant_queue_depth",
+                    "In-flight tasks per session.",
+                    "gauge",
+                    |t: &TenantCounters| t.queue_depth,
+                ),
+                (
+                    "dtask_tenant_admission_rejections_total",
+                    "Graphs rejected by admission control per session.",
+                    "counter",
+                    |t: &TenantCounters| t.admission_rejections,
+                ),
+            ] {
+                family(&mut out, name, help, kind);
+                for (session, t) in &self.tenants {
+                    out.push_str(&format!("{name}{{session=\"{session}\"}} {}\n", read(t)));
+                }
+            }
         }
         for (name, help, hist) in [
             (

@@ -6,7 +6,10 @@
 //! startup. These counters make those formulas measurable in the real
 //! runtime (integration tests assert them) and calibrate the DES models.
 
+use crate::key::SessionId;
 use crate::optimize::OptimizeReport;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Classes of messages arriving at the scheduler, plus data-plane traffic.
@@ -343,6 +346,30 @@ pub struct SchedulerStats {
     /// Task executions flagged as stragglers by the online detector
     /// (exec duration > k× the robust per-op baseline).
     stragglers_flagged: AtomicU64,
+    /// Client notifications the scheduler dropped because the target client
+    /// was no longer registered (disconnected or declared dead mid-flight).
+    notifies_dropped: AtomicU64,
+    /// Graphs rejected by per-session admission control (all tenants).
+    admission_rejections: AtomicU64,
+    /// Per-tenant counters, keyed by session id. Touched only on the
+    /// multi-tenant path (scoped messages), so single-tenant clusters never
+    /// take this lock and their accounting stays identical to the seed.
+    tenants: Mutex<HashMap<SessionId, TenantCounters>>,
+}
+
+/// Per-session (tenant) counters surfaced in `StatsSnapshot` and `/metrics`.
+/// These live outside [`MsgClass`] so the paper's control/bridge message
+/// accounting is never polluted by tenancy bookkeeping.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Task specs submitted by this session (post-optimizer).
+    pub tasks: u64,
+    /// Result bytes produced by this session's tasks.
+    pub bytes: u64,
+    /// Tasks currently in flight (submitted, not yet terminal) — a gauge.
+    pub queue_depth: u64,
+    /// Graphs rejected by admission control.
+    pub admission_rejections: u64,
 }
 
 /// Histogram bucket count shared by the fused-chain and burst histograms.
@@ -875,6 +902,70 @@ impl SchedulerStats {
     pub fn stragglers_flagged(&self) -> u64 {
         self.stragglers_flagged.load(Ordering::Relaxed)
     }
+
+    // ---- multi-tenant serving ------------------------------------------------
+
+    /// Record one client notification dropped because the target client was
+    /// no longer registered.
+    pub fn record_notify_dropped(&self) {
+        self.notifies_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Client notifications dropped on unregistered clients.
+    pub fn notifies_dropped(&self) -> u64 {
+        self.notifies_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record one graph rejected by per-session admission control.
+    pub fn record_admission_rejection(&self, session: SessionId) {
+        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+        self.tenants
+            .lock()
+            .entry(session)
+            .or_default()
+            .admission_rejections += 1;
+    }
+
+    /// Graphs rejected by admission control, all tenants.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` tasks submitted by one session.
+    pub fn record_tenant_tasks(&self, session: SessionId, n: u64) {
+        self.tenants.lock().entry(session).or_default().tasks += n;
+    }
+
+    /// Record `bytes` of results produced by one session.
+    pub fn record_tenant_bytes(&self, session: SessionId, bytes: u64) {
+        self.tenants.lock().entry(session).or_default().bytes += bytes;
+    }
+
+    /// Update one session's in-flight task gauge.
+    pub fn set_tenant_queue_depth(&self, session: SessionId, depth: u64) {
+        self.tenants.lock().entry(session).or_default().queue_depth = depth;
+    }
+
+    /// One tenant's counters (zeroed default if never seen).
+    pub fn tenant(&self, session: SessionId) -> TenantCounters {
+        self.tenants
+            .lock()
+            .get(&session)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All tenant counters, sorted by session id (snapshot serialization).
+    pub fn tenant_snapshot(&self) -> Vec<(SessionId, TenantCounters)> {
+        let mut v: Vec<_> = self
+            .tenants
+            .lock()
+            .iter()
+            .map(|(s, c)| (*s, c.clone()))
+            .collect();
+        v.sort_by_key(|(s, _)| *s);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -1077,6 +1168,36 @@ mod tests {
         assert_eq!(s.stragglers_flagged(), 2);
         // Telemetry flags are observability metadata, never paper-accounted
         // control or bridge messages.
+        assert_eq!(s.scheduler_control_messages(), 0);
+        assert_eq!(s.bridge_metadata_messages(), 0);
+    }
+
+    #[test]
+    fn tenant_counters_accumulate_and_stay_out_of_control_accounting() {
+        let s = SchedulerStats::new();
+        assert_eq!(s.notifies_dropped(), 0);
+        assert_eq!(s.admission_rejections(), 0);
+        assert!(s.tenant_snapshot().is_empty());
+        s.record_notify_dropped();
+        s.record_tenant_tasks(2, 5);
+        s.record_tenant_tasks(1, 3);
+        s.record_tenant_bytes(2, 4096);
+        s.set_tenant_queue_depth(2, 7);
+        s.record_admission_rejection(2);
+        assert_eq!(s.notifies_dropped(), 1);
+        assert_eq!(s.admission_rejections(), 1);
+        assert_eq!(s.tenant(1).tasks, 3);
+        let t2 = s.tenant(2);
+        assert_eq!(
+            (t2.tasks, t2.bytes, t2.queue_depth, t2.admission_rejections),
+            (5, 4096, 7, 1)
+        );
+        let snap = s.tenant_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, 1, "sorted by session id");
+        assert_eq!(s.tenant(99), TenantCounters::default());
+        // Tenancy bookkeeping lives outside MsgClass: the paper's control
+        // and bridge-metadata accounting stays untouched.
         assert_eq!(s.scheduler_control_messages(), 0);
         assert_eq!(s.bridge_metadata_messages(), 0);
     }

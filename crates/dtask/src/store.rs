@@ -226,6 +226,24 @@ impl ObjectStore {
             .count()
     }
 
+    /// Remove every entry belonging to one tenant session (teardown sweep).
+    /// Proxy payloads published by that session's client land here without
+    /// the scheduler ever tracking a key for them, so teardown broadcasts a
+    /// sweep instead of enumerating. Returns how many entries were dropped.
+    pub fn remove_session(&self, session: crate::key::SessionId) -> usize {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<Key> = inner
+            .entries
+            .keys()
+            .filter(|k| k.session() == session)
+            .cloned()
+            .collect();
+        doomed
+            .iter()
+            .filter(|k| self.remove_locked(&mut inner, k))
+            .count()
+    }
+
     /// Entry count, spilled entries included.
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
@@ -567,6 +585,21 @@ mod tests {
             store.get(&key("s")).unwrap().as_str(),
             Some("not spillable")
         );
+    }
+
+    #[test]
+    fn remove_session_sweeps_only_that_tenant() {
+        let store = ObjectStore::unbounded();
+        store.insert(Key::scoped(1, "a"), block(1.0, 16));
+        store.insert(Key::scoped(1, "b"), block(2.0, 16));
+        store.insert(Key::scoped(2, "a"), block(3.0, 16));
+        store.insert(key("a"), block(4.0, 16));
+        assert_eq!(store.remove_session(1), 2);
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&Key::scoped(1, "a")).is_none());
+        assert!(store.get(&Key::scoped(2, "a")).is_some());
+        assert!(store.get(&key("a")).is_some(), "default session untouched");
+        assert_eq!(store.remove_session(3), 0);
     }
 
     #[test]

@@ -189,6 +189,9 @@ pub struct FlightSample {
     pub queue_depth_peak: u64,
     /// Live workers at sample time (scheduler gauge).
     pub workers_alive: u64,
+    /// Active client sessions at sample time (scheduler gauge; 0 on
+    /// single-tenant clusters, which never register a session).
+    pub sessions_active: u64,
     /// Successful steals per second.
     pub steals_per_s: f64,
     /// Steal misses per second.
@@ -220,6 +223,7 @@ impl FlightSample {
             .set("queue_depth", self.queue_depth)
             .set("queue_depth_peak", self.queue_depth_peak)
             .set("workers_alive", self.workers_alive)
+            .set("sessions_active", self.sessions_active)
             .set("steals_per_s", self.steals_per_s)
             .set("steal_misses_per_s", self.steal_misses_per_s)
             .set("spills_per_s", self.spills_per_s)
@@ -290,6 +294,7 @@ pub struct TelemetryHub {
     queue_depth: AtomicU64,
     queue_depth_peak: AtomicU64,
     workers_alive: AtomicU64,
+    sessions_active: AtomicU64,
     worker_gap_ns: AtomicU64,
     client_gap_ns: AtomicU64,
     // Straggler baselines, keyed by op kind.
@@ -316,6 +321,7 @@ impl TelemetryHub {
             queue_depth: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
             workers_alive: AtomicU64::new(0),
+            sessions_active: AtomicU64::new(0),
             worker_gap_ns: AtomicU64::new(0),
             client_gap_ns: AtomicU64::new(0),
             baselines: Mutex::new(HashMap::new()),
@@ -347,6 +353,7 @@ impl TelemetryHub {
         &self,
         queue_depth: u64,
         workers_alive: u64,
+        sessions_active: u64,
         worker_gap_ns: u64,
         client_gap_ns: u64,
     ) {
@@ -354,6 +361,8 @@ impl TelemetryHub {
         self.queue_depth_peak
             .fetch_max(queue_depth, Ordering::Relaxed);
         self.workers_alive.store(workers_alive, Ordering::Relaxed);
+        self.sessions_active
+            .store(sessions_active, Ordering::Relaxed);
         self.worker_gap_ns.store(worker_gap_ns, Ordering::Relaxed);
         self.client_gap_ns.store(client_gap_ns, Ordering::Relaxed);
     }
@@ -465,6 +474,7 @@ impl TelemetryHub {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_peak,
             workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
             steals_per_s: (steals - cursor.steals) as f64 / dt_s,
             steal_misses_per_s: (steal_misses - cursor.steal_misses) as f64 / dt_s,
             spills_per_s: (spills - cursor.spills) as f64 / dt_s,
@@ -800,13 +810,13 @@ mod tests {
             spills: 0,
             spill_bytes: 0,
         };
-        hub.publish_scheduler(15, 2, 0, 0);
+        hub.publish_scheduler(15, 2, 0, 0, 0);
         hub.sample(&mut cursor); // crossing: one alert
-        hub.publish_scheduler(20, 2, 0, 0);
+        hub.publish_scheduler(20, 2, 0, 0, 0);
         hub.sample(&mut cursor); // still high: latched, no new alert
-        hub.publish_scheduler(1, 2, 0, 0);
+        hub.publish_scheduler(1, 2, 0, 0, 0);
         hub.sample(&mut cursor); // back below: latch resets
-        hub.publish_scheduler(12, 2, 0, 0);
+        hub.publish_scheduler(12, 2, 0, 0, 0);
         hub.sample(&mut cursor); // second crossing: second alert
         let alerts = hub.alerts();
         assert_eq!(alerts.len(), 2);
@@ -858,7 +868,7 @@ mod tests {
         }
         hub.stats.record_wire(WireLane::SchedIn, 1000);
         hub.stats.record_store_spill(4096);
-        hub.publish_scheduler(3, 2, 7_000_000, 0);
+        hub.publish_scheduler(3, 2, 1, 7_000_000, 0);
         hub.sample(&mut cursor);
         let s = &hub.flight()[0];
         // dt ≈ 1 s, so rates ≈ deltas (loose bounds: wall clock moved a bit).

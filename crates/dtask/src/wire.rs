@@ -199,12 +199,32 @@ impl<'a> Dec<'a> {
 
 // ---- component codecs ------------------------------------------------------
 
+/// Length sentinel marking a session-scoped key. A real key text can never
+/// reach 4 GiB (the whole frame is length-checked against the body first),
+/// so default-session keys keep the seed's bare length-prefixed encoding
+/// byte-for-byte while scoped keys get `MARK ‖ session ‖ text` appended
+/// behind it — old frames (always session 0) decode unchanged.
+const SCOPED_KEY_MARK: u32 = u32::MAX;
+
 fn put_key(e: &mut Enc, k: &Key) {
-    e.str(k.as_str());
+    if k.session() == 0 {
+        e.str(k.as_str());
+    } else {
+        e.u32(SCOPED_KEY_MARK);
+        e.u32(k.session());
+        e.str(k.as_str());
+    }
 }
 
 fn get_key(d: &mut Dec) -> Result<Key, WireError> {
-    Ok(Key::new(d.str()?))
+    let n = d.u32()?;
+    if n == SCOPED_KEY_MARK {
+        let session = d.u32()?;
+        Ok(Key::scoped(session, d.str()?))
+    } else {
+        let text = std::str::from_utf8(d.take(n as usize)?).map_err(|_| WireError::Utf8)?;
+        Ok(Key::new(text))
+    }
 }
 
 fn put_datum(e: &mut Enc, v: &Datum) {
@@ -664,6 +684,11 @@ fn put_sched(e: &mut Enc, m: &SchedMsg) {
             e.usize(*worker);
             e.usize(*slots);
         }
+        SchedMsg::Scoped { session, inner } => {
+            e.u8(21);
+            e.u32(*session);
+            put_sched(e, inner);
+        }
     }
 }
 
@@ -789,6 +814,10 @@ fn get_sched(d: &mut Dec) -> Result<SchedMsg, WireError> {
             worker: d.usize()?,
             slots: d.usize()?,
         },
+        21 => SchedMsg::Scoped {
+            session: d.u32()?,
+            inner: Box::new(get_sched(d)?),
+        },
         tag => {
             return Err(WireError::BadTag {
                 what: "sched msg",
@@ -875,6 +904,10 @@ fn put_data(e: &mut Enc, m: &DataMsg) {
             put_key(e, key);
             put_reply_to(e, reply);
         }
+        DataMsg::Sweep { session } => {
+            e.u8(6);
+            e.u32(*session);
+        }
     }
 }
 
@@ -905,6 +938,7 @@ fn get_data(d: &mut Dec) -> Result<DataMsg, WireError> {
             key: get_key(d)?,
             reply: get_reply_to(d)?,
         },
+        6 => DataMsg::Sweep { session: d.u32()? },
         tag => {
             return Err(WireError::BadTag {
                 what: "data msg",
@@ -941,6 +975,16 @@ fn put_client(e: &mut Enc, m: &ClientMsg) {
             e.str(name);
             put_datum(e, value);
         }
+        ClientMsg::SubmitOutcome {
+            accepted,
+            inflight,
+            cap,
+        } => {
+            e.u8(3);
+            e.u8(*accepted as u8);
+            e.u64(*inflight);
+            e.u64(*cap);
+        }
     }
 }
 
@@ -968,6 +1012,11 @@ fn get_client(d: &mut Dec) -> Result<ClientMsg, WireError> {
         2 => ClientMsg::QueueItem {
             name: d.str()?,
             value: get_datum(d)?,
+        },
+        3 => ClientMsg::SubmitOutcome {
+            accepted: d.u8()? != 0,
+            inflight: d.u64()?,
+            cap: d.u64()?,
         },
         tag => {
             return Err(WireError::BadTag {
@@ -1617,6 +1666,92 @@ mod tests {
             (framed.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES,
             "fetch requests are control-sized"
         );
+    }
+
+    #[test]
+    fn default_session_key_encodes_as_bare_string() {
+        // The seed wire format was `u32 len ‖ text`; session-0 keys must
+        // stay byte-identical so pre-tenancy frames and accounting hold.
+        let k = Key::new("sim-block-3");
+        let bytes = encode_key(&k);
+        let mut seed = ("sim-block-3".len() as u32).to_le_bytes().to_vec();
+        seed.extend_from_slice(b"sim-block-3");
+        assert_eq!(bytes, seed);
+        assert_eq!(decode_key(&bytes).unwrap(), k);
+    }
+
+    #[test]
+    fn scoped_keys_round_trip_with_session() {
+        let k = Key::scoped(7, "sink");
+        let bytes = encode_key(&k);
+        let back = decode_key(&bytes).unwrap();
+        assert_eq!(back, k);
+        assert_eq!(back.session(), 7);
+        assert_eq!(back.as_str(), "sink");
+        // The scoped encoding is distinguishable from any bare string.
+        assert_ne!(bytes, encode_key(&Key::new("sink")));
+        for cut in 0..bytes.len() {
+            assert!(decode_key(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn scoped_sched_msgs_round_trip() {
+        let inner = SchedMsg::SubmitGraph {
+            client: 3,
+            specs: vec![TaskSpec::new(
+                "t",
+                "identity",
+                Datum::Null,
+                vec![Key::scoped(5, "dep")],
+            )],
+        };
+        let msg = Payload::Sched(SchedMsg::Scoped {
+            session: 5,
+            inner: Box::new(inner),
+        });
+        let bytes = encode(&msg);
+        match decode(&bytes).unwrap() {
+            Payload::Sched(SchedMsg::Scoped { session, inner }) => {
+                assert_eq!(session, 5);
+                match *inner {
+                    SchedMsg::SubmitGraph { client, specs } => {
+                        assert_eq!(client, 3);
+                        assert_eq!(specs[0].deps[0], Key::scoped(5, "dep"));
+                    }
+                    _ => panic!("wrong inner"),
+                }
+            }
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn submit_outcome_and_sweep_round_trip() {
+        let bytes = encode(&Payload::Client(ClientMsg::SubmitOutcome {
+            accepted: false,
+            inflight: 512,
+            cap: 256,
+        }));
+        match decode(&bytes).unwrap() {
+            Payload::Client(ClientMsg::SubmitOutcome {
+                accepted,
+                inflight,
+                cap,
+            }) => {
+                assert!(!accepted);
+                assert_eq!((inflight, cap), (512, 256));
+            }
+            _ => panic!("wrong payload"),
+        }
+        assert!((bytes.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES);
+
+        let bytes = encode(&Payload::Data(DataMsg::Sweep { session: 9 }));
+        match decode(&bytes).unwrap() {
+            Payload::Data(DataMsg::Sweep { session }) => assert_eq!(session, 9),
+            _ => panic!("wrong payload"),
+        }
+        assert!((bytes.len() as u64) <= netsim::sizing::CTRL_MSG_BYTES);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub fn run_data_server(store: WorkerStore, rx: Receiver<DataMsg>, endpoint: Endp
             DataMsg::Delete { keys } => {
                 store.remove(&keys);
             }
+            DataMsg::Sweep { session } => {
+                store.remove_session(session);
+            }
             DataMsg::Stats { reply } => {
                 let (keys, bytes) = store.report();
                 endpoint.reply(

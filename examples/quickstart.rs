@@ -40,6 +40,14 @@
 //! task rounds for `n` ms before the straggler so an external scraper has
 //! time to watch a live run.
 //!
+//! Set `QUICKSTART_TENANTS=n` (n >= 2) to additionally serve `n` concurrent
+//! clients from one scheduler, each in its own session namespace under
+//! fair-share dispatch, all submitting graphs with *identical* key names.
+//! Every tenant's result is asserted identical to a single-client run of the
+//! same graph, and the per-session admission cap is deliberately tripped
+//! once — and recovered from — so the backpressure path is exercised end to
+//! end (printed as `tenants: ...` and `admission: ...` for CI to grep).
+//!
 //! Set `QUICKSTART_CHAOS=kill` to turn on heartbeat-driven failure detection,
 //! replicate every external block onto two workers, and kill one of the three
 //! workers mid-run. The result must STILL be identical — the scheduler
@@ -51,8 +59,8 @@
 use deisa_repro::darray::{self, DArray, Graph};
 use deisa_repro::dtask::{
     Cluster, ClusterConfig, Datum, EventKind, FaultConfig, HeartbeatInterval, Key, PolicyConfig,
-    SimNetConfig, StatsSnapshot, StoreConfig, TaskSpec, TelemetryConfig, TraceActor, TraceConfig,
-    TransportConfig, WireLane,
+    SimNetConfig, StatsSnapshot, StoreConfig, SubmitError, TaskSpec, TelemetryConfig,
+    TenancyConfig, TraceActor, TraceConfig, TransportConfig, WireLane,
 };
 use deisa_repro::linalg::NDArray;
 use std::time::{Duration, Instant};
@@ -112,10 +120,18 @@ fn main() {
             panic!("QUICKSTART_POLICY={name}? use locality | blevel | random-stealing | mineft")
         }),
     };
+    // Multi-tenant demo: n concurrent clients against one scheduler, each
+    // in its own session namespace. Runs as an extra lab after the main
+    // single-client walkthrough, on the same transport.
+    let tenants: usize = std::env::var("QUICKSTART_TENANTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     println!(
-        "transport: {transport:?}, chaos: {chaos}, store: {store:?}, policy: {}",
+        "transport: {transport:?}, chaos: {chaos}, store: {store:?}, policy: {}, tenants: {tenants}",
         policy.kind.name()
     );
+    let tenant_transport = transport.clone();
     // Liveness is off by default (DEISA3 semantics: no heartbeats at all);
     // chaos mode turns on fast worker pings and a short detection timeout.
     let fault = if chaos {
@@ -466,6 +482,145 @@ fn main() {
             "flight: {} samples every {} ms -> results/TELEMETRY_quickstart.json",
             flight.len(),
             hub.config().sample_every.as_millis()
+        );
+    }
+    // 11. Multi-tenant mode: `QUICKSTART_TENANTS=n` serves n concurrent
+    //     clients from one scheduler. Every tenant submits a graph under the
+    //     SAME key names — the per-session namespaces keep them apart — and
+    //     each result is asserted identical to a single-client run of the
+    //     same graph. Then the per-session admission cap is deliberately
+    //     tripped once and recovered from, so the backpressure path (reject
+    //     whole graph, surface to client, admit on retry after drain) is
+    //     exercised end to end.
+    if tenants >= 2 {
+        /// One tenant round: two scalars and their reduction, plus a scatter
+        /// read back through the data plane. `tag` keeps baseline rounds on
+        /// a shared session apart; tenants pass `""` so their names collide.
+        fn tenant_round(client: &deisa_repro::dtask::Client, tag: &str, seed: f64) -> f64 {
+            client.submit(vec![
+                TaskSpec::new(format!("{tag}a"), "const", Datum::F64(seed), vec![]),
+                TaskSpec::new(format!("{tag}b"), "const", Datum::F64(seed * 10.0), vec![]),
+                TaskSpec::new(
+                    format!("{tag}total"),
+                    "sum_scalars",
+                    Datum::Null,
+                    vec![format!("{tag}a").into(), format!("{tag}b").into()],
+                ),
+            ]);
+            client.scatter(
+                vec![(Key::new(format!("{tag}blk")), Datum::F64(seed * 100.0))],
+                None,
+            );
+            let total = client
+                .future(format!("{tag}total"))
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            let blk = client
+                .future(format!("{tag}blk"))
+                .result()
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            total + blk
+        }
+
+        // Single-client baselines: the same graphs on a plain (tenancy-off)
+        // cluster, one at a time — the value each tenant must reproduce.
+        let single = Cluster::with_config(ClusterConfig {
+            n_workers: 3,
+            transport: tenant_transport.clone(),
+            ..ClusterConfig::default()
+        });
+        let single_client = single.client();
+        let baselines: Vec<f64> = (0..tenants)
+            .map(|i| tenant_round(&single_client, &format!("base{i}-"), (i + 1) as f64))
+            .collect();
+        drop(single_client);
+
+        // The multi-tenant lab: per-session namespaces, fair-share dispatch,
+        // and a per-session in-flight cap of 4 (big enough for the 3-task
+        // tenant graphs, small enough to trip deliberately below).
+        const TENANT_CAP: u64 = 4;
+        let lab = Cluster::with_config(ClusterConfig {
+            n_workers: 3,
+            transport: tenant_transport,
+            tenancy: TenancyConfig::with_cap(TENANT_CAP as usize),
+            policy: PolicyConfig::locality().with_fair_share(),
+            ..ClusterConfig::default()
+        });
+        let handles: Vec<_> = (0..tenants)
+            .map(|i| {
+                let client = lab.client();
+                std::thread::spawn(move || {
+                    let session = client.session();
+                    (session, tenant_round(&client, "", (i + 1) as f64))
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let (session, got) = handle.join().expect("tenant thread");
+            assert_eq!(
+                got, baselines[i],
+                "tenant {i} (session {session}) must match its single-client run"
+            );
+        }
+        println!("tenants: {tenants} concurrent clients, results identical to single-client runs");
+
+        // Admission: fill one session's cap with slow work, watch the next
+        // graph bounce with the live numbers, drain, and see it admitted.
+        lab.registry().register("slow_const", |param, _| {
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(param.clone())
+        });
+        let probe = lab.client();
+        probe
+            .try_submit(
+                (0..TENANT_CAP as usize)
+                    .map(|i| {
+                        TaskSpec::new(
+                            format!("hold-{i}"),
+                            "slow_const",
+                            Datum::F64(i as f64),
+                            vec![],
+                        )
+                    })
+                    .collect(),
+            )
+            .expect("a graph at the cap is admitted");
+        match probe.try_submit(vec![TaskSpec::new(
+            "over",
+            "const",
+            Datum::F64(1.0),
+            vec![],
+        )]) {
+            Err(SubmitError::Rejected { inflight, cap }) => {
+                assert_eq!(cap, TENANT_CAP);
+                println!(
+                    "admission: rejected at {inflight}/{cap} in flight (backpressure surfaced)"
+                );
+            }
+            other => panic!("expected an admission rejection, got {other:?}"),
+        }
+        for i in 0..TENANT_CAP as usize {
+            probe.future(format!("hold-{i}")).result().unwrap();
+        }
+        probe
+            .try_submit(vec![TaskSpec::new(
+                "over",
+                "const",
+                Datum::F64(1.0),
+                vec![],
+            )])
+            .expect("the cap frees as work drains");
+        assert_eq!(probe.future("over").result().unwrap().as_f64(), Some(1.0));
+        assert!(lab.stats().admission_rejections() >= 1);
+        assert_eq!(lab.stats().notifies_dropped(), 0);
+        println!(
+            "admission: 1 rejection exercised and recovered (cap {TENANT_CAP}, \
+             {} total rejections)",
+            lab.stats().admission_rejections()
         );
     }
     println!("quickstart OK");

@@ -15,8 +15,9 @@
 
 use deisa_repro::dtask::{
     Cluster, ClusterConfig, Datum, ErrorCause, EventKind, FaultConfig, FaultPlan,
-    HeartbeatInterval, Key, StatsSnapshot, TaskError, TaskSpec, TraceConfig,
+    HeartbeatInterval, Key, StatsSnapshot, TaskError, TaskSpec, TenancyConfig, TraceConfig,
 };
+use deisa_repro::linalg::NDArray;
 use std::time::Duration;
 
 /// Liveness tuned for test latency: 20 ms worker pings, 150 ms timeout.
@@ -220,6 +221,96 @@ fn losing_every_worker_errs_instead_of_hanging() {
         .result_timeout(Duration::from_secs(30))
         .unwrap_err();
     assert_eq!(err.cause, ErrorCause::PeerLost, "{err:?}");
+}
+
+/// Regression (ISSUE 10 satellite): a client that dies mid-session used to
+/// leak everything it owned — the liveness sweep removed it from the client
+/// table but never released its task results, variables, queues, or store
+/// payloads. With session teardown wired into the sweep, a dead tenant's
+/// worker-store bytes must return to baseline while the surviving tenant
+/// keeps working.
+#[test]
+fn dead_client_session_is_fully_reclaimed_by_liveness_sweep() {
+    let cluster = Cluster::with_config(ClusterConfig {
+        n_workers: 2,
+        slots_per_worker: 1,
+        tenancy: TenancyConfig::enabled(),
+        fault: chaos_fault(),
+        ..ClusterConfig::default()
+    });
+    let survivor =
+        cluster.client_with_heartbeat(HeartbeatInterval::Every(Duration::from_millis(20)));
+    survivor.scatter(
+        vec![(Key::new("keep"), Datum::from(NDArray::full(&[16], 1.0)))],
+        Some(0),
+    );
+    let baseline: u64 = cluster.worker_memory().iter().map(|(_, b)| b).sum();
+
+    let doomed = cluster.client_with_heartbeat(HeartbeatInterval::Every(Duration::from_millis(20)));
+    // The doomed tenant spreads state across both planes: scattered blocks,
+    // computed results, and a variable.
+    doomed.scatter(
+        vec![(Key::new("blk"), Datum::from(NDArray::full(&[64], 2.0)))],
+        Some(0),
+    );
+    doomed.scatter(
+        vec![(Key::new("blk2"), Datum::from(NDArray::full(&[64], 3.0)))],
+        Some(1),
+    );
+    doomed.submit(vec![TaskSpec::new(
+        "out",
+        "identity",
+        Datum::Null,
+        vec!["blk".into()],
+    )]);
+    doomed.future("out").result().unwrap();
+    doomed.var_set("v", Datum::F64(1.0));
+    assert!(
+        cluster.worker_memory().iter().map(|(_, b)| b).sum::<u64>() > baseline,
+        "the doomed tenant must actually hold store bytes"
+    );
+
+    // Liveness only ever tracks peers that actually ping (silence alone is
+    // not death, for clients exactly as for workers) — so let the doomed
+    // client's first heartbeat land before killing it.
+    let tracked_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cluster.stats().peers_tracked() < 4 {
+        assert!(
+            std::time::Instant::now() < tracked_deadline,
+            "client heartbeats never reached the scheduler"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Death without a goodbye: pings stop, no ClientDisconnect is sent, so
+    // only the liveness sweep can notice and tear the session down.
+    doomed.simulate_death();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let bytes: u64 = cluster.worker_memory().iter().map(|(_, b)| b).sum();
+        if bytes == baseline {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "store bytes never returned to baseline: {bytes} vs {baseline}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(cluster.stats().peers_lost() >= 1, "the sweep saw the death");
+
+    // The surviving tenant is untouched and the cluster still serves it.
+    assert_eq!(survivor.future("keep").result().unwrap().nbytes(), 16 * 8);
+    survivor.submit(vec![TaskSpec::new(
+        "after",
+        "const",
+        Datum::F64(5.0),
+        vec![],
+    )]);
+    assert_eq!(
+        survivor.future("after").result().unwrap().as_f64(),
+        Some(5.0)
+    );
 }
 
 #[test]

@@ -119,7 +119,11 @@ fn deisa3_model() -> IncrementalPca {
         run_rank(comm, &cfg, &mut pdi).unwrap();
     })
     .unwrap();
-    analytics.join().unwrap()
+    let model = analytics.join().unwrap();
+    // Happy path: every client notification found a connected client — a
+    // non-zero count here means results or queue items were silently lost.
+    assert_eq!(cluster.stats().notifies_dropped(), 0);
+    model
 }
 
 /// DEISA1 (legacy queues protocol) + per-step old IPCA.
@@ -179,7 +183,9 @@ fn deisa1_model() -> IncrementalPca {
         }
     })
     .unwrap();
-    analytics.join().unwrap()
+    let model = analytics.join().unwrap();
+    assert_eq!(cluster.stats().notifies_dropped(), 0);
+    model
 }
 
 #[test]

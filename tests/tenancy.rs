@@ -1,0 +1,215 @@
+//! Multi-tenant serving suite (ISSUE 10).
+//!
+//! Invariants under test:
+//!
+//! 1. **Namespace isolation**: two sessions submitting graphs with
+//!    *identical* key names get their own results — no cross-talk through
+//!    the scheduler's task table, the variable map, the queue map, or the
+//!    worker stores.
+//! 2. **Clean not-found**: a tenant reading another tenant's variable sees
+//!    "unset", never the other tenant's data.
+//! 3. **Admission control**: a graph that would push a session past its
+//!    in-flight cap is rejected whole, the rejection is surfaced to the
+//!    client as [`SubmitError::Rejected`] (not silent queuing), counted,
+//!    and the session recovers — the same graph is admitted once in-flight
+//!    work completes.
+//! 4. **No dropped notifications on the happy path**: `notifies_dropped`
+//!    stays zero through a full multi-tenant workload.
+//! 5. **Default-off**: with tenancy off the scheduler serves the implicit
+//!    session and records no tenant counters at all.
+
+use deisa_repro::dtask::{
+    Cluster, ClusterConfig, Datum, Key, StatsSnapshot, SubmitError, TaskSpec, TenancyConfig,
+};
+use std::time::Duration;
+
+fn tenant_cluster(n_workers: usize, tenancy: TenancyConfig) -> Cluster {
+    Cluster::with_config(ClusterConfig {
+        n_workers,
+        slots_per_worker: 1,
+        tenancy,
+        ..ClusterConfig::default()
+    })
+}
+
+/// The same graph both tenants submit: identical key names, per-tenant
+/// payloads. If namespaces leak anywhere, the reductions collide.
+fn tenant_graph(seed: f64) -> Vec<TaskSpec> {
+    vec![
+        TaskSpec::new("a", "const", Datum::F64(seed), vec![]),
+        TaskSpec::new("b", "const", Datum::F64(seed * 10.0), vec![]),
+        TaskSpec::new(
+            "total",
+            "sum_scalars",
+            Datum::Null,
+            vec!["a".into(), "b".into()],
+        ),
+    ]
+}
+
+#[test]
+fn concurrent_sessions_with_identical_key_names_are_isolated() {
+    let cluster = tenant_cluster(2, TenancyConfig::enabled());
+    let c1 = cluster.client();
+    let c2 = cluster.client();
+    assert_ne!(c1.session(), c2.session(), "each client gets a session");
+
+    // Interleave: both graphs are in flight under the same key names at
+    // once before either result is gathered.
+    c1.submit(tenant_graph(1.0));
+    c2.submit(tenant_graph(2.0));
+    let r1 = c1.future("total").result().unwrap();
+    let r2 = c2.future("total").result().unwrap();
+    assert_eq!(r1.as_f64(), Some(11.0), "tenant 1 sees its own reduction");
+    assert_eq!(r2.as_f64(), Some(22.0), "tenant 2 sees its own reduction");
+
+    // Scatter under a colliding name too: data-plane keys are scoped.
+    c1.scatter(vec![(Key::new("blk"), Datum::F64(7.0))], Some(0));
+    c2.scatter(vec![(Key::new("blk"), Datum::F64(9.0))], Some(0));
+    assert_eq!(c1.future("blk").result().unwrap().as_f64(), Some(7.0));
+    assert_eq!(c2.future("blk").result().unwrap().as_f64(), Some(9.0));
+
+    // Happy path: every notification found its client.
+    assert_eq!(cluster.stats().notifies_dropped(), 0);
+
+    // Per-tenant accounting saw both sessions.
+    let snap = StatsSnapshot::capture(cluster.stats());
+    assert_eq!(snap.tenants.len(), 2);
+    assert!(snap.tenants.iter().all(|(_, t)| t.tasks >= 3));
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("dtask_sched_notifies_dropped_total 0"));
+    assert!(prom.contains(&format!(
+        "dtask_tenant_tasks_total{{session=\"{}\"}}",
+        c1.session()
+    )));
+}
+
+#[test]
+fn cross_session_variable_and_queue_reads_are_clean_not_found() {
+    let cluster = tenant_cluster(1, TenancyConfig::enabled());
+    let c1 = cluster.client();
+    let c2 = cluster.client();
+
+    c1.var_set("shared", Datum::F64(42.0));
+    assert_eq!(c1.var_get("shared").unwrap().as_f64(), Some(42.0));
+    // Tenant 2 sees an unset variable — not tenant 1's data, not an error.
+    assert!(c2.var_try_get("shared").unwrap().is_none());
+
+    // Queues are namespaced the same way: tenant 2's pop blocks on its own
+    // empty queue, so its own push (not tenant 1's) unblocks it.
+    c1.q_push("q", Datum::F64(1.0));
+    c2.q_push("q", Datum::F64(2.0));
+    assert_eq!(c2.q_pop("q").unwrap().as_f64(), Some(2.0));
+    assert_eq!(c1.q_pop("q").unwrap().as_f64(), Some(1.0));
+}
+
+#[test]
+fn admission_cap_rejects_surfaces_and_recovers() {
+    let cluster = tenant_cluster(1, TenancyConfig::with_cap(2));
+    cluster.registry().register("slow_const", |param, _| {
+        std::thread::sleep(Duration::from_millis(30));
+        Ok(param.clone())
+    });
+    let client = cluster.client();
+
+    // Two slow tasks fill the cap exactly and hold it: one executor slot
+    // serializes them, so both stay in flight while the next graph arrives.
+    client
+        .try_submit(vec![
+            TaskSpec::new("s0", "slow_const", Datum::F64(1.0), vec![]),
+            TaskSpec::new("s1", "slow_const", Datum::F64(2.0), vec![]),
+        ])
+        .expect("a graph at the cap is admitted");
+
+    // One more task cannot fit: rejected whole, with the live numbers.
+    let err = client
+        .try_submit(vec![TaskSpec::new("s2", "const", Datum::F64(9.0), vec![])])
+        .unwrap_err();
+    match err {
+        SubmitError::Rejected { inflight, cap } => {
+            assert_eq!(cap, 2);
+            assert!(
+                inflight >= 1,
+                "rejection reports live in-flight: {inflight}"
+            );
+        }
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+    assert_eq!(cluster.stats().admission_rejections(), 1);
+
+    // Recovery: drain the in-flight work, then the same graph is admitted.
+    assert_eq!(client.future("s0").result().unwrap().as_f64(), Some(1.0));
+    assert_eq!(client.future("s1").result().unwrap().as_f64(), Some(2.0));
+    client
+        .try_submit(vec![TaskSpec::new("s2", "const", Datum::F64(9.0), vec![])])
+        .expect("the cap frees as tasks finish");
+    assert_eq!(client.future("s2").result().unwrap().as_f64(), Some(9.0));
+
+    let snap = StatsSnapshot::capture(cluster.stats());
+    assert_eq!(snap.admission_rejections, 1);
+    let tenant = &snap
+        .tenants
+        .iter()
+        .find(|(s, _)| *s == client.session())
+        .unwrap()
+        .1;
+    assert_eq!(tenant.admission_rejections, 1);
+    assert!(snap
+        .to_prometheus()
+        .contains("dtask_admission_rejections_total 1"));
+}
+
+#[test]
+fn without_a_cap_submissions_never_wait_for_acks() {
+    // Tenancy on, no cap: scoped namespaces but the seed's fire-and-forget
+    // submission path (no SubmitOutcome round trip to deadlock on).
+    let cluster = tenant_cluster(1, TenancyConfig::enabled());
+    let client = cluster.client();
+    client.try_submit(tenant_graph(3.0)).unwrap();
+    assert_eq!(
+        client.future("total").result().unwrap().as_f64(),
+        Some(33.0)
+    );
+}
+
+#[test]
+fn tenancy_off_serves_the_implicit_session_with_no_tenant_counters() {
+    let cluster = Cluster::new(1);
+    let client = cluster.client();
+    assert_eq!(client.session(), 0, "default mode: the implicit session");
+    client.submit(tenant_graph(1.0));
+    assert_eq!(
+        client.future("total").result().unwrap().as_f64(),
+        Some(11.0)
+    );
+    let snap = StatsSnapshot::capture(cluster.stats());
+    assert!(
+        snap.tenants.is_empty(),
+        "single-tenant clusters record no per-session counters"
+    );
+    assert_eq!(snap.admission_rejections, 0);
+    // The tenancy JSON section exists (schema is stable) but is empty.
+    let doc = snap.to_json();
+    let tenancy = doc.get("tenancy").expect("tenancy section");
+    assert!(tenancy.get("sessions").is_some());
+}
+
+#[test]
+fn session_teardown_releases_only_that_tenants_state() {
+    let cluster = tenant_cluster(2, TenancyConfig::enabled());
+    let c1 = cluster.client();
+    let c2 = cluster.client();
+    c1.submit(tenant_graph(1.0));
+    c2.submit(tenant_graph(2.0));
+    assert_eq!(c1.future("total").result().unwrap().as_f64(), Some(11.0));
+    assert_eq!(c2.future("total").result().unwrap().as_f64(), Some(22.0));
+    c1.var_set("v", Datum::F64(5.0));
+    c2.var_set("v", Datum::F64(6.0));
+
+    // Orderly disconnect of tenant 1 tears its session down.
+    drop(c1);
+
+    // Tenant 2 is undisturbed: its variable and results are still there.
+    assert_eq!(c2.var_get("v").unwrap().as_f64(), Some(6.0));
+    assert_eq!(c2.future("total").result().unwrap().as_f64(), Some(22.0));
+}
